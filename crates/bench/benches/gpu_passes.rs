@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the GPU simulator's render-pass execution
+//! (host cost of the fast separable path vs the generic path, blits, and
+//! f16 conversion throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsm_gpu::{BlendOp, Device, Quad, Rect, Surface};
+use gsm_stream::F16;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_surface(w: u32, h: u32, seed: u64) -> Surface {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Surface::new(w, h);
+    for t in s.texels_mut() {
+        *t = core::array::from_fn(|_| rng.random_range(0.0..1.0e6));
+    }
+    s
+}
+
+fn bench_blend_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blend_pass_min");
+    for dim in [256u32, 1024] {
+        let texels = (dim * dim) as u64;
+        group.throughput(Throughput::Elements(texels));
+        let surface = random_surface(dim, dim, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &surface, |b, surface| {
+            let mut dev = Device::ideal();
+            let tex = dev.upload_texture(surface.clone());
+            dev.resize_framebuffer(dim, dim);
+            // Mirror-mapped full-screen quad: the PBSN inner loop.
+            let quad = Quad::mapped(Rect::new(0, 0, dim, dim), dim as f32, 0.0, 0.0, dim as f32);
+            b.iter(|| dev.draw_quads(tex, core::slice::from_ref(&quad), BlendOp::Min));
+        });
+    }
+    group.finish();
+}
+
+fn bench_copy_pass_and_blit(c: &mut Criterion) {
+    let dim = 512u32;
+    let surface = random_surface(dim, dim, 2);
+    let mut group = c.benchmark_group("copy_and_blit");
+    group.throughput(Throughput::Elements((dim * dim) as u64));
+    group.bench_function("copy_pass", |b| {
+        let mut dev = Device::ideal();
+        let tex = dev.upload_texture(surface.clone());
+        dev.resize_framebuffer(dim, dim);
+        let quad = Quad::copy(Rect::new(0, 0, dim, dim));
+        b.iter(|| dev.draw_quads(tex, core::slice::from_ref(&quad), BlendOp::Replace));
+    });
+    group.bench_function("blit_fb_to_tex", |b| {
+        let mut dev = Device::ideal();
+        let tex = dev.upload_texture(surface.clone());
+        dev.resize_framebuffer(dim, dim);
+        b.iter(|| dev.copy_framebuffer_to_texture(tex));
+    });
+    group.finish();
+}
+
+fn bench_f16_conversion(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let values: Vec<f32> = (0..65_536).map(|_| rng.random_range(-1.0e4..1.0e4)).collect();
+    let mut group = c.benchmark_group("f16_round_trip");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("encode_decode", |b| {
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&v| F16::from_f32(v).to_f32())
+                .sum::<f32>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blend_pass, bench_copy_pass_and_blit, bench_f16_conversion);
+criterion_main!(benches);

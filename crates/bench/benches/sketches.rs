@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the summary structures (host cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsm_sketch::{ExpHistogram, GkSummary, LossyCounting, MisraGries, SlidingQuantile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn uniform(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0.0..1.0)).collect()
+}
+
+fn skewed(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.random_range(0..4) == 0 {
+                rng.random_range(0..16) as f32
+            } else {
+                rng.random_range(0..100_000) as f32
+            }
+        })
+        .collect()
+}
+
+fn bench_gk_insert(c: &mut Criterion) {
+    let data = uniform(50_000, 1);
+    let mut group = c.benchmark_group("gk_insert");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    for eps in [0.01f64, 0.001] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &data, |b, data| {
+            b.iter(|| {
+                let mut gk = GkSummary::new(eps);
+                for &v in data {
+                    gk.insert(v);
+                }
+                gk.tuple_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lossy_window(c: &mut Criterion) {
+    let data = skewed(100_000, 2);
+    let mut group = c.benchmark_group("lossy_counting_stream");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("eps_1e-3", |b| {
+        b.iter(|| {
+            let mut lc = LossyCounting::new(0.001);
+            for chunk in data.chunks(lc.window()) {
+                let mut w = chunk.to_vec();
+                w.sort_by(f32::total_cmp);
+                lc.push_sorted_window(&w);
+            }
+            lc.entry_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_exp_histogram(c: &mut Criterion) {
+    let data = uniform(100_000, 3);
+    let mut group = c.benchmark_group("exp_histogram_stream");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("eps_0.01_window_1024", |b| {
+        b.iter(|| {
+            let mut eh = ExpHistogram::new(0.01, 1024, data.len() as u64);
+            for chunk in data.chunks(1024) {
+                let mut w = chunk.to_vec();
+                w.sort_by(f32::total_cmp);
+                eh.push_sorted_window(&w);
+            }
+            eh.entry_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_misra_gries(c: &mut Criterion) {
+    let data = skewed(100_000, 4);
+    let mut group = c.benchmark_group("misra_gries_insert");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("k_999", |b| {
+        b.iter(|| {
+            let mut mg = MisraGries::new(999);
+            for &v in &data {
+                mg.insert(v);
+            }
+            mg.counter_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_sliding_quantile(c: &mut Criterion) {
+    let data = uniform(100_000, 5);
+    let mut group = c.benchmark_group("sliding_quantile_stream");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("eps_0.01_width_50k", |b| {
+        b.iter(|| {
+            let mut sq = SlidingQuantile::new(0.01, 50_000);
+            for chunk in data.chunks(sq.block_size()) {
+                let mut w = chunk.to_vec();
+                w.sort_by(f32::total_cmp);
+                sq.push_sorted_block(&w);
+            }
+            sq.query(0.5)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gk_insert,
+    bench_lossy_window,
+    bench_exp_histogram,
+    bench_misra_gries,
+    bench_sliding_quantile
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the sorting engines' *host* cost: how fast
+//! the simulation itself runs. (The simulated-device times the paper's
+//! figures report come from the `figN_*` harness binaries; these benches
+//! track the library's own performance so regressions in the simulator are
+//! caught.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsm_cpu::{CpuCostModel, Machine};
+use gsm_gpu::Device;
+use gsm_sort::channels::gpu_sort_rgba;
+use gsm_sort::cpu::quicksort;
+use gsm_sort::network::{apply_schedule, pbsn_schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0.0..1.0e6)).collect()
+}
+
+fn bench_gpu_pbsn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_pbsn_sim");
+    for n in [4096usize, 65_536] {
+        let data = random_vec(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut dev = Device::ideal();
+                let mut machine = Machine::new(CpuCostModel::ideal());
+                gpu_sort_rgba(&mut dev, &mut machine, data)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cpu_instrumented(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_quicksort_instrumented");
+    for n in [4096usize, 65_536] {
+        let data = random_vec(n, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut m = Machine::new(CpuCostModel::pentium4_3400());
+                let mut copy = data.clone();
+                quicksort(&mut copy, &mut m, 0);
+                copy
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbsn_schedule_reference");
+    let n = 4096usize;
+    let schedule = pbsn_schedule(n);
+    let data = random_vec(n, 3);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        b.iter(|| {
+            let mut copy = data.clone();
+            apply_schedule(&mut copy, &schedule);
+            copy
+        });
+    });
+    group.finish();
+}
+
+fn bench_std_sort_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_std_sort");
+    let n = 65_536usize;
+    let data = random_vec(n, 4);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::from_parameter(n), |b| {
+        b.iter(|| {
+            let mut copy = data.clone();
+            copy.sort_by(f32::total_cmp);
+            copy
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gpu_pbsn,
+    bench_cpu_instrumented,
+    bench_network_reference,
+    bench_std_sort_baseline
+);
+criterion_main!(benches);

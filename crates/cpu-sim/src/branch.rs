@@ -1,0 +1,142 @@
+//! Two-bit saturating-counter branch prediction.
+//!
+//! The Pentium IV pays a minimum 17-cycle penalty per mispredicted branch
+//! (paper §3.2, citing \[45\]); sorting comparisons are data-dependent and
+//! defeat the predictor roughly a third of the time on random inputs, which
+//! is a large share of the CPU baseline's cost.
+
+/// A pattern-history table of two-bit saturating counters indexed by branch
+/// site ("PC").
+///
+/// Counter states: 0–1 predict not-taken, 2–3 predict taken. This is the
+/// classic bimodal predictor — a reasonable stand-in for the Pentium IV's
+/// front end at the fidelity of this model.
+pub struct BranchPredictor {
+    table: Vec<u8>,
+    mask: u64,
+    correct: u64,
+    mispredicted: u64,
+}
+
+impl BranchPredictor {
+    /// Builds a predictor with `entries` counters (rounded up to a power of
+    /// two), initialized to weakly-not-taken.
+    pub fn new(entries: usize) -> Self {
+        let n = entries.next_power_of_two().max(2);
+        BranchPredictor { table: vec![1; n], mask: (n - 1) as u64, correct: 0, mispredicted: 0 }
+    }
+
+    /// Records the outcome of a branch at site `pc`; returns `true` if it
+    /// was predicted correctly.
+    #[inline]
+    pub fn observe(&mut self, pc: u64, taken: bool) -> bool {
+        let ctr = &mut self.table[(pc & self.mask) as usize];
+        let predicted_taken = *ctr >= 2;
+        // Saturating update toward the outcome.
+        if taken {
+            if *ctr < 3 {
+                *ctr += 1;
+            }
+        } else if *ctr > 0 {
+            *ctr -= 1;
+        }
+        if predicted_taken == taken {
+            self.correct += 1;
+            true
+        } else {
+            self.mispredicted += 1;
+            false
+        }
+    }
+
+    /// Correctly predicted branches so far.
+    pub fn correct(&self) -> u64 {
+        self.correct
+    }
+
+    /// Mispredicted branches so far.
+    pub fn mispredicted(&self) -> u64 {
+        self.mispredicted
+    }
+
+    /// Misprediction rate in `[0, 1]` (0 if no branches observed).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.correct + self.mispredicted;
+        if total == 0 {
+            0.0
+        } else {
+            self.mispredicted as f64 / total as f64
+        }
+    }
+
+    /// Clears counters and history.
+    pub fn reset(&mut self) {
+        self.table.fill(1);
+        self.correct = 0;
+        self.mispredicted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_taken_converges() {
+        let mut bp = BranchPredictor::new(16);
+        // First observation: counter 1 predicts not-taken → mispredict.
+        assert!(!bp.observe(7, true));
+        // Second: counter 2 predicts taken → correct, and forever after.
+        for _ in 0..100 {
+            assert!(bp.observe(7, true));
+        }
+        assert_eq!(bp.mispredicted(), 1);
+    }
+
+    #[test]
+    fn alternating_pattern_defeats_bimodal() {
+        let mut bp = BranchPredictor::new(16);
+        let mut taken = false;
+        for _ in 0..1000 {
+            bp.observe(3, taken);
+            taken = !taken;
+        }
+        // A strict T/NT alternation keeps the counter oscillating between
+        // 1 and 2: the prediction is wrong about half the time.
+        assert!(bp.miss_rate() > 0.4, "rate = {}", bp.miss_rate());
+    }
+
+    #[test]
+    fn random_outcomes_mispredict_often() {
+        let mut bp = BranchPredictor::new(64);
+        // xorshift for determinism.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            bp.observe(1, x & 1 == 0);
+        }
+        let rate = bp.miss_rate();
+        assert!((0.3..0.7).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn distinct_sites_do_not_interfere() {
+        let mut bp = BranchPredictor::new(16);
+        for _ in 0..50 {
+            bp.observe(0, true);
+            bp.observe(1, false);
+        }
+        // Both sites converge: only the initial transient mispredicts.
+        assert!(bp.mispredicted() <= 2);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut bp = BranchPredictor::new(16);
+        bp.observe(0, true);
+        bp.reset();
+        assert_eq!(bp.correct() + bp.mispredicted(), 0);
+    }
+}

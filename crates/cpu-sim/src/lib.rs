@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! A CPU timing model for the paper's CPU-side baselines.
+//!
+//! Paper §3.2 attributes CPU sorting cost to two architectural effects:
+//!
+//! 1. **Cache misses** — LaMarca & Ladner's study (paper's \[30\]) shows
+//!    quicksort incurs one miss per block while the input fits in cache and
+//!    substantially more beyond it; L1/L2/memory access times are ~1–2, ~10,
+//!    and ~100 cycles on the paper's 3.4 GHz Pentium IV (16 KB L1 data,
+//!    1 MB L2).
+//! 2. **Branch mispredictions** — ≥ 17-cycle penalty per mispredict on the
+//!    Pentium IV; sorting comparisons are data-dependent and hard to
+//!    predict (paper's \[45\]).
+//!
+//! This crate models exactly those two effects plus a per-operation ALU
+//! charge: a [`Machine`] owns a two-level set-associative [`cache`]
+//! hierarchy and a two-bit [`branch`] predictor, and instrumented algorithms
+//! (in `gsm-sort`) drive it with their real address and branch traces. The
+//! reported time is `cycles / clock` — *simulated* Pentium IV time, the same
+//! currency as the GPU model's output, so the two sides of every figure are
+//! comparable.
+//!
+//! # Example
+//!
+//! ```
+//! use gsm_cpu::{Machine, CpuCostModel};
+//!
+//! let mut m = Machine::new(CpuCostModel::pentium4_3400());
+//! // A tiny loop: read two values, compare, write one back.
+//! m.read(0x1000);
+//! m.read(0x2000);
+//! m.branch(0x42, true);
+//! m.write(0x1000);
+//! m.alu(2);
+//! assert!(m.cycles() > 0);
+//! assert!(m.time().as_secs() > 0.0);
+//! ```
+
+pub mod branch;
+pub mod cache;
+mod machine;
+pub mod prefetch;
+
+pub use branch::BranchPredictor;
+pub use cache::{Cache, CacheConfig, CacheHierarchy};
+pub use machine::{CpuCostModel, CpuStats, Machine};
+pub use prefetch::StreamPrefetcher;

@@ -1,0 +1,336 @@
+//! The machine façade driven by instrumented algorithms.
+
+use gsm_model::{Hertz, SimTime};
+
+use crate::branch::BranchPredictor;
+use crate::cache::{CacheConfig, CacheHierarchy};
+use crate::prefetch::StreamPrefetcher;
+
+/// Calibrated performance parameters for the simulated CPU.
+#[derive(Clone, Debug)]
+pub struct CpuCostModel {
+    /// Core clock.
+    pub clock: Hertz,
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// L2 cache geometry.
+    pub l2: CacheConfig,
+    /// Cycles charged on every memory access (L1 hit time).
+    pub l1_latency: u64,
+    /// Additional cycles on an L1 miss (L2 hit time).
+    pub l2_latency: u64,
+    /// Additional cycles on an L2 miss (memory access time).
+    pub mem_latency: u64,
+    /// Penalty per mispredicted branch.
+    pub mispredict_penalty: u64,
+    /// Fixed overhead per indirect call (models `qsort`'s comparator
+    /// function pointer; zero for inlined template sorts).
+    pub call_overhead: u64,
+    /// Branch-predictor table entries.
+    pub predictor_entries: usize,
+    /// Hardware prefetcher stream slots (0 = disabled). When a demand L2
+    /// miss lands on a line an active stream predicted, the memory latency
+    /// is replaced by `prefetched_latency`.
+    pub prefetch_streams: usize,
+    /// Residual cycles for a prefetch-covered L2 miss.
+    pub prefetched_latency: u64,
+}
+
+impl CpuCostModel {
+    /// The paper's CPU: 3.4 GHz Intel Pentium IV.
+    ///
+    /// 16 KB 8-way L1 data cache, 1 MB 8-way L2, 64 B lines; access times of
+    /// 1 / 10 / 100 cycles for L1 / L2 / memory and a 17-cycle branch
+    /// mispredict penalty — all as quoted in §3.2 of the paper.
+    pub fn pentium4_3400() -> Self {
+        CpuCostModel {
+            clock: Hertz::from_ghz(3.4),
+            l1: CacheConfig { capacity: 16 << 10, line_bytes: 64, associativity: 8 },
+            l2: CacheConfig { capacity: 1 << 20, line_bytes: 64, associativity: 8 },
+            l1_latency: 1,
+            l2_latency: 10,
+            mem_latency: 100,
+            mispredict_penalty: 17,
+            call_overhead: 0,
+            predictor_entries: 4096,
+            prefetch_streams: 0,
+            prefetched_latency: 15,
+        }
+    }
+
+    /// The same machine with the hardware stream prefetcher enabled
+    /// (8 tracked streams — Prescott-class). Streaming algorithms (merge
+    /// sort, radix scatter reads) hide most of their memory latency;
+    /// partition re-walks benefit less.
+    pub fn pentium4_3400_prefetch() -> Self {
+        CpuCostModel { prefetch_streams: 8, ..Self::pentium4_3400() }
+    }
+
+    /// The same machine running `stdlib.h` `qsort`: every comparison goes
+    /// through a function pointer (the paper's MSVC baseline uses exactly
+    /// the standard `qsort` routine).
+    pub fn pentium4_3400_qsort() -> Self {
+        CpuCostModel { call_overhead: 8, ..Self::pentium4_3400() }
+    }
+
+    /// A zero-cost model for functional tests.
+    pub fn ideal() -> Self {
+        CpuCostModel {
+            clock: Hertz::from_ghz(1.0),
+            l1: CacheConfig { capacity: 1 << 10, line_bytes: 64, associativity: 2 },
+            l2: CacheConfig { capacity: 1 << 12, line_bytes: 64, associativity: 2 },
+            l1_latency: 0,
+            l2_latency: 0,
+            mem_latency: 0,
+            mispredict_penalty: 0,
+            call_overhead: 0,
+            predictor_entries: 16,
+            prefetch_streams: 0,
+            prefetched_latency: 0,
+        }
+    }
+}
+
+/// Event counters accumulated by a [`Machine`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CpuStats {
+    /// Memory reads issued.
+    pub reads: u64,
+    /// Memory writes issued.
+    pub writes: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Branches observed.
+    pub branches: u64,
+    /// Branches mispredicted.
+    pub mispredicts: u64,
+    /// ALU cycles charged.
+    pub alu_cycles: u64,
+    /// Indirect calls charged.
+    pub calls: u64,
+    /// L2 misses whose latency the hardware prefetcher hid.
+    pub prefetch_covered: u64,
+}
+
+impl CpuStats {
+    /// Branch misprediction rate in `[0, 1]`.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// A simulated CPU: instrumented algorithms report their memory accesses,
+/// branches, and ALU work; the machine prices them and accumulates cycles.
+///
+/// Addresses are flat virtual addresses chosen by the caller (e.g. element
+/// `i` of an array based at `B` lives at `B + 4·i`). Distinct data
+/// structures should use disjoint address ranges so they contend for cache
+/// realistically.
+pub struct Machine {
+    model: CpuCostModel,
+    caches: CacheHierarchy,
+    predictor: BranchPredictor,
+    prefetcher: Option<StreamPrefetcher>,
+    cycles: u64,
+    stats: CpuStats,
+}
+
+impl Machine {
+    /// Builds a machine with cold caches.
+    pub fn new(model: CpuCostModel) -> Self {
+        let caches = CacheHierarchy::new(
+            model.l1,
+            model.l2,
+            model.l1_latency,
+            model.l2_latency,
+            model.mem_latency,
+        );
+        let predictor = BranchPredictor::new(model.predictor_entries);
+        let prefetcher =
+            (model.prefetch_streams > 0).then(|| StreamPrefetcher::new(model.prefetch_streams));
+        Machine { model, caches, predictor, prefetcher, cycles: 0, stats: CpuStats::default() }
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &CpuCostModel {
+        &self.model
+    }
+
+    /// Issues a memory read at `addr`.
+    #[inline]
+    pub fn read(&mut self, addr: u64) {
+        self.stats.reads += 1;
+        self.mem_access(addr);
+    }
+
+    /// Issues a memory write at `addr` (write-allocate: costs like a read).
+    #[inline]
+    pub fn write(&mut self, addr: u64) {
+        self.stats.writes += 1;
+        self.mem_access(addr);
+    }
+
+    #[inline]
+    fn mem_access(&mut self, addr: u64) {
+        let before_l1 = self.caches.l1().misses();
+        let before_l2 = self.caches.l2().misses();
+        let mut cycles = self.caches.access(addr);
+        let l2_missed = self.caches.l2().misses() > before_l2;
+        if let Some(pf) = &mut self.prefetcher {
+            let covered = pf.observe(addr / 64);
+            if l2_missed && covered {
+                // The stream prefetcher already pulled the line toward L2:
+                // pay the residual instead of the full memory latency.
+                cycles = cycles - self.model.mem_latency + self.model.prefetched_latency;
+                self.stats.prefetch_covered += 1;
+            }
+        }
+        self.cycles += cycles;
+        self.stats.l1_misses += self.caches.l1().misses() - before_l1;
+        self.stats.l2_misses += self.caches.l2().misses() - before_l2;
+    }
+
+    /// Records a conditional branch at site `pc` with the given outcome,
+    /// charging the mispredict penalty when the predictor is wrong.
+    #[inline]
+    pub fn branch(&mut self, pc: u64, taken: bool) {
+        self.stats.branches += 1;
+        if !self.predictor.observe(pc, taken) {
+            self.stats.mispredicts += 1;
+            self.cycles += self.model.mispredict_penalty;
+        }
+    }
+
+    /// Charges `n` cycles of straight-line ALU/addressing work.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.stats.alu_cycles += n;
+        self.cycles += n;
+    }
+
+    /// Charges one indirect call (comparator function pointer).
+    #[inline]
+    pub fn call(&mut self) {
+        self.stats.calls += 1;
+        self.cycles += self.model.call_overhead;
+    }
+
+    /// Total cycles accumulated.
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Simulated elapsed time (`cycles / clock`).
+    #[inline]
+    pub fn time(&self) -> SimTime {
+        self.model.clock.time_for_f64(self.cycles as f64)
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// Clears cycles, counters, caches, and predictor state.
+    pub fn reset(&mut self) {
+        self.caches.reset();
+        self.predictor.reset();
+        if self.model.prefetch_streams > 0 {
+            self.prefetcher = Some(StreamPrefetcher::new(self.model.prefetch_streams));
+        }
+        self.cycles = 0;
+        self.stats = CpuStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_matches_paper_quotes() {
+        let m = CpuCostModel::pentium4_3400();
+        assert!((m.clock.as_ghz() - 3.4).abs() < 1e-9);
+        assert_eq!(m.l1.capacity, 16 << 10);
+        assert_eq!(m.l2.capacity, 1 << 20);
+        assert_eq!(m.mispredict_penalty, 17);
+        assert_eq!(m.mem_latency, 100);
+    }
+
+    #[test]
+    fn qsort_preset_adds_call_overhead() {
+        assert!(CpuCostModel::pentium4_3400_qsort().call_overhead > 0);
+        assert_eq!(CpuCostModel::pentium4_3400().call_overhead, 0);
+    }
+
+    #[test]
+    fn read_costs_follow_cache_state() {
+        let mut m = Machine::new(CpuCostModel::pentium4_3400());
+        m.read(0);
+        let cold = m.cycles();
+        assert_eq!(cold, 111); // 1 + 10 + 100
+        m.read(4); // same line
+        assert_eq!(m.cycles() - cold, 1);
+        assert_eq!(m.stats().reads, 2);
+        assert_eq!(m.stats().l1_misses, 1);
+        assert_eq!(m.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn branch_penalty_only_on_mispredict() {
+        let mut m = Machine::new(CpuCostModel::pentium4_3400());
+        m.branch(0, true); // counter at weakly-not-taken: mispredict
+        assert_eq!(m.cycles(), 17);
+        m.branch(0, true); // now predicted taken
+        assert_eq!(m.cycles(), 17);
+        assert_eq!(m.stats().mispredict_rate(), 0.5);
+    }
+
+    #[test]
+    fn alu_and_call_charges() {
+        let mut m = Machine::new(CpuCostModel::pentium4_3400_qsort());
+        m.alu(5);
+        m.call();
+        assert_eq!(m.cycles(), 5 + 8);
+        assert_eq!(m.stats().calls, 1);
+    }
+
+    #[test]
+    fn time_converts_at_clock() {
+        let mut m = Machine::new(CpuCostModel::pentium4_3400());
+        m.alu(3_400_000_000);
+        assert!((m.time().as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_a_large_array_is_memory_bound() {
+        // Stream 8 MiB (beyond L2): miss rate must be ~1 per 16 f32s and the
+        // average cost per access must be dominated by memory latency.
+        let mut m = Machine::new(CpuCostModel::pentium4_3400());
+        let n = 2 << 20;
+        for i in 0..n {
+            m.read(i * 4);
+        }
+        let per_access = m.cycles() as f64 / n as f64;
+        // 1 + (110)/16 ≈ 7.9
+        assert!((7.0..9.0).contains(&per_access), "per_access = {per_access}");
+        assert_eq!(m.stats().l2_misses, n / 16);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut m = Machine::new(CpuCostModel::pentium4_3400());
+        m.read(0);
+        m.reset();
+        assert_eq!(m.cycles(), 0);
+        m.read(0);
+        assert_eq!(m.stats().l1_misses, 1, "cache must be cold again");
+    }
+}

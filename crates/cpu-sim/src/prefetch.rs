@@ -1,0 +1,140 @@
+//! Hardware stream prefetching.
+//!
+//! The Pentium IV family shipped a hardware prefetcher that detects
+//! ascending/descending cache-line streams and pulls lines toward L2 ahead
+//! of use. The base calibration (`pentium4_3400`) models it off — the
+//! paper's round numbers (~100-cycle memory accesses) describe demand
+//! misses — but the [`crate::CpuCostModel::pentium4_3400_prefetch`] preset
+//! enables it for sensitivity studies: streaming sorts (merge, radix)
+//! benefit enormously, pointer-chasing and partition re-walks far less,
+//! which shifts the CPU baseline exactly the way a better memory subsystem
+//! would.
+
+/// A table of detected line streams (ascending or descending).
+pub struct StreamPrefetcher {
+    /// Per-slot: last line observed and direction (+1 / −1).
+    slots: Vec<(u64, i64)>,
+    next_victim: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl StreamPrefetcher {
+    /// Creates a prefetcher with `streams` tracking slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is zero (use the cost-model field to disable).
+    pub fn new(streams: usize) -> Self {
+        assert!(streams > 0, "need at least one stream slot");
+        StreamPrefetcher {
+            slots: vec![(u64::MAX, 0); streams],
+            next_victim: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Observes an access to cache line `line`; returns `true` if the line
+    /// was predicted by an existing stream (i.e. a demand miss on it would
+    /// have been covered by the prefetcher).
+    pub fn observe(&mut self, line: u64) -> bool {
+        // Match: the line continues one of the streams.
+        for slot in &mut self.slots {
+            let (last, dir) = *slot;
+            if last == line {
+                // Re-touch within the same line: stream position unchanged.
+                return dir != 0;
+            }
+            if dir != 0 && line == last.wrapping_add(dir as u64) {
+                *slot = (line, dir);
+                self.hits += 1;
+                return true;
+            }
+        }
+        // Train: adjacent to a slot's line establishes a direction.
+        for slot in &mut self.slots {
+            let (last, dir) = *slot;
+            if dir == 0 && last != u64::MAX {
+                if line == last.wrapping_add(1) {
+                    *slot = (line, 1);
+                    return false; // first directed access is still a miss
+                }
+                if line == last.wrapping_sub(1) {
+                    *slot = (line, -1);
+                    return false;
+                }
+            }
+        }
+        // Allocate: evict round-robin.
+        self.slots[self.next_victim] = (line, 0);
+        self.next_victim = (self.next_victim + 1) % self.slots.len();
+        self.misses += 1;
+        false
+    }
+
+    /// Lines covered by an active stream so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Accesses that started or restarted a stream.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_is_covered_after_training() {
+        let mut p = StreamPrefetcher::new(4);
+        assert!(!p.observe(100)); // allocate
+        assert!(!p.observe(101)); // train direction
+        for line in 102..200 {
+            assert!(p.observe(line), "line {line} must be predicted");
+        }
+    }
+
+    #[test]
+    fn descending_streams_work() {
+        let mut p = StreamPrefetcher::new(4);
+        let _ = p.observe(500);
+        let _ = p.observe(499);
+        for line in (400..499).rev() {
+            assert!(p.observe(line));
+        }
+    }
+
+    #[test]
+    fn interleaved_streams_within_capacity() {
+        let mut p = StreamPrefetcher::new(4);
+        // Two interleaved ascending streams.
+        let _ = p.observe(1000);
+        let _ = p.observe(2000);
+        let _ = p.observe(1001);
+        let _ = p.observe(2001);
+        for i in 2..50u64 {
+            assert!(p.observe(1000 + i));
+            assert!(p.observe(2000 + i));
+        }
+    }
+
+    #[test]
+    fn random_accesses_are_not_predicted() {
+        let mut p = StreamPrefetcher::new(8);
+        let mut x = 0x12345678u64;
+        let mut predicted = 0;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if p.observe(x % 1_000_000) {
+                predicted += 1;
+            }
+        }
+        assert!(predicted < 200, "{predicted} random lines predicted");
+    }
+}

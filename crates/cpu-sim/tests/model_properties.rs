@@ -1,0 +1,91 @@
+//! Property tests for the CPU timing model.
+
+use gsm_cpu::{Cache, CacheConfig, CpuCostModel, Machine};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hits + misses always equals the access count, for arbitrary traces.
+    #[test]
+    fn cache_accounting_is_total(addrs in prop::collection::vec(0u64..1_000_000, 1..2000)) {
+        let mut c = Cache::new(CacheConfig { capacity: 4096, line_bytes: 64, associativity: 4 });
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    /// Accessing the same address twice in a row always hits the second
+    /// time (no trace can evict between back-to-back accesses).
+    #[test]
+    fn immediate_reuse_hits(addrs in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut c = Cache::new(CacheConfig { capacity: 4096, line_bytes: 64, associativity: 4 });
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.access(a), "address {} must hit on immediate reuse", a);
+        }
+    }
+
+    /// A larger cache never misses more than a smaller one of the same
+    /// geometry on the same trace (inclusion property of LRU).
+    #[test]
+    fn lru_miss_count_is_monotone_in_capacity(
+        addrs in prop::collection::vec(0u64..100_000, 1..2000),
+    ) {
+        let mut small = Cache::new(CacheConfig { capacity: 2048, line_bytes: 64, associativity: 32 });
+        let mut large = Cache::new(CacheConfig { capacity: 8192, line_bytes: 64, associativity: 128 });
+        for &a in &addrs {
+            small.access(a);
+            large.access(a);
+        }
+        // Full associativity (sets = 1) makes LRU a stack algorithm.
+        prop_assert!(large.misses() <= small.misses());
+    }
+
+    /// Machine cycle counts are reproducible: the same trace gives the same
+    /// cycles.
+    #[test]
+    fn machine_is_deterministic(
+        ops in prop::collection::vec((0u64..100_000, 0u8..3), 1..1000),
+    ) {
+        let run = || {
+            let mut m = Machine::new(CpuCostModel::pentium4_3400());
+            for &(addr, kind) in &ops {
+                match kind {
+                    0 => m.read(addr),
+                    1 => m.write(addr),
+                    _ => m.branch(addr % 64, addr % 3 == 0),
+                }
+            }
+            m.cycles()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Analytic check: strided sweeps have exactly predictable miss counts.
+#[test]
+fn strided_sweep_miss_counts_match_analytic_model() {
+    for stride_elems in [1usize, 2, 4, 8, 16, 32] {
+        let mut c =
+            Cache::new(CacheConfig { capacity: 8 << 10, line_bytes: 64, associativity: 8 });
+        let elems = 64 << 10; // 256 KB touched: far beyond the 8 KB cache
+        let mut accesses = 0u64;
+        let mut i = 0usize;
+        while i < elems {
+            c.access((i * 4) as u64);
+            accesses += 1;
+            i += stride_elems;
+        }
+        // Distinct lines touched per access: stride of 16 f32s = 64 B = one
+        // line per access; smaller strides share lines.
+        let lines_per_access = (stride_elems * 4).min(64) as f64 / 64.0;
+        let expected = (accesses as f64 * lines_per_access).round() as u64;
+        assert!(
+            (c.misses() as i64 - expected as i64).unsigned_abs() <= expected / 50 + 2,
+            "stride {stride_elems}: misses {} vs expected {expected}",
+            c.misses()
+        );
+    }
+}

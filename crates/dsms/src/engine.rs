@@ -1,0 +1,559 @@
+//! The continuous-query engine: many registered queries, one shared
+//! window pipeline.
+//!
+//! Sharing works because every window-based summary in the system consumes
+//! the *same input*: a sorted window. The engine picks one window size that
+//! satisfies every query (the largest required minimum — lossy counting's
+//! guarantee only tightens with bigger buckets, and quantile sampling is
+//! window-size agnostic), sorts each window exactly once on the configured
+//! device, and fans the sorted run out to all summaries. The sort — 80–95 %
+//! of the work (paper §3.2) — is paid once regardless of how many queries
+//! are registered.
+
+use gsm_core::{price_ops, BatchPipeline, BitPrefixHierarchy, Engine, HhhEntry, TimeBreakdown};
+use gsm_model::SimTime;
+use gsm_sketch::{ExpHistogram, HhhSummary, LossyCounting, OpCounter};
+
+/// Handle to a registered continuous query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueryId(usize);
+
+/// The answer to a generic [`StreamEngine::query`] call.
+#[derive(Clone, PartialEq, Debug)]
+pub enum QueryAnswer {
+    /// A φ-quantile value.
+    Quantile(f32),
+    /// Heavy hitters at a support threshold.
+    HeavyHitters(Vec<(f32, u64)>),
+    /// Hierarchical heavy hitters at a support threshold.
+    Hhh(Vec<HhhEntry>),
+}
+
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
+enum QuerySpec {
+    Quantile { eps: f64 },
+    Frequency { eps: f64 },
+    Hhh { eps: f64, hierarchy: BitPrefixHierarchy },
+}
+
+impl QuerySpec {
+    /// The smallest shared window this query can accept.
+    fn min_window(&self) -> usize {
+        match self {
+            // Quantile sampling works at any window size; 1024 keeps the
+            // sort phase dominant (see gsm-core).
+            QuerySpec::Quantile { .. } => 1024,
+            QuerySpec::Frequency { eps } | QuerySpec::Hhh { eps, .. } => {
+                (1.0 / eps).ceil() as usize
+            }
+        }
+    }
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+enum QuerySketch {
+    Quantile(ExpHistogram),
+    Frequency(LossyCounting),
+    Hhh(HhhSummary),
+}
+
+/// Serialized engine state: query definitions plus their summaries.
+///
+/// Device ledgers (simulated time) are *not* checkpointed — they describe
+/// the process, not the stream — so a restored engine's clock starts at
+/// zero while its answers carry the full history.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Checkpoint {
+    window: usize,
+    count: u64,
+    n_hint: u64,
+    specs: Vec<QuerySpec>,
+    sketches: Vec<QuerySketch>,
+}
+
+/// A registry of continuous queries over one input stream, sharing a single
+/// engine-offloaded sorting pipeline.
+///
+/// ```
+/// use gsm_core::Engine;
+/// use gsm_dsms::StreamEngine;
+///
+/// let mut eng = StreamEngine::new(Engine::Host).with_n_hint(10_000);
+/// let q = eng.register_quantile(0.02);
+/// let f = eng.register_frequency(0.005);
+/// eng.push_all((0..10_000).map(|i| (i % 100) as f32));
+/// assert!((40.0..60.0).contains(&eng.quantile(q, 0.5)));
+/// assert_eq!(eng.heavy_hitters(f, 0.009).len(), 100); // each value is 1%
+/// ```
+pub struct StreamEngine {
+    engine: Engine,
+    n_hint: u64,
+    specs: Vec<QuerySpec>,
+    sketches: Vec<QuerySketch>,
+    pipeline: Option<BatchPipeline>,
+    window: usize,
+    buffer: Vec<f32>,
+    count: u64,
+}
+
+impl StreamEngine {
+    /// Creates an engine with no registered queries.
+    pub fn new(engine: Engine) -> Self {
+        StreamEngine {
+            engine,
+            n_hint: 100_000_000,
+            specs: Vec::new(),
+            sketches: Vec::new(),
+            pipeline: None,
+            window: 0,
+            buffer: Vec::new(),
+            count: 0,
+        }
+    }
+
+    /// Hints the expected stream length (affects quantile level budgets).
+    pub fn with_n_hint(mut self, n: u64) -> Self {
+        self.n_hint = n;
+        self
+    }
+
+    /// Registers an ε-approximate quantile query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has already started.
+    pub fn register_quantile(&mut self, eps: f64) -> QueryId {
+        self.register(QuerySpec::Quantile { eps })
+    }
+
+    /// Registers an ε-approximate frequency / heavy-hitter query.
+    pub fn register_frequency(&mut self, eps: f64) -> QueryId {
+        self.register(QuerySpec::Frequency { eps })
+    }
+
+    /// Registers an ε-approximate hierarchical heavy-hitter query.
+    pub fn register_hhh(&mut self, eps: f64, hierarchy: BitPrefixHierarchy) -> QueryId {
+        self.register(QuerySpec::Hhh { eps, hierarchy })
+    }
+
+    fn register(&mut self, spec: QuerySpec) -> QueryId {
+        assert!(
+            self.pipeline.is_none(),
+            "register all queries before pushing stream data"
+        );
+        self.specs.push(spec);
+        QueryId(self.specs.len() - 1)
+    }
+
+    /// The shared window size (available after sealing — i.e. after the
+    /// first push or an explicit [`Self::seal`]).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Elements pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Builds the shared pipeline and sketches. Called automatically by the
+    /// first [`Self::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no queries are registered.
+    pub fn seal(&mut self) {
+        if self.pipeline.is_some() {
+            return;
+        }
+        assert!(!self.specs.is_empty(), "register at least one query");
+        let window = self.specs.iter().map(QuerySpec::min_window).max().expect("non-empty");
+        self.window = window;
+        self.buffer = Vec::with_capacity(window);
+        self.sketches = self
+            .specs
+            .iter()
+            .map(|spec| match spec {
+                QuerySpec::Quantile { eps } => QuerySketch::Quantile(ExpHistogram::new(
+                    *eps,
+                    window,
+                    self.n_hint.max(window as u64),
+                )),
+                QuerySpec::Frequency { eps } => {
+                    QuerySketch::Frequency(LossyCounting::with_window(*eps, window))
+                }
+                QuerySpec::Hhh { eps, hierarchy } => QuerySketch::Hhh(HhhSummary::with_window(
+                    *eps,
+                    window,
+                    hierarchy.clone(),
+                )),
+            })
+            .collect();
+        self.pipeline = Some(BatchPipeline::new(self.engine));
+    }
+
+    /// Pushes one stream element into every registered query.
+    pub fn push(&mut self, value: f32) {
+        self.seal();
+        debug_assert!(value.is_finite(), "stream values must be finite");
+        self.buffer.push(value);
+        self.count += 1;
+        if self.buffer.len() == self.window {
+            let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
+            self.submit(w);
+        }
+    }
+
+    /// Pushes every element of an iterator.
+    pub fn push_all<I: IntoIterator<Item = f32>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    fn submit(&mut self, window: Vec<f32>) {
+        let pipeline = self.pipeline.as_mut().expect("sealed");
+        for sorted in pipeline.push_window(window) {
+            for sketch in &mut self.sketches {
+                match sketch {
+                    QuerySketch::Quantile(q) => q.push_sorted_window(&sorted),
+                    QuerySketch::Frequency(f) => f.push_sorted_window(&sorted),
+                    QuerySketch::Hhh(h) => h.push_sorted_window(&sorted),
+                }
+            }
+        }
+    }
+
+    /// Forces buffered data through the shared pipeline.
+    pub fn flush(&mut self) {
+        self.seal();
+        if !self.buffer.is_empty() {
+            let w = core::mem::take(&mut self.buffer);
+            self.submit(w);
+        }
+        let pipeline = self.pipeline.as_mut().expect("sealed");
+        let rest = pipeline.flush();
+        for sorted in rest {
+            for sketch in &mut self.sketches {
+                match sketch {
+                    QuerySketch::Quantile(q) => q.push_sorted_window(&sorted),
+                    QuerySketch::Frequency(f) => f.push_sorted_window(&sorted),
+                    QuerySketch::Hhh(h) => h.push_sorted_window(&sorted),
+                }
+            }
+        }
+    }
+
+    /// Answers a quantile query. Flushes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a quantile query.
+    pub fn quantile(&mut self, id: QueryId, phi: f64) -> f32 {
+        self.flush();
+        match &self.sketches[id.0] {
+            QuerySketch::Quantile(q) => q.query(phi),
+            _ => panic!("query {id:?} is not a quantile query"),
+        }
+    }
+
+    /// Answers a heavy-hitters query at support `s`. Flushes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a frequency query.
+    pub fn heavy_hitters(&mut self, id: QueryId, s: f64) -> Vec<(f32, u64)> {
+        self.flush();
+        match &self.sketches[id.0] {
+            QuerySketch::Frequency(f) => f.heavy_hitters(s),
+            _ => panic!("query {id:?} is not a frequency query"),
+        }
+    }
+
+    /// Answers a hierarchical heavy-hitters query at support `s`. Flushes
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an HHH query.
+    pub fn hhh(&mut self, id: QueryId, s: f64) -> Vec<HhhEntry> {
+        self.flush();
+        match &self.sketches[id.0] {
+            QuerySketch::Hhh(h) => h.query(s),
+            _ => panic!("query {id:?} is not a hierarchical query"),
+        }
+    }
+
+    /// Generic query interface: `param` is φ for quantile queries and the
+    /// support `s` otherwise.
+    pub fn query(&mut self, id: QueryId, param: f64) -> QueryAnswer {
+        self.flush();
+        match &self.sketches[id.0] {
+            QuerySketch::Quantile(q) => QueryAnswer::Quantile(q.query(param)),
+            QuerySketch::Frequency(f) => QueryAnswer::HeavyHitters(f.heavy_hitters(param)),
+            QuerySketch::Hhh(h) => QueryAnswer::Hhh(h.query(param)),
+        }
+    }
+
+    /// Where the simulated time went, across the shared sort and every
+    /// query's summary maintenance.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        let (sort, transfer) = self
+            .pipeline
+            .as_ref()
+            .map(|p| (p.sort_time(), p.transfer_time()))
+            .unwrap_or((SimTime::ZERO, SimTime::ZERO));
+        let mut hist = OpCounter::default();
+        let mut merge = OpCounter::default();
+        let mut compress = OpCounter::default();
+        for sketch in &self.sketches {
+            match sketch {
+                QuerySketch::Quantile(q) => {
+                    merge.absorb(q.merge_ops());
+                    compress.absorb(q.prune_ops());
+                }
+                QuerySketch::Frequency(f) => {
+                    hist.absorb(f.ops().histogram);
+                    merge.absorb(f.ops().merge);
+                    compress.absorb(f.ops().compress);
+                }
+                QuerySketch::Hhh(h) => {
+                    for ops in h.level_ops() {
+                        hist.absorb(ops.histogram);
+                        merge.absorb(ops.merge);
+                        compress.absorb(ops.compress);
+                    }
+                }
+            }
+        }
+        TimeBreakdown {
+            sort: sort + price_ops(hist),
+            transfer,
+            merge: price_ops(merge),
+            compress: price_ops(compress),
+        }
+    }
+
+    /// Total simulated time.
+    pub fn total_time(&self) -> SimTime {
+        self.breakdown().total()
+    }
+
+    /// Serializes the engine's query state to JSON (flushes first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no queries are registered.
+    pub fn checkpoint(&mut self) -> String {
+        self.flush();
+        let cp = Checkpoint {
+            window: self.window,
+            count: self.count,
+            n_hint: self.n_hint,
+            specs: self.specs.clone(),
+            sketches: core::mem::take(&mut self.sketches),
+        };
+        let json = serde_json::to_string(&cp).expect("summaries serialize infallibly");
+        self.sketches = cp.sketches;
+        json
+    }
+
+    /// Restores an engine from a [`Self::checkpoint`] string onto a fresh
+    /// pipeline for `engine`. Summaries resume exactly where they left off;
+    /// the simulated-time ledger restarts at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON error for malformed input.
+    pub fn restore(engine: Engine, json: &str) -> Result<Self, serde_json::Error> {
+        let cp: Checkpoint = serde_json::from_str(json)?;
+        let mut eng = StreamEngine::new(engine).with_n_hint(cp.n_hint);
+        eng.specs = cp.specs;
+        eng.sketches = cp.sketches;
+        eng.window = cp.window;
+        eng.count = cp.count;
+        eng.buffer = Vec::with_capacity(cp.window);
+        eng.pipeline = Some(BatchPipeline::new(engine));
+        Ok(eng)
+    }
+
+    /// Sustained service rate so far, in elements per simulated second.
+    ///
+    /// Returns `f64::INFINITY` before any time has been charged.
+    pub fn service_rate(&self) -> f64 {
+        let t = self.total_time().as_secs();
+        if t == 0.0 {
+            f64::INFINITY
+        } else {
+            self.count as f64 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mixed_stream(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                if rng.random_range(0..5) == 0 {
+                    rng.random_range(0..16) as f32
+                } else {
+                    rng.random_range(0..65_536) as f32
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shared_pipeline_serves_all_query_kinds() {
+        let data = mixed_stream(60_000, 1);
+        let mut eng = StreamEngine::new(Engine::GpuSim).with_n_hint(60_000);
+        let q = eng.register_quantile(0.01);
+        let f = eng.register_frequency(0.001);
+        let h = eng.register_hhh(0.001, BitPrefixHierarchy::new(vec![4, 8]));
+        eng.push_all(data.iter().copied());
+
+        let median = eng.quantile(q, 0.5);
+        assert!(median.is_finite());
+        let hot = eng.heavy_hitters(f, 0.01);
+        assert!(!hot.is_empty(), "the 16 hot values are ~1.25% each");
+        let hhh = eng.hhh(h, 0.1);
+        assert!(
+            hhh.iter().any(|e| e.level > 0),
+            "hot values share a 4-bit prefix (20% total): {hhh:?}"
+        );
+        assert_eq!(eng.count(), 60_000);
+        assert_eq!(eng.query_count(), 3);
+    }
+
+    #[test]
+    fn answers_match_standalone_estimators() {
+        // Sharing must not change any answer: compare against the
+        // standalone estimators at the same window size.
+        let data = mixed_stream(40_000, 2);
+        let mut eng = StreamEngine::new(Engine::Host).with_n_hint(40_000);
+        let q = eng.register_quantile(0.01);
+        let f = eng.register_frequency(0.001);
+        eng.push_all(data.iter().copied());
+        let window = eng.window();
+
+        let mut q_alone = gsm_core::QuantileEstimator::builder(0.01)
+            .engine(Engine::Host)
+            .n_hint(40_000)
+            .window(window)
+            .build();
+        q_alone.push_all(data.iter().copied());
+        assert_eq!(eng.quantile(q, 0.5), q_alone.query(0.5));
+
+        let mut f_alone = LossyCounting::with_window(0.001, window);
+        for chunk in data.chunks(window) {
+            let mut w = chunk.to_vec();
+            w.sort_by(f32::total_cmp);
+            f_alone.push_sorted_window(&w);
+        }
+        assert_eq!(eng.heavy_hitters(f, 0.01), f_alone.heavy_hitters(0.01));
+    }
+
+    #[test]
+    fn shared_sort_amortizes_across_queries() {
+        // Adding queries must increase total time sublinearly: the sort is
+        // shared, only summary maintenance grows.
+        let data = mixed_stream(50_000, 3);
+        let time_with = |kinds: usize| {
+            let mut eng = StreamEngine::new(Engine::CpuSim).with_n_hint(50_000);
+            let _ = eng.register_frequency(0.001);
+            if kinds >= 2 {
+                let _ = eng.register_quantile(0.01);
+            }
+            if kinds >= 3 {
+                let _ = eng.register_hhh(0.001, BitPrefixHierarchy::new(vec![8]));
+            }
+            eng.push_all(data.iter().copied());
+            eng.flush();
+            eng.total_time().as_secs()
+        };
+        let one = time_with(1);
+        let three = time_with(3);
+        assert!(
+            three < 1.6 * one,
+            "3 queries must cost far less than 3x one query: {one:.4}s -> {three:.4}s"
+        );
+    }
+
+    #[test]
+    fn window_is_max_of_query_minimums() {
+        let mut eng = StreamEngine::new(Engine::Host);
+        let _ = eng.register_frequency(0.01); // needs >= 100
+        let _ = eng.register_frequency(0.0005); // needs >= 2000
+        let _ = eng.register_quantile(0.1); // needs >= 1024
+        eng.seal();
+        assert_eq!(eng.window(), 2000);
+    }
+
+    #[test]
+    fn engines_agree() {
+        let data = mixed_stream(30_000, 4);
+        let answers: Vec<_> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
+            .into_iter()
+            .map(|e| {
+                let mut eng = StreamEngine::new(e).with_n_hint(30_000);
+                let f = eng.register_frequency(0.001);
+                eng.push_all(data.iter().copied());
+                eng.heavy_hitters(f, 0.01)
+            })
+            .collect();
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[1], answers[2]);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip() {
+        let data = mixed_stream(40_000, 9);
+        let mut eng = StreamEngine::new(Engine::Host).with_n_hint(80_000);
+        let q = eng.register_quantile(0.01);
+        let f = eng.register_frequency(0.001);
+        eng.push_all(data[..20_000].iter().copied());
+        let json = eng.checkpoint();
+
+        // Restore on a different engine and continue the stream.
+        let mut restored = StreamEngine::restore(Engine::GpuSim, &json).expect("restore");
+        assert_eq!(restored.count(), 20_000);
+        eng.push_all(data[20_000..].iter().copied());
+        restored.push_all(data[20_000..].iter().copied());
+        assert_eq!(eng.quantile(q, 0.5), restored.quantile(q, 0.5));
+        assert_eq!(eng.heavy_hitters(f, 0.01), restored.heavy_hitters(f, 0.01));
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        assert!(StreamEngine::restore(Engine::Host, "not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "before pushing")]
+    fn late_registration_rejected() {
+        let mut eng = StreamEngine::new(Engine::Host);
+        let _ = eng.register_quantile(0.05);
+        eng.push(1.0);
+        let _ = eng.register_frequency(0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a quantile")]
+    fn wrong_query_kind_panics() {
+        let mut eng = StreamEngine::new(Engine::Host);
+        let f = eng.register_frequency(0.01);
+        eng.push_all((0..500).map(|i| (i % 50) as f32));
+        let _ = eng.quantile(f, 0.5);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! A miniature data-stream management layer (DSMS).
+//!
+//! The paper opens with the systems problem its algorithms serve (§1):
+//! *"the underlying data stream management system (DSMS) can become
+//! resource limited. This problem is mainly due to insufficient time for
+//! the underlying CPU to process each stream element … In such cases, some
+//! DSMS resort to load-shedding, i.e. dropping excess data items. … Ideally,
+//! we would like to develop new hardware-accelerated solutions that can
+//! offer improved processing power … to keep up with the update rate."*
+//!
+//! This crate supplies that surrounding system:
+//!
+//! * [`engine::StreamEngine`] — a registry of **continuous queries**
+//!   (quantiles, heavy hitters, hierarchical heavy hitters) that all feed
+//!   from **one shared window pipeline**: the stream is sorted once per
+//!   window on the configured engine and every registered summary folds in
+//!   the same sorted run. Sharing is what makes the co-processor pay off
+//!   system-wide — the expensive phase is common to every query.
+//! * [`shedding`] — arrival-rate modeling and **load shedding**: given an
+//!   offered rate and the engine's measured (simulated) service rate, a
+//!   uniform decimating shedder drops the excess, and the report quantifies
+//!   both the shed fraction and the statistical price.
+//!
+//! Everything runs in simulated time, so "can this configuration keep up
+//! with 10 M elements/s?" is answerable on a laptop.
+
+pub mod engine;
+pub mod shedding;
+
+pub use engine::{QueryAnswer, QueryId, StreamEngine};
+pub use shedding::{run_at_rate, LoadShedder, ShedReport};

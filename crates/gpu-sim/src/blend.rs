@@ -1,0 +1,123 @@
+//! The blend unit: per-channel conditional assignment against the
+//! framebuffer.
+//!
+//! Paper §4.2.2: *"The conditional assignment is a vector operation and can
+//! perform comparisons between the four color components (i.e. RGBA) of the
+//! two inputs at each fragment simultaneously. The conditional assignment
+//! stores either the minimum or the maximum of these color components in the
+//! frame buffer."* This is GL's `glBlendEquation(GL_MIN / GL_MAX)` path —
+//! fixed-function, no fragment program, and the reason the paper's sorter is
+//! an order of magnitude cheaper per comparator than shader-based bitonic
+//! sort.
+
+use crate::surface::Texel;
+
+/// A blend equation combining an incoming fragment color (`src`) with the
+/// color already in the framebuffer (`dst`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlendOp {
+    /// `out = src` — plain write; used by the `Copy` routine. Does not read
+    /// the framebuffer.
+    Replace,
+    /// `out = min(src, dst)` per channel — the comparator's "keep the
+    /// smaller" half.
+    Min,
+    /// `out = max(src, dst)` per channel — the comparator's "keep the
+    /// larger" half.
+    Max,
+    /// `out = src + dst` per channel — used for histogram-style counting
+    /// experiments.
+    Add,
+}
+
+impl BlendOp {
+    /// Applies the blend equation to one texel pair.
+    ///
+    /// NaN inputs are rejected in debug builds: GL `MIN`/`MAX` blending has
+    /// unspecified NaN behaviour and the sorting layers guarantee NaN-free
+    /// data.
+    #[inline]
+    pub fn apply(self, src: Texel, dst: Texel) -> Texel {
+        debug_assert!(
+            src.iter().chain(dst.iter()).all(|c| !c.is_nan()),
+            "NaN reached the blend unit"
+        );
+        match self {
+            BlendOp::Replace => src,
+            BlendOp::Min => [
+                src[0].min(dst[0]),
+                src[1].min(dst[1]),
+                src[2].min(dst[2]),
+                src[3].min(dst[3]),
+            ],
+            BlendOp::Max => [
+                src[0].max(dst[0]),
+                src[1].max(dst[1]),
+                src[2].max(dst[2]),
+                src[3].max(dst[3]),
+            ],
+            BlendOp::Add => [
+                src[0] + dst[0],
+                src[1] + dst[1],
+                src[2] + dst[2],
+                src[3] + dst[3],
+            ],
+        }
+    }
+
+    /// Whether this equation reads the destination (framebuffer) value.
+    ///
+    /// `Replace` is write-only; the cost model charges no framebuffer-read
+    /// bandwidth for it.
+    #[inline]
+    pub fn reads_dst(self) -> bool {
+        !matches!(self, BlendOp::Replace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: Texel = [1.0, 5.0, -2.0, 0.0];
+    const D: Texel = [2.0, 4.0, -3.0, 0.0];
+
+    #[test]
+    fn replace_ignores_dst() {
+        assert_eq!(BlendOp::Replace.apply(S, D), S);
+        assert!(!BlendOp::Replace.reads_dst());
+    }
+
+    #[test]
+    fn min_per_channel() {
+        assert_eq!(BlendOp::Min.apply(S, D), [1.0, 4.0, -3.0, 0.0]);
+        assert!(BlendOp::Min.reads_dst());
+    }
+
+    #[test]
+    fn max_per_channel() {
+        assert_eq!(BlendOp::Max.apply(S, D), [2.0, 5.0, -2.0, 0.0]);
+    }
+
+    #[test]
+    fn add_per_channel() {
+        assert_eq!(BlendOp::Add.apply(S, D), [3.0, 9.0, -5.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_are_commutative_and_idempotent() {
+        for op in [BlendOp::Min, BlendOp::Max] {
+            assert_eq!(op.apply(S, D), op.apply(D, S));
+            assert_eq!(op.apply(S, S), S);
+        }
+    }
+
+    #[test]
+    fn infinity_is_absorbing_for_min_padding() {
+        // The sorter pads non-power-of-two inputs with +∞; MIN must never
+        // pick the padding over real data.
+        let pad: Texel = [f32::INFINITY; 4];
+        assert_eq!(BlendOp::Min.apply(pad, D), D);
+        assert_eq!(BlendOp::Max.apply(pad, D), pad);
+    }
+}

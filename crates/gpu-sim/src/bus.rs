@@ -1,0 +1,64 @@
+//! The CPU↔GPU bus model (AGP 8X on the paper's testbed).
+//!
+//! Paper §4.1: *"The data bus can achieve a theoretical peak bandwidth rate
+//! of 4 GBps. In practice, the data transfer rates are much lower
+//! (~800 MBps)"*. The co-processor protocol is designed around this: one
+//! upload and one readback per sorted batch, everything else stays on the
+//! GPU.
+
+use gsm_model::{Bytes, SimTime};
+
+/// Performance model of the bus connecting CPU and GPU.
+#[derive(Clone, Debug)]
+pub struct BusModel {
+    /// Effective (observed, not theoretical) bandwidth in bytes/second.
+    pub effective_bandwidth: f64,
+    /// Fixed per-transfer latency (DMA setup, driver round trip).
+    pub latency: SimTime,
+}
+
+impl BusModel {
+    /// AGP 8X as measured by the paper: ~800 MB/s effective, with a
+    /// transfer-setup latency of 10 µs.
+    pub fn agp_8x() -> Self {
+        BusModel { effective_bandwidth: 800e6, latency: SimTime::from_micros(10.0) }
+    }
+
+    /// A free bus for functional tests.
+    pub fn ideal() -> Self {
+        BusModel { effective_bandwidth: 1e18, latency: SimTime::ZERO }
+    }
+
+    /// Simulated time to move `bytes` across the bus (either direction).
+    #[inline]
+    pub fn transfer_time(&self, bytes: Bytes) -> SimTime {
+        self.latency + bytes.time_at_bandwidth(self.effective_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agp_numbers() {
+        let bus = BusModel::agp_8x();
+        // 8 M f32 values (32 MiB) ≈ 41.9 ms + 10 µs latency.
+        let t = bus.transfer_time(Bytes::of_f32s(8 << 20));
+        assert!((t.as_millis() - 41.953).abs() < 0.05);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_transfers() {
+        let bus = BusModel::agp_8x();
+        let t = bus.transfer_time(Bytes::new(64));
+        assert!(t.as_micros() >= 10.0);
+        assert!(t.as_micros() < 10.2);
+    }
+
+    #[test]
+    fn ideal_bus_is_free() {
+        let bus = BusModel::ideal();
+        assert!(bus.transfer_time(Bytes::new(1 << 30)).as_secs() < 1e-6);
+    }
+}

@@ -1,0 +1,284 @@
+//! The GPU cost model: translates executed render passes into simulated time
+//! on a calibrated device.
+//!
+//! # Calibration (GeForce 6800 Ultra, paper §3.3 and §4.5)
+//!
+//! | Resource | Paper figure | Model parameter |
+//! |---|---|---|
+//! | Fragment pipes | 16, each 4-wide vector ⇒ 64 ops/clock | `fragment_pipes`, `vector_width` |
+//! | Core clock | 400 MHz | `core_clock` |
+//! | Video memory bandwidth | 35.2 GB/s (256-bit @ 1.2 GHz) | `mem_bandwidth` |
+//! | Blend cost | 6–7 cycles per blending operation (measured in §4.5) | emerges from `blend_cycles = 5.0` plus the per-step framebuffer→texture blit |
+//! | Pass setup | constant overhead that dominates for n < 16 K (§4.5) | `pass_overhead` |
+//!
+//! The paper *derives* its 6–7 cycles/blend figure by dividing observed total
+//! sort time by the number of blend operations, so it folds in the per-step
+//! copy pass (Routine 4.3, line 8). We therefore set the raw blend cost to
+//! 5.0 cycles and model the blit separately; the E6 harness checks that the
+//! *effective* figure computed the paper's way lands in the 6–7 band.
+//!
+//! A render pass is limited by the slower of its compute pipeline and its
+//! DRAM traffic; texture and framebuffer caches filter most of the raw fetch
+//! traffic (the sorter's mirrored access pattern is highly local), modeled as
+//! constant miss rates. With the defaults the PBSN workload is
+//! **compute-bound**, matching the paper's blend-throughput analysis.
+
+use gsm_model::{Hertz, SimTime};
+
+/// Byte size of one RGBA-f32 texel.
+pub(crate) const TEXEL_BYTES: u64 = 16;
+
+/// Calibrated performance parameters for the simulated GPU.
+///
+/// Construct via a preset ([`GpuCostModel::geforce_6800_ultra`] for the
+/// paper's device, [`GpuCostModel::ideal`] for functional testing) and
+/// override fields as needed for sensitivity studies.
+#[derive(Clone, Debug)]
+pub struct GpuCostModel {
+    /// Core (computational) clock.
+    pub core_clock: Hertz,
+    /// Number of parallel fragment pipelines.
+    pub fragment_pipes: u32,
+    /// SIMD width of each pipeline (RGBA lanes).
+    pub vector_width: u32,
+    /// Effective cycles per *texel* for a fixed-function blended fragment
+    /// (covers fetch + blend + write issue; the paper measures 6–7).
+    pub blend_cycles: f64,
+    /// Effective cycles per texel for a `Replace` (copy) fragment.
+    pub replace_cycles: f64,
+    /// Video-memory bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+    /// Fraction of texture-fetch bytes that miss the texture cache and hit
+    /// DRAM.
+    pub tex_cache_miss_rate: f64,
+    /// Fraction of framebuffer-read bytes that miss the ROP cache and hit
+    /// DRAM.
+    pub fb_cache_miss_rate: f64,
+    /// Effective cycles per fragment for a depth-only (color-write-off)
+    /// pass. NV40-class hardware runs z-only rendering at double rate.
+    pub depth_cycles: f64,
+    /// Effective cycles per texel for a framebuffer→texture blit
+    /// (`glCopyTexSubImage`).
+    pub blit_cycles: f64,
+    /// Modeled DRAM traffic per blitted texel, in bytes (color compression
+    /// keeps this below the raw 32 B read+write).
+    pub blit_dram_bytes_per_texel: f64,
+    /// Driver + state-change + submit cost per render pass (charged once per
+    /// pass, on the CPU side of the fence).
+    pub pass_overhead: SimTime,
+    /// Vertex-processing cost per quad within a pass.
+    pub quad_overhead: SimTime,
+}
+
+impl GpuCostModel {
+    /// The paper's device: NVIDIA GeForce 6800 Ultra.
+    ///
+    /// 16 fragment pipes × 4-wide vectors @ 400 MHz; 35.2 GB/s video memory;
+    /// raw blend at 4.75 cycles/texel so that the *effective* figure —
+    /// total sort cycles divided by blend count, the way §4.5 measures it —
+    /// lands at 6–7 once the per-step blit is folded in; pass overhead set
+    /// so that GPU sorting is ~3× slower than CPU quicksort below n ≈ 16 K,
+    /// as observed in §4.5.
+    pub fn geforce_6800_ultra() -> Self {
+        GpuCostModel {
+            core_clock: Hertz::from_mhz(400.0),
+            fragment_pipes: 16,
+            vector_width: 4,
+            blend_cycles: 4.75,
+            replace_cycles: 2.0,
+            mem_bandwidth: 35.2e9,
+            tex_cache_miss_rate: 0.10,
+            fb_cache_miss_rate: 0.25,
+            depth_cycles: 0.5,
+            blit_cycles: 1.5,
+            blit_dram_bytes_per_texel: 8.0,
+            pass_overhead: SimTime::from_micros(3.0),
+            quad_overhead: SimTime::from_nanos(100.0),
+        }
+    }
+
+    /// The next shipped generation: NVIDIA GeForce 7800 GTX (mid-2005).
+    ///
+    /// 24 fragment pipes @ 430 MHz, 54.4 GB/s video memory. Used by the
+    /// E10 harness to reproduce §4.5's claim that GPU rasterization
+    /// throughput grows faster than CPU clocks.
+    pub fn geforce_7800_gtx() -> Self {
+        GpuCostModel {
+            core_clock: Hertz::from_mhz(430.0),
+            fragment_pipes: 24,
+            mem_bandwidth: 54.4e9,
+            ..Self::geforce_6800_ultra()
+        }
+    }
+
+    /// A zero-cost model for functional tests: every operation takes zero
+    /// simulated time.
+    pub fn ideal() -> Self {
+        GpuCostModel {
+            core_clock: Hertz::from_ghz(1.0),
+            fragment_pipes: 1,
+            vector_width: 4,
+            blend_cycles: 0.0,
+            replace_cycles: 0.0,
+            mem_bandwidth: 1e18,
+            tex_cache_miss_rate: 0.0,
+            fb_cache_miss_rate: 0.0,
+            depth_cycles: 0.0,
+            blit_cycles: 0.0,
+            blit_dram_bytes_per_texel: 0.0,
+            pass_overhead: SimTime::ZERO,
+            quad_overhead: SimTime::ZERO,
+        }
+    }
+
+    /// Time for the compute pipeline to process `texels` fragments at
+    /// `cycles_per_texel`, spread over all fragment pipes.
+    ///
+    /// One texel carries all four vector lanes, so the per-pipe rate is one
+    /// texel per `cycles_per_texel` cycles regardless of `vector_width`.
+    #[inline]
+    pub fn compute_time(&self, texels: u64, cycles_per_texel: f64) -> SimTime {
+        let cycles = texels as f64 * cycles_per_texel / self.fragment_pipes as f64;
+        self.core_clock.time_for_f64(cycles)
+    }
+
+    /// Time for `dram_bytes` of DRAM traffic.
+    #[inline]
+    pub fn memory_time(&self, dram_bytes: f64) -> SimTime {
+        SimTime::from_secs(dram_bytes.max(0.0) / self.mem_bandwidth)
+    }
+
+    /// DRAM traffic generated by one fixed-function fragment, in bytes.
+    ///
+    /// `reads_dst` distinguishes blending ops (which read the framebuffer)
+    /// from `Replace`.
+    #[inline]
+    pub fn fragment_dram_bytes(&self, reads_dst: bool) -> f64 {
+        let tex = TEXEL_BYTES as f64 * self.tex_cache_miss_rate;
+        let fb_read = if reads_dst {
+            TEXEL_BYTES as f64 * self.fb_cache_miss_rate
+        } else {
+            0.0
+        };
+        let fb_write = TEXEL_BYTES as f64;
+        tex + fb_read + fb_write
+    }
+
+    /// Total simulated time for one render pass: per-pass and per-quad
+    /// overheads, plus the larger of the compute and memory components.
+    pub fn pass_time(
+        &self,
+        quads: u64,
+        texels: u64,
+        cycles_per_texel: f64,
+        dram_bytes: f64,
+    ) -> PassTime {
+        let overhead = self.pass_overhead + self.quad_overhead * quads as f64;
+        let compute = self.compute_time(texels, cycles_per_texel);
+        let memory = self.memory_time(dram_bytes);
+        PassTime { overhead, compute, memory }
+    }
+}
+
+/// The time breakdown of a single render pass.
+#[derive(Clone, Copy, Debug)]
+pub struct PassTime {
+    /// Driver/vertex overhead (serial with rendering).
+    pub overhead: SimTime,
+    /// Compute-pipeline time.
+    pub compute: SimTime,
+    /// DRAM-traffic time.
+    pub memory: SimTime,
+}
+
+impl PassTime {
+    /// Wall time of the pass: overhead plus the binding resource.
+    #[inline]
+    pub fn total(&self) -> SimTime {
+        self.overhead + self.compute.max(self.memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_matches_published_numbers() {
+        let m = GpuCostModel::geforce_6800_ultra();
+        assert_eq!(m.core_clock.as_hz(), 4e8);
+        assert_eq!(m.fragment_pipes, 16);
+        assert_eq!(m.vector_width, 4);
+        assert_eq!(m.mem_bandwidth, 35.2e9);
+        // Raw blend below the paper's 6–7 band; the blit makes up the rest
+        // (checked end-to-end in gsm-sort and the fig4 harness).
+        assert!(m.blend_cycles > 0.0 && m.blend_cycles <= 7.0);
+    }
+
+    #[test]
+    fn compute_time_hand_check() {
+        let m = GpuCostModel::geforce_6800_ultra();
+        // 16 M texels at 4.75 cycles over 16 pipes at 400 MHz:
+        // 16e6 * 4.75 / 16 / 4e8 = 11.875 ms.
+        let t = m.compute_time(16_000_000, m.blend_cycles);
+        assert!((t.as_millis() - 11.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_time_hand_check() {
+        let m = GpuCostModel::geforce_6800_ultra();
+        // 35.2 GB at 35.2 GB/s = 1 s.
+        let t = m.memory_time(35.2e9);
+        assert!((t.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blend_fragment_traffic_exceeds_replace() {
+        let m = GpuCostModel::geforce_6800_ultra();
+        assert!(m.fragment_dram_bytes(true) > m.fragment_dram_bytes(false));
+        // Write traffic is always at least one texel.
+        assert!(m.fragment_dram_bytes(false) >= TEXEL_BYTES as f64);
+    }
+
+    #[test]
+    fn pass_time_takes_max_of_compute_and_memory() {
+        let m = GpuCostModel::geforce_6800_ultra();
+        let p = m.pass_time(1, 1_000_000, m.blend_cycles, 1e12);
+        // 1 TB of traffic dwarfs compute: pass must be memory-bound.
+        assert_eq!(p.total(), p.overhead + p.memory);
+        let p2 = m.pass_time(1, 1_000_000, m.blend_cycles, 16.0);
+        assert_eq!(p2.total(), p2.overhead + p2.compute);
+    }
+
+    #[test]
+    fn pbsn_workload_is_compute_bound_on_default_model() {
+        // Sanity-pin the calibration: a blended texel's DRAM traffic at
+        // default miss rates must take less time than its 6.5/16 cycles of
+        // compute, otherwise the reproduced figures would be bandwidth-bound,
+        // contradicting the paper's blend-throughput analysis.
+        let m = GpuCostModel::geforce_6800_ultra();
+        let per_texel_compute = m.compute_time(1, m.blend_cycles);
+        let per_texel_memory = m.memory_time(m.fragment_dram_bytes(true));
+        assert!(per_texel_memory < per_texel_compute);
+    }
+
+    #[test]
+    fn next_generation_preset_is_strictly_faster() {
+        let old = GpuCostModel::geforce_6800_ultra();
+        let new = GpuCostModel::geforce_7800_gtx();
+        let texels = 1 << 24;
+        assert!(new.compute_time(texels, new.blend_cycles) < old.compute_time(texels, old.blend_cycles));
+        assert!(new.memory_time(1e9) < old.memory_time(1e9));
+        // ~1.6x compute throughput: 24*430 / (16*400).
+        let ratio = old.compute_time(texels, old.blend_cycles).as_secs()
+            / new.compute_time(texels, new.blend_cycles).as_secs();
+        assert!((1.5..1.75).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn ideal_model_is_free() {
+        let m = GpuCostModel::ideal();
+        let p = m.pass_time(100, 1 << 20, m.blend_cycles, 0.0);
+        assert!(p.total().is_zero());
+    }
+}

@@ -1,0 +1,145 @@
+//! Depth testing and occlusion queries — the *other* fixed-function
+//! query path of 2004 GPUs.
+//!
+//! The paper's predecessor system (its reference \[20\], Govindaraju et al.,
+//! "fast computation of database operations using graphics processors")
+//! evaluated predicates, range queries, and k-th-largest selection by
+//! storing attribute values in the **depth buffer**, rendering screen-sized
+//! quads at a candidate depth with a comparison function, and reading the
+//! number of passing fragments back through an **occlusion query**. The
+//! paper builds on that machinery ("These algorithms … were applied to
+//! perform multi-attribute comparisons, semi-linear queries, range queries
+//! and kth largest numbers") — so the simulator models it: a per-pixel
+//! depth plane, the standard comparison functions, and a pass-count query.
+
+/// Depth comparison functions (GL names).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DepthFunc {
+    /// Fragment passes if `frag < stored`.
+    Less,
+    /// Fragment passes if `frag <= stored`.
+    LessEqual,
+    /// Fragment passes if `frag > stored`.
+    Greater,
+    /// Fragment passes if `frag >= stored`.
+    GreaterEqual,
+    /// Fragment passes if `frag == stored`.
+    Equal,
+    /// Fragment always passes.
+    Always,
+}
+
+impl DepthFunc {
+    /// Applies the comparison.
+    #[inline]
+    pub fn passes(self, frag: f32, stored: f32) -> bool {
+        match self {
+            DepthFunc::Less => frag < stored,
+            DepthFunc::LessEqual => frag <= stored,
+            DepthFunc::Greater => frag > stored,
+            DepthFunc::GreaterEqual => frag >= stored,
+            DepthFunc::Equal => frag == stored,
+            DepthFunc::Always => true,
+        }
+    }
+}
+
+/// A single-channel depth plane.
+#[derive(Clone, Debug)]
+pub struct DepthBuffer {
+    width: u32,
+    height: u32,
+    values: Vec<f32>,
+}
+
+impl DepthBuffer {
+    /// Creates a depth buffer cleared to `clear`.
+    pub fn new(width: u32, height: u32, clear: f32) -> Self {
+        assert!(width > 0 && height > 0, "depth buffer dimensions must be non-zero");
+        DepthBuffer { width, height, values: vec![clear; width as usize * height as usize] }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of depth texels.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false (dimensions are non-zero).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Reads the stored depth at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        self.values[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Writes the stored depth at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, v: f32) {
+        self.values[y as usize * self.width as usize + x as usize] = v;
+    }
+
+    /// Writes depth at flat index `i`.
+    #[inline]
+    pub fn set_flat(&mut self, i: usize, v: f32) {
+        self.values[i] = v;
+    }
+
+    /// Reads depth at flat index `i`.
+    #[inline]
+    pub fn get_flat(&self, i: usize) -> f32 {
+        self.values[i]
+    }
+
+    /// The raw plane.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_functions() {
+        assert!(DepthFunc::Less.passes(1.0, 2.0));
+        assert!(!DepthFunc::Less.passes(2.0, 2.0));
+        assert!(DepthFunc::LessEqual.passes(2.0, 2.0));
+        assert!(DepthFunc::Greater.passes(3.0, 2.0));
+        assert!(!DepthFunc::Greater.passes(2.0, 2.0));
+        assert!(DepthFunc::GreaterEqual.passes(2.0, 2.0));
+        assert!(DepthFunc::Equal.passes(2.0, 2.0));
+        assert!(!DepthFunc::Equal.passes(2.1, 2.0));
+        assert!(DepthFunc::Always.passes(-1.0, f32::INFINITY));
+    }
+
+    #[test]
+    fn buffer_round_trip() {
+        let mut d = DepthBuffer::new(4, 2, 0.5);
+        assert_eq!(d.len(), 8);
+        assert!(d.values().iter().all(|&v| v == 0.5));
+        d.set(3, 1, 0.25);
+        assert_eq!(d.get(3, 1), 0.25);
+        d.set_flat(0, 0.75);
+        assert_eq!(d.get_flat(0), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_rejected() {
+        let _ = DepthBuffer::new(0, 1, 0.0);
+    }
+}

@@ -1,0 +1,644 @@
+//! The simulated device: texture memory, framebuffer, render passes, and the
+//! cost ledger.
+
+use gsm_model::Bytes;
+
+use crate::blend::BlendOp;
+use crate::bus::BusModel;
+use crate::cost::{GpuCostModel, TEXEL_BYTES};
+use crate::depth::{DepthBuffer, DepthFunc};
+use crate::program::{FragmentProgram, ShaderCtx};
+use crate::raster::Quad;
+use crate::stats::GpuStats;
+use crate::surface::{Surface, Texel, TextureFormat};
+
+/// Handle to a texture resident in simulated video memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TextureId(pub(crate) usize);
+
+/// A simulated GPU: owns video memory (textures + framebuffer), executes
+/// render passes, and accumulates a simulated-time ledger.
+///
+/// # Cost accounting
+///
+/// * [`Device::upload_texture`] / [`Device::readback_framebuffer`] charge the
+///   bus model.
+/// * [`Device::draw_quads`] / [`Device::draw_quads_program`] charge one render
+///   pass: per-pass overhead + per-quad overhead + `max(compute, memory)`.
+/// * [`Device::copy_framebuffer_to_texture`] charges a blit.
+/// * Direct inspection methods ([`Device::framebuffer`], [`Device::texture`])
+///   are free: they exist for tests and debugging and do not model a real
+///   data path.
+pub struct Device {
+    textures: Vec<(Surface, TextureFormat)>,
+    framebuffer: Surface,
+    depth: Option<DepthBuffer>,
+    cost: GpuCostModel,
+    bus: BusModel,
+    stats: GpuStats,
+}
+
+impl Device {
+    /// Creates a device with the given cost model and an AGP 8X bus.
+    ///
+    /// The framebuffer starts at 1×1; callers resize it to match their
+    /// working texture (the paper renders into an offscreen buffer sized
+    /// like the data texture).
+    pub fn new(cost: GpuCostModel) -> Self {
+        Device {
+            textures: Vec::new(),
+            framebuffer: Surface::new(1, 1),
+            depth: None,
+            cost,
+            bus: BusModel::agp_8x(),
+            stats: GpuStats::default(),
+        }
+    }
+
+    /// A device on which every operation takes zero simulated time — for
+    /// functional tests of algorithms built on top.
+    pub fn ideal() -> Self {
+        Device::new(GpuCostModel::ideal()).with_bus(BusModel::ideal())
+    }
+
+    /// Replaces the bus model.
+    pub fn with_bus(mut self, bus: BusModel) -> Self {
+        self.bus = bus;
+        self
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &GpuCostModel {
+        &self.cost
+    }
+
+    /// The accumulated execution/timing ledger.
+    pub fn stats(&self) -> &GpuStats {
+        &self.stats
+    }
+
+    /// Resets the ledger to zero (resources are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = GpuStats::default();
+    }
+
+    /// Resizes (and clears) the framebuffer.
+    pub fn resize_framebuffer(&mut self, width: u32, height: u32) {
+        if self.framebuffer.width() != width || self.framebuffer.height() != height {
+            self.framebuffer = Surface::new(width, height);
+        }
+    }
+
+    /// Uploads a surface over the bus into a new 32-bit float texture.
+    pub fn upload_texture(&mut self, surface: Surface) -> TextureId {
+        self.upload_texture_fmt(surface, TextureFormat::Rgba32F)
+    }
+
+    /// Uploads a surface in an explicit storage format. `Rgba16F` halves
+    /// the bus traffic and quantizes every channel to half precision on the
+    /// way in (lossless when the data already sits on the f16 grid, as the
+    /// paper's 16-bit stream does).
+    pub fn upload_texture_fmt(&mut self, mut surface: Surface, format: TextureFormat) -> TextureId {
+        if format == TextureFormat::Rgba16F {
+            quantize_surface_f16(&mut surface);
+        }
+        self.charge_upload(surface.texel_count() as u64 * format.bytes_per_texel());
+        self.textures.push((surface, format));
+        TextureId(self.textures.len() - 1)
+    }
+
+    /// Re-uploads a surface over the bus into an existing texture slot,
+    /// replacing its contents (the streaming path reuses one texture for
+    /// every batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale.
+    pub fn update_texture(&mut self, id: TextureId, mut surface: Surface) {
+        let format = self.textures[id.0].1;
+        if format == TextureFormat::Rgba16F {
+            quantize_surface_f16(&mut surface);
+        }
+        self.charge_upload(surface.texel_count() as u64 * format.bytes_per_texel());
+        self.textures[id.0] = (surface, format);
+    }
+
+    fn charge_upload(&mut self, bytes: u64) {
+        self.stats.uploads += 1;
+        self.stats.bus_bytes.bump(bytes);
+        self.stats.transfer_time += self.bus.transfer_time(Bytes::new(bytes));
+    }
+
+    /// Device-side view of a texture (free: debugging/tests only).
+    pub fn texture(&self, id: TextureId) -> &Surface {
+        &self.textures[id.0].0
+    }
+
+    /// The storage format of a texture.
+    pub fn texture_format(&self, id: TextureId) -> TextureFormat {
+        self.textures[id.0].1
+    }
+
+    /// Device-side view of the framebuffer (free: debugging/tests only).
+    pub fn framebuffer(&self) -> &Surface {
+        &self.framebuffer
+    }
+
+    /// Reads the framebuffer back to the host over the bus.
+    pub fn readback_framebuffer(&mut self) -> Surface {
+        let copy = self.framebuffer.clone();
+        self.stats.readbacks += 1;
+        self.stats.bus_bytes.bump(copy.byte_size());
+        self.stats.transfer_time += self.bus.transfer_time(Bytes::new(copy.byte_size()));
+        copy
+    }
+
+    /// Reads a texture back to the host over the bus (charged at the
+    /// texture's storage format).
+    pub fn readback_texture(&mut self, id: TextureId) -> Surface {
+        let (copy, format) = self.textures[id.0].clone();
+        let bytes = copy.texel_count() as u64 * format.bytes_per_texel();
+        self.stats.readbacks += 1;
+        self.stats.bus_bytes.bump(bytes);
+        self.stats.transfer_time += self.bus.transfer_time(Bytes::new(bytes));
+        copy
+    }
+
+    /// Copies the framebuffer into a texture on the device
+    /// (`glCopyTexSubImage`-style blit; Routine 4.3 line 8 does this after
+    /// every sorting step). Dimensions must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the texture and framebuffer dimensions differ.
+    pub fn copy_framebuffer_to_texture(&mut self, id: TextureId) {
+        let tex = &mut self.textures[id.0].0;
+        assert_eq!(
+            (tex.width(), tex.height()),
+            (self.framebuffer.width(), self.framebuffer.height()),
+            "blit requires matching dimensions"
+        );
+        tex.texels_mut().copy_from_slice(self.framebuffer.texels());
+
+        let texels = self.framebuffer.texel_count() as u64;
+        let dram = texels as f64 * self.cost.blit_dram_bytes_per_texel;
+        let pass = self.cost.pass_time(1, texels, self.cost.blit_cycles, dram);
+        self.stats.passes += 1;
+        self.stats.quads += 1;
+        self.stats.fragments += texels;
+        self.stats.dram_bytes.bump(dram as u64);
+        self.stats.compute_time += pass.compute;
+        self.stats.memory_time += pass.memory;
+        self.stats.render_time += pass.compute.max(pass.memory);
+        self.stats.overhead_time += pass.overhead;
+    }
+
+    /// Executes one fixed-function render pass: rasterizes `quads`, samples
+    /// `tex` with nearest-neighbour clamped sampling, and combines each
+    /// fragment with the framebuffer under `blend`.
+    ///
+    /// This is the workhorse of the paper's sorter: `ComputeMin` /
+    /// `ComputeMax` / `Copy` are all single calls to this with different
+    /// quads and blend state.
+    pub fn draw_quads(&mut self, tex: TextureId, quads: &[Quad], blend: BlendOp) {
+        if quads.is_empty() {
+            return;
+        }
+        let texture = &self.textures[tex.0].0;
+        let fb = &mut self.framebuffer;
+        let fbw = fb.width() as usize;
+        let mut fragments: u64 = 0;
+
+        for quad in quads {
+            debug_assert!(
+                quad.dst.x1 <= fb.width() && quad.dst.y1 <= fb.height(),
+                "quad {:?} exceeds framebuffer {}x{}",
+                quad.dst,
+                fb.width(),
+                fb.height()
+            );
+            fragments += quad.dst.area();
+            if let Some((u_lut, v_lut)) = separable_luts(quad, texture) {
+                // Fast path: axis-separable texcoords (all of the paper's
+                // quads). Precompute per-column and per-row texel indices.
+                let texels = texture.texels();
+                let tw = texture.width() as usize;
+                let fb_texels = fb.texels_mut();
+                for (dy, &ty) in (quad.dst.y0..quad.dst.y1).zip(v_lut.iter()) {
+                    let trow = ty * tw;
+                    let frow = dy as usize * fbw;
+                    for (dx, &tx) in (quad.dst.x0..quad.dst.x1).zip(u_lut.iter()) {
+                        let src = texels[trow + tx];
+                        let d = &mut fb_texels[frow + dx as usize];
+                        *d = blend.apply(src, *d);
+                    }
+                }
+            } else {
+                for frag in quad.fragments() {
+                    let (tx, ty) = frag.texel_xy();
+                    let src = texture.get_clamped(tx, ty);
+                    let dst = fb.get(frag.x, frag.y);
+                    fb.set(frag.x, frag.y, blend.apply(src, dst));
+                }
+            }
+        }
+
+        self.account_fixed_function_pass(quads.len() as u64, fragments, blend);
+    }
+
+    fn account_fixed_function_pass(&mut self, quads: u64, fragments: u64, blend: BlendOp) {
+        let reads_dst = blend.reads_dst();
+        let cycles = if reads_dst { self.cost.blend_cycles } else { self.cost.replace_cycles };
+        let dram = fragments as f64 * self.cost.fragment_dram_bytes(reads_dst);
+        let pass = self.cost.pass_time(quads, fragments, cycles, dram);
+
+        self.stats.passes += 1;
+        self.stats.quads += quads;
+        self.stats.fragments += fragments;
+        if reads_dst {
+            self.stats.blend_ops += fragments;
+            self.stats.fb_read_bytes.bump(fragments * TEXEL_BYTES);
+        }
+        self.stats.tex_fetch_bytes.bump(fragments * TEXEL_BYTES);
+        self.stats.fb_write_bytes.bump(fragments * TEXEL_BYTES);
+        self.stats.dram_bytes.bump(dram as u64);
+        self.stats.compute_time += pass.compute;
+        self.stats.memory_time += pass.memory;
+        self.stats.render_time += pass.compute.max(pass.memory);
+        self.stats.overhead_time += pass.overhead;
+    }
+
+    /// Executes one programmable render pass: every fragment runs
+    /// `program.shader`, which may perform dependent texture fetches through
+    /// its [`ShaderCtx`]. The result replaces the framebuffer value
+    /// (shader-based sorters do their own compare/select, so no blending).
+    ///
+    /// Cost is `program.instructions` cycles per fragment — the model for the
+    /// Purcell et al. bitonic baseline, which the paper reports at ≥ 53
+    /// instructions per pixel per stage.
+    pub fn draw_quads_program(
+        &mut self,
+        tex: TextureId,
+        quads: &[Quad],
+        program: &FragmentProgram<'_>,
+    ) {
+        if quads.is_empty() {
+            return;
+        }
+        let texture = &self.textures[tex.0].0;
+        let fb = &mut self.framebuffer;
+        let mut fragments: u64 = 0;
+        let mut ctx = ShaderCtx::new(texture);
+
+        for quad in quads {
+            fragments += quad.dst.area();
+            for frag in quad.fragments() {
+                let out: Texel = (program.shader)(&mut ctx, &frag);
+                fb.set(frag.x, frag.y, out);
+            }
+        }
+        let fetch_bytes = ctx.fetches() * TEXEL_BYTES;
+
+        let dram = fetch_bytes as f64 * self.cost.tex_cache_miss_rate
+            + fragments as f64 * TEXEL_BYTES as f64;
+        let pass =
+            self.cost.pass_time(quads.len() as u64, fragments, program.instructions as f64, dram);
+
+        self.stats.passes += 1;
+        self.stats.quads += quads.len() as u64;
+        self.stats.fragments += fragments;
+        self.stats.program_fragments += fragments;
+        self.stats.tex_fetch_bytes.bump(fetch_bytes);
+        self.stats.fb_write_bytes.bump(fragments * TEXEL_BYTES);
+        self.stats.dram_bytes.bump(dram as u64);
+        self.stats.compute_time += pass.compute;
+        self.stats.memory_time += pass.memory;
+        self.stats.render_time += pass.compute.max(pass.memory);
+        self.stats.overhead_time += pass.overhead;
+    }
+}
+
+impl Device {
+    /// Uploads a depth plane over the bus and performs the depth-write pass
+    /// that stores it (the \[20\]-style pipelines keep attribute values in
+    /// the depth buffer; loading costs one transfer plus one full-screen
+    /// depth write).
+    pub fn load_depth(&mut self, depth: DepthBuffer) {
+        let fragments = depth.len() as u64;
+        let bytes = fragments * 4;
+        self.charge_upload(bytes);
+
+        let dram = fragments as f64 * 4.0; // depth write-through
+        let pass = self.cost.pass_time(1, fragments, self.cost.depth_cycles, dram);
+        self.stats.passes += 1;
+        self.stats.quads += 1;
+        self.stats.fragments += fragments;
+        self.stats.depth_fragments += fragments;
+        self.stats.dram_bytes.bump(dram as u64);
+        self.stats.compute_time += pass.compute;
+        self.stats.memory_time += pass.memory;
+        self.stats.render_time += pass.compute.max(pass.memory);
+        self.stats.overhead_time += pass.overhead;
+
+        self.depth = Some(depth);
+    }
+
+    /// The resident depth plane (free inspection for tests).
+    pub fn depth_buffer(&self) -> Option<&DepthBuffer> {
+        self.depth.as_ref()
+    }
+
+    /// An occlusion query: renders a full-screen quad at constant fragment
+    /// depth `frag_depth` with comparison `func` (color and depth writes
+    /// off) and returns the number of passing fragments — the \[20\]
+    /// predicate/count primitive.
+    ///
+    /// Charges a depth-only pass (double-rate on the calibrated model) and
+    /// one bus-latency round trip for the query result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no depth plane is loaded.
+    pub fn occlusion_count(&mut self, frag_depth: f32, func: DepthFunc) -> u64 {
+        let depth = self.depth.as_ref().expect("load_depth before occlusion_count");
+        let mut passed = 0u64;
+        for &stored in depth.values() {
+            if func.passes(frag_depth, stored) {
+                passed += 1;
+            }
+        }
+        let fragments = depth.len() as u64;
+        // Depth reads are cached like texture fetches.
+        let dram = fragments as f64 * 4.0 * self.cost.tex_cache_miss_rate;
+        let pass = self.cost.pass_time(1, fragments, self.cost.depth_cycles, dram);
+        self.stats.passes += 1;
+        self.stats.quads += 1;
+        self.stats.fragments += fragments;
+        self.stats.depth_fragments += fragments;
+        self.stats.occlusion_queries += 1;
+        self.stats.dram_bytes.bump(dram as u64);
+        self.stats.compute_time += pass.compute;
+        self.stats.memory_time += pass.memory;
+        self.stats.render_time += pass.compute.max(pass.memory);
+        self.stats.overhead_time += pass.overhead;
+        // Query-result round trip: latency-bound, 4 bytes of payload.
+        self.stats.transfer_time += self.bus.transfer_time(Bytes::new(4));
+        self.stats.bus_bytes.bump(4);
+        passed
+    }
+}
+
+/// Quantizes every channel of a surface to binary16 precision (the storage
+/// effect of an `Rgba16F` upload).
+fn quantize_surface_f16(surface: &mut Surface) {
+    use gsm_model::F16;
+    for t in surface.texels_mut() {
+        for c in t.iter_mut() {
+            *c = F16::from_f32(*c).to_f32();
+        }
+    }
+}
+
+/// If `quad`'s texture coordinates are axis-separable (u depends only on x,
+/// v only on y), returns per-column and per-row texel-index lookup tables,
+/// clamped to the texture.
+fn separable_luts(quad: &Quad, texture: &Surface) -> Option<(Vec<usize>, Vec<usize>)> {
+    let [c00, c10, c11, c01] = quad.tex;
+    let separable = c00.u == c01.u && c10.u == c11.u && c00.v == c10.v && c01.v == c11.v;
+    if !separable {
+        return None;
+    }
+    let w = quad.dst.width();
+    let h = quad.dst.height();
+    let max_x = texture.width() as i64 - 1;
+    let max_y = texture.height() as i64 - 1;
+
+    let u_lut = (0..w)
+        .map(|i| {
+            let fx = (i as f32 + 0.5) / w as f32;
+            let u = c00.u + (c10.u - c00.u) * fx;
+            (u.floor() as i64).clamp(0, max_x) as usize
+        })
+        .collect();
+    let v_lut = (0..h)
+        .map(|j| {
+            let fy = (j as f32 + 0.5) / h as f32;
+            let v = c00.v + (c01.v - c00.v) * fy;
+            (v.floor() as i64).clamp(0, max_y) as usize
+        })
+        .collect();
+    Some((u_lut, v_lut))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::Rect;
+
+    fn ramp_surface(w: u32, h: u32) -> Surface {
+        let mut s = Surface::new(w, h);
+        for i in 0..(w * h) as usize {
+            let v = i as f32;
+            s.set_flat(i, [v, v + 0.25, v + 0.5, v + 0.75]);
+        }
+        s
+    }
+
+    #[test]
+    fn copy_routine_reproduces_texture() {
+        // Routine 4.1 from the paper.
+        let mut dev = Device::ideal();
+        let tex = dev.upload_texture(ramp_surface(8, 4));
+        dev.resize_framebuffer(8, 4);
+        dev.draw_quads(tex, &[Quad::copy(Rect::new(0, 0, 8, 4))], BlendOp::Replace);
+        assert_eq!(dev.framebuffer().texels(), dev.texture(tex).texels());
+    }
+
+    #[test]
+    fn compute_min_routine() {
+        // Routine 4.2: minimum of the i-th and (n-1-i)-th value of an
+        // 8-element single-row texture, stored at i for i < 4.
+        let mut dev = Device::ideal();
+        let mut s = Surface::new(8, 1);
+        let vals = [5.0, 1.0, 7.0, 3.0, 9.0, 0.0, 4.0, 2.0];
+        for (i, &v) in vals.iter().enumerate() {
+            s.set(i as u32, 0, [v; 4]);
+        }
+        let tex = dev.upload_texture(s);
+        dev.resize_framebuffer(8, 1);
+        dev.draw_quads(tex, &[Quad::copy(Rect::new(0, 0, 8, 1))], BlendOp::Replace);
+        // Min pass over the first half with reversed u: pixel x fetches 7-x.
+        let quad = Quad::mapped(Rect::new(0, 0, 4, 1), 8.0, 4.0, 0.0, 1.0);
+        dev.draw_quads(tex, &[quad], BlendOp::Min);
+        let fb = dev.framebuffer();
+        for i in 0..4u32 {
+            let expect = vals[i as usize].min(vals[7 - i as usize]);
+            assert_eq!(fb.get(i, 0)[0], expect, "at {i}");
+        }
+        // Second half untouched.
+        for i in 4..8u32 {
+            assert_eq!(fb.get(i, 0)[0], vals[i as usize]);
+        }
+    }
+
+    #[test]
+    fn vertical_mirror_via_generic_path_matches_fast_path() {
+        // Both-axis mirror is still separable; compare against a per-fragment
+        // reference computed manually.
+        let mut dev = Device::ideal();
+        let src = ramp_surface(4, 4);
+        let tex = dev.upload_texture(src.clone());
+        dev.resize_framebuffer(4, 4);
+        let quad = Quad::mapped(Rect::new(0, 0, 4, 4), 4.0, 0.0, 4.0, 0.0);
+        dev.draw_quads(tex, &[quad], BlendOp::Replace);
+        let fb = dev.framebuffer();
+        for y in 0..4u32 {
+            for x in 0..4u32 {
+                assert_eq!(fb.get(x, y), src.get(3 - x, 3 - y));
+            }
+        }
+    }
+
+    #[test]
+    fn blit_round_trip() {
+        let mut dev = Device::ideal();
+        let tex = dev.upload_texture(Surface::new(4, 4));
+        dev.resize_framebuffer(4, 4);
+        let ramp = ramp_surface(4, 4);
+        let src = dev.upload_texture(ramp.clone());
+        dev.draw_quads(src, &[Quad::copy(Rect::new(0, 0, 4, 4))], BlendOp::Replace);
+        dev.copy_framebuffer_to_texture(tex);
+        assert_eq!(dev.texture(tex).texels(), ramp.texels());
+    }
+
+    #[test]
+    fn stats_count_passes_and_fragments() {
+        let mut dev = Device::new(GpuCostModel::geforce_6800_ultra());
+        let tex = dev.upload_texture(ramp_surface(8, 8));
+        dev.resize_framebuffer(8, 8);
+        dev.draw_quads(tex, &[Quad::copy(Rect::new(0, 0, 8, 8))], BlendOp::Replace);
+        dev.draw_quads(tex, &[Quad::copy(Rect::new(0, 0, 8, 4))], BlendOp::Min);
+        let s = dev.stats();
+        assert_eq!(s.passes, 2);
+        assert_eq!(s.fragments, 64 + 32);
+        assert_eq!(s.blend_ops, 32);
+        assert_eq!(s.uploads, 1);
+        assert!(s.total_time().as_secs() > 0.0);
+        assert!(s.render_time.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn upload_and_readback_charge_bus() {
+        let mut dev = Device::new(GpuCostModel::geforce_6800_ultra());
+        let tex = dev.upload_texture(ramp_surface(64, 64));
+        let before = dev.stats().transfer_time;
+        let _ = dev.readback_texture(tex);
+        let after = dev.stats().transfer_time;
+        assert!(after > before);
+        assert_eq!(dev.stats().bus_bytes.get(), 2 * 64 * 64 * 16);
+    }
+
+    #[test]
+    fn update_texture_reuses_slot() {
+        let mut dev = Device::ideal();
+        let tex = dev.upload_texture(Surface::new(2, 2));
+        dev.update_texture(tex, ramp_surface(2, 2));
+        assert_eq!(dev.texture(tex).get(1, 1)[0], 3.0);
+        assert_eq!(dev.stats().uploads, 2);
+    }
+
+    #[test]
+    fn program_pass_runs_shader_and_counts_fetches() {
+        let mut dev = Device::ideal();
+        let tex = dev.upload_texture(ramp_surface(4, 1));
+        dev.resize_framebuffer(4, 1);
+        let program = FragmentProgram {
+            instructions: 53,
+            shader: &|ctx, frag| {
+                // Swap with the horizontally adjacent texel's value.
+                let partner = frag.x as i64 ^ 1;
+                ctx.fetch(partner, 0)
+            },
+        };
+        dev.draw_quads_program(tex, &[Quad::copy(Rect::new(0, 0, 4, 1))], &program);
+        let fb = dev.framebuffer();
+        assert_eq!(fb.get(0, 0)[0], 1.0);
+        assert_eq!(fb.get(1, 0)[0], 0.0);
+        assert_eq!(fb.get(2, 0)[0], 3.0);
+        assert_eq!(fb.get(3, 0)[0], 2.0);
+        assert_eq!(dev.stats().program_fragments, 4);
+        assert_eq!(dev.stats().tex_fetch_bytes.get(), 4 * 16);
+    }
+
+    #[test]
+    fn f16_textures_halve_bus_traffic_and_quantize() {
+        let mut surf = Surface::new(4, 4);
+        surf.set(0, 0, [1.0, 2.0, 3.0, 4.0]); // exactly representable
+        surf.set(1, 0, [1.0 + 2.0f32.powi(-13); 4]); // rounds to 1.0 in f16
+
+        let mut dev32 = Device::new(GpuCostModel::geforce_6800_ultra());
+        let t32 = dev32.upload_texture(surf.clone());
+        assert_eq!(dev32.stats().bus_bytes.get(), 16 * 16);
+        assert_eq!(dev32.texture_format(t32), TextureFormat::Rgba32F);
+        assert_eq!(dev32.texture(t32).get(1, 0)[0], 1.0 + 2.0f32.powi(-13));
+
+        let mut dev16 = Device::new(GpuCostModel::geforce_6800_ultra());
+        let t16 = dev16.upload_texture_fmt(surf, TextureFormat::Rgba16F);
+        assert_eq!(dev16.stats().bus_bytes.get(), 16 * 8, "half the traffic");
+        assert_eq!(dev16.texture_format(t16), TextureFormat::Rgba16F);
+        assert_eq!(dev16.texture(t16).get(0, 0), [1.0, 2.0, 3.0, 4.0], "grid values exact");
+        assert_eq!(dev16.texture(t16).get(1, 0)[0], 1.0, "off-grid values quantize");
+
+        // Readback charges at the stored format too.
+        let before = dev16.stats().bus_bytes.get();
+        let _ = dev16.readback_texture(t16);
+        assert_eq!(dev16.stats().bus_bytes.get() - before, 16 * 8);
+    }
+
+    #[test]
+    fn update_texture_preserves_format() {
+        let mut dev = Device::ideal();
+        let id = dev.upload_texture_fmt(Surface::new(2, 2), TextureFormat::Rgba16F);
+        let mut surf = Surface::new(2, 2);
+        surf.set(0, 0, [1.0 + 2.0f32.powi(-13); 4]);
+        dev.update_texture(id, surf);
+        assert_eq!(dev.texture_format(id), TextureFormat::Rgba16F);
+        assert_eq!(dev.texture(id).get(0, 0)[0], 1.0, "re-upload still quantizes");
+    }
+
+    #[test]
+    fn occlusion_queries_count_passing_fragments() {
+        let mut dev = Device::new(GpuCostModel::geforce_6800_ultra());
+        let mut depth = DepthBuffer::new(4, 2, 0.0);
+        for (i, v) in [0.1f32, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8].iter().enumerate() {
+            depth.set_flat(i, *v);
+        }
+        dev.load_depth(depth);
+        // Fragments at depth 0.45 with LessEqual pass where 0.45 <= stored.
+        assert_eq!(dev.occlusion_count(0.45, DepthFunc::LessEqual), 4);
+        assert_eq!(dev.occlusion_count(0.45, DepthFunc::Greater), 4);
+        assert_eq!(dev.occlusion_count(0.0, DepthFunc::Always), 8);
+        assert_eq!(dev.occlusion_count(0.3, DepthFunc::Equal), 1);
+        let s = dev.stats();
+        assert_eq!(s.occlusion_queries, 4);
+        assert_eq!(s.depth_fragments, 8 + 4 * 8);
+        assert!(s.render_time.as_secs() > 0.0);
+        assert!(s.transfer_time.as_secs() > 0.0, "query results cross the bus");
+    }
+
+    #[test]
+    #[should_panic(expected = "load_depth")]
+    fn occlusion_without_depth_plane_panics() {
+        let mut dev = Device::ideal();
+        let _ = dev.occlusion_count(0.5, DepthFunc::Less);
+    }
+
+    #[test]
+    fn empty_pass_is_free() {
+        let mut dev = Device::new(GpuCostModel::geforce_6800_ultra());
+        let tex = dev.upload_texture(Surface::new(2, 2));
+        let before = dev.stats().passes;
+        dev.draw_quads(tex, &[], BlendOp::Min);
+        assert_eq!(dev.stats().passes, before);
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! A software simulation of the fixed-function rasterization path of a
+//! 2004-era GPU, with a cost model calibrated to the NVIDIA GeForce 6800
+//! Ultra used in *Govindaraju, Raghuvanshi, Manocha — "Fast and Approximate
+//! Stream Mining of Quantiles and Frequencies Using Graphics Processors"*
+//! (SIGMOD 2005).
+//!
+//! # Why simulate?
+//!
+//! The paper's GPU algorithms use no programmable shading at all: sorting is
+//! done with **texture mapping** (comparator *mapping*: mirrored texture
+//! coordinates on quads) and **blending** (comparator *evaluation*: `MIN`/
+//! `MAX` conditional assignment against the framebuffer). Reproducing the
+//! paper therefore requires exactly four architectural resources:
+//!
+//! 1. a 2-D RGBA float **texture** memory,
+//! 2. a **rasterizer** that turns quads into fragments with interpolated
+//!    texture coordinates,
+//! 3. a **blend unit** applying `MIN`/`MAX`/`REPLACE` per channel, and
+//! 4. a **cost model** charging each render pass against the machine's
+//!    compute throughput (16 fragment pipes × 4-wide vectors @ 400 MHz),
+//!    DRAM bandwidth (35.2 GB/s), and the AGP 8X bus (~800 MB/s effective).
+//!
+//! This crate provides all four. The functional result of every render pass
+//! is **bit-exact** — the sorting networks built on top really sort — while
+//! the time reported is *simulated* time on the paper's hardware, so the
+//! evaluation figures can be regenerated with their original shapes.
+//!
+//! # Example: the paper's `Copy` routine (Routine 4.1)
+//!
+//! ```
+//! use gsm_gpu::{BlendOp, Device, GpuCostModel, Quad, Rect, Surface};
+//!
+//! let mut dev = Device::new(GpuCostModel::geforce_6800_ultra());
+//! // A 4×2 texture holding 0..8 in the red channel.
+//! let mut surf = Surface::new(4, 2);
+//! for i in 0..8u32 {
+//!     let (x, y) = (i % 4, i / 4);
+//!     surf.set(x, y, [i as f32, 0.0, 0.0, 0.0]);
+//! }
+//! let tex = dev.upload_texture(surf);
+//! dev.resize_framebuffer(4, 2);
+//!
+//! // Draw a full-screen quad with identity texture coordinates.
+//! let quad = Quad::copy(Rect::new(0, 0, 4, 2));
+//! dev.draw_quads(tex, &[quad], BlendOp::Replace);
+//!
+//! let fb = dev.framebuffer();
+//! assert_eq!(fb.get(3, 1)[0], 7.0);
+//! assert!(dev.stats().total_time().as_secs() > 0.0);
+//! ```
+
+mod blend;
+mod bus;
+mod cost;
+mod depth;
+mod device;
+mod program;
+mod raster;
+mod stats;
+mod surface;
+
+pub use blend::BlendOp;
+pub use bus::BusModel;
+pub use cost::GpuCostModel;
+pub use depth::{DepthBuffer, DepthFunc};
+pub use device::{Device, TextureId};
+pub use program::{FragmentProgram, ShaderCtx};
+pub use raster::{Fragment, Quad, Rect, TexCoord};
+pub use stats::GpuStats;
+pub use surface::{Channel, Surface, Texel, TextureFormat};

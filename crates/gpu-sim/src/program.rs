@@ -1,0 +1,82 @@
+//! Programmable fragment shading — the model for the paper's *baseline*, not
+//! its contribution.
+//!
+//! The prior GPU sorters the paper compares against (Purcell et al. bitonic
+//! merge sort, paper §2.3 and §4.5) run a *fragment program* per pixel per
+//! stage: the shader computes its comparator partner's address, performs a
+//! dependent texture fetch, compares, and selects. The paper counts ≥ 53
+//! instructions per pixel for that program versus ~6–7 cycles for its own
+//! blend-based comparator — the source of the order-of-magnitude gap.
+
+use crate::surface::{Surface, Texel};
+use crate::raster::Fragment;
+
+/// A user fragment program with an instruction-count cost.
+///
+/// The shader is a host closure — the simulation is functional, the cost is
+/// `instructions` cycles per fragment charged by the device.
+pub struct FragmentProgram<'a> {
+    /// Modeled instruction count per fragment (53 for the Purcell-style
+    /// bitonic comparator).
+    pub instructions: u32,
+    /// The shader body. Receives a fetch context and the fragment; returns
+    /// the output color.
+    #[allow(clippy::type_complexity)]
+    pub shader: &'a dyn Fn(&mut ShaderCtx<'_>, &Fragment) -> Texel,
+}
+
+/// Texture-fetch context handed to a fragment program.
+///
+/// Counts dependent fetches so the device can charge texture bandwidth.
+pub struct ShaderCtx<'a> {
+    surface: &'a Surface,
+    fetches: u64,
+}
+
+impl<'a> ShaderCtx<'a> {
+    pub(crate) fn new(surface: &'a Surface) -> Self {
+        ShaderCtx { surface, fetches: 0 }
+    }
+
+    /// Fetches a texel (clamped nearest-neighbour), counting the access.
+    #[inline]
+    pub fn fetch(&mut self, x: i64, y: i64) -> Texel {
+        self.fetches += 1;
+        self.surface.get_clamped(x, y)
+    }
+
+    /// Texture width in texels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.surface.width()
+    }
+
+    /// Texture height in texels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.surface.height()
+    }
+
+    /// Number of fetches performed so far.
+    #[inline]
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_counts_and_clamps() {
+        let mut s = Surface::new(2, 2);
+        s.set(1, 1, [4.0; 4]);
+        let mut ctx = ShaderCtx::new(&s);
+        assert_eq!(ctx.fetch(1, 1)[0], 4.0);
+        assert_eq!(ctx.fetch(100, 100)[0], 4.0);
+        assert_eq!(ctx.fetches(), 2);
+        assert_eq!(ctx.width(), 2);
+        assert_eq!(ctx.height(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Execution and timing ledger for a simulated device.
+
+use core::fmt;
+
+use gsm_model::{Bytes, SimTime};
+
+/// Counters and simulated-time ledger accumulated by a [`Device`].
+///
+/// [`Device`]: crate::Device
+#[derive(Clone, Debug, Default)]
+pub struct GpuStats {
+    /// Render passes executed.
+    pub passes: u64,
+    /// Quads rasterized.
+    pub quads: u64,
+    /// Fragments (texels touched) generated.
+    pub fragments: u64,
+    /// Fragments processed by a blending equation that reads the
+    /// framebuffer (`Min`/`Max`/`Add`).
+    pub blend_ops: u64,
+    /// Fragments processed by a user fragment program (shader baseline).
+    pub program_fragments: u64,
+    /// Fragments processed by depth-only occlusion passes.
+    pub depth_fragments: u64,
+    /// Occlusion queries issued.
+    pub occlusion_queries: u64,
+    /// Raw texture-fetch volume (before the texture cache).
+    pub tex_fetch_bytes: Bytes,
+    /// Raw framebuffer-read volume (before the ROP cache).
+    pub fb_read_bytes: Bytes,
+    /// Framebuffer-write volume.
+    pub fb_write_bytes: Bytes,
+    /// Modeled DRAM traffic after caches.
+    pub dram_bytes: Bytes,
+    /// Host→device texture uploads.
+    pub uploads: u64,
+    /// Device→host readbacks.
+    pub readbacks: u64,
+    /// Total bytes moved over the bus.
+    pub bus_bytes: Bytes,
+    /// Simulated time in the rendering pipeline (max of compute/memory per
+    /// pass, summed over passes).
+    pub render_time: SimTime,
+    /// Simulated compute-pipeline time (informational; render_time already
+    /// accounts for it).
+    pub compute_time: SimTime,
+    /// Simulated DRAM time (informational).
+    pub memory_time: SimTime,
+    /// Driver/state-change/vertex overhead time.
+    pub overhead_time: SimTime,
+    /// Bus transfer time.
+    pub transfer_time: SimTime,
+}
+
+impl GpuStats {
+    /// Total simulated wall time attributed to the device so far.
+    #[inline]
+    pub fn total_time(&self) -> SimTime {
+        self.render_time + self.overhead_time + self.transfer_time
+    }
+
+    /// Simulated GPU time excluding bus transfers — the paper's Figure 4
+    /// splits total time into exactly these two components.
+    #[inline]
+    pub fn gpu_only_time(&self) -> SimTime {
+        self.render_time + self.overhead_time
+    }
+
+    /// The difference `self − earlier`, for scoping costs to a region.
+    ///
+    /// All counters are monotonically non-decreasing, so a snapshot taken
+    /// before an operation can be subtracted from one taken after.
+    pub fn since(&self, earlier: &GpuStats) -> GpuStats {
+        GpuStats {
+            passes: self.passes - earlier.passes,
+            quads: self.quads - earlier.quads,
+            fragments: self.fragments - earlier.fragments,
+            blend_ops: self.blend_ops - earlier.blend_ops,
+            program_fragments: self.program_fragments - earlier.program_fragments,
+            depth_fragments: self.depth_fragments - earlier.depth_fragments,
+            occlusion_queries: self.occlusion_queries - earlier.occlusion_queries,
+            tex_fetch_bytes: Bytes::new(self.tex_fetch_bytes.get() - earlier.tex_fetch_bytes.get()),
+            fb_read_bytes: Bytes::new(self.fb_read_bytes.get() - earlier.fb_read_bytes.get()),
+            fb_write_bytes: Bytes::new(self.fb_write_bytes.get() - earlier.fb_write_bytes.get()),
+            dram_bytes: Bytes::new(self.dram_bytes.get() - earlier.dram_bytes.get()),
+            uploads: self.uploads - earlier.uploads,
+            readbacks: self.readbacks - earlier.readbacks,
+            bus_bytes: Bytes::new(self.bus_bytes.get() - earlier.bus_bytes.get()),
+            render_time: self.render_time - earlier.render_time,
+            compute_time: self.compute_time - earlier.compute_time,
+            memory_time: self.memory_time - earlier.memory_time,
+            overhead_time: self.overhead_time - earlier.overhead_time,
+            transfer_time: self.transfer_time - earlier.transfer_time,
+        }
+    }
+}
+
+impl fmt::Display for GpuStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "passes={} quads={} fragments={} blends={} shader-frags={}",
+            self.passes, self.quads, self.fragments, self.blend_ops, self.program_fragments
+        )?;
+        writeln!(
+            f,
+            "dram={} (tex={} fb-r={} fb-w={}) bus={} ({} up, {} down)",
+            self.dram_bytes,
+            self.tex_fetch_bytes,
+            self.fb_read_bytes,
+            self.fb_write_bytes,
+            self.bus_bytes,
+            self.uploads,
+            self.readbacks
+        )?;
+        write!(
+            f,
+            "time: render={} overhead={} transfer={} total={}",
+            self.render_time,
+            self.overhead_time,
+            self.transfer_time,
+            self.total_time()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_compose() {
+        let s = GpuStats {
+            render_time: SimTime::from_millis(5.0),
+            overhead_time: SimTime::from_millis(1.0),
+            transfer_time: SimTime::from_millis(2.0),
+            ..GpuStats::default()
+        };
+        assert!((s.total_time().as_millis() - 8.0).abs() < 1e-12);
+        assert!((s.gpu_only_time().as_millis() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts_all_fields() {
+        let a = GpuStats {
+            passes: 10,
+            fragments: 100,
+            bus_bytes: Bytes::new(1000),
+            render_time: SimTime::from_millis(3.0),
+            ..GpuStats::default()
+        };
+        let b = GpuStats {
+            passes: 25,
+            fragments: 400,
+            bus_bytes: Bytes::new(1600),
+            render_time: SimTime::from_millis(7.0),
+            ..GpuStats::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.passes, 15);
+        assert_eq!(d.fragments, 300);
+        assert_eq!(d.bus_bytes.get(), 600);
+        assert!((d.render_time.as_millis() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let s = GpuStats::default();
+        let out = format!("{s}");
+        assert!(out.contains("passes=0"));
+        assert!(out.contains("total="));
+    }
+}

@@ -1,0 +1,313 @@
+use core::fmt;
+
+/// One RGBA texel: four 32-bit float channels.
+///
+/// Current-generation (2004) GPUs store data in four-channel textures with
+/// 32-bit IEEE single precision per channel (paper §4.1). The reproduction
+/// packs one stream value per channel, so a `W×H` surface holds `4·W·H`
+/// values.
+pub type Texel = [f32; 4];
+
+/// Storage format of a texture in video memory.
+///
+/// 2004 GPUs support both 32-bit and 16-bit float channels; half-precision
+/// textures halve storage and — more importantly for the co-processor
+/// protocol — halve CPU↔GPU bus traffic. The paper's input stream is
+/// 16-bit, so `Rgba16F` uploads are lossless for it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TextureFormat {
+    /// Four IEEE binary32 channels: 16 bytes per texel.
+    #[default]
+    Rgba32F,
+    /// Four IEEE binary16 channels: 8 bytes per texel. Values are
+    /// quantized to half precision on upload.
+    Rgba16F,
+}
+
+impl TextureFormat {
+    /// Bytes per texel in this format.
+    #[inline]
+    pub const fn bytes_per_texel(self) -> u64 {
+        match self {
+            TextureFormat::Rgba32F => 16,
+            TextureFormat::Rgba16F => 8,
+        }
+    }
+}
+
+/// A color channel of an RGBA surface.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum Channel {
+    /// Red (channel 0).
+    R = 0,
+    /// Green (channel 1).
+    G = 1,
+    /// Blue (channel 2).
+    B = 2,
+    /// Alpha (channel 3).
+    A = 3,
+}
+
+impl Channel {
+    /// All four channels in storage order.
+    pub const ALL: [Channel; 4] = [Channel::R, Channel::G, Channel::B, Channel::A];
+
+    /// The channel's index into a [`Texel`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A 2-D array of RGBA texels — the storage behind both textures and the
+/// framebuffer.
+///
+/// Texels are stored row-major: texel `(x, y)` lives at index `y * width + x`.
+/// The paper's algorithms map a 1-D sequence of values onto a surface in
+/// exactly this order, so "a block of `B` consecutive values" is a run of
+/// `B` texels along a row (wrapping to the next row), which is what makes the
+/// two-case `SortStep` layout of Figure 2 work.
+#[derive(Clone, PartialEq)]
+pub struct Surface {
+    width: u32,
+    height: u32,
+    texels: Vec<Texel>,
+}
+
+impl Surface {
+    /// Creates a surface of the given dimensions, cleared to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "surface dimensions must be non-zero");
+        Surface {
+            width,
+            height,
+            texels: vec![[0.0; 4]; width as usize * height as usize],
+        }
+    }
+
+    /// Creates a surface filled with a constant texel.
+    pub fn filled(width: u32, height: u32, fill: Texel) -> Self {
+        assert!(width > 0 && height > 0, "surface dimensions must be non-zero");
+        Surface {
+            width,
+            height,
+            texels: vec![fill; width as usize * height as usize],
+        }
+    }
+
+    /// Width in texels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in texels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of texels (`width × height`).
+    #[inline]
+    pub fn texel_count(&self) -> usize {
+        self.texels.len()
+    }
+
+    /// Storage footprint in bytes (16 bytes per RGBA-f32 texel).
+    #[inline]
+    pub fn byte_size(&self) -> u64 {
+        self.texels.len() as u64 * 16
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height, "texel ({x},{y}) out of bounds");
+        y as usize * self.width as usize + x as usize
+    }
+
+    /// Reads the texel at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Texel {
+        self.texels[self.idx(x, y)]
+    }
+
+    /// Writes the texel at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, t: Texel) {
+        let i = self.idx(x, y);
+        self.texels[i] = t;
+    }
+
+    /// Reads the texel at `(x, y)` with coordinates clamped to the surface
+    /// (GL `CLAMP_TO_EDGE` sampling).
+    #[inline]
+    pub fn get_clamped(&self, x: i64, y: i64) -> Texel {
+        let cx = x.clamp(0, self.width as i64 - 1) as u32;
+        let cy = y.clamp(0, self.height as i64 - 1) as u32;
+        self.get(cx, cy)
+    }
+
+    /// Reads the texel at flat row-major index `i`.
+    #[inline]
+    pub fn get_flat(&self, i: usize) -> Texel {
+        self.texels[i]
+    }
+
+    /// Writes the texel at flat row-major index `i`.
+    #[inline]
+    pub fn set_flat(&mut self, i: usize, t: Texel) {
+        self.texels[i] = t;
+    }
+
+    /// The raw texel slice, row-major.
+    #[inline]
+    pub fn texels(&self) -> &[Texel] {
+        &self.texels
+    }
+
+    /// The raw texel slice, mutable.
+    #[inline]
+    pub fn texels_mut(&mut self) -> &mut [Texel] {
+        &mut self.texels
+    }
+
+    /// Extracts one channel as a flat row-major vector of length
+    /// `width × height`.
+    pub fn channel(&self, ch: Channel) -> Vec<f32> {
+        let i = ch.index();
+        self.texels.iter().map(|t| t[i]).collect()
+    }
+
+    /// Overwrites one channel from a flat row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width × height`.
+    pub fn set_channel(&mut self, ch: Channel, data: &[f32]) {
+        assert_eq!(
+            data.len(),
+            self.texels.len(),
+            "channel data length must equal texel count"
+        );
+        let i = ch.index();
+        for (t, &v) in self.texels.iter_mut().zip(data) {
+            t[i] = v;
+        }
+    }
+
+    /// Builds a surface from four equally long channel slices
+    /// (`R, G, B, A`), laid out row-major into a `width`-wide surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel lengths differ, are not a multiple of `width`,
+    /// or are zero.
+    pub fn from_channels(width: u32, channels: [&[f32]; 4]) -> Self {
+        let len = channels[0].len();
+        assert!(len > 0, "channels must be non-empty");
+        assert!(
+            channels.iter().all(|c| c.len() == len),
+            "all four channels must have equal length"
+        );
+        assert_eq!(len as u32 % width, 0, "channel length must be a multiple of width");
+        let height = len as u32 / width;
+        let mut s = Surface::new(width, height);
+        for (i, t) in s.texels.iter_mut().enumerate() {
+            *t = [channels[0][i], channels[1][i], channels[2][i], channels[3][i]];
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Surface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Surface")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let s = Surface::new(3, 2);
+        assert_eq!(s.texel_count(), 6);
+        assert_eq!(s.byte_size(), 96);
+        assert!(s.texels().iter().all(|t| *t == [0.0; 4]));
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut s = Surface::new(4, 4);
+        s.set(2, 3, [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.get(2, 3), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.get_flat(3 * 4 + 2), [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_major_layout() {
+        let mut s = Surface::new(4, 2);
+        for y in 0..2 {
+            for x in 0..4 {
+                s.set(x, y, [(y * 4 + x) as f32, 0.0, 0.0, 0.0]);
+            }
+        }
+        let r = s.channel(Channel::R);
+        assert_eq!(r, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn clamped_sampling() {
+        let mut s = Surface::new(2, 2);
+        s.set(0, 0, [9.0, 0.0, 0.0, 0.0]);
+        s.set(1, 1, [7.0, 0.0, 0.0, 0.0]);
+        assert_eq!(s.get_clamped(-5, -5)[0], 9.0);
+        assert_eq!(s.get_clamped(100, 100)[0], 7.0);
+    }
+
+    #[test]
+    fn channel_pack_unpack() {
+        let r = [1.0, 2.0, 3.0, 4.0];
+        let g = [5.0, 6.0, 7.0, 8.0];
+        let b = [9.0, 10.0, 11.0, 12.0];
+        let a = [13.0, 14.0, 15.0, 16.0];
+        let s = Surface::from_channels(2, [&r, &g, &b, &a]);
+        assert_eq!(s.width(), 2);
+        assert_eq!(s.height(), 2);
+        assert_eq!(s.channel(Channel::R), r.to_vec());
+        assert_eq!(s.channel(Channel::G), g.to_vec());
+        assert_eq!(s.channel(Channel::B), b.to_vec());
+        assert_eq!(s.channel(Channel::A), a.to_vec());
+        assert_eq!(s.get(1, 1), [4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn set_channel_only_touches_one_lane() {
+        let mut s = Surface::filled(2, 1, [1.0, 2.0, 3.0, 4.0]);
+        s.set_channel(Channel::B, &[30.0, 31.0]);
+        assert_eq!(s.get(0, 0), [1.0, 2.0, 30.0, 4.0]);
+        assert_eq!(s.get(1, 0), [1.0, 2.0, 31.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_rejected() {
+        let _ = Surface::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of width")]
+    fn from_channels_rejects_ragged_rows() {
+        let c = [1.0, 2.0, 3.0];
+        let _ = Surface::from_channels(2, [&c, &c, &c, &c]);
+    }
+}

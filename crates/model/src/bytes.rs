@@ -1,0 +1,124 @@
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign};
+
+use crate::SimTime;
+
+/// A volume of data moved over a memory interface or bus.
+///
+/// ```
+/// use gsm_model::Bytes;
+///
+/// let upload = Bytes::new(32 << 20); // 8 M f32 values
+/// let t = upload.time_at_bandwidth(800e6); // ~800 MB/s effective AGP 8X
+/// assert!((t.as_millis() - 41.943).abs() < 0.01);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Debug)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// The zero volume.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a byte count.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Bytes(n)
+    }
+
+    /// Byte volume of `n` 32-bit floats.
+    #[inline]
+    pub const fn of_f32s(n: u64) -> Self {
+        Bytes(n * 4)
+    }
+
+    /// The raw count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Adds `n` bytes, saturating on overflow.
+    #[inline]
+    pub fn bump(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Time to move this volume at `bytes_per_sec`.
+    #[inline]
+    pub fn time_at_bandwidth(self, bytes_per_sec: f64) -> SimTime {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        SimTime::from_secs(self.0 as f64 / bytes_per_sec)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    #[inline]
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Bytes {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bytes {
+    /// Formats with binary units: `512 B`, `64.0 KiB`, `32.0 MiB`, `1.5 GiB`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if b >= (1u64 << 30) as f64 {
+            write!(f, "{:.1} GiB", b / (1u64 << 30) as f64)
+        } else if b >= (1 << 20) as f64 {
+            write!(f, "{:.1} MiB", b / (1 << 20) as f64)
+        } else if b >= 1024.0 {
+            write!(f, "{:.1} KiB", b / 1024.0)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_volume() {
+        assert_eq!(Bytes::of_f32s(1024).get(), 4096);
+    }
+
+    #[test]
+    fn bandwidth_time() {
+        let t = Bytes::new(800).time_at_bandwidth(800.0);
+        assert!((t.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Bytes::new(100)), "100 B");
+        assert_eq!(format!("{}", Bytes::new(2048)), "2.0 KiB");
+        assert_eq!(format!("{}", Bytes::new(3 << 20)), "3.0 MiB");
+        assert_eq!(format!("{}", Bytes::new(3 << 30)), "3.0 GiB");
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut b = Bytes::ZERO;
+        b += Bytes::new(10);
+        b.bump(5);
+        assert_eq!(b.get(), 15);
+        let total: Bytes = (0..3).map(|_| Bytes::new(7)).sum();
+        assert_eq!(total.get(), 21);
+    }
+}

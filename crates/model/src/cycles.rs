@@ -1,0 +1,81 @@
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign};
+
+/// A count of clock cycles on some clock domain.
+///
+/// Plain `u64` newtype so cycle ledgers cannot be accidentally mixed with
+/// byte counts or element counts.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Debug)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// The zero count.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(n: u64) -> Self {
+        Cycles(n)
+    }
+
+    /// The raw count.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Adds `n` cycles, saturating on overflow.
+    #[inline]
+    pub fn bump(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_saturation() {
+        let mut c = Cycles::new(10);
+        c += Cycles::new(5);
+        assert_eq!(c.get(), 15);
+        c.bump(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+        assert_eq!((Cycles::new(u64::MAX) + Cycles::new(1)).get(), u64::MAX);
+    }
+
+    #[test]
+    fn sum() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total.get(), 10);
+    }
+}

@@ -1,0 +1,351 @@
+//! A software IEEE 754 binary16 ("half precision") type.
+//!
+//! The paper's 100 M-element input stream uses 16-bit floating point values
+//! (§5). Implementing the format from scratch keeps the workload width
+//! faithful without pulling in a dependency: values are *generated and
+//! stored* as [`F16`] and widened to `f32` on the way into the GPU texture,
+//! exactly as the original system widened them for the 32-bit float
+//! rasterization path.
+//!
+//! Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+//! Conversion from `f32` rounds to nearest, ties to even, and handles
+//! subnormals, overflow-to-infinity, and NaN propagation.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An IEEE 754 binary16 value.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct F16(u16);
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Most negative finite value (−65504).
+    pub const MIN: F16 = F16(0xFBFF);
+    /// Smallest positive normal value (2⁻¹⁴).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Machine epsilon (2⁻¹⁰).
+    pub const EPSILON: F16 = F16(0x1400);
+
+    /// Builds a value from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    ///
+    /// Values above the binary16 range become ±∞; tiny values flush through
+    /// the subnormal range down to ±0; NaN stays NaN.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN.
+            return if man == 0 {
+                F16(sign | EXP_MASK)
+            } else {
+                // Preserve a quiet NaN; keep a non-zero payload bit.
+                F16(sign | EXP_MASK | 0x0200 | ((man >> 13) as u16 & MAN_MASK))
+            };
+        }
+
+        // Unbiased exponent.
+        let e = exp - 127;
+        if e > 15 {
+            // Overflow → infinity.
+            return F16(sign | EXP_MASK);
+        }
+        if e >= -14 {
+            // Normal range. 23-bit mantissa → 10 bits with RNE.
+            let half_exp = ((e + 15) as u16) << 10;
+            let shifted = man >> 13;
+            let rest = man & 0x1FFF;
+            let mut out = sign | half_exp | (shifted as u16);
+            // Round to nearest, ties to even.
+            if rest > 0x1000 || (rest == 0x1000 && (shifted & 1) == 1) {
+                out = out.wrapping_add(1); // may carry into exponent: correct (rounds up to next binade or ∞)
+            }
+            return F16(out);
+        }
+        if e >= -25 {
+            // Subnormal range: the implicit leading 1 becomes explicit and
+            // the 24-bit significand shifts right by the exponent deficit
+            // (13 base bits plus one per step below 2⁻¹⁴).
+            let full_man = man | 0x0080_0000; // 24-bit significand
+            let shift_amt = (13 + (-14 - e)) as u32; // 14 ..= 24 for e in [-25, -15]
+            let kept = full_man >> shift_amt;
+            let rest_mask = (1u32 << shift_amt) - 1;
+            let rest = full_man & rest_mask;
+            let halfway = 1u32 << (shift_amt - 1);
+            let mut out = sign | (kept as u16);
+            if rest > halfway || (rest == halfway && (kept & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return F16(out);
+        }
+        // Underflow to signed zero.
+        F16(sign)
+    }
+
+    /// Widens to `f32` (exact: every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & SIGN_MASK) as u32) << 16;
+        let exp = ((self.0 & EXP_MASK) >> 10) as u32;
+        let man = (self.0 & MAN_MASK) as u32;
+
+        let bits = if exp == 0 {
+            if man == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: value = man × 2⁻²⁴. Normalize: with the top set
+                // bit of `man` at position p, value = 1.frac × 2^(p−24).
+                let p = 31 - man.leading_zeros();
+                let e = 103 + p; // (p − 24) + 127
+                let mantissa = (man << (23 - p)) & 0x007F_FFFF;
+                sign | (e << 23) | mantissa
+            }
+        } else if exp == 0x1F {
+            if man == 0 {
+                sign | 0x7F80_0000
+            } else {
+                sign | 0x7FC0_0000 | (man << 13)
+            }
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (man << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// True if NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True if ±∞.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !SIGN_MASK) == EXP_MASK
+    }
+
+    /// True if neither NaN nor infinite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// True if the sign bit is set (including −0 and NaN with sign).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        self.0 & SIGN_MASK != 0
+    }
+
+    /// A total order on bit patterns matching IEEE `totalOrder` for
+    /// non-NaN values: −∞ < … < −0 < +0 is collapsed (−0 == +0 here since
+    /// we order by numeric value), NaN sorts after everything.
+    pub fn total_cmp(self, other: F16) -> Ordering {
+        match (self.is_nan(), other.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self
+                .to_f32()
+                .partial_cmp(&other.to_f32())
+                .expect("non-NaN comparison cannot fail"),
+        }
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> f32 {
+        h.to_f32()
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> F16 {
+        F16::from_f32(x)
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_decode() {
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(F16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN.to_f32(), -65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(F16::EPSILON.to_f32(), 2.0f32.powi(-10));
+        assert!(F16::NAN.is_nan());
+    }
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048i32 {
+            let h = F16::from_f32(i as f32);
+            assert_eq!(h.to_f32(), i as f32, "i = {i}");
+        }
+    }
+
+    #[test]
+    fn halves_and_quarters_round_trip() {
+        for i in 0..1000 {
+            let x = i as f32 * 0.25;
+            assert_eq!(F16::from_f32(x).to_f32(), x);
+        }
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(F16::from_f32(1e6), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e6), F16::NEG_INFINITY);
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY); // just past MAX rounding boundary
+        assert_eq!(F16::from_f32(65503.9), F16::MAX);
+    }
+
+    #[test]
+    fn underflow_to_zero_and_subnormals() {
+        assert_eq!(F16::from_f32(1e-10).to_bits(), 0);
+        assert_eq!(F16::from_f32(-1e-10).to_bits(), SIGN_MASK);
+        // Smallest subnormal is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        let h = F16::from_f32(tiny);
+        assert_eq!(h.to_bits(), 1);
+        assert_eq!(h.to_f32(), tiny);
+        // Halfway between 0 and 2^-24 rounds to even (zero).
+        assert_eq!(F16::from_f32(2.0f32.powi(-25)).to_bits(), 0);
+    }
+
+    #[test]
+    fn subnormal_round_trip_all() {
+        // Every subnormal bit pattern must round-trip exactly through f32.
+        for bits in 1..0x0400u16 {
+            let h = F16::from_bits(bits);
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "bits = {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn all_finite_bit_patterns_round_trip() {
+        for bits in 0..=0xFFFFu16 {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(
+                    F16::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits = {bits:#06x} val = {}",
+                    h.to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; ties to even
+        // picks 1 (mantissa 0 is even).
+        let x = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(x), F16::ONE);
+        // 1 + 3·2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to
+        // 1 + 2^-9 (mantissa 2, even).
+        let y = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(y).to_f32(), 1.0 + 2.0f32.powi(-9));
+        // Anything past halfway rounds up.
+        let z = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(z).to_f32(), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn rounding_carry_into_exponent() {
+        // The largest mantissa in a binade rounds up into the next binade.
+        let x = 2047.6f32; // within (2047.5, 2048): nearest half is 2048
+        assert_eq!(F16::from_f32(x).to_f32(), 2048.0);
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        let vals = [-65504.0f32, -1.5, -0.0, 0.0, 0.25, 1.0, 2048.0, 65504.0];
+        for &a in &vals {
+            for &b in &vals {
+                let (ha, hb) = (F16::from_f32(a), F16::from_f32(b));
+                assert_eq!(ha.partial_cmp(&hb), a.partial_cmp(&b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_cmp_handles_nan() {
+        assert_eq!(F16::NAN.total_cmp(F16::NAN), Ordering::Equal);
+        assert_eq!(F16::NAN.total_cmp(F16::INFINITY), Ordering::Greater);
+        assert_eq!(F16::NEG_INFINITY.total_cmp(F16::NAN), Ordering::Less);
+        assert_eq!(F16::ONE.total_cmp(F16::ZERO), Ordering::Greater);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(F16::ONE.is_finite());
+        assert!(!F16::INFINITY.is_finite());
+        assert!(F16::INFINITY.is_infinite());
+        assert!(!F16::NAN.is_infinite());
+        assert!(F16::MIN.is_sign_negative());
+        assert!(!F16::MAX.is_sign_negative());
+    }
+
+    #[test]
+    fn nan_propagates_through_conversion() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::NAN.to_f32().is_nan());
+    }
+}

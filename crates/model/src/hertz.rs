@@ -1,0 +1,123 @@
+use core::fmt;
+
+use crate::{Cycles, SimTime};
+
+/// A clock frequency.
+///
+/// Used for GPU core clocks, GPU memory clocks, and CPU core clocks in the
+/// calibrated device presets.
+///
+/// ```
+/// use gsm_model::{Cycles, Hertz};
+///
+/// let core = Hertz::from_mhz(400.0); // GeForce 6800 Ultra core clock
+/// let t = core.time_for(Cycles::new(400_000_000));
+/// assert!((t.as_secs() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug)]
+pub struct Hertz(f64);
+
+impl Hertz {
+    /// Creates a frequency from raw hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is not strictly positive.
+    #[inline]
+    pub fn new(hz: f64) -> Self {
+        assert!(hz > 0.0, "clock frequency must be positive: {hz}");
+        Hertz(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self::new(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self::new(ghz * 1e9)
+    }
+
+    /// The frequency in hertz.
+    #[inline]
+    pub fn as_hz(self) -> f64 {
+        self.0
+    }
+
+    /// The frequency in gigahertz.
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// The duration of one clock period.
+    #[inline]
+    pub fn period(self) -> SimTime {
+        SimTime::from_secs(1.0 / self.0)
+    }
+
+    /// Converts a cycle count at this clock into simulated time.
+    #[inline]
+    pub fn time_for(self, cycles: Cycles) -> SimTime {
+        SimTime::from_secs(cycles.get() as f64 / self.0)
+    }
+
+    /// Converts a fractional cycle count at this clock into simulated time.
+    ///
+    /// Throughput models often charge fractional cycles per item (e.g. 1/16
+    /// of a cycle per fragment across 16 pipes).
+    #[inline]
+    pub fn time_for_f64(self, cycles: f64) -> SimTime {
+        SimTime::from_secs(cycles.max(0.0) / self.0)
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e9 {
+            write!(f, "{:.2} GHz", self.0 * 1e-9)
+        } else {
+            write!(f, "{:.0} MHz", self.0 * 1e-6)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(Hertz::from_mhz(400.0).as_hz(), 4e8);
+        assert_eq!(Hertz::from_ghz(3.4).as_hz(), 3.4e9);
+        assert!((Hertz::from_ghz(3.4).as_ghz() - 3.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_is_reciprocal() {
+        let c = Hertz::from_mhz(400.0);
+        assert!((c.period().as_secs() - 2.5e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn cycles_to_time() {
+        let c = Hertz::from_ghz(1.0);
+        assert!((c.time_for(Cycles::new(1_000)).as_micros() - 1.0).abs() < 1e-12);
+        assert!((c.time_for_f64(0.5).as_secs() - 0.5e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = Hertz::new(0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Hertz::from_mhz(400.0)), "400 MHz");
+        assert_eq!(format!("{}", Hertz::from_ghz(3.4)), "3.40 GHz");
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Shared performance-model primitives for the `gsm` workspace.
+//!
+//! Every component of the reproduction — the simulated GPU rasterization
+//! pipeline, the CPU cache/branch timing model, and the CPU↔GPU bus — reports
+//! costs in *simulated time*, not host wall-clock time. This crate defines the
+//! common vocabulary those models share:
+//!
+//! * [`SimTime`] — a simulated duration with exact-ish arithmetic and
+//!   human-readable formatting,
+//! * [`Hertz`] — clock frequencies (core clocks, memory clocks),
+//! * [`Bytes`] — data volumes moved over memory interfaces and buses,
+//! * [`Cycles`] — raw cycle counts convertible to time at a given clock.
+//!
+//! Keeping these in one tiny crate lets `gsm-gpu` and `gsm-cpu` stay
+//! independent of each other while the `gsm-core` co-processor pipeline can
+//! add their contributions into a single ledger.
+
+mod bytes;
+pub mod f16;
+mod cycles;
+mod hertz;
+mod time;
+
+pub use bytes::Bytes;
+pub use f16::F16;
+pub use cycles::Cycles;
+pub use hertz::Hertz;
+pub use time::SimTime;

@@ -1,0 +1,247 @@
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration in *simulated* time.
+///
+/// All performance numbers produced by the reproduction are simulated: the
+/// GPU model charges render passes against the GeForce 6800 Ultra's published
+/// resources, and the CPU model charges instrumented algorithms against a
+/// Pentium IV cache/branch model. `SimTime` is the common currency.
+///
+/// Internally a non-negative `f64` number of seconds. `f64` gives ~15
+/// significant digits, far more than the fidelity of any timing model here,
+/// while keeping arithmetic (sums over millions of render passes) cheap.
+///
+/// # Examples
+///
+/// ```
+/// use gsm_model::SimTime;
+///
+/// let pass = SimTime::from_micros(3.0);
+/// let total = pass * 441.0;
+/// assert!((total.as_millis() - 1.323).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime {
+    seconds: f64,
+}
+
+impl SimTime {
+    /// The zero duration.
+    pub const ZERO: SimTime = SimTime { seconds: 0.0 };
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `seconds` is negative or NaN.
+    #[inline]
+    pub fn from_secs(seconds: f64) -> Self {
+        debug_assert!(seconds >= 0.0, "SimTime must be non-negative: {seconds}");
+        SimTime { seconds }
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::from_secs(ns * 1e-9)
+    }
+
+    /// The duration in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.seconds
+    }
+
+    /// The duration in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.seconds * 1e3
+    }
+
+    /// The duration in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.seconds * 1e6
+    }
+
+    /// Returns the larger of two durations.
+    ///
+    /// Used by resource models that are limited by the slower of two
+    /// pipelines (e.g. compute throughput vs. DRAM bandwidth).
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.seconds >= other.seconds {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns true if this is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.seconds == 0.0
+    }
+
+    /// The ratio `self / other`, e.g. for computing time-share breakdowns.
+    ///
+    /// Returns 0 when `other` is zero.
+    #[inline]
+    pub fn fraction_of(self, other: SimTime) -> f64 {
+        if other.seconds == 0.0 {
+            0.0
+        } else {
+            self.seconds / other.seconds
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime { seconds: self.seconds + rhs.seconds }
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.seconds += rhs.seconds;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// Saturating subtraction: simulated durations never go negative.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime { seconds: (self.seconds - rhs.seconds).max(0.0) }
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.seconds * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.seconds / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({self})")
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Formats with an auto-selected unit: `1.234 s`, `56.7 ms`, `890 µs`, `12 ns`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.seconds;
+        if s >= 1.0 {
+            write!(f, "{s:.3} s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3} ms", s * 1e3)
+        } else if s >= 1e-6 {
+            write!(f, "{:.3} µs", s * 1e6)
+        } else {
+            write!(f, "{:.1} ns", s * 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips_units() {
+        assert_eq!(SimTime::from_millis(1.0).as_secs(), 1e-3);
+        assert_eq!(SimTime::from_micros(1.0).as_secs(), 1e-6);
+        assert_eq!(SimTime::from_nanos(1.0).as_secs(), 1e-9);
+        assert_eq!(SimTime::from_secs(2.5).as_millis(), 2500.0);
+        assert_eq!(SimTime::from_secs(2.5).as_micros(), 2.5e6);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(3.0);
+        let b = SimTime::from_millis(1.0);
+        assert_eq!((a + b).as_millis(), 4.0);
+        assert_eq!((a - b).as_millis(), 2.0);
+        // Saturating subtraction.
+        assert_eq!((b - a), SimTime::ZERO);
+        assert_eq!((a * 2.0).as_millis(), 6.0);
+        assert_eq!((a / 2.0).as_millis(), 1.5);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_millis(), 4.0);
+        c -= b;
+        assert_eq!(c.as_millis(), 3.0);
+    }
+
+    #[test]
+    fn max_and_fraction() {
+        let a = SimTime::from_millis(3.0);
+        let b = SimTime::from_millis(1.0);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.max(a), a);
+        assert!((b.fraction_of(a) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(b.fraction_of(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: SimTime = (0..10).map(|_| SimTime::from_micros(5.0)).sum();
+        assert!((total.as_micros() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_secs(1.5)), "1.500 s");
+        assert_eq!(format!("{}", SimTime::from_millis(12.0)), "12.000 ms");
+        assert_eq!(format!("{}", SimTime::from_micros(7.5)), "7.500 µs");
+        assert_eq!(format!("{}", SimTime::from_nanos(80.0)), "80.0 ns");
+    }
+
+    #[test]
+    fn zero_checks() {
+        assert!(SimTime::ZERO.is_zero());
+        assert!(!SimTime::from_nanos(1.0).is_zero());
+    }
+}

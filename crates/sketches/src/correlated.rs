@@ -1,0 +1,405 @@
+//! Correlated sum aggregates (paper §1.2: "Our approach … is also
+//! applicable to … correlated sum aggregate queries").
+//!
+//! A correlated aggregate couples two attributes: over a stream of pairs
+//! `(x, y)` it answers `SUM{ y : x ≤ Q_φ(x) }` — e.g. "total bytes of the
+//! shortest 95 % of flows". The machinery is the quantile machinery with
+//! one extra field: every sampled entry carries, besides its rank bounds,
+//! *bounds on the cumulative `y`-mass* at its position in `x`-order.
+//!
+//! Windows arrive sorted by `x` (the GPU sort in the full pipeline, with
+//! `y` riding along); sampling records exact prefix sums, merging combines
+//! mass bounds with the same predecessor/successor rules as ranks, and an
+//! internal exponential histogram extends the summary to unbounded streams.
+//!
+//! `y` values must be non-negative — the mass-bound rules rely on
+//! monotonicity of prefix sums.
+
+use crate::summary::OpCounter;
+
+/// A sampled entry: an `x` value with rank bounds and cumulative-`y` bounds.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CorrEntry {
+    /// The x (ordering) value.
+    pub x: f32,
+    /// Smallest possible rank of this occurrence in x-order.
+    pub rmin: u64,
+    /// Largest possible rank.
+    pub rmax: u64,
+    /// Lower bound on Σy over elements up to this occurrence.
+    pub sum_lo: f64,
+    /// Upper bound on Σy over elements up to this occurrence.
+    pub sum_hi: f64,
+}
+
+/// An ε-approximate correlated-sum summary of a fixed multiset of pairs.
+#[derive(Clone, Debug)]
+pub struct CorrSummary {
+    entries: Vec<CorrEntry>,
+    count: u64,
+    total: f64,
+}
+
+impl CorrSummary {
+    /// Builds a summary of a window of pairs *sorted by x*, sampling every
+    /// `⌈eps·S⌉`-th position with exact ranks and prefix sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty, `eps ∉ (0, 1]`, any `y` is negative,
+    /// or (debug) the window is not x-sorted.
+    pub fn from_sorted(pairs: &[(f32, f32)], eps: f64) -> Self {
+        assert!(!pairs.is_empty(), "cannot summarize an empty window");
+        assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+        assert!(pairs.iter().all(|&(_, y)| y >= 0.0), "y values must be non-negative");
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0), "window must be x-sorted");
+
+        let s = pairs.len();
+        let stride = ((eps * s as f64).ceil() as usize).max(1);
+        let mut prefix = 0.0f64;
+        let mut prefix_at = Vec::with_capacity(s);
+        for &(_, y) in pairs {
+            prefix += y as f64;
+            prefix_at.push(prefix);
+        }
+        let total = prefix;
+
+        let mut entries = Vec::with_capacity(s / stride + 2);
+        let mut push = |rank: usize| {
+            let e = CorrEntry {
+                x: pairs[rank - 1].0,
+                rmin: rank as u64,
+                rmax: rank as u64,
+                sum_lo: prefix_at[rank - 1],
+                sum_hi: prefix_at[rank - 1],
+            };
+            entries.push(e);
+        };
+        push(1);
+        let mut rank = stride;
+        while rank < s {
+            if rank > 1 {
+                push(rank);
+            }
+            rank += stride;
+        }
+        if s > 1 {
+            push(s);
+        }
+        CorrSummary { entries, count: s as u64, total }
+    }
+
+    /// Summarized pair count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact total Σy (always tracked exactly).
+    pub fn total_sum(&self) -> f64 {
+        self.total
+    }
+
+    /// Stored entries.
+    pub fn entries(&self) -> &[CorrEntry] {
+        &self.entries
+    }
+
+    /// Merges two summaries over disjoint multisets: ranks combine with the
+    /// GK04 predecessor/successor rules, cumulative masses with their
+    /// monotone analogue.
+    pub fn merge(a: &CorrSummary, b: &CorrSummary, ops: &mut OpCounter) -> CorrSummary {
+        let mut entries = Vec::with_capacity(a.entries.len() + b.entries.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.entries.len() || j < b.entries.len() {
+            let take_a = match (a.entries.get(i), b.entries.get(j)) {
+                (Some(ea), Some(eb)) => {
+                    ops.comparisons += 1;
+                    ea.x <= eb.x
+                }
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let merged = if take_a {
+                let e = a.entries[i];
+                i += 1;
+                combine(e, b, j)
+            } else {
+                let e = b.entries[j];
+                j += 1;
+                combine(e, a, i)
+            };
+            ops.moves += 1;
+            entries.push(merged);
+        }
+        CorrSummary { entries, count: a.count + b.count, total: a.total + b.total }
+    }
+
+    /// Prunes to at most `b + 1` entries by rank queries (keeps the exact
+    /// total).
+    pub fn prune(&self, b: usize, ops: &mut OpCounter) -> CorrSummary {
+        assert!(b > 0, "prune target must be positive");
+        let mut entries: Vec<CorrEntry> = Vec::with_capacity(b + 1);
+        for k in 0..=b {
+            let r = ((k as f64 / b as f64) * self.count as f64).ceil().max(1.0) as u64;
+            let e = self.lookup_rank(r);
+            ops.comparisons += (self.entries.len().max(1)).ilog2() as u64 + 1;
+            let repeat = entries.last().is_some_and(|l: &CorrEntry| l == &e);
+            if !repeat {
+                entries.push(e);
+                ops.moves += 1;
+            }
+        }
+        CorrSummary { entries, count: self.count, total: self.total }
+    }
+
+    fn lookup_rank(&self, r: u64) -> CorrEntry {
+        let pos = self.entries.partition_point(|e| e.rmin < r);
+        let mut best: Option<(u64, CorrEntry)> = None;
+        for c in [pos.checked_sub(1), Some(pos)].into_iter().flatten() {
+            if let Some(&e) = self.entries.get(c) {
+                let dist = if r > e.rmax {
+                    r - e.rmax
+                } else {
+                    e.rmin.saturating_sub(r)
+                };
+                if best.map(|(bd, _)| dist < bd).unwrap_or(true) {
+                    best = Some((dist, e));
+                }
+            }
+        }
+        best.expect("summary is non-empty").1
+    }
+
+    /// Bounds on `SUM{ y : x ≤ Q_φ(x) }`: the cumulative-mass interval of
+    /// the entry covering rank `⌈φ·count⌉`.
+    pub fn query_sum(&self, phi: f64) -> (f64, f64) {
+        let r = ((phi * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let e = self.lookup_rank(r);
+        (e.sum_lo, e.sum_hi)
+    }
+}
+
+/// Recomputes `e` against `other`, where `j` is the first not-yet-consumed
+/// index of `other` (entries before `j` have x ≤ e.x).
+fn combine(e: CorrEntry, other: &CorrSummary, j: usize) -> CorrEntry {
+    let (rmin, sum_lo) = if j > 0 {
+        let p = other.entries[j - 1];
+        (e.rmin + p.rmin, e.sum_lo + p.sum_lo)
+    } else {
+        (e.rmin, e.sum_lo)
+    };
+    let (rmax, sum_hi) = if j < other.entries.len() {
+        let s = other.entries[j];
+        (e.rmax + s.rmax - 1, e.sum_hi + s.sum_hi)
+    } else {
+        (e.rmax + other.count, e.sum_hi + other.total)
+    };
+    CorrEntry { x: e.x, rmin, rmax, sum_lo, sum_hi }
+}
+
+/// Streaming correlated-sum summary: an exponential histogram of
+/// [`CorrSummary`] buckets (same carry structure as the quantile path).
+pub struct CorrelatedSum {
+    eps: f64,
+    levels: Vec<Option<CorrSummary>>,
+    prune_b: usize,
+    count: u64,
+    ops: OpCounter,
+}
+
+impl CorrelatedSum {
+    /// Creates an empty streaming summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1`, `window > 0`, `n_hint ≥ window`.
+    pub fn new(eps: f64, window: usize, n_hint: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+        assert!(window > 0 && n_hint >= window as u64, "bad window/hint");
+        let max_levels = ((n_hint as f64 / window as f64).log2().ceil() as usize).max(1) + 1;
+        let delta = eps / (2.0 * max_levels as f64);
+        let prune_b = (1.0 / (2.0 * delta)).ceil() as usize;
+        CorrelatedSum { eps, levels: Vec::new(), prune_b, count: 0, ops: OpCounter::default() }
+    }
+
+    /// The sampling error for per-window summaries.
+    pub fn window_eps(&self) -> f64 {
+        self.eps / 2.0
+    }
+
+    /// Pairs processed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Merge/prune operation counters.
+    pub fn ops(&self) -> OpCounter {
+        self.ops
+    }
+
+    /// Folds in one x-sorted window of pairs.
+    pub fn push_sorted_window(&mut self, pairs: &[(f32, f32)]) {
+        let summary = CorrSummary::from_sorted(pairs, self.window_eps());
+        self.count += summary.count();
+        let mut carry = summary;
+        let mut level = 0;
+        loop {
+            if level == self.levels.len() {
+                self.levels.push(Some(carry));
+                return;
+            }
+            match self.levels[level].take() {
+                None => {
+                    self.levels[level] = Some(carry);
+                    return;
+                }
+                Some(existing) => {
+                    let merged = CorrSummary::merge(&existing, &carry, &mut self.ops);
+                    carry = if merged.entries().len() > self.prune_b + 1 {
+                        merged.prune(self.prune_b, &mut self.ops)
+                    } else {
+                        merged
+                    };
+                    level += 1;
+                }
+            }
+        }
+    }
+
+    /// Bounds on `SUM{ y : x ≤ Q_φ(x) }` over everything pushed so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been pushed.
+    pub fn query_sum(&self, phi: f64) -> (f64, f64) {
+        self.snapshot().query_sum(phi)
+    }
+
+    /// Exact total Σy.
+    pub fn total_sum(&self) -> f64 {
+        self.levels.iter().flatten().map(CorrSummary::total_sum).sum()
+    }
+
+    fn snapshot(&self) -> CorrSummary {
+        let mut ops = OpCounter::default();
+        let mut acc: Option<CorrSummary> = None;
+        for s in self.levels.iter().flatten() {
+            acc = Some(match acc {
+                None => s.clone(),
+                Some(a) => CorrSummary::merge(&a, s, &mut ops),
+            });
+        }
+        acc.expect("cannot query an empty summary")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exact SUM{y : x <= phi-quantile of x}.
+    fn exact_correlated_sum(pairs: &[(f32, f32)], phi: f64) -> f64 {
+        let mut sorted = pairs.to_vec();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let r = ((phi * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[..r].iter().map(|&(_, y)| y as f64).sum()
+    }
+
+    fn random_pairs(n: usize, seed: u64) -> Vec<(f32, f32)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (rng.random_range(0.0..1000.0), rng.random_range(0.0..10.0)))
+            .collect()
+    }
+
+    fn run_stream(pairs: &[(f32, f32)], eps: f64, window: usize) -> CorrelatedSum {
+        let mut cs = CorrelatedSum::new(eps, window, pairs.len() as u64);
+        for chunk in pairs.chunks(window) {
+            let mut w = chunk.to_vec();
+            w.sort_by(|a, b| a.0.total_cmp(&b.0));
+            cs.push_sorted_window(&w);
+        }
+        cs
+    }
+
+    #[test]
+    fn single_window_bounds_contain_exact() {
+        let pairs = random_pairs(1000, 1);
+        let mut sorted = pairs.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let summary = CorrSummary::from_sorted(&sorted, 0.01);
+        for phi in [0.1, 0.5, 0.9, 1.0] {
+            let exact = exact_correlated_sum(&pairs, phi);
+            let (lo, hi) = summary.query_sum(phi);
+            // Sampled ranks are exact within one window; the answer can be
+            // off only by the mass inside one sampling gap.
+            let slack = 0.01 * summary.count() as f64 * 10.0 + 1e-6;
+            assert!(lo - slack <= exact && exact <= hi + slack, "phi={phi}: [{lo},{hi}] vs {exact}");
+        }
+    }
+
+    #[test]
+    fn streaming_bounds_contain_exact() {
+        let pairs = random_pairs(40_000, 2);
+        let eps = 0.01;
+        let cs = run_stream(&pairs, eps, 1024);
+        assert_eq!(cs.count(), 40_000);
+        for phi in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let exact = exact_correlated_sum(&pairs, phi);
+            let (lo, hi) = cs.query_sum(phi);
+            // Rank slack of eps*N positions, each carrying at most y_max.
+            let slack = eps * pairs.len() as f64 * 10.0;
+            assert!(
+                lo - slack <= exact && exact <= hi + slack,
+                "phi={phi}: [{lo:.0},{hi:.0}] vs {exact:.0} (slack {slack:.0})"
+            );
+            // The interval itself must be usefully tight.
+            assert!(hi - lo <= 4.0 * slack, "phi={phi}: width {}", hi - lo);
+        }
+    }
+
+    #[test]
+    fn total_sum_is_exact() {
+        let pairs = random_pairs(10_000, 3);
+        let cs = run_stream(&pairs, 0.02, 512);
+        let exact: f64 = pairs.iter().map(|&(_, y)| y as f64).sum();
+        assert!((cs.total_sum() - exact).abs() < 1e-6 * exact);
+    }
+
+    #[test]
+    fn full_range_query_returns_total() {
+        let pairs = random_pairs(5_000, 4);
+        let cs = run_stream(&pairs, 0.02, 512);
+        let (lo, hi) = cs.query_sum(1.0);
+        let total = cs.total_sum();
+        assert!(lo <= total + 1e-9 && total <= hi + 1e-9);
+    }
+
+    #[test]
+    fn correlated_with_skewed_mass() {
+        // All the y-mass sits on the largest x values: SUM up to the median
+        // must be near zero, SUM up to 1.0 must be everything.
+        let mut rng = StdRng::seed_from_u64(5);
+        let pairs: Vec<(f32, f32)> = (0..20_000)
+            .map(|_| {
+                let x: f32 = rng.random_range(0.0..1000.0);
+                let y = if x > 900.0 { 100.0 } else { 0.0 };
+                (x, y)
+            })
+            .collect();
+        let cs = run_stream(&pairs, 0.01, 1024);
+        let exact_total: f64 = pairs.iter().map(|&(_, y)| y as f64).sum();
+        let (_, hi_mid) = cs.query_sum(0.5);
+        assert!(hi_mid < 0.1 * exact_total, "median prefix holds no mass: {hi_mid}");
+        let (lo_full, _) = cs.query_sum(1.0);
+        assert!(lo_full > 0.9 * exact_total);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_y_rejected() {
+        let _ = CorrSummary::from_sorted(&[(1.0, -1.0)], 0.1);
+    }
+}

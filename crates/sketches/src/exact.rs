@@ -1,0 +1,149 @@
+//! Exact offline oracles.
+//!
+//! Tests and the experiment harnesses compare every approximate answer
+//! against ground truth computed here: exact quantiles by full sort, exact
+//! frequencies by counting. Values are keyed by their IEEE bit pattern
+//! (the streams are NaN-free and quantized to the f16 grid, so bitwise
+//! equality is value equality).
+
+use std::collections::HashMap;
+
+/// Ground truth for a fixed dataset.
+pub struct ExactStats {
+    sorted: Vec<f32>,
+    counts: HashMap<u32, u64>,
+}
+
+impl ExactStats {
+    /// Builds the oracle (sorts a copy of the data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    pub fn new(data: &[f32]) -> Self {
+        assert!(!data.is_empty(), "oracle needs at least one value");
+        assert!(data.iter().all(|v| !v.is_nan()), "oracle data must be NaN-free");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f32::total_cmp);
+        let mut counts = HashMap::new();
+        for v in data {
+            *counts.entry(v.to_bits()).or_insert(0) += 1;
+        }
+        ExactStats { sorted, counts }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction rejects empty data); present for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The exact φ-quantile: the element of (1-based) rank `⌈φ·N⌉`
+    /// (clamped to `[1, N]`).
+    pub fn quantile(&self, phi: f64) -> f32 {
+        let n = self.sorted.len();
+        let rank = ((phi * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+
+    /// The exact rank range of `value`: 1-based ranks `[lo, hi]` that the
+    /// value's occurrences occupy, or the insertion rank `(r, r−1)`-style
+    /// empty range if absent.
+    pub fn rank_range(&self, value: f32) -> (u64, u64) {
+        let lo = self.sorted.partition_point(|v| *v < value) as u64;
+        let hi = self.sorted.partition_point(|v| *v <= value) as u64;
+        (lo + 1, hi)
+    }
+
+    /// The exact frequency of `value`.
+    pub fn frequency(&self, value: f32) -> u64 {
+        self.counts.get(&value.to_bits()).copied().unwrap_or(0)
+    }
+
+    /// All values with frequency ≥ `threshold`, ascending by value.
+    pub fn heavy_hitters(&self, threshold: u64) -> Vec<(f32, u64)> {
+        let mut out: Vec<(f32, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(&bits, &c)| (f32::from_bits(bits), c))
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// The observed rank error of claiming `value` is the φ-quantile, as a
+    /// fraction of N: `|rank(value) − φ·N| / N` using the closest rank of
+    /// an occurrence of `value` (or its insertion point if absent).
+    pub fn quantile_rank_error(&self, phi: f64, value: f32) -> f64 {
+        let n = self.sorted.len() as f64;
+        let target = (phi * n).ceil().clamp(1.0, n);
+        let (lo, hi) = self.rank_range(value);
+        let (lo, hi) = if hi < lo { (lo, lo) } else { (lo, hi) };
+        let dist = if target < lo as f64 {
+            lo as f64 - target
+        } else if target > hi as f64 {
+            target - hi as f64
+        } else {
+            0.0
+        };
+        dist / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_a_ramp() {
+        let data: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        let s = ExactStats::new(&data);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(0.5), 50.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert_eq!(s.quantile(0.25), 25.0);
+    }
+
+    #[test]
+    fn rank_ranges_with_duplicates() {
+        let s = ExactStats::new(&[1.0, 2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(s.rank_range(2.0), (2, 4));
+        assert_eq!(s.rank_range(1.0), (1, 1));
+        assert_eq!(s.rank_range(5.0), (5, 5));
+        // Absent value: empty range at its insertion point.
+        let (lo, hi) = s.rank_range(3.0);
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn frequencies_and_heavy_hitters() {
+        let data = [1.0f32, 2.0, 2.0, 3.0, 3.0, 3.0];
+        let s = ExactStats::new(&data);
+        assert_eq!(s.frequency(3.0), 3);
+        assert_eq!(s.frequency(9.0), 0);
+        assert_eq!(s.heavy_hitters(2), vec![(2.0, 2), (3.0, 3)]);
+        assert_eq!(s.heavy_hitters(4), vec![]);
+    }
+
+    #[test]
+    fn rank_error_zero_inside_duplicate_run() {
+        let s = ExactStats::new(&[1.0, 2.0, 2.0, 2.0, 5.0]);
+        // φ = 0.5 targets rank 3; 2.0 occupies ranks 2..=4.
+        assert_eq!(s.quantile_rank_error(0.5, 2.0), 0.0);
+        // 5.0 is at rank 5, distance 2 from target 3 → 0.4.
+        assert!((s.quantile_rank_error(0.5, 5.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_error_for_absent_value() {
+        let s = ExactStats::new(&[1.0, 2.0, 4.0, 5.0]);
+        // 3.0 would insert at rank 3; φ=0.5 targets rank 2 → error 1/4.
+        assert!((s.quantile_rank_error(0.5, 3.0) - 0.25).abs() < 1e-12);
+    }
+}

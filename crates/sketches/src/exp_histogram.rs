@@ -1,0 +1,287 @@
+//! The exponential histogram of summaries that lifts GK04 from a fixed
+//! dataset to an unbounded stream (paper §5.2).
+//!
+//! *"The exponential histogram has log N buckets and each bucket is
+//! associated with a bucket id. … Initially, we set all the buckets as
+//! empty. Next, we compute an ε′-approximate summary for each new window of
+//! elements and assign it a bucket id of one and add it to the exponential
+//! histogram. If there are two buckets with same bucket id, we combine the
+//! two into one larger bucket and increment their bucket id by one. The
+//! combine operation involves a merge and prune operation performed using an
+//! error parameter for (bucket id + 1)."*
+//!
+//! # Error budget
+//!
+//! Level-1 buckets are built at `ε/2`. Each combine's prune is allotted
+//! `δ = ε / (2·L)` where `L` is the number of levels implied by the stream
+//! length hint, so a bucket that climbed through all `L` levels carries at
+//! most `ε/2 + L·δ = ε`. Querying merges all live buckets (merge adds no
+//! error), so every answer is `ε`-approximate.
+
+use crate::gk_window::WindowSummary;
+use crate::summary::OpCounter;
+
+/// Streaming ε-approximate quantile summary: an exponential histogram of
+/// GK04 window summaries.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ExpHistogram {
+    eps: f64,
+    window: usize,
+    /// `levels[k]` holds the bucket of id `k+1`, covering `2^k` windows.
+    levels: Vec<Option<WindowSummary>>,
+    /// Prune target: each combine prunes to `prune_b + 1` entries.
+    prune_b: usize,
+    count: u64,
+    merge_ops: OpCounter,
+    prune_ops: OpCounter,
+}
+
+impl ExpHistogram {
+    /// Creates an empty histogram.
+    ///
+    /// * `eps` — total error bound for queries.
+    /// * `window` — elements per level-1 window (the paper uses
+    ///   `⌈1/(2ε)⌉`-ish windows; any positive size works).
+    /// * `n_hint` — expected stream length, used to size the level count
+    ///   and per-level prune budgets. Streams longer than the hint keep
+    ///   working; the error bound degrades gracefully as extra levels
+    ///   appear.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1`, `window > 0`, and `n_hint ≥ window`.
+    pub fn new(eps: f64, window: usize, n_hint: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1), got {eps}");
+        assert!(window > 0, "window must be positive");
+        assert!(n_hint >= window as u64, "n_hint must cover at least one window");
+        let max_levels = ((n_hint as f64 / window as f64).log2().ceil() as usize).max(1) + 1;
+        let delta = eps / (2.0 * max_levels as f64);
+        let prune_b = (1.0 / (2.0 * delta)).ceil() as usize;
+        ExpHistogram {
+            eps,
+            window,
+            levels: Vec::new(),
+            prune_b,
+            count: 0,
+            merge_ops: OpCounter::default(),
+            prune_ops: OpCounter::default(),
+        }
+    }
+
+    /// Target error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Elements per level-1 window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Elements summarized so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Combined operation counters for merge + prune work.
+    pub fn ops(&self) -> OpCounter {
+        let mut o = self.merge_ops;
+        o.absorb(self.prune_ops);
+        o
+    }
+
+    /// Operation counters for the merge phase only.
+    pub fn merge_ops(&self) -> OpCounter {
+        self.merge_ops
+    }
+
+    /// Operation counters for the prune (compress) phase only.
+    pub fn prune_ops(&self) -> OpCounter {
+        self.prune_ops
+    }
+
+    /// Total stored entries across all buckets (memory footprint).
+    pub fn entry_count(&self) -> usize {
+        self.levels.iter().flatten().map(|s| s.entries().len()).sum()
+    }
+
+    /// Folds in one sorted window. Windows should be built at `ε/2`
+    /// ([`Self::window_eps`]); this method samples the run itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or (debug) unsorted.
+    pub fn push_sorted_window(&mut self, sorted: &[f32]) {
+        let summary = WindowSummary::from_sorted(sorted, self.window_eps());
+        self.push_summary(summary);
+    }
+
+    /// The sampling error at which level-1 window summaries are built.
+    pub fn window_eps(&self) -> f64 {
+        self.eps / 2.0
+    }
+
+    /// Folds in a pre-built level-1 window summary (the GPU path builds the
+    /// summary from an already-sorted readback).
+    pub fn push_summary(&mut self, summary: WindowSummary) {
+        self.count += summary.count();
+        // Carry-propagate like binary addition: a full level combines into
+        // the next.
+        let mut carry = summary;
+        let mut level = 0;
+        loop {
+            if level == self.levels.len() {
+                self.levels.push(Some(carry));
+                return;
+            }
+            match self.levels[level].take() {
+                None => {
+                    self.levels[level] = Some(carry);
+                    return;
+                }
+                Some(existing) => {
+                    let merged = WindowSummary::merge(&existing, &carry, &mut self.merge_ops);
+                    // Prune only when it would actually shrink the summary;
+                    // skipping adds no error (the 1/(2B) budget is only
+                    // spent when a prune happens).
+                    carry = if merged.entries().len() > self.prune_b + 1 {
+                        merged.prune(self.prune_b, &mut self.prune_ops)
+                    } else {
+                        merged
+                    };
+                    level += 1;
+                }
+            }
+        }
+    }
+
+    /// Answers a φ-quantile query over everything pushed so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been pushed.
+    pub fn query(&self, phi: f64) -> f32 {
+        self.snapshot().query(phi)
+    }
+
+    /// Merges all live buckets into one summary (no pruning — no extra
+    /// error), e.g. for multiple queries at one point in the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been pushed.
+    pub fn snapshot(&self) -> WindowSummary {
+        let mut ops = OpCounter::default();
+        let mut acc: Option<WindowSummary> = None;
+        for s in self.levels.iter().flatten() {
+            acc = Some(match acc {
+                None => s.clone(),
+                Some(a) => WindowSummary::merge(&a, s, &mut ops),
+            });
+        }
+        acc.expect("cannot query an empty histogram")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run_stream(n: usize, window: usize, eps: f64, seed: u64) -> (ExpHistogram, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+        let mut eh = ExpHistogram::new(eps, window, n as u64);
+        for chunk in data.chunks(window) {
+            let mut w = chunk.to_vec();
+            w.sort_by(f32::total_cmp);
+            eh.push_sorted_window(&w);
+        }
+        (eh, data)
+    }
+
+    fn assert_within_eps(eh: &ExpHistogram, data: &[f32]) {
+        let oracle = ExactStats::new(data);
+        let snap = eh.snapshot();
+        for phi in [0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let err = oracle.quantile_rank_error(phi, snap.query(phi));
+            assert!(
+                err <= eh.eps() + 2.0 / data.len() as f64,
+                "phi={phi} err={err} eps={}",
+                eh.eps()
+            );
+        }
+    }
+
+    #[test]
+    fn stream_queries_within_eps() {
+        let (eh, data) = run_stream(40_000, 512, 0.02, 1);
+        assert_eq!(eh.count(), 40_000);
+        assert_within_eps(&eh, &data);
+    }
+
+    #[test]
+    fn coarse_eps_small_windows() {
+        let (eh, data) = run_stream(5_000, 100, 0.1, 2);
+        assert_within_eps(&eh, &data);
+    }
+
+    #[test]
+    fn tight_eps() {
+        let (eh, data) = run_stream(100_000, 2048, 0.005, 3);
+        assert_within_eps(&eh, &data);
+    }
+
+    #[test]
+    fn partial_final_window_handled() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data: Vec<f32> = (0..1030).map(|_| rng.random_range(0.0..1.0)).collect();
+        let mut eh = ExpHistogram::new(0.05, 256, 1030);
+        for chunk in data.chunks(256) {
+            let mut w = chunk.to_vec();
+            w.sort_by(f32::total_cmp);
+            eh.push_sorted_window(&w);
+        }
+        assert_eq!(eh.count(), 1030);
+        assert_within_eps(&eh, &data);
+    }
+
+    #[test]
+    fn bucket_count_is_logarithmic() {
+        let (eh, _) = run_stream(64 * 512, 512, 0.05, 5);
+        // 64 windows → levels used ≤ log2(64)+1 = 7.
+        assert!(eh.levels.len() <= 7, "levels = {}", eh.levels.len());
+        // 64 = 2^6: exactly one bucket alive at the top level.
+        let live = eh.levels.iter().flatten().count();
+        assert_eq!(live, 1);
+    }
+
+    #[test]
+    fn memory_stays_sublinear() {
+        let (eh, data) = run_stream(100_000, 500, 0.02, 6);
+        // Footprint must be far below the stream length.
+        assert!(
+            eh.entry_count() < data.len() / 10,
+            "entry_count = {}",
+            eh.entry_count()
+        );
+    }
+
+    #[test]
+    fn sorted_input_stream() {
+        let data: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
+        let mut eh = ExpHistogram::new(0.02, 500, 10_000);
+        for chunk in data.chunks(500) {
+            eh.push_sorted_window(chunk);
+        }
+        assert_within_eps(&eh, &data);
+    }
+
+    #[test]
+    fn ops_accumulate_on_combines() {
+        let (eh, _) = run_stream(8 * 256, 256, 0.05, 7);
+        assert!(eh.ops().total() > 0, "combines must be counted");
+    }
+}

@@ -1,0 +1,252 @@
+//! The classic per-element Greenwald–Khanna quantile summary (GK01) — the
+//! "single element-based" insertion baseline of paper §3.2.
+//!
+//! Maintains a sorted list of tuples `(v, g, Δ)` where `g` is the number of
+//! ranks covered since the previous tuple and `Δ` bounds the extra rank
+//! uncertainty. The invariant `g + Δ ≤ 2εn` guarantees that any quantile
+//! query can be answered within `εn` ranks.
+//!
+//! This implementation uses the simple (band-free) compress rule: it
+//! preserves the correctness invariant exactly and the `O((1/ε)·log(εN))`
+//! space bound empirically, at a small constant factor over the full
+//! banding scheme — a common engineering simplification.
+
+use crate::summary::OpCounter;
+
+#[derive(Clone, Copy, Debug, serde::Serialize, serde::Deserialize)]
+struct Tuple {
+    value: f32,
+    /// Rank mass: rmin(i) = Σ_{j ≤ i} g_j.
+    g: u64,
+    /// Rank uncertainty: rmax(i) = rmin(i) + Δ_i.
+    delta: u64,
+}
+
+/// A streaming ε-approximate quantile summary with per-element insertion.
+///
+/// ```
+/// use gsm_sketch::GkSummary;
+///
+/// let mut gk = GkSummary::new(0.05);
+/// for i in 0..1000 {
+///     gk.insert((i % 97) as f32);
+/// }
+/// let median = gk.query(0.5);
+/// assert!((40.0..=56.0).contains(&median));
+/// assert!(gk.tuple_count() < 200, "bounded memory");
+/// ```
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct GkSummary {
+    eps: f64,
+    n: u64,
+    tuples: Vec<Tuple>,
+    since_compress: u64,
+    ops: OpCounter,
+}
+
+impl GkSummary {
+    /// Creates an empty summary with target error `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1), got {eps}");
+        GkSummary { eps, n: 0, tuples: Vec::new(), since_compress: 0, ops: OpCounter::default() }
+    }
+
+    /// Number of stream elements summarized.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of stored tuples (the memory footprint).
+    pub fn tuple_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The target error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Operation counters accumulated by inserts/compresses.
+    pub fn ops(&self) -> OpCounter {
+        self.ops
+    }
+
+    /// Inserts one stream element.
+    pub fn insert(&mut self, value: f32) {
+        debug_assert!(!value.is_nan(), "summaries are NaN-free");
+        self.n += 1;
+        let threshold = (2.0 * self.eps * self.n as f64).floor() as u64;
+
+        // Find the first tuple with a strictly larger value.
+        let pos = self.tuples.partition_point(|t| t.value <= value);
+        self.ops.comparisons += (self.tuples.len().max(1)).ilog2() as u64 + 1;
+
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            // New minimum or maximum: its rank is known exactly.
+            0
+        } else {
+            threshold.saturating_sub(1)
+        };
+        self.tuples.insert(pos, Tuple { value, g: 1, delta });
+        // A sorted-array insert shifts the tail: this is the per-element
+        // cost §3.2's window-based algorithms exist to avoid.
+        self.ops.moves += (self.tuples.len() - pos) as u64;
+
+        self.since_compress += 1;
+        if self.since_compress as f64 >= 1.0 / (2.0 * self.eps) {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    /// Merges adjacent tuples whose combined mass fits under the `2εn`
+    /// invariant, shrinking the summary.
+    pub fn compress(&mut self) {
+        let threshold = (2.0 * self.eps * self.n as f64).floor() as u64;
+        let mut i = self.tuples.len().saturating_sub(1);
+        while i >= 2 {
+            let prev = self.tuples[i - 1];
+            let cur = self.tuples[i];
+            self.ops.comparisons += 1;
+            // Never absorb the minimum (index 0) and keep the maximum intact.
+            if prev.g + cur.g + cur.delta <= threshold {
+                self.tuples[i].g += prev.g;
+                self.tuples.remove(i - 1);
+                self.ops.moves += (self.tuples.len() + 1 - i) as u64;
+            }
+            i -= 1;
+        }
+    }
+
+    /// Answers a φ-quantile query (`φ ∈ [0, 1]`).
+    ///
+    /// Returns a value whose rank is within `εn` of `⌈φn⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn query(&self, phi: f64) -> f32 {
+        assert!(self.n > 0, "cannot query an empty summary");
+        let r = ((phi * self.n as f64).ceil() as u64).clamp(1, self.n) as f64;
+        let allowance = self.eps * self.n as f64;
+
+        // Classic GK rule: return the predecessor of the first tuple whose
+        // rmax exceeds r + εn. The g + Δ ≤ 2εn invariant then bounds the
+        // predecessor's rank distance from r by εn.
+        let mut rmin = 0u64;
+        let mut prev = self.tuples[0].value;
+        for t in &self.tuples {
+            rmin += t.g;
+            let rmax = (rmin + t.delta) as f64;
+            if rmax > r + allowance {
+                return prev;
+            }
+            prev = t.value;
+        }
+        prev
+    }
+
+    /// The `g + Δ ≤ 2εn` invariant — exposed for property tests.
+    pub fn check_invariant(&self) -> bool {
+        let threshold = ((2.0 * self.eps * self.n as f64).floor() as u64).max(1);
+        // Total rank mass must equal n.
+        let total: u64 = self.tuples.iter().map(|t| t.g).sum();
+        total == self.n && self.tuples.iter().all(|t| t.g + t.delta <= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_all_quantiles(data: &[f32], eps: f64) {
+        let mut gk = GkSummary::new(eps);
+        for &v in data {
+            gk.insert(v);
+        }
+        assert!(gk.check_invariant(), "invariant violated (eps={eps}, n={})", data.len());
+        let oracle = ExactStats::new(data);
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let ans = gk.query(phi);
+            let err = oracle.quantile_rank_error(phi, ans);
+            assert!(err <= eps + 1e-9, "phi={phi} err={err} eps={eps} n={}", data.len());
+        }
+    }
+
+    #[test]
+    fn uniform_random_within_eps() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let data: Vec<f32> = (0..20_000).map(|_| rng.random_range(0.0..1.0)).collect();
+        for eps in [0.1, 0.02, 0.005] {
+            check_all_quantiles(&data, eps);
+        }
+    }
+
+    #[test]
+    fn sorted_and_reversed_within_eps() {
+        let asc: Vec<f32> = (0..5000).map(|i| i as f32).collect();
+        let desc: Vec<f32> = (0..5000).rev().map(|i| i as f32).collect();
+        check_all_quantiles(&asc, 0.01);
+        check_all_quantiles(&desc, 0.01);
+    }
+
+    #[test]
+    fn heavy_duplicates_within_eps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<f32> = (0..10_000).map(|_| rng.random_range(0..5) as f32).collect();
+        check_all_quantiles(&data, 0.02);
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut gk = GkSummary::new(0.01);
+        for _ in 0..200_000 {
+            gk.insert(rng.random_range(0.0..1.0));
+        }
+        // O((1/ε) log(εN)) ≈ 100 × log2(2000) ≈ 1100; allow generous slack.
+        assert!(
+            gk.tuple_count() < 4000,
+            "summary kept {} tuples for 200k elements",
+            gk.tuple_count()
+        );
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data: Vec<f32> = (0..5000).map(|_| rng.random_range(0.0..100.0)).collect();
+        let mut gk = GkSummary::new(0.05);
+        for &v in &data {
+            gk.insert(v);
+        }
+        let min = data.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(gk.query(0.0), min);
+        assert_eq!(gk.query(1.0), max);
+    }
+
+    #[test]
+    fn single_element() {
+        let mut gk = GkSummary::new(0.1);
+        gk.insert(42.0);
+        assert_eq!(gk.query(0.5), 42.0);
+        assert_eq!(gk.count(), 1);
+    }
+
+    #[test]
+    fn ops_counter_grows() {
+        let mut gk = GkSummary::new(0.1);
+        for i in 0..100 {
+            gk.insert(i as f32);
+        }
+        assert!(gk.ops().total() > 100);
+    }
+}

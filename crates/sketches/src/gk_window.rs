@@ -1,0 +1,329 @@
+//! The GK04 sensor-network quantile summary the paper builds on (§5.2).
+//!
+//! *"Each node in the tree initially computes an ε′-approximate quantile
+//! summary by sorting its set of observations S locally, and choosing the
+//! elements of rank 1, ⌈ε′S⌉, … , S. The summary structure also maintains
+//! the minimum rank and maximum rank for each element. … At the parent node,
+//! a merge operation is performed on these summaries … Finally, the node
+//! performs a compress operation to compute a new summary structure with
+//! B+1 elements."*
+//!
+//! A [`WindowSummary`] is a sorted sequence of [`QuantileEntry`] tuples with
+//! the invariant that each entry's true rank in the summarized multiset lies
+//! in `[rmin, rmax]`, plus a tracked error bound `eps`: any rank query errs
+//! by at most `eps · count` ranks.
+//!
+//! * [`WindowSummary::merge`] combines two summaries over disjoint
+//!   multisets; the result's error is `max(ε_a, ε_b)` (GK04, Lemma 1).
+//! * [`WindowSummary::prune`] reduces a summary to `B+1` entries, adding
+//!   `1/(2B)` to the error (GK04, Lemma 2).
+
+use crate::histogram::sample_sorted;
+use crate::summary::{OpCounter, QuantileEntry};
+
+/// An ε-approximate quantile summary of a fixed multiset.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct WindowSummary {
+    entries: Vec<QuantileEntry>,
+    count: u64,
+    eps: f64,
+}
+
+impl WindowSummary {
+    /// Builds a summary of a sorted window by rank sampling at stride
+    /// `⌈eps·S⌉` (histogram step 1 of §3.2). The entries carry exact ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or `eps ∉ (0, 1]`.
+    pub fn from_sorted(sorted: &[f32], eps: f64) -> Self {
+        let entries = sample_sorted(sorted, eps);
+        WindowSummary { entries, count: sorted.len() as u64, eps }
+    }
+
+    /// Builds a summary directly from entries (used by tests and the
+    /// sliding-window layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries are empty, unsorted, or rank-inconsistent.
+    pub fn from_entries(entries: Vec<QuantileEntry>, count: u64, eps: f64) -> Self {
+        assert!(!entries.is_empty(), "summary needs at least one entry");
+        assert!(
+            entries.windows(2).all(|w| w[0].value <= w[1].value && w[0].rmin <= w[1].rmin),
+            "entries must be sorted by value with non-decreasing ranks"
+        );
+        assert!(entries.iter().all(|e| e.rmin >= 1 && e.rmax <= count && e.rmin <= e.rmax));
+        WindowSummary { entries, count, eps }
+    }
+
+    /// Number of summarized elements.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The tracked error bound: rank queries err by ≤ `eps() · count()`.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The stored entries (memory footprint = `entries().len()`).
+    pub fn entries(&self) -> &[QuantileEntry] {
+        &self.entries
+    }
+
+    /// Merges two summaries over disjoint multisets (GK04 merge).
+    ///
+    /// For an entry `x` from `A`: with `pred`/`succ` the neighbouring
+    /// entries of `B` by value,
+    /// `rmin′(x) = rmin_A(x) + rmin_B(pred)` (0 if none) and
+    /// `rmax′(x) = rmax_A(x) + rmax_B(succ) − 1` (or `+ count_B` if none).
+    /// The merged error is `max(ε_A, ε_B)`; `ops` counts the comparisons
+    /// and tuple moves for the Figure 6 cost split.
+    pub fn merge(a: &WindowSummary, b: &WindowSummary, ops: &mut OpCounter) -> WindowSummary {
+        let mut entries = Vec::with_capacity(a.entries.len() + b.entries.len());
+        // Standard two-pointer merge by value; each output entry computes
+        // its rank bounds against the *other* summary.
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.entries.len() || j < b.entries.len() {
+            let take_a = match (a.entries.get(i), b.entries.get(j)) {
+                (Some(ea), Some(eb)) => {
+                    ops.comparisons += 1;
+                    ea.value <= eb.value
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("loop condition"),
+            };
+            let merged = if take_a {
+                let e = a.entries[i];
+                i += 1;
+                combine_entry(e, b, j)
+            } else {
+                let e = b.entries[j];
+                j += 1;
+                combine_entry(e, a, i)
+            };
+            ops.moves += 1;
+            entries.push(merged);
+        }
+        WindowSummary { entries, count: a.count + b.count, eps: a.eps.max(b.eps) }
+    }
+
+    /// Prunes the summary to at most `b + 1` entries by querying ranks
+    /// `⌈k·count/b⌉` for `k = 0..=b` (GK04 compress). Adds `1/(2b)` error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn prune(&self, b: usize, ops: &mut OpCounter) -> WindowSummary {
+        assert!(b > 0, "prune target must be positive");
+        let mut entries: Vec<QuantileEntry> = Vec::with_capacity(b + 1);
+        for k in 0..=b {
+            let r = ((k as f64 / b as f64) * self.count as f64).ceil().max(1.0) as u64;
+            let e = self.lookup_rank(r);
+            ops.comparisons += (self.entries.len().max(1)).ilog2() as u64 + 1;
+            // Skip only exact repeats. Entries sharing a *value* but with
+            // different ranks must all survive: on duplicate-heavy data one
+            // value can span a huge rank range, and collapsing it to a
+            // single entry would orphan every rank inside the run.
+            let repeat = entries
+                .last()
+                .is_some_and(|l: &QuantileEntry| l.value == e.value && l.rmin == e.rmin && l.rmax == e.rmax);
+            if !repeat {
+                entries.push(e);
+                ops.moves += 1;
+            }
+        }
+        WindowSummary { entries, count: self.count, eps: self.eps + 1.0 / (2.0 * b as f64) }
+    }
+
+    /// The entry best covering rank `r`: the one whose `[rmin, rmax]`
+    /// interval is closest to `r`.
+    fn lookup_rank(&self, r: u64) -> QuantileEntry {
+        // First entry with rmin >= r.
+        let pos = self.entries.partition_point(|e| e.rmin < r);
+        let candidates = [pos.checked_sub(1), Some(pos)];
+        let mut best: Option<(u64, QuantileEntry)> = None;
+        for c in candidates.into_iter().flatten() {
+            if let Some(&e) = self.entries.get(c) {
+                let dist = if r > e.rmax {
+                    r - e.rmax
+                } else {
+                    e.rmin.saturating_sub(r)
+                };
+                if best.map(|(bd, _)| dist < bd).unwrap_or(true) {
+                    best = Some((dist, e));
+                }
+            }
+        }
+        best.expect("summary is non-empty").1
+    }
+
+    /// Answers a φ-quantile query: a value whose rank is within
+    /// `eps() · count()` of `⌈φ · count⌉`.
+    pub fn query(&self, phi: f64) -> f32 {
+        let r = ((phi * self.count as f64).ceil() as u64).clamp(1, self.count);
+        self.lookup_rank(r).value
+    }
+}
+
+/// Recomputes entry `e` (from one summary) against the other summary `other`
+/// where `j` is the index of the first entry of `other` with value > `e`
+/// at merge time (entries before `j` are ≤ `e`).
+fn combine_entry(e: QuantileEntry, other: &WindowSummary, j: usize) -> QuantileEntry {
+    let rmin = if j > 0 { e.rmin + other.entries[j - 1].rmin } else { e.rmin };
+    let rmax = if j < other.entries.len() {
+        e.rmax + other.entries[j].rmax - 1
+    } else {
+        e.rmax + other.count
+    };
+    QuantileEntry { value: e.value, rmin, rmax }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sorted_random(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v: Vec<f32> = (0..n).map(|_| rng.random_range(0.0..1000.0)).collect();
+        v.sort_by(f32::total_cmp);
+        v
+    }
+
+    fn assert_queries_within(summary: &WindowSummary, data: &[f32], slack: f64) {
+        let oracle = ExactStats::new(data);
+        for phi in [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            let ans = summary.query(phi);
+            let err = oracle.quantile_rank_error(phi, ans);
+            assert!(
+                err <= summary.eps() + slack,
+                "phi={phi} err={err} claimed eps={}",
+                summary.eps()
+            );
+        }
+    }
+
+    #[test]
+    fn from_sorted_queries_within_eps() {
+        for n in [10usize, 100, 1000, 4096] {
+            let data = sorted_random(n, n as u64);
+            for eps in [0.5, 0.1, 0.01] {
+                let s = WindowSummary::from_sorted(&data, eps);
+                assert_queries_within(&s, &data, 1.0 / n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_preserves_rank_brackets() {
+        let a_data = sorted_random(500, 1);
+        let b_data = sorted_random(700, 2);
+        let a = WindowSummary::from_sorted(&a_data, 0.05);
+        let b = WindowSummary::from_sorted(&b_data, 0.05);
+        let mut ops = OpCounter::default();
+        let m = WindowSummary::merge(&a, &b, &mut ops);
+        assert_eq!(m.count(), 1200);
+        assert!(ops.total() > 0);
+
+        // Every merged entry's [rmin, rmax] must contain a true rank of its
+        // value in the combined multiset.
+        let mut all: Vec<f32> = a_data.iter().chain(&b_data).copied().collect();
+        all.sort_by(f32::total_cmp);
+        let oracle = ExactStats::new(&all);
+        for e in m.entries() {
+            let (lo, hi) = oracle.rank_range(e.value);
+            let (lo, hi) = if hi < lo { (lo, lo) } else { (lo, hi) };
+            assert!(
+                e.rmin <= hi && e.rmax >= lo,
+                "entry {e:?} does not bracket true ranks [{lo}, {hi}]"
+            );
+        }
+        // Rank bounds must be monotone and within the total count.
+        assert!(m.entries().windows(2).all(|w| w[0].rmin <= w[1].rmin));
+        assert!(m.entries().iter().all(|e| e.rmax <= m.count()));
+    }
+
+    #[test]
+    fn merged_queries_within_max_eps() {
+        let a_data = sorted_random(2000, 3);
+        let b_data = sorted_random(1000, 4);
+        let a = WindowSummary::from_sorted(&a_data, 0.02);
+        let b = WindowSummary::from_sorted(&b_data, 0.05);
+        let mut ops = OpCounter::default();
+        let m = WindowSummary::merge(&a, &b, &mut ops);
+        assert!((m.eps() - 0.05).abs() < 1e-12);
+        let all: Vec<f32> = a_data.iter().chain(&b_data).copied().collect();
+        assert_queries_within(&m, &all, 2.0 / all.len() as f64);
+    }
+
+    #[test]
+    fn repeated_merges_stay_within_eps() {
+        // Merge 8 windows pairwise (a full binary tree, like the sensor
+        // hierarchy): error must remain max of the parts.
+        let mut ops = OpCounter::default();
+        let mut all: Vec<f32> = Vec::new();
+        let mut summaries: Vec<WindowSummary> = (0..8)
+            .map(|k| {
+                let d = sorted_random(512, 10 + k);
+                all.extend_from_slice(&d);
+                WindowSummary::from_sorted(&d, 0.02)
+            })
+            .collect();
+        while summaries.len() > 1 {
+            summaries = summaries
+                .chunks(2)
+                .map(|pair| WindowSummary::merge(&pair[0], &pair[1], &mut ops))
+                .collect();
+        }
+        let m = &summaries[0];
+        assert_eq!(m.count(), 8 * 512);
+        assert_queries_within(m, &all, 2.0 / all.len() as f64);
+    }
+
+    #[test]
+    fn prune_shrinks_and_adds_bounded_error() {
+        let data = sorted_random(4096, 20);
+        let s = WindowSummary::from_sorted(&data, 0.005);
+        let mut ops = OpCounter::default();
+        let b = 50;
+        let p = s.prune(b, &mut ops);
+        assert!(p.entries().len() <= b + 1, "{} entries", p.entries().len());
+        assert!((p.eps() - (0.005 + 0.01)).abs() < 1e-12);
+        assert_queries_within(&p, &data, 2.0 / data.len() as f64);
+    }
+
+    #[test]
+    fn merge_then_prune_pipeline() {
+        // The paper's §5.2 combine operation: merge two summaries, prune to
+        // B+1 with the next level's error budget.
+        let a_data = sorted_random(1024, 30);
+        let b_data = sorted_random(1024, 31);
+        let mut ops = OpCounter::default();
+        let a = WindowSummary::from_sorted(&a_data, 0.01);
+        let b = WindowSummary::from_sorted(&b_data, 0.01);
+        let combined = WindowSummary::merge(&a, &b, &mut ops).prune(100, &mut ops);
+        let all: Vec<f32> = a_data.iter().chain(&b_data).copied().collect();
+        assert_queries_within(&combined, &all, 2.0 / all.len() as f64);
+        assert!(combined.entries().len() <= 101);
+    }
+
+    #[test]
+    fn extreme_queries_hit_min_max() {
+        let data = sorted_random(777, 40);
+        let s = WindowSummary::from_sorted(&data, 0.1);
+        assert_eq!(s.query(0.0), data[0]);
+        assert_eq!(s.query(1.0), *data.last().unwrap());
+    }
+
+    #[test]
+    fn single_value_window() {
+        let s = WindowSummary::from_sorted(&[3.5], 0.1);
+        assert_eq!(s.query(0.5), 3.5);
+        assert_eq!(s.count(), 1);
+    }
+}

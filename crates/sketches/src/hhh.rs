@@ -1,0 +1,313 @@
+//! Hierarchical heavy hitters (paper §1.2: "Our approach … is also
+//! applicable to hierarchical heavy hitter … queries").
+//!
+//! Stream elements live at the leaves of a prefix hierarchy (the canonical
+//! example: IP addresses generalizing to /24, /16, /8 prefixes). A
+//! *hierarchical* heavy hitter is a prefix whose frequency — **after
+//! discounting every descendant already reported** — still exceeds the
+//! support threshold. Reporting raw prefix counts instead would make every
+//! ancestor of a heavy leaf trivially "heavy".
+//!
+//! The implementation keeps one window-based [`LossyCounting`] summary per
+//! hierarchy level. Because prefix truncation is *monotone* (if `a ≤ b`
+//! then `parent(a) ≤ parent(b)`), a window sorted once at leaf level — by
+//! the GPU in the full system — is already sorted at every ancestor level
+//! after mapping, so each level's histogram/merge/compress runs without any
+//! further sorting. This is exactly the property that lets the paper's
+//! co-processor pipeline serve hierarchical queries with one sort per
+//! window.
+
+use crate::lossy::{LossyCounting, LossyOps};
+
+/// A prefix hierarchy over non-negative integer-valued `f32` elements.
+///
+/// Level 0 is the leaf level (identity); level `k` truncates the value's
+/// integer representation by `shifts[k-1]` bits. Shifts must be strictly
+/// increasing.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct BitPrefixHierarchy {
+    shifts: Vec<u32>,
+}
+
+impl BitPrefixHierarchy {
+    /// Creates a hierarchy from per-level truncation shifts (e.g.
+    /// `[8, 16, 24]` for IPv4-style /24, /16, /8 generalization of 32-bit
+    /// ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shifts are empty, not strictly increasing, or ≥ 32.
+    pub fn new(shifts: Vec<u32>) -> Self {
+        assert!(!shifts.is_empty(), "hierarchy needs at least one ancestor level");
+        assert!(
+            shifts.windows(2).all(|w| w[0] < w[1]) && *shifts.last().expect("non-empty") < 32,
+            "shifts must be strictly increasing and < 32"
+        );
+        BitPrefixHierarchy { shifts }
+    }
+
+    /// Number of levels including the leaves.
+    pub fn levels(&self) -> usize {
+        self.shifts.len() + 1
+    }
+
+    /// Maps a leaf value to its prefix at `level` (0 = identity).
+    ///
+    /// Values must be non-negative integers representable in `f32`.
+    #[inline]
+    pub fn ancestor(&self, value: f32, level: usize) -> f32 {
+        debug_assert!(value >= 0.0 && value.fract() == 0.0, "hierarchy values are integer ids");
+        if level == 0 {
+            return value;
+        }
+        let shift = self.shifts[level - 1];
+        let id = value as u64;
+        ((id >> shift) << shift) as f32
+    }
+}
+
+/// One reported hierarchical heavy hitter.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct HhhEntry {
+    /// Hierarchy level (0 = leaf).
+    pub level: usize,
+    /// The prefix value at that level.
+    pub prefix: f32,
+    /// Estimated frequency of the prefix after discounting reported
+    /// descendants.
+    pub discounted_count: u64,
+    /// Estimated raw frequency of the prefix (no discounting).
+    pub raw_count: u64,
+}
+
+/// Streaming ε-approximate hierarchical heavy hitters: a lossy-counting
+/// summary per level, fed from leaf-sorted windows.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct HhhSummary {
+    hierarchy: BitPrefixHierarchy,
+    levels: Vec<LossyCounting>,
+    n: u64,
+}
+
+impl HhhSummary {
+    /// Creates a summary with error bound `eps` per level.
+    pub fn new(eps: f64, hierarchy: BitPrefixHierarchy) -> Self {
+        let window = (1.0 / eps).ceil() as usize;
+        Self::with_window(eps, window, hierarchy)
+    }
+
+    /// Creates a summary with an explicit shared window size
+    /// (≥ `⌈1/ε⌉`; see [`LossyCounting::with_window`]).
+    pub fn with_window(eps: f64, window: usize, hierarchy: BitPrefixHierarchy) -> Self {
+        let levels = (0..hierarchy.levels())
+            .map(|_| LossyCounting::with_window(eps, window))
+            .collect();
+        HhhSummary { hierarchy, levels, n: 0 }
+    }
+
+    /// The natural window size `⌈1/ε⌉` shared by all levels.
+    pub fn window(&self) -> usize {
+        self.levels[0].window()
+    }
+
+    /// Elements processed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The error bound.
+    pub fn eps(&self) -> f64 {
+        self.levels[0].eps()
+    }
+
+    /// Total summary entries across levels (memory footprint).
+    pub fn entry_count(&self) -> usize {
+        self.levels.iter().map(LossyCounting::entry_count).sum()
+    }
+
+    /// Per-level phase-split operation counters (for cost reporting).
+    pub fn level_ops(&self) -> impl Iterator<Item = &LossyOps> + '_ {
+        self.levels.iter().map(|l| l.ops())
+    }
+
+    /// Folds in one leaf-*sorted* window: each level maps the window to its
+    /// prefixes (order-preserving) and merges the resulting histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or oversized; debug-panics if unsorted.
+    pub fn push_sorted_window(&mut self, sorted: &[f32]) {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "window must be sorted");
+        self.n += sorted.len() as u64;
+        let mut mapped = Vec::with_capacity(sorted.len());
+        for (level, sketch) in self.levels.iter_mut().enumerate() {
+            if level == 0 {
+                sketch.push_sorted_window(sorted);
+            } else {
+                mapped.clear();
+                mapped.extend(sorted.iter().map(|&v| self.hierarchy.ancestor(v, level)));
+                // Monotone mapping keeps the order: no re-sort needed.
+                sketch.push_sorted_window(&mapped);
+            }
+        }
+    }
+
+    /// The ε-approximate hierarchical heavy hitters at support `s`:
+    /// bottom-up, a prefix is reported when its estimated frequency minus
+    /// the discounted counts of its reported descendants is at least
+    /// `(s − ε)·N`. Every true hierarchical heavy hitter (discounted
+    /// frequency ≥ `s·N` under exact counting of reported descendants) is
+    /// reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps < s ≤ 1`.
+    pub fn query(&self, s: f64) -> Vec<HhhEntry> {
+        assert!(s > self.eps() && s <= 1.0, "support must satisfy eps < s <= 1");
+        let threshold = (s - self.eps()) * self.n as f64;
+        let mut reported: Vec<HhhEntry> = Vec::new();
+
+        for level in 0..self.levels.len() {
+            // Candidates: every surviving summary entry at this level.
+            for (prefix, raw) in self.levels[level].entries() {
+                // Discount reported descendants (strictly lower levels whose
+                // ancestor at `level` is this prefix).
+                let discount: u64 = reported
+                    .iter()
+                    .filter(|e| {
+                        e.level < level && self.hierarchy.ancestor(e.prefix, level) == prefix
+                    })
+                    .map(|e| e.discounted_count)
+                    .sum();
+                let discounted = raw.saturating_sub(discount);
+                if discounted as f64 >= threshold {
+                    reported.push(HhhEntry { level, prefix, discounted_count: discounted, raw_count: raw });
+                }
+            }
+        }
+        reported
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn feed(hhh: &mut HhhSummary, data: &[f32]) {
+        for chunk in data.chunks(hhh.window()) {
+            let mut w = chunk.to_vec();
+            w.sort_by(f32::total_cmp);
+            hhh.push_sorted_window(&w);
+        }
+    }
+
+    #[test]
+    fn hierarchy_mapping() {
+        let h = BitPrefixHierarchy::new(vec![4, 8]);
+        assert_eq!(h.levels(), 3);
+        assert_eq!(h.ancestor(0x37 as f32, 0), 0x37 as f32);
+        assert_eq!(h.ancestor(0x37 as f32, 1), 0x30 as f32);
+        assert_eq!(h.ancestor(0x137 as f32, 2), 0x100 as f32);
+    }
+
+    #[test]
+    fn hierarchy_mapping_is_monotone() {
+        let h = BitPrefixHierarchy::new(vec![3, 6, 9]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let a = rng.random_range(0..4096) as f32;
+            let b = rng.random_range(0..4096) as f32;
+            for level in 0..h.levels() {
+                if a <= b {
+                    assert!(h.ancestor(a, level) <= h.ancestor(b, level));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_leaf_reported_at_leaf_level_only() {
+        // One leaf dominates; its ancestors gain nothing beyond it and must
+        // not be re-reported after discounting.
+        let h = BitPrefixHierarchy::new(vec![4, 8]);
+        let mut hhh = HhhSummary::new(0.001, h);
+        let mut data: Vec<f32> = vec![0x123 as f32; 5000];
+        let mut rng = StdRng::seed_from_u64(2);
+        data.extend((0..15_000).map(|_| rng.random_range(0x1000..0x8000) as f32));
+        feed(&mut hhh, &data);
+
+        let result = hhh.query(0.2);
+        let leaf: Vec<&HhhEntry> = result.iter().filter(|e| e.level == 0).collect();
+        assert_eq!(leaf.len(), 1);
+        assert_eq!(leaf[0].prefix, 0x123 as f32);
+        // Ancestors of the heavy leaf must be discounted below threshold.
+        assert!(
+            !result.iter().any(|e| e.level > 0 && e.prefix == 0x100 as f32),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn diffuse_prefix_reported_at_ancestor_level() {
+        // 16 sibling leaves each ~1.5% — none heavy alone, but their shared
+        // /4 prefix (~25%) is.
+        let h = BitPrefixHierarchy::new(vec![4, 8]);
+        let mut hhh = HhhSummary::new(0.001, h);
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<f32> = (0..40_000)
+            .map(|_| {
+                if rng.random_range(0..4) == 0 {
+                    (0x50 + rng.random_range(0..16)) as f32 // diffuse prefix 0x50
+                } else {
+                    rng.random_range(0x1000..0x20000) as f32
+                }
+            })
+            .collect();
+        feed(&mut hhh, &data);
+
+        let result = hhh.query(0.1);
+        assert!(
+            result.iter().any(|e| e.level == 1 && e.prefix == 0x50 as f32),
+            "diffuse prefix must surface at level 1: {result:?}"
+        );
+        assert!(
+            !result.iter().any(|e| e.level == 0),
+            "no individual leaf is heavy: {result:?}"
+        );
+    }
+
+    #[test]
+    fn discounting_prevents_ancestor_cascade() {
+        // A heavy leaf under a prefix with NO other traffic: the prefix's
+        // raw count equals the leaf's, so after discounting nothing above
+        // the leaf is reported — at any level.
+        let h = BitPrefixHierarchy::new(vec![4, 8, 12]);
+        let mut hhh = HhhSummary::new(0.001, h);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut data: Vec<f32> = vec![0x7777 as f32; 10_000];
+        data.extend((0..20_000).map(|_| rng.random_range(0x10000..0x80000) as f32));
+        feed(&mut hhh, &data);
+
+        let result = hhh.query(0.2);
+        assert_eq!(result.len(), 1, "{result:?}");
+        assert_eq!(result[0].level, 0);
+        assert_eq!(result[0].prefix, 0x7777 as f32);
+    }
+
+    #[test]
+    fn counts_are_plausible() {
+        let h = BitPrefixHierarchy::new(vec![8]);
+        let mut hhh = HhhSummary::new(0.002, h);
+        let data: Vec<f32> = (0..10_000).map(|i| (i % 4) as f32).collect();
+        feed(&mut hhh, &data);
+        let result = hhh.query(0.1);
+        // Each of 4 leaves is 25%.
+        let leaves: Vec<&HhhEntry> = result.iter().filter(|e| e.level == 0).collect();
+        assert_eq!(leaves.len(), 4);
+        for l in leaves {
+            assert!(l.raw_count >= 2400 && l.raw_count <= 2500, "{l:?}");
+        }
+    }
+}

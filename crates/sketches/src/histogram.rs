@@ -1,0 +1,134 @@
+//! Sorted-run → histogram and rank-sampled summaries (paper §3.2, step 1 of
+//! the window-based algorithms).
+//!
+//! *"For each window, the elements are ordered by sorting them and a
+//! histogram is computed … The frequency computation algorithms use the
+//! entire histogram along with the frequencies of the elements. On the other
+//! hand, the quantile computation algorithms compute a subset of histogram
+//! elements by sampling the sorted sequence at the rate of at least εW …
+//! and maintain the minimum and maximum ranks of the elements."*
+
+use crate::summary::QuantileEntry;
+
+/// Run-length encodes a sorted run into `(value, count)` pairs.
+///
+/// # Panics
+///
+/// Panics in debug builds if the input is not sorted.
+pub fn histogram(sorted: &[f32]) -> Vec<(f32, u64)> {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let mut out: Vec<(f32, u64)> = Vec::new();
+    for &v in sorted {
+        match out.last_mut() {
+            Some((last, c)) if *last == v => *c += 1,
+            _ => out.push((v, 1)),
+        }
+    }
+    out
+}
+
+/// Samples a sorted window into an ε-approximate quantile summary
+/// (GK04's local summary): the elements of 1-based rank
+/// `1, ⌈εS⌉, ⌈2εS⌉, …, S`, each with its exact rank.
+///
+/// Any rank query against the result errs by less than `ε·S`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty, `eps` is outside `(0, 1]`, or (debug) the
+/// input is not sorted.
+pub fn sample_sorted(sorted: &[f32], eps: f64) -> Vec<QuantileEntry> {
+    assert!(!sorted.is_empty(), "cannot sample an empty window");
+    assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1], got {eps}");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+
+    let s = sorted.len();
+    let stride = ((eps * s as f64).ceil() as usize).max(1);
+    let mut entries = Vec::with_capacity(s / stride + 2);
+    entries.push(QuantileEntry::exact(sorted[0], 1));
+    let mut rank = stride;
+    while rank < s {
+        // Ranks are 1-based: rank r is sorted[r-1]. Skip rank 1 duplicates.
+        if rank > 1 {
+            entries.push(QuantileEntry::exact(sorted[rank - 1], rank as u64));
+        }
+        rank += stride;
+    }
+    if s > 1 {
+        entries.push(QuantileEntry::exact(sorted[s - 1], s as u64));
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_runs() {
+        let h = histogram(&[1.0, 1.0, 2.0, 3.0, 3.0, 3.0]);
+        assert_eq!(h, vec![(1.0, 2), (2.0, 1), (3.0, 3)]);
+    }
+
+    #[test]
+    fn histogram_of_distinct_and_empty() {
+        assert_eq!(histogram(&[]), vec![]);
+        assert_eq!(histogram(&[5.0]), vec![(5.0, 1)]);
+        let h = histogram(&[1.0, 2.0, 3.0]);
+        assert!(h.iter().all(|&(_, c)| c == 1));
+    }
+
+    #[test]
+    fn histogram_total_equals_input_len() {
+        let data: Vec<f32> = (0..1000).map(|i| ((i * 7) % 50) as f32).collect();
+        let mut sorted = data.clone();
+        sorted.sort_by(f32::total_cmp);
+        let h = histogram(&sorted);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<u64>(), 1000);
+        // Histogram values strictly increasing.
+        assert!(h.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn sample_includes_ends_and_exact_ranks() {
+        let sorted: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        let entries = sample_sorted(&sorted, 0.1);
+        assert_eq!(entries.first().unwrap().value, 1.0);
+        assert_eq!(entries.last().unwrap().value, 100.0);
+        for e in &entries {
+            assert_eq!(e.rmin, e.rmax);
+            assert_eq!(sorted[e.rmin as usize - 1], e.value);
+        }
+    }
+
+    #[test]
+    fn sample_rank_gaps_bounded_by_eps_s() {
+        let sorted: Vec<f32> = (1..=997).map(|i| i as f32).collect();
+        for eps in [0.5, 0.1, 0.03, 0.001] {
+            let entries = sample_sorted(&sorted, eps);
+            let bound = (eps * sorted.len() as f64).ceil() as u64;
+            let mut prev = 0u64;
+            for e in &entries {
+                assert!(e.rmin - prev <= bound, "gap {} > {bound} at eps={eps}", e.rmin - prev);
+                prev = e.rmin;
+            }
+            assert_eq!(prev, sorted.len() as u64, "last rank must be S");
+        }
+    }
+
+    #[test]
+    fn sample_size_is_about_one_over_eps() {
+        let sorted: Vec<f32> = (0..10_000).map(|i| i as f32).collect();
+        let entries = sample_sorted(&sorted, 0.01);
+        assert!(entries.len() <= 102, "got {}", entries.len());
+        assert!(entries.len() >= 100);
+    }
+
+    #[test]
+    fn sample_tiny_windows() {
+        assert_eq!(sample_sorted(&[7.0], 0.1).len(), 1);
+        let two = sample_sorted(&[1.0, 2.0], 0.5);
+        assert_eq!(two.first().unwrap().value, 1.0);
+        assert_eq!(two.last().unwrap().value, 2.0);
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! ε-approximate stream summaries — the statistical layer of the paper.
+//!
+//! The paper's estimators are *window-based* (§3.2): the stream is consumed
+//! in windows, each window is **sorted** (on the GPU), and the sorted run is
+//! folded into a compact summary through **merge** and **compress**
+//! operations. This crate owns everything above the sort:
+//!
+//! * [`summary`] — the tuple types ((value, rmin, rmax) for quantiles,
+//!   (value, count, Δ) for frequencies),
+//! * [`histogram`] — sorted-run → histogram and rank-sampled summaries,
+//! * [`gk`] — the classic per-element Greenwald–Khanna quantile summary
+//!   (GK01), the single-element-insertion baseline of §3.2,
+//! * [`gk_window`] — the GK04 sensor-network summary the paper builds on:
+//!   per-window ε′-summaries with `merge` and `prune`,
+//! * [`exp_histogram`] — the exponential histogram of summaries that lifts
+//!   GK04 from a fixed set to an unbounded stream (§5.2),
+//! * [`lossy`] — Manku–Motwani lossy counting, window-based (§5.1),
+//! * [`misra_gries`] — the Misra–Gries / Frequent(k) counter baseline
+//!   (re-discovered by Demaine et al. and Karp et al., §2.1),
+//! * [`sliding`] — fixed-width sliding-window quantiles and frequencies
+//!   built from per-block summaries (§5.3),
+//! * [`exact`] — exact offline oracles used by tests and the experiment
+//!   harnesses to measure observed error.
+//!
+//! Nothing on the hot estimator paths sorts: every consumer of a sorted
+//! window takes the run as input, so the choice of sorting engine (GPU
+//! rasterization vs CPU quicksort) stays in `gsm-core`, exactly like the
+//! paper's co-processor split. (The one exception is
+//! [`time_sliding::TimeSlidingQuantile`], which cuts blocks by timestamp
+//! internally and sorts them on the host; the engine-offloaded
+//! variable-window path lives in the fig8 harness.) Summary operations count their comparisons and element moves so
+//! the harnesses can price the merge/compress phases (Figure 6).
+
+pub mod correlated;
+pub mod exact;
+pub mod exp_histogram;
+pub mod gk;
+pub mod gk_window;
+pub mod hhh;
+pub mod histogram;
+pub mod lossy;
+pub mod misra_gries;
+pub mod sliding;
+pub mod summary;
+pub mod time_sliding;
+
+pub use correlated::CorrelatedSum;
+pub use exp_histogram::ExpHistogram;
+pub use gk::GkSummary;
+pub use gk_window::WindowSummary;
+pub use hhh::{BitPrefixHierarchy, HhhEntry, HhhSummary};
+pub use lossy::LossyCounting;
+pub use misra_gries::MisraGries;
+pub use sliding::{SlidingFrequency, SlidingQuantile};
+pub use time_sliding::{TimeSlidingFrequency, TimeSlidingQuantile};
+pub use summary::{FreqEntry, OpCounter, QuantileEntry};

@@ -1,0 +1,394 @@
+//! Window-based Manku–Motwani lossy counting (paper §5.1).
+//!
+//! *"For each incoming window of size ⌈1/ε⌉, the algorithm computes a
+//! histogram using at most ⌈1/ε⌉ space. After that a merge operation is
+//! performed to insert or update the elements into the current ε-approximate
+//! summary. … A compress operation is then performed on the summary. …
+//! The resulting algorithm underestimates the frequencies of the elements in
+//! the summary by at most εN. Given a support s, the ε-approximate query
+//! returns all the elements in the ε-approximate summary with a frequency
+//! count of (s−ε)N as the output. The algorithm does not generate any false
+//! negatives and has a worst-case space requirement of O((1/ε)·log(εN))."*
+//!
+//! The summary is a value-sorted sequence of [`FreqEntry`] tuples. Each
+//! window is a "bucket" in lossy-counting terms: an entry created while
+//! processing bucket `b` gets `Δ = b − 1` (it may have been missed in the
+//! previous `b−1` buckets, at most once per bucket); the compress step drops
+//! entries with `count + Δ ≤ b` — the generalization of the paper's "delete
+//! elements with a frequency of unity".
+
+use crate::histogram::histogram;
+use crate::summary::{FreqEntry, OpCounter};
+
+/// Phase-split operation counters for the Figure 6 breakdown.
+#[derive(Clone, Copy, Default, Debug, serde::Serialize, serde::Deserialize)]
+pub struct LossyOps {
+    /// Histogram construction (scanning the sorted window).
+    pub histogram: OpCounter,
+    /// Merging window histograms into the summary.
+    pub merge: OpCounter,
+    /// Compress (deletion) passes.
+    pub compress: OpCounter,
+}
+
+/// Streaming ε-deficient frequency summary (window-based lossy counting).
+///
+/// ```
+/// use gsm_sketch::LossyCounting;
+///
+/// let mut lc = LossyCounting::new(0.01); // windows of 100
+/// for _ in 0..10 {
+///     let mut window: Vec<f32> = (0..100).map(|i| (i % 4) as f32).collect();
+///     window.sort_by(f32::total_cmp);
+///     lc.push_sorted_window(&window);
+/// }
+/// assert_eq!(lc.estimate(0.0), 250); // each value is 25% of 1000 elements
+/// assert_eq!(lc.heavy_hitters(0.2).len(), 4);
+/// ```
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct LossyCounting {
+    eps: f64,
+    window: usize,
+    /// Value-sorted summary tuples.
+    entries: Vec<FreqEntry>,
+    /// Buckets (windows) fully processed.
+    bucket: u64,
+    /// Stream elements processed.
+    n: u64,
+    ops: LossyOps,
+}
+
+impl LossyCounting {
+    /// Creates an empty summary with error bound `eps`; the natural window
+    /// size is `⌈1/ε⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1), got {eps}");
+        let window = (1.0 / eps).ceil() as usize;
+        Self::with_window(eps, window)
+    }
+
+    /// Creates a summary with an explicit window (bucket) size of at least
+    /// `⌈1/ε⌉` elements.
+    ///
+    /// Lossy counting's undercount is one per *bucket*: with buckets of `w`
+    /// elements the error is `N/w ≤ εN` whenever `w ≥ 1/ε`, so larger
+    /// windows only tighten the guarantee (at a larger per-window
+    /// histogram). This is what lets several frequency queries with
+    /// different ε share one sorted window stream (the DSMS layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1` and `window ≥ ⌈1/ε⌉`.
+    pub fn with_window(eps: f64, window: usize) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1), got {eps}");
+        assert!(
+            window as f64 >= 1.0 / eps,
+            "window {window} must be at least ceil(1/eps) = {}",
+            (1.0 / eps).ceil()
+        );
+        LossyCounting {
+            eps,
+            window,
+            entries: Vec::new(),
+            bucket: 0,
+            n: 0,
+            ops: LossyOps::default(),
+        }
+    }
+
+    /// The error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The natural window size `⌈1/ε⌉`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Stream elements processed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Summary tuples held (memory footprint).
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Phase-split operation counters.
+    pub fn ops(&self) -> &LossyOps {
+        &self.ops
+    }
+
+    /// Folds in one *sorted* window (at most [`Self::window`] elements; the
+    /// final window may be shorter). Steps: histogram → merge → compress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty, oversized, or (debug) unsorted.
+    pub fn push_sorted_window(&mut self, sorted: &[f32]) {
+        assert!(!sorted.is_empty(), "window must be non-empty");
+        assert!(
+            sorted.len() <= self.window,
+            "window of {} exceeds ⌈1/ε⌉ = {}",
+            sorted.len(),
+            self.window
+        );
+        self.bucket += 1;
+        self.n += sorted.len() as u64;
+
+        // Step 1: histogram of the sorted window.
+        let hist = histogram(sorted);
+        self.ops.histogram.comparisons += sorted.len() as u64;
+        self.ops.histogram.moves += hist.len() as u64;
+
+        // Step 2: merge into the value-sorted summary (two-pointer merge —
+        // this is why the paper keeps the summary sorted).
+        let delta = self.bucket - 1;
+        let mut merged: Vec<FreqEntry> = Vec::with_capacity(self.entries.len() + hist.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() || j < hist.len() {
+            let take = match (self.entries.get(i), hist.get(j)) {
+                (Some(e), Some(&(v, _))) => {
+                    self.ops.merge.comparisons += 1;
+                    if e.value < v {
+                        Take::Old
+                    } else if e.value > v {
+                        Take::New
+                    } else {
+                        Take::Both
+                    }
+                }
+                (Some(_), None) => Take::Old,
+                (None, Some(_)) => Take::New,
+                (None, None) => unreachable!("loop condition"),
+            };
+            match take {
+                Take::Old => {
+                    merged.push(self.entries[i]);
+                    i += 1;
+                }
+                Take::New => {
+                    let (v, c) = hist[j];
+                    merged.push(FreqEntry { value: v, count: c, delta });
+                    j += 1;
+                }
+                Take::Both => {
+                    let mut e = self.entries[i];
+                    e.count += hist[j].1;
+                    merged.push(e);
+                    i += 1;
+                    j += 1;
+                }
+            }
+            self.ops.merge.moves += 1;
+        }
+        self.entries = merged;
+
+        // Step 3: compress — drop entries that can no longer reach the
+        // deletion threshold `count + Δ ≤ bucket`.
+        let bucket = self.bucket;
+        let before = self.entries.len() as u64;
+        self.entries.retain(|e| e.count + e.delta > bucket);
+        self.ops.compress.comparisons += before;
+        self.ops.compress.moves += before - self.entries.len() as u64;
+    }
+
+    /// Iterates over the summary's `(value, count)` pairs, ascending by
+    /// value (the hierarchical-heavy-hitter layer scans these as
+    /// candidates).
+    pub fn entries(&self) -> impl Iterator<Item = (f32, u64)> + '_ {
+        self.entries.iter().map(|e| (e.value, e.count))
+    }
+
+    /// The estimated frequency of `value` (an underestimate by ≤ εN).
+    pub fn estimate(&self, value: f32) -> u64 {
+        match self.entries.binary_search_by(|e| e.value.total_cmp(&value)) {
+            Ok(i) => self.entries[i].count,
+            Err(_) => 0,
+        }
+    }
+
+    /// The ε-approximate heavy-hitters query: all summary elements with
+    /// `count ≥ (s − ε)·N`, ascending by value. Guaranteed to contain every
+    /// element with true frequency ≥ `s·N` (no false negatives) and nothing
+    /// with true frequency < `(s − ε)·N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps < s ≤ 1`.
+    pub fn heavy_hitters(&self, s: f64) -> Vec<(f32, u64)> {
+        assert!(s > self.eps && s <= 1.0, "support must satisfy eps < s <= 1");
+        let threshold = (s - self.eps) * self.n as f64;
+        self.entries
+            .iter()
+            .filter(|e| e.count as f64 >= threshold)
+            .map(|e| (e.value, e.count))
+            .collect()
+    }
+}
+
+enum Take {
+    Old,
+    New,
+    Both,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Feeds `data` through lossy counting in sorted windows.
+    fn run(data: &[f32], eps: f64) -> LossyCounting {
+        let mut lc = LossyCounting::new(eps);
+        for chunk in data.chunks(lc.window()) {
+            let mut w = chunk.to_vec();
+            w.sort_by(f32::total_cmp);
+            lc.push_sorted_window(&w);
+        }
+        lc
+    }
+
+    fn zipf_stream(n: usize, domain: u32, seed: u64) -> Vec<f32> {
+        // Simple Zipf-ish skew: element k with weight 1/(k+1).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..domain).map(|k| 1.0 / (k + 1) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        (0..n)
+            .map(|_| {
+                let mut u = rng.random_range(0.0..total);
+                for (k, w) in weights.iter().enumerate() {
+                    if u < *w {
+                        return k as f32;
+                    }
+                    u -= w;
+                }
+                (domain - 1) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn estimates_underestimate_by_at_most_eps_n() {
+        let data = zipf_stream(50_000, 100, 1);
+        let eps = 0.001;
+        let lc = run(&data, eps);
+        let oracle = ExactStats::new(&data);
+        let bound = (eps * data.len() as f64).ceil() as u64;
+        for k in 0..100u32 {
+            let v = k as f32;
+            let est = lc.estimate(v);
+            let truth = oracle.frequency(v);
+            assert!(est <= truth, "estimate {est} exceeds truth {truth} for {v}");
+            assert!(truth - est <= bound, "undercount {} > {bound} for {v}", truth - est);
+        }
+    }
+
+    #[test]
+    fn no_false_negatives_at_support() {
+        let data = zipf_stream(100_000, 1000, 2);
+        let eps = 0.0005;
+        let s = 0.005;
+        let lc = run(&data, eps);
+        let oracle = ExactStats::new(&data);
+        let answer = lc.heavy_hitters(s);
+        let answered: Vec<f32> = answer.iter().map(|&(v, _)| v).collect();
+        for (v, _) in oracle.heavy_hitters((s * data.len() as f64).ceil() as u64) {
+            assert!(answered.contains(&v), "missing true heavy hitter {v}");
+        }
+        // No false positives below (s − ε)N.
+        let floor = ((s - eps) * data.len() as f64).floor() as u64;
+        for &(v, _) in &answer {
+            assert!(
+                oracle.frequency(v) >= floor.saturating_sub(0),
+                "false positive {v} with true frequency {}",
+                oracle.frequency(v)
+            );
+        }
+    }
+
+    #[test]
+    fn space_stays_bounded() {
+        let data = zipf_stream(200_000, 5000, 3);
+        let eps = 0.001;
+        let lc = run(&data, eps);
+        // O((1/ε) log(εN)) = 1000 × log2(200) ≈ 7600; allow slack.
+        assert!(lc.entry_count() < 20_000, "entries = {}", lc.entry_count());
+    }
+
+    #[test]
+    fn uniform_data_mostly_compressed_away() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data: Vec<f32> = (0..100_000)
+            .map(|_| (rng.random_range(0..1_000_000) as f32) / 8.0)
+            .collect();
+        let lc = run(&data, 0.001);
+        // Nearly every value is unique: the summary must stay near the
+        // window size, not grow with N.
+        assert!(lc.entry_count() < 5 * lc.window(), "entries = {}", lc.entry_count());
+    }
+
+    #[test]
+    fn single_window_is_exact() {
+        let mut w = vec![1.0f32, 1.0, 2.0, 3.0, 3.0, 3.0];
+        w.sort_by(f32::total_cmp);
+        let mut lc = LossyCounting::new(0.1);
+        lc.push_sorted_window(&w);
+        assert_eq!(lc.estimate(3.0), 3);
+        assert_eq!(lc.estimate(1.0), 2);
+        assert_eq!(lc.estimate(9.0), 0);
+    }
+
+    #[test]
+    fn ops_split_by_phase() {
+        let data = zipf_stream(10_000, 50, 5);
+        let lc = run(&data, 0.01);
+        let ops = lc.ops();
+        assert!(ops.histogram.total() > 0);
+        assert!(ops.merge.total() > 0);
+        assert!(ops.compress.total() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_window_rejected() {
+        let mut lc = LossyCounting::new(0.5);
+        lc.push_sorted_window(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn larger_shared_window_tightens_the_guarantee() {
+        let data = zipf_stream(60_000, 200, 9);
+        let eps = 0.002;
+        let oracle = ExactStats::new(&data);
+        // Window 4x the minimum: undercount bound becomes N/w = eps*N/4.
+        let window = 4 * (1.0f64 / eps).ceil() as usize;
+        let mut lc = LossyCounting::with_window(eps, window);
+        for chunk in data.chunks(window) {
+            let mut w = chunk.to_vec();
+            w.sort_by(f32::total_cmp);
+            lc.push_sorted_window(&w);
+        }
+        let tight_bound = (data.len() / window) as u64 + 1;
+        for v in 0..50u32 {
+            let est = lc.estimate(v as f32);
+            let truth = oracle.frequency(v as f32);
+            assert!(est <= truth);
+            assert!(truth - est <= tight_bound, "undercount {} > {tight_bound}", truth - est);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least ceil")]
+    fn too_small_shared_window_rejected() {
+        let _ = LossyCounting::with_window(0.01, 50);
+    }
+}

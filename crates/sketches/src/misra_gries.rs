@@ -1,0 +1,186 @@
+//! The Misra–Gries / Frequent(k) counter summary — the earliest
+//! deterministic approximate frequency algorithm (paper §2.1: "One of the
+//! earliest sample-based deterministic algorithms for approximate frequency
+//! counts was presented by Misra and Gries. Recently, Demaine et al. and
+//! Karp et al. re-discovered the same algorithm and reduced its worst case
+//! processing time to O(1)").
+//!
+//! Maintains at most `k` counters; every element with true frequency
+//! `> N/(k+1)` is guaranteed to hold a counter, and each counter
+//! underestimates its element's frequency by at most `N/(k+1)`.
+//!
+//! Serves as the per-element baseline for the window-based ablation (A4)
+//! and as a building block of the sliding-window frequency sketch.
+
+use std::collections::HashMap;
+
+/// A Misra–Gries summary with up to `k` counters.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct MisraGries {
+    k: usize,
+    counters: HashMap<u32, u64>,
+    n: u64,
+}
+
+impl MisraGries {
+    /// Creates a summary with `k` counters (error bound `N/(k+1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one counter");
+        MisraGries { k, counters: HashMap::with_capacity(k + 1), n: 0 }
+    }
+
+    /// Counter budget.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Elements processed.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Live counters (≤ k).
+    pub fn counter_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Processes one element (amortized O(1)).
+    pub fn insert(&mut self, value: f32) {
+        debug_assert!(!value.is_nan(), "summaries are NaN-free");
+        self.n += 1;
+        let key = value.to_bits();
+        if let Some(c) = self.counters.get_mut(&key) {
+            *c += 1;
+        } else if self.counters.len() < self.k {
+            self.counters.insert(key, 1);
+        } else {
+            // Decrement-all: the O(1)-amortized variant removes zeros lazily.
+            self.counters.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
+    }
+
+    /// The estimated frequency of `value` (underestimate by ≤ `N/(k+1)`).
+    pub fn estimate(&self, value: f32) -> u64 {
+        self.counters.get(&value.to_bits()).copied().unwrap_or(0)
+    }
+
+    /// All candidates with estimated frequency ≥ `threshold`, ascending by
+    /// value. Contains every element with true frequency
+    /// ≥ `threshold + N/(k+1)`.
+    pub fn candidates(&self, threshold: u64) -> Vec<(f32, u64)> {
+        let mut out: Vec<(f32, u64)> = self
+            .counters
+            .iter()
+            .filter(|(_, &c)| c >= threshold)
+            .map(|(&bits, &c)| (f32::from_bits(bits), c))
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// The guaranteed maximum undercount, `N/(k+1)`.
+    pub fn error_bound(&self) -> u64 {
+        self.n / (self.k as u64 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn majority_element_survives() {
+        // k=1 is the Boyer–Moore majority vote.
+        let mut mg = MisraGries::new(1);
+        let data: Vec<f32> = (0..99)
+            .map(|i| if i % 3 == 0 || i % 3 == 1 { 7.0 } else { i as f32 })
+            .collect();
+        for &v in &data {
+            mg.insert(v);
+        }
+        assert!(mg.estimate(7.0) > 0, "majority element must hold a counter");
+    }
+
+    #[test]
+    fn undercount_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = 99;
+        let mut mg = MisraGries::new(k);
+        let data: Vec<f32> = (0..50_000)
+            .map(|_| {
+                // Skewed: half the stream from 10 hot values.
+                if rng.random_range(0..2) == 0 {
+                    rng.random_range(0..10) as f32
+                } else {
+                    rng.random_range(10..10_000) as f32
+                }
+            })
+            .collect();
+        for &v in &data {
+            mg.insert(v);
+        }
+        let oracle = ExactStats::new(&data);
+        let bound = mg.error_bound();
+        for hot in 0..10 {
+            let v = hot as f32;
+            let est = mg.estimate(v);
+            let truth = oracle.frequency(v);
+            assert!(est <= truth);
+            assert!(truth - est <= bound, "undercount {} > {bound}", truth - est);
+        }
+    }
+
+    #[test]
+    fn counter_budget_respected() {
+        let mut mg = MisraGries::new(10);
+        for i in 0..10_000 {
+            mg.insert((i % 1000) as f32);
+        }
+        assert!(mg.counter_count() <= 10);
+    }
+
+    #[test]
+    fn all_heavy_elements_are_candidates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000usize;
+        let k = 199;
+        let mut mg = MisraGries::new(k);
+        let data: Vec<f32> = (0..n)
+            .map(|_| {
+                if rng.random_range(0..100) < 30 {
+                    rng.random_range(0..5) as f32
+                } else {
+                    rng.random_range(1000..100_000) as f32
+                }
+            })
+            .collect();
+        for &v in &data {
+            mg.insert(v);
+        }
+        let oracle = ExactStats::new(&data);
+        let support = n as u64 / 50; // 2% support, bound is n/200 = 0.5%
+        let candidates = mg.candidates(1);
+        let values: Vec<f32> = candidates.iter().map(|&(v, _)| v).collect();
+        for (v, _) in oracle.heavy_hitters(support) {
+            assert!(values.contains(&v), "heavy element {v} missing");
+        }
+    }
+
+    #[test]
+    fn empty_summary() {
+        let mg = MisraGries::new(5);
+        assert_eq!(mg.estimate(1.0), 0);
+        assert!(mg.candidates(1).is_empty());
+        assert_eq!(mg.error_bound(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Tuple types shared by the summaries (paper §3.2: "The summary data
+//! structure is usually maintained as a sorted sequence of tuples … The
+//! tuple may also consist of additional fields such as the frequency of the
+//! element or the minimum and the maximum rank of the element.")
+
+/// A quantile-summary tuple: a value with bounds on its rank in the
+/// summarized multiset (1-based, inclusive).
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct QuantileEntry {
+    /// The sample value.
+    pub value: f32,
+    /// Smallest possible rank of this value.
+    pub rmin: u64,
+    /// Largest possible rank of this value.
+    pub rmax: u64,
+}
+
+impl QuantileEntry {
+    /// An entry with an exactly known rank.
+    pub fn exact(value: f32, rank: u64) -> Self {
+        QuantileEntry { value, rmin: rank, rmax: rank }
+    }
+
+    /// The rank uncertainty `rmax − rmin`.
+    pub fn spread(&self) -> u64 {
+        self.rmax - self.rmin
+    }
+}
+
+/// A frequency-summary tuple: a value, its counted occurrences, and the
+/// maximum possible undercount Δ (lossy counting's per-entry error bound).
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FreqEntry {
+    /// The element value.
+    pub value: f32,
+    /// Occurrences counted since the entry was (re-)created.
+    pub count: u64,
+    /// Maximum occurrences that may have been missed before creation.
+    pub delta: u64,
+}
+
+impl FreqEntry {
+    /// Upper bound on the element's true frequency.
+    pub fn max_count(&self) -> u64 {
+        self.count + self.delta
+    }
+}
+
+/// Cheap operation counters for pricing summary maintenance.
+///
+/// The paper's Figure 6 splits estimator time into sort / merge / compress.
+/// Sorting is priced by the device simulators; the merge and compress
+/// phases are straight-line CPU scans, priced as `comparisons + moves`
+/// events by the core crate's cost model.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct OpCounter {
+    /// Value comparisons performed.
+    pub comparisons: u64,
+    /// Tuples created, moved, or updated.
+    pub moves: u64,
+}
+
+impl OpCounter {
+    /// Adds another counter's totals into this one.
+    pub fn absorb(&mut self, other: OpCounter) {
+        self.comparisons += other.comparisons;
+        self.moves += other.moves;
+    }
+
+    /// Total countable events.
+    pub fn total(&self) -> u64 {
+        self.comparisons + self.moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_entry_has_zero_spread() {
+        let e = QuantileEntry::exact(4.0, 17);
+        assert_eq!(e.spread(), 0);
+        assert_eq!(e.rmin, 17);
+        assert_eq!(e.rmax, 17);
+    }
+
+    #[test]
+    fn freq_entry_bounds() {
+        let f = FreqEntry { value: 1.0, count: 10, delta: 3 };
+        assert_eq!(f.max_count(), 13);
+    }
+
+    #[test]
+    fn op_counter_accumulates() {
+        let mut a = OpCounter { comparisons: 5, moves: 2 };
+        a.absorb(OpCounter { comparisons: 1, moves: 4 });
+        assert_eq!(a, OpCounter { comparisons: 6, moves: 6 });
+        assert_eq!(a.total(), 12);
+    }
+}

@@ -1,0 +1,513 @@
+//! Time-based (variable-width) sliding windows (paper §5.3: "These windows
+//! could be fixed or variable-sized width").
+//!
+//! Count-based windows ([`crate::sliding`]) answer over the last `W`
+//! *elements*; time-based windows answer over the last `τ` *seconds* — so
+//! the population varies with the arrival rate, growing through bursts and
+//! shrinking through lulls. The structure is the same per-block deque, but
+//! blocks are cut by a time quantum and expire by their newest timestamp.
+//!
+//! Error model: within the horizon `τ` the per-block summaries carry their
+//! usual sampling error; at the boundary, one block of at most `τ/blocks`
+//! seconds may be partially expired. With `q = τ / quantum` live blocks the
+//! boundary slop is at most a `1/q` fraction of the window's population —
+//! callers choose the quantum to taste (default `τ/64`).
+
+use std::collections::VecDeque;
+
+use crate::gk_window::WindowSummary;
+use crate::summary::OpCounter;
+
+/// One time block: a summary of the values that arrived in one quantum.
+struct TimeBlock {
+    /// Newest arrival time in the block.
+    newest: f64,
+    summary: WindowSummary,
+}
+
+/// ε′-approximate quantiles over the elements of the last `horizon`
+/// seconds.
+///
+/// `ε′` here is the per-block sampling error; the time-boundary slop adds
+/// at most `1/blocks_per_horizon` of the window population (see module
+/// docs).
+///
+/// ```
+/// use gsm_sketch::TimeSlidingQuantile;
+///
+/// let mut sq = TimeSlidingQuantile::new(0.05, 1.0); // last second
+/// for i in 0..5000 {
+///     sq.push(i as f64 / 1000.0, (i % 10) as f32); // 1k events/s for 5s
+/// }
+/// // Only the last ~1000 events are in the window.
+/// assert!(sq.covered() <= 1100);
+/// let med = sq.query(0.5);
+/// assert!((3.0..=6.0).contains(&med));
+/// ```
+pub struct TimeSlidingQuantile {
+    eps: f64,
+    horizon: f64,
+    quantum: f64,
+    deque: VecDeque<TimeBlock>,
+    /// Open block being accumulated (sorted on close).
+    open: Vec<(f64, f32)>,
+    open_started: f64,
+    ops: OpCounter,
+}
+
+impl TimeSlidingQuantile {
+    /// Creates a summary over the trailing `horizon` seconds with 64 blocks
+    /// per horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1` and `horizon > 0`.
+    pub fn new(eps: f64, horizon: f64) -> Self {
+        Self::with_quantum(eps, horizon, horizon / 64.0)
+    }
+
+    /// Creates a summary with an explicit block quantum (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1`, `horizon > 0`, and
+    /// `0 < quantum ≤ horizon`.
+    pub fn with_quantum(eps: f64, horizon: f64, quantum: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+        assert!(horizon > 0.0, "horizon must be positive");
+        assert!(quantum > 0.0 && quantum <= horizon, "quantum must be in (0, horizon]");
+        TimeSlidingQuantile {
+            eps,
+            horizon,
+            quantum,
+            deque: VecDeque::new(),
+            open: Vec::new(),
+            open_started: f64::NEG_INFINITY,
+            ops: OpCounter::default(),
+        }
+    }
+
+    /// The per-block error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The window horizon in seconds.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Elements currently covered (live blocks + the open block).
+    pub fn covered(&self) -> u64 {
+        self.deque.iter().map(|b| b.summary.count()).sum::<u64>() + self.open.len() as u64
+    }
+
+    /// Stored entries across blocks (memory footprint).
+    pub fn entry_count(&self) -> usize {
+        self.deque.iter().map(|b| b.summary.entries().len()).sum::<usize>() + self.open.len()
+    }
+
+    /// Pushes one timestamped value. Timestamps must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the latest pushed time (debug builds).
+    pub fn push(&mut self, time: f64, value: f32) {
+        debug_assert!(value.is_finite(), "values must be finite");
+        debug_assert!(
+            self.open.last().map(|&(t, _)| time >= t).unwrap_or(true),
+            "timestamps must be non-decreasing"
+        );
+        // Close the open block first if this arrival falls outside its
+        // quantum — otherwise a late straggler would trap stale elements in
+        // a block whose `newest` timestamp never expires.
+        if !self.open.is_empty() && time - self.open_started >= self.quantum {
+            self.close_block();
+        }
+        if self.open.is_empty() {
+            self.open_started = time;
+        }
+        self.open.push((time, value));
+        self.expire(time);
+    }
+
+    fn close_block(&mut self) {
+        if self.open.is_empty() {
+            return;
+        }
+        let newest = self.open.last().expect("non-empty").0;
+        let mut values: Vec<f32> = self.open.drain(..).map(|(_, v)| v).collect();
+        values.sort_by(f32::total_cmp);
+        self.deque.push_back(TimeBlock {
+            newest,
+            summary: WindowSummary::from_sorted(&values, self.eps),
+        });
+    }
+
+    fn expire(&mut self, now: f64) {
+        while let Some(front) = self.deque.front() {
+            if front.newest < now - self.horizon {
+                self.deque.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Answers a φ-quantile query over (approximately) the last `horizon`
+    /// seconds, as of the latest pushed timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is covered.
+    pub fn query(&mut self, phi: f64) -> f32 {
+        self.close_block();
+        assert!(!self.deque.is_empty(), "cannot query an empty window");
+        // Balanced tree merge (same rationale as the count-based variant).
+        let mut layer: Vec<WindowSummary> =
+            self.deque.iter().map(|b| b.summary.clone()).collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| match pair {
+                    [a, b] => WindowSummary::merge(a, b, &mut self.ops),
+                    [a] => a.clone(),
+                    _ => unreachable!("chunks(2)"),
+                })
+                .collect();
+        }
+        layer[0].query(phi)
+    }
+}
+
+
+/// ε-approximate frequencies over the elements of the last `horizon`
+/// seconds.
+///
+/// Same block structure as [`TimeSlidingQuantile`]; each closed block keeps
+/// a pruned histogram (entries with more than `⌊ε·len/2⌋` occurrences in
+/// the block survive), so a value's undercount is bounded per block and the
+/// footprint stays Θ(1/ε) per block.
+///
+/// ```
+/// use gsm_sketch::time_sliding::TimeSlidingFrequency;
+///
+/// let mut sf = TimeSlidingFrequency::new(0.02, 1.0);
+/// for i in 0..5000 {
+///     sf.push(i as f64 / 1000.0, (i % 5) as f32); // 1k events/s
+/// }
+/// // Each value is 20% of the ~1000-event window.
+/// let est = sf.estimate(2.0);
+/// assert!((150..=260).contains(&est), "{est}");
+/// ```
+pub struct TimeSlidingFrequency {
+    eps: f64,
+    horizon: f64,
+    quantum: f64,
+    deque: VecDeque<FreqTimeBlock>,
+    open: Vec<(f64, f32)>,
+    open_started: f64,
+}
+
+/// One closed frequency block.
+struct FreqTimeBlock {
+    newest: f64,
+    total: u64,
+    entries: Vec<(f32, u64)>,
+}
+
+impl TimeSlidingFrequency {
+    /// Creates a summary over the trailing `horizon` seconds with 64 blocks
+    /// per horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1` and `horizon > 0`.
+    pub fn new(eps: f64, horizon: f64) -> Self {
+        Self::with_quantum(eps, horizon, horizon / 64.0)
+    }
+
+    /// Creates a summary with an explicit block quantum (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1`, `horizon > 0`, and
+    /// `0 < quantum ≤ horizon`.
+    pub fn with_quantum(eps: f64, horizon: f64, quantum: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+        assert!(horizon > 0.0, "horizon must be positive");
+        assert!(quantum > 0.0 && quantum <= horizon, "quantum must be in (0, horizon]");
+        TimeSlidingFrequency {
+            eps,
+            horizon,
+            quantum,
+            deque: VecDeque::new(),
+            open: Vec::new(),
+            open_started: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The per-block error bound.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The window horizon in seconds.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Elements currently covered.
+    pub fn covered(&self) -> u64 {
+        self.deque.iter().map(|b| b.total).sum::<u64>() + self.open.len() as u64
+    }
+
+    /// Stored histogram entries (memory footprint).
+    pub fn entry_count(&self) -> usize {
+        self.deque.iter().map(|b| b.entries.len()).sum::<usize>() + self.open.len()
+    }
+
+    /// Pushes one timestamped value (timestamps non-decreasing).
+    pub fn push(&mut self, time: f64, value: f32) {
+        debug_assert!(value.is_finite(), "values must be finite");
+        if !self.open.is_empty() && time - self.open_started >= self.quantum {
+            self.close_block();
+        }
+        if self.open.is_empty() {
+            self.open_started = time;
+        }
+        self.open.push((time, value));
+        self.expire(time);
+    }
+
+    fn close_block(&mut self) {
+        if self.open.is_empty() {
+            return;
+        }
+        let newest = self.open.last().expect("non-empty").0;
+        let total = self.open.len() as u64;
+        let mut values: Vec<f32> = self.open.drain(..).map(|(_, v)| v).collect();
+        values.sort_by(f32::total_cmp);
+        let drop = ((self.eps * total as f64) / 2.0).floor() as u64;
+        let entries: Vec<(f32, u64)> = crate::histogram::histogram(&values)
+            .into_iter()
+            .filter(|&(_, c)| c > drop)
+            .collect();
+        self.deque.push_back(FreqTimeBlock { newest, total, entries });
+    }
+
+    fn expire(&mut self, now: f64) {
+        while let Some(front) = self.deque.front() {
+            if front.newest < now - self.horizon {
+                self.deque.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The estimated frequency of `value` over (approximately) the last
+    /// `horizon` seconds, as of the latest pushed timestamp.
+    pub fn estimate(&mut self, value: f32) -> u64 {
+        self.close_block();
+        self.deque
+            .iter()
+            .map(|b| {
+                b.entries
+                    .binary_search_by(|e| e.0.total_cmp(&value))
+                    .map(|i| b.entries[i].1)
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// All values with estimated frequency ≥ `(s − eps) · covered()`,
+    /// ascending by value.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `eps < s ≤ 1`.
+    pub fn heavy_hitters(&mut self, s: f64) -> Vec<(f32, u64)> {
+        assert!(s > self.eps && s <= 1.0, "support must satisfy eps < s <= 1");
+        self.close_block();
+        let covered = self.covered() as f64;
+        let mut values: Vec<f32> = self
+            .deque
+            .iter()
+            .flat_map(|b| b.entries.iter().map(|&(v, _)| v))
+            .collect();
+        values.sort_by(f32::total_cmp);
+        values.dedup();
+        let threshold = (s - self.eps) * covered;
+        let mut out = Vec::new();
+        for v in values {
+            let c = self.estimate(v);
+            if c as f64 >= threshold {
+                out.push((v, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStats;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Events at a steady rate with the given value generator.
+    fn feed<F: FnMut(usize) -> f32>(
+        sq: &mut TimeSlidingQuantile,
+        n: usize,
+        rate: f64,
+        t0: f64,
+        mut value: F,
+    ) -> Vec<(f64, f32)> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = t0 + i as f64 / rate;
+            let v = value(i);
+            sq.push(t, v);
+            out.push((t, v));
+        }
+        out
+    }
+
+
+    #[test]
+    fn frequency_tracks_recent_horizon() {
+        let mut sf = TimeSlidingFrequency::new(0.05, 1.0);
+        // Hot value 7.0 for 2 seconds, then gone for 2 seconds.
+        for i in 0..4000 {
+            sf.push(i as f64 / 2000.0, 7.0);
+        }
+        assert!(sf.estimate(7.0) >= 1800);
+        for i in 0..4000 {
+            sf.push(2.0 + i as f64 / 2000.0, (i % 100) as f32 + 100.0);
+        }
+        assert_eq!(sf.estimate(7.0), 0, "expired value must vanish");
+    }
+
+    #[test]
+    fn frequency_error_bounded() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut sf = TimeSlidingFrequency::new(0.02, 1.0);
+        let mut events: Vec<(f64, f32)> = Vec::new();
+        for i in 0..30_000 {
+            let t = i as f64 / 10_000.0;
+            let v = if rng.random_range(0..4) == 0 {
+                rng.random_range(0..8) as f32
+            } else {
+                rng.random_range(100..10_000) as f32
+            };
+            sf.push(t, v);
+            events.push((t, v));
+        }
+        let now = events.last().expect("non-empty").0;
+        let window: Vec<f32> = events
+            .iter()
+            .filter(|&&(t, _)| t >= now - 1.0)
+            .map(|&(_, v)| v)
+            .collect();
+        let oracle = ExactStats::new(&window);
+        let covered = sf.covered() as f64;
+        for v in 0..8 {
+            let est = sf.estimate(v as f32) as i64;
+            let truth = oracle.frequency(v as f32) as i64;
+            // eps per block + one-block boundary slop.
+            let bound = (0.02 * covered + covered / 64.0 + 16.0) as i64;
+            assert!((est - truth).abs() <= bound, "value {v}: est {est} truth {truth}");
+        }
+    }
+
+    #[test]
+    fn frequency_heavy_hitters_surface_hot_values() {
+        let mut sf = TimeSlidingFrequency::new(0.01, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..20_000 {
+            let t = i as f64 / 20_000.0;
+            let v = if rng.random_range(0..10) < 4 {
+                rng.random_range(0..4) as f32 // 4 hot values at ~10% each
+            } else {
+                rng.random_range(100..50_000) as f32
+            };
+            sf.push(t, v);
+        }
+        let hh = sf.heavy_hitters(0.05);
+        for hot in 0..4 {
+            assert!(hh.iter().any(|&(v, _)| v == hot as f32), "hot {hot} missing: {hh:?}");
+        }
+    }
+
+    #[test]
+    fn tracks_the_recent_horizon() {
+        let mut sq = TimeSlidingQuantile::new(0.02, 1.0);
+        // Phase 1 (0..2s): values near 0. Phase 2 (2..4s): values near 100.
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = feed(&mut sq, 10_000, 5000.0, 0.0, |_| rng.random_range(0.0..1.0));
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let _ = feed(&mut sq, 10_000, 5000.0, 2.0, |_| rng2.random_range(100.0..101.0));
+        assert!(sq.query(0.5) >= 100.0, "old phase must have expired");
+    }
+
+    #[test]
+    fn error_within_eps_of_time_window() {
+        let eps = 0.02;
+        let horizon = 1.0;
+        let mut sq = TimeSlidingQuantile::new(eps, horizon);
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = feed(&mut sq, 40_000, 10_000.0, 0.0, |_| rng.random_range(0.0..1.0));
+        let now = events.last().expect("non-empty").0;
+        let in_window: Vec<f32> = events
+            .iter()
+            .filter(|&&(t, _)| t >= now - horizon)
+            .map(|&(_, v)| v)
+            .collect();
+        let oracle = ExactStats::new(&in_window);
+        for phi in [0.1, 0.5, 0.9] {
+            let err = oracle.quantile_rank_error(phi, sq.query(phi));
+            // eps sampling + 1/64 boundary slop.
+            assert!(err <= eps + 1.0 / 64.0 + 0.005, "phi={phi} err={err}");
+        }
+    }
+
+    #[test]
+    fn population_tracks_arrival_rate() {
+        let mut sq = TimeSlidingQuantile::new(0.05, 1.0);
+        // Slow phase: 1k/s for 3 seconds.
+        let _ = feed(&mut sq, 3000, 1000.0, 0.0, |i| i as f32);
+        let slow_pop = sq.covered();
+        // Burst: 20k/s for 1 second (starting after the slow phase).
+        let _ = feed(&mut sq, 20_000, 20_000.0, 3.0, |i| i as f32);
+        let burst_pop = sq.covered();
+        assert!(
+            burst_pop > 5 * slow_pop,
+            "burst population {burst_pop} must dwarf calm {slow_pop}"
+        );
+        // Window population is bounded by one horizon of the burst rate
+        // (plus one quantum of slop).
+        assert!(burst_pop <= 21_000, "{burst_pop}");
+    }
+
+    #[test]
+    fn quiet_period_expires_everything_but_the_last_block() {
+        let mut sq = TimeSlidingQuantile::new(0.05, 0.5);
+        let _ = feed(&mut sq, 5000, 10_000.0, 0.0, |i| (i % 100) as f32);
+        // One straggler long after: everything else expires.
+        sq.push(100.0, 55.0);
+        assert_eq!(sq.query(0.5), 55.0);
+        assert!(sq.covered() <= 1 + 5000 / 64 + 80, "covered {}", sq.covered());
+    }
+
+    #[test]
+    fn memory_is_bounded_by_blocks_not_stream() {
+        let mut sq = TimeSlidingQuantile::with_quantum(0.02, 1.0, 1.0 / 32.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = feed(&mut sq, 200_000, 50_000.0, 0.0, |_| rng.random_range(0.0..1.0));
+        // 32 live blocks of ~1562 elements, each sampled at eps: far below
+        // the 200k stream and below one horizon's population.
+        assert!(sq.entry_count() < 60_000, "entries {}", sq.entry_count());
+    }
+}

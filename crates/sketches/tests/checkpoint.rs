@@ -1,0 +1,147 @@
+//! Checkpoint/restore: every summary serializes (serde) and answers
+//! identically after a JSON round trip — the persistence story a DSMS
+//! needs to survive restarts without losing stream history.
+
+use gsm_sketch::{
+    BitPrefixHierarchy, ExpHistogram, GkSummary, HhhSummary, LossyCounting, MisraGries,
+    SlidingFrequency, SlidingQuantile,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn stream(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.random_range(0..4) == 0 {
+                rng.random_range(0..16) as f32
+            } else {
+                rng.random_range(0..10_000) as f32
+            }
+        })
+        .collect()
+}
+
+fn sorted_chunks(data: &[f32], w: usize) -> Vec<Vec<f32>> {
+    data.chunks(w)
+        .map(|c| {
+            let mut v = c.to_vec();
+            v.sort_by(f32::total_cmp);
+            v
+        })
+        .collect()
+}
+
+#[test]
+fn gk_summary_round_trips() {
+    let mut gk = GkSummary::new(0.01);
+    for &v in &stream(20_000, 1) {
+        gk.insert(v);
+    }
+    let json = serde_json::to_string(&gk).expect("serialize");
+    let mut restored: GkSummary = serde_json::from_str(&json).expect("deserialize");
+    for phi in [0.1, 0.5, 0.9] {
+        assert_eq!(gk.query(phi), restored.query(phi));
+    }
+    // The restored summary keeps accepting stream data.
+    restored.insert(1.0);
+    assert_eq!(restored.count(), gk.count() + 1);
+}
+
+#[test]
+fn lossy_counting_round_trips() {
+    let mut lc = LossyCounting::new(0.001);
+    for w in sorted_chunks(&stream(50_000, 2), lc.window()) {
+        lc.push_sorted_window(&w);
+    }
+    let json = serde_json::to_string(&lc).expect("serialize");
+    let restored: LossyCounting = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(lc.heavy_hitters(0.01), restored.heavy_hitters(0.01));
+    for v in 0..16 {
+        assert_eq!(lc.estimate(v as f32), restored.estimate(v as f32));
+    }
+}
+
+#[test]
+fn exp_histogram_round_trips() {
+    let mut eh = ExpHistogram::new(0.01, 1024, 40_000);
+    for w in sorted_chunks(&stream(40_000, 3), 1024) {
+        eh.push_sorted_window(&w);
+    }
+    let json = serde_json::to_string(&eh).expect("serialize");
+    let mut restored: ExpHistogram = serde_json::from_str(&json).expect("deserialize");
+    for phi in [0.25, 0.5, 0.75] {
+        assert_eq!(eh.query(phi), restored.query(phi));
+    }
+    // Continue streaming after restore.
+    let extra = sorted_chunks(&stream(2048, 4), 1024);
+    for w in extra {
+        restored.push_sorted_window(&w);
+    }
+    assert_eq!(restored.count(), 42_048);
+}
+
+#[test]
+fn misra_gries_round_trips() {
+    let mut mg = MisraGries::new(99);
+    for &v in &stream(30_000, 5) {
+        mg.insert(v);
+    }
+    let json = serde_json::to_string(&mg).expect("serialize");
+    let restored: MisraGries = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(mg.candidates(1), restored.candidates(1));
+}
+
+#[test]
+fn hhh_round_trips() {
+    let mut hhh = HhhSummary::new(0.001, BitPrefixHierarchy::new(vec![4, 8]));
+    for w in sorted_chunks(&stream(30_000, 6), hhh.window()) {
+        hhh.push_sorted_window(&w);
+    }
+    let json = serde_json::to_string(&hhh).expect("serialize");
+    let restored: HhhSummary = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(hhh.query(0.05), restored.query(0.05));
+}
+
+#[test]
+fn sliding_summaries_round_trip() {
+    let data = stream(30_000, 7);
+
+    let mut sq = SlidingQuantile::new(0.02, 10_000);
+    for w in sorted_chunks(&data, sq.block_size()) {
+        sq.push_sorted_block(&w);
+    }
+    let json = serde_json::to_string(&sq).expect("serialize");
+    let mut rq: SlidingQuantile = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(sq.query(0.5), rq.query(0.5));
+    assert_eq!(sq.covered(), rq.covered());
+
+    let mut sf = SlidingFrequency::new(0.02, 10_000);
+    for w in sorted_chunks(&data, sf.block_size()) {
+        sf.push_sorted_block(&w);
+    }
+    let json = serde_json::to_string(&sf).expect("serialize");
+    let rf: SlidingFrequency = serde_json::from_str(&json).expect("deserialize");
+    for v in 0..16 {
+        assert_eq!(sf.estimate(v as f32), rf.estimate(v as f32));
+    }
+}
+
+#[test]
+fn checkpoint_is_compact() {
+    // The whole point of a summary: its checkpoint is small even after a
+    // large stream.
+    let mut lc = LossyCounting::new(0.001);
+    let data = stream(200_000, 8);
+    for w in sorted_chunks(&data, lc.window()) {
+        lc.push_sorted_window(&w);
+    }
+    let json = serde_json::to_string(&lc).expect("serialize");
+    let raw_bytes = data.len() * 4;
+    assert!(
+        json.len() < raw_bytes / 4,
+        "checkpoint {} B should be far below the {} B stream",
+        json.len(),
+        raw_bytes
+    );
+}

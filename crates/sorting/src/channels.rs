@@ -1,0 +1,227 @@
+//! The paper's full GPU batch pipeline: four windows in the RGBA channels,
+//! one PBSN run, CPU 4-way merge (§4.1 + §4.4).
+//!
+//! *"In order to utilize the parallelism offered by the four vector
+//! processing units in each fragment processor, we buffer four windows of
+//! data values and represent each of the windows in a color component of
+//! the 2D texture. Each window of data value is sorted in parallel and we
+//! merge the four sorted lists back on the CPU."*
+
+use gsm_cpu::{CpuCostModel, Machine};
+use gsm_gpu::{Device, GpuCostModel, GpuStats, TextureFormat, TextureId};
+use gsm_model::SimTime;
+
+use crate::layout::{channels_from_surface, split_channels, surface_from_channels};
+use crate::merge::merge4;
+use crate::pbsn::pbsn_sort_device;
+
+/// Simulated base addresses for the merge: four input runs and the output,
+/// each in its own 16 MiB arena so they contend in cache like distinct
+/// buffers.
+const RUN_BASE: [u64; 4] = [0x100_0000, 0x200_0000, 0x300_0000, 0x400_0000];
+const OUT_BASE: u64 = 0x500_0000;
+
+/// Sorts a batch on the GPU (4-channel PBSN) and merges on the CPU.
+///
+/// One-shot variant of [`GpuBatchSorter::sort`]; allocates a fresh texture
+/// on `dev`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-finite values (the padding
+/// protocol reserves `+∞`).
+pub fn gpu_sort_rgba(dev: &mut Device, machine: &mut Machine, values: &[f32]) -> Vec<f32> {
+    assert!(!values.is_empty(), "cannot sort an empty batch");
+    debug_assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+    let (channels, _padded) = split_channels(values);
+    let counts = channel_counts(values.len());
+    let surface = surface_from_channels(&channels);
+    let tex = dev.upload_texture(surface);
+    pbsn_sort_device(dev, tex);
+    let sorted = dev.readback_texture(tex);
+    let runs = channels_from_surface(&sorted);
+    merge4(
+        [
+            &runs[0][..counts[0]],
+            &runs[1][..counts[1]],
+            &runs[2][..counts[2]],
+            &runs[3][..counts[3]],
+        ],
+        machine,
+        RUN_BASE,
+        OUT_BASE,
+    )
+}
+
+/// Number of real (non-padding) values in each channel for a batch of `n`.
+pub fn channel_counts(n: usize) -> [usize; 4] {
+    let per = n.div_ceil(4);
+    core::array::from_fn(|k| n.saturating_sub(k * per).min(per))
+}
+
+/// A reusable GPU batch sorter for streaming workloads: keeps one device,
+/// one merge machine, and re-uploads into the same texture slot when batch
+/// sizes repeat (the steady state of the windowed estimators).
+pub struct GpuBatchSorter {
+    dev: Device,
+    machine: Machine,
+    tex: Option<(TextureId, usize)>,
+    format: TextureFormat,
+}
+
+impl GpuBatchSorter {
+    /// Builds a sorter from explicit device models.
+    pub fn new(gpu: GpuCostModel, cpu: CpuCostModel) -> Self {
+        GpuBatchSorter {
+            dev: Device::new(gpu),
+            machine: Machine::new(cpu),
+            tex: None,
+            format: TextureFormat::Rgba32F,
+        }
+    }
+
+    /// Selects the texture storage format. `Rgba16F` halves transfer
+    /// traffic and quantizes values to half precision — lossless for the
+    /// paper's 16-bit streams.
+    pub fn with_format(mut self, format: TextureFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// The calibrated testbed: GeForce 6800 Ultra + Pentium IV merge.
+    pub fn testbed() -> Self {
+        Self::new(GpuCostModel::geforce_6800_ultra(), CpuCostModel::pentium4_3400())
+    }
+
+    /// A zero-cost sorter for functional tests.
+    pub fn ideal() -> Self {
+        let mut s = Self::new(GpuCostModel::ideal(), CpuCostModel::ideal());
+        s.dev = Device::ideal();
+        s
+    }
+
+    /// Sorts one batch; see [`gpu_sort_rgba`].
+    pub fn sort(&mut self, values: &[f32]) -> Vec<f32> {
+        assert!(!values.is_empty(), "cannot sort an empty batch");
+        debug_assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        let (channels, padded) = split_channels(values);
+        let counts = channel_counts(values.len());
+        let surface = surface_from_channels(&channels);
+        let tex = match self.tex {
+            Some((id, len)) if len == padded => {
+                self.dev.update_texture(id, surface);
+                id
+            }
+            _ => {
+                let id = self.dev.upload_texture_fmt(surface, self.format);
+                self.tex = Some((id, padded));
+                id
+            }
+        };
+        pbsn_sort_device(&mut self.dev, tex);
+        let sorted = self.dev.readback_texture(tex);
+        let runs = channels_from_surface(&sorted);
+        merge4(
+            [
+                &runs[0][..counts[0]],
+                &runs[1][..counts[1]],
+                &runs[2][..counts[2]],
+                &runs[3][..counts[3]],
+            ],
+            &mut self.machine,
+            RUN_BASE,
+            OUT_BASE,
+        )
+    }
+
+    /// Accumulated GPU-side ledger (render + overhead + transfers).
+    pub fn gpu_stats(&self) -> &GpuStats {
+        self.dev.stats()
+    }
+
+    /// Accumulated CPU merge time.
+    pub fn merge_time(&self) -> SimTime {
+        self.machine.time()
+    }
+
+    /// Total simulated time: GPU pipeline + bus + CPU merge.
+    pub fn total_time(&self) -> SimTime {
+        self.dev.stats().total_time() + self.machine.time()
+    }
+
+    /// Resets both ledgers (keeps the texture allocation).
+    pub fn reset_ledgers(&mut self) {
+        self.dev.reset_stats();
+        self.machine.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0.0..1000.0)).collect()
+    }
+
+    #[test]
+    fn channel_counts_cover_all_values() {
+        for n in [1usize, 3, 4, 5, 17, 64, 100] {
+            let c = channel_counts(n);
+            assert_eq!(c.iter().sum::<usize>(), n, "n={n}");
+            let per = n.div_ceil(4);
+            assert!(c.iter().all(|&k| k <= per));
+        }
+    }
+
+    #[test]
+    fn one_shot_sorts_various_sizes() {
+        for n in [1usize, 2, 4, 7, 63, 64, 100, 1000] {
+            let values = random_vec(n, n as u64);
+            let mut dev = Device::ideal();
+            let mut machine = Machine::new(CpuCostModel::ideal());
+            let sorted = gpu_sort_rgba(&mut dev, &mut machine, &values);
+            let mut expect = values.clone();
+            expect.sort_by(f32::total_cmp);
+            assert_eq!(sorted, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn batch_sorter_reuses_texture_slot() {
+        let mut sorter = GpuBatchSorter::testbed();
+        for round in 0..5 {
+            let values = random_vec(256, round);
+            let sorted = sorter.sort(&values);
+            let mut expect = values.clone();
+            expect.sort_by(f32::total_cmp);
+            assert_eq!(sorted, expect);
+        }
+        // Five uploads (one per batch) but only one texture allocation:
+        // reuses the slot, so uploads == batches.
+        assert_eq!(sorter.gpu_stats().uploads, 5);
+        assert_eq!(sorter.gpu_stats().readbacks, 5);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_resets() {
+        let mut sorter = GpuBatchSorter::testbed();
+        let _ = sorter.sort(&random_vec(128, 1));
+        assert!(sorter.total_time().as_secs() > 0.0);
+        assert!(sorter.merge_time().as_secs() > 0.0);
+        sorter.reset_ledgers();
+        assert!(sorter.total_time().is_zero());
+    }
+
+    #[test]
+    fn transfer_volume_matches_batch_both_ways() {
+        let mut sorter = GpuBatchSorter::testbed();
+        let n = 1024usize;
+        let _ = sorter.sort(&random_vec(n, 2));
+        // n values → n/4 texels × 16 B = 4n bytes each way.
+        assert_eq!(sorter.gpu_stats().bus_bytes.get(), 2 * 4 * n as u64);
+    }
+}

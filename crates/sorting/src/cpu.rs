@@ -1,0 +1,541 @@
+//! Instrumented CPU sorting baselines.
+//!
+//! The paper benchmarks against two CPU configurations (§4.5): the standard
+//! `stdlib.h` `qsort` compiled with MSVC (every comparison goes through a
+//! comparator function pointer) and the Intel compiler's optimized,
+//! Hyper-Threaded quicksort. Both are quicksorts; what differs is
+//! per-comparison overhead and an overall throughput factor from
+//! parallelization.
+//!
+//! The implementation here is a classic median-of-three quicksort with an
+//! insertion-sort cutoff, *instrumented*: every element access reports its
+//! address to the [`Machine`]'s cache hierarchy, every comparison reports
+//! its branch outcome to the predictor, and loop bookkeeping charges ALU
+//! cycles. The reported simulated time therefore exhibits the two effects
+//! the paper highlights — cache misses beyond L2 (LaMarca–Ladner) and
+//! branch-mispredict stalls — because they *emerge from the trace*, not from
+//! a formula.
+
+use gsm_cpu::Machine;
+
+/// Partition segments at or below this length finish with insertion sort.
+pub const INSERTION_CUTOFF: usize = 16;
+
+/// ALU cycles charged per compare–exchange iteration.
+///
+/// On the Pentium IV's 31-stage Netburst pipeline a dependent
+/// load → FP compare (`fcomip`, ~3 cycle latency) → index update → loop
+/// branch chain sustains well under one instruction per cycle. Ten cycles
+/// per comparison step calibrates the end-to-end simulated time against the
+/// ~1 s the paper's Figure 3 shows for Intel-compiler quicksort at n = 8 M.
+pub const COMPARE_ALU_CYCLES: u64 = 10;
+
+/// Branch-site ids (stand-ins for static branch addresses).
+mod site {
+    pub const PARTITION_LEFT: u64 = 1;
+    pub const PARTITION_RIGHT: u64 = 2;
+    pub const INSERTION: u64 = 3;
+    pub const MEDIAN: u64 = 4;
+    pub const MERGE: u64 = 5;
+}
+
+/// Sorts `data` ascending while driving `m` with the full memory/branch
+/// trace. `base` is the array's simulated base address (element `i` lives at
+/// `base + 4·i`).
+///
+/// Uses an explicit segment stack (recursing on the smaller side first), so
+/// adversarial inputs cannot overflow the host stack.
+pub fn quicksort(data: &mut [f32], m: &mut Machine, base: u64) {
+    if data.len() <= 1 {
+        return;
+    }
+    let mut stack: Vec<(usize, usize)> = vec![(0, data.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi - lo < INSERTION_CUTOFF {
+            insertion_sort(data, lo, hi, m, base);
+            continue;
+        }
+        // Hoare partition: [lo..=j] ≤ pivot ≤ [j+1..=hi], both non-empty.
+        let j = partition(data, lo, hi, m, base);
+        // Push the larger side first so the smaller is processed next:
+        // O(log n) stack depth.
+        if j - lo < hi - j - 1 {
+            stack.push((j + 1, hi));
+            stack.push((lo, j));
+        } else {
+            stack.push((lo, j));
+            stack.push((j + 1, hi));
+        }
+    }
+}
+
+/// Reads element `i`, charging the cache access.
+#[inline]
+fn load(data: &[f32], i: usize, m: &mut Machine, base: u64) -> f32 {
+    m.read(base + 4 * i as u64);
+    data[i]
+}
+
+/// Writes element `i`, charging the cache access.
+#[inline]
+fn store(data: &mut [f32], i: usize, v: f32, m: &mut Machine, base: u64) {
+    m.write(base + 4 * i as u64);
+    data[i] = v;
+}
+
+/// One comparison: charges the (possible) comparator call, a branch at
+/// `site`, and the compare/increment ALU work.
+#[inline]
+fn compare(m: &mut Machine, site: u64, outcome: bool) -> bool {
+    m.call();
+    m.branch(site, outcome);
+    m.alu(COMPARE_ALU_CYCLES);
+    outcome
+}
+
+/// Swaps elements `i` and `j`, charging both writes.
+#[inline]
+fn swap_elems(data: &mut [f32], i: usize, j: usize, m: &mut Machine, base: u64) {
+    data.swap(i, j);
+    m.write(base + 4 * i as u64);
+    m.write(base + 4 * j as u64);
+}
+
+/// Hoare-style partition with a median-of-three pivot. Returns `j` such
+/// that `data[lo..=j] ≤ pivot ≤ data[j+1..=hi]`, both sides non-empty.
+fn partition(data: &mut [f32], lo: usize, hi: usize, m: &mut Machine, base: u64) -> usize {
+    // Median of three: order data[lo] ≤ data[mid] ≤ data[hi]; the median at
+    // `mid` becomes the pivot, and the ordered endpoints double as scan
+    // sentinels.
+    let mid = lo + (hi - lo) / 2;
+    let mut a = load(data, lo, m, base);
+    let mut b = load(data, mid, m, base);
+    let mut c = load(data, hi, m, base);
+    if compare(m, site::MEDIAN, b < a) {
+        core::mem::swap(&mut a, &mut b);
+        swap_elems(data, lo, mid, m, base);
+    }
+    if compare(m, site::MEDIAN, c < a) {
+        core::mem::swap(&mut a, &mut c);
+        swap_elems(data, lo, hi, m, base);
+    }
+    if compare(m, site::MEDIAN, c < b) {
+        core::mem::swap(&mut b, &mut c);
+        swap_elems(data, mid, hi, m, base);
+    }
+    let pivot = b;
+
+    let mut i = lo;
+    let mut j = hi;
+    loop {
+        loop {
+            i += 1;
+            let v = load(data, i, m, base);
+            if !compare(m, site::PARTITION_LEFT, v < pivot) {
+                break;
+            }
+        }
+        loop {
+            j -= 1;
+            let v = load(data, j, m, base);
+            if !compare(m, site::PARTITION_RIGHT, v > pivot) {
+                break;
+            }
+        }
+        if i >= j {
+            m.alu(1);
+            return j;
+        }
+        swap_elems(data, i, j, m, base);
+        m.alu(2);
+    }
+}
+
+/// Instrumented insertion sort over `data[lo..=hi]`.
+fn insertion_sort(data: &mut [f32], lo: usize, hi: usize, m: &mut Machine, base: u64) {
+    for i in (lo + 1)..=hi {
+        let v = load(data, i, m, base);
+        let mut j = i;
+        while j > lo {
+            let prev = load(data, j - 1, m, base);
+            if !compare(m, site::INSERTION, prev > v) {
+                break;
+            }
+            store(data, j, prev, m, base);
+            j -= 1;
+        }
+        if j > lo {
+            // Loop exited via the comparison: charge the final (not-taken)
+            // bookkeeping already done in `compare`.
+            m.alu(1);
+        }
+        store(data, j, v, m, base);
+    }
+}
+
+/// Sorts `data` ascending with LSD radix sort (four 8-bit passes over
+/// sign-flipped IEEE keys), driving `m` with the full trace.
+///
+/// Radix sort is the branch-free counterpoint to quicksort: no
+/// data-dependent comparisons (so no mispredict stalls, §3.2's second
+/// bottleneck) but a scatter phase whose writes wander across the output
+/// array (cache-hostile once the array outgrows L2 — LaMarca & Ladner's
+/// other regime). `scratch_base` is the simulated address of the ping-pong
+/// buffer.
+pub fn radix_sort(data: &mut [f32], m: &mut Machine, base: u64, scratch_base: u64) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    // Order-preserving key transform: flip all bits of negatives, flip the
+    // sign bit of non-negatives.
+    let mut keys: Vec<u32> = data
+        .iter()
+        .map(|v| {
+            let b = v.to_bits();
+            if b & 0x8000_0000 != 0 {
+                !b
+            } else {
+                b ^ 0x8000_0000
+            }
+        })
+        .collect();
+    let mut scratch = vec![0u32; n];
+    let (mut src_base, mut dst_base) = (base, scratch_base);
+
+    for pass in 0..4u32 {
+        let shift = pass * 8;
+        let mut counts = [0u32; 256];
+        // Histogram: one sequential read per element.
+        for (i, &k) in keys.iter().enumerate() {
+            m.read(src_base + 4 * i as u64);
+            m.alu(2);
+            counts[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        // Prefix sum over 256 buckets.
+        let mut offsets = [0u32; 256];
+        let mut acc = 0u32;
+        for (o, &c) in offsets.iter_mut().zip(&counts) {
+            *o = acc;
+            acc += c;
+        }
+        m.alu(256);
+        // Scatter: sequential read, bucket-ordered write.
+        for (i, &k) in keys.iter().enumerate() {
+            m.read(src_base + 4 * i as u64);
+            let bucket = ((k >> shift) & 0xFF) as usize;
+            let slot = offsets[bucket];
+            offsets[bucket] += 1;
+            m.write(dst_base + 4 * slot as u64);
+            m.alu(3);
+            scratch[slot as usize] = k;
+        }
+        core::mem::swap(&mut keys, &mut scratch);
+        core::mem::swap(&mut src_base, &mut dst_base);
+    }
+
+    for (v, &k) in data.iter_mut().zip(&keys) {
+        let b = if k & 0x8000_0000 != 0 { k ^ 0x8000_0000 } else { !k };
+        *v = f32::from_bits(b);
+    }
+}
+
+/// Sorts `data` ascending with bottom-up merge sort, driving `m` with the
+/// full trace.
+///
+/// Merge sort is the streaming counterpoint: every pass reads and writes
+/// both arrays strictly sequentially (one cache miss per line, LaMarca &
+/// Ladner's best case for large inputs) but still pays a data-dependent
+/// branch per comparison.
+pub fn merge_sort(data: &mut [f32], m: &mut Machine, base: u64, scratch_base: u64) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let mut scratch = vec![0.0f32; n];
+    let mut src: &mut [f32] = data;
+    let mut dst: &mut [f32] = &mut scratch;
+    let (mut src_base, mut dst_base) = (base, scratch_base);
+    let mut width = 1usize;
+    let mut passes = 0u32;
+
+    while width < n {
+        let mut start = 0usize;
+        while start < n {
+            let mid = (start + width).min(n);
+            let end = (start + 2 * width).min(n);
+            let (mut i, mut j, mut k) = (start, mid, start);
+            while i < mid && j < end {
+                m.read(src_base + 4 * i as u64);
+                m.read(src_base + 4 * j as u64);
+                let take_left = src[i] <= src[j];
+                m.branch(site::MERGE, take_left);
+                m.alu(3);
+                dst[k] = if take_left {
+                    i += 1;
+                    src[i - 1]
+                } else {
+                    j += 1;
+                    src[j - 1]
+                };
+                m.write(dst_base + 4 * k as u64);
+                k += 1;
+            }
+            while i < mid {
+                m.read(src_base + 4 * i as u64);
+                m.write(dst_base + 4 * k as u64);
+                m.alu(1);
+                dst[k] = src[i];
+                i += 1;
+                k += 1;
+            }
+            while j < end {
+                m.read(src_base + 4 * j as u64);
+                m.write(dst_base + 4 * k as u64);
+                m.alu(1);
+                dst[k] = src[j];
+                j += 1;
+                k += 1;
+            }
+            start = end;
+        }
+        core::mem::swap(&mut src, &mut dst);
+        core::mem::swap(&mut src_base, &mut dst_base);
+        width *= 2;
+        passes += 1;
+    }
+    if passes % 2 == 1 {
+        // Result landed in the scratch buffer (now `src`): copy back.
+        for k in 0..n {
+            m.read(src_base + 4 * k as u64);
+            m.write(dst_base + 4 * k as u64);
+        }
+        dst.copy_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_cpu::CpuCostModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn machine() -> Machine {
+        Machine::new(CpuCostModel::pentium4_3400())
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0.0..1.0e6)).collect()
+    }
+
+    #[test]
+    fn sorts_small_and_large() {
+        for n in [0usize, 1, 2, 15, 16, 17, 100, 1000, 20_000] {
+            let mut data = random_vec(n, n as u64 + 1);
+            let mut expect = data.clone();
+            expect.sort_by(f32::total_cmp);
+            quicksort(&mut data, &mut machine(), 0);
+            assert_eq!(data, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_patterns() {
+        let n = 4096;
+        let patterns: Vec<Vec<f32>> = vec![
+            (0..n).map(|i| i as f32).collect(),
+            (0..n).rev().map(|i| i as f32).collect(),
+            vec![7.0; n],
+            (0..n).map(|i| (i % 2) as f32).collect(),
+            (0..n).map(|i| (i % 10) as f32).collect(),
+        ];
+        for (k, p) in patterns.into_iter().enumerate() {
+            let mut data = p;
+            let mut expect = data.clone();
+            expect.sort_by(f32::total_cmp);
+            quicksort(&mut data, &mut machine(), 0);
+            assert_eq!(data, expect, "pattern {k}");
+        }
+    }
+
+    #[test]
+    fn cycle_count_grows_superlinearly_past_cache() {
+        // Per-element cost must rise once the array exceeds L2 (1 MB =
+        // 256 K f32): LaMarca–Ladner's effect.
+        let small_n = 64 << 10; // 256 KB: fits L2
+        let large_n = 1 << 21; // 8 MB: 8x L2
+        let mut m1 = machine();
+        let mut d1 = random_vec(small_n, 42);
+        quicksort(&mut d1, &mut m1, 0);
+        let per_small = m1.cycles() as f64 / (small_n as f64 * (small_n as f64).log2());
+
+        let mut m2 = machine();
+        let mut d2 = random_vec(large_n, 42);
+        quicksort(&mut d2, &mut m2, 0);
+        let per_large = m2.cycles() as f64 / (large_n as f64 * (large_n as f64).log2());
+
+        assert!(
+            per_large > 1.03 * per_small,
+            "per-comparison cost must grow past L2: {per_small:.2} -> {per_large:.2}"
+        );
+    }
+
+    #[test]
+    fn random_input_defeats_the_branch_predictor() {
+        let mut m = machine();
+        let mut data = random_vec(100_000, 7);
+        quicksort(&mut data, &mut m, 0);
+        let rate = m.stats().mispredict_rate();
+        assert!((0.15..0.6).contains(&rate), "mispredict rate = {rate}");
+    }
+
+    #[test]
+    fn sorted_input_is_branch_friendly() {
+        let mut m_sorted = machine();
+        let mut asc: Vec<f32> = (0..100_000).map(|i| i as f32).collect();
+        quicksort(&mut asc, &mut m_sorted, 0);
+        let mut m_rand = machine();
+        let mut rnd = random_vec(100_000, 3);
+        quicksort(&mut rnd, &mut m_rand, 0);
+        assert!(
+            m_sorted.stats().mispredict_rate() < m_rand.stats().mispredict_rate(),
+            "sorted {} vs random {}",
+            m_sorted.stats().mispredict_rate(),
+            m_rand.stats().mispredict_rate()
+        );
+    }
+
+    const SCRATCH: u64 = 0x4000_0000;
+
+    #[test]
+    fn radix_sort_is_correct() {
+        for n in [0usize, 1, 2, 100, 4096, 50_000] {
+            let mut data = random_vec(n, 70 + n as u64);
+            // Include negatives and special patterns.
+            for (i, v) in data.iter_mut().enumerate() {
+                if i % 3 == 0 {
+                    *v = -*v;
+                }
+            }
+            let mut expect = data.clone();
+            expect.sort_by(f32::total_cmp);
+            radix_sort(&mut data, &mut machine(), 0, SCRATCH);
+            assert_eq!(data, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn radix_sort_handles_negatives_zeros_and_duplicates() {
+        let mut data = vec![-0.0f32, 0.0, -1.5, 1.5, -1.5, 7.0, -1e30, 1e30, 7.0];
+        let mut expect = data.clone();
+        expect.sort_by(f32::total_cmp);
+        radix_sort(&mut data, &mut machine(), 0, SCRATCH);
+        // -0.0 and 0.0 compare equal; compare bit-agnostically by value.
+        assert_eq!(data.len(), expect.len());
+        for (a, b) in data.iter().zip(&expect) {
+            assert_eq!(a.partial_cmp(b), Some(core::cmp::Ordering::Equal), "{data:?}");
+        }
+    }
+
+    #[test]
+    fn radix_sort_is_branch_free() {
+        let mut m = machine();
+        let mut data = random_vec(50_000, 71);
+        radix_sort(&mut data, &mut m, 0, SCRATCH);
+        assert_eq!(m.stats().branches, 0, "radix sort issues no data-dependent branches");
+        assert_eq!(m.stats().mispredicts, 0);
+    }
+
+    #[test]
+    fn merge_sort_is_correct() {
+        for n in [0usize, 1, 2, 3, 100, 4095, 4096, 50_000] {
+            let mut data = random_vec(n, 80 + n as u64);
+            let mut expect = data.clone();
+            expect.sort_by(f32::total_cmp);
+            merge_sort(&mut data, &mut machine(), 0, SCRATCH);
+            assert_eq!(data, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn merge_sort_misses_match_the_streaming_model() {
+        // A naive bottom-up merge sort streams source and destination
+        // arrays once per pass: beyond L2 capacity that is ~one miss per
+        // 64 B line per array per pass (LaMarca & Ladner's analysis of why
+        // base merge sort is miss-heavy and needs tiling). Quicksort, by
+        // contrast, localizes after a few partition levels and misses far
+        // less per access.
+        let n = 1usize << 20; // 4 MB per array, 4x L2
+        let data = random_vec(n, 81);
+        let mut mm = machine();
+        let mut dm = data.clone();
+        merge_sort(&mut dm, &mut mm, 0, SCRATCH);
+        let passes = (n as f64).log2().ceil();
+        let model = passes * 2.0 * (n as f64 * 4.0 / 64.0);
+        let observed = mm.stats().l2_misses as f64;
+        assert!(
+            (0.4..2.0).contains(&(observed / model)),
+            "observed {observed} vs streaming model {model}"
+        );
+
+        let mut mq = machine();
+        let mut dq = data;
+        quicksort(&mut dq, &mut mq, 0);
+        let q_rate = mq.stats().l2_misses as f64 / mq.stats().reads as f64;
+        let m_rate = mm.stats().l2_misses as f64 / mm.stats().reads as f64;
+        assert!(q_rate < m_rate, "quicksort localizes: {q_rate:.4} vs merge {m_rate:.4}");
+        assert_eq!(dq, dm);
+    }
+
+    #[test]
+    fn prefetcher_helps_streaming_sorts_most() {
+        // Merge sort streams both arrays linearly: the prefetcher should
+        // hide most of its memory latency. Quicksort's partition walks are
+        // also streams, but its working set localizes quickly, so there is
+        // far less latency to hide.
+        let n = 1 << 20;
+        let data = random_vec(n, 90);
+        let run = |prefetch: bool, merge: bool| {
+            let model = if prefetch {
+                CpuCostModel::pentium4_3400_prefetch()
+            } else {
+                CpuCostModel::pentium4_3400()
+            };
+            let mut m = Machine::new(model);
+            let mut d = data.clone();
+            if merge {
+                merge_sort(&mut d, &mut m, 0, SCRATCH);
+            } else {
+                quicksort(&mut d, &mut m, 0);
+            }
+            (m.cycles(), m.stats().prefetch_covered)
+        };
+        let (merge_plain, _) = run(false, true);
+        let (merge_pf, covered) = run(true, true);
+        assert!(covered > 0, "streaming misses must be covered");
+        let merge_gain = merge_plain as f64 / merge_pf as f64;
+        let (quick_plain, _) = run(false, false);
+        let (quick_pf, _) = run(true, false);
+        let quick_gain = quick_plain as f64 / quick_pf as f64;
+        assert!(
+            merge_gain > quick_gain,
+            "merge sort must benefit more: {merge_gain:.3} vs {quick_gain:.3}"
+        );
+        assert!(merge_gain > 1.05, "merge sort gain {merge_gain:.3} too small");
+    }
+
+    #[test]
+    fn qsort_call_overhead_costs_more() {
+        let data = random_vec(50_000, 9);
+        let mut m_fast = Machine::new(CpuCostModel::pentium4_3400());
+        let mut d1 = data.clone();
+        quicksort(&mut d1, &mut m_fast, 0);
+        let mut m_qsort = Machine::new(CpuCostModel::pentium4_3400_qsort());
+        let mut d2 = data;
+        quicksort(&mut d2, &mut m_qsort, 0);
+        assert!(m_qsort.cycles() > m_fast.cycles());
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Value↔texture packing (paper §4.1).
+//!
+//! A sequence of `n` values is stored row-major in a 2-D texture whose
+//! power-of-two dimensions are as square as possible (`W ≥ H`). Non-power-
+//! of-two lengths are padded with `+∞`, which every `MIN`/`MAX` comparator
+//! pushes to the tail, so dropping the padding after the sort recovers the
+//! answer. Four independent sequences ride in the R, G, B, A channels.
+
+use gsm_gpu::{Channel, Surface};
+
+/// The padding value appended to reach a power-of-two length.
+///
+/// `+∞` is absorbing for `MAX` and identity for `MIN`, so padded slots sort
+/// to the end of each channel.
+pub const PAD: f32 = f32::INFINITY;
+
+/// Texture dimensions `(width, height)` for `texels` texels: both powers of
+/// two, `width ≥ height`, `width·height = texels.next_power_of_two()`.
+pub fn texture_dims(texels: usize) -> (u32, u32) {
+    assert!(texels > 0, "cannot lay out an empty texture");
+    let total = texels.next_power_of_two();
+    let bits = total.trailing_zeros();
+    let w_bits = bits.div_ceil(2);
+    let w = 1u32 << w_bits;
+    let h = (total >> w_bits) as u32;
+    (w, h)
+}
+
+/// Pads `values` with [`PAD`] to the next power of two (at least 2) and
+/// returns the padded buffer.
+pub fn pad_pow2(values: &[f32]) -> Vec<f32> {
+    let target = values.len().next_power_of_two().max(2);
+    let mut out = Vec::with_capacity(target);
+    out.extend_from_slice(values);
+    out.resize(target, PAD);
+    out
+}
+
+/// Splits `values` into four nearly equal channel slices (the four windows
+/// the paper buffers before each GPU batch), each padded to the *same*
+/// power-of-two length.
+///
+/// Returns the channel buffers and the common padded per-channel length.
+pub fn split_channels(values: &[f32]) -> ([Vec<f32>; 4], usize) {
+    assert!(!values.is_empty(), "cannot split an empty input");
+    let per = values.len().div_ceil(4);
+    let padded = per.next_power_of_two().max(2);
+    let mut channels: [Vec<f32>; 4] = core::array::from_fn(|_| Vec::with_capacity(padded));
+    for (i, chunk) in values.chunks(per).enumerate() {
+        channels[i].extend_from_slice(chunk);
+    }
+    for c in &mut channels {
+        c.resize(padded, PAD);
+    }
+    (channels, padded)
+}
+
+/// Builds the RGBA surface holding four equal-length channels.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are not a power of two.
+pub fn surface_from_channels(channels: &[Vec<f32>; 4]) -> Surface {
+    let len = channels[0].len();
+    assert!(channels.iter().all(|c| c.len() == len), "channel lengths must match");
+    assert!(len.is_power_of_two(), "channel length must be a power of two");
+    let (w, _h) = texture_dims(len);
+    Surface::from_channels(w, [&channels[0], &channels[1], &channels[2], &channels[3]])
+}
+
+/// Extracts the four channels of a surface back into flat vectors.
+pub fn channels_from_surface(surface: &Surface) -> [Vec<f32>; 4] {
+    [
+        surface.channel(Channel::R),
+        surface.channel(Channel::G),
+        surface.channel(Channel::B),
+        surface.channel(Channel::A),
+    ]
+}
+
+/// Removes trailing [`PAD`] entries from a sorted buffer.
+pub fn strip_padding(sorted: &mut Vec<f32>) {
+    while sorted.last() == Some(&PAD) {
+        sorted.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_are_square_ish_powers_of_two() {
+        assert_eq!(texture_dims(1), (1, 1));
+        assert_eq!(texture_dims(2), (2, 1));
+        assert_eq!(texture_dims(4), (2, 2));
+        assert_eq!(texture_dims(8), (4, 2));
+        assert_eq!(texture_dims(1024), (32, 32));
+        assert_eq!(texture_dims(2048), (64, 32));
+        // Non-power-of-two rounds up.
+        assert_eq!(texture_dims(1000), (32, 32));
+    }
+
+    #[test]
+    fn dims_cover_input() {
+        for n in [1usize, 3, 17, 100, 4097] {
+            let (w, h) = texture_dims(n);
+            assert!(w as usize * h as usize >= n);
+            assert!(w >= h);
+            assert!(w.is_power_of_two() && h.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn padding_reaches_pow2_and_preserves_prefix() {
+        let p = pad_pow2(&[3.0, 1.0, 2.0]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(&p[..3], &[3.0, 1.0, 2.0]);
+        assert_eq!(p[3], PAD);
+        // Already power-of-two: unchanged.
+        assert_eq!(pad_pow2(&[1.0, 2.0]).len(), 2);
+        // Single element still pads to 2 (a 1-element "network" is degenerate).
+        assert_eq!(pad_pow2(&[5.0]).len(), 2);
+    }
+
+    #[test]
+    fn split_channels_round_trips() {
+        let values: Vec<f32> = (0..37).map(|i| i as f32).collect();
+        let (channels, padded) = split_channels(&values);
+        assert_eq!(padded, 16); // ceil(37/4) = 10 → 16
+        let mut recovered: Vec<f32> = channels
+            .iter()
+            .flat_map(|c| c.iter().copied().filter(|v| *v != PAD))
+            .collect();
+        recovered.sort_by(f32::total_cmp);
+        let mut expect = values.clone();
+        expect.sort_by(f32::total_cmp);
+        assert_eq!(recovered, expect);
+    }
+
+    #[test]
+    fn split_channels_balanced() {
+        let values: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let (channels, padded) = split_channels(&values);
+        assert_eq!(padded, 16);
+        assert!(channels.iter().all(|c| c.len() == 16));
+        assert!(channels.iter().all(|c| !c.contains(&PAD)));
+    }
+
+    #[test]
+    fn surface_round_trip() {
+        let values: Vec<f32> = (0..64).map(|i| (i * 7 % 64) as f32).collect();
+        let (channels, _) = split_channels(&values);
+        let s = surface_from_channels(&channels);
+        assert_eq!(channels_from_surface(&s), channels);
+    }
+
+    #[test]
+    fn strip_padding_removes_only_tail() {
+        let mut v = vec![1.0, PAD, 2.0, PAD, PAD];
+        strip_padding(&mut v);
+        assert_eq!(v, vec![1.0, PAD, 2.0]);
+    }
+}

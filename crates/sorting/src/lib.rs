@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Sorting on the simulated substrates — the heart of the paper.
+//!
+//! Section 4 of the paper contributes a GPU sorting algorithm built from two
+//! fixed-function capabilities: *texture mapping* supplies the comparator
+//! mapping of a sorting network and *blending* (`MIN`/`MAX` conditional
+//! assignment) evaluates the comparators. The network is Dowd et al.'s
+//! **periodic balanced sorting network** (PBSN); four independent sequences
+//! packed into the RGBA channels of one texture are sorted in parallel and
+//! merged on the CPU.
+//!
+//! This crate implements:
+//!
+//! * [`network`] — abstract comparator-network schedules (PBSN and bitonic)
+//!   with a CPU reference executor and 0-1-principle verification,
+//! * [`layout`] — value↔texture packing: dimensions, padding, RGBA channel
+//!   split/merge,
+//! * [`pbsn`] — the paper's sorter (Routines 4.1–4.4) running on a
+//!   [`gsm_gpu::Device`], including the two-case `SortStep` quad layout of
+//!   Figure 2,
+//! * [`bitonic`] — the prior-work baseline: bitonic merge sort as a
+//!   53-instruction fragment program (Purcell et al., the paper's \[40\]),
+//! * [`cpu`] — instrumented CPU quicksort driving a [`gsm_cpu::Machine`]
+//!   (the paper's MSVC `qsort` and Intel-compiler baselines),
+//! * [`merge`] — the instrumented 4-way CPU merge that recombines the four
+//!   sorted channels,
+//! * [`sorter`] — a uniform [`sorter::Sorter`] interface over all engines
+//!   returning sorted data plus a simulated-time report.
+
+pub mod bitonic;
+pub mod channels;
+pub mod cpu;
+pub mod layout;
+pub mod merge;
+pub mod network;
+pub mod pbsn;
+pub mod select;
+pub mod sorter;
+
+pub use channels::gpu_sort_rgba;
+pub use sorter::{SortEngine, SortReport, Sorter};

@@ -1,0 +1,142 @@
+//! The instrumented CPU-side merge of the four sorted channel runs.
+//!
+//! Paper §4.4: *"The sorted sequences of length n/4 are read back by the CPU
+//! and a merge operation is performed in software. The merge routine
+//! performs O(n) comparisons and is very efficient."* Selecting the minimum
+//! of four run heads costs three comparisons per emitted element; the scan
+//! is sequential in all five arrays, so it is cache-friendly — exactly why
+//! the paper can afford it on the CPU.
+
+use gsm_cpu::Machine;
+
+/// Branch-site id for the head-selection comparisons.
+const MERGE_SITE: u64 = 10;
+
+/// Merges four ascending runs into one ascending vector, charging `m` for
+/// every element read, head comparison, and output write.
+///
+/// `bases` are the runs' simulated base addresses and `out_base` the output
+/// array's; pass disjoint ranges so cache contention is modeled faithfully.
+pub fn merge4(
+    runs: [&[f32]; 4],
+    m: &mut Machine,
+    bases: [u64; 4],
+    out_base: u64,
+) -> Vec<f32> {
+    debug_assert!(
+        runs.iter().all(|r| r.windows(2).all(|w| w[0] <= w[1])),
+        "merge4 inputs must be sorted"
+    );
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut idx = [0usize; 4];
+
+    // Cached head values: a real implementation keeps them in registers and
+    // re-reads memory only when a run advances.
+    let mut heads: [Option<f32>; 4] = core::array::from_fn(|k| {
+        if runs[k].is_empty() {
+            None
+        } else {
+            m.read(bases[k]);
+            Some(runs[k][0])
+        }
+    });
+
+    while out.len() < total {
+        // Tournament over up to four heads: three comparisons.
+        let mut best: Option<(usize, f32)> = None;
+        for (k, head) in heads.iter().enumerate() {
+            if let Some(v) = *head {
+                match best {
+                    None => best = Some((k, v)),
+                    Some((_, bv)) => {
+                        let take = v < bv;
+                        m.branch(MERGE_SITE + k as u64, take);
+                        m.alu(1);
+                        if take {
+                            best = Some((k, v));
+                        }
+                    }
+                }
+            }
+        }
+        let (k, v) = best.expect("at least one run non-empty");
+        m.write(out_base + 4 * out.len() as u64);
+        m.alu(2);
+        out.push(v);
+        idx[k] += 1;
+        heads[k] = if idx[k] < runs[k].len() {
+            m.read(bases[k] + 4 * idx[k] as u64);
+            Some(runs[k][idx[k]])
+        } else {
+            None
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_cpu::CpuCostModel;
+
+    fn machine() -> Machine {
+        Machine::new(CpuCostModel::pentium4_3400())
+    }
+
+    fn check(runs: [&[f32]; 4]) {
+        let mut expect: Vec<f32> = runs.iter().flat_map(|r| r.iter().copied()).collect();
+        expect.sort_by(f32::total_cmp);
+        let out = merge4(runs, &mut machine(), [0, 1 << 20, 2 << 20, 3 << 20], 4 << 20);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn merges_equal_length_runs() {
+        check([
+            &[1.0, 5.0, 9.0],
+            &[2.0, 6.0, 10.0],
+            &[3.0, 7.0, 11.0],
+            &[4.0, 8.0, 12.0],
+        ]);
+    }
+
+    #[test]
+    fn merges_ragged_and_empty_runs() {
+        check([&[], &[1.0], &[0.5, 0.6, 0.7, 0.8], &[]]);
+        check([&[], &[], &[], &[]]);
+    }
+
+    #[test]
+    fn merges_with_duplicates_and_infinities() {
+        check([
+            &[1.0, 1.0, f32::INFINITY],
+            &[1.0, 2.0],
+            &[0.0, 1.0, 1.0],
+            &[f32::INFINITY],
+        ]);
+    }
+
+    #[test]
+    fn merge_is_linear_in_comparisons() {
+        let a: Vec<f32> = (0..1000).map(|i| (4 * i) as f32).collect();
+        let b: Vec<f32> = (0..1000).map(|i| (4 * i + 1) as f32).collect();
+        let c: Vec<f32> = (0..1000).map(|i| (4 * i + 2) as f32).collect();
+        let d: Vec<f32> = (0..1000).map(|i| (4 * i + 3) as f32).collect();
+        let mut m = machine();
+        let out = merge4([&a, &b, &c, &d], &mut m, [0, 1 << 20, 2 << 20, 3 << 20], 4 << 20);
+        assert_eq!(out.len(), 4000);
+        // At most 3 head comparisons per output element.
+        assert!(m.stats().branches <= 3 * 4000);
+        // Reads: one per element consumed (plus 4 initial heads).
+        assert!(m.stats().reads <= 4004);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sorted")]
+    fn rejects_unsorted_input_in_debug() {
+        let bad = [3.0f32, 1.0];
+        let _ = merge4([&bad, &[], &[], &[]], &mut machine(), [0; 4], 1 << 20);
+    }
+}

@@ -1,0 +1,320 @@
+//! Abstract comparator networks.
+//!
+//! A sorting network is a data-independent schedule of compare-exchange
+//! operations (paper §4.3). This module builds the schedules used by the GPU
+//! sorters — the **periodic balanced sorting network** (Dowd et al., the
+//! paper's \[16\]) and the **bitonic network** (Batcher, the paper's \[8\]) — and
+//! provides a CPU reference executor plus 0-1-principle verification, so the
+//! GPU render-pass implementations can be checked step-for-step against a
+//! known-correct model.
+
+/// One compare-exchange: after execution, `data[lo] = min`, `data[hi] = max`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Comparator {
+    /// Index receiving the minimum.
+    pub lo: usize,
+    /// Index receiving the maximum.
+    pub hi: usize,
+}
+
+/// A step: comparators that execute simultaneously (disjoint indices).
+pub type Step = Vec<Comparator>;
+
+/// A full network: steps in execution order.
+pub type Schedule = Vec<Step>;
+
+/// Builds the PBSN schedule for `n` elements (`n` must be a power of two).
+///
+/// The network runs `log n` identical stages; each stage runs `log n` steps
+/// with block size `B = n, n/2, …, 2`. Within each block a value at local
+/// position `i` is paired with position `B−1−i`; the minimum lands in the
+/// lower half (paper §4.4).
+///
+/// Total comparators: `(n/2)·log²n`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or is zero.
+pub fn pbsn_schedule(n: usize) -> Schedule {
+    assert!(n.is_power_of_two(), "PBSN requires a power-of-two input size, got {n}");
+    let stages = n.trailing_zeros();
+    let mut schedule = Vec::new();
+    for _stage in 0..stages {
+        let mut block = n;
+        while block >= 2 {
+            schedule.push(pbsn_step(n, block));
+            block /= 2;
+        }
+    }
+    schedule
+}
+
+/// The comparators of one PBSN step at the given block size.
+pub fn pbsn_step(n: usize, block: usize) -> Step {
+    debug_assert!(block >= 2 && block <= n && n.is_multiple_of(block));
+    let mut step = Vec::with_capacity(n / 2);
+    for start in (0..n).step_by(block) {
+        for i in 0..block / 2 {
+            step.push(Comparator { lo: start + i, hi: start + block - 1 - i });
+        }
+    }
+    step
+}
+
+/// Builds the bitonic sorting network for `n` elements (`n` must be a power
+/// of two).
+///
+/// Classic Batcher construction: merge sizes `k = 2, 4, …, n`; within each,
+/// strides `j = k/2, …, 1`; element `i` pairs with `i ^ j`, ascending when
+/// `i & k == 0`. Total comparators: `(n/4)·log n·(log n + 1)`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or is zero.
+pub fn bitonic_schedule(n: usize) -> Schedule {
+    assert!(n.is_power_of_two(), "bitonic requires a power-of-two input size, got {n}");
+    let mut schedule = Vec::new();
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            let mut step = Vec::with_capacity(n / 2);
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    let ascending = i & k == 0;
+                    let (lo, hi) = if ascending { (i, l) } else { (l, i) };
+                    step.push(Comparator { lo, hi });
+                }
+            }
+            schedule.push(step);
+            j /= 2;
+        }
+        k *= 2;
+    }
+    schedule
+}
+
+/// Builds Batcher's odd-even merge sorting network for `n` elements
+/// (`n` must be a power of two).
+///
+/// Uses the fewest comparators of the three classic networks —
+/// `n/4·log n·(log n+1)` like bitonic in step count but with many steps
+/// only half-populated — yet its comparator *pattern* (translation by a
+/// stride, phase-dependent) does not decompose into the handful of mirrored
+/// quads PBSN enjoys, which is precisely why the paper builds on PBSN
+/// (§4.4) despite PBSN's higher comparator count.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or is zero.
+pub fn odd_even_merge_schedule(n: usize) -> Schedule {
+    assert!(n.is_power_of_two(), "odd-even merge requires a power-of-two size, got {n}");
+    let mut schedule = Vec::new();
+    // Knuth's iterative formulation (TAOCP 5.2.2, Algorithm M).
+    let mut p = 1;
+    while p < n {
+        let mut k = p;
+        while k >= 1 {
+            let mut step = Vec::new();
+            for j in (k % p..n.saturating_sub(k)).step_by(2 * k) {
+                for i in 0..k.min(n - j - k) {
+                    if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
+                        step.push(Comparator { lo: i + j, hi: i + j + k });
+                    }
+                }
+            }
+            if !step.is_empty() {
+                schedule.push(step);
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    schedule
+}
+
+/// Executes a schedule on a slice — the CPU reference model for the GPU
+/// implementations.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if a comparator index is out of bounds.
+pub fn apply_schedule(data: &mut [f32], schedule: &Schedule) {
+    for step in schedule {
+        apply_step(data, step);
+    }
+}
+
+/// Executes a single step.
+pub fn apply_step(data: &mut [f32], step: &Step) {
+    for c in step {
+        let (a, b) = (data[c.lo], data[c.hi]);
+        data[c.lo] = a.min(b);
+        data[c.hi] = a.max(b);
+    }
+}
+
+/// Checks a schedule sorts *every* input of length `n` via the 0-1
+/// principle: a comparator network sorts all inputs iff it sorts all `2ⁿ`
+/// 0-1 vectors. Exhaustive, so only feasible for small `n` (≤ ~20).
+///
+/// Returns the first failing bit pattern, or `None` if the network is a
+/// sorting network.
+pub fn zero_one_violation(n: usize, schedule: &Schedule) -> Option<u64> {
+    assert!(n <= 24, "exhaustive 0-1 check is exponential; n = {n} is too large");
+    let mut buf = vec![0.0f32; n];
+    for pattern in 0u64..(1u64 << n) {
+        for (i, v) in buf.iter_mut().enumerate() {
+            *v = ((pattern >> i) & 1) as f32;
+        }
+        apply_schedule(&mut buf, schedule);
+        if buf.windows(2).any(|w| w[0] > w[1]) {
+            return Some(pattern);
+        }
+    }
+    None
+}
+
+/// Comparator count of a schedule.
+pub fn comparator_count(schedule: &Schedule) -> usize {
+    schedule.iter().map(Vec::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pbsn_shape() {
+        let n = 16;
+        let s = pbsn_schedule(n);
+        // log n stages × log n steps.
+        assert_eq!(s.len(), 16);
+        // Every step has n/2 comparators.
+        assert!(s.iter().all(|step| step.len() == n / 2));
+        assert_eq!(comparator_count(&s), (n / 2) * 16);
+    }
+
+    #[test]
+    fn bitonic_shape() {
+        let n = 16;
+        let s = bitonic_schedule(n);
+        // log n (log n + 1) / 2 steps.
+        assert_eq!(s.len(), 4 * 5 / 2);
+        assert!(s.iter().all(|step| step.len() == n / 2));
+    }
+
+    #[test]
+    fn steps_touch_disjoint_indices() {
+        for schedule in [pbsn_schedule(32), bitonic_schedule(32)] {
+            for step in &schedule {
+                let mut seen = [false; 32];
+                for c in step {
+                    assert_ne!(c.lo, c.hi);
+                    for idx in [c.lo, c.hi] {
+                        assert!(!seen[idx], "index {idx} touched twice in one step");
+                        seen[idx] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pbsn_passes_zero_one_principle() {
+        for n in [2usize, 4, 8, 16] {
+            let s = pbsn_schedule(n);
+            assert_eq!(zero_one_violation(n, &s), None, "PBSN n={n}");
+        }
+    }
+
+    #[test]
+    fn bitonic_passes_zero_one_principle() {
+        for n in [2usize, 4, 8, 16] {
+            let s = bitonic_schedule(n);
+            assert_eq!(zero_one_violation(n, &s), None, "bitonic n={n}");
+        }
+    }
+
+    #[test]
+    fn truncated_pbsn_fails_zero_one_principle() {
+        // PBSN needs all log n stages: dropping the final stage (its last
+        // log n steps) must leave some input unsorted.
+        let mut s = pbsn_schedule(8);
+        s.truncate(s.len() - 3);
+        assert!(zero_one_violation(8, &s).is_some());
+    }
+
+    #[test]
+    fn odd_even_merge_passes_zero_one_principle() {
+        for n in [2usize, 4, 8, 16] {
+            let s = odd_even_merge_schedule(n);
+            assert_eq!(zero_one_violation(n, &s), None, "odd-even n={n}");
+        }
+    }
+
+    #[test]
+    fn odd_even_merge_sorts_random_data() {
+        let mut data: Vec<f32> = (0..256).map(|i| ((i * 2654435761usize) % 977) as f32).collect();
+        let mut expect = data.clone();
+        expect.sort_by(f32::total_cmp);
+        apply_schedule(&mut data, &odd_even_merge_schedule(256));
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn comparator_count_ordering_matches_theory() {
+        // Odd-even merge < bitonic < PBSN in comparator count — the trade
+        // the paper makes (PBSN's pattern maps to rasterization best).
+        for n in [64usize, 256, 1024] {
+            let oem = comparator_count(&odd_even_merge_schedule(n));
+            let bit = comparator_count(&bitonic_schedule(n));
+            let pbsn = comparator_count(&pbsn_schedule(n));
+            assert!(oem < bit, "n={n}: odd-even {oem} < bitonic {bit}");
+            assert!(bit < pbsn, "n={n}: bitonic {bit} < PBSN {pbsn}");
+        }
+    }
+
+    #[test]
+    fn apply_schedule_sorts_random_data() {
+        let mut x = 123456789u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 1000) as f32
+        };
+        for n in [2usize, 8, 64, 256] {
+            let mut data: Vec<f32> = (0..n).map(|_| next()).collect();
+            let mut expect = data.clone();
+            expect.sort_by(f32::total_cmp);
+            apply_schedule(&mut data, &pbsn_schedule(n));
+            assert_eq!(data, expect, "PBSN n={n}");
+        }
+    }
+
+    #[test]
+    fn bitonic_sorts_random_data() {
+        let mut data: Vec<f32> = (0..128).map(|i| ((i * 2654435761usize) % 977) as f32).collect();
+        let mut expect = data.clone();
+        expect.sort_by(f32::total_cmp);
+        apply_schedule(&mut data, &bitonic_schedule(128));
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn duplicates_and_negatives_survive() {
+        let mut data = [3.0f32, -1.0, 3.0, 0.0, -1.0, 7.0, 3.0, -2.0];
+        let mut expect = data;
+        expect.sort_by(f32::total_cmp);
+        apply_schedule(&mut data, &pbsn_schedule(8));
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_rejected() {
+        let _ = pbsn_schedule(12);
+    }
+}

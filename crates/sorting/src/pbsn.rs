@@ -1,0 +1,448 @@
+//! The paper's GPU sorter: the periodic balanced sorting network executed as
+//! rasterization (paper §4.4, Routines 4.3–4.4, Figure 2).
+//!
+//! Each PBSN step compares, within every block of `B` consecutive values,
+//! the value at local position `i` with the one at `B−1−i`, storing the
+//! minimum in the lower half. On the GPU this is exactly two render passes:
+//!
+//! 1. a **min pass** over the lower half of every block, with mirrored
+//!    texture coordinates and `MIN` blending, and
+//! 2. a **max pass** over the upper half with the same mirror and `MAX`
+//!    blending,
+//!
+//! followed by a framebuffer→texture blit so the next step reads the updated
+//! values (Routine 4.3 line 8).
+//!
+//! Figure 2's two cases fall out of the row-major layout:
+//!
+//! * **`B ≤ W`** — every block is a run within one row; one quad of width
+//!   `B/2` and full height `H` covers the lower halves of that block column
+//!   across *all* rows (`W/B` quads per pass).
+//! * **`B > W`** — every block is a band of `B/W` full rows; the mirror
+//!   reverses both axes within the band (`H·W/B` quads per pass).
+
+use gsm_gpu::{BlendOp, Device, Quad, Rect, Surface, TextureId};
+
+/// The min-pass and max-pass quads of one `SortStep` (Routine 4.4).
+///
+/// `w`/`h` are the texture dimensions, `block` the current block size in
+/// values. Exposed for testing and for the ablation that disables the
+/// row-block optimization.
+pub fn sort_step_quads(w: u32, h: u32, block: usize) -> (Vec<Quad>, Vec<Quad>) {
+    let wu = w as usize;
+    let mut min_quads = Vec::new();
+    let mut max_quads = Vec::new();
+
+    if block <= wu {
+        // Row-block case: blocks of `block` values within each row. One quad
+        // per block column, full texture height.
+        let half = (block / 2) as u32;
+        let b = block as u32;
+        for off in (0..w).step_by(block) {
+            // Mirror within the block: u(x) = (2·off + B) − x.
+            let c = (2 * off + b) as f32;
+            min_quads.push(Quad::mapped(
+                Rect::new(off, 0, off + half, h),
+                c - off as f32,
+                c - (off + half) as f32,
+                0.0,
+                h as f32,
+            ));
+            max_quads.push(Quad::mapped(
+                Rect::new(off + half, 0, off + b, h),
+                c - (off + half) as f32,
+                c - (off + b) as f32,
+                0.0,
+                h as f32,
+            ));
+        }
+    } else {
+        // Column-block case: blocks of `block/W` full rows. The mirror of
+        // flat index i within the block reverses x across the row and y
+        // within the band.
+        let bh = (block / wu) as u32;
+        let half = bh / 2;
+        debug_assert!(bh >= 2 && h.is_multiple_of(bh));
+        for s in (0..h).step_by(bh as usize) {
+            let c = (2 * s + bh) as f32;
+            min_quads.push(Quad::mapped(
+                Rect::new(0, s, w, s + half),
+                w as f32,
+                0.0,
+                c - s as f32,
+                c - (s + half) as f32,
+            ));
+            max_quads.push(Quad::mapped(
+                Rect::new(0, s + half, w, s + bh),
+                w as f32,
+                0.0,
+                c - (s + half) as f32,
+                c - (s + bh) as f32,
+            ));
+        }
+    }
+    (min_quads, max_quads)
+}
+
+/// Executes one PBSN step on the device: min pass, max pass, blit.
+pub fn sort_step(dev: &mut Device, tex: TextureId, w: u32, h: u32, block: usize) {
+    let (min_quads, max_quads) = sort_step_quads(w, h, block);
+    dev.draw_quads(tex, &min_quads, BlendOp::Min);
+    dev.draw_quads(tex, &max_quads, BlendOp::Max);
+    dev.copy_framebuffer_to_texture(tex);
+}
+
+/// Ablation A2: the `SortStep` quads *without* the row-block optimization.
+///
+/// Figure 2's insight is that for `B ≤ W` one quad of height `H` covers a
+/// block column across every row. The naive alternative issues one quad per
+/// block per row — identical fragments, `H×` the quads, so the per-quad
+/// vertex overhead is exposed. Functionally equivalent to
+/// [`sort_step_quads`].
+pub fn sort_step_quads_naive(w: u32, h: u32, block: usize) -> (Vec<Quad>, Vec<Quad>) {
+    let wu = w as usize;
+    if block > wu {
+        // The column-block case has no row optimization to disable.
+        return sort_step_quads(w, h, block);
+    }
+    let half = (block / 2) as u32;
+    let b = block as u32;
+    let mut min_quads = Vec::new();
+    let mut max_quads = Vec::new();
+    for y in 0..h {
+        for off in (0..w).step_by(block) {
+            let c = (2 * off + b) as f32;
+            min_quads.push(Quad::mapped(
+                Rect::new(off, y, off + half, y + 1),
+                c - off as f32,
+                c - (off + half) as f32,
+                y as f32,
+                (y + 1) as f32,
+            ));
+            max_quads.push(Quad::mapped(
+                Rect::new(off + half, y, off + b, y + 1),
+                c - (off + half) as f32,
+                c - (off + b) as f32,
+                y as f32,
+                (y + 1) as f32,
+            ));
+        }
+    }
+    (min_quads, max_quads)
+}
+
+/// Runs the full PBSN schedule with the naive (per-row quad) `SortStep` —
+/// the A2 ablation counterpart of [`pbsn_sort_device`].
+pub fn pbsn_sort_device_naive(dev: &mut Device, tex: TextureId) {
+    let (w, h) = (dev.texture(tex).width(), dev.texture(tex).height());
+    assert!(w.is_power_of_two() && h.is_power_of_two());
+    let m = w as usize * h as usize;
+    dev.resize_framebuffer(w, h);
+    dev.draw_quads(tex, &[Quad::copy(Rect::new(0, 0, w, h))], BlendOp::Replace);
+    let stages = m.trailing_zeros();
+    for _stage in 0..stages {
+        let mut block = m;
+        while block >= 2 {
+            let (min_quads, max_quads) = sort_step_quads_naive(w, h, block);
+            dev.draw_quads(tex, &min_quads, BlendOp::Min);
+            dev.draw_quads(tex, &max_quads, BlendOp::Max);
+            dev.copy_framebuffer_to_texture(tex);
+            block /= 2;
+        }
+    }
+}
+
+/// Runs the full PBSN schedule on a texture already resident on the device
+/// (Routine 4.3 without the transfers): initial `Copy` pass, then `log² m`
+/// sort steps, where `m = W·H` is the per-channel element count.
+///
+/// All four channels sort simultaneously — blending is a vector operation
+/// (paper §4.2.2) — so a W×H RGBA texture sorts four sequences of `m`
+/// values in one run.
+///
+/// On return both the texture and the framebuffer hold the sorted data.
+pub fn pbsn_sort_device(dev: &mut Device, tex: TextureId) {
+    let (w, h) = (dev.texture(tex).width(), dev.texture(tex).height());
+    assert!(
+        w.is_power_of_two() && h.is_power_of_two(),
+        "PBSN requires power-of-two texture dimensions, got {w}x{h}"
+    );
+    let m = w as usize * h as usize;
+    dev.resize_framebuffer(w, h);
+    dev.draw_quads(tex, &[Quad::copy(Rect::new(0, 0, w, h))], BlendOp::Replace);
+
+    let stages = m.trailing_zeros();
+    for _stage in 0..stages {
+        let mut block = m;
+        while block >= 2 {
+            sort_step(dev, tex, w, h, block);
+            block /= 2;
+        }
+    }
+}
+
+/// Sorts every channel of `surface` ascending (in row-major order) on the
+/// device, including the upload and readback transfers — the full Routine
+/// 4.3 pipeline. Returns the sorted surface.
+pub fn pbsn_sort_surface(dev: &mut Device, surface: Surface) -> Surface {
+    let tex = dev.upload_texture(surface);
+    pbsn_sort_device(dev, tex);
+    dev.readback_texture(tex)
+}
+
+/// Sorts every aligned `segment`-texel run of each channel *independently*
+/// in one PBSN schedule — the batching extension for workloads whose units
+/// are much smaller than a worthwhile texture (the sliding-window blocks of
+/// §5.3).
+///
+/// PBSN's steps only ever compare within blocks of the current size, so
+/// capping the schedule's largest block at `segment` sorts each aligned
+/// segment in isolation while every render pass still covers the whole
+/// texture: the per-pass overhead (the paper's small-`n` penalty, §4.5)
+/// amortizes over all segments at once.
+///
+/// # Panics
+///
+/// Panics if `segment` is not a power of two dividing the texel count.
+pub fn pbsn_sort_segments(dev: &mut Device, tex: TextureId, segment: usize) {
+    let (w, h) = (dev.texture(tex).width(), dev.texture(tex).height());
+    assert!(
+        w.is_power_of_two() && h.is_power_of_two(),
+        "PBSN requires power-of-two texture dimensions, got {w}x{h}"
+    );
+    let m = w as usize * h as usize;
+    assert!(
+        segment.is_power_of_two() && segment <= m && m.is_multiple_of(segment),
+        "segment {segment} must be a power of two dividing {m}"
+    );
+    dev.resize_framebuffer(w, h);
+    dev.draw_quads(tex, &[Quad::copy(Rect::new(0, 0, w, h))], BlendOp::Replace);
+
+    let stages = segment.trailing_zeros();
+    for _stage in 0..stages {
+        let mut block = segment;
+        while block >= 2 {
+            sort_step(dev, tex, w, h, block);
+            block /= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{pad_pow2, texture_dims};
+    use crate::network::{apply_step, pbsn_step};
+    use gsm_gpu::Channel;
+
+    fn surface_from_flat(values: &[f32]) -> Surface {
+        let (w, _) = texture_dims(values.len());
+        let padded = values.to_vec();
+        assert!(padded.len().is_power_of_two());
+        Surface::from_channels(w, [&padded, &padded, &padded, &padded])
+    }
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<f32> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 100_000) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quads_cover_each_half_exactly_once() {
+        for (w, h, block) in [(8u32, 4u32, 2usize), (8, 4, 8), (8, 4, 16), (8, 4, 32), (4, 4, 4)] {
+            let (min_quads, max_quads) = sort_step_quads(w, h, block);
+            let area: u64 = min_quads.iter().chain(&max_quads).map(|q| q.dst.area()).sum();
+            assert_eq!(area, (w * h) as u64, "w={w} h={h} block={block}");
+        }
+    }
+
+    #[test]
+    fn single_step_matches_network_reference() {
+        // Execute one GPU SortStep and compare against the abstract
+        // comparator step, for both layout cases.
+        for block in [2usize, 4, 8, 16, 32] {
+            let n = 32;
+            let data = pseudo_random(n, 99);
+            let (w, h) = texture_dims(n); // 8x4
+            let surface = Surface::from_channels(w, [&data, &data, &data, &data]);
+
+            let mut dev = Device::ideal();
+            let tex = dev.upload_texture(surface);
+            dev.resize_framebuffer(w, h);
+            dev.draw_quads(tex, &[Quad::copy(Rect::new(0, 0, w, h))], BlendOp::Replace);
+            sort_step(&mut dev, tex, w, h, block);
+            let gpu = dev.texture(tex).channel(Channel::R);
+
+            let mut reference = data.clone();
+            apply_step(&mut reference, &pbsn_step(n, block));
+            assert_eq!(gpu, reference, "block={block}");
+        }
+    }
+
+    #[test]
+    fn sorts_all_channels() {
+        let n = 64;
+        let chans: [Vec<f32>; 4] = core::array::from_fn(|k| pseudo_random(n, 7 + k as u64));
+        let (w, _) = texture_dims(n);
+        let surface =
+            Surface::from_channels(w, [&chans[0], &chans[1], &chans[2], &chans[3]]);
+        let mut dev = Device::ideal();
+        let sorted = pbsn_sort_surface(&mut dev, surface);
+        for (k, ch) in Channel::ALL.iter().enumerate() {
+            let mut expect = chans[k].clone();
+            expect.sort_by(f32::total_cmp);
+            assert_eq!(sorted.channel(*ch), expect, "channel {k}");
+        }
+    }
+
+    #[test]
+    fn sorts_many_sizes_and_seeds() {
+        for n in [2usize, 4, 16, 128, 1024, 4096] {
+            for seed in [1u64, 2, 3] {
+                let data = pseudo_random(n, seed);
+                let surface = surface_from_flat(&data);
+                let mut dev = Device::ideal();
+                let sorted = pbsn_sort_surface(&mut dev, surface).channel(Channel::R);
+                let mut expect = data.clone();
+                expect.sort_by(f32::total_cmp);
+                assert_eq!(sorted, expect, "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_with_padding() {
+        let data = pseudo_random(100, 5);
+        let padded = pad_pow2(&data);
+        let surface = surface_from_flat(&padded);
+        let mut dev = Device::ideal();
+        let sorted = pbsn_sort_surface(&mut dev, surface).channel(Channel::R);
+        let mut expect = data.clone();
+        expect.sort_by(f32::total_cmp);
+        assert_eq!(&sorted[..100], &expect[..]);
+        assert!(sorted[100..].iter().all(|v| *v == f32::INFINITY));
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let asc: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let desc: Vec<f32> = (0..256).rev().map(|i| i as f32).collect();
+        for data in [asc.clone(), desc] {
+            let surface = surface_from_flat(&data);
+            let mut dev = Device::ideal();
+            let sorted = pbsn_sort_surface(&mut dev, surface).channel(Channel::R);
+            assert_eq!(sorted, asc);
+        }
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let data = vec![2.0f32; 64];
+        let surface = surface_from_flat(&data);
+        let mut dev = Device::ideal();
+        let sorted = pbsn_sort_surface(&mut dev, surface).channel(Channel::R);
+        assert_eq!(sorted, data);
+    }
+
+    #[test]
+    fn segmented_sort_sorts_each_segment_independently() {
+        let segment = 64usize;
+        let nseg = 8usize;
+        let data = pseudo_random(segment * nseg, 33);
+        let surface = surface_from_flat(&data);
+        let mut dev = Device::ideal();
+        let tex = dev.upload_texture(surface);
+        pbsn_sort_segments(&mut dev, tex, segment);
+        let out = dev.texture(tex).channel(Channel::R);
+        for s in 0..nseg {
+            let got = &out[s * segment..(s + 1) * segment];
+            let mut expect = data[s * segment..(s + 1) * segment].to_vec();
+            expect.sort_by(f32::total_cmp);
+            assert_eq!(got, &expect[..], "segment {s}");
+        }
+        // Segments must NOT have been merged into one sorted run.
+        assert!(out.windows(2).any(|p| p[0] > p[1]), "segments must stay independent");
+    }
+
+    #[test]
+    fn segmented_with_full_length_segment_equals_plain_sort() {
+        let data = pseudo_random(256, 44);
+        let surface = surface_from_flat(&data);
+        let mut dev = Device::ideal();
+        let tex = dev.upload_texture(surface);
+        pbsn_sort_segments(&mut dev, tex, 256);
+        let mut expect = data.clone();
+        expect.sort_by(f32::total_cmp);
+        assert_eq!(dev.texture(tex).channel(Channel::R), expect);
+    }
+
+    #[test]
+    fn segmented_amortizes_pass_overhead() {
+        // 64 segments of 256 in one texture must cost far fewer passes than
+        // 64 separate sorts of 256.
+        let segment = 256usize;
+        let nseg = 64usize;
+        let data = pseudo_random(segment * nseg, 55);
+        let surface = surface_from_flat(&data);
+        let mut dev = Device::new(gsm_gpu::GpuCostModel::geforce_6800_ultra());
+        let tex = dev.upload_texture(surface);
+        pbsn_sort_segments(&mut dev, tex, segment);
+        let batched_passes = dev.stats().passes;
+        // A separate sort of one 256-value texture costs 1 + 3·log²(256)
+        // passes; 64 of them would be 64x that.
+        let separate = 64 * (1 + 3 * 8 * 8);
+        assert!(
+            batched_passes < separate as u64 / 10,
+            "{batched_passes} vs {separate} separate passes"
+        );
+    }
+
+    #[test]
+    fn naive_sort_step_is_functionally_identical() {
+        let n = 256usize;
+        let data = pseudo_random(n, 21);
+        let surface = surface_from_flat(&data);
+        let mut dev = Device::ideal();
+        let tex = dev.upload_texture(surface);
+        pbsn_sort_device_naive(&mut dev, tex);
+        let sorted = dev.texture(tex).channel(Channel::R);
+        let mut expect = data.clone();
+        expect.sort_by(f32::total_cmp);
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn naive_sort_step_issues_more_quads() {
+        let (w, h, block) = (8u32, 8u32, 4usize);
+        let (opt_min, _) = sort_step_quads(w, h, block);
+        let (naive_min, _) = sort_step_quads_naive(w, h, block);
+        assert_eq!(naive_min.len(), opt_min.len() * h as usize);
+        // Same coverage either way.
+        let a: u64 = opt_min.iter().map(|q| q.dst.area()).sum();
+        let b: u64 = naive_min.iter().map(|q| q.dst.area()).sum();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pass_count_matches_routine_4_3() {
+        // For m per-channel values: 1 copy pass + log²m steps × (min pass +
+        // max pass + blit).
+        let m = 64usize;
+        let data = pseudo_random(m, 11);
+        let surface = surface_from_flat(&data);
+        let mut dev = Device::new(gsm_gpu::GpuCostModel::geforce_6800_ultra());
+        let _ = pbsn_sort_surface(&mut dev, surface);
+        let log = m.trailing_zeros() as u64;
+        assert_eq!(dev.stats().passes, 1 + log * log * 3);
+        // Blend texels: every step touches every texel exactly once
+        // (min half + max half).
+        assert_eq!(dev.stats().blend_ops, log * log * m as u64);
+    }
+}

@@ -1,0 +1,284 @@
+//! GPU selection via occlusion queries — the query style of the paper's
+//! predecessor system (\[20\], cited in §2.2: "range queries and kth largest
+//! numbers").
+//!
+//! Instead of sorting, the attribute values are loaded into the **depth
+//! buffer** once; each predicate evaluation is then a single depth-only
+//! pass whose passing-fragment count comes back through an occlusion query.
+//! K-th-largest selection binary-searches the value space with one query
+//! per bit of precision — `32` passes total, each touching every value at
+//! double-pumped z-only rate, versus the `log²n` full passes a sort needs.
+//!
+//! The CPU baseline is an instrumented quickselect (Hoare partition,
+//! expected `O(n)`).
+
+use gsm_cpu::Machine;
+use gsm_gpu::{DepthBuffer, DepthFunc, Device};
+
+use crate::layout::texture_dims;
+
+/// Loads `values` into the device's depth plane (row-major, padded with
+/// `-∞` so padding never passes a `≥ candidate` test).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains NaN.
+pub fn load_values_as_depth(dev: &mut Device, values: &[f32]) {
+    assert!(!values.is_empty(), "cannot load an empty value set");
+    assert!(values.iter().all(|v| !v.is_nan()), "values must be NaN-free");
+    let (w, h) = texture_dims(values.len());
+    let mut depth = DepthBuffer::new(w, h, f32::NEG_INFINITY);
+    for (i, &v) in values.iter().enumerate() {
+        depth.set_flat(i, v);
+    }
+    dev.load_depth(depth);
+}
+
+/// Counts the loaded values `v` with `v ≥ threshold` — one occlusion query.
+pub fn gpu_count_at_least(dev: &mut Device, threshold: f32) -> u64 {
+    // Fragment at `threshold` passes where threshold <= stored.
+    dev.occlusion_count(threshold, DepthFunc::LessEqual)
+}
+
+/// Counts the loaded values in the half-open range `[lo, hi)` — two
+/// occlusion queries (the \[20\] range-query primitive).
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn gpu_range_count(dev: &mut Device, lo: f32, hi: f32) -> u64 {
+    assert!(lo <= hi, "empty range [{lo}, {hi})");
+    gpu_count_at_least(dev, lo) - gpu_count_at_least(dev, hi)
+}
+
+/// The exact k-th largest of the loaded values (`k = 1` is the maximum),
+/// by binary search over the IEEE key space: one occlusion query per bit,
+/// 32 passes total, no sorting.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or exceeds the loaded count (detected via a full
+/// `Always` query).
+pub fn gpu_kth_largest(dev: &mut Device, values_len: usize, k: u64) -> f32 {
+    assert!(k >= 1 && k as usize <= values_len, "k must be in 1..={values_len}");
+    // Monotone bijection between f32 (non-NaN) and u32: flip all bits of
+    // negatives, the sign bit of non-negatives. Binary search the key space
+    // for the largest key whose value still has >= k elements at or above
+    // it.
+    let mut lo_key = 0u32; // -inf
+    let mut hi_key = u32::MAX; // +inf (as ordered keys)
+    // Invariant: count(>= value(lo_key)) >= k, count(>= value(hi_key)) < k
+    // or hi_key's value is above every element.
+    while hi_key - lo_key > 1 {
+        let mid = lo_key.midpoint(hi_key);
+        let candidate = key_to_f32(mid);
+        if gpu_count_at_least(dev, candidate) >= k {
+            lo_key = mid;
+        } else {
+            hi_key = mid;
+        }
+    }
+    key_to_f32(lo_key)
+}
+
+/// Inverse of the order-preserving f32→u32 key map.
+fn key_to_f32(key: u32) -> f32 {
+    let bits = if key & 0x8000_0000 != 0 { key ^ 0x8000_0000 } else { !key };
+    f32::from_bits(bits)
+}
+
+/// Order-preserving f32→u32 key map (exposed for tests).
+pub fn f32_to_key(v: f32) -> u32 {
+    let b = v.to_bits();
+    if b & 0x8000_0000 != 0 {
+        !b
+    } else {
+        b ^ 0x8000_0000
+    }
+}
+
+/// Branch-site ids for quickselect.
+const QS_LEFT: u64 = 21;
+const QS_RIGHT: u64 = 22;
+
+/// Instrumented quickselect: the k-th largest of `data` (`k = 1` is the
+/// maximum) in expected `O(n)`, reporting its trace to `m`.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or exceeds `data.len()`.
+pub fn cpu_quickselect(data: &mut [f32], k: u64, m: &mut Machine, base: u64) -> f32 {
+    let n = data.len();
+    assert!(k >= 1 && k as usize <= n, "k must be in 1..={n}");
+    // k-th largest = element at 0-based ascending index n - k.
+    let target = n - k as usize;
+    let (mut lo, mut hi) = (0usize, n - 1);
+    loop {
+        if lo == hi {
+            m.read(base + 4 * lo as u64);
+            return data[lo];
+        }
+        // Median-of-three pivot value.
+        let mid = lo + (hi - lo) / 2;
+        m.read(base + 4 * lo as u64);
+        m.read(base + 4 * mid as u64);
+        m.read(base + 4 * hi as u64);
+        let mut a = [data[lo], data[mid], data[hi]];
+        a.sort_by(f32::total_cmp);
+        m.alu(6);
+        let pivot = a[1];
+
+        // Hoare partition around the pivot value.
+        let (mut i, mut j) = (lo, hi);
+        loop {
+            loop {
+                m.read(base + 4 * i as u64);
+                let go = data[i] < pivot;
+                m.branch(QS_LEFT, go);
+                m.alu(3);
+                if !go {
+                    break;
+                }
+                i += 1;
+            }
+            loop {
+                m.read(base + 4 * j as u64);
+                let go = data[j] > pivot;
+                m.branch(QS_RIGHT, go);
+                m.alu(3);
+                if !go {
+                    break;
+                }
+                j -= 1;
+            }
+            if i >= j {
+                break;
+            }
+            data.swap(i, j);
+            m.write(base + 4 * i as u64);
+            m.write(base + 4 * j as u64);
+            m.alu(2);
+            i += 1;
+            j = j.saturating_sub(1);
+        }
+        if target <= j {
+            hi = j;
+        } else {
+            lo = j + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_cpu::CpuCostModel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(-1000.0..1000.0)).collect()
+    }
+
+    fn kth_largest_exact(data: &[f32], k: u64) -> f32 {
+        let mut s = data.to_vec();
+        s.sort_by(f32::total_cmp);
+        s[s.len() - k as usize]
+    }
+
+    #[test]
+    fn key_map_is_monotone() {
+        let vals = [-1e30f32, -5.0, -0.5, -0.0, 0.0, 0.5, 5.0, 1e30];
+        for w in vals.windows(2) {
+            assert!(f32_to_key(w[0]) <= f32_to_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for &v in &vals {
+            // Round trip through the inverse.
+            let k = f32_to_key(v);
+            assert_eq!(key_to_f32(k).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn gpu_counts_match_direct_counts() {
+        let values = random_vec(777, 1);
+        let mut dev = Device::ideal();
+        load_values_as_depth(&mut dev, &values);
+        for t in [-500.0f32, -1.0, 0.0, 250.0, 999.0] {
+            let expect = values.iter().filter(|&&v| v >= t).count() as u64;
+            assert_eq!(gpu_count_at_least(&mut dev, t), expect, "t={t}");
+        }
+        let in_range = values.iter().filter(|&&v| (-100.0..100.0).contains(&v)).count() as u64;
+        assert_eq!(gpu_range_count(&mut dev, -100.0, 100.0), in_range);
+    }
+
+    #[test]
+    fn gpu_kth_largest_matches_sort() {
+        let values = random_vec(1000, 2);
+        let mut dev = Device::ideal();
+        load_values_as_depth(&mut dev, &values);
+        for k in [1u64, 2, 10, 500, 999, 1000] {
+            let got = gpu_kth_largest(&mut dev, values.len(), k);
+            let want = kth_largest_exact(&values, k);
+            assert_eq!(got.to_bits(), want.to_bits(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn gpu_kth_largest_with_duplicates() {
+        let values = vec![5.0f32, 5.0, 5.0, 1.0, 9.0, 9.0, -3.0];
+        let mut dev = Device::ideal();
+        load_values_as_depth(&mut dev, &values);
+        assert_eq!(gpu_kth_largest(&mut dev, 7, 1), 9.0);
+        assert_eq!(gpu_kth_largest(&mut dev, 7, 2), 9.0);
+        assert_eq!(gpu_kth_largest(&mut dev, 7, 3), 5.0);
+        assert_eq!(gpu_kth_largest(&mut dev, 7, 6), 1.0);
+        assert_eq!(gpu_kth_largest(&mut dev, 7, 7), -3.0);
+    }
+
+    #[test]
+    fn gpu_selection_uses_about_32_queries() {
+        let values = random_vec(4096, 3);
+        let mut dev = Device::new(gsm_gpu::GpuCostModel::geforce_6800_ultra());
+        load_values_as_depth(&mut dev, &values);
+        let before = dev.stats().occlusion_queries;
+        let _ = gpu_kth_largest(&mut dev, values.len(), 7);
+        let queries = dev.stats().occlusion_queries - before;
+        assert!((30..=33).contains(&queries), "{queries} queries");
+    }
+
+    #[test]
+    fn cpu_quickselect_matches_sort() {
+        for n in [1usize, 2, 17, 1000, 50_000] {
+            let data = random_vec(n, 40 + n as u64);
+            for k in [1u64, (n as u64 / 2).max(1), n as u64] {
+                let mut copy = data.clone();
+                let mut m = Machine::new(CpuCostModel::pentium4_3400());
+                let got = cpu_quickselect(&mut copy, k, &mut m, 0);
+                assert_eq!(
+                    got.to_bits(),
+                    kth_largest_exact(&data, k).to_bits(),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quickselect_is_linear_not_linearithmic() {
+        // Cycles per element must not grow with n like a sort's would.
+        let per_elem = |n: usize| {
+            let mut data = random_vec(n, 60);
+            let mut m = Machine::new(CpuCostModel::pentium4_3400());
+            let _ = cpu_quickselect(&mut data, (n / 2) as u64, &mut m, 0);
+            m.cycles() as f64 / n as f64
+        };
+        let small = per_elem(10_000);
+        let large = per_elem(300_000);
+        assert!(
+            large < 2.0 * small,
+            "quickselect per-element cost must stay flat: {small:.1} -> {large:.1}"
+        );
+    }
+}

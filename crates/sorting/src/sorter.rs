@@ -1,0 +1,333 @@
+//! A uniform interface over all sorting engines, returning sorted data plus
+//! a simulated-time report — the unit the Figure 3 harness sweeps.
+
+use gsm_cpu::{CpuCostModel, CpuStats, Machine};
+use gsm_gpu::{Device, GpuCostModel, GpuStats};
+use gsm_model::SimTime;
+
+use crate::bitonic::bitonic_sort_surface_with;
+use crate::channels::gpu_sort_rgba;
+use crate::cpu::{merge_sort, quicksort, radix_sort};
+use crate::layout::{pad_pow2, strip_padding};
+
+/// The engines compared in Figure 3 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SortEngine {
+    /// The paper's algorithm: 4-channel PBSN rasterization sort + CPU merge.
+    GpuPbsn,
+    /// Prior GPU work: single-channel fragment-program bitonic sort
+    /// (Purcell et al. \[40\]).
+    GpuBitonic,
+    /// Intel-compiler-style quicksort: inlined comparisons, Hyper-Threading
+    /// parallelization.
+    CpuQuicksort,
+    /// `stdlib.h` `qsort`: comparator via function pointer (the MSVC
+    /// baseline).
+    CpuQsort,
+    /// Kipfer et al.'s improved shader bitonic sort (the paper's \[28\]).
+    GpuBitonicKipfer,
+    /// Branch-free LSD radix sort on the simulated CPU (extra baseline:
+    /// avoids mispredicts, pays scatter misses).
+    CpuRadix,
+    /// Bottom-up merge sort on the simulated CPU (extra baseline:
+    /// streaming access pattern).
+    CpuMergeSort,
+}
+
+impl SortEngine {
+    /// The four engines of Figure 3, in plot order.
+    pub const ALL: [SortEngine; 4] =
+        [SortEngine::GpuPbsn, SortEngine::GpuBitonic, SortEngine::CpuQuicksort, SortEngine::CpuQsort];
+
+    /// Every engine, including the extra baselines beyond Figure 3.
+    pub const EXTENDED: [SortEngine; 7] = [
+        SortEngine::GpuPbsn,
+        SortEngine::GpuBitonic,
+        SortEngine::GpuBitonicKipfer,
+        SortEngine::CpuQuicksort,
+        SortEngine::CpuQsort,
+        SortEngine::CpuRadix,
+        SortEngine::CpuMergeSort,
+    ];
+
+    /// Display label used by the figure harnesses.
+    pub fn label(self) -> &'static str {
+        match self {
+            SortEngine::GpuPbsn => "GPU PBSN (ours)",
+            SortEngine::GpuBitonic => "GPU bitonic [40]",
+            SortEngine::GpuBitonicKipfer => "GPU bitonic (Kipfer [28])",
+            SortEngine::CpuQuicksort => "CPU quicksort (Intel)",
+            SortEngine::CpuQsort => "CPU qsort (MSVC)",
+            SortEngine::CpuRadix => "CPU radix (LSD)",
+            SortEngine::CpuMergeSort => "CPU merge sort",
+        }
+    }
+}
+
+/// The outcome of one sort: the data plus where the simulated time went.
+#[derive(Clone, Debug)]
+pub struct SortReport {
+    /// The sorted values.
+    pub sorted: Vec<f32>,
+    /// Total simulated time.
+    pub total_time: SimTime,
+    /// GPU rendering + pass overhead (zero for CPU engines).
+    pub gpu_time: SimTime,
+    /// CPU↔GPU bus time (zero for CPU engines).
+    pub transfer_time: SimTime,
+    /// CPU time: the whole sort for CPU engines, the 4-way merge for
+    /// `GpuPbsn`.
+    pub cpu_time: SimTime,
+    /// GPU execution counters, if a GPU engine ran.
+    pub gpu_stats: Option<GpuStats>,
+    /// CPU machine counters, if a CPU machine ran.
+    pub cpu_stats: Option<CpuStats>,
+}
+
+/// A configured sorting engine.
+///
+/// `Sorter::new` picks the calibrated testbed models; override them for
+/// sensitivity studies.
+///
+/// ```
+/// use gsm_sort::{SortEngine, Sorter};
+///
+/// let report = Sorter::new(SortEngine::GpuPbsn).sort(&[3.0, 1.0, 2.0]);
+/// assert_eq!(report.sorted, vec![1.0, 2.0, 3.0]);
+/// assert!(report.total_time.as_secs() > 0.0); // simulated 6800 Ultra time
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sorter {
+    engine: SortEngine,
+    gpu_model: GpuCostModel,
+    cpu_model: CpuCostModel,
+    /// Throughput factor applied to CPU sort time. The paper's Intel
+    /// baseline is "a parallelized implementation of Quicksort … balanced
+    /// for the threaded scenario" on a Hyper-Threaded Pentium IV; HT
+    /// typically buys 20–40%, modeled as 0.72×.
+    cpu_time_scale: f64,
+}
+
+impl Sorter {
+    /// A sorter with the paper's calibrated device models.
+    pub fn new(engine: SortEngine) -> Self {
+        let (cpu_model, cpu_time_scale) = match engine {
+            SortEngine::CpuQsort => (CpuCostModel::pentium4_3400_qsort(), 1.0),
+            SortEngine::CpuQuicksort => (CpuCostModel::pentium4_3400(), 0.72),
+            // GPU engines still need a CPU model for the merge.
+            _ => (CpuCostModel::pentium4_3400(), 1.0),
+        };
+        Sorter {
+            engine,
+            gpu_model: GpuCostModel::geforce_6800_ultra(),
+            cpu_model,
+            cpu_time_scale,
+        }
+    }
+
+    /// The engine in use.
+    pub fn engine(&self) -> SortEngine {
+        self.engine
+    }
+
+    /// Overrides the GPU cost model.
+    pub fn with_gpu_model(mut self, model: GpuCostModel) -> Self {
+        self.gpu_model = model;
+        self
+    }
+
+    /// Overrides the CPU cost model.
+    pub fn with_cpu_model(mut self, model: CpuCostModel) -> Self {
+        self.cpu_model = model;
+        self
+    }
+
+    /// Overrides the CPU throughput scale.
+    pub fn with_cpu_time_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.cpu_time_scale = scale;
+        self
+    }
+
+    /// Sorts `values`, reporting simulated time on this engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn sort(&self, values: &[f32]) -> SortReport {
+        assert!(!values.is_empty(), "cannot sort an empty input");
+        match self.engine {
+            SortEngine::GpuPbsn => self.sort_gpu_pbsn(values),
+            SortEngine::GpuBitonic => {
+                self.sort_gpu_bitonic(values, crate::bitonic::BITONIC_SHADER_INSTRUCTIONS)
+            }
+            SortEngine::GpuBitonicKipfer => {
+                self.sort_gpu_bitonic(values, crate::bitonic::KIPFER_SHADER_INSTRUCTIONS)
+            }
+            SortEngine::CpuQuicksort
+            | SortEngine::CpuQsort
+            | SortEngine::CpuRadix
+            | SortEngine::CpuMergeSort => self.sort_cpu(values),
+        }
+    }
+
+    fn sort_gpu_pbsn(&self, values: &[f32]) -> SortReport {
+        let mut dev = Device::new(self.gpu_model.clone());
+        let mut machine = Machine::new(self.cpu_model.clone());
+        let sorted = gpu_sort_rgba(&mut dev, &mut machine, values);
+        let gs = dev.stats().clone();
+        let cpu_time = machine.time();
+        SortReport {
+            sorted,
+            total_time: gs.total_time() + cpu_time,
+            gpu_time: gs.gpu_only_time(),
+            transfer_time: gs.transfer_time,
+            cpu_time,
+            gpu_stats: Some(gs),
+            cpu_stats: Some(*machine.stats()),
+        }
+    }
+
+    fn sort_gpu_bitonic(&self, values: &[f32], instructions: u32) -> SortReport {
+        let mut dev = Device::new(self.gpu_model.clone());
+        let padded = pad_pow2(values);
+        let mut sorted = bitonic_sort_surface_with(&mut dev, &padded, instructions);
+        strip_padding(&mut sorted);
+        let gs = dev.stats().clone();
+        SortReport {
+            sorted,
+            total_time: gs.total_time(),
+            gpu_time: gs.gpu_only_time(),
+            transfer_time: gs.transfer_time,
+            cpu_time: SimTime::ZERO,
+            gpu_stats: Some(gs),
+            cpu_stats: None,
+        }
+    }
+
+    fn sort_cpu(&self, values: &[f32]) -> SortReport {
+        let mut machine = Machine::new(self.cpu_model.clone());
+        let mut sorted = values.to_vec();
+        const BASE: u64 = 0x100_0000;
+        const SCRATCH: u64 = 0x4000_0000;
+        match self.engine {
+            SortEngine::CpuRadix => radix_sort(&mut sorted, &mut machine, BASE, SCRATCH),
+            SortEngine::CpuMergeSort => merge_sort(&mut sorted, &mut machine, BASE, SCRATCH),
+            _ => quicksort(&mut sorted, &mut machine, BASE),
+        }
+        let cpu_time = machine.time() * self.cpu_time_scale;
+        SortReport {
+            sorted,
+            total_time: cpu_time,
+            gpu_time: SimTime::ZERO,
+            transfer_time: SimTime::ZERO,
+            cpu_time,
+            gpu_stats: None,
+            cpu_stats: Some(*machine.stats()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0.0..1000.0)).collect()
+    }
+
+    #[test]
+    fn all_engines_agree_functionally() {
+        let values = random_vec(777, 42);
+        let mut expect = values.clone();
+        expect.sort_by(f32::total_cmp);
+        for engine in SortEngine::ALL {
+            let report = Sorter::new(engine).sort(&values);
+            assert_eq!(report.sorted, expect, "{engine:?}");
+            assert!(report.total_time.as_secs() > 0.0, "{engine:?} must cost something");
+        }
+    }
+
+    #[test]
+    fn gpu_report_splits_transfer_from_compute() {
+        let report = Sorter::new(SortEngine::GpuPbsn).sort(&random_vec(4096, 1));
+        assert!(report.transfer_time.as_secs() > 0.0);
+        assert!(report.gpu_time > report.transfer_time, "sorting must dominate transfer");
+        assert!(report.cpu_time.as_secs() > 0.0, "merge runs on the CPU");
+    }
+
+    #[test]
+    fn cpu_engines_have_no_gpu_component() {
+        let report = Sorter::new(SortEngine::CpuQuicksort).sort(&random_vec(1000, 2));
+        assert!(report.gpu_time.is_zero());
+        assert!(report.transfer_time.is_zero());
+        assert!(report.gpu_stats.is_none());
+    }
+
+    #[test]
+    fn qsort_slower_than_intel_quicksort() {
+        let values = random_vec(30_000, 3);
+        let q = Sorter::new(SortEngine::CpuQsort).sort(&values);
+        let i = Sorter::new(SortEngine::CpuQuicksort).sort(&values);
+        assert!(
+            q.total_time > i.total_time,
+            "qsort {} must be slower than Intel quicksort {}",
+            q.total_time,
+            i.total_time
+        );
+    }
+
+    #[test]
+    fn pbsn_beats_bitonic_on_gpu() {
+        let values = random_vec(16_384, 4);
+        let p = Sorter::new(SortEngine::GpuPbsn).sort(&values);
+        let b = Sorter::new(SortEngine::GpuBitonic).sort(&values);
+        assert!(
+            b.total_time.as_secs() > 3.0 * p.total_time.as_secs(),
+            "bitonic {} vs pbsn {}",
+            b.total_time,
+            p.total_time
+        );
+    }
+
+    #[test]
+    fn single_element_input() {
+        for engine in SortEngine::EXTENDED {
+            let report = Sorter::new(engine).sort(&[5.0]);
+            assert_eq!(report.sorted, vec![5.0], "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn extended_engines_agree_functionally() {
+        let values = random_vec(2000, 11);
+        let mut expect = values.clone();
+        expect.sort_by(f32::total_cmp);
+        for engine in SortEngine::EXTENDED {
+            let report = Sorter::new(engine).sort(&values);
+            assert_eq!(report.sorted, expect, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn kipfer_between_pbsn_and_purcell() {
+        // The improved shader (20 instructions) lands between the paper's
+        // blend sorter and the 53-instruction Purcell baseline.
+        let values = random_vec(32_768, 12);
+        let pbsn = Sorter::new(SortEngine::GpuPbsn).sort(&values).total_time;
+        let kipfer = Sorter::new(SortEngine::GpuBitonicKipfer).sort(&values).total_time;
+        let purcell = Sorter::new(SortEngine::GpuBitonic).sort(&values).total_time;
+        assert!(pbsn < kipfer, "pbsn {pbsn} < kipfer {kipfer}");
+        assert!(kipfer < purcell, "kipfer {kipfer} < purcell {purcell}");
+    }
+
+    #[test]
+    fn radix_avoids_branch_stalls() {
+        let values = random_vec(50_000, 13);
+        let radix = Sorter::new(SortEngine::CpuRadix).sort(&values);
+        assert_eq!(radix.cpu_stats.expect("cpu engine").mispredicts, 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Synthetic stream generators.
+//!
+//! The paper's headline workload is a uniform random stream
+//! ([`UniformGen`]). The other generators exercise the sorters and sketches
+//! on distributions the paper's machinery must also handle: gaussian data
+//! (clustered histograms), pre-sorted and nearly-sorted runs (adversarial
+//! for quicksort's branch predictor, neutral for a sorting network), and
+//! bursty timestamped arrivals (the variable-width sliding windows of
+//! §5.3).
+//!
+//! Everything is an `Iterator` — compose with [`crate::window::FixedWindows`]
+//! or collect with [`Iterator::take`]. All generators are deterministic given
+//! their seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::f16::F16;
+
+/// Uniform random values in `[lo, hi)`, quantized to binary16 precision.
+///
+/// Quantization mirrors the paper's 16-bit input stream: the emitted `f32`
+/// is always exactly representable as an [`F16`].
+pub struct UniformGen {
+    rng: StdRng,
+    lo: f32,
+    hi: f32,
+}
+
+impl UniformGen {
+    /// Creates a generator over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not finite.
+    pub fn new(seed: u64, lo: f32, hi: f32) -> Self {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range [{lo}, {hi})");
+        UniformGen { rng: StdRng::seed_from_u64(seed), lo, hi }
+    }
+
+    /// The paper's workload: uniform over `[0, 1)`.
+    pub fn unit(seed: u64) -> Self {
+        Self::new(seed, 0.0, 1.0)
+    }
+}
+
+impl Iterator for UniformGen {
+    type Item = f32;
+    fn next(&mut self) -> Option<f32> {
+        let x: f32 = self.rng.random_range(self.lo..self.hi);
+        let mut h = F16::from_f32(x);
+        // Round-to-nearest can push a draw just below `hi` up onto it;
+        // step down one f16 ulp to keep the range half-open.
+        while h.to_f32() >= self.hi {
+            h = F16::from_bits(h.to_bits() - 1);
+        }
+        Some(h.to_f32())
+    }
+}
+
+/// Gaussian values (Box–Muller), quantized to binary16 precision.
+pub struct GaussianGen {
+    rng: StdRng,
+    mean: f32,
+    std_dev: f32,
+    spare: Option<f32>,
+}
+
+impl GaussianGen {
+    /// Creates a generator with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is not strictly positive.
+    pub fn new(seed: u64, mean: f32, std_dev: f32) -> Self {
+        assert!(std_dev > 0.0, "std_dev must be positive");
+        GaussianGen { rng: StdRng::seed_from_u64(seed), mean, std_dev, spare: None }
+    }
+}
+
+impl Iterator for GaussianGen {
+    type Item = f32;
+    fn next(&mut self) -> Option<f32> {
+        let z = if let Some(s) = self.spare.take() {
+            s
+        } else {
+            // Box–Muller transform.
+            let u1: f32 = self.rng.random_range(f32::MIN_POSITIVE..1.0);
+            let u2: f32 = self.rng.random_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * core::f32::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            r * theta.cos()
+        };
+        Some(F16::from_f32(self.mean + self.std_dev * z).to_f32())
+    }
+}
+
+/// An ascending (or descending) ramp — fully sorted input.
+pub struct SortedGen {
+    next: u64,
+    step: i64,
+}
+
+impl SortedGen {
+    /// Ascending from 0.
+    pub fn ascending() -> Self {
+        SortedGen { next: 0, step: 1 }
+    }
+
+    /// Descending from `start`.
+    pub fn descending(start: u64) -> Self {
+        SortedGen { next: start, step: -1 }
+    }
+}
+
+impl Iterator for SortedGen {
+    type Item = f32;
+    fn next(&mut self) -> Option<f32> {
+        let v = self.next as f32;
+        self.next = self.next.wrapping_add(self.step as u64);
+        Some(v)
+    }
+}
+
+/// A sorted ramp with a fraction of random element swaps — "nearly sorted"
+/// input, the classic best case for adaptive CPU sorts and a non-event for
+/// sorting networks (which always run every comparator).
+pub struct NearlySortedGen {
+    buf: Vec<f32>,
+    pos: usize,
+}
+
+impl NearlySortedGen {
+    /// Generates `len` ascending values then applies
+    /// `swap_fraction · len` random transpositions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `swap_fraction` is outside `[0, 1]` or `len == 0`.
+    pub fn new(seed: u64, len: usize, swap_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&swap_fraction), "swap_fraction in [0,1]");
+        assert!(len > 0, "len must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut buf: Vec<f32> = (0..len).map(|i| i as f32).collect();
+        let swaps = (len as f64 * swap_fraction) as usize;
+        for _ in 0..swaps {
+            let i = rng.random_range(0..len);
+            let j = rng.random_range(0..len);
+            buf.swap(i, j);
+        }
+        NearlySortedGen { buf, pos: 0 }
+    }
+}
+
+impl Iterator for NearlySortedGen {
+    type Item = f32;
+    fn next(&mut self) -> Option<f32> {
+        let v = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+}
+
+/// Pareto (heavy-tailed) values, quantized to binary16 precision.
+///
+/// Classic model of flow sizes, file sizes, and session durations — the
+/// regime where a few elephants carry most of the mass. Values are
+/// `scale / U^(1/α)`, clamped to the finite f16 range.
+pub struct ParetoGen {
+    rng: StdRng,
+    scale: f32,
+    inv_alpha: f64,
+}
+
+impl ParetoGen {
+    /// Creates a generator with minimum value `scale` and tail exponent
+    /// `alpha` (smaller α = heavier tail; α ≤ 2 has infinite variance).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale > 0` and `alpha > 0`.
+    pub fn new(seed: u64, scale: f32, alpha: f64) -> Self {
+        assert!(scale > 0.0 && alpha > 0.0, "scale and alpha must be positive");
+        ParetoGen { rng: StdRng::seed_from_u64(seed), scale, inv_alpha: 1.0 / alpha }
+    }
+}
+
+impl Iterator for ParetoGen {
+    type Item = f32;
+    fn next(&mut self) -> Option<f32> {
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        let v = self.scale as f64 * u.powf(-self.inv_alpha);
+        // Clamp into the finite f16 range before quantizing.
+        let clamped = v.min(65_504.0) as f32;
+        Some(F16::from_f32(clamped).to_f32())
+    }
+}
+
+/// A stream element carrying an arrival timestamp, for time-based
+/// (variable-width) sliding windows.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Timestamped {
+    /// Arrival time in seconds since stream start.
+    pub time: f64,
+    /// The value.
+    pub value: f32,
+}
+
+/// Timestamped uniform values with bursty arrivals.
+///
+/// Arrivals alternate between a *calm* regime (exponential inter-arrival
+/// times at `base_rate`) and *bursts* (`burst_factor`× faster) — the
+/// irregular arrival pattern that motivates load-shedding in a DSMS
+/// (paper §1) and that variable-width windows must absorb.
+pub struct BurstyGen {
+    rng: StdRng,
+    clock: f64,
+    base_rate: f64,
+    burst_factor: f64,
+    in_burst: bool,
+    remaining_in_phase: u32,
+}
+
+impl BurstyGen {
+    /// Creates a generator with `base_rate` arrivals/second in calm phases
+    /// and `burst_factor`× that during bursts. Phases last a random
+    /// 100–1000 elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_rate` or `burst_factor` is not strictly positive.
+    pub fn new(seed: u64, base_rate: f64, burst_factor: f64) -> Self {
+        assert!(base_rate > 0.0 && burst_factor > 0.0, "rates must be positive");
+        BurstyGen {
+            rng: StdRng::seed_from_u64(seed),
+            clock: 0.0,
+            base_rate,
+            burst_factor,
+            in_burst: false,
+            remaining_in_phase: 0,
+        }
+    }
+}
+
+impl Iterator for BurstyGen {
+    type Item = Timestamped;
+    fn next(&mut self) -> Option<Timestamped> {
+        if self.remaining_in_phase == 0 {
+            self.in_burst = !self.in_burst;
+            self.remaining_in_phase = self.rng.random_range(100..1000);
+        }
+        self.remaining_in_phase -= 1;
+        let rate = if self.in_burst { self.base_rate * self.burst_factor } else { self.base_rate };
+        // Exponential inter-arrival gap.
+        let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
+        self.clock += -u.ln() / rate;
+        let value: f32 = self.rng.random_range(0.0..1.0);
+        Some(Timestamped { time: self.clock, value: F16::from_f32(value).to_f32() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_range_and_f16_grid() {
+        let vals: Vec<f32> = UniformGen::new(7, 2.0, 5.0).take(10_000).collect();
+        assert!(vals.iter().all(|&v| (2.0..5.0).contains(&v)));
+        assert!(vals.iter().all(|&v| F16::from_f32(v).to_f32() == v), "must sit on f16 grid");
+        // Coarse uniformity: mean near 3.5.
+        let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+        assert!((mean - 3.5).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a: Vec<f32> = UniformGen::unit(42).take(100).collect();
+        let b: Vec<f32> = UniformGen::unit(42).take(100).collect();
+        let c: Vec<f32> = UniformGen::unit(43).take(100).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let vals: Vec<f32> = GaussianGen::new(1, 10.0, 2.0).take(50_000).collect();
+        let n = vals.len() as f32;
+        let mean = vals.iter().sum::<f32>() / n;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn sorted_ramps() {
+        let up: Vec<f32> = SortedGen::ascending().take(5).collect();
+        assert_eq!(up, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let down: Vec<f32> = SortedGen::descending(4).take(5).collect();
+        assert_eq!(down, vec![4.0, 3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn nearly_sorted_is_mostly_ordered() {
+        let vals: Vec<f32> = NearlySortedGen::new(3, 10_000, 0.01).collect();
+        assert_eq!(vals.len(), 10_000);
+        let inversions_adjacent =
+            vals.windows(2).filter(|w| w[0] > w[1]).count();
+        // 1% swaps → few local inversions; a shuffled array would have ~50%.
+        assert!(inversions_adjacent < 500, "{inversions_adjacent} adjacent inversions");
+        // It is a permutation of the ramp.
+        let mut sorted = vals.clone();
+        sorted.sort_by(f32::total_cmp);
+        assert!(sorted.iter().enumerate().all(|(i, &v)| v == i as f32));
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let vals: Vec<f32> = ParetoGen::new(5, 1.0, 1.2).take(100_000).collect();
+        assert!(vals.iter().all(|&v| v >= 1.0 && v.is_finite()));
+        // Heavy tail: the top 1% of values carries a large share of the sum.
+        let mut sorted = vals.clone();
+        sorted.sort_by(f32::total_cmp);
+        let total: f64 = sorted.iter().map(|&v| v as f64).sum();
+        let top1: f64 = sorted[sorted.len() * 99 / 100..].iter().map(|&v| v as f64).sum();
+        assert!(top1 / total > 0.2, "top-1% share {:.3}", top1 / total);
+        // Median stays near scale * 2^(1/alpha).
+        let median = sorted[sorted.len() / 2];
+        assert!((1.2..2.6).contains(&median), "median {median}");
+    }
+
+    #[test]
+    fn bursty_timestamps_increase_and_bursts_compress_gaps() {
+        let events: Vec<Timestamped> = BurstyGen::new(11, 1000.0, 50.0).take(20_000).collect();
+        assert!(events.windows(2).all(|w| w[1].time > w[0].time));
+        // Median gap must be far below the calm-phase mean gap (1 ms)
+        // because burst gaps dominate the small end.
+        let mut gaps: Vec<f64> = events.windows(2).map(|w| w[1].time - w[0].time).collect();
+        gaps.sort_by(f64::total_cmp);
+        let median = gaps[gaps.len() / 2];
+        let mean: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(median < mean, "bursty gap distribution must be right-skewed");
+    }
+}

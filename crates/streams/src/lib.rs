@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Data-stream substrate for the gsm reproduction.
+//!
+//! The paper evaluates on "a random database of 100 million elements with
+//! 16-bit floating point precision" (§5). This crate provides everything
+//! needed to regenerate such inputs and feed them through the estimators:
+//!
+//! * [`F16`] (re-exported from `gsm-model`) — a from-scratch software IEEE 754
+//!   binary16 type, so streams can
+//!   be generated, stored, and compared at the paper's precision,
+//! * [`gen`] — synthetic value generators: uniform random (the paper's
+//!   workload), gaussian, sorted/reverse/nearly-sorted (adversarial inputs
+//!   for the sorters), and bursty timestamped arrivals (variable-width
+//!   sliding windows, §5.3),
+//! * [`zipf`] — a Zipf(α) generator for heavy-hitter / frequency workloads,
+//! * [`window`] — fixed-size tumbling windows (the unit of work of the
+//!   paper's window-based algorithms) and timestamp-based variable windows.
+//!
+//! All generators are deterministic given a seed, so every figure harness is
+//! reproducible run-to-run.
+
+pub mod gen;
+pub mod trace;
+pub mod window;
+pub mod zipf;
+
+pub use gsm_model::f16;
+pub use gsm_model::F16;
+pub use gen::{BurstyGen, GaussianGen, NearlySortedGen, ParetoGen, SortedGen, Timestamped, UniformGen};
+pub use trace::Trace;
+pub use window::{FixedWindows, VariableWindows};
+pub use zipf::ZipfGen;

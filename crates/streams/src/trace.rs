@@ -1,0 +1,235 @@
+//! Stream trace recording and replay.
+//!
+//! The paper evaluates on generated data, but a production DSMS replays
+//! captured traces. This module stores a value stream (optionally
+//! timestamped) in a simple self-describing little-endian binary format so
+//! experiments can be frozen to disk and replayed bit-exactly:
+//!
+//! ```text
+//! magic  "GSMT"            4 bytes
+//! version u32              (currently 1)
+//! flags   u32              bit 0: timestamps present
+//! count   u64
+//! values  count × f32      (little endian)
+//! times   count × f64      (only if flag bit 0)
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::gen::Timestamped;
+
+const MAGIC: &[u8; 4] = b"GSMT";
+const VERSION: u32 = 1;
+
+/// A captured stream: values, optionally with arrival timestamps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    values: Vec<f32>,
+    times: Option<Vec<f64>>,
+}
+
+impl Trace {
+    /// Captures a plain value stream.
+    pub fn from_values(values: Vec<f32>) -> Self {
+        Trace { values, times: None }
+    }
+
+    /// Captures a timestamped stream.
+    pub fn from_events(events: &[Timestamped]) -> Self {
+        Trace {
+            values: events.iter().map(|e| e.value).collect(),
+            times: Some(events.iter().map(|e| e.time).collect()),
+        }
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The timestamps, if captured.
+    pub fn times(&self) -> Option<&[f64]> {
+        self.times.as_deref()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the trace holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Reconstructs timestamped events (requires timestamps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has no timestamps.
+    pub fn events(&self) -> Vec<Timestamped> {
+        let times = self.times.as_ref().expect("trace has no timestamps");
+        times
+            .iter()
+            .zip(&self.values)
+            .map(|(&time, &value)| Timestamped { time, value })
+            .collect()
+    }
+
+    /// Writes the trace to `path`.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        let flags: u32 = if self.times.is_some() { 1 } else { 0 };
+        w.write_all(&flags.to_le_bytes())?;
+        w.write_all(&(self.values.len() as u64).to_le_bytes())?;
+        for v in &self.values {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        if let Some(times) = &self.times {
+            for t in times {
+                w.write_all(&t.to_le_bytes())?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Reads a trace from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for wrong magic/version or truncated files.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a gsm trace"));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {version}"),
+            ));
+        }
+        let flags = read_u32(&mut r)?;
+        let count = read_u64(&mut r)? as usize;
+        let mut values = Vec::with_capacity(count);
+        let mut buf4 = [0u8; 4];
+        for _ in 0..count {
+            r.read_exact(&mut buf4)?;
+            values.push(f32::from_le_bytes(buf4));
+        }
+        let times = if flags & 1 != 0 {
+            let mut times = Vec::with_capacity(count);
+            let mut buf8 = [0u8; 8];
+            for _ in 0..count {
+                r.read_exact(&mut buf8)?;
+                times.push(f64::from_le_bytes(buf8));
+            }
+            Some(times)
+        } else {
+            None
+        };
+        Ok(Trace { values, times })
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{BurstyGen, UniformGen};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gsm-trace-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn value_trace_round_trips() {
+        let values: Vec<f32> = UniformGen::unit(1).take(10_000).collect();
+        let trace = Trace::from_values(values.clone());
+        let path = tmp("values");
+        trace.save(&path).expect("save");
+        let loaded = Trace::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, trace);
+        assert_eq!(loaded.values(), &values[..]);
+        assert!(loaded.times().is_none());
+    }
+
+    #[test]
+    fn timestamped_trace_round_trips() {
+        let events: Vec<_> = BurstyGen::new(2, 100.0, 10.0).take(5000).collect();
+        let trace = Trace::from_events(&events);
+        let path = tmp("events");
+        trace.save(&path).expect("save");
+        let loaded = Trace::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.events(), events);
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let values = vec![0.0f32, -0.0, 1.5, -1.5, f32::MIN_POSITIVE, 65504.0];
+        let trace = Trace::from_values(values.clone());
+        let path = tmp("special");
+        trace.save(&path).expect("save");
+        let loaded = Trace::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            loaded.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not a trace file").expect("write");
+        let err = Trace::load(&path).expect_err("must fail");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let values: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let trace = Trace::from_values(values);
+        let path = tmp("truncated");
+        trace.save(&path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        let err = Trace::load(&path).expect_err("must fail");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = Trace::from_values(Vec::new());
+        assert!(trace.is_empty());
+        let path = tmp("empty");
+        trace.save(&path).expect("save");
+        let loaded = Trace::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Windowing adapters.
+//!
+//! The paper's algorithms are *window-based* (§3.2): the stream is consumed
+//! in fixed-size tumbling windows of `⌈1/ε⌉` (frequencies) or `⌈1/(2ε′)⌉`
+//! (quantiles) elements; each window is sorted and folded into the running
+//! summary. Variable-width windows group by a timestamp horizon instead
+//! (§5.3).
+
+use crate::gen::Timestamped;
+
+/// Splits a value stream into consecutive fixed-size windows.
+///
+/// The final window is yielded even if partially filled — the paper's
+/// streaming algorithms must fold in a trailing partial window at
+/// end-of-stream.
+pub struct FixedWindows<I> {
+    inner: I,
+    size: usize,
+}
+
+impl<I: Iterator<Item = f32>> FixedWindows<I> {
+    /// Wraps `inner`, emitting windows of `size` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(inner: I, size: usize) -> Self {
+        assert!(size > 0, "window size must be positive");
+        FixedWindows { inner, size }
+    }
+}
+
+impl<I: Iterator<Item = f32>> Iterator for FixedWindows<I> {
+    type Item = Vec<f32>;
+    fn next(&mut self) -> Option<Vec<f32>> {
+        let mut w = Vec::with_capacity(self.size);
+        for v in self.inner.by_ref() {
+            w.push(v);
+            if w.len() == self.size {
+                return Some(w);
+            }
+        }
+        if w.is_empty() {
+            None
+        } else {
+            Some(w)
+        }
+    }
+}
+
+/// Groups a timestamped stream into consecutive windows of fixed *duration*
+/// (variable element count) — the variable-width sliding-window regime of
+/// §5.3, where bursts produce large windows and calm stretches small ones.
+pub struct VariableWindows<I> {
+    inner: I,
+    width: f64,
+    boundary: f64,
+    pending: Option<Timestamped>,
+    started: bool,
+}
+
+impl<I: Iterator<Item = Timestamped>> VariableWindows<I> {
+    /// Wraps `inner`, emitting one window per `width` seconds of stream
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive.
+    pub fn new(inner: I, width: f64) -> Self {
+        assert!(width > 0.0, "window width must be positive");
+        VariableWindows { inner, width, boundary: 0.0, pending: None, started: false }
+    }
+}
+
+impl<I: Iterator<Item = Timestamped>> Iterator for VariableWindows<I> {
+    type Item = Vec<Timestamped>;
+    fn next(&mut self) -> Option<Vec<Timestamped>> {
+        let mut w = Vec::new();
+        if let Some(p) = self.pending.take() {
+            w.push(p);
+        }
+        loop {
+            match self.inner.next() {
+                Some(e) => {
+                    if !self.started {
+                        // Anchor the first boundary at the first arrival.
+                        self.boundary = e.time + self.width;
+                        self.started = true;
+                    }
+                    if e.time < self.boundary {
+                        w.push(e);
+                    } else {
+                        // Advance the boundary past this event's window.
+                        while e.time >= self.boundary {
+                            self.boundary += self.width;
+                        }
+                        self.pending = Some(e);
+                        // Empty windows (quiet periods) are skipped rather
+                        // than emitted.
+                        if w.is_empty() {
+                            w.push(self.pending.take().expect("just set"));
+                            continue;
+                        }
+                        return Some(w);
+                    }
+                }
+                None => {
+                    return if w.is_empty() { None } else { Some(w) };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_windows_exact_division() {
+        let data = (0..12).map(|i| i as f32);
+        let w: Vec<Vec<f32>> = FixedWindows::new(data, 4).collect();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(w[2], vec![8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn fixed_windows_trailing_partial() {
+        let data = (0..10).map(|i| i as f32);
+        let w: Vec<Vec<f32>> = FixedWindows::new(data, 4).collect();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[2], vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn fixed_windows_empty_stream() {
+        let w: Vec<Vec<f32>> = FixedWindows::new(core::iter::empty(), 4).collect();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = FixedWindows::new(core::iter::empty(), 0);
+    }
+
+    fn ts(time: f64, value: f32) -> Timestamped {
+        Timestamped { time, value }
+    }
+
+    #[test]
+    fn variable_windows_group_by_duration() {
+        let events = vec![
+            ts(0.1, 1.0),
+            ts(0.5, 2.0),
+            ts(0.9, 3.0),
+            ts(1.5, 4.0),
+            ts(1.8, 5.0),
+            ts(3.0, 6.0),
+        ];
+        // First arrival at 0.1 anchors boundaries at 1.1, 2.1, 3.1 …
+        let w: Vec<Vec<Timestamped>> = VariableWindows::new(events.into_iter(), 1.0).collect();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].len(), 3);
+        assert_eq!(w[1].len(), 2);
+        assert_eq!(w[2].len(), 1);
+        assert_eq!(w[2][0].value, 6.0);
+    }
+
+    #[test]
+    fn variable_windows_all_counts_sum() {
+        let events: Vec<Timestamped> = crate::gen::BurstyGen::new(4, 500.0, 20.0).take(5000).collect();
+        let windows: Vec<Vec<Timestamped>> =
+            VariableWindows::new(events.clone().into_iter(), 0.05).collect();
+        let total: usize = windows.iter().map(Vec::len).sum();
+        assert_eq!(total, events.len(), "no event may be dropped or duplicated");
+        // Window sizes must actually vary under bursty arrivals.
+        let min = windows.iter().map(Vec::len).min().unwrap();
+        let max = windows.iter().map(Vec::len).max().unwrap();
+        assert!(max > 2 * min.max(1), "bursts must produce size variation (min={min}, max={max})");
+    }
+}

@@ -1,0 +1,133 @@
+//! Zipf-distributed value generation for frequency / heavy-hitter workloads.
+//!
+//! Frequency estimation (paper §5.1) is only interesting when some elements
+//! repeat often; real traces (network flows, query logs) are classically
+//! Zipfian. The generator draws ranks from a Zipf(α) law over a finite
+//! domain using an inverted CDF with binary search — exact, O(log m) per
+//! draw, and deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::f16::F16;
+
+/// Zipf(α) ranks over `{0, …, domain−1}`, mapped to distinct `f32` values.
+///
+/// Rank `k` (0-based) has probability proportional to `1 / (k+1)^α`. The
+/// emitted value for rank `k` is `k` quantized to the binary16 grid, so the
+/// most frequent element is `0.0`, the next `1.0`, and so on — convenient
+/// for asserting on heavy-hitter identities in tests.
+pub struct ZipfGen {
+    rng: StdRng,
+    cdf: Vec<f64>,
+}
+
+impl ZipfGen {
+    /// Creates a generator over `domain` distinct values with exponent
+    /// `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is zero or larger than 2²⁰ (the CDF is
+    /// precomputed), or if `alpha` is negative.
+    pub fn new(seed: u64, domain: usize, alpha: f64) -> Self {
+        assert!(domain > 0 && domain <= 1 << 20, "domain must be in 1..=2^20");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        let mut cdf = Vec::with_capacity(domain);
+        let mut acc = 0.0f64;
+        for k in 0..domain {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfGen { rng: StdRng::seed_from_u64(seed), cdf }
+    }
+
+    /// Draws a rank (0-based; rank 0 is most frequent).
+    pub fn next_rank(&mut self) -> usize {
+        let u: f64 = self.rng.random_range(0.0..1.0);
+        // First index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u)
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Number of distinct values in the domain.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+impl Iterator for ZipfGen {
+    type Item = f32;
+    fn next(&mut self) -> Option<f32> {
+        let k = self.next_rank();
+        Some(F16::from_f32(k as f32).to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_within_domain() {
+        let mut g = ZipfGen::new(5, 100, 1.1);
+        for _ in 0..10_000 {
+            assert!(g.next_rank() < 100);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_track_the_law() {
+        let mut g = ZipfGen::new(9, 50, 1.0);
+        let n = 200_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[g.next_rank()] += 1;
+        }
+        // Rank 0 must be the most frequent and close to its mass.
+        let p0 = g.mass(0);
+        let observed0 = counts[0] as f64 / n as f64;
+        assert!((observed0 - p0).abs() < 0.01, "observed {observed0}, expected {p0}");
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[49]);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let g = ZipfGen::new(2, 10, 0.0);
+        for k in 0..10 {
+            assert!((g.mass(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn masses_sum_to_one() {
+        let g = ZipfGen::new(0, 1000, 1.5);
+        let total: f64 = (0..1000).map(|k| g.mass(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn values_are_f16_exact_ranks() {
+        let vals: Vec<f32> = ZipfGen::new(1, 64, 1.2).take(1000).collect::<Vec<_>>();
+        assert!(vals.iter().all(|&v| v.fract() == 0.0 && (0.0..64.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn oversized_domain_rejected() {
+        let _ = ZipfGen::new(0, (1 << 20) + 1, 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Hierarchical heavy hitters over network flows — the paper's §1.2
+//! extension application on its §1 motivating domain.
+//!
+//! Synthetic 16-bit "addresses" carry structure: one hot host, one diffuse
+//! /8 subnet whose individual hosts are all light, and background noise.
+//! A plain heavy-hitter query finds only the host; the hierarchical query
+//! also surfaces the subnet — and, thanks to discounting, does *not*
+//! re-report the hot host's ancestors.
+//!
+//! ```text
+//! cargo run --release --example hierarchical_flows
+//! ```
+
+use gsm::core::{BitPrefixHierarchy, Engine, FrequencyEstimator, HhhEstimator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let packets = 1_000_000usize;
+    let eps = 0.0005;
+    let support = 0.05;
+
+    // Address layout: high byte = subnet, low byte = host.
+    let hot_host = 0x1234u32; // single talkative host: ~15% of packets
+    let noisy_subnet = 0x56u32; // subnet 0x56xx: ~20% spread over 256 hosts
+    let mut rng = StdRng::seed_from_u64(2005);
+    let trace: Vec<f32> = (0..packets)
+        .map(|_| {
+            match rng.random_range(0..100) {
+                0..=14 => hot_host as f32,
+                15..=34 => ((noisy_subnet << 8) | rng.random_range(0..256)) as f32,
+                _ => rng.random_range(0x8000..0xFFFF) as f32,
+            }
+        })
+        .collect();
+
+    // Plain (flat) heavy hitters: sees the host, misses the subnet.
+    let mut flat = FrequencyEstimator::builder(eps).engine(Engine::GpuSim).build();
+    flat.push_all(trace.iter().copied());
+    let flat_answer = flat.heavy_hitters(support);
+    println!("flat heavy hitters at {:.0}% support:", support * 100.0);
+    for &(v, c) in &flat_answer {
+        println!("  address {:#06x}  count >= {c}", v as u32);
+    }
+    assert_eq!(flat_answer.len(), 1, "only the hot host clears 5% alone");
+
+    // Hierarchical: /16 leaves, /8 subnets.
+    let hierarchy = BitPrefixHierarchy::new(vec![8]);
+    let mut hhh = HhhEstimator::new(eps, hierarchy, Engine::GpuSim);
+    hhh.push_all(trace.iter().copied());
+    let result = hhh.query(support);
+
+    println!("\nhierarchical heavy hitters at {:.0}% support:", support * 100.0);
+    for e in &result {
+        let label = if e.level == 0 {
+            format!("host   {:#06x}", e.prefix as u32)
+        } else {
+            format!("subnet {:#04x}xx", (e.prefix as u32) >> 8)
+        };
+        println!(
+            "  {label}  discounted >= {:>6}  (raw {:>6})",
+            e.discounted_count, e.raw_count
+        );
+    }
+    assert!(
+        result.iter().any(|e| e.level == 0 && e.prefix == hot_host as f32),
+        "hot host must appear at leaf level"
+    );
+    assert!(
+        result.iter().any(|e| e.level == 1 && e.prefix == (noisy_subnet << 8) as f32),
+        "diffuse subnet must appear at subnet level"
+    );
+    assert!(
+        !result.iter().any(|e| e.level == 1 && e.prefix == (hot_host & 0xFF00) as f32),
+        "the hot host's own subnet must be discounted away"
+    );
+
+    println!("\nsimulated time: {} ({} summary entries across levels)", hhh.total_time(), hhh.entry_count());
+    println!("breakdown: {}", hhh.breakdown());
+}

@@ -1,0 +1,72 @@
+//! Network monitoring: finding the dominant flows in a high-rate packet
+//! stream — the paper's motivating DSMS scenario (§1: "high-speed
+//! networking … massive volumes of data").
+//!
+//! A synthetic packet trace draws flow ids from a Zipf law (a classic model
+//! of flow-size skew). The frequency estimator must return every flow above
+//! the support threshold (no false negatives) while touching only a bounded
+//! summary; the GPU engine sorts each ⌈1/ε⌉-packet window.
+//!
+//! ```text
+//! cargo run --release --example network_heavy_hitters
+//! ```
+
+use gsm::core::{Engine, FrequencyEstimator};
+use gsm::sketch::exact::ExactStats;
+use gsm::stream::ZipfGen;
+
+fn main() {
+    let packets = 2_000_000usize;
+    let flows = 50_000usize;
+    let eps = 0.0005; // windows of 2 000 packets
+    let support = 0.004; // report flows above 0.4% of traffic
+
+    println!("trace: {packets} packets over {flows} flows, Zipf(1.05)");
+    let trace: Vec<f32> = ZipfGen::new(99, flows, 1.05).take(packets).collect();
+
+    // Run the estimator on both engines; answers must be identical.
+    let mut reports = Vec::new();
+    for engine in [Engine::GpuSim, Engine::CpuSim] {
+        let mut est = FrequencyEstimator::builder(eps).engine(engine).build();
+        est.push_all(trace.iter().copied());
+        let hh = est.heavy_hitters(support);
+        println!(
+            "{:<30} simulated time {:>12}, summary {:>6} entries",
+            est.engine().label(),
+            format!("{}", est.total_time()),
+            est.entry_count()
+        );
+        reports.push((hh, est.breakdown()));
+    }
+    assert_eq!(reports[0].0, reports[1].0, "engines must agree exactly");
+
+    // Verify against ground truth.
+    let oracle = ExactStats::new(&trace);
+    let threshold = (support * packets as f64) as u64;
+    let truth = oracle.heavy_hitters(threshold);
+    let answered: Vec<f32> = reports[0].0.iter().map(|&(v, _)| v).collect();
+    for (v, c) in &truth {
+        assert!(answered.contains(v), "flow {v} ({c} packets) missed");
+    }
+
+    println!("\nflows >= {:.1}% of traffic (threshold {threshold} packets):", support * 100.0);
+    println!("{:>10}  {:>10}  {:>10}  {:>9}", "flow", "estimated", "exact", "err");
+    for &(v, est_count) in &reports[0].0 {
+        let exact = oracle.frequency(v);
+        // Entries below the (s-eps) floor are possible false positives of
+        // the eps-approximate query; the guarantee is no *negatives*.
+        println!(
+            "{:>10}  {:>10}  {:>10}  {:>8.3}%",
+            v,
+            est_count,
+            exact,
+            100.0 * (exact as f64 - est_count as f64) / packets as f64
+        );
+    }
+    println!(
+        "\nrecall: {}/{} true heavy flows returned (guaranteed 100%)",
+        truth.iter().filter(|(v, _)| answered.contains(v)).count(),
+        truth.len()
+    );
+    println!("GPU time split: {}", reports[0].1);
+}

@@ -1,0 +1,41 @@
+//! Quickstart: ε-approximate quantiles and heavy hitters over a stream,
+//! with window sorting on the simulated GPU co-processor.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use gsm::core::{Engine, FrequencyEstimator, QuantileEstimator};
+use gsm::stream::{UniformGen, ZipfGen};
+
+fn main() {
+    let n = 1_000_000usize;
+    let eps = 0.001;
+
+    // ---- Quantiles over a uniform random stream --------------------------
+    let mut quantiles = QuantileEstimator::builder(eps)
+        .engine(Engine::GpuSim)
+        .n_hint(n as u64)
+        .build();
+    quantiles.push_all(UniformGen::unit(42).take(n));
+
+    println!("== quantiles of {n} uniform values (eps = {eps}) ==");
+    for phi in [0.01, 0.25, 0.5, 0.75, 0.99] {
+        println!("  phi = {phi:<4}  ->  {:.4}", quantiles.query(phi));
+    }
+    println!("  summary entries: {}", quantiles.entry_count());
+    println!("  simulated time:  {}", quantiles.total_time());
+    println!("  breakdown:       {}", quantiles.breakdown());
+
+    // ---- Heavy hitters over a Zipf stream --------------------------------
+    let mut freq = FrequencyEstimator::builder(eps).engine(Engine::GpuSim).build();
+    freq.push_all(ZipfGen::new(7, 10_000, 1.1).take(n));
+
+    println!("\n== heavy hitters at 1% support over {n} Zipf(1.1) values ==");
+    for (value, count) in freq.heavy_hitters(0.01) {
+        println!("  value {value:<8} count >= {count}");
+    }
+    println!("  summary entries: {}", freq.entry_count());
+    println!("  simulated time:  {}", freq.total_time());
+    println!("  breakdown:       {}", freq.breakdown());
+}

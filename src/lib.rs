@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # gsm — GPU stream mining
+//!
+//! A from-scratch Rust reproduction of *Govindaraju, Raghuvanshi, Manocha:
+//! "Fast and Approximate Stream Mining of Quantiles and Frequencies Using
+//! Graphics Processors"* (SIGMOD 2005): ε-approximate quantile and
+//! frequency estimation over large data streams with per-window sorting
+//! offloaded to a (simulated) GPU rasterization pipeline.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] ([`gsm_core`]) — the estimators: [`core::QuantileEstimator`],
+//!   [`core::FrequencyEstimator`], sliding-window variants, hierarchical
+//!   heavy hitters, correlated sums, engine selection, and time breakdowns.
+//! * [`dsms`] ([`gsm_dsms`]) — the surrounding system: continuous queries
+//!   sharing one co-processor pipeline, load shedding, checkpoint/restore.
+//! * [`sort`] ([`gsm_sort`]) — the sorting engines: the paper's PBSN
+//!   rasterization sorter, the bitonic fragment-program baseline, and
+//!   instrumented CPU quicksort.
+//! * [`sketch`] ([`gsm_sketch`]) — the summaries: Greenwald–Khanna,
+//!   Manku–Motwani lossy counting, Misra–Gries, exponential histograms,
+//!   sliding windows, and exact oracles.
+//! * [`gpu`] ([`gsm_gpu`]) — the simulated GeForce 6800 Ultra.
+//! * [`cpu`] ([`gsm_cpu`]) — the simulated Pentium IV timing model.
+//! * [`stream`] ([`gsm_stream`]) — generators, windowing, and the software
+//!   `F16` type.
+//! * [`model`] ([`gsm_model`]) — simulated-time primitives.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gsm::core::{Engine, FrequencyEstimator, QuantileEstimator};
+//!
+//! // Median of a skewed stream, sorting windows on the simulated GPU.
+//! let mut q = QuantileEstimator::builder(0.01).engine(Engine::GpuSim).build();
+//! let mut f = FrequencyEstimator::builder(0.01).engine(Engine::GpuSim).build();
+//! for i in 0..50_000u32 {
+//!     let v = (i % 50) as f32; // each value is 2% of the stream
+//!     q.push(v);
+//!     f.push(v);
+//! }
+//! let median = q.query(0.5);
+//! assert!((20.0..=30.0).contains(&median));
+//! let hh = f.heavy_hitters(0.015); // 1.5% support: all 50 values qualify
+//! assert_eq!(hh.len(), 50);
+//! println!("simulated GPU time: {}", q.total_time());
+//! ```
+
+pub use gsm_core as core;
+pub use gsm_dsms as dsms;
+pub use gsm_cpu as cpu;
+pub use gsm_gpu as gpu;
+pub use gsm_model as model;
+pub use gsm_sketch as sketch;
+pub use gsm_sort as sort;
+pub use gsm_stream as stream;

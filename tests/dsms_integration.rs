@@ -1,0 +1,101 @@
+//! Integration tests for the DSMS layer: shared pipelines, engine
+//! equivalence, and shedding behaviour end to end through the facade.
+
+use gsm::core::{BitPrefixHierarchy, Engine};
+use gsm::dsms::{run_at_rate, QueryAnswer, StreamEngine};
+use gsm::sketch::exact::ExactStats;
+use gsm::stream::ZipfGen;
+
+fn zipf(n: usize, seed: u64) -> Vec<f32> {
+    ZipfGen::new(seed, 2048, 1.1).take(n).collect()
+}
+
+#[test]
+fn full_dashboard_on_every_engine() {
+    let data = zipf(80_000, 3);
+    let oracle = ExactStats::new(&data);
+    for engine in [Engine::GpuSim, Engine::CpuSim, Engine::Host] {
+        let mut eng = StreamEngine::new(engine).with_n_hint(data.len() as u64);
+        let q = eng.register_quantile(0.005);
+        let f = eng.register_frequency(0.0005);
+        let h = eng.register_hhh(0.0005, BitPrefixHierarchy::new(vec![5]));
+        eng.push_all(data.iter().copied());
+
+        // Quantile within eps.
+        let med = eng.quantile(q, 0.5);
+        assert!(
+            oracle.quantile_rank_error(0.5, med) <= 0.005,
+            "{engine:?}: median {med}"
+        );
+        // Heavy hitters: rank 0 of the zipf law dominates.
+        let hot = eng.heavy_hitters(f, 0.02);
+        assert!(hot.iter().any(|&(v, _)| v == 0.0), "{engine:?}: {hot:?}");
+        // HHH returns at least the hot leaf or its prefix.
+        let hier = eng.hhh(h, 0.05);
+        assert!(!hier.is_empty(), "{engine:?}");
+
+        // Generic interface agrees with the typed one.
+        match eng.query(q, 0.5) {
+            QueryAnswer::Quantile(v) => assert_eq!(v, med),
+            other => panic!("wrong answer kind: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dsms_engines_are_bit_identical() {
+    let data = zipf(50_000, 4);
+    let answers: Vec<_> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
+        .into_iter()
+        .map(|e| {
+            let mut eng = StreamEngine::new(e).with_n_hint(50_000);
+            let q = eng.register_quantile(0.01);
+            let f = eng.register_frequency(0.001);
+            eng.push_all(data.iter().copied());
+            (eng.quantile(q, 0.9), eng.heavy_hitters(f, 0.01))
+        })
+        .collect();
+    assert_eq!(answers[0], answers[1]);
+    assert_eq!(answers[1], answers[2]);
+}
+
+#[test]
+fn gpu_sustains_a_higher_rate_than_cpu() {
+    // With a large shared window (fine eps), the GPU engine's service rate
+    // exceeds the CPU engine's — the §1 "keep up with the update rate"
+    // argument, measured through the DSMS layer.
+    let data = zipf(1 << 19, 5);
+    let rate_for = |engine: Engine| {
+        let mut eng = StreamEngine::new(engine).with_n_hint(data.len() as u64);
+        let _ = eng.register_frequency(1.0 / 32_768.0);
+        eng.push_all(data.iter().copied());
+        eng.flush();
+        eng.service_rate()
+    };
+    let gpu = rate_for(Engine::GpuSim);
+    let cpu = rate_for(Engine::CpuSim);
+    assert!(gpu > cpu, "GPU {gpu:.0}/s must beat CPU {cpu:.0}/s at 32K windows");
+}
+
+#[test]
+fn shedding_keeps_answers_usable_under_overload() {
+    let data = zipf(300_000, 6);
+    let mut probe = StreamEngine::new(Engine::CpuSim).with_n_hint(data.len() as u64);
+    let pq = probe.register_quantile(0.01);
+    probe.push_all(data.iter().copied());
+    let exact_ish = probe.quantile(pq, 0.5);
+    let capacity = probe.service_rate();
+
+    let mut eng = StreamEngine::new(Engine::CpuSim).with_n_hint(data.len() as u64);
+    let q = eng.register_quantile(0.01);
+    let report = run_at_rate(&mut eng, data.iter().copied(), capacity * 3.0);
+    assert!(report.shed_fraction() > 0.4, "{report:?}");
+
+    // Uniform shedding keeps quantiles honest: the shed-stream median must
+    // sit close to the full-stream one (zipf over 2048 values).
+    let shed_median = eng.quantile(q, 0.5);
+    assert!(
+        (shed_median - exact_ish).abs() <= 2.0,
+        "median drifted under shedding: {shed_median} vs {exact_ish}"
+    );
+}

@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: the full estimator pipelines, end to end,
+//! on every engine, against exact oracles.
+
+use gsm::core::{
+    Engine, FrequencyEstimator, QuantileEstimator, SlidingFrequencyEstimator,
+    SlidingQuantileEstimator,
+};
+use gsm::sketch::exact::ExactStats;
+use gsm::stream::{GaussianGen, UniformGen, ZipfGen};
+
+const ENGINES: [Engine; 3] = [Engine::GpuSim, Engine::CpuSim, Engine::Host];
+
+#[test]
+fn quantiles_within_eps_on_every_engine_and_distribution() {
+    let n = 30_000usize;
+    let eps = 0.01;
+    let streams: Vec<(&str, Vec<f32>)> = vec![
+        ("uniform", UniformGen::unit(1).take(n).collect()),
+        ("gaussian", GaussianGen::new(2, 500.0, 50.0).take(n).collect()),
+        ("zipf", ZipfGen::new(3, 1000, 1.2).take(n).collect()),
+        ("ascending", (0..n).map(|i| i as f32).collect()),
+        ("descending", (0..n).rev().map(|i| i as f32).collect()),
+    ];
+    for (name, data) in &streams {
+        let oracle = ExactStats::new(data);
+        for engine in ENGINES {
+            let mut est = QuantileEstimator::builder(eps)
+                .engine(engine)
+                .n_hint(n as u64)
+                .build();
+            est.push_all(data.iter().copied());
+            for phi in [0.1, 0.5, 0.9] {
+                let err = oracle.quantile_rank_error(phi, est.query(phi));
+                assert!(
+                    err <= eps + 2.0 / n as f64,
+                    "{name} {engine:?} phi={phi}: err {err} > eps {eps}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn frequencies_no_false_negatives_on_every_engine() {
+    let n = 50_000usize;
+    let eps = 0.001;
+    let support = 0.01;
+    let data: Vec<f32> = ZipfGen::new(9, 5000, 1.1).take(n).collect();
+    let oracle = ExactStats::new(&data);
+    let truth = oracle.heavy_hitters((support * n as f64).ceil() as u64);
+    assert!(!truth.is_empty(), "workload must contain heavy hitters");
+    for engine in ENGINES {
+        let mut est = FrequencyEstimator::builder(eps).engine(engine).build();
+        est.push_all(data.iter().copied());
+        let answer: Vec<f32> = est.heavy_hitters(support).iter().map(|&(v, _)| v).collect();
+        for (v, c) in &truth {
+            assert!(answer.contains(v), "{engine:?}: heavy hitter {v} ({c}) missed");
+        }
+        // Estimates never exceed the truth and undercount by <= eps*N.
+        let bound = (eps * n as f64).ceil() as u64;
+        for &(v, _) in &truth {
+            let e = est.estimate(v);
+            let t = oracle.frequency(v);
+            assert!(e <= t && t - e <= bound, "{engine:?}: {v} est {e} truth {t}");
+        }
+    }
+}
+
+#[test]
+fn gpu_and_cpu_engines_are_functionally_identical() {
+    // The co-processor changes *where* sorting happens, never the answer.
+    let n = 25_000usize;
+    let data: Vec<f32> = UniformGen::new(7, 0.0, 100.0).take(n).collect();
+
+    let mut q_answers = Vec::new();
+    let mut f_answers = Vec::new();
+    for engine in ENGINES {
+        let mut q = QuantileEstimator::builder(0.02).engine(engine).n_hint(n as u64).build();
+        q.push_all(data.iter().copied());
+        q_answers.push([q.query(0.1), q.query(0.5), q.query(0.9)]);
+
+        let mut f = FrequencyEstimator::builder(0.002).engine(engine).build();
+        f.push_all(data.iter().copied());
+        f_answers.push(f.heavy_hitters(0.01));
+    }
+    assert_eq!(q_answers[0], q_answers[1]);
+    assert_eq!(q_answers[1], q_answers[2]);
+    assert_eq!(f_answers[0], f_answers[1]);
+    assert_eq!(f_answers[1], f_answers[2]);
+}
+
+#[test]
+fn sliding_estimators_track_window_turnover() {
+    for engine in ENGINES {
+        let mut q = SlidingQuantileEstimator::new(0.05, 2000, engine);
+        let mut f = SlidingFrequencyEstimator::new(0.05, 2000, engine);
+        // Old regime: values around 0, plus a hot value 5.0.
+        for i in 0..4000 {
+            let v = if i % 4 == 0 { 5.0 } else { (i % 100) as f32 / 100.0 };
+            q.push(v);
+            f.push(v);
+        }
+        assert!(f.estimate(5.0) > 0);
+        // New regime: values around 1000, hot value gone.
+        for i in 0..4000 {
+            q.push(1000.0 + (i % 50) as f32);
+            f.push(1000.0 + (i % 50) as f32);
+        }
+        assert!(q.query(0.5) >= 1000.0, "{engine:?}");
+        assert_eq!(f.estimate(5.0), 0, "{engine:?}");
+    }
+}
+
+#[test]
+fn simulated_times_have_the_papers_ordering() {
+    // On the frequency workload with a large window (fine eps), the GPU
+    // engine must beat the CPU engine; on a tiny window it must lose
+    // (paper Figure 5's crossover).
+    // 512 K elements = exactly four GPU batches of four 32 K windows at the
+    // fine eps, so no straggler partial batch skews the comparison.
+    let n = 512 * 1024;
+    let data: Vec<f32> = UniformGen::unit(17).take(n).collect();
+
+    let time_for = |eps: f64, engine: Engine| {
+        let mut est = FrequencyEstimator::builder(eps).engine(engine).build();
+        est.push_all(data.iter().copied());
+        est.flush();
+        est.total_time()
+    };
+
+    let fine = 1.0 / 32_768.0; // 32 K windows
+    assert!(
+        time_for(fine, Engine::GpuSim) < time_for(fine, Engine::CpuSim),
+        "GPU must win at large windows"
+    );
+    let coarse = 1.0 / 1024.0; // 1 K windows
+    assert!(
+        time_for(coarse, Engine::GpuSim) > time_for(coarse, Engine::CpuSim),
+        "CPU must win at small windows"
+    );
+}
+
+#[test]
+fn f16_stream_values_survive_the_gpu_path_bit_exactly()
+{
+    use gsm::stream::F16;
+    // Every value is on the f16 grid; the f32 GPU path must return exactly
+    // those values (binary16 → binary32 is exact).
+    let data: Vec<f32> = UniformGen::unit(23).take(5000).collect();
+    let mut est = QuantileEstimator::builder(0.05).engine(Engine::GpuSim).n_hint(5000).build();
+    est.push_all(data.iter().copied());
+    for phi in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let v = est.query(phi);
+        assert_eq!(F16::from_f32(v).to_f32(), v, "answers must sit on the f16 grid");
+        assert!(data.contains(&v), "answers must be actual stream values");
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over the workspace's core invariants.
+
+use gsm::cpu::{CpuCostModel, Machine};
+use gsm::gpu::Device;
+use gsm::sketch::exact::ExactStats;
+use gsm::sketch::{GkSummary, LossyCounting, MisraGries, WindowSummary};
+use gsm::sketch::summary::OpCounter;
+use gsm::sort::gpu_sort_rgba;
+use gsm::sort::network::{apply_schedule, bitonic_schedule, pbsn_schedule};
+use gsm::stream::F16;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Finite, NaN-free f32 values on a bounded range (the estimators' domain).
+fn value() -> impl Strategy<Value = f32> {
+    (-1.0e6f32..1.0e6).prop_map(|v| v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The GPU batch sorter (PBSN + 4-way merge) agrees with std sort on
+    /// arbitrary inputs.
+    #[test]
+    fn gpu_sort_matches_std_sort(data in vec(value(), 1..700)) {
+        let mut dev = Device::ideal();
+        let mut machine = Machine::new(CpuCostModel::ideal());
+        let sorted = gpu_sort_rgba(&mut dev, &mut machine, &data);
+        let mut expect = data.clone();
+        expect.sort_by(f32::total_cmp);
+        prop_assert_eq!(sorted, expect);
+    }
+
+    /// Instrumented quicksort sorts and preserves the multiset.
+    #[test]
+    fn instrumented_quicksort_sorts(data in vec(value(), 0..2000)) {
+        let mut m = Machine::new(CpuCostModel::pentium4_3400());
+        let mut sorted = data.clone();
+        gsm::sort::cpu::quicksort(&mut sorted, &mut m, 0);
+        let mut expect = data;
+        expect.sort_by(f32::total_cmp);
+        prop_assert_eq!(sorted, expect);
+    }
+
+    /// PBSN and bitonic schedules sort arbitrary data at arbitrary
+    /// power-of-two sizes (0-1 principle cross-check on real values).
+    #[test]
+    fn network_schedules_sort(data in vec(value(), 1..260), log_extra in 0u32..2) {
+        let n = (data.len().next_power_of_two() << log_extra).max(2);
+        let mut padded = data.clone();
+        padded.resize(n, f32::INFINITY);
+        let mut expect = padded.clone();
+        expect.sort_by(f32::total_cmp);
+
+        let mut a = padded.clone();
+        apply_schedule(&mut a, &pbsn_schedule(n));
+        prop_assert_eq!(&a, &expect);
+
+        let mut b = padded;
+        apply_schedule(&mut b, &bitonic_schedule(n));
+        prop_assert_eq!(&b, &expect);
+    }
+
+    /// GK answers every quantile within eps*n ranks.
+    #[test]
+    fn gk_rank_error_bounded(data in vec(value(), 10..3000), eps in 0.01f64..0.3) {
+        let mut gk = GkSummary::new(eps);
+        for &v in &data {
+            gk.insert(v);
+        }
+        prop_assert!(gk.check_invariant());
+        let oracle = ExactStats::new(&data);
+        for phi in [0.0, 0.3, 0.5, 0.8, 1.0] {
+            let err = oracle.quantile_rank_error(phi, gk.query(phi));
+            prop_assert!(err <= eps + 1.0 / data.len() as f64,
+                "phi={} err={} eps={}", phi, err, eps);
+        }
+    }
+
+    /// Window summaries: sample → merge → prune keeps every query within
+    /// the claimed error bound.
+    #[test]
+    fn window_summary_pipeline_error_bounded(
+        a in vec(value(), 2..400),
+        b in vec(value(), 2..400),
+        eps in 0.05f64..0.5,
+    ) {
+        let mut sa = a.clone();
+        sa.sort_by(f32::total_cmp);
+        let mut sb = b.clone();
+        sb.sort_by(f32::total_cmp);
+        let mut ops = OpCounter::default();
+        let merged = WindowSummary::merge(
+            &WindowSummary::from_sorted(&sa, eps),
+            &WindowSummary::from_sorted(&sb, eps),
+            &mut ops,
+        );
+        let pruned = merged.prune(16, &mut ops);
+        let all: Vec<f32> = a.iter().chain(&b).copied().collect();
+        let oracle = ExactStats::new(&all);
+        for phi in [0.1, 0.5, 0.9] {
+            let err = oracle.quantile_rank_error(phi, pruned.query(phi));
+            prop_assert!(err <= pruned.eps() + 2.0 / all.len() as f64,
+                "phi={} err={} claimed={}", phi, err, pruned.eps());
+        }
+    }
+
+    /// Lossy counting never overestimates and never misses a heavy hitter.
+    #[test]
+    fn lossy_counting_guarantees(
+        raw in vec(0u32..30, 200..3000),
+        eps in 0.002f64..0.02,
+    ) {
+        let data: Vec<f32> = raw.iter().map(|&v| v as f32).collect();
+        let mut lc = LossyCounting::new(eps);
+        for chunk in data.chunks(lc.window()) {
+            let mut w = chunk.to_vec();
+            w.sort_by(f32::total_cmp);
+            lc.push_sorted_window(&w);
+        }
+        let oracle = ExactStats::new(&data);
+        let bound = (eps * data.len() as f64).ceil() as u64;
+        for v in 0..30u32 {
+            let est = lc.estimate(v as f32);
+            let truth = oracle.frequency(v as f32);
+            prop_assert!(est <= truth, "overestimate of {}: {} > {}", v, est, truth);
+            prop_assert!(truth - est <= bound, "undercount of {}: {}", v, truth - est);
+        }
+    }
+
+    /// Misra–Gries undercounts by at most n/(k+1).
+    #[test]
+    fn misra_gries_bound(raw in vec(0u32..50, 100..2000), k in 5usize..40) {
+        let data: Vec<f32> = raw.iter().map(|&v| v as f32).collect();
+        let mut mg = MisraGries::new(k);
+        for &v in &data {
+            mg.insert(v);
+        }
+        let oracle = ExactStats::new(&data);
+        for v in 0..50u32 {
+            let est = mg.estimate(v as f32);
+            let truth = oracle.frequency(v as f32);
+            prop_assert!(est <= truth);
+            prop_assert!(truth - est <= mg.error_bound());
+        }
+    }
+
+    /// Software f16: round-trip exactness for representable values and
+    /// monotone ordering for everything.
+    #[test]
+    fn f16_conversion_properties(x in -70000.0f32..70000.0, y in -70000.0f32..70000.0) {
+        let hx = F16::from_f32(x);
+        let hy = F16::from_f32(y);
+        // Round-trip through f32 is idempotent.
+        prop_assert_eq!(F16::from_f32(hx.to_f32()).to_bits(), hx.to_bits());
+        // Conversion is monotone: x <= y implies hx <= hy.
+        if x <= y {
+            prop_assert!(hx.to_f32() <= hy.to_f32(), "{} -> {}, {} -> {}", x, hx, y, hy);
+        }
+        // Error within half an ulp: for normal range, relative error <= 2^-11.
+        if hx.is_finite() && x != 0.0 && x.abs() >= 6.2e-5 {
+            let rel = ((hx.to_f32() - x) / x).abs();
+            prop_assert!(rel <= 4.9e-4, "rel err {} for {}", rel, x);
+        }
+    }
+}
