@@ -12,23 +12,43 @@
 //! sort it replaces — and is priced into the merge phase.
 
 use gsm_model::SimTime;
-use gsm_sketch::{CorrelatedSum, OpCounter};
+use gsm_sketch::{CorrelatedSum, OpCounter, SinkOps, SummarySink};
 
-use crate::coproc::BatchPipeline;
 use crate::engine::Engine;
-use crate::report::{price_ops, TimeBreakdown};
+use crate::pipeline::WindowedPipeline;
+use crate::report::TimeBreakdown;
+
+/// The correlated-sum summary behind the [`SummarySink`] seam: receives
+/// each window's *sorted keys*, gathers the matching payloads from the raw
+/// window (queued in submission order, which the pipeline preserves), and
+/// folds the re-paired window into the sketch. Gather work is reported in
+/// its own [`SinkOps`] lane so the ledger prices it into the merge phase.
+struct CorrelatedSink {
+    sketch: CorrelatedSum,
+    /// Raw windows awaiting their sorted keys (parallel to the pipeline's
+    /// internal queue, drained in the same order).
+    raw_queue: std::collections::VecDeque<Vec<(f32, f32)>>,
+    gather_ops: OpCounter,
+}
+
+impl SummarySink for CorrelatedSink {
+    fn push_sorted_window(&mut self, sorted: &[f32]) {
+        let raw = self.raw_queue.pop_front().expect("raw window per sorted run");
+        let pairs = gather_pairs(sorted, &raw, &mut self.gather_ops);
+        self.sketch.push_sorted_window(&pairs);
+    }
+
+    fn ops(&self) -> SinkOps {
+        SinkOps { merge: self.sketch.ops(), gather: self.gather_ops, ..SinkOps::default() }
+    }
+}
 
 /// Streaming ε-approximate correlated-sum estimator:
 /// `SUM{ y : x ≤ Q_φ(x) }` with per-window key sorting on the engine.
 pub struct CorrelatedSumEstimator {
     buffer: Vec<(f32, f32)>,
-    /// Raw windows awaiting their sorted keys (parallel to the pipeline's
-    /// internal queue, drained in the same order).
-    raw_queue: std::collections::VecDeque<Vec<(f32, f32)>>,
     window: usize,
-    pipeline: BatchPipeline,
-    sketch: CorrelatedSum,
-    gather_ops: OpCounter,
+    pipeline: WindowedPipeline<CorrelatedSink>,
 }
 
 impl CorrelatedSumEstimator {
@@ -42,13 +62,15 @@ impl CorrelatedSumEstimator {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
         let window = ((1.0 / eps).ceil() as usize).max(1024);
         let sketch = CorrelatedSum::new(eps, window, n_hint.max(window as u64));
+        let sink = CorrelatedSink {
+            sketch,
+            raw_queue: std::collections::VecDeque::new(),
+            gather_ops: OpCounter::default(),
+        };
         CorrelatedSumEstimator {
             buffer: Vec::with_capacity(window),
-            raw_queue: std::collections::VecDeque::new(),
             window,
-            pipeline: BatchPipeline::new(engine),
-            sketch,
-            gather_ops: OpCounter::default(),
+            pipeline: WindowedPipeline::new(engine, window, sink),
         }
     }
 
@@ -64,9 +86,7 @@ impl CorrelatedSumEstimator {
 
     /// Pairs pushed so far.
     pub fn count(&self) -> u64 {
-        self.sketch.count()
-            + self.buffer.len() as u64
-            + self.raw_queue.iter().map(|w| w.len() as u64).sum::<u64>()
+        self.pipeline.sink().sketch.count() + self.buffer.len() as u64 + self.pipeline.unabsorbed()
     }
 
     /// Pushes one `(x, y)` pair (`y ≥ 0`).
@@ -88,17 +108,8 @@ impl CorrelatedSumEstimator {
 
     fn submit(&mut self, raw: Vec<(f32, f32)>) {
         let keys: Vec<f32> = raw.iter().map(|&(x, _)| x).collect();
-        self.raw_queue.push_back(raw);
-        let sorted = self.pipeline.push_window(keys);
-        self.absorb(sorted);
-    }
-
-    fn absorb(&mut self, sorted_key_runs: Vec<Vec<f32>>) {
-        for keys in sorted_key_runs {
-            let raw = self.raw_queue.pop_front().expect("raw window per sorted run");
-            let pairs = gather_pairs(&keys, &raw, &mut self.gather_ops);
-            self.sketch.push_sorted_window(&pairs);
-        }
+        self.pipeline.sink_mut().raw_queue.push_back(raw);
+        self.pipeline.submit_window(keys);
     }
 
     /// Forces buffered data into the sketch.
@@ -107,15 +118,14 @@ impl CorrelatedSumEstimator {
             let w = core::mem::take(&mut self.buffer);
             self.submit(w);
         }
-        let rest = self.pipeline.flush();
-        self.absorb(rest);
+        self.pipeline.flush();
     }
 
     /// Bounds on `SUM{ y : x ≤ Q_φ(x) }` over everything pushed. Flushes
     /// first.
     pub fn query_sum(&mut self, phi: f64) -> (f64, f64) {
         self.flush();
-        self.sketch.query_sum(phi)
+        self.pipeline.sink().sketch.query_sum(phi)
     }
 
     /// The midpoint estimate of [`Self::query_sum`].
@@ -127,17 +137,13 @@ impl CorrelatedSumEstimator {
     /// Exact total Σy (tracked exactly). Flushes first.
     pub fn total_sum(&mut self) -> f64 {
         self.flush();
-        self.sketch.total_sum()
+        self.pipeline.sink().sketch.total_sum()
     }
 
-    /// Where the simulated time went.
+    /// Where the simulated time went. The gather work lands in the merge
+    /// phase alongside the sketch's own maintenance.
     pub fn breakdown(&self) -> TimeBreakdown {
-        TimeBreakdown {
-            sort: self.pipeline.sort_time(),
-            transfer: self.pipeline.transfer_time(),
-            merge: price_ops(self.gather_ops) + price_ops(self.sketch.ops()),
-            compress: SimTime::ZERO,
-        }
+        self.pipeline.breakdown()
     }
 
     /// Total simulated time.

@@ -6,9 +6,9 @@ use gsm_gpu::TextureFormat;
 use gsm_model::SimTime;
 use gsm_sketch::LossyCounting;
 
-use crate::coproc::BatchPipeline;
 use crate::engine::Engine;
-use crate::report::{price_ops, TimeBreakdown};
+use crate::pipeline::WindowedPipeline;
+use crate::report::TimeBreakdown;
 
 /// Builder for [`FrequencyEstimator`].
 #[derive(Clone, Debug)]
@@ -42,10 +42,8 @@ impl FrequencyEstimatorBuilder {
         let sketch = LossyCounting::new(self.eps);
         let window = sketch.window();
         FrequencyEstimator {
-            buffer: Vec::with_capacity(window),
-            window,
-            pipeline: BatchPipeline::new(self.engine).with_texture_format(self.format),
-            sketch,
+            pipeline: WindowedPipeline::new(self.engine, window, sketch)
+                .with_texture_format(self.format),
         }
     }
 }
@@ -53,10 +51,7 @@ impl FrequencyEstimatorBuilder {
 /// Streaming ε-deficient frequency estimator (heavy hitters) with
 /// engine-offloaded window sorting.
 pub struct FrequencyEstimator {
-    buffer: Vec<f32>,
-    window: usize,
-    pipeline: BatchPipeline,
-    sketch: LossyCounting,
+    pipeline: WindowedPipeline<LossyCounting>,
 }
 
 impl FrequencyEstimator {
@@ -76,12 +71,12 @@ impl FrequencyEstimator {
 
     /// The error bound.
     pub fn eps(&self) -> f64 {
-        self.sketch.eps()
+        self.pipeline.sink().eps()
     }
 
     /// The window size `⌈1/ε⌉`.
     pub fn window(&self) -> usize {
-        self.window
+        self.pipeline.window()
     }
 
     /// The engine sorting the windows.
@@ -91,24 +86,17 @@ impl FrequencyEstimator {
 
     /// Elements pushed so far (including any still buffered).
     pub fn count(&self) -> u64 {
-        self.sketch.count() + self.buffer.len() as u64 + self.pipeline.pending_elements()
+        self.pipeline.sink().count() + self.pipeline.unabsorbed()
     }
 
     /// Summary entries currently held (memory footprint).
     pub fn entry_count(&self) -> usize {
-        self.sketch.entry_count()
+        self.pipeline.sink().entry_count()
     }
 
     /// Pushes one stream element.
     pub fn push(&mut self, value: f32) {
-        debug_assert!(value.is_finite(), "stream values must be finite");
-        self.buffer.push(value);
-        if self.buffer.len() == self.window {
-            let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
-            for sorted in self.pipeline.push_window(w) {
-                self.sketch.push_sorted_window(&sorted);
-            }
-        }
+        self.pipeline.push(value);
     }
 
     /// Pushes every element of an iterator.
@@ -120,22 +108,14 @@ impl FrequencyEstimator {
 
     /// Forces all buffered data through the pipeline and into the sketch.
     pub fn flush(&mut self) {
-        if !self.buffer.is_empty() {
-            let w = core::mem::take(&mut self.buffer);
-            for sorted in self.pipeline.push_window(w) {
-                self.sketch.push_sorted_window(&sorted);
-            }
-        }
-        for sorted in self.pipeline.flush() {
-            self.sketch.push_sorted_window(&sorted);
-        }
+        self.pipeline.flush();
     }
 
     /// The estimated frequency of `value` — an underestimate of the true
     /// frequency by at most `ε·N`. Flushes first.
     pub fn estimate(&mut self, value: f32) -> u64 {
         self.flush();
-        self.sketch.estimate(value)
+        self.pipeline.sink().estimate(value)
     }
 
     /// The ε-approximate heavy-hitters query at support `s`: every element
@@ -147,19 +127,13 @@ impl FrequencyEstimator {
     /// Panics unless `eps < s ≤ 1`.
     pub fn heavy_hitters(&mut self, s: f64) -> Vec<(f32, u64)> {
         self.flush();
-        self.sketch.heavy_hitters(s)
+        self.pipeline.sink().heavy_hitters(s)
     }
 
     /// Where the simulated time went (Figures 5 and 6). The histogram scan
     /// is part of the sort phase, matching the paper's three-way split.
     pub fn breakdown(&self) -> TimeBreakdown {
-        let ops = self.sketch.ops();
-        TimeBreakdown {
-            sort: self.pipeline.sort_time() + price_ops(ops.histogram),
-            transfer: self.pipeline.transfer_time(),
-            merge: price_ops(ops.merge),
-            compress: price_ops(ops.compress),
-        }
+        self.pipeline.breakdown()
     }
 
     /// Total simulated time.

@@ -8,17 +8,13 @@
 use gsm_model::SimTime;
 use gsm_sketch::{BitPrefixHierarchy, HhhEntry, HhhSummary};
 
-use crate::coproc::BatchPipeline;
 use crate::engine::Engine;
-use crate::report::{price_ops, TimeBreakdown};
-use gsm_sketch::OpCounter;
+use crate::pipeline::WindowedPipeline;
+use crate::report::TimeBreakdown;
 
 /// Streaming ε-approximate hierarchical heavy hitters.
 pub struct HhhEstimator {
-    buffer: Vec<f32>,
-    window: usize,
-    pipeline: BatchPipeline,
-    sketch: HhhSummary,
+    pipeline: WindowedPipeline<HhhSummary>,
 }
 
 impl HhhEstimator {
@@ -31,22 +27,17 @@ impl HhhEstimator {
     pub fn new(eps: f64, hierarchy: BitPrefixHierarchy, engine: Engine) -> Self {
         let sketch = HhhSummary::new(eps, hierarchy);
         let window = sketch.window();
-        HhhEstimator {
-            buffer: Vec::with_capacity(window),
-            window,
-            pipeline: BatchPipeline::new(engine),
-            sketch,
-        }
+        HhhEstimator { pipeline: WindowedPipeline::new(engine, window, sketch) }
     }
 
     /// The error bound.
     pub fn eps(&self) -> f64 {
-        self.sketch.eps()
+        self.pipeline.sink().eps()
     }
 
     /// The window size `⌈1/ε⌉`.
     pub fn window(&self) -> usize {
-        self.window
+        self.pipeline.window()
     }
 
     /// The engine sorting the windows.
@@ -56,12 +47,12 @@ impl HhhEstimator {
 
     /// Elements pushed so far.
     pub fn count(&self) -> u64 {
-        self.sketch.count() + self.buffer.len() as u64 + self.pipeline.pending_elements()
+        self.pipeline.sink().count() + self.pipeline.unabsorbed()
     }
 
     /// Total summary entries across hierarchy levels.
     pub fn entry_count(&self) -> usize {
-        self.sketch.entry_count()
+        self.pipeline.sink().entry_count()
     }
 
     /// Pushes one element (a non-negative integer id stored as `f32`).
@@ -70,13 +61,7 @@ impl HhhEstimator {
             value >= 0.0 && value.fract() == 0.0,
             "hierarchy values are integer ids"
         );
-        self.buffer.push(value);
-        if self.buffer.len() == self.window {
-            let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
-            for sorted in self.pipeline.push_window(w) {
-                self.sketch.push_sorted_window(&sorted);
-            }
-        }
+        self.pipeline.push(value);
     }
 
     /// Pushes every element of an iterator.
@@ -88,41 +73,21 @@ impl HhhEstimator {
 
     /// Forces buffered data into the sketch.
     pub fn flush(&mut self) {
-        if !self.buffer.is_empty() {
-            let w = core::mem::take(&mut self.buffer);
-            for sorted in self.pipeline.push_window(w) {
-                self.sketch.push_sorted_window(&sorted);
-            }
-        }
-        for sorted in self.pipeline.flush() {
-            self.sketch.push_sorted_window(&sorted);
-        }
+        self.pipeline.flush();
     }
 
     /// The hierarchical heavy hitters at support `s` (see
     /// [`HhhSummary::query`]). Flushes first.
     pub fn query(&mut self, s: f64) -> Vec<HhhEntry> {
         self.flush();
-        self.sketch.query(s)
+        self.pipeline.sink().query(s)
     }
 
     /// Where the simulated time went. One sort serves all levels; the
-    /// per-level histogram/merge/compress costs land in their phases.
+    /// per-level histogram/merge/compress costs land in their phases (the
+    /// sink folds every level's counters, see [`gsm_sketch::sink`]).
     pub fn breakdown(&self) -> TimeBreakdown {
-        let mut hist = OpCounter::default();
-        let mut merge = OpCounter::default();
-        let mut compress = OpCounter::default();
-        for ops in self.sketch.level_ops() {
-            hist.absorb(ops.histogram);
-            merge.absorb(ops.merge);
-            compress.absorb(ops.compress);
-        }
-        TimeBreakdown {
-            sort: self.pipeline.sort_time() + price_ops(hist),
-            transfer: self.pipeline.transfer_time(),
-            merge: price_ops(merge),
-            compress: price_ops(compress),
-        }
+        self.pipeline.breakdown()
     }
 
     /// Total simulated time.

@@ -44,16 +44,16 @@
 //! assert!((median - 499.0).abs() <= 20.0); // within ε·N ranks
 //! ```
 
-mod coproc;
 mod correlated;
 mod engine;
 mod frequencies;
 mod hhh;
+pub mod pipeline;
 mod quantiles;
 mod report;
 mod sliding;
 
-pub use coproc::BatchPipeline;
+pub use pipeline::{BatchPipeline, OpLedger, SortBackend, WindowedPipeline};
 pub use correlated::CorrelatedSumEstimator;
 pub use engine::Engine;
 pub use frequencies::{FrequencyEstimator, FrequencyEstimatorBuilder};
@@ -62,5 +62,6 @@ pub use quantiles::{QuantileEstimator, QuantileEstimatorBuilder};
 pub use report::{price_ops, TimeBreakdown};
 pub use sliding::{SlidingFrequencyEstimator, SlidingQuantileEstimator};
 
-// Re-export the hierarchy and entry types alongside their estimator.
-pub use gsm_sketch::{BitPrefixHierarchy, HhhEntry};
+// Re-export the hierarchy and entry types alongside their estimator, and
+// the sink contract alongside the pipeline that drives it.
+pub use gsm_sketch::{BitPrefixHierarchy, HhhEntry, SinkOps, SummarySink};

@@ -1,0 +1,321 @@
+//! Pluggable sorting backends for the window pipeline.
+//!
+//! Each [`Engine`] variant maps to one [`SortBackend`] implementation that
+//! owns its simulated device and time ledger: the GPU backend drives the
+//! simulated GeForce 6800 Ultra through PBSN, the CPU backend runs the
+//! instrumented quicksort on the simulated Pentium IV, and the host backend
+//! sorts for free (functional testing). The batching policy — how many
+//! windows to buffer before a sort launches — also lives here, because it
+//! is a property of the device: only the GPU amortizes anything by
+//! batching.
+
+use gsm_cpu::{CpuCostModel, CpuStats, Machine};
+use gsm_gpu::{Device, GpuCostModel, GpuStats, Surface, TextureFormat, TextureId};
+use gsm_model::SimTime;
+use gsm_sort::cpu::quicksort;
+use gsm_sort::layout::{texture_dims, PAD};
+use gsm_sort::pbsn::{pbsn_sort_device, pbsn_sort_segments};
+
+use crate::engine::Engine;
+
+/// Windows per GPU batch — one per RGBA channel.
+pub const GPU_BATCH: usize = 4;
+
+/// Simulated base address of the CPU engine's window buffer.
+const WINDOW_BASE: u64 = 0x100_0000;
+
+/// A window-sorting device with its own simulated-time ledger.
+///
+/// The pipeline's [`super::BatchPipeline`] owns one backend behind this
+/// trait and never inspects which engine is active: batching policy,
+/// sorting, and time accounting are all dispatched here.
+pub trait SortBackend {
+    /// The engine this backend implements.
+    fn engine(&self) -> Engine;
+
+    /// Whether a buffered batch of `windows` windows totalling `values`
+    /// elements should launch now. Backends with nothing to amortize sort
+    /// every window immediately (the default).
+    fn batch_ready(&self, windows: usize, values: usize) -> bool {
+        let _ = (windows, values);
+        true
+    }
+
+    /// Sorts every window of the batch, preserving order and lengths.
+    fn sort_batch(&mut self, windows: Vec<Vec<f32>>) -> Vec<Vec<f32>>;
+
+    /// Simulated time spent sorting so far.
+    fn sort_time(&self) -> SimTime;
+
+    /// Simulated CPU↔device transfer time so far (zero unless the backend
+    /// sits across a bus).
+    fn transfer_time(&self) -> SimTime {
+        SimTime::ZERO
+    }
+
+    /// GPU execution counters, if this backend drives a simulated GPU.
+    fn gpu_stats(&self) -> Option<&GpuStats> {
+        None
+    }
+
+    /// CPU machine counters, if this backend drives a simulated CPU.
+    fn cpu_stats(&self) -> Option<&CpuStats> {
+        None
+    }
+
+    /// Selects the device's texture storage format (no-op off the GPU).
+    fn set_texture_format(&mut self, format: TextureFormat) {
+        let _ = format;
+    }
+}
+
+/// Builds the calibrated backend for `engine`. A positive
+/// `min_batch_values` selects the segmented GPU batching policy (see
+/// [`GpuSimBackend::segmented`]); CPU engines ignore it.
+pub fn backend_for(engine: Engine, min_batch_values: usize) -> Box<dyn SortBackend> {
+    match engine {
+        Engine::GpuSim => Box::new(if min_batch_values > 0 {
+            GpuSimBackend::segmented(min_batch_values)
+        } else {
+            GpuSimBackend::new()
+        }),
+        Engine::CpuSim => Box::new(CpuSimBackend::new()),
+        Engine::Host => Box::new(HostBackend),
+    }
+}
+
+/// Plain `slice::sort` with zero simulated time, for functional testing.
+pub struct HostBackend;
+
+impl SortBackend for HostBackend {
+    fn engine(&self) -> Engine {
+        Engine::Host
+    }
+
+    fn sort_batch(&mut self, windows: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        windows
+            .into_iter()
+            .map(|mut w| {
+                w.sort_by(f32::total_cmp);
+                w
+            })
+            .collect()
+    }
+
+    fn sort_time(&self) -> SimTime {
+        SimTime::ZERO
+    }
+}
+
+/// Instrumented quicksort on the simulated Pentium IV — the paper's CPU
+/// baseline (§5.2 sorts windows "using the qsort() and GPU-based sorting
+/// routines", i.e. with a comparator function pointer).
+pub struct CpuSimBackend {
+    machine: Machine,
+}
+
+impl CpuSimBackend {
+    /// Creates the backend with the calibrated Pentium IV cost model.
+    pub fn new() -> Self {
+        CpuSimBackend { machine: Machine::new(CpuCostModel::pentium4_3400_qsort()) }
+    }
+}
+
+impl Default for CpuSimBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SortBackend for CpuSimBackend {
+    fn engine(&self) -> Engine {
+        Engine::CpuSim
+    }
+
+    fn sort_batch(&mut self, windows: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        windows
+            .into_iter()
+            .map(|mut w| {
+                quicksort(&mut w, &mut self.machine, WINDOW_BASE);
+                w
+            })
+            .collect()
+    }
+
+    fn sort_time(&self) -> SimTime {
+        self.machine.time()
+    }
+
+    fn cpu_stats(&self) -> Option<&CpuStats> {
+        Some(self.machine.stats())
+    }
+}
+
+/// PBSN window sorting on the simulated GeForce 6800 Ultra, batching four
+/// windows per texture (one per RGBA channel) and reusing one texture slot
+/// across batches (paper §4.1: one upload + one readback per batch).
+pub struct GpuSimBackend {
+    dev: Device,
+    tex: Option<(TextureId, usize)>,
+    format: TextureFormat,
+    /// Minimum buffered values before a batch launches (0 = plain
+    /// 4-window batching).
+    min_batch_values: usize,
+}
+
+impl GpuSimBackend {
+    /// Creates the backend with plain 4-window batching.
+    pub fn new() -> Self {
+        GpuSimBackend {
+            dev: Device::new(GpuCostModel::geforce_6800_ultra()),
+            tex: None,
+            format: TextureFormat::Rgba32F,
+            min_batch_values: 0,
+        }
+    }
+
+    /// Creates a backend with the *segmented* batching policy: windows
+    /// accumulate until at least `min_batch_values` elements are buffered,
+    /// then all of them sort in one segmented PBSN run (many aligned
+    /// segments per channel, the schedule capped at the segment size).
+    /// This amortizes the per-pass overhead that makes tiny sorts
+    /// GPU-hostile (§4.5) and is what makes sliding windows — whose blocks
+    /// are only `Θ(εW)` elements — viable on the co-processor.
+    pub fn segmented(min_batch_values: usize) -> Self {
+        let mut b = Self::new();
+        b.min_batch_values = min_batch_values;
+        b
+    }
+
+    /// Sorts up to four windows, one per channel. Windows may have unequal
+    /// lengths (the stream tail); every channel pads to the longest
+    /// window's power-of-two length with `+∞`, which sorts to the tail and
+    /// is stripped on extraction.
+    fn sort_channels(&mut self, windows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert!(!windows.is_empty() && windows.len() <= GPU_BATCH);
+        let longest = windows.iter().map(Vec::len).max().expect("non-empty batch");
+        let padded = longest.next_power_of_two().max(2);
+
+        let mut channels: [Vec<f32>; 4] = core::array::from_fn(|_| vec![PAD; padded]);
+        for (k, w) in windows.iter().enumerate() {
+            debug_assert!(w.iter().all(|v| v.is_finite()), "stream values must be finite");
+            channels[k][..w.len()].copy_from_slice(w);
+        }
+        let (width, _) = texture_dims(padded);
+        let surface =
+            Surface::from_channels(width, [&channels[0], &channels[1], &channels[2], &channels[3]]);
+
+        let tex = self.upload(surface, padded);
+        pbsn_sort_device(&mut self.dev, tex);
+        let sorted = self.dev.readback_texture(tex);
+
+        windows
+            .iter()
+            .enumerate()
+            .map(|(k, w)| {
+                let ch = sorted.channel(gsm_gpu::Channel::ALL[k]);
+                ch[..w.len()].to_vec()
+            })
+            .collect()
+    }
+
+    /// Sorts any number of windows in one segmented PBSN run: window `i`
+    /// occupies segment `i / 4` of channel `i % 4`; every segment is padded
+    /// to the common power-of-two length and sorted independently.
+    fn sort_segmented(&mut self, windows: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert!(!windows.is_empty());
+        if windows.len() <= GPU_BATCH {
+            return self.sort_channels(windows);
+        }
+        let longest = windows.iter().map(Vec::len).max().expect("non-empty batch");
+        let segment = longest.next_power_of_two().max(2);
+        let segments_per_channel = windows.len().div_ceil(GPU_BATCH);
+        // The texture's texel count must be a power of two for the PBSN
+        // layout, and a multiple of the segment size.
+        let channel_len = (segments_per_channel * segment).next_power_of_two();
+
+        let mut channels: [Vec<f32>; 4] = core::array::from_fn(|_| vec![PAD; channel_len]);
+        for (i, w) in windows.iter().enumerate() {
+            debug_assert!(w.iter().all(|v| v.is_finite()), "stream values must be finite");
+            let start = (i / GPU_BATCH) * segment;
+            channels[i % GPU_BATCH][start..start + w.len()].copy_from_slice(w);
+        }
+        let (width, _) = texture_dims(channel_len);
+        let surface =
+            Surface::from_channels(width, [&channels[0], &channels[1], &channels[2], &channels[3]]);
+
+        let tex = self.upload(surface, channel_len);
+        pbsn_sort_segments(&mut self.dev, tex, segment);
+        let sorted = self.dev.readback_texture(tex);
+
+        windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let ch = sorted.channel(gsm_gpu::Channel::ALL[i % GPU_BATCH]);
+                let start = (i / GPU_BATCH) * segment;
+                ch[start..start + w.len()].to_vec()
+            })
+            .collect()
+    }
+
+    /// Reuses the cached texture slot when the padded length matches
+    /// (update = no allocation churn), otherwise uploads a fresh texture.
+    fn upload(&mut self, surface: Surface, padded_len: usize) -> TextureId {
+        match self.tex {
+            Some((id, len)) if len == padded_len => {
+                self.dev.update_texture(id, surface);
+                id
+            }
+            _ => {
+                let id = self.dev.upload_texture_fmt(surface, self.format);
+                self.tex = Some((id, padded_len));
+                id
+            }
+        }
+    }
+}
+
+impl Default for GpuSimBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SortBackend for GpuSimBackend {
+    fn engine(&self) -> Engine {
+        Engine::GpuSim
+    }
+
+    fn batch_ready(&self, windows: usize, values: usize) -> bool {
+        if self.min_batch_values > 0 {
+            values >= self.min_batch_values
+        } else {
+            windows >= GPU_BATCH
+        }
+    }
+
+    fn sort_batch(&mut self, windows: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        if self.min_batch_values > 0 {
+            self.sort_segmented(&windows)
+        } else {
+            self.sort_channels(&windows)
+        }
+    }
+
+    fn sort_time(&self) -> SimTime {
+        self.dev.stats().gpu_only_time()
+    }
+
+    fn transfer_time(&self) -> SimTime {
+        self.dev.stats().transfer_time
+    }
+
+    fn gpu_stats(&self) -> Option<&GpuStats> {
+        Some(self.dev.stats())
+    }
+
+    fn set_texture_format(&mut self, format: TextureFormat) {
+        self.format = format;
+    }
+}

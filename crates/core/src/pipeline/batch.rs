@@ -1,0 +1,250 @@
+//! The co-processor batching coordinator (paper §4.1).
+//!
+//! Buffers complete windows and launches sorts whenever the backend's
+//! batching policy says the buffered batch is worth sorting: immediately on
+//! CPU engines (nothing to amortize), four windows at a time on the GPU
+//! (one window per RGBA channel — one upload, one PBSN run, one readback
+//! per batch), or whenever a value target is reached under the segmented
+//! policy.
+
+use gsm_cpu::CpuStats;
+use gsm_gpu::{GpuStats, TextureFormat};
+use gsm_model::SimTime;
+
+use super::backend::{backend_for, SortBackend};
+use crate::engine::Engine;
+
+/// Sorts windows on a pluggable [`SortBackend`], batching according to the
+/// backend's policy, and exposes the backend's simulated-time ledger for
+/// the sort phase.
+pub struct BatchPipeline {
+    backend: Box<dyn SortBackend>,
+    pending: Vec<Vec<f32>>,
+    windows_sorted: u64,
+}
+
+impl BatchPipeline {
+    /// Creates a pipeline with the calibrated device model for `engine`.
+    pub fn new(engine: Engine) -> Self {
+        Self::with_backend(backend_for(engine, 0))
+    }
+
+    /// Creates a *segmented* pipeline: on the GPU engine, windows
+    /// accumulate until at least `min_batch_values` elements are buffered,
+    /// then all of them sort in one segmented PBSN run (see
+    /// [`super::GpuSimBackend::segmented`]). CPU engines behave exactly as
+    /// in [`BatchPipeline::new`].
+    pub fn segmented(engine: Engine, min_batch_values: usize) -> Self {
+        Self::with_backend(backend_for(engine, min_batch_values))
+    }
+
+    /// Creates a pipeline over an explicit backend.
+    pub fn with_backend(backend: Box<dyn SortBackend>) -> Self {
+        BatchPipeline { backend, pending: Vec::new(), windows_sorted: 0 }
+    }
+
+    /// Selects the GPU texture storage format (no-op on CPU engines).
+    /// `Rgba16F` halves bus traffic; values quantize to half precision on
+    /// upload, which is lossless for streams already on the f16 grid (the
+    /// paper's 16-bit input).
+    pub fn with_texture_format(mut self, format: TextureFormat) -> Self {
+        self.set_texture_format(format);
+        self
+    }
+
+    /// In-place variant of [`BatchPipeline::with_texture_format`].
+    pub fn set_texture_format(&mut self, format: TextureFormat) {
+        self.backend.set_texture_format(format);
+    }
+
+    /// The engine in use.
+    pub fn engine(&self) -> Engine {
+        self.backend.engine()
+    }
+
+    /// Windows fully sorted so far.
+    pub fn windows_sorted(&self) -> u64 {
+        self.windows_sorted
+    }
+
+    /// Elements sitting in buffered (submitted but unsorted) windows.
+    pub fn pending_elements(&self) -> u64 {
+        self.pending.iter().map(|w| w.len() as u64).sum()
+    }
+
+    /// Submits one complete window. Returns sorted windows as they become
+    /// available (empty until a GPU batch fills; immediate on CPU engines).
+    pub fn push_window(&mut self, window: Vec<f32>) -> Vec<Vec<f32>> {
+        assert!(!window.is_empty(), "windows must be non-empty");
+        self.pending.push(window);
+        let values = self.pending_elements() as usize;
+        if self.backend.batch_ready(self.pending.len(), values) {
+            self.flush()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Sorts and returns everything still buffered (the final partial batch
+    /// at end-of-stream).
+    pub fn flush(&mut self) -> Vec<Vec<f32>> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let windows = core::mem::take(&mut self.pending);
+        self.windows_sorted += windows.len() as u64;
+        self.backend.sort_batch(windows)
+    }
+
+    /// Simulated time spent sorting (GPU render+overhead, or CPU cycles).
+    pub fn sort_time(&self) -> SimTime {
+        self.backend.sort_time()
+    }
+
+    /// Simulated CPU↔GPU transfer time (zero on CPU engines).
+    pub fn transfer_time(&self) -> SimTime {
+        self.backend.transfer_time()
+    }
+
+    /// GPU execution counters, if the GPU engine is active.
+    pub fn gpu_stats(&self) -> Option<&GpuStats> {
+        self.backend.gpu_stats()
+    }
+
+    /// CPU machine counters, if the CPU engine is active.
+    pub fn cpu_stats(&self) -> Option<&CpuStats> {
+        self.backend.cpu_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_window(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0.0..100.0)).collect()
+    }
+
+    fn sorted_copy(w: &[f32]) -> Vec<f32> {
+        let mut s = w.to_vec();
+        s.sort_by(f32::total_cmp);
+        s
+    }
+
+    #[test]
+    fn gpu_batches_four_windows() {
+        let mut p = BatchPipeline::new(Engine::GpuSim);
+        let windows: Vec<Vec<f32>> = (0..4).map(|k| random_window(100, k)).collect();
+        assert!(p.push_window(windows[0].clone()).is_empty());
+        assert!(p.push_window(windows[1].clone()).is_empty());
+        assert!(p.push_window(windows[2].clone()).is_empty());
+        let out = p.push_window(windows[3].clone());
+        assert_eq!(out.len(), 4, "fourth window completes the batch");
+        for (k, s) in out.iter().enumerate() {
+            assert_eq!(*s, sorted_copy(&windows[k]), "window {k}");
+        }
+        assert_eq!(p.windows_sorted(), 4);
+        // One upload + one readback for the whole batch.
+        let gs = p.gpu_stats().unwrap();
+        assert_eq!(gs.uploads, 1);
+        assert_eq!(gs.readbacks, 1);
+    }
+
+    #[test]
+    fn flush_handles_partial_batches() {
+        let mut p = BatchPipeline::new(Engine::GpuSim);
+        let w0 = random_window(64, 9);
+        let w1 = random_window(50, 10); // ragged tail window
+        assert!(p.push_window(w0.clone()).is_empty());
+        assert!(p.push_window(w1.clone()).is_empty());
+        let out = p.flush();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], sorted_copy(&w0));
+        assert_eq!(out[1], sorted_copy(&w1));
+        assert!(p.flush().is_empty(), "second flush is a no-op");
+    }
+
+    #[test]
+    fn cpu_engine_sorts_immediately() {
+        let mut p = BatchPipeline::new(Engine::CpuSim);
+        let w = random_window(200, 11);
+        let out = p.push_window(w.clone());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], sorted_copy(&w));
+        assert!(p.sort_time().as_secs() > 0.0);
+        assert!(p.transfer_time().is_zero());
+        assert!(p.cpu_stats().is_some());
+    }
+
+    #[test]
+    fn host_engine_is_free() {
+        let mut p = BatchPipeline::new(Engine::Host);
+        let w = random_window(100, 12);
+        let out = p.push_window(w.clone());
+        assert_eq!(out[0], sorted_copy(&w));
+        assert!(p.sort_time().is_zero());
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        let windows: Vec<Vec<f32>> = (0..5).map(|k| random_window(333, 100 + k)).collect();
+        let mut results: Vec<Vec<Vec<f32>>> = Vec::new();
+        for engine in [Engine::GpuSim, Engine::CpuSim, Engine::Host] {
+            let mut p = BatchPipeline::new(engine);
+            let mut sorted: Vec<Vec<f32>> = Vec::new();
+            for w in &windows {
+                sorted.extend(p.push_window(w.clone()));
+            }
+            sorted.extend(p.flush());
+            assert_eq!(sorted.len(), windows.len());
+            results.push(sorted);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn gpu_amortizes_transfers_across_batches() {
+        let mut p = BatchPipeline::new(Engine::GpuSim);
+        for k in 0..8 {
+            let _ = p.push_window(random_window(128, 200 + k));
+        }
+        let gs = p.gpu_stats().unwrap();
+        // 8 windows = 2 batches = 2 uploads + 2 readbacks.
+        assert_eq!(gs.uploads, 2);
+        assert_eq!(gs.readbacks, 2);
+        assert!(p.sort_time() > p.transfer_time());
+    }
+
+    #[test]
+    fn custom_backend_plugs_in() {
+        // A trivial backend: host sorting that reports a fixed sort time.
+        struct FixedCost(u64);
+        impl crate::pipeline::SortBackend for FixedCost {
+            fn engine(&self) -> Engine {
+                Engine::Host
+            }
+            fn sort_batch(&mut self, windows: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+                self.0 += windows.len() as u64;
+                windows
+                    .into_iter()
+                    .map(|mut w| {
+                        w.sort_by(f32::total_cmp);
+                        w
+                    })
+                    .collect()
+            }
+            fn sort_time(&self) -> SimTime {
+                SimTime::from_secs(self.0 as f64 * 1e-3)
+            }
+        }
+        let mut p = BatchPipeline::with_backend(Box::new(FixedCost(0)));
+        let w = random_window(64, 5);
+        let out = p.push_window(w.clone());
+        assert_eq!(out[0], sorted_copy(&w));
+        assert!((p.sort_time().as_secs() - 1e-3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,292 @@
+//! The unified window→sort→summary pipeline.
+//!
+//! Every estimator in this crate — and the DSMS engine above it — does the
+//! same thing: buffer stream values into fixed-size windows, sort each
+//! window on the configured [`Engine`], and fold the sorted runs into one
+//! or more summaries. This module owns that whole path once:
+//!
+//! * [`SortBackend`] (in [`backend`](self)) — a pluggable sorting device
+//!   with its own simulated-time ledger; one implementation per engine.
+//! * [`BatchPipeline`] — the batching coordinator that buffers complete
+//!   windows and launches sorts per the backend's policy (four windows per
+//!   GPU texture, immediate on CPU engines, value-target batches under the
+//!   segmented policy).
+//! * [`WindowedPipeline`] — the full path: the window buffer, the batch
+//!   pipeline, and a [`SummarySink`] consuming every sorted run. Estimators
+//!   are thin wrappers around this type plus their query methods.
+//! * [`OpLedger`] — the single place where simulated sort/transfer time and
+//!   the sink's operation counters combine into a [`TimeBreakdown`]
+//!   matching the paper's Figure 6 phase split.
+
+mod backend;
+mod batch;
+
+pub use backend::{backend_for, CpuSimBackend, GpuSimBackend, HostBackend, SortBackend, GPU_BATCH};
+pub use batch::BatchPipeline;
+
+use gsm_cpu::CpuStats;
+use gsm_gpu::{GpuStats, TextureFormat};
+use gsm_model::SimTime;
+use gsm_sketch::{SinkOps, SummarySink};
+
+use crate::engine::Engine;
+use crate::report::{price_ops, TimeBreakdown};
+
+/// The pipeline's combined time-and-operations ledger.
+///
+/// Collected by [`WindowedPipeline::ledger`]; [`OpLedger::breakdown`] is
+/// the one place operation counters are priced into phases: the sink's
+/// histogram scan joins the sort phase (the paper's three-way split),
+/// gather work joins the merge phase, and the rest map directly.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct OpLedger {
+    /// Simulated device time spent sorting.
+    pub sort: SimTime,
+    /// Simulated CPU↔device transfer time.
+    pub transfer: SimTime,
+    /// The sink's cumulative maintenance counters.
+    pub ops: SinkOps,
+}
+
+impl OpLedger {
+    /// Prices the ledger into the paper's phase split.
+    pub fn breakdown(&self) -> TimeBreakdown {
+        TimeBreakdown {
+            sort: self.sort + price_ops(self.ops.histogram),
+            transfer: self.transfer,
+            merge: price_ops(self.ops.merge) + price_ops(self.ops.gather),
+            compress: price_ops(self.ops.compress),
+        }
+    }
+}
+
+/// The window→sort→summary path, generic over the summary consuming the
+/// sorted runs.
+///
+/// ```
+/// use gsm_core::{Engine, WindowedPipeline};
+/// use gsm_sketch::LossyCounting;
+///
+/// let sketch = LossyCounting::with_window(0.01, 100);
+/// let mut p = WindowedPipeline::new(Engine::Host, 100, sketch);
+/// for i in 0..1000 {
+///     p.push((i % 4) as f32);
+/// }
+/// p.flush();
+/// assert_eq!(p.sink().estimate(0.0), 250);
+/// ```
+pub struct WindowedPipeline<S> {
+    window: usize,
+    buffer: Vec<f32>,
+    batch: BatchPipeline,
+    sink: S,
+}
+
+impl<S: SummarySink> WindowedPipeline<S> {
+    /// Creates a pipeline cutting the stream into `window`-element windows
+    /// sorted on `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(engine: Engine, window: usize, sink: S) -> Self {
+        Self::over(BatchPipeline::new(engine), window, sink)
+    }
+
+    /// Creates a pipeline over the segmented batching policy (see
+    /// [`BatchPipeline::segmented`]).
+    pub fn segmented(engine: Engine, window: usize, min_batch_values: usize, sink: S) -> Self {
+        Self::over(BatchPipeline::segmented(engine, min_batch_values), window, sink)
+    }
+
+    /// Creates a pipeline over an explicit batch pipeline.
+    pub fn over(batch: BatchPipeline, window: usize, sink: S) -> Self {
+        assert!(window >= 1, "window must hold at least one element");
+        WindowedPipeline { window, buffer: Vec::with_capacity(window), batch, sink }
+    }
+
+    /// Selects the GPU texture storage format (no-op on CPU engines).
+    pub fn with_texture_format(mut self, format: TextureFormat) -> Self {
+        self.batch.set_texture_format(format);
+        self
+    }
+
+    /// The engine sorting the windows.
+    pub fn engine(&self) -> Engine {
+        self.batch.engine()
+    }
+
+    /// The window size in elements.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The summary consuming the sorted runs.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the summary (for queries that count operations).
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the pipeline, returning the summary.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Windows fully sorted so far.
+    pub fn windows_sorted(&self) -> u64 {
+        self.batch.windows_sorted()
+    }
+
+    /// Elements buffered toward the current (incomplete) window.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Elements pushed but not yet folded into the sink: the partial
+    /// window plus anything submitted but still awaiting its batch sort.
+    pub fn unabsorbed(&self) -> u64 {
+        self.buffer.len() as u64 + self.batch.pending_elements()
+    }
+
+    /// Pushes one stream element, cutting a window when the buffer fills.
+    pub fn push(&mut self, value: f32) {
+        debug_assert!(value.is_finite(), "stream values must be finite");
+        self.buffer.push(value);
+        if self.buffer.len() == self.window {
+            let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
+            self.submit_window(w);
+        }
+    }
+
+    /// Submits one pre-cut window directly, bypassing the element buffer
+    /// (for callers that window the stream themselves, e.g. the
+    /// correlated-sum estimator, which extracts keys from pairs).
+    pub fn submit_window(&mut self, window: Vec<f32>) {
+        for sorted in self.batch.push_window(window) {
+            self.sink.push_sorted_window(&sorted);
+        }
+    }
+
+    /// Forces all buffered data (partial window + pending batch) through
+    /// the pipeline and into the sink.
+    pub fn flush(&mut self) {
+        if !self.buffer.is_empty() {
+            let w = core::mem::take(&mut self.buffer);
+            self.submit_window(w);
+        }
+        for sorted in self.batch.flush() {
+            self.sink.push_sorted_window(&sorted);
+        }
+    }
+
+    /// The combined time-and-operations ledger.
+    pub fn ledger(&self) -> OpLedger {
+        OpLedger {
+            sort: self.batch.sort_time(),
+            transfer: self.batch.transfer_time(),
+            ops: self.sink.ops(),
+        }
+    }
+
+    /// Where the simulated time went (the paper's Figure 6 phase split).
+    pub fn breakdown(&self) -> TimeBreakdown {
+        self.ledger().breakdown()
+    }
+
+    /// GPU execution counters, if the GPU engine is active.
+    pub fn gpu_stats(&self) -> Option<&GpuStats> {
+        self.batch.gpu_stats()
+    }
+
+    /// CPU machine counters, if the CPU engine is active.
+    pub fn cpu_stats(&self) -> Option<&CpuStats> {
+        self.batch.cpu_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_sketch::{LossyCounting, OpCounter};
+
+    #[test]
+    fn windows_cut_and_fan_to_sink() {
+        let mut p = WindowedPipeline::new(Engine::Host, 100, LossyCounting::with_window(0.01, 100));
+        for i in 0..1050 {
+            p.push((i % 4) as f32);
+        }
+        assert_eq!(p.unabsorbed(), 50, "partial window still buffered");
+        assert_eq!(p.buffered(), 50);
+        p.flush();
+        assert_eq!(p.unabsorbed(), 0);
+        assert_eq!(p.sink().count(), 1050);
+        assert_eq!(p.windows_sorted(), 11);
+    }
+
+    #[test]
+    fn gpu_batch_defers_absorption() {
+        let mut p =
+            WindowedPipeline::new(Engine::GpuSim, 64, LossyCounting::with_window(0.02, 64));
+        for i in 0..(3 * 64) {
+            p.push((i % 8) as f32);
+        }
+        // Three full windows submitted, but the GPU batch holds four.
+        assert_eq!(p.unabsorbed(), 3 * 64);
+        assert_eq!(p.sink().count(), 0);
+        for i in 0..64 {
+            p.push((i % 8) as f32);
+        }
+        assert_eq!(p.unabsorbed(), 0, "fourth window launches the batch");
+        assert_eq!(p.sink().count(), 4 * 64);
+    }
+
+    #[test]
+    fn ledger_prices_histogram_into_sort_phase() {
+        let ledger = OpLedger {
+            sort: SimTime::from_secs(1.0),
+            transfer: SimTime::from_secs(0.25),
+            ops: SinkOps {
+                histogram: OpCounter { comparisons: 1_000_000, moves: 0 },
+                merge: OpCounter { comparisons: 0, moves: 2_000_000 },
+                gather: OpCounter { comparisons: 500_000, moves: 500_000 },
+                compress: OpCounter { comparisons: 3_000_000, moves: 0 },
+            },
+        };
+        let b = ledger.breakdown();
+        assert!(b.sort > SimTime::from_secs(1.0), "histogram ops join the sort phase");
+        assert_eq!(b.transfer, SimTime::from_secs(0.25));
+        let merge_only = price_ops(ledger.ops.merge) + price_ops(ledger.ops.gather);
+        assert_eq!(b.merge, merge_only);
+        assert_eq!(b.compress, price_ops(ledger.ops.compress));
+        assert_eq!(
+            OpLedger::default().breakdown().total(),
+            TimeBreakdown::default().total(),
+            "empty ledger prices to zero"
+        );
+    }
+
+    #[test]
+    fn engines_agree_through_the_full_path() {
+        let answers: Vec<u64> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
+            .into_iter()
+            .map(|engine| {
+                let mut p = WindowedPipeline::new(
+                    engine,
+                    200,
+                    LossyCounting::with_window(0.005, 200),
+                );
+                for i in 0..5000u64 {
+                    p.push(((i * 2654435761) % 97) as f32);
+                }
+                p.flush();
+                p.sink().estimate(13.0)
+            })
+            .collect();
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[1], answers[2]);
+    }
+}

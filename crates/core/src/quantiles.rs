@@ -9,9 +9,9 @@ use gsm_gpu::TextureFormat;
 use gsm_model::SimTime;
 use gsm_sketch::ExpHistogram;
 
-use crate::coproc::BatchPipeline;
 use crate::engine::Engine;
-use crate::report::{price_ops, TimeBreakdown};
+use crate::pipeline::WindowedPipeline;
+use crate::report::TimeBreakdown;
 
 /// Builder for [`QuantileEstimator`].
 #[derive(Clone, Debug)]
@@ -68,10 +68,8 @@ impl QuantileEstimatorBuilder {
         let sketch = ExpHistogram::new(self.eps, window, self.n_hint.max(window as u64));
         QuantileEstimator {
             eps: self.eps,
-            window,
-            buffer: Vec::with_capacity(window),
-            pipeline: BatchPipeline::new(self.engine).with_texture_format(self.format),
-            sketch,
+            pipeline: WindowedPipeline::new(self.engine, window, sketch)
+                .with_texture_format(self.format),
         }
     }
 }
@@ -80,10 +78,7 @@ impl QuantileEstimatorBuilder {
 /// sorting.
 pub struct QuantileEstimator {
     eps: f64,
-    window: usize,
-    buffer: Vec<f32>,
-    pipeline: BatchPipeline,
-    sketch: ExpHistogram,
+    pipeline: WindowedPipeline<ExpHistogram>,
 }
 
 impl QuantileEstimator {
@@ -114,7 +109,7 @@ impl QuantileEstimator {
 
     /// The window size in elements.
     pub fn window(&self) -> usize {
-        self.window
+        self.pipeline.window()
     }
 
     /// The engine sorting the windows.
@@ -124,24 +119,17 @@ impl QuantileEstimator {
 
     /// Elements pushed so far (including any still buffered).
     pub fn count(&self) -> u64 {
-        self.sketch.count() + self.buffer.len() as u64 + self.pipeline.pending_elements()
+        self.pipeline.sink().count() + self.pipeline.unabsorbed()
     }
 
     /// Summary entries currently held (memory footprint).
     pub fn entry_count(&self) -> usize {
-        self.sketch.entry_count()
+        self.pipeline.sink().entry_count()
     }
 
     /// Pushes one stream element.
     pub fn push(&mut self, value: f32) {
-        debug_assert!(value.is_finite(), "stream values must be finite");
-        self.buffer.push(value);
-        if self.buffer.len() == self.window {
-            let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
-            for sorted in self.pipeline.push_window(w) {
-                self.sketch.push_sorted_window(&sorted);
-            }
-        }
+        self.pipeline.push(value);
     }
 
     /// Pushes every element of an iterator.
@@ -154,15 +142,7 @@ impl QuantileEstimator {
     /// Forces all buffered data (partial window + pending GPU batch)
     /// through the pipeline and into the sketch.
     pub fn flush(&mut self) {
-        if !self.buffer.is_empty() {
-            let w = core::mem::take(&mut self.buffer);
-            for sorted in self.pipeline.push_window(w) {
-                self.sketch.push_sorted_window(&sorted);
-            }
-        }
-        for sorted in self.pipeline.flush() {
-            self.sketch.push_sorted_window(&sorted);
-        }
+        self.pipeline.flush();
     }
 
     /// Answers a φ-quantile query over everything pushed so far: a value
@@ -173,7 +153,7 @@ impl QuantileEstimator {
     /// Panics if nothing has been pushed.
     pub fn query(&mut self, phi: f64) -> f32 {
         self.flush();
-        self.sketch.query(phi)
+        self.pipeline.sink().query(phi)
     }
 
     /// The k-th largest element (within `ε·N` ranks) — the selection query
@@ -207,12 +187,7 @@ impl QuantileEstimator {
     /// Where the simulated time went (Figure 7's timings; the quantile
     /// analogue of Figure 6's split).
     pub fn breakdown(&self) -> TimeBreakdown {
-        TimeBreakdown {
-            sort: self.pipeline.sort_time(),
-            transfer: self.pipeline.transfer_time(),
-            merge: price_ops(self.sketch.merge_ops()),
-            compress: price_ops(self.sketch.prune_ops()),
-        }
+        self.pipeline.breakdown()
     }
 
     /// Total simulated time.

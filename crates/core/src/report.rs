@@ -38,8 +38,10 @@ impl TimeBreakdown {
         self.sort + self.transfer + self.merge + self.compress
     }
 
-    /// Fraction of total time spent sorting (includes transfer when
-    /// attributing "GPU work", excludes it here: sort only).
+    /// Fraction of total time spent in the sort phase alone: the numerator
+    /// is [`TimeBreakdown::sort`] only, while the denominator is the full
+    /// total (sort + transfer + merge + compress). Transfer time thus
+    /// lowers this fraction; it is never counted as sorting.
     pub fn sort_fraction(&self) -> f64 {
         self.sort.fraction_of(self.total())
     }

@@ -5,23 +5,20 @@
 use gsm_model::SimTime;
 use gsm_sketch::{SlidingFrequency, SlidingQuantile};
 
-use crate::coproc::BatchPipeline;
 use crate::engine::Engine;
-use crate::report::{price_ops, TimeBreakdown};
+use crate::pipeline::WindowedPipeline;
+use crate::report::TimeBreakdown;
 
 /// Values buffered per segmented GPU batch. Sliding-window blocks are only
 /// `Θ(εW)` elements — far too small to amortize per-pass overhead one batch
 /// of four at a time — so the sliding estimators use the segmented pipeline
-/// ([`BatchPipeline::segmented`]) with this batch target.
+/// ([`crate::BatchPipeline::segmented`]) with this batch target.
 pub const SLIDING_BATCH_VALUES: usize = 128 << 10;
 
 /// ε-approximate quantiles over a sliding window of the last `width`
 /// elements, with engine-offloaded block sorting.
 pub struct SlidingQuantileEstimator {
-    buffer: Vec<f32>,
-    block: usize,
-    pipeline: BatchPipeline,
-    sketch: SlidingQuantile,
+    pipeline: WindowedPipeline<SlidingQuantile>,
 }
 
 impl SlidingQuantileEstimator {
@@ -34,21 +31,18 @@ impl SlidingQuantileEstimator {
         let sketch = SlidingQuantile::new(eps, width);
         let block = sketch.block_size();
         SlidingQuantileEstimator {
-            buffer: Vec::with_capacity(block),
-            block,
-            pipeline: BatchPipeline::segmented(engine, SLIDING_BATCH_VALUES),
-            sketch,
+            pipeline: WindowedPipeline::segmented(engine, block, SLIDING_BATCH_VALUES, sketch),
         }
     }
 
     /// The error bound.
     pub fn eps(&self) -> f64 {
-        self.sketch.eps()
+        self.pipeline.sink().eps()
     }
 
     /// The window width.
     pub fn width(&self) -> usize {
-        self.sketch.width()
+        self.pipeline.sink().width()
     }
 
     /// The engine sorting the blocks.
@@ -58,19 +52,12 @@ impl SlidingQuantileEstimator {
 
     /// Summary entries currently held.
     pub fn entry_count(&self) -> usize {
-        self.sketch.entry_count()
+        self.pipeline.sink().entry_count()
     }
 
     /// Pushes one stream element.
     pub fn push(&mut self, value: f32) {
-        debug_assert!(value.is_finite(), "stream values must be finite");
-        self.buffer.push(value);
-        if self.buffer.len() == self.block {
-            let b = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.block));
-            for sorted in self.pipeline.push_window(b) {
-                self.sketch.push_sorted_block(&sorted);
-            }
-        }
+        self.pipeline.push(value);
     }
 
     /// Pushes every element of an iterator.
@@ -82,15 +69,7 @@ impl SlidingQuantileEstimator {
 
     /// Forces buffered data into the sketch.
     pub fn flush(&mut self) {
-        if !self.buffer.is_empty() {
-            let b = core::mem::take(&mut self.buffer);
-            for sorted in self.pipeline.push_window(b) {
-                self.sketch.push_sorted_block(&sorted);
-            }
-        }
-        for sorted in self.pipeline.flush() {
-            self.sketch.push_sorted_block(&sorted);
-        }
+        self.pipeline.flush();
     }
 
     /// A φ-quantile over (approximately) the last `width` elements, within
@@ -101,17 +80,12 @@ impl SlidingQuantileEstimator {
     /// Panics if nothing has been pushed.
     pub fn query(&mut self, phi: f64) -> f32 {
         self.flush();
-        self.sketch.query(phi)
+        self.pipeline.sink_mut().query(phi)
     }
 
     /// Where the simulated time went.
     pub fn breakdown(&self) -> TimeBreakdown {
-        TimeBreakdown {
-            sort: self.pipeline.sort_time(),
-            transfer: self.pipeline.transfer_time(),
-            merge: price_ops(self.sketch.ops()),
-            compress: SimTime::ZERO,
-        }
+        self.pipeline.breakdown()
     }
 
     /// Total simulated time.
@@ -123,10 +97,7 @@ impl SlidingQuantileEstimator {
 /// ε-approximate frequencies over a sliding window of the last `width`
 /// elements, with engine-offloaded block sorting.
 pub struct SlidingFrequencyEstimator {
-    buffer: Vec<f32>,
-    block: usize,
-    pipeline: BatchPipeline,
-    sketch: SlidingFrequency,
+    pipeline: WindowedPipeline<SlidingFrequency>,
 }
 
 impl SlidingFrequencyEstimator {
@@ -139,21 +110,18 @@ impl SlidingFrequencyEstimator {
         let sketch = SlidingFrequency::new(eps, width);
         let block = sketch.block_size();
         SlidingFrequencyEstimator {
-            buffer: Vec::with_capacity(block),
-            block,
-            pipeline: BatchPipeline::segmented(engine, SLIDING_BATCH_VALUES),
-            sketch,
+            pipeline: WindowedPipeline::segmented(engine, block, SLIDING_BATCH_VALUES, sketch),
         }
     }
 
     /// The error bound.
     pub fn eps(&self) -> f64 {
-        self.sketch.eps()
+        self.pipeline.sink().eps()
     }
 
     /// The window width.
     pub fn width(&self) -> usize {
-        self.sketch.width()
+        self.pipeline.sink().width()
     }
 
     /// The engine sorting the blocks.
@@ -163,19 +131,12 @@ impl SlidingFrequencyEstimator {
 
     /// Histogram entries currently held.
     pub fn entry_count(&self) -> usize {
-        self.sketch.entry_count()
+        self.pipeline.sink().entry_count()
     }
 
     /// Pushes one stream element.
     pub fn push(&mut self, value: f32) {
-        debug_assert!(value.is_finite(), "stream values must be finite");
-        self.buffer.push(value);
-        if self.buffer.len() == self.block {
-            let b = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.block));
-            for sorted in self.pipeline.push_window(b) {
-                self.sketch.push_sorted_block(&sorted);
-            }
-        }
+        self.pipeline.push(value);
     }
 
     /// Pushes every element of an iterator.
@@ -187,39 +148,26 @@ impl SlidingFrequencyEstimator {
 
     /// Forces buffered data into the sketch.
     pub fn flush(&mut self) {
-        if !self.buffer.is_empty() {
-            let b = core::mem::take(&mut self.buffer);
-            for sorted in self.pipeline.push_window(b) {
-                self.sketch.push_sorted_block(&sorted);
-            }
-        }
-        for sorted in self.pipeline.flush() {
-            self.sketch.push_sorted_block(&sorted);
-        }
+        self.pipeline.flush();
     }
 
     /// Estimated frequency of `value` in (approximately) the last `width`
     /// elements, within `ε·width`. Flushes first.
     pub fn estimate(&mut self, value: f32) -> u64 {
         self.flush();
-        self.sketch.estimate(value)
+        self.pipeline.sink().estimate(value)
     }
 
     /// Heavy hitters at support `s` over the window (no false negatives).
     /// Flushes first.
     pub fn heavy_hitters(&mut self, s: f64) -> Vec<(f32, u64)> {
         self.flush();
-        self.sketch.heavy_hitters(s)
+        self.pipeline.sink().heavy_hitters(s)
     }
 
     /// Where the simulated time went.
     pub fn breakdown(&self) -> TimeBreakdown {
-        TimeBreakdown {
-            sort: self.pipeline.sort_time(),
-            transfer: self.pipeline.transfer_time(),
-            merge: SimTime::ZERO,
-            compress: SimTime::ZERO,
-        }
+        self.pipeline.breakdown()
     }
 
     /// Total simulated time.

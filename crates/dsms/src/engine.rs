@@ -10,9 +10,9 @@
 //! of the work (paper §3.2) — is paid once regardless of how many queries
 //! are registered.
 
-use gsm_core::{price_ops, BatchPipeline, BitPrefixHierarchy, Engine, HhhEntry, TimeBreakdown};
+use gsm_core::{BitPrefixHierarchy, Engine, HhhEntry, TimeBreakdown, WindowedPipeline};
 use gsm_model::SimTime;
-use gsm_sketch::{ExpHistogram, HhhSummary, LossyCounting, OpCounter};
+use gsm_sketch::{ExpHistogram, HhhSummary, LossyCounting, SinkOps, SummarySink};
 
 /// Handle to a registered continuous query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -57,6 +57,46 @@ enum QuerySketch {
     Hhh(HhhSummary),
 }
 
+impl SummarySink for QuerySketch {
+    fn push_sorted_window(&mut self, sorted: &[f32]) {
+        match self {
+            QuerySketch::Quantile(q) => q.push_sorted_window(sorted),
+            QuerySketch::Frequency(f) => f.push_sorted_window(sorted),
+            QuerySketch::Hhh(h) => h.push_sorted_window(sorted),
+        }
+    }
+
+    fn ops(&self) -> SinkOps {
+        match self {
+            QuerySketch::Quantile(q) => SummarySink::ops(q),
+            QuerySketch::Frequency(f) => SummarySink::ops(f),
+            QuerySketch::Hhh(h) => SummarySink::ops(h),
+        }
+    }
+}
+
+/// Broadcast sink: fans every sorted run out to all registered queries'
+/// summaries, so the shared sort is paid once regardless of query count.
+struct QueryFan {
+    sketches: Vec<QuerySketch>,
+}
+
+impl SummarySink for QueryFan {
+    fn push_sorted_window(&mut self, sorted: &[f32]) {
+        for sketch in &mut self.sketches {
+            sketch.push_sorted_window(sorted);
+        }
+    }
+
+    fn ops(&self) -> SinkOps {
+        let mut total = SinkOps::default();
+        for sketch in &self.sketches {
+            total.absorb(sketch.ops());
+        }
+        total
+    }
+}
+
 /// Serialized engine state: query definitions plus their summaries.
 ///
 /// Device ledgers (simulated time) are *not* checkpointed — they describe
@@ -89,26 +129,14 @@ pub struct StreamEngine {
     engine: Engine,
     n_hint: u64,
     specs: Vec<QuerySpec>,
-    sketches: Vec<QuerySketch>,
-    pipeline: Option<BatchPipeline>,
-    window: usize,
-    buffer: Vec<f32>,
+    pipeline: Option<WindowedPipeline<QueryFan>>,
     count: u64,
 }
 
 impl StreamEngine {
     /// Creates an engine with no registered queries.
     pub fn new(engine: Engine) -> Self {
-        StreamEngine {
-            engine,
-            n_hint: 100_000_000,
-            specs: Vec::new(),
-            sketches: Vec::new(),
-            pipeline: None,
-            window: 0,
-            buffer: Vec::new(),
-            count: 0,
-        }
+        StreamEngine { engine, n_hint: 100_000_000, specs: Vec::new(), pipeline: None, count: 0 }
     }
 
     /// Hints the expected stream length (affects quantile level budgets).
@@ -148,7 +176,7 @@ impl StreamEngine {
     /// The shared window size (available after sealing — i.e. after the
     /// first push or an explicit [`Self::seal`]).
     pub fn window(&self) -> usize {
-        self.window
+        self.pipeline.as_ref().map_or(0, WindowedPipeline::window)
     }
 
     /// Number of registered queries.
@@ -173,9 +201,7 @@ impl StreamEngine {
         }
         assert!(!self.specs.is_empty(), "register at least one query");
         let window = self.specs.iter().map(QuerySpec::min_window).max().expect("non-empty");
-        self.window = window;
-        self.buffer = Vec::with_capacity(window);
-        self.sketches = self
+        let sketches = self
             .specs
             .iter()
             .map(|spec| match spec {
@@ -194,19 +220,15 @@ impl StreamEngine {
                 )),
             })
             .collect();
-        self.pipeline = Some(BatchPipeline::new(self.engine));
+        self.pipeline =
+            Some(WindowedPipeline::new(self.engine, window, QueryFan { sketches }));
     }
 
     /// Pushes one stream element into every registered query.
     pub fn push(&mut self, value: f32) {
         self.seal();
-        debug_assert!(value.is_finite(), "stream values must be finite");
-        self.buffer.push(value);
         self.count += 1;
-        if self.buffer.len() == self.window {
-            let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
-            self.submit(w);
-        }
+        self.pipeline.as_mut().expect("sealed").push(value);
     }
 
     /// Pushes every element of an iterator.
@@ -216,37 +238,14 @@ impl StreamEngine {
         }
     }
 
-    fn submit(&mut self, window: Vec<f32>) {
-        let pipeline = self.pipeline.as_mut().expect("sealed");
-        for sorted in pipeline.push_window(window) {
-            for sketch in &mut self.sketches {
-                match sketch {
-                    QuerySketch::Quantile(q) => q.push_sorted_window(&sorted),
-                    QuerySketch::Frequency(f) => f.push_sorted_window(&sorted),
-                    QuerySketch::Hhh(h) => h.push_sorted_window(&sorted),
-                }
-            }
-        }
-    }
-
     /// Forces buffered data through the shared pipeline.
     pub fn flush(&mut self) {
         self.seal();
-        if !self.buffer.is_empty() {
-            let w = core::mem::take(&mut self.buffer);
-            self.submit(w);
-        }
-        let pipeline = self.pipeline.as_mut().expect("sealed");
-        let rest = pipeline.flush();
-        for sorted in rest {
-            for sketch in &mut self.sketches {
-                match sketch {
-                    QuerySketch::Quantile(q) => q.push_sorted_window(&sorted),
-                    QuerySketch::Frequency(f) => f.push_sorted_window(&sorted),
-                    QuerySketch::Hhh(h) => h.push_sorted_window(&sorted),
-                }
-            }
-        }
+        self.pipeline.as_mut().expect("sealed").flush();
+    }
+
+    fn sketch(&self, id: QueryId) -> &QuerySketch {
+        &self.pipeline.as_ref().expect("sealed").sink().sketches[id.0]
     }
 
     /// Answers a quantile query. Flushes first.
@@ -256,7 +255,7 @@ impl StreamEngine {
     /// Panics if `id` is not a quantile query.
     pub fn quantile(&mut self, id: QueryId, phi: f64) -> f32 {
         self.flush();
-        match &self.sketches[id.0] {
+        match self.sketch(id) {
             QuerySketch::Quantile(q) => q.query(phi),
             _ => panic!("query {id:?} is not a quantile query"),
         }
@@ -269,7 +268,7 @@ impl StreamEngine {
     /// Panics if `id` is not a frequency query.
     pub fn heavy_hitters(&mut self, id: QueryId, s: f64) -> Vec<(f32, u64)> {
         self.flush();
-        match &self.sketches[id.0] {
+        match self.sketch(id) {
             QuerySketch::Frequency(f) => f.heavy_hitters(s),
             _ => panic!("query {id:?} is not a frequency query"),
         }
@@ -283,7 +282,7 @@ impl StreamEngine {
     /// Panics if `id` is not an HHH query.
     pub fn hhh(&mut self, id: QueryId, s: f64) -> Vec<HhhEntry> {
         self.flush();
-        match &self.sketches[id.0] {
+        match self.sketch(id) {
             QuerySketch::Hhh(h) => h.query(s),
             _ => panic!("query {id:?} is not a hierarchical query"),
         }
@@ -293,7 +292,7 @@ impl StreamEngine {
     /// support `s` otherwise.
     pub fn query(&mut self, id: QueryId, param: f64) -> QueryAnswer {
         self.flush();
-        match &self.sketches[id.0] {
+        match self.sketch(id) {
             QuerySketch::Quantile(q) => QueryAnswer::Quantile(q.query(param)),
             QuerySketch::Frequency(f) => QueryAnswer::HeavyHitters(f.heavy_hitters(param)),
             QuerySketch::Hhh(h) => QueryAnswer::Hhh(h.query(param)),
@@ -301,42 +300,10 @@ impl StreamEngine {
     }
 
     /// Where the simulated time went, across the shared sort and every
-    /// query's summary maintenance.
+    /// query's summary maintenance (the fan-out sink folds all queries'
+    /// counters before the ledger prices them into phases).
     pub fn breakdown(&self) -> TimeBreakdown {
-        let (sort, transfer) = self
-            .pipeline
-            .as_ref()
-            .map(|p| (p.sort_time(), p.transfer_time()))
-            .unwrap_or((SimTime::ZERO, SimTime::ZERO));
-        let mut hist = OpCounter::default();
-        let mut merge = OpCounter::default();
-        let mut compress = OpCounter::default();
-        for sketch in &self.sketches {
-            match sketch {
-                QuerySketch::Quantile(q) => {
-                    merge.absorb(q.merge_ops());
-                    compress.absorb(q.prune_ops());
-                }
-                QuerySketch::Frequency(f) => {
-                    hist.absorb(f.ops().histogram);
-                    merge.absorb(f.ops().merge);
-                    compress.absorb(f.ops().compress);
-                }
-                QuerySketch::Hhh(h) => {
-                    for ops in h.level_ops() {
-                        hist.absorb(ops.histogram);
-                        merge.absorb(ops.merge);
-                        compress.absorb(ops.compress);
-                    }
-                }
-            }
-        }
-        TimeBreakdown {
-            sort: sort + price_ops(hist),
-            transfer,
-            merge: price_ops(merge),
-            compress: price_ops(compress),
-        }
+        self.pipeline.as_ref().map(WindowedPipeline::breakdown).unwrap_or_default()
     }
 
     /// Total simulated time.
@@ -351,15 +318,16 @@ impl StreamEngine {
     /// Panics if no queries are registered.
     pub fn checkpoint(&mut self) -> String {
         self.flush();
+        let pipeline = self.pipeline.as_mut().expect("sealed");
         let cp = Checkpoint {
-            window: self.window,
+            window: pipeline.window(),
             count: self.count,
             n_hint: self.n_hint,
             specs: self.specs.clone(),
-            sketches: core::mem::take(&mut self.sketches),
+            sketches: core::mem::take(&mut pipeline.sink_mut().sketches),
         };
         let json = serde_json::to_string(&cp).expect("summaries serialize infallibly");
-        self.sketches = cp.sketches;
+        self.pipeline.as_mut().expect("sealed").sink_mut().sketches = cp.sketches;
         json
     }
 
@@ -374,11 +342,12 @@ impl StreamEngine {
         let cp: Checkpoint = serde_json::from_str(json)?;
         let mut eng = StreamEngine::new(engine).with_n_hint(cp.n_hint);
         eng.specs = cp.specs;
-        eng.sketches = cp.sketches;
-        eng.window = cp.window;
         eng.count = cp.count;
-        eng.buffer = Vec::with_capacity(cp.window);
-        eng.pipeline = Some(BatchPipeline::new(engine));
+        eng.pipeline = Some(WindowedPipeline::new(
+            engine,
+            cp.window,
+            QueryFan { sketches: cp.sketches },
+        ));
         Ok(eng)
     }
 
@@ -546,6 +515,43 @@ mod tests {
         let _ = eng.register_quantile(0.05);
         eng.push(1.0);
         let _ = eng.register_frequency(0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "before pushing")]
+    fn registration_after_explicit_seal_rejected() {
+        // seal() builds the shared pipeline even before any push; the query
+        // set must be frozen from that point on.
+        let mut eng = StreamEngine::new(Engine::Host);
+        let _ = eng.register_quantile(0.05);
+        eng.seal();
+        let _ = eng.register_frequency(0.01);
+    }
+
+    #[test]
+    fn checkpoint_with_partial_window_keeps_every_element() {
+        // Checkpoint mid-window: the partial buffer must be flushed into
+        // the summaries, not dropped — and not double-counted on restore.
+        let data = mixed_stream(5_003, 11); // window = 1024, 907 stragglers
+        let mut eng = StreamEngine::new(Engine::Host).with_n_hint(10_000);
+        let q = eng.register_quantile(0.02);
+        let f = eng.register_frequency(0.001);
+        eng.push_all(data.iter().copied());
+        assert_eq!(eng.window(), 1024);
+        assert_ne!(data.len() % eng.window(), 0, "checkpoint must land mid-window");
+
+        let json = eng.checkpoint();
+        let mut restored = StreamEngine::restore(Engine::Host, &json).expect("restore");
+        assert_eq!(restored.count(), eng.count());
+        assert_eq!(restored.count(), 5_003);
+        assert_eq!(eng.quantile(q, 0.5), restored.quantile(q, 0.5));
+        assert_eq!(eng.heavy_hitters(f, 0.01), restored.heavy_hitters(f, 0.01));
+
+        // The original engine must also answer identically after the
+        // checkpoint (its buffer was flushed, not stolen).
+        let before = eng.quantile(q, 0.25);
+        let after = eng.quantile(q, 0.25);
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod hhh;
 pub mod histogram;
 pub mod lossy;
 pub mod misra_gries;
+pub mod sink;
 pub mod sliding;
 pub mod summary;
 pub mod time_sliding;
@@ -53,6 +54,7 @@ pub use gk_window::WindowSummary;
 pub use hhh::{BitPrefixHierarchy, HhhEntry, HhhSummary};
 pub use lossy::LossyCounting;
 pub use misra_gries::MisraGries;
+pub use sink::{SinkOps, SummarySink};
 pub use sliding::{SlidingFrequency, SlidingQuantile};
 pub use time_sliding::{TimeSlidingFrequency, TimeSlidingQuantile};
 pub use summary::{FreqEntry, OpCounter, QuantileEntry};

@@ -1,0 +1,213 @@
+//! The sink side of the window→sort→summary pipeline.
+//!
+//! Every summary in the paper's system consumes the same input — a sorted
+//! window — and differs only in what it folds that window into and which
+//! maintenance phase each operation belongs to. [`SummarySink`] captures
+//! that contract: the pipeline layer (gsm-core) sorts windows on whatever
+//! engine is configured and hands each sorted run to a sink, without
+//! knowing which summary is behind it. One sort therefore serves every
+//! estimator, including fan-out sinks that broadcast a run to many
+//! summaries (the DSMS engine).
+//!
+//! [`SinkOps`] is the phase-split operation ledger a sink reports back so
+//! the pipeline can price summary maintenance into the paper's Figure 6
+//! breakdown (sort / merge / compress, with the histogram scan attributed
+//! to the sort phase and gather work to the merge phase).
+
+use crate::lossy::LossyOps;
+use crate::summary::OpCounter;
+use crate::{ExpHistogram, HhhSummary, LossyCounting, SlidingFrequency, SlidingQuantile};
+
+/// Cumulative operation counters a sink reports, split by the maintenance
+/// phase each counter is priced into.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct SinkOps {
+    /// Histogram construction (scanning the sorted window) — priced into
+    /// the *sort* phase, matching the paper's three-way split.
+    pub histogram: OpCounter,
+    /// Merging window summaries into the running summary.
+    pub merge: OpCounter,
+    /// CPU-side payload gathering (the correlated-sum extension) — priced
+    /// into the *merge* phase, separately from [`SinkOps::merge`].
+    pub gather: OpCounter,
+    /// Compress / prune / deletion passes.
+    pub compress: OpCounter,
+}
+
+impl SinkOps {
+    /// Accumulates another sink's counters (fan-out aggregation).
+    pub fn absorb(&mut self, other: SinkOps) {
+        self.histogram.absorb(other.histogram);
+        self.merge.absorb(other.merge);
+        self.gather.absorb(other.gather);
+        self.compress.absorb(other.compress);
+    }
+}
+
+impl From<&LossyOps> for SinkOps {
+    fn from(ops: &LossyOps) -> SinkOps {
+        SinkOps {
+            histogram: ops.histogram,
+            merge: ops.merge,
+            gather: OpCounter::default(),
+            compress: ops.compress,
+        }
+    }
+}
+
+/// A consumer of sorted windows.
+///
+/// Implementors fold each engine-sorted run into their summary state and
+/// report cumulative maintenance counters via [`SummarySink::ops`]. The
+/// counters are snapshots — the pipeline reads them at reporting time, so
+/// they must cover everything since construction, not since the last call.
+pub trait SummarySink {
+    /// Folds one sorted window (ascending order) into the summary.
+    fn push_sorted_window(&mut self, sorted: &[f32]);
+
+    /// Cumulative maintenance counters, split by phase.
+    fn ops(&self) -> SinkOps;
+}
+
+impl SummarySink for ExpHistogram {
+    fn push_sorted_window(&mut self, sorted: &[f32]) {
+        ExpHistogram::push_sorted_window(self, sorted);
+    }
+
+    fn ops(&self) -> SinkOps {
+        SinkOps {
+            merge: self.merge_ops(),
+            compress: self.prune_ops(),
+            ..SinkOps::default()
+        }
+    }
+}
+
+impl SummarySink for LossyCounting {
+    fn push_sorted_window(&mut self, sorted: &[f32]) {
+        LossyCounting::push_sorted_window(self, sorted);
+    }
+
+    fn ops(&self) -> SinkOps {
+        SinkOps::from(LossyCounting::ops(self))
+    }
+}
+
+impl SummarySink for HhhSummary {
+    fn push_sorted_window(&mut self, sorted: &[f32]) {
+        HhhSummary::push_sorted_window(self, sorted);
+    }
+
+    fn ops(&self) -> SinkOps {
+        let mut total = SinkOps::default();
+        for level in self.level_ops() {
+            total.absorb(SinkOps::from(level));
+        }
+        total
+    }
+}
+
+impl SummarySink for SlidingQuantile {
+    /// Sliding summaries consume fixed-size *blocks*; the pipeline's window
+    /// size is set to the block size, so each sorted window is one block.
+    fn push_sorted_window(&mut self, sorted: &[f32]) {
+        self.push_sorted_block(sorted);
+    }
+
+    fn ops(&self) -> SinkOps {
+        SinkOps { merge: SlidingQuantile::ops(self), ..SinkOps::default() }
+    }
+}
+
+impl SummarySink for SlidingFrequency {
+    fn push_sorted_window(&mut self, sorted: &[f32]) {
+        self.push_sorted_block(sorted);
+    }
+
+    /// Sliding frequency keeps no maintenance counters — its per-block
+    /// histogram scan is already part of the block turnover the sort phase
+    /// pays for.
+    fn ops(&self) -> SinkOps {
+        SinkOps::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_window(n: usize) -> Vec<f32> {
+        let mut w: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        w.sort_by(f32::total_cmp);
+        w
+    }
+
+    #[test]
+    fn trait_dispatch_matches_inherent_push() {
+        let w = sorted_window(200);
+        let mut via_trait = LossyCounting::with_window(0.01, 200);
+        let mut via_inherent = LossyCounting::with_window(0.01, 200);
+        SummarySink::push_sorted_window(&mut via_trait, &w);
+        LossyCounting::push_sorted_window(&mut via_inherent, &w);
+        assert_eq!(via_trait.estimate(0.0), via_inherent.estimate(0.0));
+        assert_eq!(via_trait.count(), via_inherent.count());
+    }
+
+    #[test]
+    fn exp_histogram_ops_map_to_merge_and_compress() {
+        let w = sorted_window(1024);
+        let mut eh = ExpHistogram::new(0.01, 1024, 100_000);
+        for _ in 0..8 {
+            SummarySink::push_sorted_window(&mut eh, &w);
+        }
+        let ops = SummarySink::ops(&eh);
+        assert_eq!(ops.histogram, OpCounter::default());
+        assert_eq!(ops.gather, OpCounter::default());
+        assert_eq!(ops.merge, eh.merge_ops());
+        assert_eq!(ops.compress, eh.prune_ops());
+        assert!(ops.merge.total() > 0);
+    }
+
+    #[test]
+    fn hhh_ops_fold_all_levels() {
+        let w = sorted_window(1000);
+        let mut h = HhhSummary::new(0.001, crate::BitPrefixHierarchy::new(vec![4]));
+        SummarySink::push_sorted_window(&mut h, &w);
+        let ops = SummarySink::ops(&h);
+        let mut hist = OpCounter::default();
+        for level in h.level_ops() {
+            hist.absorb(level.histogram);
+        }
+        assert_eq!(ops.histogram, hist);
+        assert!(ops.histogram.total() > 0, "every level scans its window");
+    }
+
+    #[test]
+    fn sliding_sinks_accept_blocks_as_windows() {
+        let mut sq = SlidingQuantile::new(0.05, 2000);
+        let mut sf = SlidingFrequency::new(0.05, 2000);
+        let block_q = sorted_window(sq.block_size());
+        let block_f = sorted_window(sf.block_size());
+        SummarySink::push_sorted_window(&mut sq, &block_q);
+        SummarySink::push_sorted_window(&mut sf, &block_f);
+        assert_eq!(sq.covered(), block_q.len() as u64);
+        assert_eq!(sf.covered(), block_f.len() as u64);
+        assert_eq!(SummarySink::ops(&sf), SinkOps::default());
+    }
+
+    #[test]
+    fn sink_ops_absorb_accumulates() {
+        let a = SinkOps {
+            histogram: OpCounter { comparisons: 1, moves: 2 },
+            merge: OpCounter { comparisons: 3, moves: 4 },
+            gather: OpCounter { comparisons: 5, moves: 6 },
+            compress: OpCounter { comparisons: 7, moves: 8 },
+        };
+        let mut total = a;
+        total.absorb(a);
+        assert_eq!(total.histogram.total(), 6);
+        assert_eq!(total.merge.total(), 14);
+        assert_eq!(total.gather.total(), 22);
+        assert_eq!(total.compress.total(), 30);
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every commit.
+# Run from the repository root (or any subdirectory; cargo finds the
+# workspace).
+set -euo pipefail
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+echo "tier-1 gate: OK"

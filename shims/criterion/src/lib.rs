@@ -1,0 +1,222 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API shape the workspace's benches use — groups,
+//! throughput annotation, `bench_function` / `bench_with_input`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple wall-clock
+//! loop: warm up briefly, then time enough iterations to cover a short
+//! measurement budget and report the mean per-iteration time (plus
+//! throughput when annotated). No statistics, no HTML reports.
+
+#![allow(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark by its parameter alone.
+    pub fn from_parameter<P: core::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// Labels a benchmark with a function name and a parameter.
+    pub fn new<P: core::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(50), measure: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name}");
+        BenchmarkGroup { criterion: self, throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchLabel>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().0;
+        let mut b = Bencher { warm_up: self.criterion.warm_up, measure: self.criterion.measure, result: None };
+        f(&mut b);
+        report(&label, self.throughput, b.result);
+        self
+    }
+
+    /// Runs a benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchLabel>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.into().0;
+        let mut b = Bencher { warm_up: self.criterion.warm_up, measure: self.criterion.measure, result: None };
+        f(&mut b, input);
+        report(&label, self.throughput, b.result);
+        self
+    }
+
+    /// Ends the group (formatting symmetry with criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// Accepted benchmark labels: `&str` or [`BenchmarkId`].
+pub struct BenchLabel(String);
+
+impl From<&str> for BenchLabel {
+    fn from(s: &str) -> Self {
+        BenchLabel(s.to_string())
+    }
+}
+
+impl From<String> for BenchLabel {
+    fn from(s: String) -> Self {
+        BenchLabel(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchLabel {
+    fn from(id: BenchmarkId) -> Self {
+        BenchLabel(id.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates a per-iteration cost for batching.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = (self.measure.as_secs_f64() / est.max(1e-9)).ceil() as u64;
+        let iters = target.clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some(start.elapsed() / iters as u32);
+    }
+}
+
+fn report(label: &str, throughput: Option<Throughput>, result: Option<Duration>) {
+    match result {
+        Some(mean) => {
+            let rate = throughput.map(|t| {
+                let per_sec = match t {
+                    Throughput::Elements(n) => n as f64 / mean.as_secs_f64(),
+                    Throughput::Bytes(n) => n as f64 / mean.as_secs_f64(),
+                };
+                let unit = match t {
+                    Throughput::Elements(_) => "elem/s",
+                    Throughput::Bytes(_) => "B/s",
+                };
+                format!("  ({per_sec:.3e} {unit})")
+            });
+            println!("  {label}: {mean:?}/iter{}", rate.unwrap_or_default());
+        }
+        None => println!("  {label}: no measurement (b.iter never called)"),
+    }
+}
+
+/// An optimization barrier (best-effort without unstable intrinsics).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Elements(128));
+        group.bench_function("sum", |b| b.iter(|| (0..128u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+}

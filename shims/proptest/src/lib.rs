@@ -1,0 +1,343 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of proptest's surface this workspace uses: the
+//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! `prop_assert!`/`prop_assert_eq!`, range and tuple strategies,
+//! `prop_map`, and `collection::vec`. Cases are generated from a
+//! deterministic per-test seed (derived from the test's module path and
+//! name), so failures reproduce; there is no shrinking — the failing
+//! inputs are printed instead.
+
+#![allow(clippy::all)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: core::fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: core::fmt::Debug, F: Fn(Self::Value) -> O>(
+            self,
+            f: F,
+        ) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: core::fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (0 A, 1 B);
+        (0 A, 1 B, 2 C);
+        (0 A, 1 B, 2 C, 3 D);
+        (0 A, 1 B, 2 C, 3 D, 4 E);
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F);
+    }
+
+    /// A strategy yielding `value` every time.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + core::fmt::Debug>(pub T);
+
+    impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.random_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Mirrors `proptest::test_runner::Config` for the fields in use.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::collection::vec;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic per-test RNG: the seed is a hash of the test's fully
+/// qualified name, so each property sees a stable stream across runs.
+pub fn rng_for(test_path: &str) -> StdRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Asserts inside a `proptest!` body; failures abort the case with the
+/// generated inputs printed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), __a
+        );
+    }};
+}
+
+/// The property-test macro: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running `body` over `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal recursion for [`proptest!`] — one test item per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng =
+                $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // Render the inputs before the body runs — it takes them
+                // by value, exactly like upstream proptest.
+                let __inputs = ::std::string::String::new()
+                    $(+ "\n  " + stringify!($arg) + " = "
+                        + &::std::format!("{:?}", $arg))+;
+                let __result: ::core::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__msg) = __result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:{}",
+                        __case + 1,
+                        __cfg.cases,
+                        __msg,
+                        __inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        use rand::Rng;
+        let a: Vec<u64> = {
+            let mut r = crate::rng_for("x::y");
+            (0..4).map(|_| r.random_range(0u64..1000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::rng_for("x::y");
+            (0..4).map(|_| r.random_range(0u64..1000)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges, vec, tuples, and prop_map all stay in bounds.
+        #[test]
+        fn strategies_stay_in_bounds(
+            xs in vec((0.5f32..2.0).prop_map(|v| v * 2.0), 1..20),
+            bounds in (0u32..10, 10u32..20),
+            k in 3usize..9,
+        ) {
+            let (lo, hi) = bounds;
+            prop_assert!(xs.len() >= 1 && xs.len() < 20);
+            for &x in &xs {
+                prop_assert!((1.0..4.0).contains(&x), "x = {}", x);
+            }
+            prop_assert!(lo < hi);
+            prop_assert!((3..9).contains(&k));
+            prop_assert_eq!(k, k);
+            prop_assert_ne!(lo, hi);
+        }
+    }
+
+    proptest! {
+        /// The default config applies when no header is given.
+        #[test]
+        fn default_config_works(v in 0u8..5) {
+            prop_assert!(v < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(v in 0u8..5) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}

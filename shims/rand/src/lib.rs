@@ -1,0 +1,194 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the tiny slice of `rand`'s API it actually uses: `StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::random_range` over primitive
+//! ranges. The generator is xoshiro256++ seeded through SplitMix64 —
+//! statistically strong for the test workloads, though the streams are
+//! (deliberately) not bit-compatible with upstream `rand`'s `StdRng`.
+
+#![allow(clippy::all)]
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (only the `u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a deterministic function of
+    /// `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every bit source.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open, `lo..hi`).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Ranges that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample using `rng`'s bits.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Types uniformly samplable from a half-open range. The single blanket
+/// [`SampleRange`] impl below pins `T` to the range's element type during
+/// inference (mirroring upstream `rand`, where `0.02` in `-vol..vol`
+/// correctly infers `f32` from the sample's use site).
+pub trait SampleUniform: PartialOrd + Sized {
+    /// A uniform sample from `[lo, hi)`.
+    fn sample_uniform<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample an empty range");
+        T::sample_uniform(rng, self.start, self.end)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is < span / 2^64 — negligible for the spans
+                // the workspace samples (all far below 2^32).
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore>(rng: &mut R, lo: f32, hi: f32) -> f32 {
+        // 24 uniform mantissa bits -> [0, 1), then affine map with a guard
+        // against rounding up onto the excluded endpoint.
+        let unit = (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32;
+        let v = lo + (hi - lo) * unit;
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let v = lo + (hi - lo) * unit;
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u32> = (0..16).map(|_| a.random_range(0u32..1_000_000)).collect();
+        let ys: Vec<u32> = (0..16).map(|_| b.random_range(0u32..1_000_000)).collect();
+        let zs: Vec<u32> = (0..16).map(|_| c.random_range(0u32..1_000_000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let i = rng.random_range(-5i32..17);
+            assert!((-5..17).contains(&i));
+            let f = rng.random_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let d = rng.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&d));
+            let u = rng.random_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[rng.random_range(0usize..10)] += 1;
+        }
+        for &b in &buckets {
+            assert!((9_000..11_000).contains(&b), "bucket count {b}");
+        }
+        let mean: f64 =
+            (0..100_000).map(|_| rng.random_range(0.0f64..1.0)).sum::<f64>() / 100_000.0;
+        assert!((0.49..0.51).contains(&mean), "mean {mean}");
+    }
+}

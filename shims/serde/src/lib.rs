@@ -1,0 +1,514 @@
+//! Offline stand-in for `serde` (+ `serde_derive`).
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal serialization framework with serde's spelling: types derive
+//! `serde::Serialize` / `serde::Deserialize`, and `serde_json` turns them
+//! into JSON strings and back. Internally everything routes through a
+//! [`Value`] tree whose numbers keep their decimal *lexemes*: a value is
+//! formatted with Rust's shortest-round-trip `Display` on the way out and
+//! parsed with the target type's `FromStr` on the way in, so `f32`/`f64`
+//! round-trips are exact.
+
+#![allow(clippy::all)]
+
+use std::collections::{HashMap, VecDeque};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its decimal lexeme.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+/// Serialization / deserialization failure.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error carrying `msg`.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// The value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, failing on shape or lexeme mismatches.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up `key` in an object value (derive-macro support).
+pub fn obj_get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::msg(format!("missing field `{key}`"))),
+        _ => Err(Error::msg(format!("expected object with field `{key}`"))),
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(format!("{self}"))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(s) => s
+                        .parse::<$t>()
+                        .map_err(|e| Error::msg(format!("bad number `{s}`: {e}"))),
+                    _ => Err(Error::msg(concat!("expected number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::msg("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::msg("expected string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::msg("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Arr(items) if items.len() == [$($n),+].len() => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    _ => Err(Error::msg("expected fixed-size array for tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A, 1 B);
+    (0 A, 1 B, 2 C);
+    (0 A, 1 B, 2 C, 3 D);
+}
+
+/// Map keys that JSON spells as strings (serde serializes integer-keyed
+/// maps this way).
+pub trait JsonKey: Sized {
+    /// The object-key spelling of `self`.
+    fn to_key(&self) -> String;
+    /// Parses an object key back.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+macro_rules! impl_key {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                format!("{self}")
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse::<$t>().map_err(|e| Error::msg(format!("bad key `{s}`: {e}")))
+            }
+        }
+    )*};
+}
+
+impl_key!(u8, u16, u32, u64, usize, i32, i64);
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+impl<K: JsonKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: JsonKey + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::msg("expected object for map")),
+        }
+    }
+}
+
+/// JSON text encoding and decoding of [`Value`] trees (the engine behind
+/// the `serde_json` shim).
+pub mod json {
+    use super::{Error, Value};
+
+    /// Renders `v` as compact JSON.
+    pub fn write(v: &Value, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(s) => out.push_str(s),
+            Value::Str(s) => write_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write(item, out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, item)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    write(item, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Parses one JSON document (rejecting trailing garbage).
+    pub fn parse(input: &str) -> Result<Value, Error> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::msg(format!("trailing data at byte {pos}")));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{lit}` at byte {pos}")))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err(Error::msg("unexpected end of input")),
+            Some(b'n') => expect(b, pos, "null").map(|_| Value::Null),
+            Some(b't') => expect(b, pos, "true").map(|_| Value::Bool(true)),
+            Some(b'f') => expect(b, pos, "false").map(|_| Value::Bool(false)),
+            Some(b'"') => parse_string(b, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(Error::msg(format!("bad array at byte {pos}"))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, ":")?;
+                    fields.push((key, parse_value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(Error::msg(format!("bad object at byte {pos}"))),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    *pos += 1;
+                }
+                let lexeme = std::str::from_utf8(&b[start..*pos])
+                    .map_err(|_| Error::msg("invalid utf-8 in number"))?;
+                Ok(Value::Num(lexeme.to_string()))
+            }
+            Some(c) => Err(Error::msg(format!("unexpected byte `{}` at {pos}", *c as char))),
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(Error::msg(format!("expected string at byte {pos}")));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        let mut chars = std::str::from_utf8(&b[*pos..])
+            .map_err(|_| Error::msg("invalid utf-8 in string"))?
+            .char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    *pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars
+                                .next()
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            code = code * 16
+                                + h.to_digit(16)
+                                    .ok_or_else(|| Error::msg("bad \\u escape"))?;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                        );
+                    }
+                    other => {
+                        return Err(Error::msg(format!("bad escape {other:?}")));
+                    }
+                },
+                c => out.push(c),
+            }
+        }
+        Err(Error::msg("unterminated string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        let mut s = String::new();
+        json::write(v, &mut s);
+        json::parse(&s).expect("round trip")
+    }
+
+    #[test]
+    fn float_lexemes_round_trip_exactly() {
+        for x in [0.1f32, 1.0 / 3.0, f32::MIN_POSITIVE, 1.23456789e30, -0.0] {
+            let v = x.to_value();
+            let back = f32::from_value(&round_trip(&v)).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+        for x in [0.1f64, std::f64::consts::PI, 1e-300] {
+            let back = f64::from_value(&round_trip(&x.to_value())).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(f32, u64)> = vec![(1.5, 2), (-3.25, 4)];
+        assert_eq!(Vec::<(f32, u64)>::from_value(&round_trip(&v.to_value())).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert(7u32, 99u64);
+        m.insert(123, 1);
+        assert_eq!(HashMap::<u32, u64>::from_value(&round_trip(&m.to_value())).unwrap(), m);
+
+        let o: Vec<Option<u32>> = vec![None, Some(3)];
+        assert_eq!(Vec::<Option<u32>>::from_value(&round_trip(&o.to_value())).unwrap(), o);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\u{1}".to_string();
+        assert_eq!(String::from_value(&round_trip(&s.to_value())).unwrap(), s);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(json::parse("not json").is_err());
+        assert!(json::parse("{\"a\":1} extra").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+    }
+}

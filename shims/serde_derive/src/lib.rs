@@ -1,0 +1,368 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input with the `proc_macro` API directly (no
+//! syn/quote, which are unavailable offline) and emits impls of the serde
+//! shim's value-tree traits. Supports exactly what the workspace derives
+//! on: non-generic named-field structs and enums with unit, tuple, or
+//! named-field variants, externally tagged like real serde.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the serde shim's `Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the serde shim's `Deserialize` (value-tree rebuilding).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: swallow the bracket group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Optional visibility scope: pub(crate) etc.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(tokens.next());
+                let body = expect_brace_group(tokens.next());
+                return Item::Struct { name, fields: parse_named_fields(body) };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(tokens.next());
+                let body = expect_brace_group(tokens.next());
+                return Item::Enum { name, variants: parse_variants(body) };
+            }
+            Some(other) => panic!("serde shim derive: unexpected token `{other}`"),
+            None => panic!("serde shim derive: no struct or enum found"),
+        }
+    }
+}
+
+fn expect_ident(t: Option<TokenTree>) -> String {
+    match t {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn expect_brace_group(t: Option<TokenTree>) -> TokenStream {
+    match t {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde shim derive: only braced bodies are supported (no tuple \
+             structs, no generics), got {other:?}"
+        ),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility in front of the field name.
+        match tokens.peek() {
+            None => return fields,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        fields.push(expect_ident(tokens.next()));
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:`, got {other:?}"),
+        }
+        // Skip the type: a `,` only terminates the field at angle depth 0
+        // (generic arguments like HashMap<u32, u64> contain commas; paren
+        // and bracket nesting arrives pre-grouped).
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        match tokens.peek() {
+            None => return variants,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            _ => {}
+        }
+        let name = expect_ident(tokens.next());
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in body {
+        any = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+// `access` must evaluate to a reference to the field (`&self.f` for
+// structs, the match binding itself for enum variants).
+fn field_pairs(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value({access})),",
+                access = access(f)
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let pairs = field_pairs(fields, |f| format!("&self.{f}"));
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Obj(::std::vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Obj(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Arr(::std::vec![{items}]))]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs = field_pairs(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Obj(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Obj(::std::vec![{pairs}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = |name: &str, body: &str| {
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                     {body}\n\
+                 }}\n\
+             }}"
+        )
+    };
+    let struct_body = |path: &str, fields: &[String], src: &str| {
+        let inits: String = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     ::serde::obj_get({src}, {f:?})?)?,"
+                )
+            })
+            .collect();
+        format!("::core::result::Result::Ok({path} {{ {inits} }})")
+    };
+    match item {
+        Item::Struct { name, fields } => header(name, &struct_body(name, fields, "__v")),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: String = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(&__items[{i}])?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match __inner {{\n\
+                                     ::serde::Value::Arr(__items) if __items.len() == {n} => \
+                                     ::core::result::Result::Ok({name}::{vn}({items})),\n\
+                                     _ => ::core::result::Result::Err(::serde::Error::msg(\
+                                     \"expected array for tuple variant\")),\n\
+                                 }},"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => Some(format!(
+                            "{vn:?} => {},",
+                            struct_body(&format!("{name}::{vn}"), fields, "__inner")
+                        )),
+                    }
+                })
+                .collect();
+            let body = format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::core::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"unknown variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Obj(__fields) if __fields.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__fields[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::core::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::core::result::Result::Err(::serde::Error::msg(\
+                     \"expected externally tagged enum\")),\n\
+                 }}"
+            );
+            header(name, &body)
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde_json`: JSON text on top of the serde shim's
+//! value tree. Number lexemes survive the trip verbatim, so float fields
+//! round-trip bit-exactly (Rust's `Display` emits the shortest
+//! representation that parses back to the same value).
+
+#![allow(clippy::all)]
+
+pub use serde::Error;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::json::write(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::parse(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn primitive_round_trip() {
+        let json = super::to_string(&vec![(0.1f32, 3u64)]).unwrap();
+        assert_eq!(json, "[[0.1,3]]");
+        let back: Vec<(f32, u64)> = super::from_str(&json).unwrap();
+        assert_eq!(back, vec![(0.1f32, 3u64)]);
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(super::from_str::<u32>("not json").is_err());
+        assert!(super::from_str::<u32>("\"string\"").is_err());
+    }
+}

@@ -1,5 +1,9 @@
 //! Property-based tests over the workspace's core invariants.
 
+use gsm::core::{
+    BitPrefixHierarchy, Engine, FrequencyEstimator, HhhEstimator, QuantileEstimator,
+    SlidingFrequencyEstimator, SlidingQuantileEstimator,
+};
 use gsm::cpu::{CpuCostModel, Machine};
 use gsm::gpu::Device;
 use gsm::sketch::exact::ExactStats;
@@ -143,6 +147,44 @@ proptest! {
             prop_assert!(est <= truth);
             prop_assert!(truth - est <= mg.error_bound());
         }
+    }
+
+    /// Every estimator family is *byte-identical* across the three engines
+    /// when fed through the shared window→sort→summary pipeline: the GPU
+    /// and CPU simulators change only the simulated clock, never an answer.
+    #[test]
+    fn engines_byte_identical_across_estimators(raw in vec(0u32..4000, 200..2500)) {
+        // Integer-valued stream: HHH requires integer ids, and integers
+        // keep every estimator's arithmetic engine-independent.
+        let data: Vec<f32> = raw.iter().map(|&v| v as f32).collect();
+        let n = data.len() as u64;
+
+        let run = |engine: Engine| {
+            let mut q = QuantileEstimator::builder(0.02).engine(engine).n_hint(n).build();
+            q.push_all(data.iter().copied());
+            let mut f = FrequencyEstimator::builder(0.005).engine(engine).build();
+            f.push_all(data.iter().copied());
+            let mut h =
+                HhhEstimator::new(0.005, BitPrefixHierarchy::new(vec![4, 8]), engine);
+            h.push_all(data.iter().copied());
+            let mut sq = SlidingQuantileEstimator::new(0.05, 2000, engine);
+            sq.push_all(data.iter().copied());
+            let mut sf = SlidingFrequencyEstimator::new(0.05, 2000, engine);
+            sf.push_all(data.iter().copied());
+            (
+                [q.query(0.1).to_bits(), q.query(0.5).to_bits(), q.query(0.9).to_bits()],
+                f.heavy_hitters(0.01),
+                h.query(0.05),
+                [sq.query(0.25).to_bits(), sq.query(0.75).to_bits()],
+                sf.heavy_hitters(0.06),
+            )
+        };
+
+        let gpu = run(Engine::GpuSim);
+        let cpu = run(Engine::CpuSim);
+        let host = run(Engine::Host);
+        prop_assert_eq!(&gpu, &cpu);
+        prop_assert_eq!(&cpu, &host);
     }
 
     /// Software f16: round-trip exactness for representable values and
