@@ -40,7 +40,9 @@ fn bench_frequency_estimator(c: &mut Criterion) {
     group.throughput(Throughput::Elements(n as u64));
     group.bench_function("host_engine", |b| {
         b.iter(|| {
-            let mut est = FrequencyEstimator::builder(0.001).engine(Engine::Host).build();
+            let mut est = FrequencyEstimator::builder(0.001)
+                .engine(Engine::Host)
+                .build();
             est.push_all(data.iter().copied());
             est.heavy_hitters(0.01)
         });

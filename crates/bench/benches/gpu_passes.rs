@@ -58,7 +58,9 @@ fn bench_copy_pass_and_blit(c: &mut Criterion) {
 
 fn bench_f16_conversion(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
-    let values: Vec<f32> = (0..65_536).map(|_| rng.random_range(-1.0e4..1.0e4)).collect();
+    let values: Vec<f32> = (0..65_536)
+        .map(|_| rng.random_range(-1.0e4..1.0e4))
+        .collect();
     let mut group = c.benchmark_group("f16_round_trip");
     group.throughput(Throughput::Elements(values.len() as u64));
     group.bench_function("encode_decode", |b| {
@@ -72,5 +74,10 @@ fn bench_f16_conversion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_blend_pass, bench_copy_pass_and_blit, bench_f16_conversion);
+criterion_group!(
+    benches,
+    bench_blend_pass,
+    bench_copy_pass_and_blit,
+    bench_f16_conversion
+);
 criterion_main!(benches);

@@ -34,7 +34,10 @@ fn main() {
     let data: Vec<f32> = UniformGen::unit(31).take(n).collect();
     let oracle = ExactStats::new(&data);
 
-    println!("# Ablation A4: window-based vs single-element insertion ({} stream, eps = {eps})\n", human_n(n));
+    println!(
+        "# Ablation A4: window-based vs single-element insertion ({} stream, eps = {eps})\n",
+        human_n(n)
+    );
     let mut table = Table::new([
         "estimator",
         "insertion",
@@ -45,7 +48,10 @@ fn main() {
 
     // ---- Quantiles: window-based (GPU + CPU engines) ----------------------
     for engine in [Engine::GpuSim, Engine::CpuSim] {
-        let mut est = QuantileEstimator::builder(eps).engine(engine).n_hint(n as u64).build();
+        let mut est = QuantileEstimator::builder(eps)
+            .engine(engine)
+            .n_hint(n as u64)
+            .build();
         est.push_all(data.iter().copied());
         est.flush();
         let err = oracle.quantile_rank_error(0.5, est.query(0.5));
@@ -105,11 +111,21 @@ fn main() {
     ]);
 
     table.print(csv);
-    println!("\n# GK01 pays a sorted-array shift per element (O(|S|)): window-based insertion replaces");
-    println!("# that with one offloadable sort plus one merge per window - several times faster here,");
-    println!("# at a larger footprint (the trade paper 3.2 describes). Hash-based Misra-Gries is O(1)");
-    println!("# per element and fastest on the CPU, but yields no per-window histogram (the building");
-    println!("# block the hierarchical and sliding queries reuse) and cannot use the co-processor.");
+    println!(
+        "\n# GK01 pays a sorted-array shift per element (O(|S|)): window-based insertion replaces"
+    );
+    println!(
+        "# that with one offloadable sort plus one merge per window - several times faster here,"
+    );
+    println!(
+        "# at a larger footprint (the trade paper 3.2 describes). Hash-based Misra-Gries is O(1)"
+    );
+    println!(
+        "# per element and fastest on the CPU, but yields no per-window histogram (the building"
+    );
+    println!(
+        "# block the hierarchical and sliding queries reuse) and cannot use the co-processor."
+    );
 }
 
 fn short(e: Engine) -> &'static str {

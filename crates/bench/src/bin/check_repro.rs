@@ -24,18 +24,37 @@ struct Check {
 fn main() {
     let mut checks: Vec<Check> = Vec::new();
     let mut check = |name: &'static str, passed: bool, detail: String| {
-        println!("[{}] {name}: {detail}", if passed { "PASS" } else { "FAIL" });
-        checks.push(Check { name, passed, detail });
+        println!(
+            "[{}] {name}: {detail}",
+            if passed { "PASS" } else { "FAIL" }
+        );
+        checks.push(Check {
+            name,
+            passed,
+            detail,
+        });
     };
 
     // ---- Figure 3 claims -------------------------------------------------
     let n = 1 << 20;
     let mut rng = StdRng::seed_from_u64(1);
     let data: Vec<f32> = (0..n).map(|_| rng.random_range(0.0..1.0e6)).collect();
-    let pbsn = Sorter::new(SortEngine::GpuPbsn).sort(&data).total_time.as_secs();
-    let bitonic = Sorter::new(SortEngine::GpuBitonic).sort(&data).total_time.as_secs();
-    let intel = Sorter::new(SortEngine::CpuQuicksort).sort(&data).total_time.as_secs();
-    let qsort = Sorter::new(SortEngine::CpuQsort).sort(&data).total_time.as_secs();
+    let pbsn = Sorter::new(SortEngine::GpuPbsn)
+        .sort(&data)
+        .total_time
+        .as_secs();
+    let bitonic = Sorter::new(SortEngine::GpuBitonic)
+        .sort(&data)
+        .total_time
+        .as_secs();
+    let intel = Sorter::new(SortEngine::CpuQuicksort)
+        .sort(&data)
+        .total_time
+        .as_secs();
+    let qsort = Sorter::new(SortEngine::CpuQsort)
+        .sort(&data)
+        .total_time
+        .as_secs();
 
     check(
         "fig3: PBSN ~10x faster than prior GPU bitonic",
@@ -54,8 +73,14 @@ fn main() {
     );
 
     let small: Vec<f32> = data[..16 << 10].to_vec();
-    let pbsn_small = Sorter::new(SortEngine::GpuPbsn).sort(&small).total_time.as_secs();
-    let intel_small = Sorter::new(SortEngine::CpuQuicksort).sort(&small).total_time.as_secs();
+    let pbsn_small = Sorter::new(SortEngine::GpuPbsn)
+        .sort(&small)
+        .total_time
+        .as_secs();
+    let intel_small = Sorter::new(SortEngine::CpuQuicksort)
+        .sort(&small)
+        .total_time
+        .as_secs();
     check(
         "fig3/§4.5: GPU ~3x slower below 16K (setup overhead)",
         (1.5..5.0).contains(&(pbsn_small / intel_small)),
@@ -103,7 +128,9 @@ fn main() {
     );
 
     // ---- Figure 6 / §3.2 claims -------------------------------------------
-    let mut est = FrequencyEstimator::builder(1.0 / 8192.0).engine(Engine::GpuSim).build();
+    let mut est = FrequencyEstimator::builder(1.0 / 8192.0)
+        .engine(Engine::GpuSim)
+        .build();
     est.push_all(stream.iter().copied());
     est.flush();
     let b = est.breakdown();
@@ -137,7 +164,11 @@ fn main() {
         "\n{} checks, {} failed — reproduction {}",
         checks.len(),
         failures.len(),
-        if failures.is_empty() { "HOLDS" } else { "BROKEN" }
+        if failures.is_empty() {
+            "HOLDS"
+        } else {
+            "BROKEN"
+        }
     );
     for f in &failures {
         eprintln!("FAILED: {} ({})", f.name, f.detail);

@@ -23,16 +23,31 @@ fn main() {
 
     let distributions: Vec<(&str, Vec<f32>)> = vec![
         ("uniform", UniformGen::new(1, 0.0, 1.0e4).take(n).collect()),
-        ("gaussian", GaussianGen::new(2, 5000.0, 500.0).take(n).collect()),
-        ("zipf (dup-heavy)", ZipfGen::new(3, 1 << 16, 1.1).take(n).collect()),
-        ("pareto (heavy tail)", ParetoGen::new(4, 1.0, 1.3).take(n).collect()),
+        (
+            "gaussian",
+            GaussianGen::new(2, 5000.0, 500.0).take(n).collect(),
+        ),
+        (
+            "zipf (dup-heavy)",
+            ZipfGen::new(3, 1 << 16, 1.1).take(n).collect(),
+        ),
+        (
+            "pareto (heavy tail)",
+            ParetoGen::new(4, 1.0, 1.3).take(n).collect(),
+        ),
         ("ascending", (0..n).map(|i| i as f32).collect()),
         ("descending", (0..n).rev().map(|i| i as f32).collect()),
-        ("nearly sorted (1%)", NearlySortedGen::new(5, n, 0.01).collect()),
+        (
+            "nearly sorted (1%)",
+            NearlySortedGen::new(5, n, 0.01).collect(),
+        ),
         ("constant", vec![7.0; n]),
     ];
 
-    println!("# E12: distribution sensitivity at n = {} (simulated ms)", human_n(n));
+    println!(
+        "# E12: distribution sensitivity at n = {} (simulated ms)",
+        human_n(n)
+    );
     println!("# the sorting network is data-oblivious; the CPU baselines are not\n");
     let mut table = Table::new([
         "distribution",
@@ -63,7 +78,9 @@ fn main() {
 
     let spread = gpu_times.iter().cloned().fold(f64::MIN, f64::max)
         / gpu_times.iter().cloned().fold(f64::MAX, f64::min);
-    println!("\n# GPU max/min across distributions: {spread:.3}x (data-oblivious; exactly 1.0 up to");
+    println!(
+        "\n# GPU max/min across distributions: {spread:.3}x (data-oblivious; exactly 1.0 up to"
+    );
     println!("# padding differences). Quicksort swings with predictability: sorted inputs sail,");
     println!("# random inputs mispredict ~1/3 of comparisons.");
 }

@@ -32,7 +32,10 @@ fn main() {
     let n: usize = args.get_num("n", 2 << 20);
     let data: Vec<f32> = UniformGen::new(13, 0.0, 2047.0).take(n).collect();
 
-    println!("# E11: adaptive load shedding, 3 shared continuous queries, {} stream", human_n(n));
+    println!(
+        "# E11: adaptive load shedding, 3 shared continuous queries, {} stream",
+        human_n(n)
+    );
     println!("# (rates in M elements/second of simulated device time)\n");
 
     // Measure each engine's capacity.

@@ -54,15 +54,20 @@ fn main() {
 fn extended(max: usize, bitonic_max: usize, csv: bool) {
     println!("# Extended sweep: all engines (simulated ms, transfers included)\n");
     let mut table = Table::new(
-        core::iter::once("n".to_string())
-            .chain(SortEngine::EXTENDED.iter().map(|e| format!("{} ms", e.label()))),
+        core::iter::once("n".to_string()).chain(
+            SortEngine::EXTENDED
+                .iter()
+                .map(|e| format!("{} ms", e.label())),
+        ),
     );
     for n in sizes(max) {
         let data = random_data(n, n as u64);
         let mut row = vec![human_n(n)];
         for engine in SortEngine::EXTENDED {
-            let skip_shader = matches!(engine, SortEngine::GpuBitonic | SortEngine::GpuBitonicKipfer)
-                && n > bitonic_max;
+            let skip_shader = matches!(
+                engine,
+                SortEngine::GpuBitonic | SortEngine::GpuBitonicKipfer
+            ) && n > bitonic_max;
             row.push(if skip_shader {
                 "-".into()
             } else {
@@ -77,7 +82,10 @@ fn extended(max: usize, bitonic_max: usize, csv: bool) {
 /// The headline sweep: all four engines of Figure 3.
 fn figure3(max: usize, bitonic_max: usize, csv: bool) {
     println!("# Figure 3: sorting time vs n (simulated ms, transfers included)");
-    println!("# bitonic capped at {} (it is ~10x slower; raise with --bitonic-max)\n", human_n(bitonic_max));
+    println!(
+        "# bitonic capped at {} (it is ~10x slower; raise with --bitonic-max)\n",
+        human_n(bitonic_max)
+    );
     let mut table = Table::new([
         "n",
         "GPU PBSN (ours) ms",
@@ -88,14 +96,15 @@ fn figure3(max: usize, bitonic_max: usize, csv: bool) {
     for n in sizes(max) {
         let data = random_data(n, n as u64);
         let pbsn = Sorter::new(SortEngine::GpuPbsn).sort(&data);
-        let bitonic = (n <= bitonic_max)
-            .then(|| Sorter::new(SortEngine::GpuBitonic).sort(&data));
+        let bitonic = (n <= bitonic_max).then(|| Sorter::new(SortEngine::GpuBitonic).sort(&data));
         let intel = Sorter::new(SortEngine::CpuQuicksort).sort(&data);
         let qsort = Sorter::new(SortEngine::CpuQsort).sort(&data);
         table.row([
             human_n(n),
             ms(pbsn.total_time),
-            bitonic.map(|b| ms(b.total_time)).unwrap_or_else(|| "-".into()),
+            bitonic
+                .map(|b| ms(b.total_time))
+                .unwrap_or_else(|| "-".into()),
             ms(intel.total_time),
             ms(qsort.total_time),
         ]);
@@ -107,8 +116,7 @@ fn figure3(max: usize, bitonic_max: usize, csv: bool) {
 fn ablation_channels(max: usize, csv: bool) {
     println!("# Ablation A1: RGBA 4-channel packing vs single-channel PBSN");
     println!("# (single-channel wastes 3 of 4 vector lanes: ~4x the texels)\n");
-    let mut table =
-        Table::new(["n", "4-channel + merge ms", "single-channel ms", "speedup"]);
+    let mut table = Table::new(["n", "4-channel + merge ms", "single-channel ms", "speedup"]);
     for n in sizes(max.min(4 << 20)) {
         let data = random_data(n, 7);
         let four = Sorter::new(SortEngine::GpuPbsn).sort(&data).total_time;

@@ -64,7 +64,10 @@ fn main() {
         anchor.gpu_ms * (m * lg * lg) / (m_a * lg_a * lg_a)
     };
 
-    println!("# Figure 4: GPU PBSN time split + O(n log^2 n) fit (anchor = {})\n", human_n(anchor.n));
+    println!(
+        "# Figure 4: GPU PBSN time split + O(n log^2 n) fit (anchor = {})\n",
+        human_n(anchor.n)
+    );
     let mut table = Table::new([
         "n",
         "GPU compute ms",

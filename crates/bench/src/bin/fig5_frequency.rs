@@ -20,12 +20,19 @@ use gsm_stream::UniformGen;
 fn main() {
     let args = Args::parse();
     let csv = args.flag("csv");
-    let n: usize = if args.flag("full") { 100 << 20 } else { args.get_num("n", 4 << 20) };
+    let n: usize = if args.flag("full") {
+        100 << 20
+    } else {
+        args.get_num("n", 4 << 20)
+    };
 
     // ε = 2^-10 .. 2^-16 ⇒ windows of 1K .. 64K elements.
     let eps_list: Vec<f64> = (10..=16).map(|k| (2.0f64).powi(-k)).collect();
 
-    println!("# Figure 5: frequency estimation on a {} uniform random stream", human_n(n));
+    println!(
+        "# Figure 5: frequency estimation on a {} uniform random stream",
+        human_n(n)
+    );
     println!("# (simulated ms; GPU column includes transfer time, reported separately too)\n");
     let mut table = Table::new([
         "eps",

@@ -22,12 +22,19 @@ use gsm_stream::UniformGen;
 fn main() {
     let args = Args::parse();
     let csv = args.flag("csv");
-    let n: usize = if args.flag("full") { 100 << 20 } else { args.get_num("n", 4 << 20) };
+    let n: usize = if args.flag("full") {
+        100 << 20
+    } else {
+        args.get_num("n", 4 << 20)
+    };
     let check = !args.flag("no-check");
 
     let eps_list: Vec<f64> = (10..=16).map(|k| (2.0f64).powi(-k)).collect();
 
-    println!("# Figure 7: quantile estimation on a {} uniform random stream\n", human_n(n));
+    println!(
+        "# Figure 7: quantile estimation on a {} uniform random stream\n",
+        human_n(n)
+    );
     let mut table = Table::new([
         "eps",
         "window",
@@ -66,7 +73,11 @@ fn main() {
             format!("{:.3}", times[0].as_millis()),
             format!("{:.3}", times[1].as_millis()),
             format!("{:.2}", times[0].as_secs() / times[1].as_secs()),
-            if check { format!("{worst_err:.6}") } else { "-".into() },
+            if check {
+                format!("{worst_err:.6}")
+            } else {
+                "-".into()
+            },
         ]);
     }
     table.print(csv);

@@ -125,8 +125,7 @@ fn variable_width(csv: bool) {
     println!("# one eps-approximate quantile summary per window; eps = 0.01\n");
     let eps = 0.01;
     let events: Vec<Timestamped> = BurstyGen::new(3, 50_000.0, 20.0).take(400_000).collect();
-    let windows: Vec<Vec<Timestamped>> =
-        VariableWindows::new(events.into_iter(), 0.25).collect();
+    let windows: Vec<Vec<Timestamped>> = VariableWindows::new(events.into_iter(), 0.25).collect();
 
     let mut gpu = GpuBatchSorter::testbed();
     let mut cpu = Machine::new(CpuCostModel::pentium4_3400());
@@ -158,8 +157,14 @@ fn variable_width(csv: bool) {
     table.row(["min window", &sizes.first().unwrap().to_string()]);
     table.row(["median window", &sizes[sizes.len() / 2].to_string()]);
     table.row(["max window", &sizes.last().unwrap().to_string()]);
-    table.row(["GPU sort+merge time ms", &format!("{:.3}", gpu.total_time().as_millis())]);
-    table.row(["CPU sort time ms", &format!("{:.3}", cpu.time().as_millis())]);
+    table.row([
+        "GPU sort+merge time ms",
+        &format!("{:.3}", gpu.total_time().as_millis()),
+    ]);
+    table.row([
+        "CPU sort time ms",
+        &format!("{:.3}", cpu.time().as_millis()),
+    ]);
     table.row(["worst quantile err", &format!("{worst_err:.6}")]);
     table.row(["eps bound", &format!("{eps}")]);
     table.print(csv);

@@ -26,7 +26,10 @@ use rand::{Rng, SeedableRng};
 
 /// The 7800 GTX pairs with PCIe ×16 (~3 GB/s effective) rather than AGP.
 fn pcie_x16() -> BusModel {
-    BusModel { effective_bandwidth: 3.0e9, latency: SimTime::from_micros(8.0) }
+    BusModel {
+        effective_bandwidth: 3.0e9,
+        latency: SimTime::from_micros(8.0),
+    }
 }
 
 /// Pentium 4 "Prescott" 3.8 GHz: the fastest NetBurst part ever shipped —
@@ -60,7 +63,10 @@ fn main() {
         .sort(&data)
         .total_time;
 
-    println!("# E10: generation scaling at n = {} (simulated ms)\n", human_n(n));
+    println!(
+        "# E10: generation scaling at n = {} (simulated ms)\n",
+        human_n(n)
+    );
     let mut table = Table::new(["generation", "GPU PBSN ms", "CPU quicksort ms", "GPU/CPU"]);
     table.row([
         "2004 (6800 Ultra / P4 3.4)".to_string(),
@@ -80,5 +86,8 @@ fn main() {
     let cpu_speedup = cpu_2004.as_secs() / cpu_2005.as_secs();
     println!("\n# one generation: GPU x{gpu_speedup:.2} (pipes x clock), CPU x{cpu_speedup:.2} (clock only)");
     println!("# the GPU/CPU ratio drops accordingly — the paper's widening-gap prediction (§4.5).");
-    assert!(gpu_speedup > cpu_speedup, "the reproduction must show the gap widening");
+    assert!(
+        gpu_speedup > cpu_speedup,
+        "the reproduction must show the gap widening"
+    );
 }

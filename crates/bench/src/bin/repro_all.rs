@@ -53,7 +53,11 @@ fn main() {
             name = format!("{bin}_cpu");
         }
         let out_file = Path::new(&out_dir).join(format!("{name}.txt"));
-        print!("running {bin} {} -> {} ... ", extra.join(" "), out_file.display());
+        print!(
+            "running {bin} {} -> {} ... ",
+            extra.join(" "),
+            out_file.display()
+        );
 
         let output = Command::new(exe_dir.join(bin))
             .args(extra.iter())

@@ -26,7 +26,9 @@ fn main() {
     let csv = args.flag("csv");
     let max: usize = args.get_num("max", 4 << 20);
 
-    println!("# E9: k-th largest (k = n/100) — occlusion-query selection vs quickselect vs full sort\n");
+    println!(
+        "# E9: k-th largest (k = n/100) — occlusion-query selection vs quickselect vs full sort\n"
+    );
     let mut table = Table::new([
         "n",
         "GPU occlusion ms",
@@ -74,7 +76,13 @@ fn main() {
         n *= 4;
     }
     table.print(csv);
-    println!("\n# one-off selection favors the linear CPU scan; but once values are resident in the");
-    println!("# depth plane, each additional query costs only the 32 z-only passes — the amortized");
-    println!("# regime [20] exploited. Full sorting is the wrong tool for a single order statistic.");
+    println!(
+        "\n# one-off selection favors the linear CPU scan; but once values are resident in the"
+    );
+    println!(
+        "# depth plane, each additional query costs only the 32 z-only passes — the amortized"
+    );
+    println!(
+        "# regime [20] exploited. Full sorting is the wrong tool for a single order statistic."
+    );
 }

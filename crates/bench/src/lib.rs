@@ -45,7 +45,9 @@ impl Args {
 
     /// A parsed numeric option with a default.
     pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Whether a flag is present.
@@ -63,7 +65,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).
@@ -97,7 +102,10 @@ impl Table {
                 .join("  ")
         };
         println!("{}", line(&self.headers));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         for r in &self.rows {
             println!("{}", line(r));
         }
@@ -127,9 +135,7 @@ mod tests {
 
     #[test]
     fn args_parse_pairs_and_flags() {
-        let a = Args::parse_from(
-            ["--n", "1000", "--csv", "--engine", "gpu"].map(String::from),
-        );
+        let a = Args::parse_from(["--n", "1000", "--csv", "--engine", "gpu"].map(String::from));
         assert_eq!(a.get_num("n", 0usize), 1000);
         assert!(a.flag("csv"));
         assert_eq!(a.get("engine"), Some("gpu"));

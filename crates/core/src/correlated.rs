@@ -33,13 +33,20 @@ struct CorrelatedSink {
 
 impl SummarySink for CorrelatedSink {
     fn push_sorted_window(&mut self, sorted: &[f32]) {
-        let raw = self.raw_queue.pop_front().expect("raw window per sorted run");
+        let raw = self
+            .raw_queue
+            .pop_front()
+            .expect("raw window per sorted run");
         let pairs = gather_pairs(sorted, &raw, &mut self.gather_ops);
         self.sketch.push_sorted_window(&pairs);
     }
 
     fn ops(&self) -> SinkOps {
-        SinkOps { merge: self.sketch.ops(), gather: self.gather_ops, ..SinkOps::default() }
+        SinkOps {
+            merge: self.sketch.ops(),
+            gather: self.gather_ops,
+            ..SinkOps::default()
+        }
     }
 }
 
@@ -166,9 +173,9 @@ fn gather_pairs(sorted_keys: &[f32], raw: &[(f32, f32)], ops: &mut OpCounter) ->
     for &(x, y) in raw {
         ops.comparisons += log;
         ops.moves += 1;
-        let slot = cursor.entry(x.to_bits()).or_insert_with(|| {
-            sorted_keys.partition_point(|&k| k < x)
-        });
+        let slot = cursor
+            .entry(x.to_bits())
+            .or_insert_with(|| sorted_keys.partition_point(|&k| k < x));
         debug_assert_eq!(sorted_keys[*slot], x, "payload key must exist in the run");
         out[*slot].1 = y;
         *slot += 1;

@@ -13,6 +13,14 @@ pub enum Engine {
     /// Host `slice::sort` with zero simulated time — functional testing and
     /// debugging only.
     Host,
+    /// Real host parallelism: each window's four PBSN channel lanes sort
+    /// concurrently on a `std::thread` worker pool (branchless key sort)
+    /// and merge on the submitting thread, with the batch sorting in the
+    /// background while the next window fills. Zero simulated time, like
+    /// [`Engine::Host`], and byte-identical answers; the ledger instead
+    /// records *wall-clock* sort/blocked time so the overlap saving is
+    /// measurable.
+    ParallelHost,
 }
 
 impl Engine {
@@ -22,6 +30,7 @@ impl Engine {
             Engine::GpuSim => "GPU (6800 Ultra, simulated)",
             Engine::CpuSim => "CPU (P4 3.4 GHz, simulated)",
             Engine::Host => "host reference",
+            Engine::ParallelHost => "host parallel (lane worker pool)",
         }
     }
 }
@@ -34,5 +43,6 @@ mod tests {
     fn labels_are_distinct() {
         assert_ne!(Engine::GpuSim.label(), Engine::CpuSim.label());
         assert_ne!(Engine::CpuSim.label(), Engine::Host.label());
+        assert_ne!(Engine::Host.label(), Engine::ParallelHost.label());
     }
 }

@@ -66,7 +66,11 @@ impl FrequencyEstimator {
     /// assert_eq!(hh.len(), 20);
     /// ```
     pub fn builder(eps: f64) -> FrequencyEstimatorBuilder {
-        FrequencyEstimatorBuilder { eps, engine: Engine::GpuSim, format: TextureFormat::Rgba32F }
+        FrequencyEstimatorBuilder {
+            eps,
+            engine: Engine::GpuSim,
+            format: TextureFormat::Rgba32F,
+        }
     }
 
     /// The error bound.
@@ -173,7 +177,10 @@ mod tests {
             let v = hot as f32;
             let e = est.estimate(v);
             let t = oracle.frequency(v);
-            assert!(e <= t && t - e <= bound, "{engine:?} value {v}: est {e} truth {t}");
+            assert!(
+                e <= t && t - e <= bound,
+                "{engine:?} value {v}: est {e} truth {t}"
+            );
         }
     }
 
@@ -236,7 +243,9 @@ mod tests {
         let data = skewed(50_000, 7);
         let eps = 0.0005;
         let s = 0.02;
-        let mut est = FrequencyEstimator::builder(eps).engine(Engine::Host).build();
+        let mut est = FrequencyEstimator::builder(eps)
+            .engine(Engine::Host)
+            .build();
         est.push_all(data.iter().copied());
         let oracle = ExactStats::new(&data);
         let truth = oracle.heavy_hitters((s * data.len() as f64).ceil() as u64);
@@ -250,7 +259,9 @@ mod tests {
     fn sort_dominates_breakdown() {
         // The paper's §5.1: 80–90 % of running time is the sort phase.
         let data = skewed(100_000, 8);
-        let mut est = FrequencyEstimator::builder(0.0005).engine(Engine::CpuSim).build();
+        let mut est = FrequencyEstimator::builder(0.0005)
+            .engine(Engine::CpuSim)
+            .build();
         est.push_all(data.iter().copied());
         est.flush();
         let b = est.breakdown();
@@ -259,7 +270,9 @@ mod tests {
 
     #[test]
     fn count_includes_buffered() {
-        let mut est = FrequencyEstimator::builder(0.01).engine(Engine::GpuSim).build();
+        let mut est = FrequencyEstimator::builder(0.01)
+            .engine(Engine::GpuSim)
+            .build();
         // Repeat values so they survive lossy counting's compress step
         // (singletons are deleted by design).
         est.push_all((0..250).map(|i| (i % 50) as f32));

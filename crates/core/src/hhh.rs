@@ -27,7 +27,9 @@ impl HhhEstimator {
     pub fn new(eps: f64, hierarchy: BitPrefixHierarchy, engine: Engine) -> Self {
         let sketch = HhhSummary::new(eps, hierarchy);
         let window = sketch.window();
-        HhhEstimator { pipeline: WindowedPipeline::new(engine, window, sketch) }
+        HhhEstimator {
+            pipeline: WindowedPipeline::new(engine, window, sketch),
+        }
     }
 
     /// The error bound.
@@ -128,7 +130,9 @@ mod tests {
             est.push_all(data.iter().copied());
             let result = est.query(0.1);
             assert!(
-                result.iter().any(|e| e.level == 0 && e.prefix == 0x1234 as f32),
+                result
+                    .iter()
+                    .any(|e| e.level == 0 && e.prefix == 0x1234 as f32),
                 "{engine:?}: hot leaf missing: {result:?}"
             );
             assert!(
@@ -157,8 +161,7 @@ mod tests {
 
     #[test]
     fn count_and_footprint() {
-        let mut est =
-            HhhEstimator::new(0.01, BitPrefixHierarchy::new(vec![4]), Engine::Host);
+        let mut est = HhhEstimator::new(0.01, BitPrefixHierarchy::new(vec![4]), Engine::Host);
         est.push_all((0..350).map(|i| (i % 30) as f32));
         assert_eq!(est.count(), 350);
         est.flush();

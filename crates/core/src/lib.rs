@@ -24,7 +24,11 @@
 //! * [`Engine::CpuSim`] — windows sort with instrumented quicksort on the
 //!   simulated Pentium IV (the paper's CPU baseline);
 //! * [`Engine::Host`] — plain `slice::sort` with zero simulated time, for
-//!   functional testing.
+//!   functional testing;
+//! * [`Engine::ParallelHost`] — real host threads: the four PBSN channel
+//!   lanes of each window sort concurrently on a worker pool while the
+//!   ingest thread keeps filling the next window (the paper's overlap,
+//!   executed instead of simulated).
 //!
 //! The engines are *functionally identical* — only the simulated-time ledger
 //! differs — which the integration tests assert exactly.
@@ -53,13 +57,15 @@ mod quantiles;
 mod report;
 mod sliding;
 
-pub use pipeline::{BatchPipeline, OpLedger, SortBackend, WindowedPipeline};
 pub use correlated::CorrelatedSumEstimator;
 pub use engine::Engine;
 pub use frequencies::{FrequencyEstimator, FrequencyEstimatorBuilder};
 pub use hhh::HhhEstimator;
+pub use pipeline::{
+    BatchPipeline, OpLedger, ParallelHostBackend, SortBackend, Submission, WindowedPipeline,
+};
 pub use quantiles::{QuantileEstimator, QuantileEstimatorBuilder};
-pub use report::{price_ops, TimeBreakdown};
+pub use report::{price_ops, TimeBreakdown, WallClock};
 pub use sliding::{SlidingFrequencyEstimator, SlidingQuantileEstimator};
 
 // Re-export the hierarchy and entry types alongside their estimator, and

@@ -16,7 +16,9 @@ use gsm_sort::cpu::quicksort;
 use gsm_sort::layout::{texture_dims, PAD};
 use gsm_sort::pbsn::{pbsn_sort_device, pbsn_sort_segments};
 
+use super::parallel::ParallelHostBackend;
 use crate::engine::Engine;
+use crate::report::WallClock;
 
 /// Windows per GPU batch — one per RGBA channel.
 pub const GPU_BATCH: usize = 4;
@@ -24,11 +26,24 @@ pub const GPU_BATCH: usize = 4;
 /// Simulated base address of the CPU engine's window buffer.
 const WINDOW_BASE: u64 = 0x100_0000;
 
+/// The outcome of handing a batch to [`SortBackend::submit_batch`].
+pub enum Submission {
+    /// The backend sorted synchronously; here are the results.
+    Sorted(Vec<Vec<f32>>),
+    /// The backend queued the batch for background sorting; results arrive
+    /// from a later [`SortBackend::collect_batch`] call, oldest first.
+    Queued,
+}
+
 /// A window-sorting device with its own simulated-time ledger.
 ///
 /// The pipeline's [`super::BatchPipeline`] owns one backend behind this
 /// trait and never inspects which engine is active: batching policy,
 /// sorting, and time accounting are all dispatched here.
+///
+/// Backends with real background execution (the host worker pool) override
+/// the `submit_batch`/`collect_batch` pair; the defaults make every other
+/// backend synchronous with no pipeline-side special casing.
 pub trait SortBackend {
     /// The engine this backend implements.
     fn engine(&self) -> Engine;
@@ -43,6 +58,31 @@ pub trait SortBackend {
 
     /// Sorts every window of the batch, preserving order and lengths.
     fn sort_batch(&mut self, windows: Vec<Vec<f32>>) -> Vec<Vec<f32>>;
+
+    /// Submits a batch for sorting. Synchronous backends (the default)
+    /// sort immediately and return [`Submission::Sorted`]; overlapping
+    /// backends queue the batch in the background and return
+    /// [`Submission::Queued`].
+    fn submit_batch(&mut self, windows: Vec<Vec<f32>>) -> Submission {
+        Submission::Sorted(self.sort_batch(windows))
+    }
+
+    /// Blocks until the *oldest* queued batch completes and returns its
+    /// sorted windows; `None` when nothing is in flight (always, for
+    /// synchronous backends).
+    fn collect_batch(&mut self) -> Option<Vec<Vec<f32>>> {
+        None
+    }
+
+    /// Batches submitted to the background and not yet collected.
+    fn inflight_batches(&self) -> usize {
+        0
+    }
+
+    /// Wall-clock overlap ledger (all zero for synchronous backends).
+    fn wall_clock(&self) -> WallClock {
+        WallClock::default()
+    }
 
     /// Simulated time spent sorting so far.
     fn sort_time(&self) -> SimTime;
@@ -81,6 +121,7 @@ pub fn backend_for(engine: Engine, min_batch_values: usize) -> Box<dyn SortBacke
         }),
         Engine::CpuSim => Box::new(CpuSimBackend::new()),
         Engine::Host => Box::new(HostBackend),
+        Engine::ParallelHost => Box::new(ParallelHostBackend::with_default_threads()),
     }
 }
 
@@ -117,7 +158,9 @@ pub struct CpuSimBackend {
 impl CpuSimBackend {
     /// Creates the backend with the calibrated Pentium IV cost model.
     pub fn new() -> Self {
-        CpuSimBackend { machine: Machine::new(CpuCostModel::pentium4_3400_qsort()) }
+        CpuSimBackend {
+            machine: Machine::new(CpuCostModel::pentium4_3400_qsort()),
+        }
     }
 }
 
@@ -198,12 +241,17 @@ impl GpuSimBackend {
 
         let mut channels: [Vec<f32>; 4] = core::array::from_fn(|_| vec![PAD; padded]);
         for (k, w) in windows.iter().enumerate() {
-            debug_assert!(w.iter().all(|v| v.is_finite()), "stream values must be finite");
+            debug_assert!(
+                w.iter().all(|v| v.is_finite()),
+                "stream values must be finite"
+            );
             channels[k][..w.len()].copy_from_slice(w);
         }
         let (width, _) = texture_dims(padded);
-        let surface =
-            Surface::from_channels(width, [&channels[0], &channels[1], &channels[2], &channels[3]]);
+        let surface = Surface::from_channels(
+            width,
+            [&channels[0], &channels[1], &channels[2], &channels[3]],
+        );
 
         let tex = self.upload(surface, padded);
         pbsn_sort_device(&mut self.dev, tex);
@@ -236,13 +284,18 @@ impl GpuSimBackend {
 
         let mut channels: [Vec<f32>; 4] = core::array::from_fn(|_| vec![PAD; channel_len]);
         for (i, w) in windows.iter().enumerate() {
-            debug_assert!(w.iter().all(|v| v.is_finite()), "stream values must be finite");
+            debug_assert!(
+                w.iter().all(|v| v.is_finite()),
+                "stream values must be finite"
+            );
             let start = (i / GPU_BATCH) * segment;
             channels[i % GPU_BATCH][start..start + w.len()].copy_from_slice(w);
         }
         let (width, _) = texture_dims(channel_len);
-        let surface =
-            Surface::from_channels(width, [&channels[0], &channels[1], &channels[2], &channels[3]]);
+        let surface = Surface::from_channels(
+            width,
+            [&channels[0], &channels[1], &channels[2], &channels[3]],
+        );
 
         let tex = self.upload(surface, channel_len);
         pbsn_sort_segments(&mut self.dev, tex, segment);

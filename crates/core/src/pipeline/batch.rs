@@ -6,13 +6,20 @@
 //! (one window per RGBA channel — one upload, one PBSN run, one readback
 //! per batch), or whenever a value target is reached under the segmented
 //! policy.
+//!
+//! Backends that sort in the background (the host worker pool) are
+//! **double-buffered** here: a launched batch keeps sorting while the next
+//! one accumulates, and the pipeline collects the oldest batch only when a
+//! second one is queued — so exactly one batch overlaps ingest, results
+//! stay in stream order, and the sink never observes a reordering.
 
 use gsm_cpu::CpuStats;
 use gsm_gpu::{GpuStats, TextureFormat};
 use gsm_model::SimTime;
 
-use super::backend::{backend_for, SortBackend};
+use super::backend::{backend_for, SortBackend, Submission};
 use crate::engine::Engine;
+use crate::report::WallClock;
 
 /// Sorts windows on a pluggable [`SortBackend`], batching according to the
 /// backend's policy, and exposes the backend's simulated-time ledger for
@@ -21,6 +28,9 @@ pub struct BatchPipeline {
     backend: Box<dyn SortBackend>,
     pending: Vec<Vec<f32>>,
     windows_sorted: u64,
+    /// Windows/elements submitted to a background sort, not yet collected.
+    inflight_windows: u64,
+    inflight_elements: u64,
 }
 
 impl BatchPipeline {
@@ -40,7 +50,13 @@ impl BatchPipeline {
 
     /// Creates a pipeline over an explicit backend.
     pub fn with_backend(backend: Box<dyn SortBackend>) -> Self {
-        BatchPipeline { backend, pending: Vec::new(), windows_sorted: 0 }
+        BatchPipeline {
+            backend,
+            pending: Vec::new(),
+            windows_sorted: 0,
+            inflight_windows: 0,
+            inflight_elements: 0,
+        }
     }
 
     /// Selects the GPU texture storage format (no-op on CPU engines).
@@ -67,33 +83,84 @@ impl BatchPipeline {
         self.windows_sorted
     }
 
-    /// Elements sitting in buffered (submitted but unsorted) windows.
+    /// Windows currently sorting in the background (submitted to an
+    /// overlapping backend, results not yet collected).
+    pub fn inflight_windows(&self) -> u64 {
+        self.inflight_windows
+    }
+
+    /// Elements sitting in submitted-but-unsorted windows: the buffered
+    /// batch plus anything still sorting in the background.
     pub fn pending_elements(&self) -> u64 {
+        self.buffered_elements() + self.inflight_elements
+    }
+
+    fn buffered_elements(&self) -> u64 {
         self.pending.iter().map(|w| w.len() as u64).sum()
     }
 
     /// Submits one complete window. Returns sorted windows as they become
-    /// available (empty until a GPU batch fills; immediate on CPU engines).
+    /// available (empty until a GPU batch fills; immediate on CPU engines;
+    /// the *previous* batch's results under an overlapping backend).
     pub fn push_window(&mut self, window: Vec<f32>) -> Vec<Vec<f32>> {
         assert!(!window.is_empty(), "windows must be non-empty");
         self.pending.push(window);
-        let values = self.pending_elements() as usize;
+        let values = self.buffered_elements() as usize;
         if self.backend.batch_ready(self.pending.len(), values) {
-            self.flush()
+            self.launch_pending()
         } else {
             Vec::new()
         }
     }
 
-    /// Sorts and returns everything still buffered (the final partial batch
-    /// at end-of-stream).
-    pub fn flush(&mut self) -> Vec<Vec<f32>> {
+    /// Launches the buffered batch and returns whatever is ready: the batch
+    /// itself on synchronous backends, or — keeping exactly one batch in
+    /// flight — the *oldest* background batch on overlapping backends.
+    fn launch_pending(&mut self) -> Vec<Vec<f32>> {
         if self.pending.is_empty() {
             return Vec::new();
         }
-        let windows = core::mem::take(&mut self.pending);
-        self.windows_sorted += windows.len() as u64;
-        self.backend.sort_batch(windows)
+        let batch = core::mem::take(&mut self.pending);
+        let count = batch.len() as u64;
+        let elements: u64 = batch.iter().map(|w| w.len() as u64).sum();
+        match self.backend.submit_batch(batch) {
+            Submission::Sorted(sorted) => {
+                self.windows_sorted += count;
+                sorted
+            }
+            Submission::Queued => {
+                self.inflight_windows += count;
+                self.inflight_elements += elements;
+                let mut out = Vec::new();
+                while self.backend.inflight_batches() > 1 {
+                    out.extend(self.collect_oldest());
+                }
+                out
+            }
+        }
+    }
+
+    /// Collects the oldest background batch, updating the ledgers.
+    fn collect_oldest(&mut self) -> Vec<Vec<f32>> {
+        let sorted = self.backend.collect_batch().expect("a batch is in flight");
+        self.windows_sorted += sorted.len() as u64;
+        self.inflight_windows -= sorted.len() as u64;
+        self.inflight_elements -= sorted.iter().map(|w| w.len() as u64).sum::<u64>();
+        sorted
+    }
+
+    /// Drains every background batch *and* sorts everything still buffered
+    /// (the final partial batch at end-of-stream), in stream order.
+    pub fn flush(&mut self) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        while self.backend.inflight_batches() > 0 {
+            out.extend(self.collect_oldest());
+        }
+        out.extend(self.launch_pending());
+        while self.backend.inflight_batches() > 0 {
+            out.extend(self.collect_oldest());
+        }
+        out
     }
 
     /// Simulated time spent sorting (GPU render+overhead, or CPU cycles).
@@ -104,6 +171,11 @@ impl BatchPipeline {
     /// Simulated CPU↔GPU transfer time (zero on CPU engines).
     pub fn transfer_time(&self) -> SimTime {
         self.backend.transfer_time()
+    }
+
+    /// Wall-clock overlap ledger (all zero on synchronous backends).
+    pub fn wall_clock(&self) -> WallClock {
+        self.backend.wall_clock()
     }
 
     /// GPU execution counters, if the GPU engine is active.

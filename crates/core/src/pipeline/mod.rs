@@ -20,9 +20,13 @@
 
 mod backend;
 mod batch;
+mod parallel;
 
-pub use backend::{backend_for, CpuSimBackend, GpuSimBackend, HostBackend, SortBackend, GPU_BATCH};
+pub use backend::{
+    backend_for, CpuSimBackend, GpuSimBackend, HostBackend, SortBackend, Submission, GPU_BATCH,
+};
 pub use batch::BatchPipeline;
+pub use parallel::ParallelHostBackend;
 
 use gsm_cpu::CpuStats;
 use gsm_gpu::{GpuStats, TextureFormat};
@@ -30,7 +34,7 @@ use gsm_model::SimTime;
 use gsm_sketch::{SinkOps, SummarySink};
 
 use crate::engine::Engine;
-use crate::report::{price_ops, TimeBreakdown};
+use crate::report::{price_ops, TimeBreakdown, WallClock};
 
 /// The pipeline's combined time-and-operations ledger.
 ///
@@ -46,6 +50,10 @@ pub struct OpLedger {
     pub transfer: SimTime,
     /// The sink's cumulative maintenance counters.
     pub ops: SinkOps,
+    /// Wall-clock overlap ledger — real background sorting vs. time the
+    /// ingest thread spent blocked. All zero on synchronous backends; the
+    /// simulated breakdown ([`OpLedger::breakdown`]) never includes it.
+    pub wall: WallClock,
 }
 
 impl OpLedger {
@@ -96,13 +104,22 @@ impl<S: SummarySink> WindowedPipeline<S> {
     /// Creates a pipeline over the segmented batching policy (see
     /// [`BatchPipeline::segmented`]).
     pub fn segmented(engine: Engine, window: usize, min_batch_values: usize, sink: S) -> Self {
-        Self::over(BatchPipeline::segmented(engine, min_batch_values), window, sink)
+        Self::over(
+            BatchPipeline::segmented(engine, min_batch_values),
+            window,
+            sink,
+        )
     }
 
     /// Creates a pipeline over an explicit batch pipeline.
     pub fn over(batch: BatchPipeline, window: usize, sink: S) -> Self {
         assert!(window >= 1, "window must hold at least one element");
-        WindowedPipeline { window, buffer: Vec::with_capacity(window), batch, sink }
+        WindowedPipeline {
+            window,
+            buffer: Vec::with_capacity(window),
+            batch,
+            sink,
+        }
     }
 
     /// Selects the GPU texture storage format (no-op on CPU engines).
@@ -189,7 +206,20 @@ impl<S: SummarySink> WindowedPipeline<S> {
             sort: self.batch.sort_time(),
             transfer: self.batch.transfer_time(),
             ops: self.sink.ops(),
+            wall: self.batch.wall_clock(),
         }
+    }
+
+    /// Wall-clock overlap ledger (all zero on synchronous engines).
+    pub fn wall_clock(&self) -> WallClock {
+        self.batch.wall_clock()
+    }
+
+    /// Windows currently sorting in the background. Always zero on
+    /// synchronous engines; under [`Engine::ParallelHost`] this is the
+    /// overlapped batch that [`WindowedPipeline::flush`] drains.
+    pub fn in_flight_windows(&self) -> u64 {
+        self.batch.inflight_windows()
     }
 
     /// Where the simulated time went (the paper's Figure 6 phase split).
@@ -229,8 +259,7 @@ mod tests {
 
     #[test]
     fn gpu_batch_defers_absorption() {
-        let mut p =
-            WindowedPipeline::new(Engine::GpuSim, 64, LossyCounting::with_window(0.02, 64));
+        let mut p = WindowedPipeline::new(Engine::GpuSim, 64, LossyCounting::with_window(0.02, 64));
         for i in 0..(3 * 64) {
             p.push((i % 8) as f32);
         }
@@ -250,14 +279,30 @@ mod tests {
             sort: SimTime::from_secs(1.0),
             transfer: SimTime::from_secs(0.25),
             ops: SinkOps {
-                histogram: OpCounter { comparisons: 1_000_000, moves: 0 },
-                merge: OpCounter { comparisons: 0, moves: 2_000_000 },
-                gather: OpCounter { comparisons: 500_000, moves: 500_000 },
-                compress: OpCounter { comparisons: 3_000_000, moves: 0 },
+                histogram: OpCounter {
+                    comparisons: 1_000_000,
+                    moves: 0,
+                },
+                merge: OpCounter {
+                    comparisons: 0,
+                    moves: 2_000_000,
+                },
+                gather: OpCounter {
+                    comparisons: 500_000,
+                    moves: 500_000,
+                },
+                compress: OpCounter {
+                    comparisons: 3_000_000,
+                    moves: 0,
+                },
             },
+            wall: WallClock::default(),
         };
         let b = ledger.breakdown();
-        assert!(b.sort > SimTime::from_secs(1.0), "histogram ops join the sort phase");
+        assert!(
+            b.sort > SimTime::from_secs(1.0),
+            "histogram ops join the sort phase"
+        );
         assert_eq!(b.transfer, SimTime::from_secs(0.25));
         let merge_only = price_ops(ledger.ops.merge) + price_ops(ledger.ops.gather);
         assert_eq!(b.merge, merge_only);
@@ -270,23 +315,46 @@ mod tests {
     }
 
     #[test]
+    fn overlapped_engine_keeps_one_batch_in_flight() {
+        let mut p = WindowedPipeline::new(
+            Engine::ParallelHost,
+            64,
+            LossyCounting::with_window(0.02, 64),
+        );
+        for i in 0..(2 * 64) {
+            p.push((i % 8) as f32);
+        }
+        // Window 1 was collected when window 2 launched; window 2 overlaps.
+        assert_eq!(p.in_flight_windows(), 1);
+        assert_eq!(p.unabsorbed(), 64, "in-flight window counts as unabsorbed");
+        assert_eq!(p.sink().count(), 64);
+        p.flush();
+        assert_eq!(p.in_flight_windows(), 0);
+        assert_eq!(p.unabsorbed(), 0);
+        assert_eq!(p.sink().count(), 2 * 64);
+        assert_eq!(p.windows_sorted(), 2);
+    }
+
+    #[test]
     fn engines_agree_through_the_full_path() {
-        let answers: Vec<u64> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
-            .into_iter()
-            .map(|engine| {
-                let mut p = WindowedPipeline::new(
-                    engine,
-                    200,
-                    LossyCounting::with_window(0.005, 200),
-                );
-                for i in 0..5000u64 {
-                    p.push(((i * 2654435761) % 97) as f32);
-                }
-                p.flush();
-                p.sink().estimate(13.0)
-            })
-            .collect();
+        let answers: Vec<u64> = [
+            Engine::GpuSim,
+            Engine::CpuSim,
+            Engine::Host,
+            Engine::ParallelHost,
+        ]
+        .into_iter()
+        .map(|engine| {
+            let mut p = WindowedPipeline::new(engine, 200, LossyCounting::with_window(0.005, 200));
+            for i in 0..5000u64 {
+                p.push(((i * 2654435761) % 97) as f32);
+            }
+            p.flush();
+            p.sink().estimate(13.0)
+        })
+        .collect();
         assert_eq!(answers[0], answers[1]);
         assert_eq!(answers[1], answers[2]);
+        assert_eq!(answers[2], answers[3]);
     }
 }

@@ -1,0 +1,246 @@
+//! The host-parallel sort backend: real threads, real overlap.
+//!
+//! Every other backend models the paper's parallelism in simulated time;
+//! this one *executes* it. Each window splits into the four PBSN channel
+//! lanes (exactly the packing the GPU uses, [`split_channels`]), the lanes
+//! sort concurrently on a fixed [`WorkerPool`] with the branchless
+//! `total_cmp`-order key sort, and the submitting thread recombines them
+//! with the branchless key-domain merge ([`merge4_into`]) — the role the
+//! paper gives the CPU. Batches queue in the background, so window *k*
+//! sorts while window *k+1* fills the ingest buffer — the paper's §5.2.3
+//! overlap, measured on the host's wall clock instead of the simulator's.
+//!
+//! Answers are byte-identical to [`super::HostBackend`]: the key sort
+//! reproduces `slice::sort_by(f32::total_cmp)` bit-for-bit per lane, values
+//! equal under `total_cmp` have equal bit patterns, and the `+∞` lane
+//! padding sorts to the tail and is truncated away.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use gsm_model::SimTime;
+use gsm_sort::layout::split_channels;
+use gsm_sort::merge::{merge4_into, MergeScratch};
+use gsm_sort::pool::{Ticket, WorkerPool};
+
+use super::backend::{SortBackend, Submission};
+use crate::engine::Engine;
+use crate::report::WallClock;
+
+/// One batch handed to the pool: a ticket per window plus the window's
+/// original buffer, kept so the merge can write the sorted result back
+/// into already-faulted memory instead of allocating a fresh window.
+struct InflightBatch {
+    windows: Vec<(Vec<f32>, Ticket)>,
+}
+
+/// Sorts windows on a fixed host worker pool, four PBSN channel lanes per
+/// window, with background (double-buffered) batch execution.
+///
+/// Like [`super::HostBackend`] it charges zero *simulated* time — it is a
+/// real execution engine, not a model — but it keeps a [`WallClock`]
+/// ledger of background sorting vs. time spent blocked, so the overlap
+/// saving is observable.
+pub struct ParallelHostBackend {
+    pool: WorkerPool,
+    inflight: VecDeque<InflightBatch>,
+    wall: WallClock,
+    scratch: MergeScratch,
+}
+
+impl ParallelHostBackend {
+    /// Creates the backend over a pool of `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        Self::over(WorkerPool::new(threads))
+    }
+
+    /// Creates the backend with one worker per hardware thread (capped at
+    /// four, the lane fan-out of one batch).
+    pub fn with_default_threads() -> Self {
+        Self::over(WorkerPool::with_default_threads())
+    }
+
+    /// Creates the backend over an explicit pool.
+    pub fn over(pool: WorkerPool) -> Self {
+        ParallelHostBackend {
+            pool,
+            inflight: VecDeque::new(),
+            wall: WallClock::default(),
+            scratch: MergeScratch::default(),
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Fans a batch's windows out to the pool, one ticket per window.
+    fn launch(&self, windows: Vec<Vec<f32>>) -> InflightBatch {
+        let windows = windows
+            .into_iter()
+            .map(|w| {
+                let (lanes, _padded) = split_channels(&w);
+                let ticket = self.pool.sort_lanes(lanes.into());
+                (w, ticket)
+            })
+            .collect();
+        InflightBatch { windows }
+    }
+
+    /// Waits for a batch's lanes and merges each window on this thread,
+    /// charging the wall-clock ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker task panicked (the pool surfaces it as an error;
+    /// a sort that cannot complete is unrecoverable for the pipeline).
+    fn resolve(&mut self, batch: InflightBatch) -> Vec<Vec<f32>> {
+        batch
+            .windows
+            .into_iter()
+            .map(|(mut buf, ticket)| {
+                let waiting = Instant::now();
+                let done = ticket.wait().expect("lane sort completes");
+                self.wall.blocked += waiting.elapsed();
+                self.wall.sorting += done.busy;
+                let len = buf.len();
+                // Limiting the merge to the window length drops the +∞ lane
+                // padding, which sorts past every real element.
+                merge4_into(
+                    [
+                        &done.lanes[0],
+                        &done.lanes[1],
+                        &done.lanes[2],
+                        &done.lanes[3],
+                    ],
+                    &mut self.scratch,
+                    &mut buf,
+                    len,
+                );
+                buf
+            })
+            .collect()
+    }
+}
+
+impl Default for ParallelHostBackend {
+    fn default() -> Self {
+        Self::with_default_threads()
+    }
+}
+
+impl SortBackend for ParallelHostBackend {
+    fn engine(&self) -> Engine {
+        Engine::ParallelHost
+    }
+
+    fn sort_batch(&mut self, windows: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+        // Tickets are independent channels, so sorting this batch to
+        // completion never steals results from older queued batches.
+        let batch = self.launch(windows);
+        self.resolve(batch)
+    }
+
+    fn submit_batch(&mut self, windows: Vec<Vec<f32>>) -> Submission {
+        let batch = self.launch(windows);
+        self.inflight.push_back(batch);
+        Submission::Queued
+    }
+
+    fn collect_batch(&mut self) -> Option<Vec<Vec<f32>>> {
+        let batch = self.inflight.pop_front()?;
+        Some(self.resolve(batch))
+    }
+
+    fn inflight_batches(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn wall_clock(&self) -> WallClock {
+        self.wall
+    }
+
+    fn sort_time(&self) -> SimTime {
+        SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(n: usize, seed: u64) -> Vec<f32> {
+        // Deterministic pseudo-random values; Weyl sequence on a prime.
+        (0..n)
+            .map(|i| ((seed + i as u64) * 2654435761 % 100_003) as f32)
+            .collect()
+    }
+
+    fn host_sorted(w: &[f32]) -> Vec<f32> {
+        let mut s = w.to_vec();
+        s.sort_by(f32::total_cmp);
+        s
+    }
+
+    #[test]
+    fn sorts_byte_identically_to_host() {
+        let mut b = ParallelHostBackend::new(2);
+        for n in [1usize, 2, 3, 5, 64, 100, 1000, 4097] {
+            let w = window(n, n as u64);
+            let out = b.sort_batch(vec![w.clone()]);
+            let got: Vec<u32> = out[0].iter().map(|v| v.to_bits()).collect();
+            let expect: Vec<u32> = host_sorted(&w).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn background_batches_collect_oldest_first() {
+        let mut b = ParallelHostBackend::new(2);
+        let w0 = window(200, 1);
+        let w1 = window(150, 2);
+        assert!(matches!(
+            b.submit_batch(vec![w0.clone()]),
+            Submission::Queued
+        ));
+        assert!(matches!(
+            b.submit_batch(vec![w1.clone()]),
+            Submission::Queued
+        ));
+        assert_eq!(b.inflight_batches(), 2);
+        assert_eq!(b.collect_batch().unwrap(), vec![host_sorted(&w0)]);
+        assert_eq!(b.collect_batch().unwrap(), vec![host_sorted(&w1)]);
+        assert!(b.collect_batch().is_none());
+    }
+
+    #[test]
+    fn sync_sort_does_not_steal_queued_results() {
+        let mut b = ParallelHostBackend::new(1);
+        let queued = window(300, 3);
+        let direct = window(250, 4);
+        let _ = b.submit_batch(vec![queued.clone()]);
+        assert_eq!(
+            b.sort_batch(vec![direct.clone()]),
+            vec![host_sorted(&direct)]
+        );
+        assert_eq!(b.inflight_batches(), 1, "queued batch untouched");
+        assert_eq!(b.collect_batch().unwrap(), vec![host_sorted(&queued)]);
+    }
+
+    #[test]
+    fn wall_clock_accumulates() {
+        let mut b = ParallelHostBackend::new(2);
+        let _ = b.sort_batch(vec![window(20_000, 5), window(20_000, 6)]);
+        let wall = b.wall_clock();
+        assert!(wall.sorting > core::time::Duration::ZERO);
+        assert!(
+            b.sort_time().is_zero(),
+            "no simulated time — this engine is real"
+        );
+    }
+}

@@ -62,8 +62,9 @@ impl QuantileEstimatorBuilder {
     /// Panics unless `0 < eps < 1` and the window/hint are consistent.
     pub fn build(self) -> QuantileEstimator {
         assert!(self.eps > 0.0 && self.eps < 1.0, "eps must be in (0, 1)");
-        let window =
-            self.window.unwrap_or_else(|| ((1.0 / self.eps).ceil() as usize).max(1024));
+        let window = self
+            .window
+            .unwrap_or_else(|| ((1.0 / self.eps).ceil() as usize).max(1024));
         assert!(window >= 2, "window must hold at least two elements");
         let sketch = ExpHistogram::new(self.eps, window, self.n_hint.max(window as u64));
         QuantileEstimator {
@@ -181,7 +182,9 @@ impl QuantileEstimator {
     pub fn equi_depth_histogram(&mut self, buckets: usize) -> Vec<f32> {
         assert!(buckets > 0, "need at least one bucket");
         self.flush();
-        (0..=buckets).map(|i| self.query(i as f64 / buckets as f64)).collect()
+        (0..=buckets)
+            .map(|i| self.query(i as f64 / buckets as f64))
+            .collect()
     }
 
     /// Where the simulated time went (Figure 7's timings; the quantile
@@ -210,12 +213,18 @@ mod tests {
 
     fn check_engine(engine: Engine, n: usize, eps: f64) {
         let data = uniform(n, 42);
-        let mut est = QuantileEstimator::builder(eps).engine(engine).n_hint(n as u64).build();
+        let mut est = QuantileEstimator::builder(eps)
+            .engine(engine)
+            .n_hint(n as u64)
+            .build();
         est.push_all(data.iter().copied());
         let oracle = ExactStats::new(&data);
         for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
             let err = oracle.quantile_rank_error(phi, est.query(phi));
-            assert!(err <= eps + 2.0 / n as f64, "{engine:?} phi={phi} err={err}");
+            assert!(
+                err <= eps + 2.0 / n as f64,
+                "{engine:?} phi={phi} err={err}"
+            );
         }
     }
 
@@ -240,8 +249,10 @@ mod tests {
         let answers: Vec<f32> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
             .into_iter()
             .map(|e| {
-                let mut est =
-                    QuantileEstimator::builder(0.02).engine(e).n_hint(10_000).build();
+                let mut est = QuantileEstimator::builder(0.02)
+                    .engine(e)
+                    .n_hint(10_000)
+                    .build();
                 est.push_all(data.iter().copied());
                 est.query(0.5)
             })
@@ -260,10 +271,7 @@ mod tests {
         est.push_all(data.iter().copied());
         est.flush();
         let b = est.breakdown();
-        assert!(
-            b.sort_fraction() > 0.7,
-            "sorting should dominate: {b}"
-        );
+        assert!(b.sort_fraction() > 0.7, "sorting should dominate: {b}");
     }
 
     #[test]
@@ -282,11 +290,17 @@ mod tests {
     #[test]
     fn gpu_memory_footprint_far_below_stream() {
         let data = uniform(100_000, 3);
-        let mut est =
-            QuantileEstimator::builder(0.01).engine(Engine::Host).n_hint(100_000).build();
+        let mut est = QuantileEstimator::builder(0.01)
+            .engine(Engine::Host)
+            .n_hint(100_000)
+            .build();
         est.push_all(data.iter().copied());
         est.flush();
-        assert!(est.entry_count() < 20_000, "entries = {}", est.entry_count());
+        assert!(
+            est.entry_count() < 20_000,
+            "entries = {}",
+            est.entry_count()
+        );
     }
 
     #[test]
@@ -298,27 +312,37 @@ mod tests {
     #[test]
     fn kth_largest_selection() {
         let n = 10_000usize;
-        let mut est =
-            QuantileEstimator::builder(0.01).engine(Engine::Host).n_hint(n as u64).build();
+        let mut est = QuantileEstimator::builder(0.01)
+            .engine(Engine::Host)
+            .n_hint(n as u64)
+            .build();
         // A permuted ramp: the k-th largest of 0..n is n-k.
         est.push_all((0..n).map(|i| ((i * 7919) % n) as f32));
         let bound = (0.01 * n as f64).ceil() as i64 + 1;
         for k in [1u64, 10, 100, 5000] {
             let got = est.kth_largest(k) as i64;
             let want = n as i64 - k as i64;
-            assert!((got - want).abs() <= bound, "k={k}: got {got}, want {want}±{bound}");
+            assert!(
+                (got - want).abs() <= bound,
+                "k={k}: got {got}, want {want}±{bound}"
+            );
         }
     }
 
     #[test]
     fn equi_depth_histogram_boundaries() {
         let n = 20_000usize;
-        let mut est =
-            QuantileEstimator::builder(0.005).engine(Engine::Host).n_hint(n as u64).build();
+        let mut est = QuantileEstimator::builder(0.005)
+            .engine(Engine::Host)
+            .n_hint(n as u64)
+            .build();
         est.push_all(uniform(n, 77));
         let bounds = est.equi_depth_histogram(10);
         assert_eq!(bounds.len(), 11);
-        assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "boundaries must ascend");
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must ascend"
+        );
         // Uniform data: boundary i sits near i/10.
         for (i, b) in bounds.iter().enumerate() {
             assert!((b - i as f32 / 10.0).abs() < 0.03, "boundary {i} = {b}");

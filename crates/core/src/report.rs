@@ -1,4 +1,7 @@
-//! Time-breakdown reporting (Figures 4 and 6 of the paper).
+//! Time-breakdown reporting (Figures 4 and 6 of the paper), plus the
+//! wall-clock overlap ledger for backends that sort in the background.
+
+use core::time::Duration;
 
 use gsm_model::SimTime;
 use gsm_sketch::OpCounter;
@@ -72,9 +75,60 @@ impl core::fmt::Display for TimeBreakdown {
     }
 }
 
+/// Real (wall-clock) time ledger for backends that overlap sorting with
+/// ingest — the measured counterpart of the paper's simulated overlap
+/// (§5.2.3: the GPU sorts window *k* while the CPU ingests window *k+1*).
+///
+/// All fields are owned and written by the submitting thread: workers only
+/// report how long they were busy, so there is no cross-thread accounting.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct WallClock {
+    /// Background sorting time: each batch's critical path (its longest
+    /// lane's wall-clock sort time), summed over batches.
+    pub sorting: Duration,
+    /// Time the submitting thread actually spent blocked waiting for a
+    /// background batch to finish.
+    pub blocked: Duration,
+}
+
+impl WallClock {
+    /// Sort time hidden behind ingest: background sorting the submitting
+    /// thread never waited for. Saturates at zero when waiting dominated
+    /// (e.g. a single-core host, where overlap cannot pay).
+    pub fn hidden(&self) -> Duration {
+        self.sorting.saturating_sub(self.blocked)
+    }
+
+    /// Accumulates another ledger (fan-in across batches or pipelines).
+    pub fn absorb(&mut self, other: WallClock) {
+        self.sorting += other.sorting;
+        self.blocked += other.blocked;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_clock_hidden_saturates() {
+        let mut w = WallClock {
+            sorting: Duration::from_millis(30),
+            blocked: Duration::from_millis(10),
+        };
+        assert_eq!(w.hidden(), Duration::from_millis(20));
+        w.absorb(WallClock {
+            sorting: Duration::ZERO,
+            blocked: Duration::from_millis(50),
+        });
+        assert_eq!(
+            w.hidden(),
+            Duration::ZERO,
+            "waiting beyond sorting saturates"
+        );
+        assert_eq!(w.sorting, Duration::from_millis(30));
+        assert_eq!(w.blocked, Duration::from_millis(60));
+    }
 
     #[test]
     fn totals_and_fractions() {
@@ -92,11 +146,20 @@ mod tests {
 
     #[test]
     fn pricing_scales_with_ops() {
-        let t1 = price_ops(OpCounter { comparisons: 1000, moves: 0 });
-        let t2 = price_ops(OpCounter { comparisons: 1000, moves: 1000 });
+        let t1 = price_ops(OpCounter {
+            comparisons: 1000,
+            moves: 0,
+        });
+        let t2 = price_ops(OpCounter {
+            comparisons: 1000,
+            moves: 1000,
+        });
         assert!((t2.as_secs() - 2.0 * t1.as_secs()).abs() < 1e-15);
         // 3.4e9 / 6 ops per second: a billion ops ≈ 1.76 s.
-        let t3 = price_ops(OpCounter { comparisons: 1_000_000_000, moves: 0 });
+        let t3 = price_ops(OpCounter {
+            comparisons: 1_000_000_000,
+            moves: 0,
+        });
         assert!((t3.as_secs() - 6e9 / 3.4e9).abs() < 1e-6);
     }
 

@@ -191,7 +191,10 @@ mod tests {
             est.push_all((0..4000).map(|_| rng.random_range(0.0..1.0f32)));
             est.push_all((0..4000).map(|_| rng.random_range(50.0..51.0f32)));
             let med = est.query(0.5);
-            assert!(med >= 50.0, "{engine:?}: median {med} must reflect the recent window");
+            assert!(
+                med >= 50.0,
+                "{engine:?}: median {med} must reflect the recent window"
+            );
         }
     }
 
@@ -223,7 +226,9 @@ mod tests {
     #[test]
     fn sliding_engines_agree() {
         let mut rng = StdRng::seed_from_u64(3);
-        let data: Vec<f32> = (0..10_000).map(|_| rng.random_range(0..50) as f32).collect();
+        let data: Vec<f32> = (0..10_000)
+            .map(|_| rng.random_range(0..50) as f32)
+            .collect();
         let answers: Vec<u64> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
             .into_iter()
             .map(|e| {

@@ -23,7 +23,12 @@ impl BranchPredictor {
     /// two), initialized to weakly-not-taken.
     pub fn new(entries: usize) -> Self {
         let n = entries.next_power_of_two().max(2);
-        BranchPredictor { table: vec![1; n], mask: (n - 1) as u64, correct: 0, mispredicted: 0 }
+        BranchPredictor {
+            table: vec![1; n],
+            mask: (n - 1) as u64,
+            correct: 0,
+            mispredicted: 0,
+        }
     }
 
     /// Records the outcome of a branch at site `pc`; returns `true` if it

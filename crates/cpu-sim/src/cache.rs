@@ -23,11 +23,21 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (non-power-of-two line size,
     /// capacity not divisible by `line × associativity`).
     pub fn sets(&self) -> u64 {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = self.capacity / self.line_bytes;
-        assert_eq!(lines * self.line_bytes, self.capacity, "capacity must be line-aligned");
+        assert_eq!(
+            lines * self.line_bytes,
+            self.capacity,
+            "capacity must be line-aligned"
+        );
         let sets = lines / self.associativity as u64;
-        assert!(sets > 0 && sets * self.associativity as u64 == lines, "bad associativity");
+        assert!(
+            sets > 0 && sets * self.associativity as u64 == lines,
+            "bad associativity"
+        );
         sets
     }
 }
@@ -131,7 +141,13 @@ impl CacheHierarchy {
         l2_latency: u64,
         mem_latency: u64,
     ) -> Self {
-        CacheHierarchy { l1: Cache::new(l1), l2: Cache::new(l2), l1_latency, l2_latency, mem_latency }
+        CacheHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            l1_latency,
+            l2_latency,
+            mem_latency,
+        }
     }
 
     /// Performs one access and returns its cycle cost.
@@ -170,12 +186,20 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 lines of 64 B, 2-way: 2 sets.
-        Cache::new(CacheConfig { capacity: 256, line_bytes: 64, associativity: 2 })
+        Cache::new(CacheConfig {
+            capacity: 256,
+            line_bytes: 64,
+            associativity: 2,
+        })
     }
 
     #[test]
     fn config_sets() {
-        let c = CacheConfig { capacity: 16 << 10, line_bytes: 64, associativity: 8 };
+        let c = CacheConfig {
+            capacity: 16 << 10,
+            line_bytes: 64,
+            associativity: 8,
+        };
         assert_eq!(c.sets(), 32);
     }
 
@@ -234,8 +258,16 @@ mod tests {
 
     #[test]
     fn hierarchy_latencies_compose() {
-        let l1 = CacheConfig { capacity: 128, line_bytes: 64, associativity: 2 };
-        let l2 = CacheConfig { capacity: 512, line_bytes: 64, associativity: 2 };
+        let l1 = CacheConfig {
+            capacity: 128,
+            line_bytes: 64,
+            associativity: 2,
+        };
+        let l2 = CacheConfig {
+            capacity: 512,
+            line_bytes: 64,
+            associativity: 2,
+        };
         let mut h = CacheHierarchy::new(l1, l2, 1, 10, 100);
         // Cold: miss both levels.
         assert_eq!(h.access(0), 111);

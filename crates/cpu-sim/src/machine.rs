@@ -45,8 +45,16 @@ impl CpuCostModel {
     pub fn pentium4_3400() -> Self {
         CpuCostModel {
             clock: Hertz::from_ghz(3.4),
-            l1: CacheConfig { capacity: 16 << 10, line_bytes: 64, associativity: 8 },
-            l2: CacheConfig { capacity: 1 << 20, line_bytes: 64, associativity: 8 },
+            l1: CacheConfig {
+                capacity: 16 << 10,
+                line_bytes: 64,
+                associativity: 8,
+            },
+            l2: CacheConfig {
+                capacity: 1 << 20,
+                line_bytes: 64,
+                associativity: 8,
+            },
             l1_latency: 1,
             l2_latency: 10,
             mem_latency: 100,
@@ -63,22 +71,36 @@ impl CpuCostModel {
     /// sort, radix scatter reads) hide most of their memory latency;
     /// partition re-walks benefit less.
     pub fn pentium4_3400_prefetch() -> Self {
-        CpuCostModel { prefetch_streams: 8, ..Self::pentium4_3400() }
+        CpuCostModel {
+            prefetch_streams: 8,
+            ..Self::pentium4_3400()
+        }
     }
 
     /// The same machine running `stdlib.h` `qsort`: every comparison goes
     /// through a function pointer (the paper's MSVC baseline uses exactly
     /// the standard `qsort` routine).
     pub fn pentium4_3400_qsort() -> Self {
-        CpuCostModel { call_overhead: 8, ..Self::pentium4_3400() }
+        CpuCostModel {
+            call_overhead: 8,
+            ..Self::pentium4_3400()
+        }
     }
 
     /// A zero-cost model for functional tests.
     pub fn ideal() -> Self {
         CpuCostModel {
             clock: Hertz::from_ghz(1.0),
-            l1: CacheConfig { capacity: 1 << 10, line_bytes: 64, associativity: 2 },
-            l2: CacheConfig { capacity: 1 << 12, line_bytes: 64, associativity: 2 },
+            l1: CacheConfig {
+                capacity: 1 << 10,
+                line_bytes: 64,
+                associativity: 2,
+            },
+            l2: CacheConfig {
+                capacity: 1 << 12,
+                line_bytes: 64,
+                associativity: 2,
+            },
             l1_latency: 0,
             l2_latency: 0,
             mem_latency: 0,
@@ -154,7 +176,14 @@ impl Machine {
         let predictor = BranchPredictor::new(model.predictor_entries);
         let prefetcher =
             (model.prefetch_streams > 0).then(|| StreamPrefetcher::new(model.prefetch_streams));
-        Machine { model, caches, predictor, prefetcher, cycles: 0, stats: CpuStats::default() }
+        Machine {
+            model,
+            caches,
+            predictor,
+            prefetcher,
+            cycles: 0,
+            stats: CpuStats::default(),
+        }
     }
 
     /// The cost model in use.
@@ -320,7 +349,10 @@ mod tests {
         }
         let per_access = m.cycles() as f64 / n as f64;
         // 1 + (110)/16 ≈ 7.9
-        assert!((7.0..9.0).contains(&per_access), "per_access = {per_access}");
+        assert!(
+            (7.0..9.0).contains(&per_access),
+            "per_access = {per_access}"
+        );
         assert_eq!(m.stats().l2_misses, n / 16);
     }
 

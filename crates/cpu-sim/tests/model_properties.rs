@@ -68,8 +68,11 @@ proptest! {
 #[test]
 fn strided_sweep_miss_counts_match_analytic_model() {
     for stride_elems in [1usize, 2, 4, 8, 16, 32] {
-        let mut c =
-            Cache::new(CacheConfig { capacity: 8 << 10, line_bytes: 64, associativity: 8 });
+        let mut c = Cache::new(CacheConfig {
+            capacity: 8 << 10,
+            line_bytes: 64,
+            associativity: 8,
+        });
         let elems = 64 << 10; // 256 KB touched: far beyond the 8 KB cache
         let mut accesses = 0u64;
         let mut i = 0usize;

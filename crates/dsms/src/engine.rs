@@ -31,9 +31,16 @@ pub enum QueryAnswer {
 
 #[derive(Clone, serde::Serialize, serde::Deserialize)]
 enum QuerySpec {
-    Quantile { eps: f64 },
-    Frequency { eps: f64 },
-    Hhh { eps: f64, hierarchy: BitPrefixHierarchy },
+    Quantile {
+        eps: f64,
+    },
+    Frequency {
+        eps: f64,
+    },
+    Hhh {
+        eps: f64,
+        hierarchy: BitPrefixHierarchy,
+    },
 }
 
 impl QuerySpec {
@@ -136,7 +143,13 @@ pub struct StreamEngine {
 impl StreamEngine {
     /// Creates an engine with no registered queries.
     pub fn new(engine: Engine) -> Self {
-        StreamEngine { engine, n_hint: 100_000_000, specs: Vec::new(), pipeline: None, count: 0 }
+        StreamEngine {
+            engine,
+            n_hint: 100_000_000,
+            specs: Vec::new(),
+            pipeline: None,
+            count: 0,
+        }
     }
 
     /// Hints the expected stream length (affects quantile level budgets).
@@ -200,7 +213,12 @@ impl StreamEngine {
             return;
         }
         assert!(!self.specs.is_empty(), "register at least one query");
-        let window = self.specs.iter().map(QuerySpec::min_window).max().expect("non-empty");
+        let window = self
+            .specs
+            .iter()
+            .map(QuerySpec::min_window)
+            .max()
+            .expect("non-empty");
         let sketches = self
             .specs
             .iter()
@@ -213,15 +231,16 @@ impl StreamEngine {
                 QuerySpec::Frequency { eps } => {
                     QuerySketch::Frequency(LossyCounting::with_window(*eps, window))
                 }
-                QuerySpec::Hhh { eps, hierarchy } => QuerySketch::Hhh(HhhSummary::with_window(
-                    *eps,
-                    window,
-                    hierarchy.clone(),
-                )),
+                QuerySpec::Hhh { eps, hierarchy } => {
+                    QuerySketch::Hhh(HhhSummary::with_window(*eps, window, hierarchy.clone()))
+                }
             })
             .collect();
-        self.pipeline =
-            Some(WindowedPipeline::new(self.engine, window, QueryFan { sketches }));
+        self.pipeline = Some(WindowedPipeline::new(
+            self.engine,
+            window,
+            QueryFan { sketches },
+        ));
     }
 
     /// Pushes one stream element into every registered query.
@@ -303,7 +322,10 @@ impl StreamEngine {
     /// query's summary maintenance (the fan-out sink folds all queries'
     /// counters before the ledger prices them into phases).
     pub fn breakdown(&self) -> TimeBreakdown {
-        self.pipeline.as_ref().map(WindowedPipeline::breakdown).unwrap_or_default()
+        self.pipeline
+            .as_ref()
+            .map(WindowedPipeline::breakdown)
+            .unwrap_or_default()
     }
 
     /// Total simulated time.
@@ -346,7 +368,9 @@ impl StreamEngine {
         eng.pipeline = Some(WindowedPipeline::new(
             engine,
             cp.window,
-            QueryFan { sketches: cp.sketches },
+            QueryFan {
+                sketches: cp.sketches,
+            },
         ));
         Ok(eng)
     }
@@ -538,7 +562,11 @@ mod tests {
         let f = eng.register_frequency(0.001);
         eng.push_all(data.iter().copied());
         assert_eq!(eng.window(), 1024);
-        assert_ne!(data.len() % eng.window(), 0, "checkpoint must land mid-window");
+        assert_ne!(
+            data.len() % eng.window(),
+            0,
+            "checkpoint must land mid-window"
+        );
 
         let json = eng.checkpoint();
         let mut restored = StreamEngine::restore(Engine::Host, &json).expect("restore");

@@ -32,8 +32,16 @@ impl LoadShedder {
     ///
     /// Panics unless `0 < keep ≤ 1`.
     pub fn new(keep: f64) -> Self {
-        assert!(keep > 0.0 && keep <= 1.0, "keep fraction must be in (0, 1], got {keep}");
-        LoadShedder { keep, accumulator: 0.0, admitted: 0, dropped: 0 }
+        assert!(
+            keep > 0.0 && keep <= 1.0,
+            "keep fraction must be in (0, 1], got {keep}"
+        );
+        LoadShedder {
+            keep,
+            accumulator: 0.0,
+            admitted: 0,
+            dropped: 0,
+        }
     }
 
     /// The current keep fraction.

@@ -21,12 +21,18 @@ impl BusModel {
     /// AGP 8X as measured by the paper: ~800 MB/s effective, with a
     /// transfer-setup latency of 10 µs.
     pub fn agp_8x() -> Self {
-        BusModel { effective_bandwidth: 800e6, latency: SimTime::from_micros(10.0) }
+        BusModel {
+            effective_bandwidth: 800e6,
+            latency: SimTime::from_micros(10.0),
+        }
     }
 
     /// A free bus for functional tests.
     pub fn ideal() -> Self {
-        BusModel { effective_bandwidth: 1e18, latency: SimTime::ZERO }
+        BusModel {
+            effective_bandwidth: 1e18,
+            latency: SimTime::ZERO,
+        }
     }
 
     /// Simulated time to move `bytes` across the bus (either direction).

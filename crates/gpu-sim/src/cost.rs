@@ -176,7 +176,11 @@ impl GpuCostModel {
         let overhead = self.pass_overhead + self.quad_overhead * quads as f64;
         let compute = self.compute_time(texels, cycles_per_texel);
         let memory = self.memory_time(dram_bytes);
-        PassTime { overhead, compute, memory }
+        PassTime {
+            overhead,
+            compute,
+            memory,
+        }
     }
 }
 
@@ -267,7 +271,9 @@ mod tests {
         let old = GpuCostModel::geforce_6800_ultra();
         let new = GpuCostModel::geforce_7800_gtx();
         let texels = 1 << 24;
-        assert!(new.compute_time(texels, new.blend_cycles) < old.compute_time(texels, old.blend_cycles));
+        assert!(
+            new.compute_time(texels, new.blend_cycles) < old.compute_time(texels, old.blend_cycles)
+        );
         assert!(new.memory_time(1e9) < old.memory_time(1e9));
         // ~1.6x compute throughput: 24*430 / (16*400).
         let ratio = old.compute_time(texels, old.blend_cycles).as_secs()

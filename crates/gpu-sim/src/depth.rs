@@ -55,8 +55,15 @@ pub struct DepthBuffer {
 impl DepthBuffer {
     /// Creates a depth buffer cleared to `clear`.
     pub fn new(width: u32, height: u32, clear: f32) -> Self {
-        assert!(width > 0 && height > 0, "depth buffer dimensions must be non-zero");
-        DepthBuffer { width, height, values: vec![clear; width as usize * height as usize] }
+        assert!(
+            width > 0 && height > 0,
+            "depth buffer dimensions must be non-zero"
+        );
+        DepthBuffer {
+            width,
+            height,
+            values: vec![clear; width as usize * height as usize],
+        }
     }
 
     /// Width in pixels.

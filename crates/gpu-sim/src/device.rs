@@ -248,7 +248,11 @@ impl Device {
 
     fn account_fixed_function_pass(&mut self, quads: u64, fragments: u64, blend: BlendOp) {
         let reads_dst = blend.reads_dst();
-        let cycles = if reads_dst { self.cost.blend_cycles } else { self.cost.replace_cycles };
+        let cycles = if reads_dst {
+            self.cost.blend_cycles
+        } else {
+            self.cost.replace_cycles
+        };
         let dram = fragments as f64 * self.cost.fragment_dram_bytes(reads_dst);
         let pass = self.cost.pass_time(quads, fragments, cycles, dram);
 
@@ -301,8 +305,12 @@ impl Device {
 
         let dram = fetch_bytes as f64 * self.cost.tex_cache_miss_rate
             + fragments as f64 * TEXEL_BYTES as f64;
-        let pass =
-            self.cost.pass_time(quads.len() as u64, fragments, program.instructions as f64, dram);
+        let pass = self.cost.pass_time(
+            quads.len() as u64,
+            fragments,
+            program.instructions as f64,
+            dram,
+        );
 
         self.stats.passes += 1;
         self.stats.quads += quads.len() as u64;
@@ -329,7 +337,9 @@ impl Device {
         self.charge_upload(bytes);
 
         let dram = fragments as f64 * 4.0; // depth write-through
-        let pass = self.cost.pass_time(1, fragments, self.cost.depth_cycles, dram);
+        let pass = self
+            .cost
+            .pass_time(1, fragments, self.cost.depth_cycles, dram);
         self.stats.passes += 1;
         self.stats.quads += 1;
         self.stats.fragments += fragments;
@@ -360,7 +370,10 @@ impl Device {
     ///
     /// Panics if no depth plane is loaded.
     pub fn occlusion_count(&mut self, frag_depth: f32, func: DepthFunc) -> u64 {
-        let depth = self.depth.as_ref().expect("load_depth before occlusion_count");
+        let depth = self
+            .depth
+            .as_ref()
+            .expect("load_depth before occlusion_count");
         let mut passed = 0u64;
         for &stored in depth.values() {
             if func.passes(frag_depth, stored) {
@@ -370,7 +383,9 @@ impl Device {
         let fragments = depth.len() as u64;
         // Depth reads are cached like texture fetches.
         let dram = fragments as f64 * 4.0 * self.cost.tex_cache_miss_rate;
-        let pass = self.cost.pass_time(1, fragments, self.cost.depth_cycles, dram);
+        let pass = self
+            .cost
+            .pass_time(1, fragments, self.cost.depth_cycles, dram);
         self.stats.passes += 1;
         self.stats.quads += 1;
         self.stats.fragments += fragments;
@@ -586,8 +601,16 @@ mod tests {
         let t16 = dev16.upload_texture_fmt(surf, TextureFormat::Rgba16F);
         assert_eq!(dev16.stats().bus_bytes.get(), 16 * 8, "half the traffic");
         assert_eq!(dev16.texture_format(t16), TextureFormat::Rgba16F);
-        assert_eq!(dev16.texture(t16).get(0, 0), [1.0, 2.0, 3.0, 4.0], "grid values exact");
-        assert_eq!(dev16.texture(t16).get(1, 0)[0], 1.0, "off-grid values quantize");
+        assert_eq!(
+            dev16.texture(t16).get(0, 0),
+            [1.0, 2.0, 3.0, 4.0],
+            "grid values exact"
+        );
+        assert_eq!(
+            dev16.texture(t16).get(1, 0)[0],
+            1.0,
+            "off-grid values quantize"
+        );
 
         // Readback charges at the stored format too.
         let before = dev16.stats().bus_bytes.get();
@@ -603,14 +626,21 @@ mod tests {
         surf.set(0, 0, [1.0 + 2.0f32.powi(-13); 4]);
         dev.update_texture(id, surf);
         assert_eq!(dev.texture_format(id), TextureFormat::Rgba16F);
-        assert_eq!(dev.texture(id).get(0, 0)[0], 1.0, "re-upload still quantizes");
+        assert_eq!(
+            dev.texture(id).get(0, 0)[0],
+            1.0,
+            "re-upload still quantizes"
+        );
     }
 
     #[test]
     fn occlusion_queries_count_passing_fragments() {
         let mut dev = Device::new(GpuCostModel::geforce_6800_ultra());
         let mut depth = DepthBuffer::new(4, 2, 0.0);
-        for (i, v) in [0.1f32, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8].iter().enumerate() {
+        for (i, v) in [0.1f32, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+            .iter()
+            .enumerate()
+        {
             depth.set_flat(i, *v);
         }
         dev.load_depth(depth);
@@ -623,7 +653,10 @@ mod tests {
         assert_eq!(s.occlusion_queries, 4);
         assert_eq!(s.depth_fragments, 8 + 4 * 8);
         assert!(s.render_time.as_secs() > 0.0);
-        assert!(s.transfer_time.as_secs() > 0.0, "query results cross the bus");
+        assert!(
+            s.transfer_time.as_secs() > 0.0,
+            "query results cross the bus"
+        );
     }
 
     #[test]

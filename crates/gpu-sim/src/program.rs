@@ -8,8 +8,8 @@
 //! instructions per pixel for that program versus ~6–7 cycles for its own
 //! blend-based comparator — the source of the order-of-magnitude gap.
 
-use crate::surface::{Surface, Texel};
 use crate::raster::Fragment;
+use crate::surface::{Surface, Texel};
 
 /// A user fragment program with an instruction-count cost.
 ///
@@ -35,7 +35,10 @@ pub struct ShaderCtx<'a> {
 
 impl<'a> ShaderCtx<'a> {
     pub(crate) fn new(surface: &'a Surface) -> Self {
-        ShaderCtx { surface, fetches: 0 }
+        ShaderCtx {
+            surface,
+            fetches: 0,
+        }
     }
 
     /// Fetches a texel (clamped nearest-neighbour), counting the access.

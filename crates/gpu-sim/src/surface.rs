@@ -82,7 +82,10 @@ impl Surface {
     ///
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "surface dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "surface dimensions must be non-zero"
+        );
         Surface {
             width,
             height,
@@ -92,7 +95,10 @@ impl Surface {
 
     /// Creates a surface filled with a constant texel.
     pub fn filled(width: u32, height: u32, fill: Texel) -> Self {
-        assert!(width > 0 && height > 0, "surface dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "surface dimensions must be non-zero"
+        );
         Surface {
             width,
             height,
@@ -126,7 +132,10 @@ impl Surface {
 
     #[inline]
     fn idx(&self, x: u32, y: u32) -> usize {
-        debug_assert!(x < self.width && y < self.height, "texel ({x},{y}) out of bounds");
+        debug_assert!(
+            x < self.width && y < self.height,
+            "texel ({x},{y}) out of bounds"
+        );
         y as usize * self.width as usize + x as usize
     }
 
@@ -214,11 +223,20 @@ impl Surface {
             channels.iter().all(|c| c.len() == len),
             "all four channels must have equal length"
         );
-        assert_eq!(len as u32 % width, 0, "channel length must be a multiple of width");
+        assert_eq!(
+            len as u32 % width,
+            0,
+            "channel length must be a multiple of width"
+        );
         let height = len as u32 / width;
         let mut s = Surface::new(width, height);
         for (i, t) in s.texels.iter_mut().enumerate() {
-            *t = [channels[0][i], channels[1][i], channels[2][i], channels[3][i]];
+            *t = [
+                channels[0][i],
+                channels[1][i],
+                channels[2][i],
+                channels[3][i],
+            ];
         }
         s
     }

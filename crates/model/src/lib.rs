@@ -18,13 +18,13 @@
 //! add their contributions into a single ledger.
 
 mod bytes;
-pub mod f16;
 mod cycles;
+pub mod f16;
 mod hertz;
 mod time;
 
 pub use bytes::Bytes;
-pub use f16::F16;
 pub use cycles::Cycles;
+pub use f16::F16;
 pub use hertz::Hertz;
 pub use time::SimTime;

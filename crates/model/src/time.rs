@@ -114,7 +114,9 @@ impl Add for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime { seconds: self.seconds + rhs.seconds }
+        SimTime {
+            seconds: self.seconds + rhs.seconds,
+        }
     }
 }
 
@@ -130,7 +132,9 @@ impl Sub for SimTime {
     /// Saturating subtraction: simulated durations never go negative.
     #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime { seconds: (self.seconds - rhs.seconds).max(0.0) }
+        SimTime {
+            seconds: (self.seconds - rhs.seconds).max(0.0),
+        }
     }
 }
 

@@ -51,8 +51,14 @@ impl CorrSummary {
     pub fn from_sorted(pairs: &[(f32, f32)], eps: f64) -> Self {
         assert!(!pairs.is_empty(), "cannot summarize an empty window");
         assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
-        assert!(pairs.iter().all(|&(_, y)| y >= 0.0), "y values must be non-negative");
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0), "window must be x-sorted");
+        assert!(
+            pairs.iter().all(|&(_, y)| y >= 0.0),
+            "y values must be non-negative"
+        );
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 <= w[1].0),
+            "window must be x-sorted"
+        );
 
         let s = pairs.len();
         let stride = ((eps * s as f64).ceil() as usize).max(1);
@@ -86,7 +92,11 @@ impl CorrSummary {
         if s > 1 {
             push(s);
         }
-        CorrSummary { entries, count: s as u64, total }
+        CorrSummary {
+            entries,
+            count: s as u64,
+            total,
+        }
     }
 
     /// Summarized pair count.
@@ -131,7 +141,11 @@ impl CorrSummary {
             ops.moves += 1;
             entries.push(merged);
         }
-        CorrSummary { entries, count: a.count + b.count, total: a.total + b.total }
+        CorrSummary {
+            entries,
+            count: a.count + b.count,
+            total: a.total + b.total,
+        }
     }
 
     /// Prunes to at most `b + 1` entries by rank queries (keeps the exact
@@ -149,7 +163,11 @@ impl CorrSummary {
                 ops.moves += 1;
             }
         }
-        CorrSummary { entries, count: self.count, total: self.total }
+        CorrSummary {
+            entries,
+            count: self.count,
+            total: self.total,
+        }
     }
 
     fn lookup_rank(&self, r: u64) -> CorrEntry {
@@ -194,7 +212,13 @@ fn combine(e: CorrEntry, other: &CorrSummary, j: usize) -> CorrEntry {
     } else {
         (e.rmax + other.count, e.sum_hi + other.total)
     };
-    CorrEntry { x: e.x, rmin, rmax, sum_lo, sum_hi }
+    CorrEntry {
+        x: e.x,
+        rmin,
+        rmax,
+        sum_lo,
+        sum_hi,
+    }
 }
 
 /// Streaming correlated-sum summary: an exponential histogram of
@@ -219,7 +243,13 @@ impl CorrelatedSum {
         let max_levels = ((n_hint as f64 / window as f64).log2().ceil() as usize).max(1) + 1;
         let delta = eps / (2.0 * max_levels as f64);
         let prune_b = (1.0 / (2.0 * delta)).ceil() as usize;
-        CorrelatedSum { eps, levels: Vec::new(), prune_b, count: 0, ops: OpCounter::default() }
+        CorrelatedSum {
+            eps,
+            levels: Vec::new(),
+            prune_b,
+            count: 0,
+            ops: OpCounter::default(),
+        }
     }
 
     /// The sampling error for per-window summaries.
@@ -277,7 +307,11 @@ impl CorrelatedSum {
 
     /// Exact total Σy.
     pub fn total_sum(&self) -> f64 {
-        self.levels.iter().flatten().map(CorrSummary::total_sum).sum()
+        self.levels
+            .iter()
+            .flatten()
+            .map(CorrSummary::total_sum)
+            .sum()
     }
 
     fn snapshot(&self) -> CorrSummary {
@@ -336,7 +370,10 @@ mod tests {
             // Sampled ranks are exact within one window; the answer can be
             // off only by the mass inside one sampling gap.
             let slack = 0.01 * summary.count() as f64 * 10.0 + 1e-6;
-            assert!(lo - slack <= exact && exact <= hi + slack, "phi={phi}: [{lo},{hi}] vs {exact}");
+            assert!(
+                lo - slack <= exact && exact <= hi + slack,
+                "phi={phi}: [{lo},{hi}] vs {exact}"
+            );
         }
     }
 
@@ -392,7 +429,10 @@ mod tests {
         let cs = run_stream(&pairs, 0.01, 1024);
         let exact_total: f64 = pairs.iter().map(|&(_, y)| y as f64).sum();
         let (_, hi_mid) = cs.query_sum(0.5);
-        assert!(hi_mid < 0.1 * exact_total, "median prefix holds no mass: {hi_mid}");
+        assert!(
+            hi_mid < 0.1 * exact_total,
+            "median prefix holds no mass: {hi_mid}"
+        );
         let (lo_full, _) = cs.query_sum(1.0);
         assert!(lo_full > 0.9 * exact_total);
     }

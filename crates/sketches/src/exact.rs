@@ -22,7 +22,10 @@ impl ExactStats {
     /// Panics if `data` is empty or contains NaN.
     pub fn new(data: &[f32]) -> Self {
         assert!(!data.is_empty(), "oracle needs at least one value");
-        assert!(data.iter().all(|v| !v.is_nan()), "oracle data must be NaN-free");
+        assert!(
+            data.iter().all(|v| !v.is_nan()),
+            "oracle data must be NaN-free"
+        );
         let mut sorted = data.to_vec();
         sorted.sort_by(f32::total_cmp);
         let mut counts = HashMap::new();

@@ -53,7 +53,10 @@ impl ExpHistogram {
     pub fn new(eps: f64, window: usize, n_hint: u64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1), got {eps}");
         assert!(window > 0, "window must be positive");
-        assert!(n_hint >= window as u64, "n_hint must cover at least one window");
+        assert!(
+            n_hint >= window as u64,
+            "n_hint must cover at least one window"
+        );
         let max_levels = ((n_hint as f64 / window as f64).log2().ceil() as usize).max(1) + 1;
         let delta = eps / (2.0 * max_levels as f64);
         let prune_b = (1.0 / (2.0 * delta)).ceil() as usize;
@@ -102,7 +105,11 @@ impl ExpHistogram {
 
     /// Total stored entries across all buckets (memory footprint).
     pub fn entry_count(&self) -> usize {
-        self.levels.iter().flatten().map(|s| s.entries().len()).sum()
+        self.levels
+            .iter()
+            .flatten()
+            .map(|s| s.entries().len())
+            .sum()
     }
 
     /// Folds in one sorted window. Windows should be built at `ε/2`

@@ -52,7 +52,13 @@ impl GkSummary {
     /// Panics unless `0 < eps < 1`.
     pub fn new(eps: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1), got {eps}");
-        GkSummary { eps, n: 0, tuples: Vec::new(), since_compress: 0, ops: OpCounter::default() }
+        GkSummary {
+            eps,
+            n: 0,
+            tuples: Vec::new(),
+            since_compress: 0,
+            ops: OpCounter::default(),
+        }
     }
 
     /// Number of stream elements summarized.
@@ -171,12 +177,20 @@ mod tests {
         for &v in data {
             gk.insert(v);
         }
-        assert!(gk.check_invariant(), "invariant violated (eps={eps}, n={})", data.len());
+        assert!(
+            gk.check_invariant(),
+            "invariant violated (eps={eps}, n={})",
+            data.len()
+        );
         let oracle = ExactStats::new(data);
         for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
             let ans = gk.query(phi);
             let err = oracle.quantile_rank_error(phi, ans);
-            assert!(err <= eps + 1e-9, "phi={phi} err={err} eps={eps} n={}", data.len());
+            assert!(
+                err <= eps + 1e-9,
+                "phi={phi} err={err} eps={eps} n={}",
+                data.len()
+            );
         }
     }
 

@@ -38,7 +38,11 @@ impl WindowSummary {
     /// Panics if the window is empty or `eps ∉ (0, 1]`.
     pub fn from_sorted(sorted: &[f32], eps: f64) -> Self {
         let entries = sample_sorted(sorted, eps);
-        WindowSummary { entries, count: sorted.len() as u64, eps }
+        WindowSummary {
+            entries,
+            count: sorted.len() as u64,
+            eps,
+        }
     }
 
     /// Builds a summary directly from entries (used by tests and the
@@ -50,11 +54,19 @@ impl WindowSummary {
     pub fn from_entries(entries: Vec<QuantileEntry>, count: u64, eps: f64) -> Self {
         assert!(!entries.is_empty(), "summary needs at least one entry");
         assert!(
-            entries.windows(2).all(|w| w[0].value <= w[1].value && w[0].rmin <= w[1].rmin),
+            entries
+                .windows(2)
+                .all(|w| w[0].value <= w[1].value && w[0].rmin <= w[1].rmin),
             "entries must be sorted by value with non-decreasing ranks"
         );
-        assert!(entries.iter().all(|e| e.rmin >= 1 && e.rmax <= count && e.rmin <= e.rmax));
-        WindowSummary { entries, count, eps }
+        assert!(entries
+            .iter()
+            .all(|e| e.rmin >= 1 && e.rmax <= count && e.rmin <= e.rmax));
+        WindowSummary {
+            entries,
+            count,
+            eps,
+        }
     }
 
     /// Number of summarized elements.
@@ -107,7 +119,11 @@ impl WindowSummary {
             ops.moves += 1;
             entries.push(merged);
         }
-        WindowSummary { entries, count: a.count + b.count, eps: a.eps.max(b.eps) }
+        WindowSummary {
+            entries,
+            count: a.count + b.count,
+            eps: a.eps.max(b.eps),
+        }
     }
 
     /// Prunes the summary to at most `b + 1` entries by querying ranks
@@ -127,15 +143,19 @@ impl WindowSummary {
             // different ranks must all survive: on duplicate-heavy data one
             // value can span a huge rank range, and collapsing it to a
             // single entry would orphan every rank inside the run.
-            let repeat = entries
-                .last()
-                .is_some_and(|l: &QuantileEntry| l.value == e.value && l.rmin == e.rmin && l.rmax == e.rmax);
+            let repeat = entries.last().is_some_and(|l: &QuantileEntry| {
+                l.value == e.value && l.rmin == e.rmin && l.rmax == e.rmax
+            });
             if !repeat {
                 entries.push(e);
                 ops.moves += 1;
             }
         }
-        WindowSummary { entries, count: self.count, eps: self.eps + 1.0 / (2.0 * b as f64) }
+        WindowSummary {
+            entries,
+            count: self.count,
+            eps: self.eps + 1.0 / (2.0 * b as f64),
+        }
     }
 
     /// The entry best covering rank `r`: the one whose `[rmin, rmax]`
@@ -172,13 +192,21 @@ impl WindowSummary {
 /// where `j` is the index of the first entry of `other` with value > `e`
 /// at merge time (entries before `j` are ≤ `e`).
 fn combine_entry(e: QuantileEntry, other: &WindowSummary, j: usize) -> QuantileEntry {
-    let rmin = if j > 0 { e.rmin + other.entries[j - 1].rmin } else { e.rmin };
+    let rmin = if j > 0 {
+        e.rmin + other.entries[j - 1].rmin
+    } else {
+        e.rmin
+    };
     let rmax = if j < other.entries.len() {
         e.rmax + other.entries[j].rmax - 1
     } else {
         e.rmax + other.count
     };
-    QuantileEntry { value: e.value, rmin, rmax }
+    QuantileEntry {
+        value: e.value,
+        rmin,
+        rmax,
+    }
 }
 
 #[cfg(test)]

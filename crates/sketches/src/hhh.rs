@@ -38,7 +38,10 @@ impl BitPrefixHierarchy {
     ///
     /// Panics if shifts are empty, not strictly increasing, or ≥ 32.
     pub fn new(shifts: Vec<u32>) -> Self {
-        assert!(!shifts.is_empty(), "hierarchy needs at least one ancestor level");
+        assert!(
+            !shifts.is_empty(),
+            "hierarchy needs at least one ancestor level"
+        );
         assert!(
             shifts.windows(2).all(|w| w[0] < w[1]) && *shifts.last().expect("non-empty") < 32,
             "shifts must be strictly increasing and < 32"
@@ -56,7 +59,10 @@ impl BitPrefixHierarchy {
     /// Values must be non-negative integers representable in `f32`.
     #[inline]
     pub fn ancestor(&self, value: f32, level: usize) -> f32 {
-        debug_assert!(value >= 0.0 && value.fract() == 0.0, "hierarchy values are integer ids");
+        debug_assert!(
+            value >= 0.0 && value.fract() == 0.0,
+            "hierarchy values are integer ids"
+        );
         if level == 0 {
             return value;
         }
@@ -102,7 +108,11 @@ impl HhhSummary {
         let levels = (0..hierarchy.levels())
             .map(|_| LossyCounting::with_window(eps, window))
             .collect();
-        HhhSummary { hierarchy, levels, n: 0 }
+        HhhSummary {
+            hierarchy,
+            levels,
+            n: 0,
+        }
     }
 
     /// The natural window size `⌈1/ε⌉` shared by all levels.
@@ -137,7 +147,10 @@ impl HhhSummary {
     ///
     /// Panics if the window is empty or oversized; debug-panics if unsorted.
     pub fn push_sorted_window(&mut self, sorted: &[f32]) {
-        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "window must be sorted");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "window must be sorted"
+        );
         self.n += sorted.len() as u64;
         let mut mapped = Vec::with_capacity(sorted.len());
         for (level, sketch) in self.levels.iter_mut().enumerate() {
@@ -163,7 +176,10 @@ impl HhhSummary {
     ///
     /// Panics unless `eps < s ≤ 1`.
     pub fn query(&self, s: f64) -> Vec<HhhEntry> {
-        assert!(s > self.eps() && s <= 1.0, "support must satisfy eps < s <= 1");
+        assert!(
+            s > self.eps() && s <= 1.0,
+            "support must satisfy eps < s <= 1"
+        );
         let threshold = (s - self.eps()) * self.n as f64;
         let mut reported: Vec<HhhEntry> = Vec::new();
 
@@ -181,7 +197,12 @@ impl HhhSummary {
                     .sum();
                 let discounted = raw.saturating_sub(discount);
                 if discounted as f64 >= threshold {
-                    reported.push(HhhEntry { level, prefix, discounted_count: discounted, raw_count: raw });
+                    reported.push(HhhEntry {
+                        level,
+                        prefix,
+                        discounted_count: discounted,
+                        raw_count: raw,
+                    });
                 }
             }
         }
@@ -244,7 +265,9 @@ mod tests {
         assert_eq!(leaf[0].prefix, 0x123 as f32);
         // Ancestors of the heavy leaf must be discounted below threshold.
         assert!(
-            !result.iter().any(|e| e.level > 0 && e.prefix == 0x100 as f32),
+            !result
+                .iter()
+                .any(|e| e.level > 0 && e.prefix == 0x100 as f32),
             "{result:?}"
         );
     }
@@ -269,7 +292,9 @@ mod tests {
 
         let result = hhh.query(0.1);
         assert!(
-            result.iter().any(|e| e.level == 1 && e.prefix == 0x50 as f32),
+            result
+                .iter()
+                .any(|e| e.level == 1 && e.prefix == 0x50 as f32),
             "diffuse prefix must surface at level 1: {result:?}"
         );
         assert!(

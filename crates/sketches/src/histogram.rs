@@ -16,7 +16,10 @@ use crate::summary::QuantileEntry;
 ///
 /// Panics in debug builds if the input is not sorted.
 pub fn histogram(sorted: &[f32]) -> Vec<(f32, u64)> {
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let mut out: Vec<(f32, u64)> = Vec::new();
     for &v in sorted {
         match out.last_mut() {
@@ -40,7 +43,10 @@ pub fn histogram(sorted: &[f32]) -> Vec<(f32, u64)> {
 pub fn sample_sorted(sorted: &[f32], eps: f64) -> Vec<QuantileEntry> {
     assert!(!sorted.is_empty(), "cannot sample an empty window");
     assert!(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1], got {eps}");
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
 
     let s = sorted.len();
     let stride = ((eps * s as f64).ceil() as usize).max(1);
@@ -109,7 +115,11 @@ mod tests {
             let bound = (eps * sorted.len() as f64).ceil() as u64;
             let mut prev = 0u64;
             for e in &entries {
-                assert!(e.rmin - prev <= bound, "gap {} > {bound} at eps={eps}", e.rmin - prev);
+                assert!(
+                    e.rmin - prev <= bound,
+                    "gap {} > {bound} at eps={eps}",
+                    e.rmin - prev
+                );
                 prev = e.rmin;
             }
             assert_eq!(prev, sorted.len() as u64, "last rank must be S");

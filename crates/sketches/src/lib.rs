@@ -56,5 +56,5 @@ pub use lossy::LossyCounting;
 pub use misra_gries::MisraGries;
 pub use sink::{SinkOps, SummarySink};
 pub use sliding::{SlidingFrequency, SlidingQuantile};
-pub use time_sliding::{TimeSlidingFrequency, TimeSlidingQuantile};
 pub use summary::{FreqEntry, OpCounter, QuantileEntry};
+pub use time_sliding::{TimeSlidingFrequency, TimeSlidingQuantile};

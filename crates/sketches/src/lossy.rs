@@ -175,7 +175,11 @@ impl LossyCounting {
                 }
                 Take::New => {
                     let (v, c) = hist[j];
-                    merged.push(FreqEntry { value: v, count: c, delta });
+                    merged.push(FreqEntry {
+                        value: v,
+                        count: c,
+                        delta,
+                    });
                     j += 1;
                 }
                 Take::Both => {
@@ -223,7 +227,10 @@ impl LossyCounting {
     ///
     /// Panics unless `eps < s ≤ 1`.
     pub fn heavy_hitters(&self, s: f64) -> Vec<(f32, u64)> {
-        assert!(s > self.eps && s <= 1.0, "support must satisfy eps < s <= 1");
+        assert!(
+            s > self.eps && s <= 1.0,
+            "support must satisfy eps < s <= 1"
+        );
         let threshold = (s - self.eps) * self.n as f64;
         self.entries
             .iter()
@@ -288,7 +295,11 @@ mod tests {
             let est = lc.estimate(v);
             let truth = oracle.frequency(v);
             assert!(est <= truth, "estimate {est} exceeds truth {truth} for {v}");
-            assert!(truth - est <= bound, "undercount {} > {bound} for {v}", truth - est);
+            assert!(
+                truth - est <= bound,
+                "undercount {} > {bound} for {v}",
+                truth - est
+            );
         }
     }
 
@@ -333,7 +344,11 @@ mod tests {
         let lc = run(&data, 0.001);
         // Nearly every value is unique: the summary must stay near the
         // window size, not grow with N.
-        assert!(lc.entry_count() < 5 * lc.window(), "entries = {}", lc.entry_count());
+        assert!(
+            lc.entry_count() < 5 * lc.window(),
+            "entries = {}",
+            lc.entry_count()
+        );
     }
 
     #[test]
@@ -382,7 +397,11 @@ mod tests {
             let est = lc.estimate(v as f32);
             let truth = oracle.frequency(v as f32);
             assert!(est <= truth);
-            assert!(truth - est <= tight_bound, "undercount {} > {tight_bound}", truth - est);
+            assert!(
+                truth - est <= tight_bound,
+                "undercount {} > {tight_bound}",
+                truth - est
+            );
         }
     }
 

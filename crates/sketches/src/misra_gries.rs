@@ -30,7 +30,11 @@ impl MisraGries {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one counter");
-        MisraGries { k, counters: HashMap::with_capacity(k + 1), n: 0 }
+        MisraGries {
+            k,
+            counters: HashMap::with_capacity(k + 1),
+            n: 0,
+        }
     }
 
     /// Counter budget.
@@ -103,7 +107,13 @@ mod tests {
         // k=1 is the Boyer–Moore majority vote.
         let mut mg = MisraGries::new(1);
         let data: Vec<f32> = (0..99)
-            .map(|i| if i % 3 == 0 || i % 3 == 1 { 7.0 } else { i as f32 })
+            .map(|i| {
+                if i % 3 == 0 || i % 3 == 1 {
+                    7.0
+                } else {
+                    i as f32
+                }
+            })
             .collect();
         for &v in &data {
             mg.insert(v);

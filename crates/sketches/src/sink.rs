@@ -115,7 +115,10 @@ impl SummarySink for SlidingQuantile {
     }
 
     fn ops(&self) -> SinkOps {
-        SinkOps { merge: SlidingQuantile::ops(self), ..SinkOps::default() }
+        SinkOps {
+            merge: SlidingQuantile::ops(self),
+            ..SinkOps::default()
+        }
     }
 }
 
@@ -198,10 +201,22 @@ mod tests {
     #[test]
     fn sink_ops_absorb_accumulates() {
         let a = SinkOps {
-            histogram: OpCounter { comparisons: 1, moves: 2 },
-            merge: OpCounter { comparisons: 3, moves: 4 },
-            gather: OpCounter { comparisons: 5, moves: 6 },
-            compress: OpCounter { comparisons: 7, moves: 8 },
+            histogram: OpCounter {
+                comparisons: 1,
+                moves: 2,
+            },
+            merge: OpCounter {
+                comparisons: 3,
+                moves: 4,
+            },
+            gather: OpCounter {
+                comparisons: 5,
+                moves: 6,
+            },
+            compress: OpCounter {
+                comparisons: 7,
+                moves: 8,
+            },
         };
         let mut total = a;
         total.absorb(a);

@@ -97,8 +97,14 @@ impl SlidingQuantile {
     /// Panics if the block is empty or oversized.
     pub fn push_sorted_block(&mut self, sorted: &[f32]) {
         assert!(!sorted.is_empty(), "block must be non-empty");
-        assert!(sorted.len() <= self.block, "block of {} exceeds {}", sorted.len(), self.block);
-        self.deque.push_back(WindowSummary::from_sorted(sorted, self.eps / 2.0));
+        assert!(
+            sorted.len() <= self.block,
+            "block of {} exceeds {}",
+            sorted.len(),
+            self.block
+        );
+        self.deque
+            .push_back(WindowSummary::from_sorted(sorted, self.eps / 2.0));
         self.covered += sorted.len() as u64;
         // Expire whole blocks no longer intersecting the window.
         while let Some(front) = self.deque.front() {
@@ -122,7 +128,10 @@ impl SlidingQuantile {
     ///
     /// Panics if no block has been pushed.
     pub fn query(&mut self, phi: f64) -> f32 {
-        assert!(!self.deque.is_empty(), "cannot query an empty sliding window");
+        assert!(
+            !self.deque.is_empty(),
+            "cannot query an empty sliding window"
+        );
         let mut layer: Vec<WindowSummary> = self.deque.iter().cloned().collect();
         while layer.len() > 1 {
             layer = layer
@@ -210,13 +219,23 @@ impl SlidingFrequency {
     /// Panics if the block is empty or oversized.
     pub fn push_sorted_block(&mut self, sorted: &[f32]) {
         assert!(!sorted.is_empty(), "block must be non-empty");
-        assert!(sorted.len() <= self.block, "block of {} exceeds {}", sorted.len(), self.block);
+        assert!(
+            sorted.len() <= self.block,
+            "block of {} exceeds {}",
+            sorted.len(),
+            self.block
+        );
         // Histogram, pruned: entries with count ≤ ⌊εw/2⌋ are dropped, so a
         // value loses at most εw/2 counts per block.
         let drop = ((self.eps * self.block as f64) / 2.0).floor() as u64;
-        let entries: Vec<(f32, u64)> =
-            histogram(sorted).into_iter().filter(|&(_, c)| c > drop).collect();
-        self.deque.push_back(FreqBlock { total: sorted.len() as u64, entries });
+        let entries: Vec<(f32, u64)> = histogram(sorted)
+            .into_iter()
+            .filter(|&(_, c)| c > drop)
+            .collect();
+        self.deque.push_back(FreqBlock {
+            total: sorted.len() as u64,
+            entries,
+        });
         self.covered += sorted.len() as u64;
         while let Some(front) = self.deque.front() {
             if self.covered - front.total >= self.width as u64 {
@@ -249,7 +268,10 @@ impl SlidingFrequency {
     ///
     /// Panics unless `eps < s ≤ 1`.
     pub fn heavy_hitters(&self, s: f64) -> Vec<(f32, u64)> {
-        assert!(s > self.eps && s <= 1.0, "support must satisfy eps < s <= 1");
+        assert!(
+            s > self.eps && s <= 1.0,
+            "support must satisfy eps < s <= 1"
+        );
         let mut totals: Vec<(f32, u64)> = Vec::new();
         let mut values: Vec<f32> = self
             .deque
@@ -328,15 +350,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut counts = Vec::new();
         for width in [50_000usize, 200_000] {
-            let data: Vec<f32> =
-                (0..2 * width).map(|_| rng.random_range(0.0..1.0)).collect();
+            let data: Vec<f32> = (0..2 * width).map(|_| rng.random_range(0.0..1.0)).collect();
             let mut sq = SlidingQuantile::new(eps, width);
             feed_quantile(&mut sq, &data);
             counts.push(sq.entry_count());
         }
         let ratio = counts[1] as f64 / counts[0] as f64;
-        assert!((0.6..1.7).contains(&ratio), "counts {counts:?} must not scale with width");
-        assert!(counts[1] < (8.0 / (eps * eps)) as usize, "counts {counts:?} exceed Θ(1/ε²)");
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "counts {counts:?} must not scale with width"
+        );
+        assert!(
+            counts[1] < (8.0 / (eps * eps)) as usize,
+            "counts {counts:?} exceed Θ(1/ε²)"
+        );
     }
 
     #[test]
@@ -364,7 +391,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         // Skewed stream over a small domain so frequencies are meaningful.
         let data: Vec<f32> = (0..40_000)
-            .map(|_| if rng.random_range(0..4) == 0 { rng.random_range(0..5) as f32 } else { rng.random_range(0..200) as f32 })
+            .map(|_| {
+                if rng.random_range(0..4) == 0 {
+                    rng.random_range(0..5) as f32
+                } else {
+                    rng.random_range(0..200) as f32
+                }
+            })
             .collect();
         let mut sf = SlidingFrequency::new(eps, width);
         feed_frequency(&mut sf, &data);
@@ -374,7 +407,10 @@ mod tests {
             let v = v as f32;
             let est = sf.estimate(v) as i64;
             let truth = oracle.frequency(v) as i64;
-            assert!((est - truth).abs() <= bound, "value {v}: est {est} truth {truth}");
+            assert!(
+                (est - truth).abs() <= bound,
+                "value {v}: est {est} truth {truth}"
+            );
         }
     }
 
@@ -441,8 +477,14 @@ mod tests {
         }
         assert!(counts[0] > 0, "hot values must survive pruning");
         let ratio = counts[1] as f64 / counts[0] as f64;
-        assert!((0.5..2.0).contains(&ratio), "counts {counts:?} must not scale with width");
-        assert!(counts[1] < (16.0 / (eps * eps)) as usize, "counts {counts:?} exceed Θ(1/ε²)");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "counts {counts:?} must not scale with width"
+        );
+        assert!(
+            counts[1] < (16.0 / (eps * eps)) as usize,
+            "counts {counts:?} exceed Θ(1/ε²)"
+        );
     }
 
     #[test]

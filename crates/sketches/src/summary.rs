@@ -18,7 +18,11 @@ pub struct QuantileEntry {
 impl QuantileEntry {
     /// An entry with an exactly known rank.
     pub fn exact(value: f32, rank: u64) -> Self {
-        QuantileEntry { value, rmin: rank, rmax: rank }
+        QuantileEntry {
+            value,
+            rmin: rank,
+            rmax: rank,
+        }
     }
 
     /// The rank uncertainty `rmax − rmin`.
@@ -87,15 +91,31 @@ mod tests {
 
     #[test]
     fn freq_entry_bounds() {
-        let f = FreqEntry { value: 1.0, count: 10, delta: 3 };
+        let f = FreqEntry {
+            value: 1.0,
+            count: 10,
+            delta: 3,
+        };
         assert_eq!(f.max_count(), 13);
     }
 
     #[test]
     fn op_counter_accumulates() {
-        let mut a = OpCounter { comparisons: 5, moves: 2 };
-        a.absorb(OpCounter { comparisons: 1, moves: 4 });
-        assert_eq!(a, OpCounter { comparisons: 6, moves: 6 });
+        let mut a = OpCounter {
+            comparisons: 5,
+            moves: 2,
+        };
+        a.absorb(OpCounter {
+            comparisons: 1,
+            moves: 4,
+        });
+        assert_eq!(
+            a,
+            OpCounter {
+                comparisons: 6,
+                moves: 6
+            }
+        );
         assert_eq!(a.total(), 12);
     }
 }

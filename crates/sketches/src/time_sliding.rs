@@ -75,7 +75,10 @@ impl TimeSlidingQuantile {
     pub fn with_quantum(eps: f64, horizon: f64, quantum: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
         assert!(horizon > 0.0, "horizon must be positive");
-        assert!(quantum > 0.0 && quantum <= horizon, "quantum must be in (0, horizon]");
+        assert!(
+            quantum > 0.0 && quantum <= horizon,
+            "quantum must be in (0, horizon]"
+        );
         TimeSlidingQuantile {
             eps,
             horizon,
@@ -104,7 +107,11 @@ impl TimeSlidingQuantile {
 
     /// Stored entries across blocks (memory footprint).
     pub fn entry_count(&self) -> usize {
-        self.deque.iter().map(|b| b.summary.entries().len()).sum::<usize>() + self.open.len()
+        self.deque
+            .iter()
+            .map(|b| b.summary.entries().len())
+            .sum::<usize>()
+            + self.open.len()
     }
 
     /// Pushes one timestamped value. Timestamps must be non-decreasing.
@@ -164,8 +171,7 @@ impl TimeSlidingQuantile {
         self.close_block();
         assert!(!self.deque.is_empty(), "cannot query an empty window");
         // Balanced tree merge (same rationale as the count-based variant).
-        let mut layer: Vec<WindowSummary> =
-            self.deque.iter().map(|b| b.summary.clone()).collect();
+        let mut layer: Vec<WindowSummary> = self.deque.iter().map(|b| b.summary.clone()).collect();
         while layer.len() > 1 {
             layer = layer
                 .chunks(2)
@@ -179,7 +185,6 @@ impl TimeSlidingQuantile {
         layer[0].query(phi)
     }
 }
-
 
 /// ε-approximate frequencies over the elements of the last `horizon`
 /// seconds.
@@ -236,7 +241,10 @@ impl TimeSlidingFrequency {
     pub fn with_quantum(eps: f64, horizon: f64, quantum: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
         assert!(horizon > 0.0, "horizon must be positive");
-        assert!(quantum > 0.0 && quantum <= horizon, "quantum must be in (0, horizon]");
+        assert!(
+            quantum > 0.0 && quantum <= horizon,
+            "quantum must be in (0, horizon]"
+        );
         TimeSlidingFrequency {
             eps,
             horizon,
@@ -293,7 +301,11 @@ impl TimeSlidingFrequency {
             .into_iter()
             .filter(|&(_, c)| c > drop)
             .collect();
-        self.deque.push_back(FreqTimeBlock { newest, total, entries });
+        self.deque.push_back(FreqTimeBlock {
+            newest,
+            total,
+            entries,
+        });
     }
 
     fn expire(&mut self, now: f64) {
@@ -328,7 +340,10 @@ impl TimeSlidingFrequency {
     ///
     /// Panics unless `eps < s ≤ 1`.
     pub fn heavy_hitters(&mut self, s: f64) -> Vec<(f32, u64)> {
-        assert!(s > self.eps && s <= 1.0, "support must satisfy eps < s <= 1");
+        assert!(
+            s > self.eps && s <= 1.0,
+            "support must satisfy eps < s <= 1"
+        );
         self.close_block();
         let covered = self.covered() as f64;
         let mut values: Vec<f32> = self
@@ -375,7 +390,6 @@ mod tests {
         out
     }
 
-
     #[test]
     fn frequency_tracks_recent_horizon() {
         let mut sf = TimeSlidingFrequency::new(0.05, 1.0);
@@ -418,7 +432,10 @@ mod tests {
             let truth = oracle.frequency(v as f32) as i64;
             // eps per block + one-block boundary slop.
             let bound = (0.02 * covered + covered / 64.0 + 16.0) as i64;
-            assert!((est - truth).abs() <= bound, "value {v}: est {est} truth {truth}");
+            assert!(
+                (est - truth).abs() <= bound,
+                "value {v}: est {est} truth {truth}"
+            );
         }
     }
 
@@ -437,7 +454,10 @@ mod tests {
         }
         let hh = sf.heavy_hitters(0.05);
         for hot in 0..4 {
-            assert!(hh.iter().any(|&(v, _)| v == hot as f32), "hot {hot} missing: {hh:?}");
+            assert!(
+                hh.iter().any(|&(v, _)| v == hot as f32),
+                "hot {hot} missing: {hh:?}"
+            );
         }
     }
 
@@ -448,7 +468,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let _ = feed(&mut sq, 10_000, 5000.0, 0.0, |_| rng.random_range(0.0..1.0));
         let mut rng2 = StdRng::seed_from_u64(2);
-        let _ = feed(&mut sq, 10_000, 5000.0, 2.0, |_| rng2.random_range(100.0..101.0));
+        let _ = feed(&mut sq, 10_000, 5000.0, 2.0, |_| {
+            rng2.random_range(100.0..101.0)
+        });
         assert!(sq.query(0.5) >= 100.0, "old phase must have expired");
     }
 
@@ -458,7 +480,9 @@ mod tests {
         let horizon = 1.0;
         let mut sq = TimeSlidingQuantile::new(eps, horizon);
         let mut rng = StdRng::seed_from_u64(3);
-        let events = feed(&mut sq, 40_000, 10_000.0, 0.0, |_| rng.random_range(0.0..1.0));
+        let events = feed(&mut sq, 40_000, 10_000.0, 0.0, |_| {
+            rng.random_range(0.0..1.0)
+        });
         let now = events.last().expect("non-empty").0;
         let in_window: Vec<f32> = events
             .iter()
@@ -498,14 +522,20 @@ mod tests {
         // One straggler long after: everything else expires.
         sq.push(100.0, 55.0);
         assert_eq!(sq.query(0.5), 55.0);
-        assert!(sq.covered() <= 1 + 5000 / 64 + 80, "covered {}", sq.covered());
+        assert!(
+            sq.covered() <= 1 + 5000 / 64 + 80,
+            "covered {}",
+            sq.covered()
+        );
     }
 
     #[test]
     fn memory_is_bounded_by_blocks_not_stream() {
         let mut sq = TimeSlidingQuantile::with_quantum(0.02, 1.0, 1.0 / 32.0);
         let mut rng = StdRng::seed_from_u64(4);
-        let _ = feed(&mut sq, 200_000, 50_000.0, 0.0, |_| rng.random_range(0.0..1.0));
+        let _ = feed(&mut sq, 200_000, 50_000.0, 0.0, |_| {
+            rng.random_range(0.0..1.0)
+        });
         // 32 live blocks of ~1562 elements, each sampled at eps: far below
         // the 200k stream and below one horizon's population.
         assert!(sq.entry_count() < 60_000, "entries {}", sq.entry_count());

@@ -83,7 +83,10 @@ pub fn bitonic_sort_surface(dev: &mut Device, values: &[f32]) -> Vec<f32> {
 
 /// [`bitonic_sort_surface`] with an explicit shader cost.
 pub fn bitonic_sort_surface_with(dev: &mut Device, values: &[f32], instructions: u32) -> Vec<f32> {
-    assert!(values.len().is_power_of_two(), "length must be a power of two");
+    assert!(
+        values.len().is_power_of_two(),
+        "length must be a power of two"
+    );
     let (w, _) = crate::layout::texture_dims(values.len());
     let zeros = vec![0.0f32; values.len()];
     let surface = Surface::from_channels(w, [values, &zeros, &zeros, &zeros]);

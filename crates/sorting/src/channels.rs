@@ -32,7 +32,10 @@ const OUT_BASE: u64 = 0x500_0000;
 /// protocol reserves `+∞`).
 pub fn gpu_sort_rgba(dev: &mut Device, machine: &mut Machine, values: &[f32]) -> Vec<f32> {
     assert!(!values.is_empty(), "cannot sort an empty batch");
-    debug_assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+    debug_assert!(
+        values.iter().all(|v| v.is_finite()),
+        "values must be finite"
+    );
     let (channels, _padded) = split_channels(values);
     let counts = channel_counts(values.len());
     let surface = surface_from_channels(&channels);
@@ -90,7 +93,10 @@ impl GpuBatchSorter {
 
     /// The calibrated testbed: GeForce 6800 Ultra + Pentium IV merge.
     pub fn testbed() -> Self {
-        Self::new(GpuCostModel::geforce_6800_ultra(), CpuCostModel::pentium4_3400())
+        Self::new(
+            GpuCostModel::geforce_6800_ultra(),
+            CpuCostModel::pentium4_3400(),
+        )
     }
 
     /// A zero-cost sorter for functional tests.
@@ -103,7 +109,10 @@ impl GpuBatchSorter {
     /// Sorts one batch; see [`gpu_sort_rgba`].
     pub fn sort(&mut self, values: &[f32]) -> Vec<f32> {
         assert!(!values.is_empty(), "cannot sort an empty batch");
-        debug_assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        debug_assert!(
+            values.iter().all(|v| v.is_finite()),
+            "values must be finite"
+        );
         let (channels, padded) = split_channels(values);
         let counts = channel_counts(values.len());
         let surface = surface_from_channels(&channels);

@@ -235,7 +235,11 @@ pub fn radix_sort(data: &mut [f32], m: &mut Machine, base: u64, scratch_base: u6
     }
 
     for (v, &k) in data.iter_mut().zip(&keys) {
-        let b = if k & 0x8000_0000 != 0 { k ^ 0x8000_0000 } else { !k };
+        let b = if k & 0x8000_0000 != 0 {
+            k ^ 0x8000_0000
+        } else {
+            !k
+        };
         *v = f32::from_bits(b);
     }
 }
@@ -435,7 +439,11 @@ mod tests {
         // -0.0 and 0.0 compare equal; compare bit-agnostically by value.
         assert_eq!(data.len(), expect.len());
         for (a, b) in data.iter().zip(&expect) {
-            assert_eq!(a.partial_cmp(b), Some(core::cmp::Ordering::Equal), "{data:?}");
+            assert_eq!(
+                a.partial_cmp(b),
+                Some(core::cmp::Ordering::Equal),
+                "{data:?}"
+            );
         }
     }
 
@@ -444,7 +452,11 @@ mod tests {
         let mut m = machine();
         let mut data = random_vec(50_000, 71);
         radix_sort(&mut data, &mut m, 0, SCRATCH);
-        assert_eq!(m.stats().branches, 0, "radix sort issues no data-dependent branches");
+        assert_eq!(
+            m.stats().branches,
+            0,
+            "radix sort issues no data-dependent branches"
+        );
         assert_eq!(m.stats().mispredicts, 0);
     }
 
@@ -485,7 +497,10 @@ mod tests {
         quicksort(&mut dq, &mut mq, 0);
         let q_rate = mq.stats().l2_misses as f64 / mq.stats().reads as f64;
         let m_rate = mm.stats().l2_misses as f64 / mm.stats().reads as f64;
-        assert!(q_rate < m_rate, "quicksort localizes: {q_rate:.4} vs merge {m_rate:.4}");
+        assert!(
+            q_rate < m_rate,
+            "quicksort localizes: {q_rate:.4} vs merge {m_rate:.4}"
+        );
         assert_eq!(dq, dm);
     }
 
@@ -523,7 +538,10 @@ mod tests {
             merge_gain > quick_gain,
             "merge sort must benefit more: {merge_gain:.3} vs {quick_gain:.3}"
         );
-        assert!(merge_gain > 1.05, "merge sort gain {merge_gain:.3} too small");
+        assert!(
+            merge_gain > 1.05,
+            "merge sort gain {merge_gain:.3} too small"
+        );
     }
 
     #[test]

@@ -62,8 +62,14 @@ pub fn split_channels(values: &[f32]) -> ([Vec<f32>; 4], usize) {
 /// Panics if lengths differ or are not a power of two.
 pub fn surface_from_channels(channels: &[Vec<f32>; 4]) -> Surface {
     let len = channels[0].len();
-    assert!(channels.iter().all(|c| c.len() == len), "channel lengths must match");
-    assert!(len.is_power_of_two(), "channel length must be a power of two");
+    assert!(
+        channels.iter().all(|c| c.len() == len),
+        "channel lengths must match"
+    );
+    assert!(
+        len.is_power_of_two(),
+        "channel length must be a power of two"
+    );
     let (w, _h) = texture_dims(len);
     Surface::from_channels(w, [&channels[0], &channels[1], &channels[2], &channels[3]])
 }

@@ -25,6 +25,11 @@
 //!   (the paper's MSVC `qsort` and Intel-compiler baselines),
 //! * [`merge`] — the instrumented 4-way CPU merge that recombines the four
 //!   sorted channels,
+//! * [`radix`] — branchless host lane sorting in `total_cmp` order via the
+//!   IEEE `totalOrder`↔`u32` key bijection,
+//! * [`pool`] — a fixed `std::thread` worker pool sorting channel lanes
+//!   concurrently while the submitting thread keeps ingesting (the host
+//!   analogue of the paper's CPU/GPU overlap),
 //! * [`sorter`] — a uniform [`sorter::Sorter`] interface over all engines
 //!   returning sorted data plus a simulated-time report.
 
@@ -35,6 +40,8 @@ pub mod layout;
 pub mod merge;
 pub mod network;
 pub mod pbsn;
+pub mod pool;
+pub mod radix;
 pub mod select;
 pub mod sorter;
 

@@ -17,12 +17,7 @@ const MERGE_SITE: u64 = 10;
 ///
 /// `bases` are the runs' simulated base addresses and `out_base` the output
 /// array's; pass disjoint ranges so cache contention is modeled faithfully.
-pub fn merge4(
-    runs: [&[f32]; 4],
-    m: &mut Machine,
-    bases: [u64; 4],
-    out_base: u64,
-) -> Vec<f32> {
+pub fn merge4(runs: [&[f32]; 4], m: &mut Machine, bases: [u64; 4], out_base: u64) -> Vec<f32> {
     debug_assert!(
         runs.iter().all(|r| r.windows(2).all(|w| w[0] <= w[1])),
         "merge4 inputs must be sorted"
@@ -75,6 +70,144 @@ pub fn merge4(
     out
 }
 
+use crate::radix::{key_of, value_of};
+
+/// Reusable buffers for [`merge4_into`]: the sentinel-terminated key images
+/// of the four runs and the two level-one pair merges. Owning one of these
+/// per call site keeps the hot merge free of large allocations — at window
+/// sizes ≥ 64 Ki the buffers cross the allocator's mmap threshold, and
+/// re-mapping (plus first-touch faulting) them every window costs more than
+/// the merge itself.
+#[derive(Default)]
+pub struct MergeScratch {
+    keys: [Vec<u32>; 4],
+    ab: Vec<u32>,
+    cd: Vec<u32>,
+}
+
+/// Branchless select: `x` when `take` else `y`, with no data-dependent
+/// branch for the predictor to miss (merge comparisons are coin flips).
+#[inline(always)]
+fn sel(take: bool, x: u32, y: u32) -> u32 {
+    y ^ ((x ^ y) & (take as u32).wrapping_neg())
+}
+
+/// One step of a sentinel-guarded two-pointer merge: reads both heads,
+/// emits the smaller, advances exactly one cursor. Ties take the left run —
+/// values equal under `total_cmp` share a bit pattern, so the choice can
+/// never change the output bytes.
+#[inline(always)]
+fn merge_step(a: &[u32], b: &[u32], i: &mut usize, j: &mut usize) -> u32 {
+    let (x, y) = (a[*i], b[*j]);
+    let take = x <= y;
+    *i += take as usize;
+    *j += usize::from(!take);
+    sel(take, x, y)
+}
+
+/// Merges four ascending (`total_cmp`-sorted) runs, writing the `limit`
+/// smallest elements into `out` (cleared first; the full merge when `limit`
+/// covers every element). Exact bit patterns are preserved.
+///
+/// This is the host-parallel backend's recombination step, run on the
+/// submitting thread after the worker pool sorts the lanes — so unlike the
+/// instrumented [`merge4`] it is built for real speed, not modeling: runs
+/// are compared as [`key_of`] integer keys, the two pair merges interleave
+/// in one loop (two independent dependency chains for the out-of-order
+/// core), and every select is branchless. A `u32::MAX` sentinel terminates
+/// each run so the inner loops need no exhaustion tests; the one value
+/// whose key collides with the sentinel (the all-ones-payload NaN) falls
+/// back to [`merge4`]'s plain tournament.
+pub fn merge4_into(
+    runs: [&[f32]; 4],
+    scratch: &mut MergeScratch,
+    out: &mut Vec<f32>,
+    limit: usize,
+) {
+    debug_assert!(
+        runs.iter()
+            .all(|r| r.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le())),
+        "merge4_into inputs must be sorted"
+    );
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let take = total.min(limit);
+    // Runs are sorted, so the last element is the maximum: a tail key of
+    // u32::MAX would alias the sentinel and walk past the end of a run.
+    if runs
+        .iter()
+        .any(|r| r.last().is_some_and(|v| key_of(*v) == u32::MAX))
+    {
+        merge4_tournament(runs, out, take);
+        return;
+    }
+    for (keys, run) in scratch.keys.iter_mut().zip(&runs) {
+        keys.clear();
+        keys.reserve(run.len() + 1);
+        keys.extend(run.iter().map(|v| key_of(*v)));
+        keys.push(u32::MAX);
+    }
+    let nab = runs[0].len() + runs[1].len();
+    let ncd = runs[2].len() + runs[3].len();
+    scratch.ab.clear();
+    scratch.ab.resize(nab + 1, 0);
+    scratch.cd.clear();
+    scratch.cd.resize(ncd + 1, 0);
+    {
+        let [ka, kb, kc, kd] = &scratch.keys;
+        let (mut i, mut j, mut p, mut q) = (0, 0, 0, 0);
+        let common = nab.min(ncd);
+        for k in 0..common {
+            scratch.ab[k] = merge_step(ka, kb, &mut i, &mut j);
+            scratch.cd[k] = merge_step(kc, kd, &mut p, &mut q);
+        }
+        for k in common..nab {
+            scratch.ab[k] = merge_step(ka, kb, &mut i, &mut j);
+        }
+        for k in common..ncd {
+            scratch.cd[k] = merge_step(kc, kd, &mut p, &mut q);
+        }
+        scratch.ab[nab] = u32::MAX;
+        scratch.cd[ncd] = u32::MAX;
+    }
+    out.clear();
+    out.resize(take, 0.0);
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        *slot = value_of(merge_step(&scratch.ab, &scratch.cd, &mut i, &mut j));
+    }
+}
+
+/// Plain 4-way tournament fallback for [`merge4_into`] (same shape as the
+/// instrumented [`merge4`], zero accounting).
+fn merge4_tournament(runs: [&[f32]; 4], out: &mut Vec<f32>, take: usize) {
+    out.clear();
+    out.reserve(take);
+    let mut idx = [0usize; 4];
+    while out.len() < take {
+        let mut best: Option<(usize, f32)> = None;
+        for (k, run) in runs.iter().enumerate() {
+            if let Some(&v) = run.get(idx[k]) {
+                match best {
+                    Some((_, bv)) if v.total_cmp(&bv).is_ge() => {}
+                    _ => best = Some((k, v)),
+                }
+            }
+        }
+        let (k, v) = best.expect("at least one run non-empty");
+        out.push(v);
+        idx[k] += 1;
+    }
+}
+
+/// Merges four ascending runs into one ascending vector with no simulated
+/// machine attached — convenience form of [`merge4_into`] with fresh
+/// buffers and no length limit.
+pub fn merge4_plain(runs: [&[f32]; 4]) -> Vec<f32> {
+    let mut out = Vec::new();
+    merge4_into(runs, &mut MergeScratch::default(), &mut out, usize::MAX);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,7 +220,12 @@ mod tests {
     fn check(runs: [&[f32]; 4]) {
         let mut expect: Vec<f32> = runs.iter().flat_map(|r| r.iter().copied()).collect();
         expect.sort_by(f32::total_cmp);
-        let out = merge4(runs, &mut machine(), [0, 1 << 20, 2 << 20, 3 << 20], 4 << 20);
+        let out = merge4(
+            runs,
+            &mut machine(),
+            [0, 1 << 20, 2 << 20, 3 << 20],
+            4 << 20,
+        );
         assert_eq!(out, expect);
     }
 
@@ -124,12 +262,86 @@ mod tests {
         let c: Vec<f32> = (0..1000).map(|i| (4 * i + 2) as f32).collect();
         let d: Vec<f32> = (0..1000).map(|i| (4 * i + 3) as f32).collect();
         let mut m = machine();
-        let out = merge4([&a, &b, &c, &d], &mut m, [0, 1 << 20, 2 << 20, 3 << 20], 4 << 20);
+        let out = merge4(
+            [&a, &b, &c, &d],
+            &mut m,
+            [0, 1 << 20, 2 << 20, 3 << 20],
+            4 << 20,
+        );
         assert_eq!(out.len(), 4000);
         // At most 3 head comparisons per output element.
         assert!(m.stats().branches <= 3 * 4000);
         // Reads: one per element consumed (plus 4 initial heads).
         assert!(m.stats().reads <= 4004);
+    }
+
+    #[test]
+    fn plain_merge_matches_instrumented() {
+        let runs: [&[f32]; 4] = [
+            &[1.0, 5.0, f32::INFINITY],
+            &[-0.0, 2.0],
+            &[0.0, 1.0, 1.0],
+            &[],
+        ];
+        let plain = merge4_plain(runs);
+        let inst = merge4(
+            runs,
+            &mut machine(),
+            [0, 1 << 20, 2 << 20, 3 << 20],
+            4 << 20,
+        );
+        let plain_bits: Vec<u32> = plain.iter().map(|v| v.to_bits()).collect();
+        let inst_bits: Vec<u32> = inst.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(plain_bits, inst_bits);
+        // -0.0 sorts before 0.0 under total_cmp.
+        assert_eq!(plain[0].to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn merge_into_reuses_scratch_and_honors_limit() {
+        let mut scratch = MergeScratch::default();
+        let mut out = Vec::new();
+        // Different shapes through the same scratch, including ragged/empty.
+        let cases: [[&[f32]; 4]; 3] = [
+            [&[1.0, 5.0], &[2.0, 6.0], &[3.0, 7.0], &[4.0, 8.0]],
+            [&[], &[1.0], &[0.5, 0.6, 0.7, 0.8], &[]],
+            [&[-0.0, 2.0, f32::INFINITY], &[0.0], &[], &[2.0]],
+        ];
+        for runs in cases {
+            let mut expect: Vec<u32> = runs
+                .iter()
+                .flat_map(|r| r.iter().map(|v| v.to_bits()))
+                .collect();
+            expect.sort_by(|a, b| f32::from_bits(*a).total_cmp(&f32::from_bits(*b)));
+            merge4_into(runs, &mut scratch, &mut out, usize::MAX);
+            let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, expect);
+            // A limit yields the prefix — how the backend drops lane padding.
+            merge4_into(runs, &mut scratch, &mut out, 2);
+            let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, expect[..expect.len().min(2)]);
+        }
+    }
+
+    #[test]
+    fn sentinel_colliding_nan_takes_the_fallback() {
+        // The all-ones-payload NaN is the one value whose key equals the
+        // in-band sentinel; the merge must survive it at a run's tail.
+        let top_nan = f32::from_bits(0x7fff_ffff);
+        assert_eq!(crate::radix::key_of(top_nan), u32::MAX);
+        let runs: [&[f32]; 4] = [&[1.0, top_nan], &[2.0], &[0.5, 3.0], &[]];
+        let out = merge4_plain(runs);
+        let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            got,
+            vec![
+                0.5f32.to_bits(),
+                1.0f32.to_bits(),
+                2.0f32.to_bits(),
+                3.0f32.to_bits(),
+                0x7fff_ffff,
+            ]
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub type Schedule = Vec<Step>;
 ///
 /// Panics if `n` is not a power of two or is zero.
 pub fn pbsn_schedule(n: usize) -> Schedule {
-    assert!(n.is_power_of_two(), "PBSN requires a power-of-two input size, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "PBSN requires a power-of-two input size, got {n}"
+    );
     let stages = n.trailing_zeros();
     let mut schedule = Vec::new();
     for _stage in 0..stages {
@@ -55,7 +58,10 @@ pub fn pbsn_step(n: usize, block: usize) -> Step {
     let mut step = Vec::with_capacity(n / 2);
     for start in (0..n).step_by(block) {
         for i in 0..block / 2 {
-            step.push(Comparator { lo: start + i, hi: start + block - 1 - i });
+            step.push(Comparator {
+                lo: start + i,
+                hi: start + block - 1 - i,
+            });
         }
     }
     step
@@ -72,7 +78,10 @@ pub fn pbsn_step(n: usize, block: usize) -> Step {
 ///
 /// Panics if `n` is not a power of two or is zero.
 pub fn bitonic_schedule(n: usize) -> Schedule {
-    assert!(n.is_power_of_two(), "bitonic requires a power-of-two input size, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic requires a power-of-two input size, got {n}"
+    );
     let mut schedule = Vec::new();
     let mut k = 2;
     while k <= n {
@@ -109,7 +118,10 @@ pub fn bitonic_schedule(n: usize) -> Schedule {
 ///
 /// Panics if `n` is not a power of two or is zero.
 pub fn odd_even_merge_schedule(n: usize) -> Schedule {
-    assert!(n.is_power_of_two(), "odd-even merge requires a power-of-two size, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "odd-even merge requires a power-of-two size, got {n}"
+    );
     let mut schedule = Vec::new();
     // Knuth's iterative formulation (TAOCP 5.2.2, Algorithm M).
     let mut p = 1;
@@ -120,7 +132,10 @@ pub fn odd_even_merge_schedule(n: usize) -> Schedule {
             for j in (k % p..n.saturating_sub(k)).step_by(2 * k) {
                 for i in 0..k.min(n - j - k) {
                     if (i + j) / (2 * p) == (i + j + k) / (2 * p) {
-                        step.push(Comparator { lo: i + j, hi: i + j + k });
+                        step.push(Comparator {
+                            lo: i + j,
+                            hi: i + j + k,
+                        });
                     }
                 }
             }
@@ -162,7 +177,10 @@ pub fn apply_step(data: &mut [f32], step: &Step) {
 /// Returns the first failing bit pattern, or `None` if the network is a
 /// sorting network.
 pub fn zero_one_violation(n: usize, schedule: &Schedule) -> Option<u64> {
-    assert!(n <= 24, "exhaustive 0-1 check is exponential; n = {n} is too large");
+    assert!(
+        n <= 24,
+        "exhaustive 0-1 check is exponential; n = {n} is too large"
+    );
     let mut buf = vec![0.0f32; n];
     for pattern in 0u64..(1u64 << n) {
         for (i, v) in buf.iter_mut().enumerate() {
@@ -256,7 +274,9 @@ mod tests {
 
     #[test]
     fn odd_even_merge_sorts_random_data() {
-        let mut data: Vec<f32> = (0..256).map(|i| ((i * 2654435761usize) % 977) as f32).collect();
+        let mut data: Vec<f32> = (0..256)
+            .map(|i| ((i * 2654435761usize) % 977) as f32)
+            .collect();
         let mut expect = data.clone();
         expect.sort_by(f32::total_cmp);
         apply_schedule(&mut data, &odd_even_merge_schedule(256));
@@ -296,7 +316,9 @@ mod tests {
 
     #[test]
     fn bitonic_sorts_random_data() {
-        let mut data: Vec<f32> = (0..128).map(|i| ((i * 2654435761usize) % 977) as f32).collect();
+        let mut data: Vec<f32> = (0..128)
+            .map(|i| ((i * 2654435761usize) % 977) as f32)
+            .collect();
         let mut expect = data.clone();
         expect.sort_by(f32::total_cmp);
         apply_schedule(&mut data, &bitonic_schedule(128));

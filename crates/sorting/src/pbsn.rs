@@ -256,9 +256,19 @@ mod tests {
 
     #[test]
     fn quads_cover_each_half_exactly_once() {
-        for (w, h, block) in [(8u32, 4u32, 2usize), (8, 4, 8), (8, 4, 16), (8, 4, 32), (4, 4, 4)] {
+        for (w, h, block) in [
+            (8u32, 4u32, 2usize),
+            (8, 4, 8),
+            (8, 4, 16),
+            (8, 4, 32),
+            (4, 4, 4),
+        ] {
             let (min_quads, max_quads) = sort_step_quads(w, h, block);
-            let area: u64 = min_quads.iter().chain(&max_quads).map(|q| q.dst.area()).sum();
+            let area: u64 = min_quads
+                .iter()
+                .chain(&max_quads)
+                .map(|q| q.dst.area())
+                .sum();
             assert_eq!(area, (w * h) as u64, "w={w} h={h} block={block}");
         }
     }
@@ -291,8 +301,7 @@ mod tests {
         let n = 64;
         let chans: [Vec<f32>; 4] = core::array::from_fn(|k| pseudo_random(n, 7 + k as u64));
         let (w, _) = texture_dims(n);
-        let surface =
-            Surface::from_channels(w, [&chans[0], &chans[1], &chans[2], &chans[3]]);
+        let surface = Surface::from_channels(w, [&chans[0], &chans[1], &chans[2], &chans[3]]);
         let mut dev = Device::ideal();
         let sorted = pbsn_sort_surface(&mut dev, surface);
         for (k, ch) in Channel::ALL.iter().enumerate() {
@@ -368,7 +377,10 @@ mod tests {
             assert_eq!(got, &expect[..], "segment {s}");
         }
         // Segments must NOT have been merged into one sorted run.
-        assert!(out.windows(2).any(|p| p[0] > p[1]), "segments must stay independent");
+        assert!(
+            out.windows(2).any(|p| p[0] > p[1]),
+            "segments must stay independent"
+        );
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! A fixed worker pool sorting window lanes on host threads.
+//!
+//! The paper's throughput comes from *overlap*: the co-processor sorts
+//! window *k* while the CPU ingests window *k+1*, and the four RGBA lanes
+//! of one texture sort concurrently. This module is the host-threaded
+//! analogue: a fixed set of `std::thread` workers fed over channels, each
+//! sorting one PBSN channel lane (see [`crate::layout::split_channels`])
+//! with the branchless key sort in [`crate::radix`], while the submitting
+//! thread keeps ingesting and later merges the sorted lanes (see
+//! [`crate::merge::merge4_plain`]).
+//!
+//! Threading contract:
+//!
+//! * the **submitting thread** owns all accounting — workers only return
+//!   sorted data plus how long they were busy;
+//! * a panic inside a worker task is caught and surfaces as a
+//!   [`PoolError::WorkerPanic`] from [`Ticket::wait`], never a hang, and
+//!   the worker survives to serve later jobs;
+//! * dropping the pool closes the job channel; workers drain any queued
+//!   jobs (outstanding tickets still complete) and exit, and the pool's
+//!   `Drop` joins them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::radix::sort_total;
+
+/// Why a pool submission failed to produce sorted lanes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker task panicked; the payload is the panic message.
+    WorkerPanic(String),
+    /// Every result sender vanished before the batch completed (the pool
+    /// and its queued jobs were dropped).
+    Disconnected,
+    /// [`Ticket::wait_timeout`] gave up waiting.
+    Timeout,
+}
+
+impl core::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PoolError::WorkerPanic(msg) => write!(f, "worker task panicked: {msg}"),
+            PoolError::Disconnected => write!(f, "worker pool disconnected before completion"),
+            PoolError::Timeout => write!(f, "timed out waiting for sorted lanes"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A unit of work: sort something, return the sorted lane.
+pub type Task = Box<dyn FnOnce() -> Vec<f32> + Send + 'static>;
+
+struct Job {
+    lane: usize,
+    task: Task,
+    reply: Sender<LaneDone>,
+}
+
+struct LaneDone {
+    lane: usize,
+    result: Result<Vec<f32>, PoolError>,
+    busy: Duration,
+}
+
+/// One submitted batch's sorted lanes, in submission order.
+#[derive(Debug)]
+pub struct SortedLanes {
+    /// The sorted lanes, index-aligned with the submitted batch.
+    pub lanes: Vec<Vec<f32>>,
+    /// The batch's background critical path: the longest single lane's
+    /// wall-clock sort time.
+    pub busy: Duration,
+}
+
+/// A handle to one in-flight batch of lane sorts.
+///
+/// The ticket is independent of any other batch: waiting on it never
+/// consumes another ticket's results, so batches may be collected in any
+/// order (the pipeline collects oldest-first to preserve stream order).
+pub struct Ticket {
+    rx: Receiver<LaneDone>,
+    lanes: usize,
+}
+
+impl Ticket {
+    /// Blocks until every lane of the batch is sorted.
+    ///
+    /// Returns [`PoolError::WorkerPanic`] if any lane's task panicked and
+    /// [`PoolError::Disconnected`] if the pool was torn down with this
+    /// batch's jobs still queued and then discarded.
+    pub fn wait(self) -> Result<SortedLanes, PoolError> {
+        self.gather(None)
+    }
+
+    /// Like [`Ticket::wait`], but gives up after `timeout` (total across
+    /// the whole batch) with [`PoolError::Timeout`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<SortedLanes, PoolError> {
+        self.gather(Some(timeout))
+    }
+
+    fn gather(self, timeout: Option<Duration>) -> Result<SortedLanes, PoolError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut lanes: Vec<Option<Vec<f32>>> = (0..self.lanes).map(|_| None).collect();
+        let mut busy = Duration::ZERO;
+        for _ in 0..self.lanes {
+            let done = match deadline {
+                None => self.rx.recv().map_err(|_| PoolError::Disconnected)?,
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    self.rx.recv_timeout(left).map_err(|e| match e {
+                        RecvTimeoutError::Timeout => PoolError::Timeout,
+                        RecvTimeoutError::Disconnected => PoolError::Disconnected,
+                    })?
+                }
+            };
+            busy = busy.max(done.busy);
+            lanes[done.lane] = Some(done.result?);
+        }
+        let lanes = lanes
+            .into_iter()
+            .map(|l| l.expect("every lane reported"))
+            .collect();
+        Ok(SortedLanes { lanes, busy })
+    }
+}
+
+/// A fixed pool of host worker threads sorting lanes submitted over a
+/// channel.
+///
+/// ```
+/// use gsm_sort::pool::WorkerPool;
+///
+/// let pool = WorkerPool::new(2);
+/// let ticket = pool.sort_lanes(vec![vec![3.0, 1.0, 2.0], vec![5.0, 4.0]]);
+/// let done = ticket.wait().unwrap();
+/// assert_eq!(done.lanes, vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0]]);
+/// ```
+pub struct WorkerPool {
+    jobs: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of exactly `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a worker pool needs at least one worker");
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("gsm-sort-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn sort worker")
+            })
+            .collect();
+        WorkerPool {
+            jobs: Some(tx),
+            workers,
+        }
+    }
+
+    /// Spawns one worker per available hardware thread, capped at four —
+    /// one per PBSN channel lane, the widest a single batch fans out.
+    pub fn with_default_threads() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::new(threads.clamp(1, 4))
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one batch of lanes to sort in [`f32::total_cmp`] order,
+    /// returning immediately with a [`Ticket`] for the results.
+    pub fn sort_lanes(&self, lanes: Vec<Vec<f32>>) -> Ticket {
+        self.submit(lanes.into_iter().map(|mut lane| {
+            let task: Task = Box::new(move || {
+                sort_total(&mut lane);
+                lane
+            });
+            task
+        }))
+    }
+
+    /// Submits arbitrary lane tasks (used by tests to inject failures).
+    pub fn submit<I: IntoIterator<Item = Task>>(&self, tasks: I) -> Ticket {
+        let (reply, rx) = channel::<LaneDone>();
+        let jobs = self.jobs.as_ref().expect("job channel lives until drop");
+        let mut lanes = 0;
+        for (lane, task) in tasks.into_iter().enumerate() {
+            jobs.send(Job {
+                lane,
+                task,
+                reply: reply.clone(),
+            })
+            .expect("workers outlive the pool");
+            lanes += 1;
+        }
+        Ticket { rx, lanes }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.jobs.take()); // close the channel; workers drain and exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(jobs: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while waiting for the next job; execution
+        // happens with the queue released so other workers can pull work.
+        let job = match jobs.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // queue poisoned: pool is tearing down
+        };
+        let Ok(job) = job else { return };
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(job.task)).map_err(|payload| {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            PoolError::WorkerPanic(msg)
+        });
+        // The ticket may already have been dropped; that is not an error.
+        let _ = job.reply.send(LaneDone {
+            lane: job.lane,
+            result,
+            busy: start.elapsed(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_lanes_in_submission_order() {
+        let pool = WorkerPool::new(3);
+        let lanes: Vec<Vec<f32>> = (0..7).map(|k| vec![3.0 + k as f32, 1.0, 2.0]).collect();
+        let done = pool.sort_lanes(lanes).wait().unwrap();
+        assert_eq!(done.lanes.len(), 7);
+        for (k, lane) in done.lanes.iter().enumerate() {
+            assert_eq!(*lane, vec![1.0, 2.0, 3.0 + k as f32]);
+        }
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let pool = WorkerPool::new(1);
+        let done = pool.sort_lanes(Vec::new()).wait().unwrap();
+        assert!(done.lanes.is_empty());
+        assert_eq!(done.busy, Duration::ZERO);
+    }
+
+    #[test]
+    fn panic_is_an_error_not_a_hang() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Task> = vec![Box::new(|| vec![1.0]), Box::new(|| panic!("lane exploded"))];
+        let err = pool
+            .submit(tasks)
+            .wait_timeout(Duration::from_secs(10))
+            .unwrap_err();
+        assert_eq!(err, PoolError::WorkerPanic("lane exploded".to_string()));
+        // The worker survives the panic and serves later jobs.
+        let done = pool.sort_lanes(vec![vec![2.0, 1.0]]).wait().unwrap();
+        assert_eq!(done.lanes, vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn dropping_the_pool_still_completes_outstanding_tickets() {
+        let pool = WorkerPool::new(1);
+        let ticket = pool.sort_lanes(vec![vec![2.0, 1.0], vec![4.0, 3.0]]);
+        drop(pool); // closes the queue; the worker drains it before exiting
+        let done = ticket.wait_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(done.lanes, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Branchless host sorting of `f32` lanes in `total_cmp` order.
+//!
+//! The worker-pool backend (see [`crate::pool`]) needs the fastest sort the
+//! host can offer per lane, while staying *byte-identical* to
+//! `slice::sort_by(f32::total_cmp)` so every engine keeps producing the
+//! same answers. IEEE 754's `totalOrder` admits a monotone bijection into
+//! unsigned integers — flip the sign bit for non-negatives, flip every bit
+//! for negatives — so a lane can be mapped to `u32` keys, sorted with an
+//! LSD counting radix sort (no comparator calls, no branches on data), and
+//! mapped back bit-for-bit.
+
+/// Maps an `f32` to a `u32` key whose unsigned order equals
+/// [`f32::total_cmp`] order (IEEE 754 `totalOrder`).
+#[inline]
+pub fn key_of(value: f32) -> u32 {
+    let bits = value.to_bits();
+    if bits >> 31 == 1 {
+        !bits
+    } else {
+        bits ^ 0x8000_0000
+    }
+}
+
+/// Inverse of [`key_of`]: recovers the exact original bit pattern.
+#[inline]
+pub fn value_of(key: u32) -> f32 {
+    if key >> 31 == 1 {
+        f32::from_bits(key ^ 0x8000_0000)
+    } else {
+        f32::from_bits(!key)
+    }
+}
+
+/// Digit width of one counting pass. Eleven bits means three passes cover
+/// all 32 key bits with a 2048-entry count table (8 KiB — L1-resident),
+/// one histogram+scatter sweep cheaper than the classic four 8-bit passes.
+const RADIX_BITS: u32 = 11;
+const RADIX_BUCKETS: usize = 1 << RADIX_BITS;
+const RADIX_MASK: u32 = (RADIX_BUCKETS as u32) - 1;
+
+/// Sorts `keys` ascending with a 3-pass LSD counting radix sort over
+/// 11-bit digits.
+///
+/// Passes whose digit is constant across the whole input are skipped — the
+/// common case for streams of small integer-valued floats, where only a
+/// couple of exponent/mantissa digits vary.
+pub fn radix_sort_u32(keys: &mut Vec<u32>) {
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let mut src = core::mem::take(keys);
+    let mut dst = vec![0u32; n];
+    for pass in 0..32u32.div_ceil(RADIX_BITS) {
+        let shift = pass * RADIX_BITS;
+        let mut counts = [0usize; RADIX_BUCKETS];
+        for &k in &src {
+            counts[((k >> shift) & RADIX_MASK) as usize] += 1;
+        }
+        if counts.contains(&n) {
+            continue; // every key shares this digit — the pass is a no-op
+        }
+        let mut running = 0usize;
+        for c in counts.iter_mut() {
+            let here = *c;
+            *c = running;
+            running += here;
+        }
+        for &k in &src {
+            let digit = ((k >> shift) & RADIX_MASK) as usize;
+            dst[counts[digit]] = k;
+            counts[digit] += 1;
+        }
+        core::mem::swap(&mut src, &mut dst);
+    }
+    *keys = src;
+}
+
+/// Sorts `values` ascending in [`f32::total_cmp`] order, preserving every
+/// bit pattern (including `-0.0` vs `0.0` and NaN payloads).
+pub fn sort_total(values: &mut [f32]) {
+    if values.len() <= 1 {
+        return;
+    }
+    let mut keys: Vec<u32> = values.iter().map(|&v| key_of(v)).collect();
+    radix_sort_u32(&mut keys);
+    for (v, &k) in values.iter_mut().zip(&keys) {
+        *v = value_of(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn key_map_round_trips_all_bit_patterns() {
+        for bits in [
+            0u32,
+            1,
+            0x8000_0000,
+            0x8000_0001,
+            0x7f80_0000, // +inf
+            0xff80_0000, // -inf
+            0x7fc0_0001, // NaN with payload
+            0xffc0_0001,
+            0x3f80_0000,
+        ] {
+            let v = f32::from_bits(bits);
+            assert_eq!(value_of(key_of(v)).to_bits(), bits, "bits={bits:08x}");
+        }
+    }
+
+    #[test]
+    fn key_order_matches_total_cmp() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20_000 {
+            let a = f32::from_bits(rng.next_u32());
+            let b = f32::from_bits(rng.next_u32());
+            assert_eq!(
+                key_of(a).cmp(&key_of(b)),
+                a.total_cmp(&b),
+                "a={:08x} b={:08x}",
+                a.to_bits(),
+                b.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn sorts_exactly_like_total_cmp() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [0usize, 1, 2, 3, 17, 255, 256, 1000, 4096] {
+            let values: Vec<f32> = (0..n)
+                .map(|_| {
+                    if rng.random_range(0..10) == 0 {
+                        // Exercise the special cases too.
+                        [0.0f32, -0.0, f32::INFINITY, f32::NEG_INFINITY][rng.random_range(0..4)]
+                    } else {
+                        rng.random_range(-1.0e6..1.0e6)
+                    }
+                })
+                .collect();
+            let mut fast = values.clone();
+            sort_total(&mut fast);
+            let mut expect = values;
+            expect.sort_by(f32::total_cmp);
+            let fast_bits: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+            let expect_bits: Vec<u32> = expect.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fast_bits, expect_bits, "n={n}");
+        }
+    }
+
+    #[test]
+    fn constant_byte_passes_are_skipped_correctly() {
+        // Small non-negative integers: three of four key bytes are constant.
+        let mut v: Vec<f32> = (0..300).rev().map(|i| (i % 50) as f32).collect();
+        let mut expect = v.clone();
+        sort_total(&mut v);
+        expect.sort_by(f32::total_cmp);
+        assert_eq!(v, expect);
+    }
+}

@@ -25,7 +25,10 @@ use crate::layout::texture_dims;
 /// Panics if `values` is empty or contains NaN.
 pub fn load_values_as_depth(dev: &mut Device, values: &[f32]) {
     assert!(!values.is_empty(), "cannot load an empty value set");
-    assert!(values.iter().all(|v| !v.is_nan()), "values must be NaN-free");
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "values must be NaN-free"
+    );
     let (w, h) = texture_dims(values.len());
     let mut depth = DepthBuffer::new(w, h, f32::NEG_INFINITY);
     for (i, &v) in values.iter().enumerate() {
@@ -60,15 +63,18 @@ pub fn gpu_range_count(dev: &mut Device, lo: f32, hi: f32) -> u64 {
 /// Panics if `k` is 0 or exceeds the loaded count (detected via a full
 /// `Always` query).
 pub fn gpu_kth_largest(dev: &mut Device, values_len: usize, k: u64) -> f32 {
-    assert!(k >= 1 && k as usize <= values_len, "k must be in 1..={values_len}");
+    assert!(
+        k >= 1 && k as usize <= values_len,
+        "k must be in 1..={values_len}"
+    );
     // Monotone bijection between f32 (non-NaN) and u32: flip all bits of
     // negatives, the sign bit of non-negatives. Binary search the key space
     // for the largest key whose value still has >= k elements at or above
     // it.
     let mut lo_key = 0u32; // -inf
     let mut hi_key = u32::MAX; // +inf (as ordered keys)
-    // Invariant: count(>= value(lo_key)) >= k, count(>= value(hi_key)) < k
-    // or hi_key's value is above every element.
+                               // Invariant: count(>= value(lo_key)) >= k, count(>= value(hi_key)) < k
+                               // or hi_key's value is above every element.
     while hi_key - lo_key > 1 {
         let mid = lo_key.midpoint(hi_key);
         let candidate = key_to_f32(mid);
@@ -83,7 +89,11 @@ pub fn gpu_kth_largest(dev: &mut Device, values_len: usize, k: u64) -> f32 {
 
 /// Inverse of the order-preserving f32→u32 key map.
 fn key_to_f32(key: u32) -> f32 {
-    let bits = if key & 0x8000_0000 != 0 { key ^ 0x8000_0000 } else { !key };
+    let bits = if key & 0x8000_0000 != 0 {
+        key ^ 0x8000_0000
+    } else {
+        !key
+    };
     f32::from_bits(bits)
 }
 
@@ -209,7 +219,10 @@ mod tests {
             let expect = values.iter().filter(|&&v| v >= t).count() as u64;
             assert_eq!(gpu_count_at_least(&mut dev, t), expect, "t={t}");
         }
-        let in_range = values.iter().filter(|&&v| (-100.0..100.0).contains(&v)).count() as u64;
+        let in_range = values
+            .iter()
+            .filter(|&&v| (-100.0..100.0).contains(&v))
+            .count() as u64;
         assert_eq!(gpu_range_count(&mut dev, -100.0, 100.0), in_range);
     }
 

@@ -36,8 +36,12 @@ pub enum SortEngine {
 
 impl SortEngine {
     /// The four engines of Figure 3, in plot order.
-    pub const ALL: [SortEngine; 4] =
-        [SortEngine::GpuPbsn, SortEngine::GpuBitonic, SortEngine::CpuQuicksort, SortEngine::CpuQsort];
+    pub const ALL: [SortEngine; 4] = [
+        SortEngine::GpuPbsn,
+        SortEngine::GpuBitonic,
+        SortEngine::CpuQuicksort,
+        SortEngine::CpuQsort,
+    ];
 
     /// Every engine, including the extra baselines beyond Figure 3.
     pub const EXTENDED: [SortEngine; 7] = [
@@ -247,7 +251,10 @@ mod tests {
         for engine in SortEngine::ALL {
             let report = Sorter::new(engine).sort(&values);
             assert_eq!(report.sorted, expect, "{engine:?}");
-            assert!(report.total_time.as_secs() > 0.0, "{engine:?} must cost something");
+            assert!(
+                report.total_time.as_secs() > 0.0,
+                "{engine:?} must cost something"
+            );
         }
     }
 
@@ -255,7 +262,10 @@ mod tests {
     fn gpu_report_splits_transfer_from_compute() {
         let report = Sorter::new(SortEngine::GpuPbsn).sort(&random_vec(4096, 1));
         assert!(report.transfer_time.as_secs() > 0.0);
-        assert!(report.gpu_time > report.transfer_time, "sorting must dominate transfer");
+        assert!(
+            report.gpu_time > report.transfer_time,
+            "sorting must dominate transfer"
+        );
         assert!(report.cpu_time.as_secs() > 0.0, "merge runs on the CPU");
     }
 
@@ -318,7 +328,9 @@ mod tests {
         // blend sorter and the 53-instruction Purcell baseline.
         let values = random_vec(32_768, 12);
         let pbsn = Sorter::new(SortEngine::GpuPbsn).sort(&values).total_time;
-        let kipfer = Sorter::new(SortEngine::GpuBitonicKipfer).sort(&values).total_time;
+        let kipfer = Sorter::new(SortEngine::GpuBitonicKipfer)
+            .sort(&values)
+            .total_time;
         let purcell = Sorter::new(SortEngine::GpuBitonic).sort(&values).total_time;
         assert!(pbsn < kipfer, "pbsn {pbsn} < kipfer {kipfer}");
         assert!(kipfer < purcell, "kipfer {kipfer} < purcell {purcell}");

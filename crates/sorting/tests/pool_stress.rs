@@ -1,0 +1,168 @@
+//! Stress and ordering tests for the lane worker pool.
+//!
+//! The pool's contract (see `gsm_sort::pool`) is exercised here under
+//! contention: many concurrent submitters, panicking tasks mixed into the
+//! queue, tickets dropped mid-flight, and pools torn down with work still
+//! queued. Results must stay correct and scheduling-independent — the same
+//! batches sort to the same bytes whether the suite runs single-threaded
+//! (`--test-threads=1`) or fully parallel, on one worker or four.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gsm_sort::pool::{PoolError, Task, WorkerPool};
+
+/// Deterministic pseudo-random lane: a Weyl sequence over a prime modulus.
+fn lane(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((seed.wrapping_add(i as u64)).wrapping_mul(2654435761) % 99_991) as f32)
+        .collect()
+}
+
+fn sorted(v: &[f32]) -> Vec<f32> {
+    let mut s = v.to_vec();
+    s.sort_by(f32::total_cmp);
+    s
+}
+
+#[test]
+fn concurrent_submitters_each_get_their_own_results() {
+    let pool = Arc::new(WorkerPool::new(4));
+    let handles: Vec<_> = (0..8u64)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                for round in 0..20u64 {
+                    let seed = t * 1000 + round;
+                    let lanes: Vec<Vec<f32>> = (0..4)
+                        .map(|k| lane(97 + (round as usize % 7), seed + k))
+                        .collect();
+                    let expect: Vec<Vec<f32>> = lanes.iter().map(|l| sorted(l)).collect();
+                    let done = pool
+                        .sort_lanes(lanes)
+                        .wait_timeout(Duration::from_secs(60))
+                        .expect("batch completes");
+                    assert_eq!(done.lanes, expect, "submitter {t} round {round}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("submitter thread");
+    }
+}
+
+#[test]
+fn panics_surface_per_batch_without_poisoning_neighbors() {
+    let pool = WorkerPool::new(2);
+    // Interleave poisoned and healthy batches so panicking tasks and good
+    // tasks share workers.
+    let mut healthy = Vec::new();
+    let mut poisoned = Vec::new();
+    for round in 0..12u64 {
+        if round % 3 == 0 {
+            let tasks: Vec<Task> = vec![
+                Box::new(move || panic!("boom {round}")),
+                Box::new(move || {
+                    let mut l = lane(50, round);
+                    l.sort_by(f32::total_cmp);
+                    l
+                }),
+            ];
+            poisoned.push((round, pool.submit(tasks)));
+        } else {
+            let data = lane(200, round);
+            healthy.push((sorted(&data), pool.sort_lanes(vec![data])));
+        }
+    }
+    for (round, ticket) in poisoned {
+        let err = ticket.wait_timeout(Duration::from_secs(60)).unwrap_err();
+        assert_eq!(err, PoolError::WorkerPanic(format!("boom {round}")));
+    }
+    for (expect, ticket) in healthy {
+        let done = ticket
+            .wait_timeout(Duration::from_secs(60))
+            .expect("healthy batch");
+        assert_eq!(done.lanes, vec![expect]);
+    }
+}
+
+#[test]
+fn dropped_tickets_do_not_disturb_later_batches() {
+    let pool = WorkerPool::new(1);
+    // Abandon a backlog of tickets on a single worker; their replies go
+    // nowhere, which must not block or corrupt the batches we do keep.
+    for round in 0..10u64 {
+        drop(pool.sort_lanes(vec![lane(500, round)]));
+    }
+    let keep = lane(300, 999);
+    let done = pool
+        .sort_lanes(vec![keep.clone()])
+        .wait_timeout(Duration::from_secs(60))
+        .unwrap();
+    assert_eq!(done.lanes, vec![sorted(&keep)]);
+}
+
+#[test]
+fn teardown_with_queued_work_completes_or_disconnects_cleanly() {
+    // A single worker with a deep queue: drop the pool immediately after
+    // submitting. Workers drain the queue before exiting, so every ticket
+    // still resolves; none may hang.
+    let pool = WorkerPool::new(1);
+    let tickets: Vec<_> = (0..6u64)
+        .map(|round| {
+            let data = lane(400, round);
+            (sorted(&data), pool.sort_lanes(vec![data]))
+        })
+        .collect();
+    drop(pool);
+    for (expect, ticket) in tickets {
+        let done = ticket
+            .wait_timeout(Duration::from_secs(60))
+            .expect("drained before exit");
+        assert_eq!(done.lanes, vec![expect]);
+    }
+}
+
+#[test]
+fn results_are_identical_across_pool_widths_and_runs() {
+    // The byte-for-byte determinism claim: worker count and scheduling
+    // affect only timing, never bytes. Run the same batch set through a
+    // 1-wide and a 4-wide pool, twice each, and compare everything.
+    let batches: Vec<Vec<Vec<f32>>> = (0..6u64)
+        .map(|b| (0..4).map(|k| lane(128 + b as usize, b * 10 + k)).collect())
+        .collect();
+    let run = |threads: usize| -> Vec<Vec<Vec<f32>>> {
+        let pool = WorkerPool::new(threads);
+        let tickets: Vec<_> = batches.iter().map(|b| pool.sort_lanes(b.clone())).collect();
+        tickets
+            .into_iter()
+            .map(|t| {
+                t.wait_timeout(Duration::from_secs(60))
+                    .expect("batch completes")
+                    .lanes
+            })
+            .collect()
+    };
+    let narrow = run(1);
+    let wide = run(4);
+    let wide_again = run(4);
+    let narrow_bits: Vec<Vec<Vec<u32>>> = narrow
+        .iter()
+        .map(|b| {
+            b.iter()
+                .map(|l| l.iter().map(|v| v.to_bits()).collect())
+                .collect()
+        })
+        .collect();
+    let wide_bits: Vec<Vec<Vec<u32>>> = wide
+        .iter()
+        .map(|b| {
+            b.iter()
+                .map(|l| l.iter().map(|v| v.to_bits()).collect())
+                .collect()
+        })
+        .collect();
+    assert_eq!(narrow_bits, wide_bits);
+    assert_eq!(wide, wide_again);
+}

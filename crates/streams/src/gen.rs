@@ -34,8 +34,15 @@ impl UniformGen {
     ///
     /// Panics if the range is empty or not finite.
     pub fn new(seed: u64, lo: f32, hi: f32) -> Self {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range [{lo}, {hi})");
-        UniformGen { rng: StdRng::seed_from_u64(seed), lo, hi }
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad range [{lo}, {hi})"
+        );
+        UniformGen {
+            rng: StdRng::seed_from_u64(seed),
+            lo,
+            hi,
+        }
     }
 
     /// The paper's workload: uniform over `[0, 1)`.
@@ -74,7 +81,12 @@ impl GaussianGen {
     /// Panics if `std_dev` is not strictly positive.
     pub fn new(seed: u64, mean: f32, std_dev: f32) -> Self {
         assert!(std_dev > 0.0, "std_dev must be positive");
-        GaussianGen { rng: StdRng::seed_from_u64(seed), mean, std_dev, spare: None }
+        GaussianGen {
+            rng: StdRng::seed_from_u64(seed),
+            mean,
+            std_dev,
+            spare: None,
+        }
     }
 }
 
@@ -110,7 +122,10 @@ impl SortedGen {
 
     /// Descending from `start`.
     pub fn descending(start: u64) -> Self {
-        SortedGen { next: start, step: -1 }
+        SortedGen {
+            next: start,
+            step: -1,
+        }
     }
 }
 
@@ -139,7 +154,10 @@ impl NearlySortedGen {
     ///
     /// Panics if `swap_fraction` is outside `[0, 1]` or `len == 0`.
     pub fn new(seed: u64, len: usize, swap_fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&swap_fraction), "swap_fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&swap_fraction),
+            "swap_fraction in [0,1]"
+        );
         assert!(len > 0, "len must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut buf: Vec<f32> = (0..len).map(|i| i as f32).collect();
@@ -181,8 +199,15 @@ impl ParetoGen {
     ///
     /// Panics unless `scale > 0` and `alpha > 0`.
     pub fn new(seed: u64, scale: f32, alpha: f64) -> Self {
-        assert!(scale > 0.0 && alpha > 0.0, "scale and alpha must be positive");
-        ParetoGen { rng: StdRng::seed_from_u64(seed), scale, inv_alpha: 1.0 / alpha }
+        assert!(
+            scale > 0.0 && alpha > 0.0,
+            "scale and alpha must be positive"
+        );
+        ParetoGen {
+            rng: StdRng::seed_from_u64(seed),
+            scale,
+            inv_alpha: 1.0 / alpha,
+        }
     }
 }
 
@@ -231,7 +256,10 @@ impl BurstyGen {
     ///
     /// Panics if `base_rate` or `burst_factor` is not strictly positive.
     pub fn new(seed: u64, base_rate: f64, burst_factor: f64) -> Self {
-        assert!(base_rate > 0.0 && burst_factor > 0.0, "rates must be positive");
+        assert!(
+            base_rate > 0.0 && burst_factor > 0.0,
+            "rates must be positive"
+        );
         BurstyGen {
             rng: StdRng::seed_from_u64(seed),
             clock: 0.0,
@@ -251,12 +279,19 @@ impl Iterator for BurstyGen {
             self.remaining_in_phase = self.rng.random_range(100..1000);
         }
         self.remaining_in_phase -= 1;
-        let rate = if self.in_burst { self.base_rate * self.burst_factor } else { self.base_rate };
+        let rate = if self.in_burst {
+            self.base_rate * self.burst_factor
+        } else {
+            self.base_rate
+        };
         // Exponential inter-arrival gap.
         let u: f64 = self.rng.random_range(f64::MIN_POSITIVE..1.0);
         self.clock += -u.ln() / rate;
         let value: f32 = self.rng.random_range(0.0..1.0);
-        Some(Timestamped { time: self.clock, value: F16::from_f32(value).to_f32() })
+        Some(Timestamped {
+            time: self.clock,
+            value: F16::from_f32(value).to_f32(),
+        })
     }
 }
 
@@ -268,7 +303,10 @@ mod tests {
     fn uniform_respects_range_and_f16_grid() {
         let vals: Vec<f32> = UniformGen::new(7, 2.0, 5.0).take(10_000).collect();
         assert!(vals.iter().all(|&v| (2.0..5.0).contains(&v)));
-        assert!(vals.iter().all(|&v| F16::from_f32(v).to_f32() == v), "must sit on f16 grid");
+        assert!(
+            vals.iter().all(|&v| F16::from_f32(v).to_f32() == v),
+            "must sit on f16 grid"
+        );
         // Coarse uniformity: mean near 3.5.
         let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
         assert!((mean - 3.5).abs() < 0.05, "mean = {mean}");
@@ -305,10 +343,12 @@ mod tests {
     fn nearly_sorted_is_mostly_ordered() {
         let vals: Vec<f32> = NearlySortedGen::new(3, 10_000, 0.01).collect();
         assert_eq!(vals.len(), 10_000);
-        let inversions_adjacent =
-            vals.windows(2).filter(|w| w[0] > w[1]).count();
+        let inversions_adjacent = vals.windows(2).filter(|w| w[0] > w[1]).count();
         // 1% swaps → few local inversions; a shuffled array would have ~50%.
-        assert!(inversions_adjacent < 500, "{inversions_adjacent} adjacent inversions");
+        assert!(
+            inversions_adjacent < 500,
+            "{inversions_adjacent} adjacent inversions"
+        );
         // It is a permutation of the ramp.
         let mut sorted = vals.clone();
         sorted.sort_by(f32::total_cmp);
@@ -323,7 +363,10 @@ mod tests {
         let mut sorted = vals.clone();
         sorted.sort_by(f32::total_cmp);
         let total: f64 = sorted.iter().map(|&v| v as f64).sum();
-        let top1: f64 = sorted[sorted.len() * 99 / 100..].iter().map(|&v| v as f64).sum();
+        let top1: f64 = sorted[sorted.len() * 99 / 100..]
+            .iter()
+            .map(|&v| v as f64)
+            .sum();
         assert!(top1 / total > 0.2, "top-1% share {:.3}", top1 / total);
         // Median stays near scale * 2^(1/alpha).
         let median = sorted[sorted.len() / 2];
@@ -340,6 +383,9 @@ mod tests {
         gaps.sort_by(f64::total_cmp);
         let median = gaps[gaps.len() / 2];
         let mean: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
-        assert!(median < mean, "bursty gap distribution must be right-skewed");
+        assert!(
+            median < mean,
+            "bursty gap distribution must be right-skewed"
+        );
     }
 }

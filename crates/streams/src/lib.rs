@@ -25,9 +25,11 @@ pub mod trace;
 pub mod window;
 pub mod zipf;
 
+pub use gen::{
+    BurstyGen, GaussianGen, NearlySortedGen, ParetoGen, SortedGen, Timestamped, UniformGen,
+};
 pub use gsm_model::f16;
 pub use gsm_model::F16;
-pub use gen::{BurstyGen, GaussianGen, NearlySortedGen, ParetoGen, SortedGen, Timestamped, UniformGen};
 pub use trace::Trace;
 pub use window::{FixedWindows, VariableWindows};
 pub use zipf::ZipfGen;

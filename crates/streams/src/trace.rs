@@ -33,7 +33,10 @@ pub struct Trace {
 impl Trace {
     /// Captures a plain value stream.
     pub fn from_values(values: Vec<f32>) -> Self {
-        Trace { values, times: None }
+        Trace {
+            values,
+            times: None,
+        }
     }
 
     /// Captures a timestamped stream.
@@ -107,7 +110,10 @@ impl Trace {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a gsm trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a gsm trace",
+            ));
         }
         let version = read_u32(&mut r)?;
         if version != VERSION {
@@ -195,7 +201,11 @@ mod tests {
         let loaded = Trace::load(&path).expect("load");
         std::fs::remove_file(&path).ok();
         assert_eq!(
-            loaded.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            loaded
+                .values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
             values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
     }

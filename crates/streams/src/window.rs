@@ -68,7 +68,13 @@ impl<I: Iterator<Item = Timestamped>> VariableWindows<I> {
     /// Panics if `width` is not strictly positive.
     pub fn new(inner: I, width: f64) -> Self {
         assert!(width > 0.0, "window width must be positive");
-        VariableWindows { inner, width, boundary: 0.0, pending: None, started: false }
+        VariableWindows {
+            inner,
+            width,
+            boundary: 0.0,
+            pending: None,
+            started: false,
+        }
     }
 }
 
@@ -170,7 +176,9 @@ mod tests {
 
     #[test]
     fn variable_windows_all_counts_sum() {
-        let events: Vec<Timestamped> = crate::gen::BurstyGen::new(4, 500.0, 20.0).take(5000).collect();
+        let events: Vec<Timestamped> = crate::gen::BurstyGen::new(4, 500.0, 20.0)
+            .take(5000)
+            .collect();
         let windows: Vec<Vec<Timestamped>> =
             VariableWindows::new(events.clone().into_iter(), 0.05).collect();
         let total: usize = windows.iter().map(Vec::len).sum();
@@ -178,6 +186,9 @@ mod tests {
         // Window sizes must actually vary under bursty arrivals.
         let min = windows.iter().map(Vec::len).min().unwrap();
         let max = windows.iter().map(Vec::len).max().unwrap();
-        assert!(max > 2 * min.max(1), "bursts must produce size variation (min={min}, max={max})");
+        assert!(
+            max > 2 * min.max(1),
+            "bursts must produce size variation (min={min}, max={max})"
+        );
     }
 }

@@ -31,7 +31,10 @@ impl ZipfGen {
     /// Panics if `domain` is zero or larger than 2²⁰ (the CDF is
     /// precomputed), or if `alpha` is negative.
     pub fn new(seed: u64, domain: usize, alpha: f64) -> Self {
-        assert!(domain > 0 && domain <= 1 << 20, "domain must be in 1..=2^20");
+        assert!(
+            domain > 0 && domain <= 1 << 20,
+            "domain must be in 1..=2^20"
+        );
         assert!(alpha >= 0.0, "alpha must be non-negative");
         let mut cdf = Vec::with_capacity(domain);
         let mut acc = 0.0f64;
@@ -43,7 +46,10 @@ impl ZipfGen {
         for c in &mut cdf {
             *c /= total;
         }
-        ZipfGen { rng: StdRng::seed_from_u64(seed), cdf }
+        ZipfGen {
+            rng: StdRng::seed_from_u64(seed),
+            cdf,
+        }
     }
 
     /// Draws a rank (0-based; rank 0 is most frequent).
@@ -99,7 +105,10 @@ mod tests {
         // Rank 0 must be the most frequent and close to its mass.
         let p0 = g.mass(0);
         let observed0 = counts[0] as f64 / n as f64;
-        assert!((observed0 - p0).abs() < 0.01, "observed {observed0}, expected {p0}");
+        assert!(
+            (observed0 - p0).abs() < 0.01,
+            "observed {observed0}, expected {p0}"
+        );
         assert!(counts[0] > counts[10]);
         assert!(counts[10] > counts[49]);
     }
@@ -122,7 +131,9 @@ mod tests {
     #[test]
     fn values_are_f16_exact_ranks() {
         let vals: Vec<f32> = ZipfGen::new(1, 64, 1.2).take(1000).collect::<Vec<_>>();
-        assert!(vals.iter().all(|&v| v.fract() == 0.0 && (0.0..64.0).contains(&v)));
+        assert!(vals
+            .iter()
+            .all(|&v| v.fract() == 0.0 && (0.0..64.0).contains(&v)));
     }
 
     #[test]

@@ -23,9 +23,15 @@ fn main() {
     let pairs: Vec<(f32, f32)> = (0..flows)
         .map(|_| {
             if rng.random_range(0..100) < 95 {
-                (rng.random_range(0.01..1.0f32), rng.random_range(1.0..20.0f32))
+                (
+                    rng.random_range(0.01..1.0f32),
+                    rng.random_range(1.0..20.0f32),
+                )
             } else {
-                (rng.random_range(10.0..300.0f32), rng.random_range(500.0..5000.0f32))
+                (
+                    rng.random_range(10.0..300.0f32),
+                    rng.random_range(500.0..5000.0f32),
+                )
             }
         })
         .collect();
@@ -43,7 +49,10 @@ fn main() {
     };
 
     println!("{flows} flows, total bytes {total:.0} (tracked exactly)\n");
-    println!("{:>6}  {:>16}  {:>16}  {:>10}", "phi", "estimated bytes", "exact bytes", "share");
+    println!(
+        "{:>6}  {:>16}  {:>16}  {:>10}",
+        "phi", "estimated bytes", "exact bytes", "share"
+    );
     for phi in [0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
         let (lo, hi) = est.query_sum(phi);
         let mid = (lo + hi) / 2.0;
@@ -60,5 +69,9 @@ fn main() {
     println!("\nreading: the shortest 95% of flows carry only a fraction of the bytes —");
     println!("the elephants dominate, and the estimator quantifies it in one pass,");
     println!("bounded memory, with the duration sort done on the (simulated) GPU.");
-    println!("\nsimulated time: {} | breakdown: {}", est.total_time(), est.breakdown());
+    println!(
+        "\nsimulated time: {} | breakdown: {}",
+        est.total_time(),
+        est.breakdown()
+    );
 }

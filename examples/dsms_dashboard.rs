@@ -29,10 +29,16 @@ fn main() {
     probe.push_all(stream.iter().copied());
     probe.flush();
     let capacity = probe.service_rate();
-    println!("engine capacity with 3 standing queries: {:.2} M elements/s (simulated)", capacity / 1e6);
+    println!(
+        "engine capacity with 3 standing queries: {:.2} M elements/s (simulated)",
+        capacity / 1e6
+    );
 
     let offered = capacity * 2.0;
-    println!("offered rate: {:.2} M elements/s (2x overload)\n", offered / 1e6);
+    println!(
+        "offered rate: {:.2} M elements/s (2x overload)\n",
+        offered / 1e6
+    );
     let report = run_at_rate(&mut eng, stream.iter().copied(), offered);
     println!(
         "shed {:.1}% of {} arrivals; processed {}; backlog {:.0} ms; keep fraction {:.2}",

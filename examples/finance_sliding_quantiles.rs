@@ -13,7 +13,7 @@
 
 use gsm::core::{Engine, SlidingQuantileEstimator};
 use gsm::sketch::exact::ExactStats;
-use gsm::stream::{BurstyGen, F16, Timestamped, VariableWindows};
+use gsm::stream::{BurstyGen, Timestamped, VariableWindows, F16};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,7 +42,10 @@ fn main() {
     let mut est = SlidingQuantileEstimator::new(eps, window, Engine::GpuSim);
 
     // Stream in and snapshot the quantile band at checkpoints.
-    println!("{:>9}  {:>8}  {:>8}  {:>8}   (rolling 1% / median / 99%)", "tick", "p01", "p50", "p99");
+    println!(
+        "{:>9}  {:>8}  {:>8}  {:>8}   (rolling 1% / median / 99%)",
+        "tick", "p01", "p50", "p99"
+    );
     let checkpoints = [100_000usize, 200_000, 300_000, 400_000];
     let mut fed = 0usize;
     for &cp in &checkpoints {
@@ -60,7 +63,10 @@ fn main() {
     }
     println!("\nfinal band verified against the exact window (rank error <= eps)");
     println!("simulated GPU time: {}", est.total_time());
-    println!("summary footprint:  {} entries for a {window}-tick window", est.entry_count());
+    println!(
+        "summary footprint:  {} entries for a {window}-tick window",
+        est.entry_count()
+    );
 
     // ---- Variable-width windows on bursty tick arrivals -------------------
     println!("\n== per-second summaries under bursty arrivals ==");

@@ -20,7 +20,11 @@ fn main() {
     for engine in SortEngine::ALL {
         let report = Sorter::new(engine).sort(&data);
         assert!(report.sorted.windows(2).all(|w| w[0] <= w[1]));
-        println!("{:<26} total {:>12}", engine.label(), format!("{}", report.total_time));
+        println!(
+            "{:<26} total {:>12}",
+            engine.label(),
+            format!("{}", report.total_time)
+        );
         if let Some(gs) = &report.gpu_stats {
             println!(
                 "    GPU: {} passes, {} quads, {} fragments, {} blend ops",

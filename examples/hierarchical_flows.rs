@@ -25,17 +25,17 @@ fn main() {
     let noisy_subnet = 0x56u32; // subnet 0x56xx: ~20% spread over 256 hosts
     let mut rng = StdRng::seed_from_u64(2005);
     let trace: Vec<f32> = (0..packets)
-        .map(|_| {
-            match rng.random_range(0..100) {
-                0..=14 => hot_host as f32,
-                15..=34 => ((noisy_subnet << 8) | rng.random_range(0..256)) as f32,
-                _ => rng.random_range(0x8000..0xFFFF) as f32,
-            }
+        .map(|_| match rng.random_range(0..100) {
+            0..=14 => hot_host as f32,
+            15..=34 => ((noisy_subnet << 8) | rng.random_range(0..256)) as f32,
+            _ => rng.random_range(0x8000..0xFFFF) as f32,
         })
         .collect();
 
     // Plain (flat) heavy hitters: sees the host, misses the subnet.
-    let mut flat = FrequencyEstimator::builder(eps).engine(Engine::GpuSim).build();
+    let mut flat = FrequencyEstimator::builder(eps)
+        .engine(Engine::GpuSim)
+        .build();
     flat.push_all(trace.iter().copied());
     let flat_answer = flat.heavy_hitters(support);
     println!("flat heavy hitters at {:.0}% support:", support * 100.0);
@@ -50,7 +50,10 @@ fn main() {
     hhh.push_all(trace.iter().copied());
     let result = hhh.query(support);
 
-    println!("\nhierarchical heavy hitters at {:.0}% support:", support * 100.0);
+    println!(
+        "\nhierarchical heavy hitters at {:.0}% support:",
+        support * 100.0
+    );
     for e in &result {
         let label = if e.level == 0 {
             format!("host   {:#06x}", e.prefix as u32)
@@ -63,18 +66,28 @@ fn main() {
         );
     }
     assert!(
-        result.iter().any(|e| e.level == 0 && e.prefix == hot_host as f32),
+        result
+            .iter()
+            .any(|e| e.level == 0 && e.prefix == hot_host as f32),
         "hot host must appear at leaf level"
     );
     assert!(
-        result.iter().any(|e| e.level == 1 && e.prefix == (noisy_subnet << 8) as f32),
+        result
+            .iter()
+            .any(|e| e.level == 1 && e.prefix == (noisy_subnet << 8) as f32),
         "diffuse subnet must appear at subnet level"
     );
     assert!(
-        !result.iter().any(|e| e.level == 1 && e.prefix == (hot_host & 0xFF00) as f32),
+        !result
+            .iter()
+            .any(|e| e.level == 1 && e.prefix == (hot_host & 0xFF00) as f32),
         "the hot host's own subnet must be discounted away"
     );
 
-    println!("\nsimulated time: {} ({} summary entries across levels)", hhh.total_time(), hhh.entry_count());
+    println!(
+        "\nsimulated time: {} ({} summary entries across levels)",
+        hhh.total_time(),
+        hhh.entry_count()
+    );
     println!("breakdown: {}", hhh.breakdown());
 }

@@ -49,8 +49,14 @@ fn main() {
         assert!(answered.contains(v), "flow {v} ({c} packets) missed");
     }
 
-    println!("\nflows >= {:.1}% of traffic (threshold {threshold} packets):", support * 100.0);
-    println!("{:>10}  {:>10}  {:>10}  {:>9}", "flow", "estimated", "exact", "err");
+    println!(
+        "\nflows >= {:.1}% of traffic (threshold {threshold} packets):",
+        support * 100.0
+    );
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>9}",
+        "flow", "estimated", "exact", "err"
+    );
     for &(v, est_count) in &reports[0].0 {
         let exact = oracle.frequency(v);
         // Entries below the (s-eps) floor are possible false positives of

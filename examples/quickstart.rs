@@ -28,7 +28,9 @@ fn main() {
     println!("  breakdown:       {}", quantiles.breakdown());
 
     // ---- Heavy hitters over a Zipf stream --------------------------------
-    let mut freq = FrequencyEstimator::builder(eps).engine(Engine::GpuSim).build();
+    let mut freq = FrequencyEstimator::builder(eps)
+        .engine(Engine::GpuSim)
+        .build();
     freq.push_all(ZipfGen::new(7, 10_000, 1.1).take(n));
 
     println!("\n== heavy hitters at 1% support over {n} Zipf(1.1) values ==");

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything that must stay green on every commit.
 # Run from the repository root (or any subdirectory; cargo finds the
-# workspace).
+# workspace). CI runs exactly this script (see .github/workflows/ci.yml),
+# so passing locally means passing the gate.
 set -euo pipefail
 
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+cargo fmt --all --check
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "tier-1 gate: OK"

@@ -29,12 +29,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Labels a benchmark by its parameter alone.
     pub fn from_parameter<P: core::fmt::Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 
     /// Labels a benchmark with a function name and a parameter.
     pub fn new<P: core::fmt::Display>(function_name: &str, parameter: P) -> Self {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 }
 
@@ -46,7 +50,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { warm_up: Duration::from_millis(50), measure: Duration::from_millis(300) }
+        Criterion {
+            warm_up: Duration::from_millis(50),
+            measure: Duration::from_millis(300),
+        }
     }
 }
 
@@ -54,7 +61,10 @@ impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\n== group: {name}");
-        BenchmarkGroup { criterion: self, throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
     }
 }
 
@@ -77,7 +87,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = id.into().0;
-        let mut b = Bencher { warm_up: self.criterion.warm_up, measure: self.criterion.measure, result: None };
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+            result: None,
+        };
         f(&mut b);
         report(&label, self.throughput, b.result);
         self
@@ -94,7 +108,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = id.into().0;
-        let mut b = Bencher { warm_up: self.criterion.warm_up, measure: self.criterion.measure, result: None };
+        let mut b = Bencher {
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+            result: None,
+        };
         f(&mut b, input);
         report(&label, self.throughput, b.result);
         self

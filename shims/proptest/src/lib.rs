@@ -27,10 +27,7 @@ pub mod strategy {
         fn generate(&self, rng: &mut StdRng) -> Self::Value;
 
         /// Maps generated values through `f`.
-        fn prop_map<O: core::fmt::Debug, F: Fn(Self::Value) -> O>(
-            self,
-            f: F,
-        ) -> Map<Self, F>
+        fn prop_map<O: core::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
         {
@@ -116,7 +113,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     pub struct VecStrategy<S> {
         element: S,
         size: core::ops::Range<usize>,
@@ -218,7 +215,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *__a != *__b,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($a), stringify!($b), __a
+            stringify!($a),
+            stringify!($b),
+            __a
         );
     }};
 }

@@ -125,7 +125,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            StdRng { s: [next(), next(), next(), next()] }
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
@@ -187,8 +189,10 @@ mod tests {
         for &b in &buckets {
             assert!((9_000..11_000).contains(&b), "bucket count {b}");
         }
-        let mean: f64 =
-            (0..100_000).map(|_| rng.random_range(0.0f64..1.0)).sum::<f64>() / 100_000.0;
+        let mean: f64 = (0..100_000)
+            .map(|_| rng.random_range(0.0f64..1.0))
+            .sum::<f64>()
+            / 100_000.0;
         assert!((0.49..0.51).contains(&mean), "mean {mean}");
     }
 }

@@ -239,7 +239,11 @@ impl JsonKey for String {
 
 impl<K: JsonKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_value(&self) -> Value {
-        Value::Obj(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -409,7 +413,10 @@ pub mod json {
                     .map_err(|_| Error::msg("invalid utf-8 in number"))?;
                 Ok(Value::Num(lexeme.to_string()))
             }
-            Some(c) => Err(Error::msg(format!("unexpected byte `{}` at {pos}", *c as char))),
+            Some(c) => Err(Error::msg(format!(
+                "unexpected byte `{}` at {pos}",
+                *c as char
+            ))),
         }
     }
 
@@ -442,12 +449,10 @@ pub mod json {
                                 .next()
                                 .ok_or_else(|| Error::msg("truncated \\u escape"))?;
                             code = code * 16
-                                + h.to_digit(16)
-                                    .ok_or_else(|| Error::msg("bad \\u escape"))?;
+                                + h.to_digit(16).ok_or_else(|| Error::msg("bad \\u escape"))?;
                         }
                         out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                            char::from_u32(code).ok_or_else(|| Error::msg("bad \\u code point"))?,
                         );
                     }
                     other => {
@@ -487,15 +492,24 @@ mod tests {
     #[test]
     fn containers_round_trip() {
         let v: Vec<(f32, u64)> = vec![(1.5, 2), (-3.25, 4)];
-        assert_eq!(Vec::<(f32, u64)>::from_value(&round_trip(&v.to_value())).unwrap(), v);
+        assert_eq!(
+            Vec::<(f32, u64)>::from_value(&round_trip(&v.to_value())).unwrap(),
+            v
+        );
 
         let mut m = HashMap::new();
         m.insert(7u32, 99u64);
         m.insert(123, 1);
-        assert_eq!(HashMap::<u32, u64>::from_value(&round_trip(&m.to_value())).unwrap(), m);
+        assert_eq!(
+            HashMap::<u32, u64>::from_value(&round_trip(&m.to_value())).unwrap(),
+            m
+        );
 
         let o: Vec<Option<u32>> = vec![None, Some(3)];
-        assert_eq!(Vec::<Option<u32>>::from_value(&round_trip(&o.to_value())).unwrap(), o);
+        assert_eq!(
+            Vec::<Option<u32>>::from_value(&round_trip(&o.to_value())).unwrap(),
+            o
+        );
     }
 
     #[test]

@@ -11,8 +11,14 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Item {
-    Struct { name: String, fields: Vec<String> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Variant {
@@ -30,14 +36,18 @@ enum VariantKind {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives the serde shim's `Deserialize` (value-tree rebuilding).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -61,12 +71,18 @@ fn parse_item(input: TokenStream) -> Item {
             Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
                 let name = expect_ident(tokens.next());
                 let body = expect_brace_group(tokens.next());
-                return Item::Struct { name, fields: parse_named_fields(body) };
+                return Item::Struct {
+                    name,
+                    fields: parse_named_fields(body),
+                };
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
                 let name = expect_ident(tokens.next());
                 let body = expect_brace_group(tokens.next());
-                return Item::Enum { name, variants: parse_variants(body) };
+                return Item::Enum {
+                    name,
+                    variants: parse_variants(body),
+                };
             }
             Some(other) => panic!("serde shim derive: unexpected token `{other}`"),
             None => panic!("serde shim derive: no struct or enum found"),
@@ -236,8 +252,7 @@ fn gen_serialize(item: &Item) -> String {
                              ::serde::Serialize::to_value(__f0))]),"
                         ),
                         VariantKind::Tuple(n) => {
-                            let binds: Vec<String> =
-                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
                             let items: String = binds
                                 .iter()
                                 .map(|b| format!("::serde::Serialize::to_value({b}),"))
@@ -322,9 +337,7 @@ fn gen_deserialize(item: &Item) -> String {
                         VariantKind::Tuple(n) => {
                             let items: String = (0..*n)
                                 .map(|i| {
-                                    format!(
-                                        "::serde::Deserialize::from_value(&__items[{i}])?,"
-                                    )
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?,")
                                 })
                                 .collect();
                             Some(format!(

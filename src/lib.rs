@@ -48,8 +48,8 @@
 //! ```
 
 pub use gsm_core as core;
-pub use gsm_dsms as dsms;
 pub use gsm_cpu as cpu;
+pub use gsm_dsms as dsms;
 pub use gsm_gpu as gpu;
 pub use gsm_model as model;
 pub use gsm_sketch as sketch;

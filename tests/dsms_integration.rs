@@ -45,18 +45,78 @@ fn full_dashboard_on_every_engine() {
 #[test]
 fn dsms_engines_are_bit_identical() {
     let data = zipf(50_000, 4);
-    let answers: Vec<_> = [Engine::GpuSim, Engine::CpuSim, Engine::Host]
-        .into_iter()
-        .map(|e| {
-            let mut eng = StreamEngine::new(e).with_n_hint(50_000);
-            let q = eng.register_quantile(0.01);
-            let f = eng.register_frequency(0.001);
-            eng.push_all(data.iter().copied());
-            (eng.quantile(q, 0.9), eng.heavy_hitters(f, 0.01))
-        })
-        .collect();
+    let answers: Vec<_> = [
+        Engine::GpuSim,
+        Engine::CpuSim,
+        Engine::Host,
+        Engine::ParallelHost,
+    ]
+    .into_iter()
+    .map(|e| {
+        let mut eng = StreamEngine::new(e).with_n_hint(50_000);
+        let q = eng.register_quantile(0.01);
+        let f = eng.register_frequency(0.001);
+        eng.push_all(data.iter().copied());
+        (eng.quantile(q, 0.9), eng.heavy_hitters(f, 0.01))
+    })
+    .collect();
     assert_eq!(answers[0], answers[1]);
     assert_eq!(answers[1], answers[2]);
+    assert_eq!(answers[2], answers[3]);
+}
+
+#[test]
+fn checkpoint_drains_the_overlapped_sort() {
+    // Under `ParallelHost` one window is always sorting in the background;
+    // a checkpoint taken mid-stream must drain it into the sketches, not
+    // silently drop it. Cross-restore onto plain `Host` and compare with an
+    // all-`Host` engine that saw the identical stream: any lost window
+    // would desync the counts and the answers.
+    let data = zipf(30_000, 9);
+    let build = |engine: Engine| {
+        let mut eng = StreamEngine::new(engine).with_n_hint(data.len() as u64);
+        let q = eng.register_quantile(0.01);
+        let f = eng.register_frequency(0.001);
+        (eng, q, f)
+    };
+    let (mut overlapped, q, f) = build(Engine::ParallelHost);
+    let (mut reference, rq, rf) = build(Engine::Host);
+
+    // Split mid-window so the checkpoint also carries a partial buffer.
+    let window = {
+        overlapped.seal();
+        overlapped.window()
+    };
+    let cut = 2 * window + window / 3;
+    assert!(
+        cut < data.len(),
+        "stream long enough to continue after restore"
+    );
+    for &v in &data[..cut] {
+        overlapped.push(v);
+        reference.push(v);
+    }
+
+    let json = overlapped.checkpoint();
+    let mut restored = StreamEngine::restore(Engine::Host, &json).expect("valid checkpoint");
+    assert_eq!(
+        restored.count(),
+        reference.count(),
+        "no window lost in flight"
+    );
+
+    for &v in &data[cut..] {
+        restored.push(v);
+        reference.push(v);
+    }
+    assert_eq!(
+        restored.quantile(q, 0.5).to_bits(),
+        reference.quantile(rq, 0.5).to_bits()
+    );
+    assert_eq!(
+        restored.heavy_hitters(f, 0.01),
+        reference.heavy_hitters(rf, 0.01)
+    );
 }
 
 #[test]
@@ -74,7 +134,10 @@ fn gpu_sustains_a_higher_rate_than_cpu() {
     };
     let gpu = rate_for(Engine::GpuSim);
     let cpu = rate_for(Engine::CpuSim);
-    assert!(gpu > cpu, "GPU {gpu:.0}/s must beat CPU {cpu:.0}/s at 32K windows");
+    assert!(
+        gpu > cpu,
+        "GPU {gpu:.0}/s must beat CPU {cpu:.0}/s at 32K windows"
+    );
 }
 
 #[test]

@@ -16,7 +16,10 @@ fn quantiles_within_eps_on_every_engine_and_distribution() {
     let eps = 0.01;
     let streams: Vec<(&str, Vec<f32>)> = vec![
         ("uniform", UniformGen::unit(1).take(n).collect()),
-        ("gaussian", GaussianGen::new(2, 500.0, 50.0).take(n).collect()),
+        (
+            "gaussian",
+            GaussianGen::new(2, 500.0, 50.0).take(n).collect(),
+        ),
         ("zipf", ZipfGen::new(3, 1000, 1.2).take(n).collect()),
         ("ascending", (0..n).map(|i| i as f32).collect()),
         ("descending", (0..n).rev().map(|i| i as f32).collect()),
@@ -54,14 +57,20 @@ fn frequencies_no_false_negatives_on_every_engine() {
         est.push_all(data.iter().copied());
         let answer: Vec<f32> = est.heavy_hitters(support).iter().map(|&(v, _)| v).collect();
         for (v, c) in &truth {
-            assert!(answer.contains(v), "{engine:?}: heavy hitter {v} ({c}) missed");
+            assert!(
+                answer.contains(v),
+                "{engine:?}: heavy hitter {v} ({c}) missed"
+            );
         }
         // Estimates never exceed the truth and undercount by <= eps*N.
         let bound = (eps * n as f64).ceil() as u64;
         for &(v, _) in &truth {
             let e = est.estimate(v);
             let t = oracle.frequency(v);
-            assert!(e <= t && t - e <= bound, "{engine:?}: {v} est {e} truth {t}");
+            assert!(
+                e <= t && t - e <= bound,
+                "{engine:?}: {v} est {e} truth {t}"
+            );
         }
     }
 }
@@ -75,7 +84,10 @@ fn gpu_and_cpu_engines_are_functionally_identical() {
     let mut q_answers = Vec::new();
     let mut f_answers = Vec::new();
     for engine in ENGINES {
-        let mut q = QuantileEstimator::builder(0.02).engine(engine).n_hint(n as u64).build();
+        let mut q = QuantileEstimator::builder(0.02)
+            .engine(engine)
+            .n_hint(n as u64)
+            .build();
         q.push_all(data.iter().copied());
         q_answers.push([q.query(0.1), q.query(0.5), q.query(0.9)]);
 
@@ -96,7 +108,11 @@ fn sliding_estimators_track_window_turnover() {
         let mut f = SlidingFrequencyEstimator::new(0.05, 2000, engine);
         // Old regime: values around 0, plus a hot value 5.0.
         for i in 0..4000 {
-            let v = if i % 4 == 0 { 5.0 } else { (i % 100) as f32 / 100.0 };
+            let v = if i % 4 == 0 {
+                5.0
+            } else {
+                (i % 100) as f32 / 100.0
+            };
             q.push(v);
             f.push(v);
         }
@@ -141,17 +157,23 @@ fn simulated_times_have_the_papers_ordering() {
 }
 
 #[test]
-fn f16_stream_values_survive_the_gpu_path_bit_exactly()
-{
+fn f16_stream_values_survive_the_gpu_path_bit_exactly() {
     use gsm::stream::F16;
     // Every value is on the f16 grid; the f32 GPU path must return exactly
     // those values (binary16 → binary32 is exact).
     let data: Vec<f32> = UniformGen::unit(23).take(5000).collect();
-    let mut est = QuantileEstimator::builder(0.05).engine(Engine::GpuSim).n_hint(5000).build();
+    let mut est = QuantileEstimator::builder(0.05)
+        .engine(Engine::GpuSim)
+        .n_hint(5000)
+        .build();
     est.push_all(data.iter().copied());
     for phi in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let v = est.query(phi);
-        assert_eq!(F16::from_f32(v).to_f32(), v, "answers must sit on the f16 grid");
+        assert_eq!(
+            F16::from_f32(v).to_f32(),
+            v,
+            "answers must sit on the f16 grid"
+        );
         assert!(data.contains(&v), "answers must be actual stream values");
     }
 }

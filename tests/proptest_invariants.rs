@@ -7,8 +7,8 @@ use gsm::core::{
 use gsm::cpu::{CpuCostModel, Machine};
 use gsm::gpu::Device;
 use gsm::sketch::exact::ExactStats;
-use gsm::sketch::{GkSummary, LossyCounting, MisraGries, WindowSummary};
 use gsm::sketch::summary::OpCounter;
+use gsm::sketch::{GkSummary, LossyCounting, MisraGries, WindowSummary};
 use gsm::sort::gpu_sort_rgba;
 use gsm::sort::network::{apply_schedule, bitonic_schedule, pbsn_schedule};
 use gsm::stream::F16;
@@ -149,9 +149,10 @@ proptest! {
         }
     }
 
-    /// Every estimator family is *byte-identical* across the three engines
+    /// Every estimator family is *byte-identical* across the four engines
     /// when fed through the shared window→sort→summary pipeline: the GPU
-    /// and CPU simulators change only the simulated clock, never an answer.
+    /// and CPU simulators change only the simulated clock, and the real
+    /// worker-pool engine changes only the wall clock — never an answer.
     #[test]
     fn engines_byte_identical_across_estimators(raw in vec(0u32..4000, 200..2500)) {
         // Integer-valued stream: HHH requires integer ids, and integers
@@ -183,8 +184,10 @@ proptest! {
         let gpu = run(Engine::GpuSim);
         let cpu = run(Engine::CpuSim);
         let host = run(Engine::Host);
+        let parallel = run(Engine::ParallelHost);
         prop_assert_eq!(&gpu, &cpu);
         prop_assert_eq!(&cpu, &host);
+        prop_assert_eq!(&host, &parallel);
     }
 
     /// Software f16: round-trip exactness for representable values and
