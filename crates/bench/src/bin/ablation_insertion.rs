@@ -133,5 +133,6 @@ fn short(e: Engine) -> &'static str {
         Engine::GpuSim => "GPU",
         Engine::CpuSim => "CPU",
         Engine::Host => "host",
+        Engine::ParallelHost => "par-host",
     }
 }

@@ -172,10 +172,10 @@ fn main() {
         engines: vec![host, parallel, gpu],
         speedup_parallel_vs_host: speedup,
     };
-    let json = serde_json::to_string(&report).expect("report serializes");
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        std::fs::create_dir_all(dir).expect("create results dir");
-    }
-    std::fs::write(&out, json).expect("write results JSON");
+    let payload = serde_json::to_string(&report).expect("report serializes");
+    gsm_bench::write_result(
+        &out,
+        &gsm_bench::envelope_json("gsm-bench/bench_overlap", &payload),
+    );
     println!("wrote {out}");
 }

@@ -12,6 +12,7 @@
 use gsm_cpu::{CpuCostModel, CpuStats, Machine};
 use gsm_gpu::{Device, GpuCostModel, GpuStats, Surface, TextureFormat, TextureId};
 use gsm_model::SimTime;
+use gsm_obs::Recorder;
 use gsm_sort::cpu::quicksort;
 use gsm_sort::layout::{texture_dims, PAD};
 use gsm_sort::pbsn::{pbsn_sort_device, pbsn_sort_segments};
@@ -107,6 +108,14 @@ pub trait SortBackend {
     fn set_texture_format(&mut self, format: TextureFormat) {
         let _ = format;
     }
+
+    /// Installs an observability recorder. Backends publish device-level
+    /// counters into it (comparator calls, radix passes, render passes,
+    /// merge writes); the default ignores it, and a disabled recorder costs
+    /// one branch per event. Instrumentation never changes sort results.
+    fn set_recorder(&mut self, rec: Recorder) {
+        let _ = rec;
+    }
 }
 
 /// Builds the calibrated backend for `engine`. A positive
@@ -120,13 +129,16 @@ pub fn backend_for(engine: Engine, min_batch_values: usize) -> Box<dyn SortBacke
             GpuSimBackend::new()
         }),
         Engine::CpuSim => Box::new(CpuSimBackend::new()),
-        Engine::Host => Box::new(HostBackend),
+        Engine::Host => Box::new(HostBackend::default()),
         Engine::ParallelHost => Box::new(ParallelHostBackend::with_default_threads()),
     }
 }
 
 /// Plain `slice::sort` with zero simulated time, for functional testing.
-pub struct HostBackend;
+#[derive(Default)]
+pub struct HostBackend {
+    obs: Recorder,
+}
 
 impl SortBackend for HostBackend {
     fn engine(&self) -> Engine {
@@ -137,7 +149,18 @@ impl SortBackend for HostBackend {
         windows
             .into_iter()
             .map(|mut w| {
-                w.sort_by(f32::total_cmp);
+                if self.obs.is_enabled() {
+                    // Same sort, same comparator, same result — the closure
+                    // only counts how often the comparator runs.
+                    let mut calls = 0u64;
+                    w.sort_by(|a, b| {
+                        calls += 1;
+                        f32::total_cmp(a, b)
+                    });
+                    self.obs.count("host_comparator_calls", calls);
+                } else {
+                    w.sort_by(f32::total_cmp);
+                }
                 w
             })
             .collect()
@@ -146,6 +169,10 @@ impl SortBackend for HostBackend {
     fn sort_time(&self) -> SimTime {
         SimTime::ZERO
     }
+
+    fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = rec;
+    }
 }
 
 /// Instrumented quicksort on the simulated Pentium IV — the paper's CPU
@@ -153,6 +180,9 @@ impl SortBackend for HostBackend {
 /// routines", i.e. with a comparator function pointer).
 pub struct CpuSimBackend {
     machine: Machine,
+    obs: Recorder,
+    /// Counters already published to `obs`, so each batch records a delta.
+    obs_seen: CpuStats,
 }
 
 impl CpuSimBackend {
@@ -160,6 +190,8 @@ impl CpuSimBackend {
     pub fn new() -> Self {
         CpuSimBackend {
             machine: Machine::new(CpuCostModel::pentium4_3400_qsort()),
+            obs: Recorder::disabled(),
+            obs_seen: CpuStats::default(),
         }
     }
 }
@@ -176,13 +208,19 @@ impl SortBackend for CpuSimBackend {
     }
 
     fn sort_batch(&mut self, windows: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
-        windows
+        let sorted: Vec<Vec<f32>> = windows
             .into_iter()
             .map(|mut w| {
                 quicksort(&mut w, &mut self.machine, WINDOW_BASE);
                 w
             })
-            .collect()
+            .collect();
+        if self.obs.is_enabled() {
+            let now = *self.machine.stats();
+            now.since(&self.obs_seen).record_into(&self.obs);
+            self.obs_seen = now;
+        }
+        sorted
     }
 
     fn sort_time(&self) -> SimTime {
@@ -191,6 +229,10 @@ impl SortBackend for CpuSimBackend {
 
     fn cpu_stats(&self) -> Option<&CpuStats> {
         Some(self.machine.stats())
+    }
+
+    fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = rec;
     }
 }
 
@@ -204,6 +246,9 @@ pub struct GpuSimBackend {
     /// Minimum buffered values before a batch launches (0 = plain
     /// 4-window batching).
     min_batch_values: usize,
+    obs: Recorder,
+    /// Counters already published to `obs`, so each batch records a delta.
+    obs_seen: GpuStats,
 }
 
 impl GpuSimBackend {
@@ -214,6 +259,8 @@ impl GpuSimBackend {
             tex: None,
             format: TextureFormat::Rgba32F,
             min_batch_values: 0,
+            obs: Recorder::disabled(),
+            obs_seen: GpuStats::default(),
         }
     }
 
@@ -349,11 +396,17 @@ impl SortBackend for GpuSimBackend {
     }
 
     fn sort_batch(&mut self, windows: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
-        if self.min_batch_values > 0 {
+        let sorted = if self.min_batch_values > 0 {
             self.sort_segmented(&windows)
         } else {
             self.sort_channels(&windows)
+        };
+        if self.obs.is_enabled() {
+            let now = self.dev.stats().clone();
+            now.since(&self.obs_seen).record_into(&self.obs);
+            self.obs_seen = now;
         }
+        sorted
     }
 
     fn sort_time(&self) -> SimTime {
@@ -370,5 +423,9 @@ impl SortBackend for GpuSimBackend {
 
     fn set_texture_format(&mut self, format: TextureFormat) {
         self.format = format;
+    }
+
+    fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = rec;
     }
 }

@@ -73,6 +73,14 @@ impl BatchPipeline {
         self.backend.set_texture_format(format);
     }
 
+    /// Installs an observability recorder on the backend (see
+    /// [`SortBackend::set_recorder`]). Call before submitting windows: the
+    /// overlapping backend rebuilds its worker pool and panics if batches
+    /// are in flight.
+    pub fn set_recorder(&mut self, rec: gsm_obs::Recorder) {
+        self.backend.set_recorder(rec);
+    }
+
     /// The engine in use.
     pub fn engine(&self) -> Engine {
         self.backend.engine()

@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use gsm_model::SimTime;
+use gsm_obs::Recorder;
 use gsm_sort::layout::split_channels;
 use gsm_sort::merge::{merge4_into, MergeScratch};
 use gsm_sort::pool::{Ticket, WorkerPool};
@@ -46,6 +47,7 @@ pub struct ParallelHostBackend {
     inflight: VecDeque<InflightBatch>,
     wall: WallClock,
     scratch: MergeScratch,
+    obs: Recorder,
 }
 
 impl ParallelHostBackend {
@@ -64,13 +66,17 @@ impl ParallelHostBackend {
         Self::over(WorkerPool::with_default_threads())
     }
 
-    /// Creates the backend over an explicit pool.
+    /// Creates the backend over an explicit pool, adopting its recorder
+    /// (disabled unless the pool was built with
+    /// [`WorkerPool::with_recorder`]).
     pub fn over(pool: WorkerPool) -> Self {
+        let obs = pool.recorder().clone();
         ParallelHostBackend {
             pool,
             inflight: VecDeque::new(),
             wall: WallClock::default(),
             scratch: MergeScratch::default(),
+            obs,
         }
     }
 
@@ -122,6 +128,8 @@ impl ParallelHostBackend {
                     &mut buf,
                     len,
                 );
+                // One merged element = one write into the window buffer.
+                self.obs.count("merge_writes", len as u64);
                 buf
             })
             .collect()
@@ -167,6 +175,23 @@ impl SortBackend for ParallelHostBackend {
 
     fn sort_time(&self) -> SimTime {
         SimTime::ZERO
+    }
+
+    /// Rebuilds the worker pool with `rec` so the workers publish pool
+    /// metrics; safe only between batches, which is when the pipeline calls
+    /// it (builder time, before any window is submitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if batches are in flight — swapping the pool would strand
+    /// their queued jobs.
+    fn set_recorder(&mut self, rec: Recorder) {
+        assert!(
+            self.inflight.is_empty(),
+            "cannot swap the recorder with batches in flight"
+        );
+        self.pool = WorkerPool::with_recorder(self.pool.threads(), rec.clone());
+        self.obs = rec;
     }
 }
 

@@ -145,6 +145,41 @@ impl CpuStats {
             self.mispredicts as f64 / self.branches as f64
         }
     }
+
+    /// The difference `self − earlier`, for scoping costs to a region.
+    ///
+    /// All counters are monotonically non-decreasing, so a snapshot taken
+    /// before an operation can be subtracted from one taken after.
+    pub fn since(&self, earlier: &CpuStats) -> CpuStats {
+        CpuStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            branches: self.branches - earlier.branches,
+            mispredicts: self.mispredicts - earlier.mispredicts,
+            alu_cycles: self.alu_cycles - earlier.alu_cycles,
+            calls: self.calls - earlier.calls,
+            prefetch_covered: self.prefetch_covered - earlier.prefetch_covered,
+        }
+    }
+
+    /// Publishes these counters into an observability recorder under the
+    /// `cpu_*` namespace. Callers scoping a region pass a [`CpuStats::since`]
+    /// delta so the recorder's totals stay monotone.
+    pub fn record_into(&self, rec: &gsm_obs::Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.count("cpu_reads", self.reads);
+        rec.count("cpu_writes", self.writes);
+        rec.count("cpu_l1_misses", self.l1_misses);
+        rec.count("cpu_l2_misses", self.l2_misses);
+        rec.count("cpu_branches", self.branches);
+        rec.count("cpu_mispredicts", self.mispredicts);
+        rec.count("cpu_alu_cycles", self.alu_cycles);
+        rec.count("cpu_calls", self.calls);
+    }
 }
 
 /// A simulated CPU: instrumented algorithms report their memory accesses,

@@ -12,6 +12,7 @@
 
 use gsm_core::{BitPrefixHierarchy, Engine, HhhEntry, TimeBreakdown, WindowedPipeline};
 use gsm_model::SimTime;
+use gsm_obs::Recorder;
 use gsm_sketch::{ExpHistogram, HhhSummary, LossyCounting, SinkOps, SummarySink};
 
 /// Handle to a registered continuous query.
@@ -138,6 +139,7 @@ pub struct StreamEngine {
     specs: Vec<QuerySpec>,
     pipeline: Option<WindowedPipeline<QueryFan>>,
     count: u64,
+    obs: Recorder,
 }
 
 impl StreamEngine {
@@ -149,6 +151,7 @@ impl StreamEngine {
             specs: Vec::new(),
             pipeline: None,
             count: 0,
+            obs: Recorder::disabled(),
         }
     }
 
@@ -156,6 +159,30 @@ impl StreamEngine {
     pub fn with_n_hint(mut self, n: u64) -> Self {
         self.n_hint = n;
         self
+    }
+
+    /// Installs an observability recorder; it propagates into the shared
+    /// pipeline when the engine seals. The engine then emits per-answer
+    /// latency spans (`dsms_answer{kind=...}`), a `dsms_windows_sealed`
+    /// gauge, and the pipeline's per-window spans and phase counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has already started (the recorder must be wired
+    /// through the pipeline before any window is submitted).
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        assert!(
+            self.pipeline.is_none(),
+            "install the recorder before pushing stream data"
+        );
+        self.obs = rec;
+        self
+    }
+
+    /// The engine's recorder (disabled unless installed via
+    /// [`StreamEngine::with_recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
     }
 
     /// Registers an ε-approximate quantile query.
@@ -236,11 +263,14 @@ impl StreamEngine {
                 }
             })
             .collect();
-        self.pipeline = Some(WindowedPipeline::new(
-            self.engine,
-            window,
-            QueryFan { sketches },
-        ));
+        let mut pipeline = WindowedPipeline::new(self.engine, window, QueryFan { sketches });
+        if self.obs.is_enabled() {
+            pipeline = pipeline.with_recorder(self.obs.clone());
+            self.obs.count("dsms_seals", 1);
+            self.obs
+                .count("dsms_queries_registered", self.specs.len() as u64);
+        }
+        self.pipeline = Some(pipeline);
     }
 
     /// Pushes one stream element into every registered query.
@@ -260,7 +290,13 @@ impl StreamEngine {
     /// Forces buffered data through the shared pipeline.
     pub fn flush(&mut self) {
         self.seal();
-        self.pipeline.as_mut().expect("sealed").flush();
+        let pipeline = self.pipeline.as_mut().expect("sealed");
+        pipeline.flush();
+        if self.obs.is_enabled() {
+            // Current value = windows the shared sort has fully sealed.
+            self.obs
+                .gauge_set("dsms_windows_sealed", pipeline.windows_sorted() as i64);
+        }
     }
 
     fn sketch(&self, id: QueryId) -> &QuerySketch {
@@ -273,6 +309,7 @@ impl StreamEngine {
     ///
     /// Panics if `id` is not a quantile query.
     pub fn quantile(&mut self, id: QueryId, phi: f64) -> f32 {
+        let _span = self.obs.span_labeled("dsms_answer", ("kind", "quantile"));
         self.flush();
         match self.sketch(id) {
             QuerySketch::Quantile(q) => q.query(phi),
@@ -286,6 +323,7 @@ impl StreamEngine {
     ///
     /// Panics if `id` is not a frequency query.
     pub fn heavy_hitters(&mut self, id: QueryId, s: f64) -> Vec<(f32, u64)> {
+        let _span = self.obs.span_labeled("dsms_answer", ("kind", "frequency"));
         self.flush();
         match self.sketch(id) {
             QuerySketch::Frequency(f) => f.heavy_hitters(s),
@@ -300,6 +338,7 @@ impl StreamEngine {
     ///
     /// Panics if `id` is not an HHH query.
     pub fn hhh(&mut self, id: QueryId, s: f64) -> Vec<HhhEntry> {
+        let _span = self.obs.span_labeled("dsms_answer", ("kind", "hhh"));
         self.flush();
         match self.sketch(id) {
             QuerySketch::Hhh(h) => h.query(s),
@@ -310,6 +349,7 @@ impl StreamEngine {
     /// Generic query interface: `param` is φ for quantile queries and the
     /// support `s` otherwise.
     pub fn query(&mut self, id: QueryId, param: f64) -> QueryAnswer {
+        let _span = self.obs.span_labeled("dsms_answer", ("kind", "generic"));
         self.flush();
         match self.sketch(id) {
             QuerySketch::Quantile(q) => QueryAnswer::Quantile(q.query(param)),
@@ -580,6 +620,34 @@ mod tests {
         let before = eng.quantile(q, 0.25);
         let after = eng.quantile(q, 0.25);
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn recorder_observes_answers_and_windows() {
+        let rec = Recorder::enabled();
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_n_hint(20_000)
+            .with_recorder(rec.clone());
+        let q = eng.register_quantile(0.02);
+        let f = eng.register_frequency(0.001);
+        eng.push_all(mixed_stream(20_000, 7));
+        let _ = eng.quantile(q, 0.5);
+        let _ = eng.heavy_hitters(f, 0.01);
+        assert_eq!(rec.counter("dsms_seals"), 1);
+        assert_eq!(rec.counter("dsms_queries_registered"), 2);
+        // window = 1024 → 19 full windows + the flushed partial.
+        assert_eq!(rec.gauge("dsms_windows_sealed").unwrap().current, 20);
+        let quantile_answers = rec
+            .histogram_labeled("dsms_answer", ("kind", "quantile"))
+            .unwrap();
+        assert_eq!(quantile_answers.count, 1);
+        assert_eq!(
+            rec.histogram_labeled("dsms_answer", ("kind", "frequency"))
+                .unwrap()
+                .count,
+            1
+        );
+        assert_eq!(rec.counter("windows_absorbed"), 20);
     }
 
     #[test]

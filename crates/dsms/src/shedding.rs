@@ -124,6 +124,7 @@ pub fn run_at_rate(
 ) -> ShedReport {
     assert!(offered_rate > 0.0, "offered rate must be positive");
     engine.seal();
+    let obs = engine.recorder().clone();
     let chunk = engine.window() * 8;
     let mut shedder = LoadShedder::new(1.0);
     let mut offered = 0u64;
@@ -145,10 +146,18 @@ pub fn run_at_rate(
         offered += buffered.len() as u64;
         arrival_clock += buffered.len() as f64 / offered_rate;
 
+        let dropped_before = shedder.dropped();
         for &v in &buffered {
             if shedder.admit() {
                 engine.push(v);
             }
+        }
+        let dropped_now = shedder.dropped() - dropped_before;
+        if obs.is_enabled() && dropped_now > 0 {
+            // One shedding event per chunk that actually dropped arrivals,
+            // plus the element count it cost.
+            obs.count("dsms_shed_events", 1);
+            obs.count("dsms_shed_elements", dropped_now);
         }
 
         // Controller: estimate the engine's sustained capacity from the
@@ -164,6 +173,13 @@ pub fn run_at_rate(
         }
     }
     engine.flush();
+    if obs.is_enabled() {
+        // Keep fraction as parts-per-thousand (gauges are integral).
+        obs.gauge_set(
+            "dsms_keep_permille",
+            (shedder.keep_fraction() * 1000.0).round() as i64,
+        );
+    }
 
     let service_time = engine.total_time().as_secs();
     ShedReport {
@@ -252,6 +268,28 @@ mod tests {
         );
         // Backlog must stay bounded (within a second of the arrival clock).
         assert!(report.lag_seconds < 1.0, "{report:?}");
+    }
+
+    #[test]
+    fn recorder_counts_shed_events() {
+        let data = uniform(60_000, 5);
+        let mut probe = StreamEngine::new(Engine::CpuSim).with_n_hint(60_000);
+        let _ = probe.register_frequency(0.001);
+        probe.push_all(data.iter().copied());
+        probe.flush();
+        let capacity = probe.service_rate();
+
+        let rec = gsm_obs::Recorder::enabled();
+        let mut eng = StreamEngine::new(Engine::CpuSim)
+            .with_n_hint(60_000)
+            .with_recorder(rec.clone());
+        let _ = eng.register_frequency(0.001);
+        let report = run_at_rate(&mut eng, data.iter().copied(), capacity * 4.0);
+        assert!(report.shed > 0, "4x overload must shed: {report:?}");
+        assert_eq!(rec.counter("dsms_shed_elements"), report.shed);
+        assert!(rec.counter("dsms_shed_events") > 0);
+        let keep = rec.gauge("dsms_keep_permille").unwrap().current;
+        assert_eq!(keep, (report.keep_fraction * 1000.0).round() as i64);
     }
 
     #[test]

@@ -93,6 +93,23 @@ impl GpuStats {
             transfer_time: self.transfer_time - earlier.transfer_time,
         }
     }
+
+    /// Publishes these counters into an observability recorder under the
+    /// `gpu_*` namespace. Callers scoping a region pass a [`GpuStats::since`]
+    /// delta so the recorder's totals stay monotone.
+    pub fn record_into(&self, rec: &gsm_obs::Recorder) {
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.count("gpu_passes", self.passes);
+        rec.count("gpu_quads", self.quads);
+        rec.count("gpu_fragments", self.fragments);
+        rec.count("gpu_blend_ops", self.blend_ops);
+        rec.count("gpu_uploads", self.uploads);
+        rec.count("gpu_readbacks", self.readbacks);
+        rec.count("gpu_bus_bytes", self.bus_bytes.get());
+        rec.count("gpu_dram_bytes", self.dram_bytes.get());
+    }
 }
 
 impl fmt::Display for GpuStats {

@@ -1,0 +1,228 @@
+//! Exporters: Prometheus text exposition and Chrome `trace_event` JSON.
+//!
+//! Both render from the shared registry under its lock and depend on
+//! nothing outside `std` — the crate's zero-dependency contract. The JSON
+//! writer is hand-rolled because the trace format only needs flat objects,
+//! numbers, and escaped strings.
+
+use std::fmt::Write;
+
+use crate::metrics::Log2Histogram;
+use crate::State;
+
+/// Converts a metric name to a legal Prometheus identifier under the `gsm`
+/// namespace.
+fn prom_name(name: &str) -> String {
+    let sanitized: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("gsm_{sanitized}")
+}
+
+/// Escapes a Prometheus label value.
+fn prom_escape(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a `{key="value"}` label block (empty string when unlabeled),
+/// optionally with an extra `le` pair appended.
+fn prom_labels(label: &Option<(&'static str, String)>, le: Option<&str>) -> String {
+    let mut pairs: Vec<String> = Vec::new();
+    if let Some((k, v)) = label {
+        pairs.push(format!("{k}=\"{}\"", prom_escape(v)));
+    }
+    if let Some(le) = le {
+        pairs.push(format!("le=\"{le}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Writes one histogram in Prometheus `histogram` convention, converting
+/// nanosecond buckets to seconds.
+fn prom_histogram(
+    out: &mut String,
+    base: &str,
+    label: &Option<(&'static str, String)>,
+    hist: &Log2Histogram,
+) {
+    let mut cumulative = 0u64;
+    for bucket in 0..=hist.max_bucket().unwrap_or(0) {
+        cumulative += hist.buckets[bucket];
+        // Bucket `i` holds durations below 2^i ns.
+        let le = (1u128 << bucket) as f64 * 1e-9;
+        let labels = prom_labels(label, Some(&format!("{le}")));
+        let _ = writeln!(out, "{base}_bucket{labels} {cumulative}");
+    }
+    let labels = prom_labels(label, Some("+Inf"));
+    let _ = writeln!(out, "{base}_bucket{labels} {}", hist.count);
+    let plain = prom_labels(label, None);
+    let _ = writeln!(out, "{base}_sum{plain} {}", hist.sum_ns as f64 * 1e-9);
+    let _ = writeln!(out, "{base}_count{plain} {}", hist.count);
+}
+
+/// Renders the whole registry in the Prometheus text exposition format.
+pub(crate) fn prometheus_text(state: &mut State) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, base: &str, kind: &str| {
+        let line = format!("# TYPE {base} {kind}");
+        if line != last_type_line {
+            let _ = writeln!(out, "{line}");
+            last_type_line = line;
+        }
+    };
+
+    for ((name, label), value) in &state.counters {
+        let base = format!("{}_total", prom_name(name));
+        type_line(&mut out, &base, "counter");
+        let _ = writeln!(out, "{base}{} {value}", prom_labels(label, None));
+    }
+    for (name, gauge) in &state.gauges {
+        let base = prom_name(name);
+        type_line(&mut out, &base, "gauge");
+        let _ = writeln!(out, "{base} {}", gauge.current);
+        let hw = format!("{base}_highwater");
+        type_line(&mut out, &hw, "gauge");
+        let _ = writeln!(out, "{hw} {}", gauge.highwater);
+    }
+    for ((name, label), hist) in &state.hists {
+        let base = format!("{}_seconds", prom_name(name));
+        type_line(&mut out, &base, "histogram");
+        prom_histogram(&mut out, &base, label, hist);
+    }
+    if state.spans.dropped() > 0 {
+        let base = "gsm_obs_spans_dropped_total";
+        type_line(&mut out, base, "counter");
+        let _ = writeln!(out, "{base} {}", state.spans.dropped());
+    }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the span ring as Chrome `trace_event` JSON (complete events,
+/// `"ph":"X"`, timestamps in microseconds since the recorder's epoch).
+pub(crate) fn chrome_trace_json(state: &mut State) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in state.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let args = match &e.label {
+            Some((k, v)) => format!(
+                ",\"args\":{{\"{}\":\"{}\"}}",
+                json_escape(k),
+                json_escape(v)
+            ),
+            None => String::new(),
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"gsm\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":{}{args}}}",
+            json_escape(e.name),
+            e.start_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3,
+            e.tid
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"displayTimeUnit\":\"ms\",\"droppedSpans\":{}}}",
+        state.spans.dropped()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Recorder;
+
+    #[test]
+    fn prometheus_counters_gauges_histograms_render() {
+        let rec = Recorder::enabled();
+        rec.count("windows", 7);
+        rec.count_labeled("tasks", ("worker", "0"), 3);
+        rec.gauge_add("depth", 2);
+        rec.observe_ns("sort", 1_000);
+        rec.observe_ns("sort", 3_000);
+        let text = rec.prometheus_text();
+        assert!(text.contains("# TYPE gsm_windows_total counter"));
+        assert!(text.contains("gsm_windows_total 7"));
+        assert!(text.contains("gsm_tasks_total{worker=\"0\"} 3"));
+        assert!(text.contains("# TYPE gsm_depth gauge"));
+        assert!(text.contains("gsm_depth 2"));
+        assert!(text.contains("gsm_depth_highwater 2"));
+        assert!(text.contains("# TYPE gsm_sort_seconds histogram"));
+        assert!(text.contains("gsm_sort_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("gsm_sort_seconds_count 2"));
+        // Cumulative buckets are monotone: the le=+Inf count equals total.
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("gsm_sort_seconds_sum"))
+            .expect("sum line");
+        let sum: f64 = sum_line.split(' ').nth(1).unwrap().parse().unwrap();
+        assert!((sum - 4e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let rec = Recorder::enabled();
+        {
+            let _a = rec.span("outer");
+            let _b = rec.span_labeled("inner", ("window", "3"));
+        }
+        let json = rec.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"inner\""));
+        assert!(json.contains("\"args\":{\"window\":\"3\"}"));
+        assert!(json.contains("\"droppedSpans\":0"));
+        // Balanced braces/brackets — the hand-rolled writer's smoke check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escaping_handles_hostile_strings() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::prom_escape("x\"y\\z\nw"), "x\\\"y\\\\z\\nw");
+        assert_eq!(
+            super::prom_name("pool.service-time"),
+            "gsm_pool_service_time"
+        );
+    }
+}

@@ -1,0 +1,475 @@
+#![warn(missing_docs)]
+
+//! # gsm-obs — zero-dependency tracing and metrics for the gsm pipeline
+//!
+//! The paper's whole argument is a cost breakdown — where does the time go
+//! between sorting, transfer, merging, and compression? — yet the pipeline
+//! only reported end-of-run aggregates. This crate is the missing
+//! instrumentation layer: a [`Recorder`] handle that every pipeline layer
+//! (the window pipeline, the sort worker pool, the DSMS engine) accepts and
+//! threads through, with three kinds of signal:
+//!
+//! * **Spans** ([`Recorder::span`]) — timed phases logged to a bounded ring
+//!   buffer and aggregated into per-phase latency histograms. Exportable as
+//!   Chrome `trace_event` JSON (loadable in `about:tracing` / Perfetto).
+//! * **Counters / gauges** ([`Recorder::count`], [`Recorder::gauge_add`]) —
+//!   monotone totals and point-in-time values with high-water marks.
+//! * **Histograms** ([`Recorder::observe_ns`]) — fixed log2-bucket latency
+//!   distributions ([`Log2Histogram`]), allocation-free per observation.
+//!
+//! ## Lifecycle and cost
+//!
+//! A recorder is **disabled by default** ([`Recorder::disabled`], also
+//! `Default`): every operation is one branch on an `Option` and returns
+//! immediately — no clock reads, no locks, no allocation — so instrumented
+//! code paths cost nothing measurable when observability is off, and the
+//! engines' bit-identical guarantees are untouched (instrumentation never
+//! changes data, only records it). [`Recorder::enabled`] turns the same
+//! handle into a live collector; handles are `Clone + Send + Sync` and all
+//! clones share one registry, so a single recorder can watch the ingest
+//! thread, the worker pool, and the DSMS engine at once.
+//!
+//! ```
+//! use gsm_obs::Recorder;
+//!
+//! let rec = Recorder::enabled();
+//! {
+//!     let _span = rec.span("sort_window");
+//!     rec.count("windows", 1);
+//! }
+//! assert_eq!(rec.counter("windows"), 1);
+//! assert_eq!(rec.histogram("sort_window").unwrap().count, 1);
+//! let prom = rec.prometheus_text();
+//! assert!(prom.contains("gsm_windows_total 1"));
+//! let trace = rec.chrome_trace_json();
+//! assert!(trace.contains("\"name\":\"sort_window\""));
+//! ```
+
+mod export;
+mod metrics;
+
+pub use metrics::{Gauge, Log2Histogram, SpanEvent, SpanRing, HIST_BUCKETS};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A metric's identity: name plus an optional `(key, value)` label.
+type Key = (&'static str, Option<(&'static str, String)>);
+
+/// Default span-ring capacity (events retained before eviction).
+pub const DEFAULT_RING_CAPACITY: usize = 8192;
+
+/// The shared registry behind an enabled recorder.
+struct State {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    hists: BTreeMap<Key, Log2Histogram>,
+    spans: SpanRing,
+}
+
+struct Inner {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+/// A cloneable, thread-safe handle to a metrics registry and span log.
+///
+/// Disabled by default; see the crate docs for the lifecycle. All clones of
+/// an enabled recorder write to the same registry.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A no-op recorder: every operation is a branch and a return.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A live recorder with the default span-ring capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A live recorder retaining at most `ring_capacity` span events.
+    pub fn with_capacity(ring_capacity: usize) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State {
+                    counters: BTreeMap::new(),
+                    gauges: BTreeMap::new(),
+                    hists: BTreeMap::new(),
+                    spans: SpanRing::new(ring_capacity),
+                }),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&mut State) -> R) -> Option<R> {
+        let inner = self.inner.as_ref()?;
+        let mut state = inner.state.lock().expect("obs registry poisoned");
+        Some(f(&mut state))
+    }
+
+    // ------------------------------------------------------------------
+    // Counters
+    // ------------------------------------------------------------------
+
+    /// Adds `delta` to the named monotone counter.
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.with_state(|s| *s.counters.entry((name, None)).or_insert(0) += delta);
+    }
+
+    /// Adds `delta` to the named counter under a `(key, value)` label.
+    pub fn count_labeled(&self, name: &'static str, label: (&'static str, &str), delta: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.with_state(|s| {
+            *s.counters
+                .entry((name, Some((label.0, label.1.to_string()))))
+                .or_insert(0) += delta;
+        });
+    }
+
+    /// The unlabeled counter's value (0 if never written).
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.with_state(|s| s.counters.get(&(name, None)).copied().unwrap_or(0))
+            .unwrap_or(0)
+    }
+
+    /// A labeled counter's value (0 if never written).
+    pub fn counter_labeled(&self, name: &'static str, label: (&'static str, &str)) -> u64 {
+        self.with_state(|s| {
+            s.counters
+                .get(&(name, Some((label.0, label.1.to_string()))))
+                .copied()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
+    }
+
+    /// The sum of the named counter across all labels.
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        self.with_state(|s| {
+            s.counters
+                .iter()
+                .filter(|((n, _), _)| *n == name)
+                .map(|(_, v)| *v)
+                .sum()
+        })
+        .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Gauges
+    // ------------------------------------------------------------------
+
+    /// Adds `delta` (possibly negative) to the named gauge, maintaining its
+    /// high-water mark.
+    pub fn gauge_add(&self, name: &'static str, delta: i64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.with_state(|s| s.gauges.entry(name).or_default().add(delta));
+    }
+
+    /// Overwrites the named gauge's current value.
+    pub fn gauge_set(&self, name: &'static str, value: i64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.with_state(|s| s.gauges.entry(name).or_default().set(value));
+    }
+
+    /// The named gauge (current value + high-water mark), if ever written.
+    pub fn gauge(&self, name: &'static str) -> Option<Gauge> {
+        self.with_state(|s| s.gauges.get(name).copied()).flatten()
+    }
+
+    // ------------------------------------------------------------------
+    // Histograms
+    // ------------------------------------------------------------------
+
+    /// Records one latency observation (nanoseconds) into the named log2
+    /// histogram.
+    pub fn observe_ns(&self, name: &'static str, ns: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.with_state(|s| s.hists.entry((name, None)).or_default().observe(ns));
+    }
+
+    /// Records a labeled latency observation.
+    pub fn observe_ns_labeled(&self, name: &'static str, label: (&'static str, &str), ns: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.with_state(|s| {
+            s.hists
+                .entry((name, Some((label.0, label.1.to_string()))))
+                .or_default()
+                .observe(ns);
+        });
+    }
+
+    /// The unlabeled histogram's snapshot, if ever written.
+    pub fn histogram(&self, name: &'static str) -> Option<Log2Histogram> {
+        self.with_state(|s| s.hists.get(&(name, None)).cloned())
+            .flatten()
+    }
+
+    /// A labeled histogram's snapshot, if ever written.
+    pub fn histogram_labeled(
+        &self,
+        name: &'static str,
+        label: (&'static str, &str),
+    ) -> Option<Log2Histogram> {
+        self.with_state(|s| {
+            s.hists
+                .get(&(name, Some((label.0, label.1.to_string()))))
+                .cloned()
+        })
+        .flatten()
+    }
+
+    // ------------------------------------------------------------------
+    // Spans
+    // ------------------------------------------------------------------
+
+    /// Starts a timed span; the span records itself when dropped (or via
+    /// [`Span::finish`]). On a disabled recorder this reads no clock.
+    pub fn span(&self, name: &'static str) -> Span {
+        if self.inner.is_none() {
+            return Span { live: None };
+        }
+        self.span_inner(name, None, Instant::now())
+    }
+
+    /// Starts a labeled timed span.
+    pub fn span_labeled(&self, name: &'static str, label: (&'static str, &str)) -> Span {
+        if self.inner.is_none() {
+            return Span { live: None };
+        }
+        self.span_inner(name, Some((label.0, label.1.to_string())), Instant::now())
+    }
+
+    /// Builds a span that began at `started` (for phases whose start
+    /// predates the decision to record them, e.g. ingest measured from the
+    /// first element of a window). Dropping it records the true duration.
+    pub fn span_from(&self, name: &'static str, started: Instant) -> Span {
+        self.span_inner(name, None, started)
+    }
+
+    fn span_inner(
+        &self,
+        name: &'static str,
+        label: Option<(&'static str, String)>,
+        start: Instant,
+    ) -> Span {
+        Span {
+            live: self.inner.as_ref().map(|inner| LiveSpan {
+                inner: Arc::clone(inner),
+                name,
+                label,
+                start,
+            }),
+        }
+    }
+
+    /// All span events currently retained in the ring, oldest first.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        self.with_state(|s| s.spans.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Span events evicted from the ring because it was full.
+    pub fn dropped_spans(&self) -> u64 {
+        self.with_state(|s| s.spans.dropped()).unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Export
+    // ------------------------------------------------------------------
+
+    /// Renders every metric in the Prometheus text exposition format.
+    ///
+    /// Counters become `gsm_<name>_total`, gauges `gsm_<name>` plus
+    /// `gsm_<name>_highwater`, and histograms `gsm_<name>_seconds` with
+    /// cumulative log2 `le` buckets.
+    pub fn prometheus_text(&self) -> String {
+        self.with_state(export::prometheus_text).unwrap_or_default()
+    }
+
+    /// Renders the span ring as Chrome `trace_event` JSON: an object whose
+    /// `traceEvents` array holds one complete (`"ph":"X"`) event per span,
+    /// loadable in `about:tracing` or Perfetto.
+    pub fn chrome_trace_json(&self) -> String {
+        self.with_state(export::chrome_trace_json)
+            .unwrap_or_else(|| "{\"traceEvents\":[]}".to_string())
+    }
+}
+
+struct LiveSpan {
+    inner: Arc<Inner>,
+    name: &'static str,
+    label: Option<(&'static str, String)>,
+    start: Instant,
+}
+
+/// A timed-phase guard returned by [`Recorder::span`].
+///
+/// Records its duration into the recorder's span ring and the matching
+/// per-phase latency histogram when dropped. On a disabled recorder the
+/// guard is inert.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+impl Span {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let dur_ns = saturating_ns(live.start.elapsed().as_nanos());
+        let start_ns = saturating_ns(
+            live.start
+                .checked_duration_since(live.inner.epoch)
+                .unwrap_or_default()
+                .as_nanos(),
+        );
+        let event = SpanEvent {
+            name: live.name,
+            label: live.label,
+            tid: thread_id(),
+            start_ns,
+            dur_ns,
+        };
+        let mut state = live.inner.state.lock().expect("obs registry poisoned");
+        state
+            .hists
+            .entry((event.name, event.label.clone()))
+            .or_default()
+            .observe(dur_ns);
+        state.spans.push(event);
+    }
+}
+
+fn saturating_ns(ns: u128) -> u64 {
+    u64::try_from(ns).unwrap_or(u64::MAX)
+}
+
+/// A small, stable integer id for the calling thread (used as the Chrome
+/// trace `tid`). Ids are assigned in first-use order.
+pub fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        rec.count("c", 5);
+        rec.gauge_add("g", 3);
+        rec.observe_ns("h", 100);
+        let span = rec.span("s");
+        span.finish();
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.counter("c"), 0);
+        assert!(rec.gauge("g").is_none());
+        assert!(rec.histogram("h").is_none());
+        assert!(rec.spans().is_empty());
+        assert_eq!(rec.prometheus_text(), "");
+        assert_eq!(rec.chrome_trace_json(), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let rec = Recorder::enabled();
+        let other = rec.clone();
+        rec.count("windows", 2);
+        other.count("windows", 3);
+        assert_eq!(rec.counter("windows"), 5);
+        assert_eq!(other.counter("windows"), 5);
+    }
+
+    #[test]
+    fn labeled_counters_are_independent() {
+        let rec = Recorder::enabled();
+        rec.count_labeled("tasks", ("worker", "0"), 2);
+        rec.count_labeled("tasks", ("worker", "1"), 3);
+        rec.count("tasks", 1);
+        assert_eq!(rec.counter_labeled("tasks", ("worker", "0")), 2);
+        assert_eq!(rec.counter_labeled("tasks", ("worker", "1")), 3);
+        assert_eq!(rec.counter("tasks"), 1);
+        assert_eq!(rec.counter_total("tasks"), 6);
+    }
+
+    #[test]
+    fn spans_feed_ring_and_histogram() {
+        let rec = Recorder::enabled();
+        for _ in 0..3 {
+            let _s = rec.span_labeled("phase", ("engine", "Host"));
+        }
+        let events = rec.spans();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.name == "phase"));
+        let hist = rec
+            .histogram_labeled("phase", ("engine", "Host"))
+            .expect("histogram recorded");
+        assert_eq!(hist.count, 3);
+        // Span starts are monotone relative to the epoch.
+        assert!(events.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+    }
+
+    #[test]
+    fn gauge_roundtrip() {
+        let rec = Recorder::enabled();
+        rec.gauge_add("depth", 4);
+        rec.gauge_add("depth", -3);
+        let g = rec.gauge("depth").unwrap();
+        assert_eq!(g.current, 1);
+        assert_eq!(g.highwater, 4);
+        rec.gauge_set("depth", 9);
+        assert_eq!(rec.gauge("depth").unwrap().highwater, 9);
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_distinct() {
+        let here = thread_id();
+        assert_eq!(here, thread_id());
+        let there = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(here, there);
+    }
+
+    #[test]
+    fn recorder_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Recorder>();
+    }
+}

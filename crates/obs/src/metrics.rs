@@ -1,0 +1,208 @@
+//! The aggregated metric primitives behind a [`crate::Recorder`]: counters
+//! live directly in the registry map; this module provides the two stateful
+//! instruments (gauges with a high-water mark and log2-bucketed latency
+//! histograms) plus the bounded span ring.
+
+use std::collections::VecDeque;
+
+/// A point-in-time instrument tracking its current value and the highest
+/// value it ever reached (the high-water mark).
+///
+/// Queue depths are the canonical use: submitters add, workers subtract,
+/// and the high-water mark records the deepest backlog ever observed even
+/// if the exporter only runs at the end.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Gauge {
+    /// The current value.
+    pub current: i64,
+    /// The maximum value `current` ever reached (0 if never positive).
+    pub highwater: i64,
+}
+
+impl Gauge {
+    /// Adds `delta` (which may be negative) and updates the high-water
+    /// mark.
+    pub fn add(&mut self, delta: i64) {
+        self.current += delta;
+        self.highwater = self.highwater.max(self.current);
+    }
+
+    /// Overwrites the current value and updates the high-water mark.
+    pub fn set(&mut self, value: i64) {
+        self.current = value;
+        self.highwater = self.highwater.max(value);
+    }
+}
+
+/// Number of log2 buckets: one per possible bit length of a `u64` duration
+/// in nanoseconds, plus bucket 0 for zero.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-bucket latency histogram: bucket `i` counts observations whose
+/// nanosecond value has bit length `i` (i.e. lies in `[2^(i-1), 2^i)`),
+/// with bucket 0 reserved for exact zeros.
+///
+/// Log2 buckets trade resolution for a fixed, allocation-free footprint —
+/// the same trade profiling-oriented collectors make — and cover the full
+/// `u64` range from 1 ns to ~584 years without configuration.
+#[derive(Clone, Debug)]
+pub struct Log2Histogram {
+    /// Observation counts per bit-length bucket.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Records one observation of `ns` nanoseconds.
+    pub fn observe(&mut self, ns: u64) {
+        let bucket = (u64::BITS - ns.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// The highest non-empty bucket index, or `None` when empty.
+    pub fn max_bucket(&self) -> Option<usize> {
+        (0..HIST_BUCKETS).rev().find(|&i| self.buckets[i] > 0)
+    }
+
+    /// Mean observed value in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// One finished span, as logged in the ring buffer.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// The span's phase name (e.g. `pipeline_sort`).
+    pub name: &'static str,
+    /// Optional `(key, value)` label (e.g. `("engine", "GpuSim")`).
+    pub label: Option<(&'static str, String)>,
+    /// Small integer id of the recording thread (stable per thread).
+    pub tid: u64,
+    /// Start time relative to the recorder's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A bounded FIFO log of the most recent [`SpanEvent`]s.
+///
+/// The ring keeps memory constant on unbounded streams: when full, the
+/// oldest event is dropped and counted, so exporters can report how much
+/// history was lost.
+#[derive(Clone, Debug)]
+pub struct SpanRing {
+    buf: VecDeque<SpanEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// Creates a ring holding at most `cap` events (min 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        SpanRing {
+            buf: VecDeque::with_capacity(cap),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: SpanEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.buf.iter()
+    }
+
+    /// Events retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_tracks_highwater() {
+        let mut g = Gauge::default();
+        g.add(3);
+        g.add(2);
+        g.add(-4);
+        assert_eq!(g.current, 1);
+        assert_eq!(g.highwater, 5);
+        g.set(0);
+        assert_eq!(g.highwater, 5, "set never lowers the mark");
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let mut h = Log2Histogram::default();
+        h.observe(0); // bucket 0
+        h.observe(1); // bucket 1
+        h.observe(2); // bucket 2
+        h.observe(3); // bucket 2
+        h.observe(1024); // bucket 11
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[11], 1);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum_ns, 1030);
+        assert_eq!(h.max_bucket(), Some(11));
+        assert_eq!(h.mean_ns(), 206);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = SpanRing::new(2);
+        for i in 0..5u64 {
+            r.push(SpanEvent {
+                name: "t",
+                label: None,
+                tid: 0,
+                start_ns: i,
+                dur_ns: 1,
+            });
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        let starts: Vec<u64> = r.iter().map(|e| e.start_ns).collect();
+        assert_eq!(starts, vec![3, 4]);
+        assert!(!r.is_empty());
+    }
+}

@@ -19,12 +19,22 @@
 //! * dropping the pool closes the job channel; workers drain any queued
 //!   jobs (outstanding tickets still complete) and exit, and the pool's
 //!   `Drop` joins them.
+//!
+//! Observability: a pool built with [`WorkerPool::with_recorder`] publishes
+//! a queue-depth gauge (`pool_queue_depth`, with high-water mark), ticket
+//! wait and task service latency histograms (`pool_wait` / `pool_service`),
+//! per-worker task counters (`pool_worker_tasks{worker=i}`), executed radix
+//! pass counts (`pool_radix_passes`), and a panic counter (`pool_panics`).
+//! The default recorder is disabled, so an uninstrumented pool pays one
+//! branch per event.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use gsm_obs::Recorder;
 
 use crate::radix::sort_total;
 
@@ -85,6 +95,8 @@ pub struct SortedLanes {
 pub struct Ticket {
     rx: Receiver<LaneDone>,
     lanes: usize,
+    obs: Recorder,
+    submitted: Instant,
 }
 
 impl Ticket {
@@ -125,6 +137,14 @@ impl Ticket {
             .into_iter()
             .map(|l| l.expect("every lane reported"))
             .collect();
+        if self.obs.is_enabled() {
+            // Ticket wait latency: submission to full-batch completion
+            // (queueing + service + gather), on the submitting thread.
+            self.obs.observe_ns(
+                "pool_wait",
+                u64::try_from(self.submitted.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         Ok(SortedLanes { lanes, busy })
     }
 }
@@ -143,30 +163,45 @@ impl Ticket {
 pub struct WorkerPool {
     jobs: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    obs: Recorder,
 }
 
 impl WorkerPool {
-    /// Spawns a pool of exactly `threads` workers.
+    /// Spawns a pool of exactly `threads` workers with observability off.
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn new(threads: usize) -> Self {
+        Self::with_recorder(threads, Recorder::disabled())
+    }
+
+    /// Spawns a pool of exactly `threads` workers publishing pool metrics
+    /// into `obs` (see the module docs for the metric taxonomy). Workers
+    /// capture a clone of the recorder at spawn, so the recorder must be
+    /// chosen before the pool is built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_recorder(threads: usize, obs: Recorder) -> Self {
         assert!(threads >= 1, "a worker pool needs at least one worker");
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..threads)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let obs = obs.clone();
                 std::thread::Builder::new()
                     .name(format!("gsm-sort-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, &obs, i))
                     .expect("spawn sort worker")
             })
             .collect();
         WorkerPool {
             jobs: Some(tx),
             workers,
+            obs,
         }
     }
 
@@ -182,12 +217,21 @@ impl WorkerPool {
         self.workers.len()
     }
 
+    /// The recorder this pool publishes metrics into (disabled unless the
+    /// pool was built with [`WorkerPool::with_recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
     /// Submits one batch of lanes to sort in [`f32::total_cmp`] order,
     /// returning immediately with a [`Ticket`] for the results.
     pub fn sort_lanes(&self, lanes: Vec<Vec<f32>>) -> Ticket {
-        self.submit(lanes.into_iter().map(|mut lane| {
+        let obs = self.obs.clone();
+        self.submit(lanes.into_iter().map(move |mut lane| {
+            let obs = obs.clone();
             let task: Task = Box::new(move || {
-                sort_total(&mut lane);
+                let passes = sort_total(&mut lane);
+                obs.count("pool_radix_passes", u64::from(passes));
                 lane
             });
             task
@@ -206,9 +250,15 @@ impl WorkerPool {
                 reply: reply.clone(),
             })
             .expect("workers outlive the pool");
+            self.obs.gauge_add("pool_queue_depth", 1);
             lanes += 1;
         }
-        Ticket { rx, lanes }
+        Ticket {
+            rx,
+            lanes,
+            obs: self.obs.clone(),
+            submitted: Instant::now(),
+        }
     }
 }
 
@@ -221,7 +271,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(jobs: &Mutex<Receiver<Job>>) {
+fn worker_loop(jobs: &Mutex<Receiver<Job>>, obs: &Recorder, worker: usize) {
     loop {
         // Hold the lock only while waiting for the next job; execution
         // happens with the queue released so other workers can pull work.
@@ -230,6 +280,7 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>) {
             Err(_) => return, // queue poisoned: pool is tearing down
         };
         let Ok(job) = job else { return };
+        obs.gauge_add("pool_queue_depth", -1);
         let start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(job.task)).map_err(|payload| {
             let msg = payload
@@ -239,11 +290,22 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>) {
                 .unwrap_or_else(|| "non-string panic payload".to_string());
             PoolError::WorkerPanic(msg)
         });
+        let busy = start.elapsed();
+        if obs.is_enabled() {
+            obs.observe_ns(
+                "pool_service",
+                u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX),
+            );
+            obs.count_labeled("pool_worker_tasks", ("worker", &worker.to_string()), 1);
+            if result.is_err() {
+                obs.count("pool_panics", 1);
+            }
+        }
         // The ticket may already have been dropped; that is not an error.
         let _ = job.reply.send(LaneDone {
             lane: job.lane,
             result,
-            busy: start.elapsed(),
+            busy,
         });
     }
 }

@@ -39,18 +39,20 @@ const RADIX_BUCKETS: usize = 1 << RADIX_BITS;
 const RADIX_MASK: u32 = (RADIX_BUCKETS as u32) - 1;
 
 /// Sorts `keys` ascending with a 3-pass LSD counting radix sort over
-/// 11-bit digits.
+/// 11-bit digits. Returns the number of scatter passes actually executed.
 ///
 /// Passes whose digit is constant across the whole input are skipped — the
 /// common case for streams of small integer-valued floats, where only a
-/// couple of exponent/mantissa digits vary.
-pub fn radix_sort_u32(keys: &mut Vec<u32>) {
+/// couple of exponent/mantissa digits vary — so the return value is the
+/// real per-lane work, not the nominal three.
+pub fn radix_sort_u32(keys: &mut Vec<u32>) -> u32 {
     let n = keys.len();
     if n <= 1 {
-        return;
+        return 0;
     }
     let mut src = core::mem::take(keys);
     let mut dst = vec![0u32; n];
+    let mut executed = 0;
     for pass in 0..32u32.div_ceil(RADIX_BITS) {
         let shift = pass * RADIX_BITS;
         let mut counts = [0usize; RADIX_BUCKETS];
@@ -60,6 +62,7 @@ pub fn radix_sort_u32(keys: &mut Vec<u32>) {
         if counts.contains(&n) {
             continue; // every key shares this digit — the pass is a no-op
         }
+        executed += 1;
         let mut running = 0usize;
         for c in counts.iter_mut() {
             let here = *c;
@@ -74,19 +77,22 @@ pub fn radix_sort_u32(keys: &mut Vec<u32>) {
         core::mem::swap(&mut src, &mut dst);
     }
     *keys = src;
+    executed
 }
 
 /// Sorts `values` ascending in [`f32::total_cmp`] order, preserving every
-/// bit pattern (including `-0.0` vs `0.0` and NaN payloads).
-pub fn sort_total(values: &mut [f32]) {
+/// bit pattern (including `-0.0` vs `0.0` and NaN payloads). Returns the
+/// number of radix passes executed (see [`radix_sort_u32`]).
+pub fn sort_total(values: &mut [f32]) -> u32 {
     if values.len() <= 1 {
-        return;
+        return 0;
     }
     let mut keys: Vec<u32> = values.iter().map(|&v| key_of(v)).collect();
-    radix_sort_u32(&mut keys);
+    let passes = radix_sort_u32(&mut keys);
     for (v, &k) in values.iter_mut().zip(&keys) {
         *v = value_of(k);
     }
+    passes
 }
 
 #[cfg(test)]

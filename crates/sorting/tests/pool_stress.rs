@@ -10,6 +10,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use gsm_obs::Recorder;
 use gsm_sort::pool::{PoolError, Task, WorkerPool};
 
 /// Deterministic pseudo-random lane: a Weyl sequence over a prime modulus.
@@ -27,7 +28,8 @@ fn sorted(v: &[f32]) -> Vec<f32> {
 
 #[test]
 fn concurrent_submitters_each_get_their_own_results() {
-    let pool = Arc::new(WorkerPool::new(4));
+    let rec = Recorder::enabled();
+    let pool = Arc::new(WorkerPool::with_recorder(4, rec.clone()));
     let handles: Vec<_> = (0..8u64)
         .map(|t| {
             let pool = Arc::clone(&pool);
@@ -50,11 +52,32 @@ fn concurrent_submitters_each_get_their_own_results() {
     for h in handles {
         h.join().expect("submitter thread");
     }
+    // Observability under contention: 8 submitters x 20 rounds x 4 lanes.
+    let depth = rec.gauge("pool_queue_depth").expect("depth gauge");
+    assert_eq!(depth.current, 0, "all jobs drained");
+    assert!(
+        (1..=640).contains(&depth.highwater),
+        "high-water {} must reflect real backlog",
+        depth.highwater
+    );
+    let service = rec.histogram("pool_service").expect("service histogram");
+    assert_eq!(service.count, 640, "one service record per lane job");
+    assert_eq!(
+        rec.histogram("pool_wait").expect("wait histogram").count,
+        160
+    );
+    let per_worker: u64 = (0..4)
+        .map(|w| rec.counter_labeled("pool_worker_tasks", ("worker", &w.to_string())))
+        .sum();
+    assert_eq!(per_worker, 640, "every job attributed to some worker");
+    assert!(rec.counter("pool_radix_passes") > 0);
+    assert_eq!(rec.counter("pool_panics"), 0);
 }
 
 #[test]
 fn panics_surface_per_batch_without_poisoning_neighbors() {
-    let pool = WorkerPool::new(2);
+    let rec = Recorder::enabled();
+    let pool = WorkerPool::with_recorder(2, rec.clone());
     // Interleave poisoned and healthy batches so panicking tasks and good
     // tasks share workers.
     let mut healthy = Vec::new();
@@ -85,6 +108,12 @@ fn panics_surface_per_batch_without_poisoning_neighbors() {
             .expect("healthy batch");
         assert_eq!(done.lanes, vec![expect]);
     }
+    // Rounds 0, 3, 6, 9 each queued exactly one panicking task.
+    assert_eq!(rec.counter("pool_panics"), 4);
+    assert_eq!(
+        rec.gauge("pool_queue_depth").expect("depth gauge").current,
+        0
+    );
 }
 
 #[test]

@@ -26,6 +26,9 @@
 //! * [`stream`] ([`gsm_stream`]) — generators, windowing, and the software
 //!   `F16` type.
 //! * [`model`] ([`gsm_model`]) — simulated-time primitives.
+//! * [`obs`] ([`gsm_obs`]) — zero-dependency tracing and metrics: spans,
+//!   counters, gauges, latency histograms, and Prometheus / Chrome-trace
+//!   exporters over every layer above.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +55,7 @@ pub use gsm_cpu as cpu;
 pub use gsm_dsms as dsms;
 pub use gsm_gpu as gpu;
 pub use gsm_model as model;
+pub use gsm_obs as obs;
 pub use gsm_sketch as sketch;
 pub use gsm_sort as sort;
 pub use gsm_stream as stream;

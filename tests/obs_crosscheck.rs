@@ -1,0 +1,143 @@
+//! Cross-checks the observability layer against the pipelines' own
+//! accounting: on every engine, the per-window `sim_*_ns` counters recorded
+//! by `gsm-obs` must reconcile with the `OpLedger` breakdown the figures
+//! are priced from, and a disabled recorder must leave sorted output
+//! byte-identical to an uninstrumented run.
+
+use gsm::core::{Engine, WindowedPipeline};
+use gsm::obs::Recorder;
+use gsm::sketch::{SinkOps, SummarySink};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ENGINES: [Engine; 4] = [
+    Engine::GpuSim,
+    Engine::CpuSim,
+    Engine::Host,
+    Engine::ParallelHost,
+];
+
+/// Captures every sorted window bit-for-bit.
+#[derive(Default)]
+struct CaptureSink {
+    windows: Vec<Vec<u32>>,
+}
+
+impl SummarySink for CaptureSink {
+    fn push_sorted_window(&mut self, sorted: &[f32]) {
+        self.windows
+            .push(sorted.iter().map(|v| v.to_bits()).collect());
+    }
+
+    fn ops(&self) -> SinkOps {
+        SinkOps::default()
+    }
+}
+
+fn stream(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(0.0..65_536.0f32)).collect()
+}
+
+fn run(
+    engine: Engine,
+    data: &[f32],
+    window: usize,
+    rec: Option<Recorder>,
+) -> WindowedPipeline<CaptureSink> {
+    let mut p = WindowedPipeline::new(engine, window, CaptureSink::default());
+    if let Some(rec) = rec {
+        p = p.with_recorder(rec);
+    }
+    for &v in data {
+        p.push(v);
+    }
+    p.flush();
+    p
+}
+
+#[test]
+fn counters_reconcile_with_the_op_ledger_on_every_engine() {
+    let data = stream(6000, 11);
+    let window = 512;
+    for engine in ENGINES {
+        let rec = Recorder::enabled();
+        let p = run(engine, &data, window, Some(rec.clone()));
+        let windows = p.windows_sorted();
+        assert_eq!(
+            rec.counter("windows_absorbed"),
+            windows,
+            "{engine:?}: every sorted window must be counted"
+        );
+        // Each span fires once per window (plus one ingest span covering
+        // the final partial window).
+        let sort_spans = rec.histogram("window_sort").expect("sort spans").count;
+        assert!(
+            sort_spans >= windows,
+            "{engine:?}: {sort_spans} sort spans for {windows} windows"
+        );
+        assert_eq!(
+            rec.histogram("window_absorb").expect("absorb spans").count,
+            windows,
+            "{engine:?}"
+        );
+
+        // The sim_*_ns counters are sums of per-absorption ledger deltas
+        // rounded to whole nanoseconds: they must match the final ledger
+        // totals to within one nanosecond per absorption plus float slack.
+        let b = p.breakdown();
+        let phases = [
+            ("sim_sort_ns", b.sort),
+            ("sim_transfer_ns", b.transfer),
+            ("sim_merge_ns", b.merge),
+            ("sim_compress_ns", b.compress),
+        ];
+        for (name, total) in phases {
+            let total = total.as_secs();
+            let counted = rec.counter(name) as f64 * 1e-9;
+            let tolerance = 1e-9 * windows as f64 + 1e-6 * total.max(1e-3);
+            assert!(
+                (counted - total).abs() <= tolerance,
+                "{engine:?}/{name}: ledger {total}s vs counters {counted}s"
+            );
+        }
+    }
+}
+
+#[test]
+fn disabled_recorder_leaves_every_engine_byte_identical() {
+    let data = stream(4000, 7);
+    let window = 256;
+    for engine in ENGINES {
+        let plain = run(engine, &data, window, None);
+        let noop = run(engine, &data, window, Some(Recorder::disabled()));
+        let live = run(engine, &data, window, Some(Recorder::enabled()));
+        assert_eq!(
+            plain.sink().windows,
+            noop.sink().windows,
+            "{engine:?}: a no-op recorder must not perturb sorted output"
+        );
+        assert_eq!(
+            plain.sink().windows,
+            live.sink().windows,
+            "{engine:?}: an enabled recorder must not perturb sorted output"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_bit_for_bit_under_recording() {
+    // The cross-engine guarantee (every backend produces the same sorted
+    // windows) must survive instrumentation.
+    let data = stream(3000, 3);
+    let window = 128;
+    let reference = run(Engine::Host, &data, window, Some(Recorder::enabled()));
+    for engine in [Engine::GpuSim, Engine::CpuSim, Engine::ParallelHost] {
+        let other = run(engine, &data, window, Some(Recorder::enabled()));
+        assert_eq!(
+            reference.sink().windows,
+            other.sink().windows,
+            "{engine:?} diverged from Host under recording"
+        );
+    }
+}
