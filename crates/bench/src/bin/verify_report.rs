@@ -1,0 +1,175 @@
+//! **Verification gate** — the differential fuzz driver behind CI's
+//! `verify` job.
+//!
+//! Every adversarial generator family in [`gsm_verify::Family::ALL`] is
+//! fanned across all four engines × all five estimators (quantile,
+//! frequency, HHH, sliding quantile, sliding frequency); answers are
+//! cross-checked for byte-identity and audited against the exact oracles
+//! for the paper's bounds: frequency undercount ≤ εN with no overestimates
+//! and no false negatives above support, quantile rank error ≤ ε, and the
+//! `O((1/ε)·log(εN))` summary-space envelope.
+//!
+//! The run writes `results/VERIFY_report.json` (versioned envelope) with
+//! one outcome per (family, iteration). On any violation it *minimizes*
+//! the failing stream — halving `n` while the failure reproduces — then
+//! writes `results/VERIFY_repro.json` holding the smallest failing
+//! `{family, seed, n, window}` and exits nonzero. Re-running with exactly
+//! those arguments reproduces the failure deterministically on any host:
+//!
+//! ```text
+//! cargo run --release -p gsm-bench --bin verify_report [-- --n 4096
+//!     --window 1024 --seed 42 --iters 1 --family zipf_skew
+//!     --out results/VERIFY_report.json --repro-out results/VERIFY_repro.json]
+//! ```
+
+use gsm_bench::{envelope_json, write_result, Args, Table};
+use gsm_verify::{verify_family, Family, FamilyOutcome, StreamSpec, VerifyConfig};
+
+/// One failing spec, minimized, ready to paste back into the CLI.
+#[derive(serde::Serialize)]
+struct Repro {
+    family: String,
+    seed: u64,
+    n: u64,
+    window: u64,
+    failures: Vec<String>,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    n: u64,
+    window: u64,
+    seed: u64,
+    iters: u64,
+    families: u64,
+    passed: bool,
+    outcomes: Vec<FamilyOutcome>,
+}
+
+/// Shrinks a failing spec by halving `n` while the failure still
+/// reproduces, so the repro artifact is the smallest stream that breaks.
+fn minimize(spec: &StreamSpec, cfg: &VerifyConfig) -> (StreamSpec, FamilyOutcome) {
+    let mut best = spec.clone();
+    let mut outcome = verify_family(&best, cfg);
+    assert!(!outcome.passed(), "minimize called on a passing spec");
+    // Keep n large enough for the sliding sketches' minimum widths
+    // (width ≥ 4/ε at n/4 → n ≥ 16/ε).
+    let floor = (16.0 / cfg.sliding_eps).ceil() as usize;
+    while best.n / 2 >= floor {
+        let candidate = StreamSpec {
+            n: best.n / 2,
+            ..best.clone()
+        };
+        let o = verify_family(&candidate, cfg);
+        if o.passed() {
+            break;
+        }
+        best = candidate;
+        outcome = o;
+    }
+    (best, outcome)
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_num("n", 4096);
+    let window: usize = args.get_num("window", 1024);
+    let seed: u64 = args.get_num("seed", 42);
+    let iters: u64 = args.get_num("iters", 1);
+    let out = args
+        .get("out")
+        .unwrap_or("results/VERIFY_report.json")
+        .to_string();
+    let repro_out = args
+        .get("repro-out")
+        .unwrap_or("results/VERIFY_repro.json")
+        .to_string();
+    let only: Option<Family> = args
+        .get("family")
+        .map(|name| Family::from_name(name).unwrap_or_else(|| panic!("unknown family `{name}`")));
+
+    let cfg = VerifyConfig::default();
+    let families: Vec<Family> = match only {
+        Some(f) => vec![f],
+        None => Family::ALL.to_vec(),
+    };
+
+    println!(
+        "# verify: {} families x {iters} iter(s), n={n}, window={window}, seed={seed}",
+        families.len()
+    );
+    let mut outcomes: Vec<FamilyOutcome> = Vec::new();
+    let mut first_failure: Option<StreamSpec> = None;
+    let mut table = Table::new(["family", "iter", "n", "agree", "checks", "worst headroom"]);
+    for iter in 0..iters {
+        for &family in &families {
+            let spec = StreamSpec {
+                family,
+                seed: seed.wrapping_add(iter),
+                n,
+                window,
+            };
+            let outcome = verify_family(&spec, &cfg);
+            let checks: usize = outcome.reports.iter().map(|r| r.checks.len()).sum();
+            let worst = outcome
+                .reports
+                .iter()
+                .map(|r| r.worst_headroom())
+                .fold(f64::INFINITY, f64::min);
+            table.row([
+                family.name().to_string(),
+                iter.to_string(),
+                outcome.n.to_string(),
+                outcome.cross_backend_agree.to_string(),
+                checks.to_string(),
+                format!("{worst:.3}"),
+            ]);
+            if !outcome.passed() && first_failure.is_none() {
+                first_failure = Some(spec);
+            }
+            outcomes.push(outcome);
+        }
+    }
+    table.print(args.flag("csv"));
+
+    let passed = first_failure.is_none();
+    let report = Report {
+        n: n as u64,
+        window: window as u64,
+        seed,
+        iters,
+        families: families.len() as u64,
+        passed,
+        outcomes,
+    };
+    let payload = serde_json::to_string(&report).expect("report serializes infallibly");
+    write_result(&out, &envelope_json("gsm-bench/verify_report", &payload));
+    println!("wrote {out}");
+
+    if let Some(spec) = first_failure {
+        let (min_spec, min_outcome) = minimize(&spec, &cfg);
+        let failures = min_outcome.failures();
+        for f in &failures {
+            eprintln!("VIOLATION: {f}");
+        }
+        let repro = Repro {
+            family: min_spec.family.name().to_string(),
+            seed: min_spec.seed,
+            n: min_spec.n as u64,
+            window: min_spec.window as u64,
+            failures,
+        };
+        let payload = serde_json::to_string(&repro).expect("repro serializes infallibly");
+        write_result(
+            &repro_out,
+            &envelope_json("gsm-bench/verify_report", &payload),
+        );
+        eprintln!(
+            "minimized repro written to {repro_out}: rerun with \
+             `--family {} --seed {} --n {} --window {}`",
+            repro.family, repro.seed, repro.n, repro.window
+        );
+        std::process::exit(1);
+    }
+    println!("all bounds hold, all engines agree");
+}

@@ -24,6 +24,15 @@ pub enum Engine {
 }
 
 impl Engine {
+    /// Every backend, in the order the differential harnesses fan out:
+    /// simulated devices first, host references after.
+    pub const ALL: [Engine; 4] = [
+        Engine::GpuSim,
+        Engine::CpuSim,
+        Engine::Host,
+        Engine::ParallelHost,
+    ];
+
     /// Display label used by the figure harnesses.
     pub fn label(self) -> &'static str {
         match self {

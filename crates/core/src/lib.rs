@@ -62,7 +62,7 @@ pub use engine::Engine;
 pub use frequencies::{FrequencyEstimator, FrequencyEstimatorBuilder};
 pub use hhh::HhhEstimator;
 pub use pipeline::{
-    BatchPipeline, OpLedger, ParallelHostBackend, SortBackend, Submission, WindowedPipeline,
+    replay, BatchPipeline, OpLedger, ParallelHostBackend, SortBackend, Submission, WindowedPipeline,
 };
 pub use quantiles::{QuantileEstimator, QuantileEstimatorBuilder};
 pub use report::{price_ops, TimeBreakdown, WallClock};

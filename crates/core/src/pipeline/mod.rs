@@ -317,6 +317,31 @@ impl<S: SummarySink> WindowedPipeline<S> {
     }
 }
 
+/// Deterministic replay entry point: runs `data` through a fresh
+/// window→sort→summary pipeline on `engine` and returns the finished sink.
+///
+/// This is the one-call form the verification harness uses to re-drive a
+/// recorded stream through the exact production path — same windowing, same
+/// batching policy, same backend — so a fuzz failure reproduces from its
+/// seed alone.
+///
+/// ```
+/// use gsm_core::{replay, Engine};
+/// use gsm_sketch::LossyCounting;
+///
+/// let data: Vec<f32> = (0..1000).map(|i| (i % 4) as f32).collect();
+/// let sketch = replay(Engine::Host, 100, &data, LossyCounting::with_window(0.01, 100));
+/// assert_eq!(sketch.estimate(0.0), 250);
+/// ```
+pub fn replay<S: SummarySink>(engine: Engine, window: usize, data: &[f32], sink: S) -> S {
+    let mut p = WindowedPipeline::new(engine, window, sink);
+    for &v in data {
+        p.push(v);
+    }
+    p.flush();
+    p.into_sink()
+}
+
 /// The growth of a simulated phase between two ledger snapshots, in whole
 /// nanoseconds. Each recording rounds independently (≤0.5 ns drift per
 /// window), so counter totals reconcile with the ledger to within one

@@ -55,6 +55,13 @@ impl SlidingQuantileEstimator {
         self.pipeline.sink().entry_count()
     }
 
+    /// Elements the live blocks actually cover — the exact suffix of the
+    /// stream a query answers over. Counts only absorbed data; flush first
+    /// for an exact figure after raw pushes.
+    pub fn covered(&self) -> u64 {
+        self.pipeline.sink().covered()
+    }
+
     /// Pushes one stream element.
     pub fn push(&mut self, value: f32) {
         self.pipeline.push(value);
@@ -132,6 +139,13 @@ impl SlidingFrequencyEstimator {
     /// Histogram entries currently held.
     pub fn entry_count(&self) -> usize {
         self.pipeline.sink().entry_count()
+    }
+
+    /// Elements the live blocks actually cover — the exact suffix of the
+    /// stream a query answers over. Counts only absorbed data; flush first
+    /// for an exact figure after raw pushes.
+    pub fn covered(&self) -> u64 {
+        self.pipeline.sink().covered()
     }
 
     /// Pushes one stream element.

@@ -83,14 +83,28 @@ impl SummarySink for QuerySketch {
     }
 }
 
+/// An observer of every sealed (sorted) window the shared pipeline absorbs.
+///
+/// Installed via [`StreamEngine::with_window_tap`]; the verification
+/// harness uses it to collect the *admitted* sub-stream under load
+/// shedding, so the degraded bounds can be certified against an exact
+/// oracle over exactly what the engine saw.
+pub type WindowTap = Box<dyn FnMut(&[f32]) + Send>;
+
 /// Broadcast sink: fans every sorted run out to all registered queries'
 /// summaries, so the shared sort is paid once regardless of query count.
 struct QueryFan {
     sketches: Vec<QuerySketch>,
+    /// Audit tap, called on every sorted window before the sketches absorb
+    /// it. Not part of the checkpointed state.
+    tap: Option<WindowTap>,
 }
 
 impl SummarySink for QueryFan {
     fn push_sorted_window(&mut self, sorted: &[f32]) {
+        if let Some(tap) = &mut self.tap {
+            tap(sorted);
+        }
         for sketch in &mut self.sketches {
             sketch.push_sorted_window(sorted);
         }
@@ -140,6 +154,8 @@ pub struct StreamEngine {
     pipeline: Option<WindowedPipeline<QueryFan>>,
     count: u64,
     obs: Recorder,
+    /// Audit tap waiting to be installed into the fan at seal time.
+    tap: Option<WindowTap>,
 }
 
 impl StreamEngine {
@@ -152,6 +168,7 @@ impl StreamEngine {
             pipeline: None,
             count: 0,
             obs: Recorder::disabled(),
+            tap: None,
         }
     }
 
@@ -183,6 +200,26 @@ impl StreamEngine {
     /// [`StreamEngine::with_recorder`]).
     pub fn recorder(&self) -> &Recorder {
         &self.obs
+    }
+
+    /// Installs an audit tap invoked with every sealed (sorted) window
+    /// before the query sketches absorb it. Under load shedding the tap
+    /// sees exactly the admitted sub-stream, which is what the degraded
+    /// bounds must be certified against. The tap is observational state: it
+    /// is not serialized by [`StreamEngine::checkpoint`] and a restored
+    /// engine starts without one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has already started (the tap must see every
+    /// window from the first).
+    pub fn with_window_tap(mut self, tap: WindowTap) -> Self {
+        assert!(
+            self.pipeline.is_none(),
+            "install the window tap before pushing stream data"
+        );
+        self.tap = Some(tap);
+        self
     }
 
     /// Registers an ε-approximate quantile query.
@@ -263,7 +300,11 @@ impl StreamEngine {
                 }
             })
             .collect();
-        let mut pipeline = WindowedPipeline::new(self.engine, window, QueryFan { sketches });
+        let fan = QueryFan {
+            sketches,
+            tap: self.tap.take(),
+        };
+        let mut pipeline = WindowedPipeline::new(self.engine, window, fan);
         if self.obs.is_enabled() {
             pipeline = pipeline.with_recorder(self.obs.clone());
             self.obs.count("dsms_seals", 1);
@@ -410,6 +451,7 @@ impl StreamEngine {
             cp.window,
             QueryFan {
                 sketches: cp.sketches,
+                tap: None,
             },
         ));
         Ok(eng)
@@ -648,6 +690,47 @@ mod tests {
             1
         );
         assert_eq!(rec.counter("windows_absorbed"), 20);
+    }
+
+    #[test]
+    fn window_tap_sees_every_sealed_window_without_changing_answers() {
+        use std::sync::{Arc, Mutex};
+        let data = mixed_stream(10_000, 13);
+
+        let run = |tap: Option<WindowTap>| {
+            let mut eng = StreamEngine::new(Engine::Host).with_n_hint(10_000);
+            if let Some(t) = tap {
+                eng = eng.with_window_tap(t);
+            }
+            let q = eng.register_quantile(0.02);
+            eng.push_all(data.iter().copied());
+            eng.quantile(q, 0.5)
+        };
+
+        let seen: Arc<Mutex<Vec<f32>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let tapped = run(Some(Box::new(move |w: &[f32]| {
+            sink.lock().expect("tap lock").extend_from_slice(w);
+        })));
+        assert_eq!(tapped, run(None), "the tap must never change answers");
+
+        let seen = seen.lock().expect("tap lock");
+        assert_eq!(seen.len(), data.len(), "the tap sees every element");
+        // The tap sees sorted windows: same multiset, window-sorted order.
+        let mut expected = data.clone();
+        expected.sort_by(f32::total_cmp);
+        let mut observed = seen.clone();
+        observed.sort_by(f32::total_cmp);
+        assert_eq!(observed, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "before pushing")]
+    fn late_window_tap_rejected() {
+        let mut eng = StreamEngine::new(Engine::Host);
+        let _ = eng.register_quantile(0.05);
+        eng.push(1.0);
+        let _ = eng.with_window_tap(Box::new(|_| {}));
     }
 
     #[test]

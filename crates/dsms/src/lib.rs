@@ -29,5 +29,5 @@
 pub mod engine;
 pub mod shedding;
 
-pub use engine::{QueryAnswer, QueryId, StreamEngine};
+pub use engine::{QueryAnswer, QueryId, StreamEngine, WindowTap};
 pub use shedding::{run_at_rate, LoadShedder, ShedReport};

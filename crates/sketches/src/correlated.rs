@@ -18,7 +18,7 @@
 use crate::summary::OpCounter;
 
 /// A sampled entry: an `x` value with rank bounds and cumulative-`y` bounds.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
 pub struct CorrEntry {
     /// The x (ordering) value.
     pub x: f32,
@@ -33,7 +33,7 @@ pub struct CorrEntry {
 }
 
 /// An ε-approximate correlated-sum summary of a fixed multiset of pairs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct CorrSummary {
     entries: Vec<CorrEntry>,
     count: u64,
@@ -223,6 +223,7 @@ fn combine(e: CorrEntry, other: &CorrSummary, j: usize) -> CorrEntry {
 
 /// Streaming correlated-sum summary: an exponential histogram of
 /// [`CorrSummary`] buckets (same carry structure as the quantile path).
+#[derive(serde::Serialize, serde::Deserialize)]
 pub struct CorrelatedSum {
     eps: f64,
     levels: Vec<Option<CorrSummary>>,

@@ -112,6 +112,24 @@ impl ExpHistogram {
             .sum()
     }
 
+    /// Live (non-empty) buckets.
+    pub fn live_buckets(&self) -> usize {
+        self.levels.iter().flatten().count()
+    }
+
+    /// The worst tracked error bound across the live buckets — what a
+    /// query is actually guaranteed right now, as opposed to the target
+    /// [`Self::eps`]. Since merging adds no error, a snapshot's answers are
+    /// within this bound; an auditor can assert it never exceeds the
+    /// target even when the stream outruns its `n_hint`.
+    pub fn tracked_eps(&self) -> f64 {
+        self.levels
+            .iter()
+            .flatten()
+            .map(WindowSummary::eps)
+            .fold(0.0, f64::max)
+    }
+
     /// Folds in one sorted window. Windows should be built at `ε/2`
     /// ([`Self::window_eps`]); this method samples the run itself.
     ///

@@ -120,6 +120,15 @@ impl LossyCounting {
         self.entries.len()
     }
 
+    /// The worst undercount any estimate can currently carry: one per
+    /// bucket (window) processed. With `window ≥ 1/ε` this is ≤ εN — the
+    /// tracked form of the paper's bound, exposed so an auditor can assert
+    /// `truth − estimate ≤ undercount_bound() ≤ ⌈εN⌉` instead of trusting
+    /// the formula.
+    pub fn undercount_bound(&self) -> u64 {
+        self.bucket
+    }
+
     /// Phase-split operation counters.
     pub fn ops(&self) -> &LossyOps {
         &self.ops

@@ -19,6 +19,7 @@ use crate::gk_window::WindowSummary;
 use crate::summary::OpCounter;
 
 /// One time block: a summary of the values that arrived in one quantum.
+#[derive(serde::Serialize, serde::Deserialize)]
 struct TimeBlock {
     /// Newest arrival time in the block.
     newest: f64,
@@ -44,6 +45,7 @@ struct TimeBlock {
 /// let med = sq.query(0.5);
 /// assert!((3.0..=6.0).contains(&med));
 /// ```
+#[derive(serde::Serialize, serde::Deserialize)]
 pub struct TimeSlidingQuantile {
     eps: f64,
     horizon: f64,
@@ -205,6 +207,7 @@ impl TimeSlidingQuantile {
 /// let est = sf.estimate(2.0);
 /// assert!((150..=260).contains(&est), "{est}");
 /// ```
+#[derive(serde::Serialize, serde::Deserialize)]
 pub struct TimeSlidingFrequency {
     eps: f64,
     horizon: f64,
@@ -215,6 +218,7 @@ pub struct TimeSlidingFrequency {
 }
 
 /// One closed frequency block.
+#[derive(serde::Serialize, serde::Deserialize)]
 struct FreqTimeBlock {
     newest: f64,
     total: u64,

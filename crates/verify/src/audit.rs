@@ -1,0 +1,476 @@
+//! The ε-guarantee bound auditor.
+//!
+//! Every estimator in the system ships with a paper contract: quantile
+//! answers within `ε·N` ranks (§5.2), frequency estimates that never
+//! overestimate and undercount by at most `ε·N` with zero false negatives
+//! above the support threshold (§5.1), and summary space inside the
+//! `O((1/ε)·log(εN))` envelope. The auditors here certify a *finished*
+//! answer set against the exact oracles in [`gsm_sketch::exact`] and return
+//! a structured [`AuditReport`] — observed worst case, permitted bound, and
+//! headroom per check — rather than a bare pass/fail, so CI artifacts show
+//! how close each guarantee runs to its cliff.
+
+use gsm_sketch::exact::ExactStats;
+use gsm_sketch::{BitPrefixHierarchy, HhhEntry};
+
+/// One audited contract: an observed worst case against its bound.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct AuditCheck {
+    /// Stable check identifier, e.g. `quantile.rank_error`.
+    pub name: String,
+    /// Worst observed value (error, undercount, miss count, entry count…).
+    pub observed: f64,
+    /// The contract's permitted bound for that value.
+    pub bound: f64,
+    /// Normalized slack: `(bound − observed) / bound` for positive bounds,
+    /// so `1.0` is a perfect answer, `0.0` sits exactly on the bound, and
+    /// anything negative is a violation. Zero-bounds (counting checks that
+    /// must observe nothing) report `1.0` or `−observed`.
+    pub headroom: f64,
+    /// Whether the observation respects the bound.
+    pub pass: bool,
+}
+
+impl AuditCheck {
+    fn new(name: &str, observed: f64, bound: f64) -> Self {
+        let pass = observed <= bound;
+        let headroom = if bound > 0.0 {
+            (bound - observed) / bound
+        } else if pass {
+            1.0
+        } else {
+            -observed
+        };
+        AuditCheck {
+            name: name.to_string(),
+            observed,
+            bound,
+            headroom,
+            pass,
+        }
+    }
+}
+
+/// The structured result of auditing one estimator on one stream.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct AuditReport {
+    /// Which estimator was audited (e.g. `quantile`, `sliding_frequency`).
+    pub estimator: String,
+    /// Stream length the answers cover.
+    pub n: u64,
+    /// The estimator's error bound ε.
+    pub eps: f64,
+    /// Summary entries held at query time (space usage).
+    pub space_entries: u64,
+    /// The space envelope the entries were audited against.
+    pub space_envelope: f64,
+    /// Every audited contract.
+    pub checks: Vec<AuditCheck>,
+}
+
+impl AuditReport {
+    fn new(estimator: &str, n: u64, eps: f64, space_entries: u64, space_envelope: f64) -> Self {
+        AuditReport {
+            estimator: estimator.to_string(),
+            n,
+            eps,
+            space_entries,
+            space_envelope,
+            checks: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, name: &str, observed: f64, bound: f64) {
+        self.checks.push(AuditCheck::new(name, observed, bound));
+    }
+
+    fn finish_space(&mut self) {
+        self.push(
+            "space.entries",
+            self.space_entries as f64,
+            self.space_envelope,
+        );
+    }
+
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The checks that violated their bound.
+    pub fn violations(&self) -> impl Iterator<Item = &AuditCheck> {
+        self.checks.iter().filter(|c| !c.pass)
+    }
+
+    /// The tightest headroom across all checks (how close the worst
+    /// guarantee ran to its cliff; negative means a violation).
+    pub fn worst_headroom(&self) -> f64 {
+        self.checks
+            .iter()
+            .map(|c| c.headroom)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The implementation-derived space envelope for the streaming quantile
+/// summary (an exponential histogram of pruned GK04 buckets): every live
+/// bucket holds at most `prune_b + 2` entries and at most one bucket lives
+/// per level — the concrete constant behind the paper's
+/// `O((1/ε)·log(εN))`.
+pub fn quantile_space_envelope(eps: f64, window: usize, n: u64) -> f64 {
+    let windows = (n as f64 / window as f64).max(1.0);
+    let max_levels = (windows.log2().ceil()).max(1.0) + 1.0;
+    let delta = eps / (2.0 * max_levels);
+    let prune_b = (1.0 / (2.0 * delta)).ceil();
+    (max_levels + 1.0) * (prune_b + 2.0)
+}
+
+/// The lossy-counting space envelope `O((1/ε)·log(εN))` with the
+/// implementation's constant: `(1/ε)·(log₂(εN + 2) + 2) · 2`.
+pub fn frequency_space_envelope(eps: f64, n: u64) -> f64 {
+    (1.0 / eps) * ((eps * n as f64 + 2.0).log2().max(1.0) + 2.0) * 2.0
+}
+
+/// Audits φ-quantile answers against the exact oracle: rank error within
+/// `ε + 2/N` (the `2/N` covers the two rank-quantization boundaries) and
+/// summary space inside [`quantile_space_envelope`].
+///
+/// # Panics
+///
+/// Panics if `data` is empty (the oracle needs at least one value).
+pub fn audit_quantile(
+    data: &[f32],
+    eps: f64,
+    window: usize,
+    answers: &[(f64, f32)],
+    space_entries: usize,
+) -> AuditReport {
+    let oracle = ExactStats::new(data);
+    let n = oracle.len() as u64;
+    let mut report = AuditReport::new(
+        "quantile",
+        n,
+        eps,
+        space_entries as u64,
+        quantile_space_envelope(eps, window, n),
+    );
+    let bound = eps + 2.0 / n as f64;
+    let mut worst = 0.0f64;
+    for &(phi, value) in answers {
+        worst = worst.max(oracle.quantile_rank_error(phi, value));
+    }
+    report.push("quantile.rank_error", worst, bound);
+    report.finish_space();
+    report
+}
+
+/// Audits frequency estimates and a heavy-hitters answer against the exact
+/// oracle: estimates never overestimate, undercount by at most `⌈εN⌉`, the
+/// heavy-hitters answer has zero false negatives at support `s` and nothing
+/// below `(s − ε)N`, and the summary sits inside
+/// [`frequency_space_envelope`].
+///
+/// `estimates` pairs each probed value with the estimator's answer; `hh` is
+/// the estimator's `heavy_hitters(s)` output.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn audit_frequency(
+    data: &[f32],
+    eps: f64,
+    support: f64,
+    estimates: &[(f32, u64)],
+    hh: &[(f32, u64)],
+    space_entries: usize,
+) -> AuditReport {
+    let oracle = ExactStats::new(data);
+    let n = oracle.len() as u64;
+    let mut report = AuditReport::new(
+        "frequency",
+        n,
+        eps,
+        space_entries as u64,
+        frequency_space_envelope(eps, n),
+    );
+
+    let mut worst_over = i64::MIN;
+    let mut worst_under = 0i64;
+    for &(value, est) in estimates {
+        let truth = oracle.frequency(value) as i64;
+        worst_over = worst_over.max(est as i64 - truth);
+        worst_under = worst_under.max(truth - est as i64);
+    }
+    report.push("frequency.no_overestimate", worst_over.max(0) as f64, 0.0);
+    report.push(
+        "frequency.undercount",
+        worst_under as f64,
+        (eps * n as f64).ceil(),
+    );
+
+    // Zero false negatives: every value at or above s·N must be reported.
+    let threshold = (support * n as f64).ceil() as u64;
+    let missing = oracle
+        .heavy_hitters(threshold.max(1))
+        .iter()
+        .filter(|(v, _)| !hh.iter().any(|(rv, _)| rv.to_bits() == v.to_bits()))
+        .count();
+    report.push("frequency.no_false_negatives", missing as f64, 0.0);
+
+    // Nothing below (s − ε)·N sneaks in.
+    let floor = (support - eps) * n as f64;
+    let spurious = hh
+        .iter()
+        .filter(|&&(v, _)| (oracle.frequency(v) as f64) < floor.floor())
+        .count();
+    report.push("frequency.no_false_positives", spurious as f64, 0.0);
+    report.finish_space();
+    report
+}
+
+/// Audits a hierarchical heavy-hitters answer: per reported prefix the raw
+/// estimate never exceeds the prefix's exact frequency and undercounts by
+/// at most `⌈εN⌉`, every *leaf* at or above support is reported (the lossy
+/// no-false-negatives guarantee, which discounting never weakens at level
+/// 0), and space stays inside one lossy envelope per level.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn audit_hhh(
+    data: &[f32],
+    eps: f64,
+    support: f64,
+    hierarchy: &BitPrefixHierarchy,
+    entries: &[HhhEntry],
+    space_entries: usize,
+) -> AuditReport {
+    let n = data.len() as u64;
+    let levels = hierarchy.levels();
+    let mut report = AuditReport::new(
+        "hhh",
+        n,
+        eps,
+        space_entries as u64,
+        levels as f64 * frequency_space_envelope(eps, n),
+    );
+
+    // Exact per-level oracles over the ancestor-mapped stream.
+    let oracles: Vec<ExactStats> = (0..levels)
+        .map(|level| {
+            let mapped: Vec<f32> = data.iter().map(|&v| hierarchy.ancestor(v, level)).collect();
+            ExactStats::new(&mapped)
+        })
+        .collect();
+
+    let mut worst_over = 0i64;
+    let mut worst_under = 0i64;
+    for e in entries {
+        let truth = oracles[e.level].frequency(e.prefix) as i64;
+        worst_over = worst_over.max(e.raw_count as i64 - truth);
+        worst_under = worst_under.max(truth - e.raw_count as i64);
+    }
+    report.push("hhh.raw_no_overestimate", worst_over as f64, 0.0);
+    report.push(
+        "hhh.raw_undercount",
+        worst_under as f64,
+        (eps * n as f64).ceil(),
+    );
+
+    // Leaf-level no false negatives: a leaf has no descendants to discount,
+    // so lossy counting's guarantee applies unchanged.
+    let threshold = (support * n as f64).ceil() as u64;
+    let missing = oracles[0]
+        .heavy_hitters(threshold.max(1))
+        .iter()
+        .filter(|(v, _)| {
+            !entries
+                .iter()
+                .any(|e| e.level == 0 && e.prefix.to_bits() == v.to_bits())
+        })
+        .count();
+    report.push("hhh.leaf_no_false_negatives", missing as f64, 0.0);
+    report.finish_space();
+    report
+}
+
+/// Audits sliding-window quantile answers against the exact oracle over the
+/// `covered` most recent elements (exactly the population the live blocks
+/// summarize): rank error within `ε + 2/covered`, space within the
+/// per-block sampling envelope.
+///
+/// # Panics
+///
+/// Panics if `covered` is zero or exceeds `data.len()`.
+pub fn audit_sliding_quantile(
+    data: &[f32],
+    eps: f64,
+    width: usize,
+    covered: u64,
+    answers: &[(f64, f32)],
+    space_entries: usize,
+) -> AuditReport {
+    assert!(covered > 0 && covered as usize <= data.len(), "bad covered");
+    let suffix = &data[data.len() - covered as usize..];
+    let oracle = ExactStats::new(suffix);
+    // Per-block entries: a block of b = ⌈εW/2⌉ elements sampled at ε/2
+    // holds at most 2/ε + 2 entries; ⌈W/b⌉ + 1 blocks live at once.
+    let block = ((eps * width as f64) / 2.0).ceil().max(1.0);
+    let blocks = (width as f64 / block).ceil() + 1.0;
+    let envelope = blocks * (2.0 / eps + 3.0);
+    let mut report = AuditReport::new(
+        "sliding_quantile",
+        covered,
+        eps,
+        space_entries as u64,
+        envelope,
+    );
+    let bound = eps + 2.0 / covered as f64;
+    let mut worst = 0.0f64;
+    for &(phi, value) in answers {
+        worst = worst.max(oracle.quantile_rank_error(phi, value));
+    }
+    report.push("sliding_quantile.rank_error", worst, bound);
+    report.finish_space();
+    report
+}
+
+/// Audits sliding-window frequency answers against the exact oracle over
+/// the `covered` most recent elements: estimates never overestimate the
+/// covered suffix, undercount by at most `⌈ε·covered⌉`, heavy hitters have
+/// no false negatives for values at or above `(s + ε)·covered`, and the
+/// pruned histograms respect their per-block entry cap.
+///
+/// # Panics
+///
+/// Panics if `covered` is zero or exceeds `data.len()`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list; a config struct would obscure which bound each input feeds
+pub fn audit_sliding_frequency(
+    data: &[f32],
+    eps: f64,
+    width: usize,
+    covered: u64,
+    support: f64,
+    estimates: &[(f32, u64)],
+    hh: &[(f32, u64)],
+    space_entries: usize,
+) -> AuditReport {
+    assert!(covered > 0 && covered as usize <= data.len(), "bad covered");
+    let suffix = &data[data.len() - covered as usize..];
+    let oracle = ExactStats::new(suffix);
+    // Entries with count > drop each consume > drop elements, so one block
+    // of b elements keeps at most b/(drop+1) entries.
+    let block = ((eps * width as f64) / 4.0).ceil().max(1.0);
+    let drop = ((eps * block) / 2.0).floor();
+    let blocks = (width as f64 / block).ceil() + 1.0;
+    let envelope = blocks * (block / (drop + 1.0)).ceil();
+    let mut report = AuditReport::new(
+        "sliding_frequency",
+        covered,
+        eps,
+        space_entries as u64,
+        envelope,
+    );
+
+    let mut worst_over = 0i64;
+    let mut worst_under = 0i64;
+    for &(value, est) in estimates {
+        let truth = oracle.frequency(value) as i64;
+        worst_over = worst_over.max(est as i64 - truth);
+        worst_under = worst_under.max(truth - est as i64);
+    }
+    report.push("sliding_frequency.no_overestimate", worst_over as f64, 0.0);
+    report.push(
+        "sliding_frequency.undercount",
+        worst_under as f64,
+        (eps * covered as f64).ceil(),
+    );
+
+    // No false negatives with one ε of threshold slack: a value holding
+    // (s + ε)·covered of the suffix estimates to ≥ s·covered ≥ the sketch's
+    // (s − ε)·width reporting threshold for any covered ≥ width.
+    let threshold = ((support + eps) * covered as f64).ceil() as u64;
+    let missing = oracle
+        .heavy_hitters(threshold.max(1))
+        .iter()
+        .filter(|(v, _)| !hh.iter().any(|(rv, _)| rv.to_bits() == v.to_bits()))
+        .count();
+    report.push("sliding_frequency.no_false_negatives", missing as f64, 0.0);
+    report.finish_space();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_quantile_answers_pass_with_headroom() {
+        let data: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let answers = [(0.5, 500.0f32), (0.9, 900.0f32)];
+        let report = audit_quantile(&data, 0.02, 100, &answers, 50);
+        assert!(report.passed(), "{:?}", report.checks);
+        assert!(report.worst_headroom() > 0.0);
+    }
+
+    #[test]
+    fn bad_quantile_answer_is_flagged() {
+        let data: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let answers = [(0.5, 900.0f32)]; // 400 ranks off, eps allows 20
+        let report = audit_quantile(&data, 0.02, 100, &answers, 50);
+        assert!(!report.passed());
+        let v: Vec<_> = report.violations().collect();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].name, "quantile.rank_error");
+        assert!(v[0].headroom < 0.0);
+    }
+
+    #[test]
+    fn frequency_overestimate_is_flagged() {
+        let data = vec![1.0f32; 100];
+        // Claim 2.0 appears 5 times: an overestimate (truth 0).
+        let report = audit_frequency(&data, 0.05, 0.5, &[(2.0, 5)], &[(1.0, 100)], 1);
+        assert!(!report.passed());
+        assert!(report
+            .violations()
+            .any(|c| c.name == "frequency.no_overestimate"));
+    }
+
+    #[test]
+    fn frequency_false_negative_is_flagged() {
+        let data = vec![1.0f32; 100];
+        // 1.0 is 100% of the stream but missing from the answer.
+        let report = audit_frequency(&data, 0.05, 0.5, &[(1.0, 98)], &[], 1);
+        assert!(report
+            .violations()
+            .any(|c| c.name == "frequency.no_false_negatives"));
+    }
+
+    #[test]
+    fn space_blowup_is_flagged() {
+        let data: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let report = audit_quantile(&data, 0.02, 100, &[(0.5, 500.0)], 1_000_000);
+        assert!(report.violations().any(|c| c.name == "space.entries"));
+    }
+
+    #[test]
+    fn sliding_audits_use_the_covered_suffix() {
+        // Stream of 0s then 1s; covered window is all 1s.
+        let mut data = vec![0.0f32; 500];
+        data.extend(vec![1.0f32; 500]);
+        let report = audit_sliding_quantile(&data, 0.05, 500, 500, &[(0.5, 1.0)], 100);
+        assert!(report.passed(), "{:?}", report.checks);
+        // An answer from the expired prefix must fail.
+        let report = audit_sliding_quantile(&data, 0.05, 500, 500, &[(0.5, 0.0)], 100);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let data = vec![1.0f32; 10];
+        let report = audit_frequency(&data, 0.2, 0.5, &[(1.0, 10)], &[(1.0, 10)], 1);
+        let json = serde_json::to_string(&report).expect("serialize");
+        assert!(json.contains("\"frequency.undercount\""));
+        assert!(json.contains("\"headroom\""));
+    }
+}

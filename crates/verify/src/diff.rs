@@ -1,0 +1,437 @@
+//! The differential fuzz driver.
+//!
+//! One [`StreamSpec`] fans out across every [`Engine`] × every estimator
+//! family (quantile, frequency, HHH, both sliding variants). Answers are
+//! fingerprinted per engine and compared — the engines are contractually
+//! byte-identical — and the first engine's answers are audited against the
+//! exact oracles. Cross-backend identity alone would pass if every backend
+//! were identically wrong; the oracle audit alone would pass if one backend
+//! silently diverged inside the bound. Together they pin both failure
+//! modes.
+
+use gsm_core::{
+    replay, BitPrefixHierarchy, Engine, FrequencyEstimator, HhhEstimator, QuantileEstimator,
+    SlidingFrequencyEstimator, SlidingQuantileEstimator,
+};
+use gsm_sketch::exact::ExactStats;
+use gsm_sketch::LossyCounting;
+
+use crate::audit::{
+    audit_frequency, audit_hhh, audit_quantile, audit_sliding_frequency, audit_sliding_quantile,
+    AuditReport,
+};
+use crate::gen::StreamSpec;
+
+/// Tuning for one verification run; [`VerifyConfig::default`] matches the
+/// CI smoke configuration.
+#[derive(Clone, Debug)]
+pub struct VerifyConfig {
+    /// Quantile-estimator error bound.
+    pub quantile_eps: f64,
+    /// Frequency / HHH error bound.
+    pub frequency_eps: f64,
+    /// Sliding-window error bound.
+    pub sliding_eps: f64,
+    /// Heavy-hitter support threshold (must exceed `frequency_eps`).
+    pub support: f64,
+    /// Quantile fractions probed on every quantile-class estimator.
+    pub phis: Vec<f64>,
+    /// The backends to fan out across.
+    pub engines: Vec<Engine>,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            quantile_eps: 0.02,
+            frequency_eps: 0.005,
+            sliding_eps: 0.05,
+            support: 0.03,
+            phis: vec![0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99],
+            engines: Engine::ALL.to_vec(),
+        }
+    }
+}
+
+/// One engine's answers, reduced to a fingerprint.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct EngineRun {
+    /// The backend's display label.
+    pub engine: String,
+    /// FNV-1a over every answer byte this engine produced.
+    pub fingerprint: u64,
+}
+
+/// The verdict for one adversarial stream.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FamilyOutcome {
+    /// Generator family name.
+    pub family: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Actual stream length.
+    pub n: u64,
+    /// Window size the boundary families aligned to.
+    pub window: u64,
+    /// Per-engine answer fingerprints.
+    pub engines: Vec<EngineRun>,
+    /// Whether every engine produced byte-identical answers.
+    pub cross_backend_agree: bool,
+    /// Oracle audits of the (agreed) answers, one per estimator.
+    pub reports: Vec<AuditReport>,
+}
+
+impl FamilyOutcome {
+    /// Whether the engines agreed *and* every bound held.
+    pub fn passed(&self) -> bool {
+        self.cross_backend_agree && self.reports.iter().all(AuditReport::passed)
+    }
+
+    /// Human-readable description of every failure in this outcome.
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.cross_backend_agree {
+            out.push(format!(
+                "{}: engines disagree: {:?}",
+                self.family,
+                self.engines
+                    .iter()
+                    .map(|e| (e.engine.as_str(), e.fingerprint))
+                    .collect::<Vec<_>>()
+            ));
+        }
+        for r in &self.reports {
+            for c in r.violations() {
+                out.push(format!(
+                    "{}/{}: {} observed {} > bound {}",
+                    self.family, r.estimator, c.name, c.observed, c.bound
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// FNV-1a accumulator for answer fingerprints.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn f32(&mut self, v: f32) {
+        self.u64(v.to_bits() as u64);
+    }
+}
+
+/// Everything one engine answered for one stream.
+struct Answers {
+    quantiles: Vec<(f64, f32)>,
+    q_entries: usize,
+    estimates: Vec<(f32, u64)>,
+    hh: Vec<(f32, u64)>,
+    f_entries: usize,
+    hhh: Vec<gsm_core::HhhEntry>,
+    hhh_entries: usize,
+    sq: Vec<(f64, f32)>,
+    sq_covered: u64,
+    sq_entries: usize,
+    sf_estimates: Vec<(f32, u64)>,
+    sf_hh: Vec<(f32, u64)>,
+    sf_covered: u64,
+    sf_entries: usize,
+    pipeline_probe: u64,
+}
+
+impl Answers {
+    fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for &(phi, v) in &self.quantiles {
+            h.u64(phi.to_bits());
+            h.f32(v);
+        }
+        for &(v, c) in self.estimates.iter().chain(&self.hh) {
+            h.f32(v);
+            h.u64(c);
+        }
+        for e in &self.hhh {
+            h.u64(e.level as u64);
+            h.f32(e.prefix);
+            h.u64(e.discounted_count);
+            h.u64(e.raw_count);
+        }
+        for &(phi, v) in &self.sq {
+            h.u64(phi.to_bits());
+            h.f32(v);
+        }
+        h.u64(self.sq_covered);
+        for &(v, c) in self.sf_estimates.iter().chain(&self.sf_hh) {
+            h.f32(v);
+            h.u64(c);
+        }
+        h.u64(self.sf_covered);
+        h.u64(self.pipeline_probe);
+        h.0
+    }
+}
+
+/// The values worth probing for frequency bounds: the hottest ids (where
+/// undercounts concentrate), plus one id guaranteed absent (overestimates
+/// on absent values are the classic lookup bug).
+fn probe_values(oracle: &ExactStats, max_probes: usize) -> Vec<f32> {
+    let mut hot = oracle.heavy_hitters(1);
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.total_cmp(&b.0)));
+    let mut probes: Vec<f32> = hot.iter().take(max_probes).map(|&(v, _)| v).collect();
+    let absent = hot.iter().map(|&(v, _)| v).fold(0.0f32, f32::max).floor() + 7.0;
+    probes.push(absent);
+    probes
+}
+
+#[allow(clippy::too_many_arguments)] // internal fan-out helper: the shared per-family inputs are precomputed once by verify_family
+fn run_engine(
+    engine: Engine,
+    cfg: &VerifyConfig,
+    spec: &StreamSpec,
+    data: &[f32],
+    ids: &[f32],
+    probes: &[f32],
+    hierarchy: &BitPrefixHierarchy,
+    widths: (usize, usize),
+) -> Answers {
+    let n = data.len();
+
+    let mut q = QuantileEstimator::builder(cfg.quantile_eps)
+        .engine(engine)
+        .n_hint(n as u64)
+        .window(spec.window)
+        .build();
+    q.push_all(data.iter().copied());
+    let quantiles: Vec<(f64, f32)> = cfg.phis.iter().map(|&phi| (phi, q.query(phi))).collect();
+
+    let mut f = FrequencyEstimator::builder(cfg.frequency_eps)
+        .engine(engine)
+        .build();
+    f.push_all(ids.iter().copied());
+    let estimates: Vec<(f32, u64)> = probes.iter().map(|&v| (v, f.estimate(v))).collect();
+    let hh = f.heavy_hitters(cfg.support);
+
+    let mut h = HhhEstimator::new(cfg.frequency_eps, hierarchy.clone(), engine);
+    h.push_all(ids.iter().copied());
+    let hhh = h.query(cfg.support);
+
+    let (sq_width, sf_width) = widths;
+    let mut sq = SlidingQuantileEstimator::new(cfg.sliding_eps, sq_width, engine);
+    sq.push_all(data.iter().copied());
+    let sq_answers: Vec<(f64, f32)> = cfg.phis.iter().map(|&phi| (phi, sq.query(phi))).collect();
+
+    let mut sf = SlidingFrequencyEstimator::new(cfg.sliding_eps, sf_width, engine);
+    sf.push_all(ids.iter().copied());
+    let sf_estimates: Vec<(f32, u64)> = probes.iter().map(|&v| (v, sf.estimate(v))).collect();
+    let sf_hh = sf.heavy_hitters(cfg.support + cfg.sliding_eps);
+
+    // One raw-pipeline probe through the deterministic replay entry point:
+    // the same sorted windows the estimators consumed, folded into a fresh
+    // lossy sketch, fingerprints the window→sort path itself.
+    let lossy = replay(
+        engine,
+        spec.window,
+        ids,
+        LossyCounting::with_window(
+            cfg.frequency_eps,
+            spec.window.max((1.0 / cfg.frequency_eps).ceil() as usize),
+        ),
+    );
+    let mut probe_h = Fnv::new();
+    for &v in probes {
+        probe_h.u64(lossy.estimate(v));
+    }
+
+    Answers {
+        quantiles,
+        q_entries: q.entry_count(),
+        estimates,
+        hh,
+        f_entries: f.entry_count(),
+        hhh,
+        hhh_entries: h.entry_count(),
+        sq: sq_answers,
+        sq_covered: sq.covered(),
+        sq_entries: sq.entry_count(),
+        sf_estimates,
+        sf_hh,
+        sf_covered: sf.covered(),
+        sf_entries: sf.entry_count(),
+        pipeline_probe: probe_h.0,
+    }
+}
+
+/// Fans one adversarial stream across every configured engine and
+/// estimator, cross-checks the answers, and audits every paper bound.
+pub fn verify_family(spec: &StreamSpec, cfg: &VerifyConfig) -> FamilyOutcome {
+    assert!(!cfg.engines.is_empty(), "need at least one engine");
+    let data = spec.generate();
+    let ids = spec.integer_ids();
+    let id_oracle = ExactStats::new(&ids);
+    let probes = probe_values(&id_oracle, 16);
+    let hierarchy = BitPrefixHierarchy::new(vec![4, 8]);
+
+    // Sliding windows cover the last quarter of the stream (clamped to the
+    // sketches' minimum widths).
+    let sq_width = (data.len() / 4).max((2.0 / cfg.sliding_eps).ceil() as usize);
+    let sf_width = (data.len() / 4).max((4.0 / cfg.sliding_eps).ceil() as usize);
+
+    let runs: Vec<(Engine, Answers)> = cfg
+        .engines
+        .iter()
+        .map(|&e| {
+            (
+                e,
+                run_engine(
+                    e,
+                    cfg,
+                    spec,
+                    &data,
+                    &ids,
+                    &probes,
+                    &hierarchy,
+                    (sq_width, sf_width),
+                ),
+            )
+        })
+        .collect();
+
+    let engines: Vec<EngineRun> = runs
+        .iter()
+        .map(|(e, a)| EngineRun {
+            engine: e.label().to_string(),
+            fingerprint: a.fingerprint(),
+        })
+        .collect();
+    let cross_backend_agree = engines
+        .windows(2)
+        .all(|w| w[0].fingerprint == w[1].fingerprint);
+
+    // Audit the first engine's answers (identical across engines whenever
+    // the cross-check holds; when it doesn't, the run already failed).
+    let a = &runs[0].1;
+    let reports = vec![
+        audit_quantile(
+            &data,
+            cfg.quantile_eps,
+            spec.window,
+            &a.quantiles,
+            a.q_entries,
+        ),
+        audit_frequency(
+            &ids,
+            cfg.frequency_eps,
+            cfg.support,
+            &a.estimates,
+            &a.hh,
+            a.f_entries,
+        ),
+        audit_hhh(
+            &ids,
+            cfg.frequency_eps,
+            cfg.support,
+            &hierarchy,
+            &a.hhh,
+            a.hhh_entries,
+        ),
+        audit_sliding_quantile(
+            &data,
+            cfg.sliding_eps,
+            sq_width,
+            a.sq_covered,
+            &a.sq,
+            a.sq_entries,
+        ),
+        audit_sliding_frequency(
+            &ids,
+            cfg.sliding_eps,
+            sf_width,
+            a.sf_covered,
+            cfg.support + cfg.sliding_eps,
+            &a.sf_estimates,
+            &a.sf_hh,
+            a.sf_entries,
+        ),
+    ];
+
+    FamilyOutcome {
+        family: spec.family.name().to_string(),
+        seed: spec.seed,
+        n: data.len() as u64,
+        window: spec.window as u64,
+        engines,
+        cross_backend_agree,
+        reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Family;
+
+    #[test]
+    fn host_only_uniform_family_passes() {
+        let spec = StreamSpec {
+            family: Family::Uniform,
+            seed: 7,
+            n: 4096,
+            window: 1024,
+        };
+        let cfg = VerifyConfig {
+            engines: vec![Engine::Host],
+            ..VerifyConfig::default()
+        };
+        let outcome = verify_family(&spec, &cfg);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures());
+        assert_eq!(outcome.reports.len(), 5);
+    }
+
+    #[test]
+    fn heavy_duplicate_family_passes_on_two_engines() {
+        let spec = StreamSpec {
+            family: Family::HeavyDuplicate,
+            seed: 11,
+            n: 4096,
+            window: 1024,
+        };
+        let cfg = VerifyConfig {
+            engines: vec![Engine::Host, Engine::ParallelHost],
+            ..VerifyConfig::default()
+        };
+        let outcome = verify_family(&spec, &cfg);
+        assert!(outcome.cross_backend_agree);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures());
+    }
+
+    #[test]
+    fn failures_are_described() {
+        let spec = StreamSpec {
+            family: Family::ZipfSkew,
+            seed: 3,
+            n: 2048,
+            window: 512,
+        };
+        let cfg = VerifyConfig {
+            engines: vec![Engine::Host],
+            ..VerifyConfig::default()
+        };
+        let mut outcome = verify_family(&spec, &cfg);
+        assert!(outcome.failures().is_empty());
+        outcome.cross_backend_agree = false;
+        assert!(!outcome.passed());
+        assert_eq!(outcome.failures().len(), 1);
+    }
+}

@@ -1,0 +1,417 @@
+//! Deterministic adversarial stream generators.
+//!
+//! Every family is seeded and fully reproducible: the same
+//! [`StreamSpec`] always yields the same stream, on every platform (the
+//! generator uses its own splitmix64/xorshift core rather than an external
+//! RNG so the byte sequence is pinned by this crate alone). Tests, the
+//! verify gate, and the `verify_report` fuzz driver all draw from this one
+//! taxonomy, so a CI failure is reproducible from `(family, seed, n)`
+//! alone.
+//!
+//! The families target the places where window-based summaries historically
+//! break: presortedness (merge paths that never exercise one branch),
+//! heavy duplication (rank ranges wider than the sampling stride), skew
+//! (compress passes that must not evict true heavy hitters),
+//! window-boundary alignment (epoch bursts and ±1 off-by-one lengths), and
+//! totalOrder edge values (±0.0, subnormals, extremes).
+
+/// One adversarial stream family.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// Uniform pseudo-random values in `[0, 1)` — the control case.
+    Uniform,
+    /// Already ascending: every merge takes the same branch.
+    Sorted,
+    /// Strictly descending: the mirror-image merge path.
+    Reversed,
+    /// Ascend to a peak, then descend (organ pipe): sorted runs in both
+    /// directions inside one stream.
+    OrganPipe,
+    /// A handful of distinct values, so duplicate runs dwarf the sampling
+    /// stride and rank ranges are wide.
+    HeavyDuplicate,
+    /// Zipf-like skew: element `k` drawn with weight `1/(k+1)`.
+    ZipfSkew,
+    /// Bursts whose regime flips exactly at window boundaries, so every
+    /// window is internally homogeneous but adjacent windows disagree.
+    EpochBursts,
+    /// totalOrder edge values: ±0.0, subnormals, `f32::MIN_POSITIVE`,
+    /// ±`f32::MAX`, and tiny/huge magnitudes, shuffled.
+    TotalOrderEdges,
+    /// Uniform values, but the stream is one element *longer* than a whole
+    /// number of windows (a lone straggler window at flush).
+    WindowPlusOne,
+    /// Uniform values, one element *shorter* than a whole number of windows
+    /// (the final full window never closes on its own).
+    WindowMinusOne,
+}
+
+impl Family {
+    /// Every family, in a fixed audit order.
+    pub const ALL: [Family; 10] = [
+        Family::Uniform,
+        Family::Sorted,
+        Family::Reversed,
+        Family::OrganPipe,
+        Family::HeavyDuplicate,
+        Family::ZipfSkew,
+        Family::EpochBursts,
+        Family::TotalOrderEdges,
+        Family::WindowPlusOne,
+        Family::WindowMinusOne,
+    ];
+
+    /// Stable identifier used in reports and repro seeds.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Uniform => "uniform",
+            Family::Sorted => "sorted",
+            Family::Reversed => "reversed",
+            Family::OrganPipe => "organ_pipe",
+            Family::HeavyDuplicate => "heavy_duplicate",
+            Family::ZipfSkew => "zipf_skew",
+            Family::EpochBursts => "epoch_bursts",
+            Family::TotalOrderEdges => "total_order_edges",
+            Family::WindowPlusOne => "window_plus_one",
+            Family::WindowMinusOne => "window_minus_one",
+        }
+    }
+
+    /// Looks a family up by its [`Family::name`].
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// A fully reproducible stream: family + seed + target length + the window
+/// size the consuming pipeline will cut (used by the boundary-aligned
+/// families).
+#[derive(Clone, Copy, Debug)]
+pub struct StreamSpec {
+    /// The adversarial family.
+    pub family: Family,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Target stream length (the off-by-one families deliberately return
+    /// `±1` around the nearest whole number of windows).
+    pub n: usize,
+    /// The window size the consumer will cut the stream into.
+    pub window: usize,
+}
+
+impl StreamSpec {
+    /// Generates the stream. Deterministic in the spec alone.
+    ///
+    /// All values are finite (the pipeline's domain); ±0.0 and subnormals
+    /// appear only in [`Family::TotalOrderEdges`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `window` is zero.
+    pub fn generate(&self) -> Vec<f32> {
+        assert!(
+            self.n > 0 && self.window > 0,
+            "n and window must be positive"
+        );
+        let mut rng = SplitMix::new(self.seed ^ hash_name(self.family.name()));
+        let n = self.len();
+        match self.family {
+            Family::Uniform | Family::WindowPlusOne | Family::WindowMinusOne => {
+                (0..n).map(|_| rng.unit_f32()).collect()
+            }
+            Family::Sorted => {
+                let mut v: Vec<f32> = (0..n).map(|_| rng.unit_f32()).collect();
+                v.sort_by(f32::total_cmp);
+                v
+            }
+            Family::Reversed => {
+                let mut v: Vec<f32> = (0..n).map(|_| rng.unit_f32()).collect();
+                v.sort_by(|a, b| b.total_cmp(a));
+                v
+            }
+            Family::OrganPipe => {
+                let mut v: Vec<f32> = (0..n).map(|_| rng.unit_f32()).collect();
+                v.sort_by(f32::total_cmp);
+                let (up, down) = v.split_at(n / 2);
+                let mut out = up.to_vec();
+                out.extend(down.iter().rev());
+                out
+            }
+            Family::HeavyDuplicate => {
+                // 5 hot values carry ~80% of the stream; 16 cold values the
+                // rest — duplicate runs far wider than any sampling stride.
+                (0..n)
+                    .map(|_| {
+                        if rng.below(10) < 8 {
+                            rng.below(5) as f32
+                        } else {
+                            (100 + rng.below(16)) as f32
+                        }
+                    })
+                    .collect()
+            }
+            Family::ZipfSkew => {
+                // Element k with weight 1/(k+1) over a 256-element domain.
+                let weights: Vec<f64> = (0..256u32).map(|k| 1.0 / (k + 1) as f64).collect();
+                let total: f64 = weights.iter().sum();
+                (0..n)
+                    .map(|_| {
+                        let mut u = rng.unit_f64() * total;
+                        for (k, w) in weights.iter().enumerate() {
+                            if u < *w {
+                                return k as f32;
+                            }
+                            u -= w;
+                        }
+                        255.0
+                    })
+                    .collect()
+            }
+            Family::EpochBursts => {
+                // Each window-aligned epoch draws from its own narrow band;
+                // the band jumps discontinuously at every boundary.
+                (0..n)
+                    .map(|i| {
+                        let epoch = (i / self.window) as u64;
+                        let base = (SplitMix::new(self.seed ^ epoch).below(1000)) as f32;
+                        base + rng.unit_f32()
+                    })
+                    .collect()
+            }
+            Family::TotalOrderEdges => {
+                const EDGES: [f32; 12] = [
+                    0.0,
+                    -0.0,
+                    f32::MIN_POSITIVE, // smallest normal
+                    1.0e-42,           // subnormal
+                    -1.0e-42,
+                    f32::MAX,
+                    f32::MIN, // == -MAX
+                    1.0,
+                    -1.0,
+                    1.5e-45, // smallest positive subnormal
+                    6.0e4,   // f16-grid extreme
+                    -6.0e4,
+                ];
+                (0..n)
+                    .map(|_| {
+                        if rng.below(4) == 0 {
+                            EDGES[rng.below(EDGES.len() as u64) as usize]
+                        } else {
+                            rng.unit_f32() * 2.0 - 1.0
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The actual stream length: `n` rounded to the off-by-one targets for
+    /// the boundary families, unchanged otherwise.
+    pub fn len(&self) -> usize {
+        let whole = (self.n / self.window).max(1) * self.window;
+        match self.family {
+            Family::WindowPlusOne => whole + 1,
+            Family::WindowMinusOne => (whole - 1).max(1),
+            _ => self.n,
+        }
+    }
+
+    /// Whether the spec expands to an empty stream (only when `n == 0` on a
+    /// non-boundary family — the window-boundary families always emit at
+    /// least one element).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stream re-keyed as non-negative *integer-valued* ids — the
+    /// domain the frequency-class estimators (lossy counting, HHH) require.
+    /// Equal floats map to equal ids, so the duplicate structure (and with
+    /// it every frequency bound) carries over; the mapping is deterministic
+    /// in the spec.
+    pub fn integer_ids(&self) -> Vec<f32> {
+        self.generate()
+            .into_iter()
+            .map(|v| {
+                // Canonicalize -0.0 → +0.0 first: frequency summaries key by
+                // value equality, and mixed zero signs would split one id.
+                let v = if v == 0.0 { 0.0 } else { v };
+                (v.to_bits() % (1 << 16)) as f32
+            })
+            .collect()
+    }
+}
+
+/// splitmix64 — the standard 64-bit mixer, plus float helpers.
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// FNV-1a over a name, to decorrelate family streams sharing one seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(family: Family) -> StreamSpec {
+        StreamSpec {
+            family,
+            seed: 42,
+            n: 4096,
+            window: 512,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in Family::ALL {
+            let a = spec(family).generate();
+            let b = spec(family).generate();
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{family:?} must be reproducible"
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_stream() {
+        let a = spec(Family::Uniform).generate();
+        let b = StreamSpec {
+            seed: 43,
+            ..spec(Family::Uniform)
+        }
+        .generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_values_are_finite() {
+        for family in Family::ALL {
+            assert!(
+                spec(family).generate().iter().all(|v| v.is_finite()),
+                "{family:?} must stay in the pipeline's finite domain"
+            );
+        }
+    }
+
+    #[test]
+    fn off_by_one_lengths() {
+        assert_eq!(spec(Family::WindowPlusOne).generate().len(), 4096 + 1);
+        assert_eq!(spec(Family::WindowMinusOne).generate().len(), 4096 - 1);
+        assert_eq!(spec(Family::Uniform).generate().len(), 4096);
+    }
+
+    #[test]
+    fn sorted_families_are_sorted() {
+        let s = spec(Family::Sorted).generate();
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let r = spec(Family::Reversed).generate();
+        assert!(r.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn organ_pipe_rises_then_falls() {
+        let v = spec(Family::OrganPipe).generate();
+        let peak = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty")
+            .0;
+        assert!(v[..=peak].windows(2).all(|w| w[0] <= w[1]));
+        assert!(v[peak..].windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn edge_family_contains_signed_zeros_and_subnormals() {
+        let v = StreamSpec {
+            n: 20_000,
+            ..spec(Family::TotalOrderEdges)
+        }
+        .generate();
+        assert!(v.iter().any(|x| x.to_bits() == (-0.0f32).to_bits()));
+        assert!(v.iter().any(|x| x.to_bits() == 0.0f32.to_bits()));
+        assert!(v.iter().any(|x| x.is_subnormal()));
+        assert!(v.iter().any(|x| *x == f32::MAX));
+    }
+
+    #[test]
+    fn integer_ids_are_canonical_non_negative_integers() {
+        for family in Family::ALL {
+            let ids = spec(family).integer_ids();
+            assert!(
+                ids.iter().all(|v| *v >= 0.0 && v.fract() == 0.0),
+                "{family:?} ids must be non-negative integers"
+            );
+            // -0.0 must have been canonicalized away.
+            assert!(ids.iter().all(|v| v.to_bits() != (-0.0f32).to_bits()));
+        }
+    }
+
+    #[test]
+    fn integer_ids_preserve_duplicate_structure() {
+        let s = spec(Family::HeavyDuplicate);
+        let raw = s.generate();
+        let ids = s.integer_ids();
+        // Equal values map to equal ids at the same positions.
+        for i in 0..raw.len() {
+            for j in (i + 1)..raw.len().min(i + 50) {
+                if raw[i] == raw[j] {
+                    assert_eq!(ids[i], ids[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_bursts_align_to_windows() {
+        let s = spec(Family::EpochBursts);
+        let v = s.generate();
+        // Within one window all values share one integer base band.
+        for w in v.chunks(s.window) {
+            let base = w[0].floor();
+            assert!(w.iter().all(|x| (x.floor() - base).abs() <= 1.0));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # gsm-verify
+//!
+//! ε-guarantee auditor and adversarial differential fuzzer for the gsm
+//! estimators.
+//!
+//! The paper's whole value proposition is *bounded* approximation — lossy
+//! counting never overestimates and undercounts by at most εN with zero
+//! false negatives above the support threshold; the GK/exponential-histogram
+//! quantile summaries answer within ε rank error; summaries stay inside the
+//! `O((1/ε)·log(εN))` space envelope. This crate mechanically certifies all
+//! of that:
+//!
+//! - [`gen`] — deterministic, seeded adversarial stream generators
+//!   (sorted/reversed/organ-pipe, heavy duplicates, Zipf skew,
+//!   epoch-aligned bursts, totalOrder edge values, window ±1 off-by-one),
+//!   shared by tests and benches.
+//! - [`audit`] — bound auditors that compare finished answers against the
+//!   [`gsm_sketch::exact`] oracles and return a structured [`AuditReport`]
+//!   (per-check worst-case error, bound headroom, space usage), not a bare
+//!   pass/fail.
+//! - [`diff`] — the differential driver: one stream fans out across every
+//!   [`gsm_core::Engine`] × every estimator, answers are fingerprinted and
+//!   cross-checked, and the agreed answers are audited against the oracles.
+//!
+//! Frequency-class estimators are audited on the canonical integer-id
+//! projection of each stream ([`StreamSpec::integer_ids`]): the sketches
+//! merge `-0.0 == 0.0` while lookups and oracles distinguish the two bit
+//! patterns, so raw totalOrder edge streams are only legal input for the
+//! quantile-class audits.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod diff;
+pub mod gen;
+
+pub use audit::{
+    audit_frequency, audit_hhh, audit_quantile, audit_sliding_frequency, audit_sliding_quantile,
+    frequency_space_envelope, quantile_space_envelope, AuditCheck, AuditReport,
+};
+pub use diff::{verify_family, EngineRun, FamilyOutcome, VerifyConfig};
+pub use gen::{Family, SplitMix, StreamSpec};

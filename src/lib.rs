@@ -29,6 +29,10 @@
 //! * [`obs`] ([`gsm_obs`]) — zero-dependency tracing and metrics: spans,
 //!   counters, gauges, latency histograms, and Prometheus / Chrome-trace
 //!   exporters over every layer above.
+//! * [`verify`] ([`gsm_verify`]) — the standing verification gate:
+//!   deterministic adversarial stream generators, exact-oracle bound
+//!   auditors ([`verify::AuditReport`]), and the differential driver that
+//!   fans streams across every engine × estimator.
 //!
 //! ## Quickstart
 //!
@@ -59,3 +63,4 @@ pub use gsm_obs as obs;
 pub use gsm_sketch as sketch;
 pub use gsm_sort as sort;
 pub use gsm_stream as stream;
+pub use gsm_verify as verify;

@@ -1,0 +1,189 @@
+//! Property tests for the previously-untested stream paths —
+//! `time_sliding.rs` and `correlated.rs` — driven by the adversarial
+//! generators from `gsm-verify`: exact timestamp-boundary expiry,
+//! empty-window queries, and checkpoint/restore mid-decay.
+
+use gsm::sketch::time_sliding::{TimeSlidingFrequency, TimeSlidingQuantile};
+use gsm::sketch::CorrelatedSum;
+use gsm::verify::{Family, SplitMix, StreamSpec};
+use proptest::prelude::*;
+
+/// A generator family index plus seed, mapped onto the gsm-verify
+/// adversarial streams.
+fn spec(n: usize, window: usize) -> impl Strategy<Value = StreamSpec> {
+    (0..Family::ALL.len(), 0u64..1_000_000).prop_map(move |(f, seed)| StreamSpec {
+        family: Family::ALL[f],
+        seed,
+        n,
+        window,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Expiry is strict at the exact timestamp boundary: a block whose
+    /// newest element is *exactly* `horizon` old survives; one epsilon
+    /// older is gone. Dyadic horizons keep `(t + horizon) - horizon == t`
+    /// exact in f64, so the test exercises the `<` comparison at true
+    /// equality rather than float noise. Pushed through adversarial value
+    /// streams so boundary handling is independent of the data shape.
+    #[test]
+    fn time_expiry_at_exact_boundary(s in spec(256, 64), horizon_exp in -1i32..3) {
+        let data = s.generate();
+        let horizon = 2.0f64.powi(horizon_exp);
+        let quantum = horizon / 16.0;
+        let mut sf = TimeSlidingFrequency::with_quantum(0.05, horizon, quantum);
+        // One old block at t=0..quantum/2, then silence until the boundary.
+        let hot = 12345.0f32;
+        for i in 0..64 {
+            sf.push(i as f64 * quantum / 128.0, hot);
+        }
+        let newest_old = 63.0 * quantum / 128.0;
+
+        // An arrival exactly `horizon` after the old block's newest element:
+        // `newest < now - horizon` is false at equality, so it survives.
+        sf.push(newest_old + horizon, data[0]);
+        prop_assert!(sf.estimate(hot) > 0, "exact-boundary block must survive");
+
+        // The next instant past the boundary expires it.
+        sf.push(newest_old + horizon + quantum * 1e-6 + f64::EPSILON, data[1 % data.len()]);
+        prop_assert_eq!(sf.estimate(hot), 0, "past-boundary block must expire");
+    }
+
+    /// Emptied windows answer sanely: after a long quiet gap only the
+    /// straggler remains — frequency estimates of expired values are 0,
+    /// heavy hitters contain exactly the survivor, and the quantile query
+    /// answers from the surviving population alone.
+    #[test]
+    fn empty_window_queries_after_total_expiry(s in spec(512, 64), gap in 10.0f64..1000.0) {
+        let data = s.generate();
+        let mut sq = TimeSlidingQuantile::new(0.05, 1.0);
+        let mut sf = TimeSlidingFrequency::new(0.05, 1.0);
+        for (i, &v) in data.iter().enumerate() {
+            let t = i as f64 / 1000.0;
+            sq.push(t, v);
+            sf.push(t, v);
+        }
+        // A lone straggler far beyond the horizon empties everything else.
+        sq.push(gap + 100.0, 77.0);
+        sf.push(gap + 100.0, 77.0);
+        prop_assert_eq!(sq.query(0.5), 77.0);
+        prop_assert_eq!(sq.covered(), 1);
+        prop_assert_eq!(sf.estimate(data[0]), 0, "expired values vanish");
+        let hh = sf.heavy_hitters(0.9);
+        prop_assert_eq!(hh.len(), 1);
+        prop_assert_eq!(hh[0].0, 77.0);
+    }
+
+    /// Checkpoint/restore mid-decay: serializing a half-expired summary
+    /// and continuing the stream on the restored copy gives bit-identical
+    /// answers to the original that never stopped.
+    #[test]
+    fn time_sliding_checkpoint_restore_mid_decay(s in spec(2048, 256)) {
+        let data = s.generate();
+        let (head, tail) = data.split_at(data.len() / 2);
+        let mut live_q = TimeSlidingQuantile::new(0.05, 1.0);
+        let mut live_f = TimeSlidingFrequency::new(0.05, 1.0);
+        for (i, &v) in head.iter().enumerate() {
+            let t = i as f64 / 500.0; // >1 horizon of data: decay is active
+            live_q.push(t, v);
+            live_f.push(t, v);
+        }
+        let json_q = serde_json::to_string(&live_q).expect("serialize quantile");
+        let json_f = serde_json::to_string(&live_f).expect("serialize frequency");
+        let mut restored_q: TimeSlidingQuantile =
+            serde_json::from_str(&json_q).expect("restore quantile");
+        let mut restored_f: TimeSlidingFrequency =
+            serde_json::from_str(&json_f).expect("restore frequency");
+
+        for (i, &v) in tail.iter().enumerate() {
+            let t = (head.len() + i) as f64 / 500.0;
+            live_q.push(t, v);
+            restored_q.push(t, v);
+            live_f.push(t, v);
+            restored_f.push(t, v);
+        }
+        prop_assert_eq!(live_q.covered(), restored_q.covered());
+        for phi in [0.1, 0.5, 0.9] {
+            prop_assert_eq!(live_q.query(phi).to_bits(), restored_q.query(phi).to_bits());
+        }
+        prop_assert_eq!(live_f.covered(), restored_f.covered());
+        for &v in &data[..8] {
+            prop_assert_eq!(live_f.estimate(v), restored_f.estimate(v));
+        }
+    }
+
+    /// Correlated-sum bounds bracket the exact prefix mass on adversarial
+    /// x-streams (y drawn deterministically from the seed), with the
+    /// documented `ε·N·y_max` rank slack.
+    #[test]
+    fn correlated_bounds_contain_exact_on_adversarial_streams(s in spec(4096, 512)) {
+        let xs = s.generate();
+        let mut rng = SplitMix::new(s.seed ^ 0x9e3779b97f4a7c15);
+        let pairs: Vec<(f32, f32)> = xs
+            .iter()
+            .map(|&x| (x, rng.unit_f32() * 10.0))
+            .collect();
+        let eps = 0.02;
+        let window = 512;
+        let mut cs = CorrelatedSum::new(eps, window, pairs.len() as u64);
+        for chunk in pairs.chunks(window) {
+            let mut w = chunk.to_vec();
+            w.sort_by(|a, b| a.0.total_cmp(&b.0));
+            cs.push_sorted_window(&w);
+        }
+        let mut sorted = pairs.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for phi in [0.25, 0.5, 0.9] {
+            let r = ((phi * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact: f64 = sorted[..r].iter().map(|&(_, y)| y as f64).sum();
+            let (lo, hi) = cs.query_sum(phi);
+            let slack = eps * pairs.len() as f64 * 10.0;
+            prop_assert!(
+                lo - slack <= exact && exact <= hi + slack,
+                "phi={}: [{},{}] vs {}", phi, lo, hi, exact
+            );
+        }
+    }
+
+    /// Correlated-sum checkpoint/restore mid-stream: the restored summary
+    /// continues to bit-identical answers.
+    #[test]
+    fn correlated_checkpoint_restore_mid_stream(s in spec(2048, 256)) {
+        let xs = s.generate();
+        let mut rng = SplitMix::new(s.seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1));
+        let pairs: Vec<(f32, f32)> = xs
+            .iter()
+            .map(|&x| (x, rng.unit_f32() * 5.0))
+            .collect();
+        let window = 256;
+        let mut live = CorrelatedSum::new(0.05, window, pairs.len() as u64);
+        let chunks: Vec<Vec<(f32, f32)>> = pairs
+            .chunks(window)
+            .map(|c| {
+                let mut w = c.to_vec();
+                w.sort_by(|a, b| a.0.total_cmp(&b.0));
+                w
+            })
+            .collect();
+        let mid = chunks.len() / 2;
+        for w in &chunks[..mid] {
+            live.push_sorted_window(w);
+        }
+        let json = serde_json::to_string(&live).expect("serialize");
+        let mut restored: CorrelatedSum = serde_json::from_str(&json).expect("restore");
+        for w in &chunks[mid..] {
+            live.push_sorted_window(w);
+            restored.push_sorted_window(w);
+        }
+        prop_assert_eq!(live.count(), restored.count());
+        prop_assert!((live.total_sum() - restored.total_sum()).abs() < 1e-9);
+        for phi in [0.25, 0.5, 0.75, 1.0] {
+            let (llo, lhi) = live.query_sum(phi);
+            let (rlo, rhi) = restored.query_sum(phi);
+            prop_assert_eq!(llo.to_bits(), rlo.to_bits());
+            prop_assert_eq!(lhi.to_bits(), rhi.to_bits());
+        }
+    }
+}
