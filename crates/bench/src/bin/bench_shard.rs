@@ -1,0 +1,198 @@
+//! **Shard benchmark** — ingestion throughput across shard counts on the
+//! mergeable-summary pipeline.
+//!
+//! Shard-parallel ingestion hash-partitions the stream across K per-shard
+//! window→sort→summary pipelines that share one `gsm-sort` worker pool,
+//! then answers queries from the merged running summaries. This harness
+//! sweeps K on `Engine::ParallelHost`, measures wall-clock elements/second
+//! through the full sharded pipeline (including the query-time merge), and
+//! cross-checks that every shard count conserves the stream count and
+//! reports the same heavy hitters as K = 1.
+//!
+//! ```text
+//! cargo run --release -p gsm-bench --bin bench_shard [-- --elements 1048576
+//!     --window 65536 --repeats 3 --out results/BENCH_shard.json]
+//! ```
+//!
+//! Throughput across K is reported, **not asserted monotone**: with one
+//! hardware thread the sweep measures the refactor's overhead (routing +
+//! merge) rather than a speedup, and that honest floor is exactly what the
+//! perf trajectory should record.
+
+use std::time::Instant;
+
+use gsm_bench::Args;
+use gsm_core::{Engine, ShardedPipeline};
+use gsm_sketch::LossyCounting;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One shard count's measured run.
+#[derive(serde::Serialize)]
+struct ShardResult {
+    shards: usize,
+    elements: u64,
+    window: usize,
+    /// Best-of-`repeats` wall-clock seconds for ingest + flush + merge.
+    wall_secs: f64,
+    /// Elements per wall-clock second.
+    throughput_eps: f64,
+    /// Merge operations spent combining shard summaries at query time.
+    merge_ops: u64,
+    /// Worker threads in the pool shared by every shard (ParallelHost).
+    pool_threads: usize,
+    /// Merged summary's occupied entries.
+    entries: usize,
+    /// Merged summary's surfaced undercount bound.
+    undercount_bound: u64,
+    /// Heavy hitters above the check support, as `id → estimate` pairs
+    /// sorted by id — must agree on ids across shard counts.
+    heavy_hitters: Vec<(u32, u64)>,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    bench: String,
+    engine: String,
+    elements: u64,
+    window: usize,
+    repeats: usize,
+    eps: f64,
+    support: f64,
+    /// Hardware threads the host actually offers — context for the sweep.
+    host_threads: usize,
+    runs: Vec<ShardResult>,
+}
+
+/// A skewed integer-id stream, so heavy hitters exist to cross-check.
+fn stream(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Half the stream concentrates on 16 hot ids; the rest spreads
+            // over a 4096-id tail.
+            if rng.random_range(0..2u32) == 0 {
+                rng.random_range(0..16u32) as f32
+            } else {
+                rng.random_range(16..4096u32) as f32
+            }
+        })
+        .collect()
+}
+
+fn run(
+    data: &[f32],
+    window: usize,
+    shards: usize,
+    eps: f64,
+    support: f64,
+    repeats: usize,
+) -> ShardResult {
+    let mut best: Option<ShardResult> = None;
+    for _ in 0..repeats.max(1) {
+        let mut p = ShardedPipeline::new(Engine::ParallelHost, window, shards, |_| {
+            LossyCounting::with_window(eps, window)
+        });
+        let pool_threads = p.pool().map_or(0, |pool| pool.threads());
+        let start = Instant::now();
+        for &v in data {
+            p.push(v);
+        }
+        let merged = p.merged_sink();
+        let wall = start.elapsed().as_secs_f64();
+        assert_eq!(
+            merged.count(),
+            data.len() as u64,
+            "shard merge must conserve the stream count"
+        );
+        let threshold = (support * data.len() as f64).ceil() as u64;
+        let mut hot: Vec<(u32, u64)> = merged
+            .heavy_hitters(support)
+            .into_iter()
+            .filter(|&(_, est)| est >= threshold)
+            .map(|(v, est)| (v as u32, est))
+            .collect();
+        hot.sort_unstable();
+        let result = ShardResult {
+            shards,
+            elements: data.len() as u64,
+            window,
+            wall_secs: wall,
+            throughput_eps: data.len() as f64 / wall,
+            merge_ops: p.merge_ops().total(),
+            pool_threads,
+            entries: merged.entry_count(),
+            undercount_bound: merged.undercount_bound(),
+            heavy_hitters: hot,
+        };
+        if best.as_ref().is_none_or(|b| result.wall_secs < b.wall_secs) {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn main() {
+    let args = Args::parse();
+    let elements: usize = args.get_num("elements", 1 << 20);
+    let window: usize = args.get_num("window", 1 << 16);
+    let repeats: usize = args.get_num("repeats", 3);
+    let eps: f64 = args.get_num("eps", 0.001);
+    let support: f64 = args.get_num("support", 0.02);
+    let out = args
+        .get("out")
+        .unwrap_or("results/BENCH_shard.json")
+        .to_string();
+
+    let data = stream(elements, 42);
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    println!("# shard benchmark: {elements} elements, window {window}, {threads} host thread(s)\n");
+
+    let runs: Vec<ShardResult> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&k| run(&data, window, k, eps, support, repeats))
+        .collect();
+
+    // Every shard count must surface the same heavy-hitter ids as K = 1;
+    // estimates may differ within each run's surfaced undercount bound.
+    let baseline: Vec<u32> = runs[0].heavy_hitters.iter().map(|&(v, _)| v).collect();
+    for r in &runs[1..] {
+        let ids: Vec<u32> = r.heavy_hitters.iter().map(|&(v, _)| v).collect();
+        assert_eq!(
+            ids, baseline,
+            "shard count {} changed the heavy-hitter set",
+            r.shards
+        );
+    }
+
+    for r in &runs {
+        println!(
+            "k={:>2}: {:>10.0} elem/s wall ({:.3}s), {} pool thread(s), {} merge ops, bound {}",
+            r.shards,
+            r.throughput_eps,
+            r.wall_secs,
+            r.pool_threads,
+            r.merge_ops,
+            r.undercount_bound
+        );
+    }
+
+    let report = Report {
+        bench: "shard".to_string(),
+        engine: "ParallelHost".to_string(),
+        elements: elements as u64,
+        window,
+        repeats,
+        eps,
+        support,
+        host_threads: threads,
+        runs,
+    };
+    let payload = serde_json::to_string(&report).expect("report serializes");
+    gsm_bench::write_result(
+        &out,
+        &gsm_bench::envelope_json("gsm-bench/bench_shard", &payload),
+    );
+    println!("\nwrote {out}");
+}

@@ -62,7 +62,8 @@ pub use engine::Engine;
 pub use frequencies::{FrequencyEstimator, FrequencyEstimatorBuilder};
 pub use hhh::HhhEstimator;
 pub use pipeline::{
-    replay, BatchPipeline, OpLedger, ParallelHostBackend, SortBackend, Submission, WindowedPipeline,
+    replay, BatchPipeline, HashRouter, OpLedger, ParallelHostBackend, RangeRouter,
+    RoundRobinRouter, ShardRouter, ShardedPipeline, SortBackend, Submission, WindowedPipeline,
 };
 pub use quantiles::{QuantileEstimator, QuantileEstimatorBuilder};
 pub use report::{price_ops, TimeBreakdown, WallClock};

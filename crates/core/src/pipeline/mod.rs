@@ -21,12 +21,14 @@
 mod backend;
 mod batch;
 mod parallel;
+mod sharded;
 
 pub use backend::{
     backend_for, CpuSimBackend, GpuSimBackend, HostBackend, SortBackend, Submission, GPU_BATCH,
 };
 pub use batch::BatchPipeline;
 pub use parallel::ParallelHostBackend;
+pub use sharded::{HashRouter, RangeRouter, RoundRobinRouter, ShardRouter, ShardedPipeline};
 
 use std::time::Instant;
 

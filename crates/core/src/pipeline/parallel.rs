@@ -16,6 +16,7 @@
 //! padding sorts to the tail and is truncated away.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use gsm_model::SimTime;
@@ -43,7 +44,11 @@ struct InflightBatch {
 /// ledger of background sorting vs. time spent blocked, so the overlap
 /// saving is observable.
 pub struct ParallelHostBackend {
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
+    /// Whether the pool is shared with other backends (see
+    /// [`ParallelHostBackend::over_shared`]): a shared pool is never
+    /// rebuilt by [`SortBackend::set_recorder`].
+    shared: bool,
     inflight: VecDeque<InflightBatch>,
     wall: WallClock,
     scratch: MergeScratch,
@@ -72,7 +77,28 @@ impl ParallelHostBackend {
     pub fn over(pool: WorkerPool) -> Self {
         let obs = pool.recorder().clone();
         ParallelHostBackend {
+            pool: Arc::new(pool),
+            shared: false,
+            inflight: VecDeque::new(),
+            wall: WallClock::default(),
+            scratch: MergeScratch::default(),
+            obs,
+        }
+    }
+
+    /// Creates the backend over a pool *shared* with other backends (the
+    /// shard-parallel pipeline hands every shard the same handle, so the
+    /// worker count stays the configured width instead of width × shards).
+    /// Adopts the pool's recorder like [`ParallelHostBackend::over`]; since
+    /// a shared pool cannot be rebuilt by one of its users,
+    /// [`SortBackend::set_recorder`] on this backend only re-labels the
+    /// backend's own metrics — pool-side metrics keep flowing to the
+    /// recorder the pool was built with.
+    pub fn over_shared(pool: Arc<WorkerPool>) -> Self {
+        let obs = pool.recorder().clone();
+        ParallelHostBackend {
             pool,
+            shared: true,
             inflight: VecDeque::new(),
             wall: WallClock::default(),
             scratch: MergeScratch::default(),
@@ -83,6 +109,12 @@ impl ParallelHostBackend {
     /// Worker threads in the pool.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// The pool this backend submits to (shared handles compare equal via
+    /// [`Arc::ptr_eq`]).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Fans a batch's windows out to the pool, one ticket per window.
@@ -179,7 +211,10 @@ impl SortBackend for ParallelHostBackend {
 
     /// Rebuilds the worker pool with `rec` so the workers publish pool
     /// metrics; safe only between batches, which is when the pipeline calls
-    /// it (builder time, before any window is submitted).
+    /// it (builder time, before any window is submitted). A *shared* pool
+    /// ([`ParallelHostBackend::over_shared`]) is left untouched — other
+    /// backends submit to it — so only this backend's own metrics move to
+    /// `rec`.
     ///
     /// # Panics
     ///
@@ -190,7 +225,9 @@ impl SortBackend for ParallelHostBackend {
             self.inflight.is_empty(),
             "cannot swap the recorder with batches in flight"
         );
-        self.pool = WorkerPool::with_recorder(self.pool.threads(), rec.clone());
+        if !self.shared {
+            self.pool = Arc::new(WorkerPool::with_recorder(self.pool.threads(), rec.clone()));
+        }
         self.obs = rec;
     }
 }
@@ -255,6 +292,23 @@ mod tests {
         );
         assert_eq!(b.inflight_batches(), 1, "queued batch untouched");
         assert_eq!(b.collect_batch().unwrap(), vec![host_sorted(&queued)]);
+    }
+
+    #[test]
+    fn shared_pool_survives_set_recorder_and_serves_all_backends() {
+        let pool = WorkerPool::new(2).into_shared();
+        let mut a = ParallelHostBackend::over_shared(Arc::clone(&pool));
+        let mut b = ParallelHostBackend::over_shared(Arc::clone(&pool));
+        a.set_recorder(Recorder::enabled());
+        assert!(
+            Arc::ptr_eq(a.pool(), &pool) && Arc::ptr_eq(b.pool(), &pool),
+            "shared pool must not be rebuilt"
+        );
+        assert_eq!(pool.threads(), 2, "worker count bounded by pool width");
+        let w = window(500, 9);
+        assert_eq!(a.sort_batch(vec![w.clone()]), vec![host_sorted(&w)]);
+        assert_eq!(b.sort_batch(vec![w.clone()]), vec![host_sorted(&w)]);
+        assert_eq!(Arc::strong_count(&pool), 3);
     }
 
     #[test]

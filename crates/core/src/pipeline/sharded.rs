@@ -1,0 +1,571 @@
+//! Shard-parallel ingestion: K independent window→sort→summary pipelines
+//! behind one façade, merged at query time.
+//!
+//! The paper's summaries are merge-based — lossy counting folds window
+//! histograms into a running summary, the exponential histogram pairwise
+//! merges GK brackets — which makes them *partitionable*: split the stream
+//! across K pipelines, let each maintain its own running summary over its
+//! partition, and answer queries by merging the K summaries
+//! ([`gsm_sketch::MergeableSummary`]). This module owns that layer:
+//!
+//! * [`ShardRouter`] — the deterministic partitioning policy. Routing
+//!   depends only on the value (or, for round-robin, the arrival index),
+//!   never on timing or engine, so a sharded run replays bit-identically
+//!   from its seed.
+//! * [`ShardedPipeline`] — K per-shard [`WindowedPipeline`]s (each with its
+//!   own `SortBackend` and [`OpLedger`]), one shared
+//!   [`WorkerPool`](gsm_sort::pool::WorkerPool) when the engine is
+//!   [`Engine::ParallelHost`] (worker count stays the configured width,
+//!   not width × shards), and on-demand summary merging with its own
+//!   merge-op ledger.
+//!
+//! With `shards = 1` the façade is structurally a single
+//! [`WindowedPipeline`] — same windowing, same batching, same sink — so
+//! answers are byte-identical to the unsharded path.
+
+use std::sync::Arc;
+
+use gsm_obs::Recorder;
+use gsm_sketch::{MergeableSummary, OpCounter, SummarySink};
+use gsm_sort::pool::WorkerPool;
+
+use super::batch::BatchPipeline;
+use super::parallel::ParallelHostBackend;
+use super::{OpLedger, WindowedPipeline};
+use crate::engine::Engine;
+
+/// A deterministic stream-partitioning policy.
+///
+/// Implementations must be pure functions of the value and their own
+/// explicit state (e.g. a round-robin cursor): two replays of the same
+/// stream must route every element identically, on any engine.
+pub trait ShardRouter: Send {
+    /// Picks the shard (`< shards`) for `value`.
+    fn route(&mut self, value: f32, shards: usize) -> usize;
+
+    /// A stable name for checkpoints and reports.
+    fn name(&self) -> &'static str;
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash partitioning on the value's bit pattern (SplitMix64 finalizer).
+///
+/// Stateless, so checkpoints need not carry router state; equal bit
+/// patterns always land on the same shard, which keeps per-value frequency
+/// counts whole within one shard.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct HashRouter;
+
+impl ShardRouter for HashRouter {
+    fn route(&mut self, value: f32, shards: usize) -> usize {
+        (splitmix64(u64::from(value.to_bits())) % shards as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Round-robin partitioning on the arrival index.
+///
+/// Spreads load perfectly evenly but splits a value's occurrences across
+/// shards (fine for mergeable counting summaries — counts are additive).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RoundRobinRouter {
+    next: u64,
+}
+
+impl ShardRouter for RoundRobinRouter {
+    fn route(&mut self, _value: f32, shards: usize) -> usize {
+        let shard = (self.next % shards as u64) as usize;
+        self.next = self.next.wrapping_add(1);
+        shard
+    }
+
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+}
+
+/// Range partitioning on ascending boundaries: shard `i` takes values in
+/// `(boundaries[i-1], boundaries[i]]`, the last shard everything above.
+#[derive(Clone, Debug)]
+pub struct RangeRouter {
+    boundaries: Vec<f32>,
+}
+
+impl RangeRouter {
+    /// Creates a range router from ascending shard boundaries; with `k`
+    /// shards, pass `k - 1` boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the boundaries are not ascending in `total_cmp` order.
+    pub fn new(boundaries: Vec<f32>) -> Self {
+        assert!(
+            boundaries.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "range boundaries must be ascending"
+        );
+        RangeRouter { boundaries }
+    }
+}
+
+impl ShardRouter for RangeRouter {
+    fn route(&mut self, value: f32, shards: usize) -> usize {
+        let idx = self
+            .boundaries
+            .partition_point(|b| b.total_cmp(&value).is_lt());
+        idx.min(shards - 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "range"
+    }
+}
+
+/// K per-shard [`WindowedPipeline`]s behind one ingest façade, with
+/// queries answered by merging the shard summaries on demand.
+///
+/// ```
+/// use gsm_core::{Engine, ShardedPipeline};
+/// use gsm_sketch::LossyCounting;
+///
+/// let mut p = ShardedPipeline::new(Engine::Host, 100, 4, |_| {
+///     LossyCounting::with_window(0.01, 100)
+/// });
+/// for i in 0..4000 {
+///     p.push((i % 4) as f32);
+/// }
+/// let merged = p.merged_sink();
+/// assert_eq!(merged.count(), 4000);
+/// ```
+pub struct ShardedPipeline<S> {
+    shards: Vec<WindowedPipeline<S>>,
+    router: Box<dyn ShardRouter>,
+    /// The worker pool shared by every shard's `ParallelHost` backend
+    /// (`None` on other engines, which have no threads to share).
+    pool: Option<Arc<WorkerPool>>,
+    obs: Recorder,
+    /// Cumulative query-time merge work (never part of the shards' ingest
+    /// ledgers).
+    merge_ops: OpCounter,
+}
+
+/// One worker per available hardware thread, capped at four — the same
+/// policy as [`WorkerPool::with_default_threads`], reproduced here because
+/// a recorder-carrying pool must be built in one step.
+fn default_pool_width() -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .clamp(1, 4)
+}
+
+impl<S: SummarySink> ShardedPipeline<S> {
+    /// Creates a sharded pipeline with `shards` per-shard pipelines (each
+    /// cutting `window`-element windows sorted on `engine`) and the default
+    /// [`HashRouter`]. `make_sink(i)` builds shard `i`'s sink; shard sinks
+    /// must share one configuration or query-time merging will panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `window` is zero.
+    pub fn new(
+        engine: Engine,
+        window: usize,
+        shards: usize,
+        make_sink: impl FnMut(usize) -> S,
+    ) -> Self {
+        Self::with_router(engine, window, shards, make_sink, Box::new(HashRouter))
+    }
+
+    /// Like [`ShardedPipeline::new`] with an explicit routing policy.
+    pub fn with_router(
+        engine: Engine,
+        window: usize,
+        shards: usize,
+        mut make_sink: impl FnMut(usize) -> S,
+        router: Box<dyn ShardRouter>,
+    ) -> Self {
+        assert!(shards >= 1, "a sharded pipeline needs at least one shard");
+        let sinks: Vec<S> = (0..shards).map(&mut make_sink).collect();
+        Self::assemble(engine, window, sinks, router, Recorder::disabled(), None)
+    }
+
+    /// Installs an observability recorder. The pipeline hands shard `i` a
+    /// handle scoped with a `("shard", "i")` label (see
+    /// [`Recorder::scoped`]), so window spans, absorb counters, queue-depth
+    /// gauges, and merge ops are attributable per shard while
+    /// [`Recorder::counter_total`] still aggregates. With one shard the
+    /// unscoped handle is used — a single-owner pipeline keeps its
+    /// pre-sharding metric identity.
+    ///
+    /// Call at build time: the shard pipelines (and the shared worker pool,
+    /// whose workers capture the recorder at spawn) are rebuilt around the
+    /// recorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element was already pushed.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        assert!(
+            self.shards
+                .iter()
+                .all(|s| s.windows_sorted() == 0 && s.unabsorbed() == 0),
+            "install the recorder before pushing elements"
+        );
+        let engine = self.engine();
+        let window = self.window();
+        let width = self.pool.as_ref().map(|p| p.threads());
+        let sinks: Vec<S> = self
+            .shards
+            .drain(..)
+            .map(WindowedPipeline::into_sink)
+            .collect();
+        Self::assemble(engine, window, sinks, self.router, rec, width)
+    }
+
+    /// Builds the shard pipelines (and the shared pool, if the engine needs
+    /// one) around `rec`.
+    fn assemble(
+        engine: Engine,
+        window: usize,
+        sinks: Vec<S>,
+        router: Box<dyn ShardRouter>,
+        rec: Recorder,
+        pool_width: Option<usize>,
+    ) -> Self {
+        let pool = (engine == Engine::ParallelHost).then(|| {
+            let width = pool_width.unwrap_or_else(default_pool_width);
+            WorkerPool::with_recorder(width, rec.clone()).into_shared()
+        });
+        let shards = sinks.len();
+        let shards: Vec<WindowedPipeline<S>> = sinks
+            .into_iter()
+            .enumerate()
+            .map(|(i, sink)| {
+                let batch = match &pool {
+                    Some(p) => BatchPipeline::with_backend(Box::new(
+                        ParallelHostBackend::over_shared(Arc::clone(p)),
+                    )),
+                    None => BatchPipeline::new(engine),
+                };
+                let mut wp = WindowedPipeline::over(batch, window, sink);
+                if rec.is_enabled() {
+                    let handle = if shards > 1 {
+                        rec.scoped("shard", &i.to_string())
+                    } else {
+                        rec.clone()
+                    };
+                    wp = wp.with_recorder(handle);
+                }
+                wp
+            })
+            .collect();
+        ShardedPipeline {
+            shards,
+            router,
+            pool,
+            obs: rec,
+            merge_ops: OpCounter::default(),
+        }
+    }
+
+    /// The engine sorting every shard's windows.
+    pub fn engine(&self) -> Engine {
+        self.shards[0].engine()
+    }
+
+    /// The per-shard window size in elements.
+    pub fn window(&self) -> usize {
+        self.shards[0].window()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing policy's stable name.
+    pub fn router_name(&self) -> &'static str {
+        self.router.name()
+    }
+
+    /// The worker pool shared by the shards' `ParallelHost` backends
+    /// (`None` on other engines).
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// The recorder installed via [`ShardedPipeline::with_recorder`]
+    /// (disabled otherwise). This is the unscoped handle — use
+    /// [`Recorder::counter_total`] to aggregate across shard labels.
+    pub fn recorder(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Shard `i`'s pipeline (for per-shard inspection).
+    pub fn shard(&self, i: usize) -> &WindowedPipeline<S> {
+        &self.shards[i]
+    }
+
+    /// Mutable access to shard `i`'s pipeline.
+    pub fn shard_mut(&mut self, i: usize) -> &mut WindowedPipeline<S> {
+        &mut self.shards[i]
+    }
+
+    /// All shard pipelines, in shard order.
+    pub fn shards(&self) -> &[WindowedPipeline<S>] {
+        &self.shards
+    }
+
+    /// Consumes the pipeline, returning every shard's sink in shard order.
+    pub fn into_sinks(self) -> Vec<S> {
+        self.shards
+            .into_iter()
+            .map(WindowedPipeline::into_sink)
+            .collect()
+    }
+
+    /// Windows fully sorted across all shards.
+    pub fn windows_sorted(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(WindowedPipeline::windows_sorted)
+            .sum()
+    }
+
+    /// Elements pushed but not yet folded into a shard sink.
+    pub fn unabsorbed(&self) -> u64 {
+        self.shards.iter().map(WindowedPipeline::unabsorbed).sum()
+    }
+
+    /// Cumulative query-time merge work (see
+    /// [`ShardedPipeline::merged_sink`]); disjoint from the per-shard
+    /// ingest ledgers.
+    pub fn merge_ops(&self) -> OpCounter {
+        self.merge_ops
+    }
+
+    /// Sums the shard ledgers into one (simulated times, sink ops, and
+    /// wall-clock overlap are all additive across shards).
+    pub fn ledger(&self) -> OpLedger {
+        let mut total = OpLedger::default();
+        for s in &self.shards {
+            let l = s.ledger();
+            total.sort += l.sort;
+            total.transfer += l.transfer;
+            total.ops.absorb(l.ops);
+            total.wall.sorting += l.wall.sorting;
+            total.wall.blocked += l.wall.blocked;
+        }
+        total
+    }
+
+    /// Routes one stream element to its shard.
+    pub fn push(&mut self, value: f32) {
+        let shard = self.router.route(value, self.shards.len());
+        self.shards[shard].push(value);
+    }
+
+    /// Forces every shard's buffered data through its pipeline and into
+    /// its sink, then samples per-shard queue depth.
+    pub fn flush(&mut self) {
+        for s in &mut self.shards {
+            s.flush();
+        }
+        self.publish_depth();
+    }
+
+    /// Samples each shard's unabsorbed backlog into its scoped
+    /// `shard_unabsorbed` gauge (cheap enough for barrier points — flush
+    /// and query — not per push).
+    fn publish_depth(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        for s in &self.shards {
+            let depth = i64::try_from(s.unabsorbed()).unwrap_or(i64::MAX);
+            s.recorder().gauge_set("shard_unabsorbed", depth);
+        }
+    }
+}
+
+impl<S: MergeableSummary + Clone> ShardedPipeline<S> {
+    /// Flushes every shard and merges the shard summaries into one answer
+    /// summary, charging the merge work to [`ShardedPipeline::merge_ops`]
+    /// (and a `shard_merge_ops` counter when a recorder is installed).
+    ///
+    /// With one shard this is a plain clone — no merge runs, so answers
+    /// are byte-identical to the unsharded pipeline's sink.
+    pub fn merged_sink(&mut self) -> S {
+        self.flush();
+        let mut merged = self.shards[0].sink().clone();
+        if self.shards.len() > 1 {
+            let mut ops = OpCounter::default();
+            for s in &self.shards[1..] {
+                merged.merge_from(s.sink(), &mut ops);
+            }
+            self.merge_ops.absorb(ops);
+            self.obs.count("shard_merges", 1);
+            self.obs.count("shard_merge_ops", ops.total());
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsm_sketch::LossyCounting;
+
+    fn stream(n: usize) -> impl Iterator<Item = f32> {
+        (0..n as u64).map(|i| ((i * 2654435761) % 97) as f32)
+    }
+
+    fn sink() -> LossyCounting {
+        LossyCounting::with_window(0.005, 200)
+    }
+
+    #[test]
+    fn one_shard_is_byte_identical_to_windowed_pipeline() {
+        for engine in [
+            Engine::GpuSim,
+            Engine::CpuSim,
+            Engine::Host,
+            Engine::ParallelHost,
+        ] {
+            let mut plain = WindowedPipeline::new(engine, 200, sink());
+            let mut sharded = ShardedPipeline::new(engine, 200, 1, |_| sink());
+            for v in stream(5000) {
+                plain.push(v);
+                sharded.push(v);
+            }
+            plain.flush();
+            let merged = sharded.merged_sink();
+            assert_eq!(
+                serde_json::to_string(&merged).unwrap(),
+                serde_json::to_string(plain.sink()).unwrap(),
+                "k=1 must be byte-identical on {engine:?}"
+            );
+            assert_eq!(sharded.merge_ops().total(), 0, "no merge ran for k=1");
+        }
+    }
+
+    #[test]
+    fn hash_router_is_deterministic_and_value_stable() {
+        let mut a = HashRouter;
+        let mut b = HashRouter;
+        for v in stream(1000) {
+            assert_eq!(a.route(v, 4), b.route(v, 4));
+        }
+        // Equal values always land on one shard.
+        let s = a.route(13.0, 4);
+        for _ in 0..10 {
+            assert_eq!(a.route(13.0, 4), s);
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_range_partitions() {
+        let mut rr = RoundRobinRouter::default();
+        let hits: Vec<usize> = (0..6).map(|_| rr.route(0.0, 3)).collect();
+        assert_eq!(hits, vec![0, 1, 2, 0, 1, 2]);
+
+        let mut range = RangeRouter::new(vec![10.0, 20.0]);
+        assert_eq!(range.route(5.0, 3), 0);
+        assert_eq!(range.route(10.0, 3), 0, "boundary value stays low");
+        assert_eq!(range.route(15.0, 3), 1);
+        assert_eq!(range.route(25.0, 3), 2);
+    }
+
+    #[test]
+    fn merged_answers_cover_the_whole_stream() {
+        for router in [
+            Box::new(HashRouter) as Box<dyn ShardRouter>,
+            Box::<RoundRobinRouter>::default(),
+        ] {
+            let mut p = ShardedPipeline::with_router(Engine::Host, 200, 4, |_| sink(), router);
+            for v in stream(5000) {
+                p.push(v);
+            }
+            let merged = p.merged_sink();
+            assert_eq!(merged.count(), 5000);
+            assert!(p.merge_ops().total() > 0);
+            assert!(
+                p.shards().iter().all(|s| s.windows_sorted() > 0),
+                "every shard must see data"
+            );
+            assert_eq!(p.unabsorbed(), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_host_shards_share_one_pool() {
+        let mut p = ShardedPipeline::new(Engine::ParallelHost, 100, 4, |_| {
+            LossyCounting::with_window(0.01, 100)
+        });
+        let pool = Arc::clone(p.pool().expect("parallel host builds a pool"));
+        // One Arc per shard backend + the pipeline's own + our local clone.
+        assert_eq!(Arc::strong_count(&pool), 6);
+        assert!(
+            pool.threads() <= default_pool_width(),
+            "worker count bounded by configured width, not width × shards"
+        );
+        for v in stream(4000) {
+            p.push(v);
+        }
+        let merged = p.merged_sink();
+        assert_eq!(merged.count(), 4000);
+    }
+
+    #[test]
+    fn recorder_gets_a_per_shard_dimension() {
+        let rec = Recorder::enabled();
+        let mut p = ShardedPipeline::new(Engine::Host, 100, 2, |_| {
+            LossyCounting::with_window(0.01, 100)
+        })
+        .with_recorder(rec.clone());
+        for v in stream(1000) {
+            p.push(v);
+        }
+        let _ = p.merged_sink();
+        let total = rec.counter_total("windows_absorbed");
+        let s0 = rec.counter_labeled("windows_absorbed", ("shard", "0"));
+        let s1 = rec.counter_labeled("windows_absorbed", ("shard", "1"));
+        assert!(s0 > 0 && s1 > 0, "both shards must absorb windows");
+        assert_eq!(total, s0 + s1, "shard labels partition the total");
+        assert_eq!(rec.counter("shard_merges"), 1);
+        assert!(rec.counter("shard_merge_ops") > 0);
+        assert!(
+            rec.gauge_labeled("shard_unabsorbed", ("shard", "0"))
+                .is_some(),
+            "queue depth sampled per shard"
+        );
+        assert!(
+            rec.histogram_labeled("window_sort", ("shard", "1"))
+                .is_some(),
+            "sort spans labeled per shard"
+        );
+    }
+
+    #[test]
+    fn single_shard_keeps_unscoped_metrics() {
+        let rec = Recorder::enabled();
+        let mut p = ShardedPipeline::new(Engine::Host, 100, 1, |_| {
+            LossyCounting::with_window(0.01, 100)
+        })
+        .with_recorder(rec.clone());
+        for v in stream(500) {
+            p.push(v);
+        }
+        p.flush();
+        assert_eq!(rec.counter("windows_absorbed"), 5);
+        assert_eq!(rec.counter_labeled("windows_absorbed", ("shard", "0")), 0);
+    }
+}

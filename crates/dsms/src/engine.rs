@@ -10,10 +10,14 @@
 //! of the work (paper §3.2) — is paid once regardless of how many queries
 //! are registered.
 
-use gsm_core::{BitPrefixHierarchy, Engine, HhhEntry, TimeBreakdown, WindowedPipeline};
+use std::sync::{Arc, Mutex};
+
+use gsm_core::{BitPrefixHierarchy, Engine, HhhEntry, ShardedPipeline, TimeBreakdown};
 use gsm_model::SimTime;
 use gsm_obs::Recorder;
-use gsm_sketch::{ExpHistogram, HhhSummary, LossyCounting, SinkOps, SummarySink};
+use gsm_sketch::{
+    ExpHistogram, HhhSummary, LossyCounting, MergeableSummary, OpCounter, SinkOps, SummarySink,
+};
 
 /// Handle to a registered continuous query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -58,11 +62,28 @@ impl QuerySpec {
     }
 }
 
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 enum QuerySketch {
     Quantile(ExpHistogram),
     Frequency(LossyCounting),
     Hhh(HhhSummary),
+}
+
+impl QuerySketch {
+    /// Folds another shard's sketch for the *same* query into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches answer different query kinds — shard fans are
+    /// built from one spec list, so a mismatch is a construction bug.
+    fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        match (self, other) {
+            (QuerySketch::Quantile(a), QuerySketch::Quantile(b)) => a.merge_from(b, ops),
+            (QuerySketch::Frequency(a), QuerySketch::Frequency(b)) => a.merge_from(b, ops),
+            (QuerySketch::Hhh(a), QuerySketch::Hhh(b)) => a.merge_from(b, ops),
+            _ => panic!("cannot merge sketches of different query kinds"),
+        }
+    }
 }
 
 impl SummarySink for QuerySketch {
@@ -93,17 +114,22 @@ pub type WindowTap = Box<dyn FnMut(&[f32]) + Send>;
 
 /// Broadcast sink: fans every sorted run out to all registered queries'
 /// summaries, so the shared sort is paid once regardless of query count.
+///
+/// Under sharding every shard owns one fan; the fans share the audit tap
+/// (behind a mutex — shards seal windows from the ingest thread, so the
+/// lock is uncontended) and merge sketch-by-sketch at query time.
+#[derive(Clone)]
 struct QueryFan {
     sketches: Vec<QuerySketch>,
     /// Audit tap, called on every sorted window before the sketches absorb
-    /// it. Not part of the checkpointed state.
-    tap: Option<WindowTap>,
+    /// it. Not part of the checkpointed state; shared across shard fans.
+    tap: Option<Arc<Mutex<WindowTap>>>,
 }
 
 impl SummarySink for QueryFan {
     fn push_sorted_window(&mut self, sorted: &[f32]) {
-        if let Some(tap) = &mut self.tap {
-            tap(sorted);
+        if let Some(tap) = &self.tap {
+            (tap.lock().expect("window tap lock"))(sorted);
         }
         for sketch in &mut self.sketches {
             sketch.push_sorted_window(sorted);
@@ -119,11 +145,22 @@ impl SummarySink for QueryFan {
     }
 }
 
-/// Serialized engine state: query definitions plus their summaries.
-///
-/// Device ledgers (simulated time) are *not* checkpointed — they describe
-/// the process, not the stream — so a restored engine's clock starts at
-/// zero while its answers carry the full history.
+impl MergeableSummary for QueryFan {
+    fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        assert_eq!(
+            self.sketches.len(),
+            other.sketches.len(),
+            "shard fans must carry the same query set"
+        );
+        for (mine, theirs) in self.sketches.iter_mut().zip(&other.sketches) {
+            mine.merge_from(theirs, ops);
+        }
+    }
+}
+
+/// The legacy (schema-1) checkpoint: query definitions plus one flat
+/// sketch list — the single-shard engine's serialized state. Still
+/// accepted by [`StreamEngine::restore`], which rebuilds it as one shard.
 #[derive(serde::Serialize, serde::Deserialize)]
 struct Checkpoint {
     window: usize,
@@ -132,6 +169,42 @@ struct Checkpoint {
     specs: Vec<QuerySpec>,
     sketches: Vec<QuerySketch>,
 }
+
+/// The versioned multi-shard checkpoint envelope (schema 2).
+///
+/// Device ledgers (simulated time) are *not* checkpointed — they describe
+/// the process, not the stream — so a restored engine's clock starts at
+/// zero while its answers carry the full history. The same split is why
+/// `recorder_enabled` and `window_tap_installed` are carried as explicit
+/// flags rather than payload: both are process-side observers that cannot
+/// be serialized, and the envelope records whether the source engine had
+/// them so a restorer knows observation (not stream state) was dropped.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CheckpointV2 {
+    /// Envelope schema version; this layout is 2.
+    schema: u32,
+    window: usize,
+    count: u64,
+    n_hint: u64,
+    /// Shard count the engine ran with; restore rebuilds the same layout.
+    shards: usize,
+    /// The routing policy's stable name ([`ShardRouter::name`]); the
+    /// engine always routes by value hash, which is stateless, so no
+    /// router state accompanies it.
+    router: String,
+    /// Whether the source engine had a recorder installed (the recorder
+    /// itself is process state and is not restored).
+    recorder_enabled: bool,
+    /// Whether the source engine had a window tap installed (taps are
+    /// process state; a restored engine explicitly starts without one).
+    window_tap_installed: bool,
+    specs: Vec<QuerySpec>,
+    /// Per-shard sketch lists, indexed `[shard][query]`.
+    shard_sketches: Vec<Vec<QuerySketch>>,
+}
+
+/// Envelope schema written by [`StreamEngine::checkpoint`].
+const CHECKPOINT_SCHEMA: u32 = 2;
 
 /// A registry of continuous queries over one input stream, sharing a single
 /// engine-offloaded sorting pipeline.
@@ -150,11 +223,12 @@ struct Checkpoint {
 pub struct StreamEngine {
     engine: Engine,
     n_hint: u64,
+    shards: usize,
     specs: Vec<QuerySpec>,
-    pipeline: Option<WindowedPipeline<QueryFan>>,
+    pipeline: Option<ShardedPipeline<QueryFan>>,
     count: u64,
     obs: Recorder,
-    /// Audit tap waiting to be installed into the fan at seal time.
+    /// Audit tap waiting to be installed into the shard fans at seal time.
     tap: Option<WindowTap>,
 }
 
@@ -164,6 +238,7 @@ impl StreamEngine {
         StreamEngine {
             engine,
             n_hint: 100_000_000,
+            shards: 1,
             specs: Vec::new(),
             pipeline: None,
             count: 0,
@@ -176,6 +251,33 @@ impl StreamEngine {
     pub fn with_n_hint(mut self, n: u64) -> Self {
         self.n_hint = n;
         self
+    }
+
+    /// Partitions ingestion across `k` shard pipelines (value-hash routed,
+    /// each with its own sort backend and summaries); queries merge the
+    /// shard summaries on demand ([`gsm_sketch::MergeableSummary`]), with
+    /// merged error ≤ each query's registered ε plus an additive `k − 1`
+    /// on frequency undercounts (surfaced by the summaries' own bounds).
+    /// With `k = 1` — the default — the engine is byte-identical to the
+    /// unsharded pipeline. On [`Engine::ParallelHost`] all shards submit
+    /// to one worker pool, so the thread count stays the configured width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or the stream has already started.
+    pub fn with_shards(mut self, k: usize) -> Self {
+        assert!(k >= 1, "shard count must be at least 1");
+        assert!(
+            self.pipeline.is_none(),
+            "set the shard count before pushing stream data"
+        );
+        self.shards = k;
+        self
+    }
+
+    /// The shard count configured via [`StreamEngine::with_shards`].
+    pub fn shard_count(&self) -> usize {
+        self.shards
     }
 
     /// Installs an observability recorder; it propagates into the shared
@@ -253,7 +355,7 @@ impl StreamEngine {
     /// The shared window size (available after sealing — i.e. after the
     /// first push or an explicit [`Self::seal`]).
     pub fn window(&self) -> usize {
-        self.pipeline.as_ref().map_or(0, WindowedPipeline::window)
+        self.pipeline.as_ref().map_or(0, ShardedPipeline::window)
     }
 
     /// Number of registered queries.
@@ -283,28 +385,35 @@ impl StreamEngine {
             .map(QuerySpec::min_window)
             .max()
             .expect("non-empty");
-        let sketches = self
-            .specs
-            .iter()
-            .map(|spec| match spec {
-                QuerySpec::Quantile { eps } => QuerySketch::Quantile(ExpHistogram::new(
-                    *eps,
-                    window,
-                    self.n_hint.max(window as u64),
-                )),
-                QuerySpec::Frequency { eps } => {
-                    QuerySketch::Frequency(LossyCounting::with_window(*eps, window))
-                }
-                QuerySpec::Hhh { eps, hierarchy } => {
-                    QuerySketch::Hhh(HhhSummary::with_window(*eps, window, hierarchy.clone()))
-                }
-            })
-            .collect();
-        let fan = QueryFan {
-            sketches,
-            tap: self.tap.take(),
+        // Every shard carries the full query set over its partition; the
+        // stream-length hint covers the whole stream, which keeps quantile
+        // level budgets valid for the post-merge summary.
+        let make_fan = |specs: &[QuerySpec], n_hint: u64, tap: &Option<Arc<Mutex<WindowTap>>>| {
+            let sketches = specs
+                .iter()
+                .map(|spec| match spec {
+                    QuerySpec::Quantile { eps } => QuerySketch::Quantile(ExpHistogram::new(
+                        *eps,
+                        window,
+                        n_hint.max(window as u64),
+                    )),
+                    QuerySpec::Frequency { eps } => {
+                        QuerySketch::Frequency(LossyCounting::with_window(*eps, window))
+                    }
+                    QuerySpec::Hhh { eps, hierarchy } => {
+                        QuerySketch::Hhh(HhhSummary::with_window(*eps, window, hierarchy.clone()))
+                    }
+                })
+                .collect();
+            QueryFan {
+                sketches,
+                tap: tap.clone(),
+            }
         };
-        let mut pipeline = WindowedPipeline::new(self.engine, window, fan);
+        let tap = self.tap.take().map(|t| Arc::new(Mutex::new(t)));
+        let mut pipeline = ShardedPipeline::new(self.engine, window, self.shards, |_| {
+            make_fan(&self.specs, self.n_hint, &tap)
+        });
         if self.obs.is_enabled() {
             pipeline = pipeline.with_recorder(self.obs.clone());
             self.obs.count("dsms_seals", 1);
@@ -340,8 +449,21 @@ impl StreamEngine {
         }
     }
 
-    fn sketch(&self, id: QueryId) -> &QuerySketch {
-        &self.pipeline.as_ref().expect("sealed").sink().sketches[id.0]
+    /// Answers query `id` by reading its (possibly merged) sketch.
+    ///
+    /// With one shard the sole fan is borrowed in place — no clone, no
+    /// merge, byte-identical to the unsharded engine. With `k > 1` the
+    /// shard fans merge into a transient answer fan; the merge work lands
+    /// in the sharded pipeline's merge ledger, never the ingest ledgers.
+    fn answer<R>(&mut self, id: QueryId, read: impl FnOnce(&QuerySketch) -> R) -> R {
+        self.flush();
+        let pipeline = self.pipeline.as_mut().expect("sealed");
+        if pipeline.shard_count() == 1 {
+            read(&pipeline.shard(0).sink().sketches[id.0])
+        } else {
+            let merged = pipeline.merged_sink();
+            read(&merged.sketches[id.0])
+        }
     }
 
     /// Answers a quantile query. Flushes first.
@@ -351,11 +473,10 @@ impl StreamEngine {
     /// Panics if `id` is not a quantile query.
     pub fn quantile(&mut self, id: QueryId, phi: f64) -> f32 {
         let _span = self.obs.span_labeled("dsms_answer", ("kind", "quantile"));
-        self.flush();
-        match self.sketch(id) {
+        self.answer(id, |sketch| match sketch {
             QuerySketch::Quantile(q) => q.query(phi),
             _ => panic!("query {id:?} is not a quantile query"),
-        }
+        })
     }
 
     /// Answers a heavy-hitters query at support `s`. Flushes first.
@@ -365,11 +486,10 @@ impl StreamEngine {
     /// Panics if `id` is not a frequency query.
     pub fn heavy_hitters(&mut self, id: QueryId, s: f64) -> Vec<(f32, u64)> {
         let _span = self.obs.span_labeled("dsms_answer", ("kind", "frequency"));
-        self.flush();
-        match self.sketch(id) {
+        self.answer(id, |sketch| match sketch {
             QuerySketch::Frequency(f) => f.heavy_hitters(s),
             _ => panic!("query {id:?} is not a frequency query"),
-        }
+        })
     }
 
     /// Answers a hierarchical heavy-hitters query at support `s`. Flushes
@@ -380,23 +500,21 @@ impl StreamEngine {
     /// Panics if `id` is not an HHH query.
     pub fn hhh(&mut self, id: QueryId, s: f64) -> Vec<HhhEntry> {
         let _span = self.obs.span_labeled("dsms_answer", ("kind", "hhh"));
-        self.flush();
-        match self.sketch(id) {
+        self.answer(id, |sketch| match sketch {
             QuerySketch::Hhh(h) => h.query(s),
             _ => panic!("query {id:?} is not a hierarchical query"),
-        }
+        })
     }
 
     /// Generic query interface: `param` is φ for quantile queries and the
     /// support `s` otherwise.
     pub fn query(&mut self, id: QueryId, param: f64) -> QueryAnswer {
         let _span = self.obs.span_labeled("dsms_answer", ("kind", "generic"));
-        self.flush();
-        match self.sketch(id) {
+        self.answer(id, |sketch| match sketch {
             QuerySketch::Quantile(q) => QueryAnswer::Quantile(q.query(param)),
             QuerySketch::Frequency(f) => QueryAnswer::HeavyHitters(f.heavy_hitters(param)),
             QuerySketch::Hhh(h) => QueryAnswer::Hhh(h.query(param)),
-        }
+        })
     }
 
     /// Where the simulated time went, across the shared sort and every
@@ -405,7 +523,7 @@ impl StreamEngine {
     pub fn breakdown(&self) -> TimeBreakdown {
         self.pipeline
             .as_ref()
-            .map(WindowedPipeline::breakdown)
+            .map(|p| p.ledger().breakdown())
             .unwrap_or_default()
     }
 
@@ -414,7 +532,11 @@ impl StreamEngine {
         self.breakdown().total()
     }
 
-    /// Serializes the engine's query state to JSON (flushes first).
+    /// Serializes the engine's query state to JSON (flushes first) as a
+    /// schema-2 multi-shard envelope: one sketch list per shard, plus the
+    /// shard layout, routing policy, and explicit flags for the two
+    /// process-side observers (recorder, window tap) that checkpoints
+    /// cannot carry.
     ///
     /// # Panics
     ///
@@ -422,38 +544,73 @@ impl StreamEngine {
     pub fn checkpoint(&mut self) -> String {
         self.flush();
         let pipeline = self.pipeline.as_mut().expect("sealed");
-        let cp = Checkpoint {
+        let shard_sketches = pipeline
+            .shards()
+            .iter()
+            .map(|shard| shard.sink().sketches.clone())
+            .collect();
+        let cp = CheckpointV2 {
+            schema: CHECKPOINT_SCHEMA,
             window: pipeline.window(),
             count: self.count,
             n_hint: self.n_hint,
+            shards: pipeline.shard_count(),
+            router: pipeline.router_name().to_string(),
+            recorder_enabled: self.obs.is_enabled(),
+            window_tap_installed: pipeline.shard(0).sink().tap.is_some(),
             specs: self.specs.clone(),
-            sketches: core::mem::take(&mut pipeline.sink_mut().sketches),
+            shard_sketches,
         };
-        let json = serde_json::to_string(&cp).expect("summaries serialize infallibly");
-        self.pipeline.as_mut().expect("sealed").sink_mut().sketches = cp.sketches;
-        json
+        serde_json::to_string(&cp).expect("summaries serialize infallibly")
     }
 
-    /// Restores an engine from a [`Self::checkpoint`] string onto a fresh
-    /// pipeline for `engine`. Summaries resume exactly where they left off;
-    /// the simulated-time ledger restarts at zero.
+    /// Restores an engine from a [`Self::checkpoint`] string onto fresh
+    /// pipelines for `engine`. Summaries resume exactly where they left
+    /// off; the simulated-time ledger restarts at zero, and the restored
+    /// engine starts without a recorder or window tap regardless of the
+    /// envelope's observer flags (both are process state).
+    ///
+    /// Accepts both the schema-2 envelope and the legacy flat checkpoint,
+    /// which restores as a single shard.
     ///
     /// # Errors
     ///
-    /// Returns the JSON error for malformed input.
+    /// Returns the JSON error for input matching neither schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schema-2 envelope is structurally inconsistent (shard
+    /// list length disagreeing with its declared shard count).
     pub fn restore(engine: Engine, json: &str) -> Result<Self, serde_json::Error> {
-        let cp: Checkpoint = serde_json::from_str(json)?;
-        let mut eng = StreamEngine::new(engine).with_n_hint(cp.n_hint);
-        eng.specs = cp.specs;
-        eng.count = cp.count;
-        eng.pipeline = Some(WindowedPipeline::new(
-            engine,
-            cp.window,
-            QueryFan {
-                sketches: cp.sketches,
-                tap: None,
-            },
-        ));
+        let (n_hint, count, window, specs, shard_sketches) =
+            match serde_json::from_str::<CheckpointV2>(json) {
+                Ok(cp) => {
+                    assert_eq!(
+                        cp.shard_sketches.len(),
+                        cp.shards,
+                        "envelope shard list must match its declared shard count"
+                    );
+                    (cp.n_hint, cp.count, cp.window, cp.specs, cp.shard_sketches)
+                }
+                // Not a v2 envelope — try the legacy flat layout before
+                // reporting the v2 parse error.
+                Err(v2_err) => match serde_json::from_str::<Checkpoint>(json) {
+                    Ok(cp) => (cp.n_hint, cp.count, cp.window, cp.specs, vec![cp.sketches]),
+                    Err(_) => return Err(v2_err),
+                },
+            };
+        let mut eng = StreamEngine::new(engine)
+            .with_n_hint(n_hint)
+            .with_shards(shard_sketches.len());
+        eng.specs = specs;
+        eng.count = count;
+        let mut fans = shard_sketches.into_iter().map(|sketches| QueryFan {
+            sketches,
+            tap: None,
+        });
+        eng.pipeline = Some(ShardedPipeline::new(engine, window, eng.shards, |_| {
+            fans.next().expect("one fan per shard")
+        }));
         Ok(eng)
     }
 
@@ -731,6 +888,179 @@ mod tests {
         let _ = eng.register_quantile(0.05);
         eng.push(1.0);
         let _ = eng.with_window_tap(Box::new(|_| {}));
+    }
+
+    #[test]
+    fn sharded_engine_agrees_with_single_shard_within_eps() {
+        let data = mixed_stream(40_000, 21);
+        let answers = |k: usize| {
+            let mut eng = StreamEngine::new(Engine::Host)
+                .with_n_hint(40_000)
+                .with_shards(k);
+            let q = eng.register_quantile(0.02);
+            let f = eng.register_frequency(0.001);
+            eng.push_all(data.iter().copied());
+            assert_eq!(eng.shard_count(), k);
+            (eng.quantile(q, 0.5), eng.heavy_hitters(f, 0.01))
+        };
+        let (median_1, hot_1) = answers(1);
+        for k in [2, 4] {
+            let (median_k, hot_k) = answers(k);
+            // Both medians are ε-approximate, so they sit within 2ε ranks
+            // of each other; over ~65k distinct uniform values that is a
+            // wide value window.
+            assert!(
+                (median_k - median_1).abs() <= 0.05 * 65_536.0,
+                "k={k}: median {median_k} vs {median_1}"
+            );
+            // The 16 hot values (~1.25% each at 1% support) must all
+            // survive sharding: undercount grows only by k − 1 per value.
+            let ids = |hh: &[(f32, u64)]| {
+                let mut v: Vec<u32> = hh.iter().map(|(x, _)| x.to_bits()).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(ids(&hot_k), ids(&hot_1), "k={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_checkpoint_round_trips_exactly() {
+        let data = mixed_stream(30_000, 23);
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_n_hint(60_000)
+            .with_shards(4);
+        let q = eng.register_quantile(0.02);
+        let f = eng.register_frequency(0.001);
+        eng.push_all(data[..15_000].iter().copied());
+        let json = eng.checkpoint();
+
+        let mut restored = StreamEngine::restore(Engine::GpuSim, &json).expect("restore");
+        assert_eq!(restored.shard_count(), 4);
+        assert_eq!(restored.count(), 15_000);
+        eng.push_all(data[15_000..].iter().copied());
+        restored.push_all(data[15_000..].iter().copied());
+        assert_eq!(eng.quantile(q, 0.5), restored.quantile(q, 0.5));
+        assert_eq!(eng.heavy_hitters(f, 0.01), restored.heavy_hitters(f, 0.01));
+    }
+
+    #[test]
+    fn checkpoint_envelope_is_versioned_and_flags_observers() {
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_recorder(Recorder::enabled())
+            .with_window_tap(Box::new(|_| {}))
+            .with_shards(2);
+        let _ = eng.register_frequency(0.01);
+        eng.push_all((0..5_000).map(|i| (i % 64) as f32));
+        let json = eng.checkpoint();
+        let cp: CheckpointV2 = serde_json::from_str(&json).expect("v2 envelope");
+        assert_eq!(cp.schema, CHECKPOINT_SCHEMA);
+        assert_eq!(cp.shards, 2);
+        assert_eq!(cp.router, "hash");
+        assert!(cp.recorder_enabled, "envelope records the recorder");
+        assert!(cp.window_tap_installed, "envelope records the tap");
+        assert_eq!(cp.shard_sketches.len(), 2);
+
+        // A bare engine's envelope states the observers' *absence*.
+        let mut bare = StreamEngine::new(Engine::Host);
+        let _ = bare.register_frequency(0.01);
+        bare.push_all((0..500).map(|i| (i % 8) as f32));
+        let cp: CheckpointV2 = serde_json::from_str(&bare.checkpoint()).expect("v2 envelope");
+        assert!(!cp.recorder_enabled);
+        assert!(!cp.window_tap_installed);
+    }
+
+    #[test]
+    fn legacy_flat_checkpoint_still_restores() {
+        // Serialize the pre-envelope layout by hand and make sure restore
+        // accepts it as a single-shard engine with identical answers.
+        let data = mixed_stream(20_000, 27);
+        let mut eng = StreamEngine::new(Engine::Host).with_n_hint(40_000);
+        let q = eng.register_quantile(0.02);
+        let f = eng.register_frequency(0.001);
+        eng.push_all(data.iter().copied());
+        eng.flush();
+        let legacy = Checkpoint {
+            window: eng.window(),
+            count: eng.count(),
+            n_hint: 40_000,
+            specs: eng.specs.clone(),
+            sketches: eng
+                .pipeline
+                .as_ref()
+                .unwrap()
+                .shard(0)
+                .sink()
+                .sketches
+                .clone(),
+        };
+        let json = serde_json::to_string(&legacy).expect("legacy serializes");
+
+        let mut restored = StreamEngine::restore(Engine::Host, &json).expect("legacy restores");
+        assert_eq!(restored.shard_count(), 1);
+        assert_eq!(restored.count(), eng.count());
+        assert_eq!(eng.quantile(q, 0.5), restored.quantile(q, 0.5));
+        assert_eq!(eng.heavy_hitters(f, 0.01), restored.heavy_hitters(f, 0.01));
+    }
+
+    #[test]
+    fn sharded_recorder_attributes_windows_per_shard() {
+        let rec = Recorder::enabled();
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_n_hint(20_000)
+            .with_recorder(rec.clone())
+            .with_shards(2);
+        let q = eng.register_quantile(0.02);
+        eng.push_all(mixed_stream(20_000, 29));
+        let _ = eng.quantile(q, 0.5);
+        let s0 = rec.counter_labeled("windows_absorbed", ("shard", "0"));
+        let s1 = rec.counter_labeled("windows_absorbed", ("shard", "1"));
+        assert!(s0 > 0 && s1 > 0, "both shards absorb windows: {s0}/{s1}");
+        assert_eq!(rec.counter_total("windows_absorbed"), s0 + s1);
+        assert_eq!(rec.counter("shard_merges"), 1, "one merge per answer");
+        assert!(rec.counter("shard_merge_ops") > 0);
+    }
+
+    #[test]
+    fn sharded_window_tap_sees_every_element() {
+        use std::sync::{Arc as StdArc, Mutex as StdMutex};
+        let data = mixed_stream(10_000, 31);
+        let seen: StdArc<StdMutex<Vec<f32>>> = StdArc::new(StdMutex::new(Vec::new()));
+        let sink = StdArc::clone(&seen);
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_n_hint(10_000)
+            .with_window_tap(Box::new(move |w: &[f32]| {
+                sink.lock().expect("tap lock").extend_from_slice(w);
+            }))
+            .with_shards(4);
+        let q = eng.register_quantile(0.02);
+        eng.push_all(data.iter().copied());
+        let _ = eng.quantile(q, 0.5);
+        let mut observed = seen.lock().expect("tap lock").clone();
+        assert_eq!(
+            observed.len(),
+            data.len(),
+            "tap sees every admitted element"
+        );
+        let mut expected = data.clone();
+        expected.sort_by(f32::total_cmp);
+        observed.sort_by(f32::total_cmp);
+        assert_eq!(observed, expected);
+    }
+
+    #[test]
+    fn sharded_parallel_host_serves_queries() {
+        // All four shards submit to one worker pool (the pool-width
+        // invariant is asserted at the pipeline layer); here the engine
+        // path over it must answer correctly end to end.
+        let data = mixed_stream(20_000, 37);
+        let mut eng = StreamEngine::new(Engine::ParallelHost)
+            .with_n_hint(20_000)
+            .with_shards(4);
+        let f = eng.register_frequency(0.001);
+        eng.push_all(data.iter().copied());
+        let hot = eng.heavy_hitters(f, 0.01);
+        assert!(!hot.is_empty(), "the 16 hot values are ~1.25% each");
     }
 
     #[test]

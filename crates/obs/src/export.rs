@@ -91,13 +91,14 @@ pub(crate) fn prometheus_text(state: &mut State) -> String {
         type_line(&mut out, &base, "counter");
         let _ = writeln!(out, "{base}{} {value}", prom_labels(label, None));
     }
-    for (name, gauge) in &state.gauges {
+    for ((name, label), gauge) in &state.gauges {
         let base = prom_name(name);
+        let labels = prom_labels(label, None);
         type_line(&mut out, &base, "gauge");
-        let _ = writeln!(out, "{base} {}", gauge.current);
+        let _ = writeln!(out, "{base}{labels} {}", gauge.current);
         let hw = format!("{base}_highwater");
         type_line(&mut out, &hw, "gauge");
-        let _ = writeln!(out, "{hw} {}", gauge.highwater);
+        let _ = writeln!(out, "{hw}{labels} {}", gauge.highwater);
     }
     for ((name, label), hist) in &state.hists {
         let base = format!("{}_seconds", prom_name(name));

@@ -64,7 +64,7 @@ pub const DEFAULT_RING_CAPACITY: usize = 8192;
 /// The shared registry behind an enabled recorder.
 struct State {
     counters: BTreeMap<Key, u64>,
-    gauges: BTreeMap<&'static str, Gauge>,
+    gauges: BTreeMap<Key, Gauge>,
     hists: BTreeMap<Key, Log2Histogram>,
     spans: SpanRing,
 }
@@ -81,12 +81,18 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Recorder {
     inner: Option<Arc<Inner>>,
+    /// A label stamped onto every otherwise-unlabeled metric written (or
+    /// read) through this handle; see [`Recorder::scoped`].
+    scope: Option<(&'static str, String)>,
 }
 
 impl Recorder {
     /// A no-op recorder: every operation is a branch and a return.
     pub fn disabled() -> Self {
-        Recorder { inner: None }
+        Recorder {
+            inner: None,
+            scope: None,
+        }
     }
 
     /// A live recorder with the default span-ring capacity.
@@ -106,12 +112,36 @@ impl Recorder {
                     spans: SpanRing::new(ring_capacity),
                 }),
             })),
+            scope: None,
         }
     }
 
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// A handle onto the same registry that stamps `(key, value)` onto
+    /// every otherwise-unlabeled counter, gauge, histogram, and span
+    /// written — or read — through it. This is how a sharded pipeline gets
+    /// a per-shard dimension without threading labels through every call
+    /// site: shard `i` is handed `rec.scoped("shard", &i.to_string())` and
+    /// keeps emitting the same metric names.
+    ///
+    /// Explicitly-labeled calls (e.g. [`Recorder::count_labeled`]) keep
+    /// their own label; the scope never overrides one. Aggregation across
+    /// scopes stays available on the unscoped handle via
+    /// [`Recorder::counter_total`].
+    pub fn scoped(&self, key: &'static str, value: &str) -> Recorder {
+        Recorder {
+            inner: self.inner.clone(),
+            scope: Some((key, value.to_string())),
+        }
+    }
+
+    /// This handle's scope label, if any.
+    pub fn scope(&self) -> Option<(&'static str, &str)> {
+        self.scope.as_ref().map(|(k, v)| (*k, v.as_str()))
     }
 
     fn with_state<R>(&self, f: impl FnOnce(&mut State) -> R) -> Option<R> {
@@ -124,12 +154,15 @@ impl Recorder {
     // Counters
     // ------------------------------------------------------------------
 
-    /// Adds `delta` to the named monotone counter.
+    /// Adds `delta` to the named monotone counter (under this handle's
+    /// scope label, if any).
     pub fn count(&self, name: &'static str, delta: u64) {
         if self.inner.is_none() {
             return;
         }
-        self.with_state(|s| *s.counters.entry((name, None)).or_insert(0) += delta);
+        self.with_state(|s| {
+            *s.counters.entry((name, self.scope.clone())).or_insert(0) += delta;
+        });
     }
 
     /// Adds `delta` to the named counter under a `(key, value)` label.
@@ -144,10 +177,15 @@ impl Recorder {
         });
     }
 
-    /// The unlabeled counter's value (0 if never written).
+    /// The counter's value under this handle's scope (0 if never written).
     pub fn counter(&self, name: &'static str) -> u64 {
-        self.with_state(|s| s.counters.get(&(name, None)).copied().unwrap_or(0))
-            .unwrap_or(0)
+        self.with_state(|s| {
+            s.counters
+                .get(&(name, self.scope.clone()))
+                .copied()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
     }
 
     /// A labeled counter's value (0 if never written).
@@ -177,26 +215,49 @@ impl Recorder {
     // Gauges
     // ------------------------------------------------------------------
 
-    /// Adds `delta` (possibly negative) to the named gauge, maintaining its
-    /// high-water mark.
+    /// Adds `delta` (possibly negative) to the named gauge (under this
+    /// handle's scope label, if any), maintaining its high-water mark.
     pub fn gauge_add(&self, name: &'static str, delta: i64) {
         if self.inner.is_none() {
             return;
         }
-        self.with_state(|s| s.gauges.entry(name).or_default().add(delta));
+        self.with_state(|s| {
+            s.gauges
+                .entry((name, self.scope.clone()))
+                .or_default()
+                .add(delta);
+        });
     }
 
-    /// Overwrites the named gauge's current value.
+    /// Overwrites the named gauge's current value (under this handle's
+    /// scope label, if any).
     pub fn gauge_set(&self, name: &'static str, value: i64) {
         if self.inner.is_none() {
             return;
         }
-        self.with_state(|s| s.gauges.entry(name).or_default().set(value));
+        self.with_state(|s| {
+            s.gauges
+                .entry((name, self.scope.clone()))
+                .or_default()
+                .set(value);
+        });
     }
 
-    /// The named gauge (current value + high-water mark), if ever written.
+    /// The named gauge under this handle's scope (current value +
+    /// high-water mark), if ever written.
     pub fn gauge(&self, name: &'static str) -> Option<Gauge> {
-        self.with_state(|s| s.gauges.get(name).copied()).flatten()
+        self.with_state(|s| s.gauges.get(&(name, self.scope.clone())).copied())
+            .flatten()
+    }
+
+    /// A labeled gauge's snapshot, if ever written.
+    pub fn gauge_labeled(&self, name: &'static str, label: (&'static str, &str)) -> Option<Gauge> {
+        self.with_state(|s| {
+            s.gauges
+                .get(&(name, Some((label.0, label.1.to_string()))))
+                .copied()
+        })
+        .flatten()
     }
 
     // ------------------------------------------------------------------
@@ -204,12 +265,17 @@ impl Recorder {
     // ------------------------------------------------------------------
 
     /// Records one latency observation (nanoseconds) into the named log2
-    /// histogram.
+    /// histogram (under this handle's scope label, if any).
     pub fn observe_ns(&self, name: &'static str, ns: u64) {
         if self.inner.is_none() {
             return;
         }
-        self.with_state(|s| s.hists.entry((name, None)).or_default().observe(ns));
+        self.with_state(|s| {
+            s.hists
+                .entry((name, self.scope.clone()))
+                .or_default()
+                .observe(ns);
+        });
     }
 
     /// Records a labeled latency observation.
@@ -225,9 +291,9 @@ impl Recorder {
         });
     }
 
-    /// The unlabeled histogram's snapshot, if ever written.
+    /// The histogram's snapshot under this handle's scope, if ever written.
     pub fn histogram(&self, name: &'static str) -> Option<Log2Histogram> {
-        self.with_state(|s| s.hists.get(&(name, None)).cloned())
+        self.with_state(|s| s.hists.get(&(name, self.scope.clone())).cloned())
             .flatten()
     }
 
@@ -249,13 +315,14 @@ impl Recorder {
     // Spans
     // ------------------------------------------------------------------
 
-    /// Starts a timed span; the span records itself when dropped (or via
-    /// [`Span::finish`]). On a disabled recorder this reads no clock.
+    /// Starts a timed span (labeled with this handle's scope, if any); the
+    /// span records itself when dropped (or via [`Span::finish`]). On a
+    /// disabled recorder this reads no clock.
     pub fn span(&self, name: &'static str) -> Span {
         if self.inner.is_none() {
             return Span { live: None };
         }
-        self.span_inner(name, None, Instant::now())
+        self.span_inner(name, self.scope.clone(), Instant::now())
     }
 
     /// Starts a labeled timed span.
@@ -270,7 +337,7 @@ impl Recorder {
     /// predates the decision to record them, e.g. ingest measured from the
     /// first element of a window). Dropping it records the true duration.
     pub fn span_from(&self, name: &'static str, started: Instant) -> Span {
-        self.span_inner(name, None, started)
+        self.span_inner(name, self.scope.clone(), started)
     }
 
     fn span_inner(
@@ -465,6 +532,54 @@ mod tests {
         assert_eq!(here, thread_id());
         let there = std::thread::spawn(thread_id).join().unwrap();
         assert_ne!(here, there);
+    }
+
+    #[test]
+    fn scoped_handles_stamp_and_read_their_label() {
+        let rec = Recorder::enabled();
+        let s0 = rec.scoped("shard", "0");
+        let s1 = rec.scoped("shard", "1");
+        assert_eq!(s0.scope(), Some(("shard", "0")));
+
+        s0.count("windows", 2);
+        s1.count("windows", 3);
+        rec.count("windows", 1);
+        // Each handle reads its own slice; the unscoped handle aggregates.
+        assert_eq!(s0.counter("windows"), 2);
+        assert_eq!(s1.counter("windows"), 3);
+        assert_eq!(rec.counter("windows"), 1);
+        assert_eq!(rec.counter_labeled("windows", ("shard", "1")), 3);
+        assert_eq!(rec.counter_total("windows"), 6);
+
+        s0.gauge_set("queue_depth", 4);
+        s1.gauge_set("queue_depth", 7);
+        assert_eq!(s0.gauge("queue_depth").unwrap().current, 4);
+        assert_eq!(
+            rec.gauge_labeled("queue_depth", ("shard", "1"))
+                .unwrap()
+                .current,
+            7
+        );
+        assert!(rec.gauge("queue_depth").is_none(), "no unscoped write");
+
+        {
+            let _sp = s1.span("sort");
+        }
+        assert_eq!(s1.histogram("sort").unwrap().count, 1);
+        assert!(rec.histogram("sort").is_none());
+        let events = rec.spans();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label, Some(("shard", "1".to_string())));
+
+        // Explicit labels win over the scope.
+        s0.count_labeled("tasks", ("worker", "9"), 1);
+        assert_eq!(rec.counter_labeled("tasks", ("worker", "9")), 1);
+        assert_eq!(s0.counter_labeled("tasks", ("worker", "9")), 1);
+
+        let prom = rec.prometheus_text();
+        assert!(prom.contains("gsm_windows_total{shard=\"0\"} 2"));
+        assert!(prom.contains("gsm_queue_depth{shard=\"1\"} 7"));
+        assert!(prom.contains("gsm_queue_depth_highwater{shard=\"1\"} 7"));
     }
 
     #[test]

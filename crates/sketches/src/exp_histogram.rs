@@ -23,7 +23,7 @@ use crate::summary::OpCounter;
 
 /// Streaming ε-approximate quantile summary: an exponential histogram of
 /// GK04 window summaries.
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct ExpHistogram {
     eps: f64,
     window: usize,
@@ -149,11 +149,21 @@ impl ExpHistogram {
     /// Folds in a pre-built level-1 window summary (the GPU path builds the
     /// summary from an already-sorted readback).
     pub fn push_summary(&mut self, summary: WindowSummary) {
+        self.insert_at_level(summary, 0);
+    }
+
+    /// Inserts a bucket at `start_level`, carry-propagating like binary
+    /// addition: a full level combines into the next. Level-1 windows enter
+    /// at level 0; [`Self::merge_from`] re-inserts foreign buckets at the
+    /// level they had already climbed to, so their spent prune budget is
+    /// respected.
+    fn insert_at_level(&mut self, summary: WindowSummary, start_level: usize) {
         self.count += summary.count();
-        // Carry-propagate like binary addition: a full level combines into
-        // the next.
+        while self.levels.len() < start_level {
+            self.levels.push(None);
+        }
         let mut carry = summary;
-        let mut level = 0;
+        let mut level = start_level;
         loop {
             if level == self.levels.len() {
                 self.levels.push(Some(carry));
@@ -178,6 +188,48 @@ impl ExpHistogram {
                 }
             }
         }
+    }
+
+    /// Merges a histogram built over a *disjoint* substream into this one
+    /// (shard-parallel ingestion).
+    ///
+    /// Each of `other`'s live buckets is re-inserted at the level it had
+    /// already climbed to, carry-propagating from there, so a bucket never
+    /// spends more prune budget than a same-level bucket in a single-owner
+    /// stream. GK merges add no error (`ε_merge = max εᵢ`), so the merged
+    /// guarantee stays surfaced by [`Self::tracked_eps`]: as long as the
+    /// combined stream stays within the `n_hint` the histograms were sized
+    /// for, `tracked_eps() ≤ eps` after any number of merges.
+    ///
+    /// Merge and prune work is charged to both this summary's ledgers and
+    /// the caller's `ops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built with different `eps`,
+    /// window, or prune budgets (different `n_hint` level sizing).
+    pub fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        assert!(
+            self.eps == other.eps && self.window == other.window && self.prune_b == other.prune_b,
+            "cannot merge exp-histograms with different configurations \
+             (eps {} vs {}, window {} vs {}, prune_b {} vs {})",
+            self.eps,
+            other.eps,
+            self.window,
+            other.window,
+            self.prune_b,
+            other.prune_b
+        );
+        let before = self.ops();
+        for (level, bucket) in other.levels.iter().enumerate() {
+            if let Some(s) = bucket {
+                self.insert_at_level(s.clone(), level);
+            }
+        }
+        let mut delta = self.ops();
+        delta.comparisons -= before.comparisons;
+        delta.moves -= before.moves;
+        ops.absorb(delta);
     }
 
     /// Answers a φ-quantile query over everything pushed so far.
@@ -308,5 +360,49 @@ mod tests {
     fn ops_accumulate_on_combines() {
         let (eh, _) = run_stream(8 * 256, 256, 0.05, 7);
         assert!(eh.ops().total() > 0, "combines must be counted");
+    }
+
+    #[test]
+    fn merged_shards_stay_within_eps() {
+        let n = 40_000usize;
+        let window = 512usize;
+        let eps = 0.02;
+        let mut rng = StdRng::seed_from_u64(21);
+        let data: Vec<f32> = (0..n).map(|_| rng.random_range(0.0..1.0)).collect();
+        for k in [2usize, 4] {
+            // Every shard is sized for the *total* stream, as the sharded
+            // pipeline does, so merging never outruns the level budget.
+            let mut shards: Vec<ExpHistogram> = (0..k)
+                .map(|_| ExpHistogram::new(eps, window, n as u64))
+                .collect();
+            for (i, chunk) in data.chunks(n.div_ceil(k)).enumerate() {
+                for w in chunk.chunks(window) {
+                    let mut w = w.to_vec();
+                    w.sort_by(f32::total_cmp);
+                    shards[i].push_sorted_window(&w);
+                }
+            }
+            let mut merged = shards.remove(0);
+            let mut ops = OpCounter::default();
+            for s in &shards {
+                merged.merge_from(s, &mut ops);
+            }
+            assert_eq!(merged.count(), n as u64);
+            assert!(ops.total() > 0, "merge work must be counted");
+            assert!(
+                merged.tracked_eps() <= eps,
+                "merged tracked eps {} exceeds target {eps}",
+                merged.tracked_eps()
+            );
+            assert_within_eps(&merged, &data);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different configurations")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = ExpHistogram::new(0.05, 256, 10_000);
+        let b = ExpHistogram::new(0.05, 512, 10_000);
+        a.merge_from(&b, &mut OpCounter::default());
     }
 }

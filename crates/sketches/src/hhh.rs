@@ -24,7 +24,7 @@ use crate::lossy::{LossyCounting, LossyOps};
 /// Level 0 is the leaf level (identity); level `k` truncates the value's
 /// integer representation by `shifts[k-1]` bits. Shifts must be strictly
 /// increasing.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
 pub struct BitPrefixHierarchy {
     shifts: Vec<u32>,
 }
@@ -88,7 +88,7 @@ pub struct HhhEntry {
 
 /// Streaming ε-approximate hierarchical heavy hitters: a lossy-counting
 /// summary per level, fed from leaf-sorted windows.
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct HhhSummary {
     hierarchy: BitPrefixHierarchy,
     levels: Vec<LossyCounting>,
@@ -163,6 +163,32 @@ impl HhhSummary {
                 sketch.push_sorted_window(&mapped);
             }
         }
+    }
+
+    /// Merges a summary built over a *disjoint* substream into this one:
+    /// each level's lossy summary merges independently (prefix truncation
+    /// commutes with partitioning), so the merged per-level guarantees are
+    /// exactly [`LossyCounting::merge_from`]'s additive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two summaries use different hierarchies or lossy
+    /// configurations.
+    pub fn merge_from(&mut self, other: &Self, ops: &mut crate::summary::OpCounter) {
+        assert!(
+            self.hierarchy == other.hierarchy,
+            "cannot merge HHH summaries over different hierarchies"
+        );
+        for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
+            mine.merge_from(theirs, ops);
+        }
+        self.n += other.n;
+    }
+
+    /// The worst undercount any per-level estimate can currently carry
+    /// (every level processes the same windows, so the bound is shared).
+    pub fn undercount_bound(&self) -> u64 {
+        self.levels[0].undercount_bound()
     }
 
     /// The ε-approximate hierarchical heavy hitters at support `s`:
@@ -319,6 +345,58 @@ mod tests {
         assert_eq!(result.len(), 1, "{result:?}");
         assert_eq!(result[0].level, 0);
         assert_eq!(result[0].prefix, 0x7777 as f32);
+    }
+
+    #[test]
+    fn merged_shards_report_the_same_hitters() {
+        use crate::summary::OpCounter;
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut data: Vec<f32> = vec![0x123 as f32; 5000];
+        data.extend((0..15_000).map(|_| rng.random_range(0x1000..0x8000) as f32));
+
+        let mut whole = HhhSummary::new(0.001, BitPrefixHierarchy::new(vec![4, 8]));
+        feed(&mut whole, &data);
+
+        let k = 4;
+        let mut shards: Vec<HhhSummary> = (0..k)
+            .map(|_| HhhSummary::new(0.001, BitPrefixHierarchy::new(vec![4, 8])))
+            .collect();
+        // Round-robin partition so every shard sees the same mix.
+        let mut parts: Vec<Vec<f32>> = vec![Vec::new(); k];
+        for (i, &v) in data.iter().enumerate() {
+            parts[i % k].push(v);
+        }
+        for (s, part) in shards.iter_mut().zip(&parts) {
+            feed(s, part);
+        }
+        let mut merged = shards.remove(0);
+        let mut ops = OpCounter::default();
+        for s in &shards {
+            merged.merge_from(s, &mut ops);
+        }
+        assert_eq!(merged.count(), data.len() as u64);
+        assert!(ops.total() > 0);
+
+        let expect: Vec<(usize, f32)> = whole
+            .query(0.2)
+            .iter()
+            .map(|e| (e.level, e.prefix))
+            .collect();
+        let got: Vec<(usize, f32)> = merged
+            .query(0.2)
+            .iter()
+            .map(|e| (e.level, e.prefix))
+            .collect();
+        assert_eq!(expect, got, "merged shards must report the same prefixes");
+    }
+
+    #[test]
+    #[should_panic(expected = "different hierarchies")]
+    fn merge_rejects_mismatched_hierarchies() {
+        use crate::summary::OpCounter;
+        let mut a = HhhSummary::new(0.01, BitPrefixHierarchy::new(vec![4, 8]));
+        let b = HhhSummary::new(0.01, BitPrefixHierarchy::new(vec![8, 16]));
+        a.merge_from(&b, &mut OpCounter::default());
     }
 
     #[test]

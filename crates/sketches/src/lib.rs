@@ -54,7 +54,7 @@ pub use gk_window::WindowSummary;
 pub use hhh::{BitPrefixHierarchy, HhhEntry, HhhSummary};
 pub use lossy::LossyCounting;
 pub use misra_gries::MisraGries;
-pub use sink::{SinkOps, SummarySink};
+pub use sink::{MergeableSummary, SinkOps, SummarySink};
 pub use sliding::{SlidingFrequency, SlidingQuantile};
 pub use summary::{FreqEntry, OpCounter, QuantileEntry};
 pub use time_sliding::{TimeSlidingFrequency, TimeSlidingQuantile};

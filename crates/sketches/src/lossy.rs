@@ -45,7 +45,7 @@ pub struct LossyOps {
 /// assert_eq!(lc.estimate(0.0), 250); // each value is 25% of 1000 elements
 /// assert_eq!(lc.heavy_hitters(0.2).len(), 4);
 /// ```
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct LossyCounting {
     eps: f64,
     window: usize,
@@ -210,6 +210,102 @@ impl LossyCounting {
         self.entries.retain(|e| e.count + e.delta > bucket);
         self.ops.compress.comparisons += before;
         self.ops.compress.moves += before - self.entries.len() as u64;
+    }
+
+    /// Merges a summary built over a *disjoint* substream into this one
+    /// (shard-parallel ingestion: each shard lossy-counts its partition and
+    /// the partitions are merged at query time).
+    ///
+    /// Counts are additive, and so are the undercount bounds: an entry
+    /// present in only one side may have occurred up to `bucket` times in
+    /// the other side's stream before being compressed away, so its Δ is
+    /// charged the absent side's bucket count. The merged bucket count is
+    /// the sum of both sides' — estimates never overestimate and undercount
+    /// by at most [`Self::undercount_bound`], which after merging k shards
+    /// over N total elements with windows ≥ 1/ε is `Σᵢ⌈nᵢ/w⌉ ≤ ⌈εN⌉ + k−1`.
+    ///
+    /// Merge and compress work is charged to both the summary's own
+    /// ledger and the caller's `ops` (so a pipeline can attribute
+    /// query-time merge cost separately from ingest cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two summaries were built with different `eps` or
+    /// window sizes.
+    pub fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        assert!(
+            self.eps == other.eps && self.window == other.window,
+            "cannot merge lossy summaries with different configurations \
+             (eps {} vs {}, window {} vs {})",
+            self.eps,
+            other.eps,
+            self.window,
+            other.window
+        );
+        let mut work = OpCounter::default();
+        let (self_bucket, other_bucket) = (self.bucket, other.bucket);
+        let mut merged: Vec<FreqEntry> =
+            Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() || j < other.entries.len() {
+            let take = match (self.entries.get(i), other.entries.get(j)) {
+                (Some(a), Some(b)) => {
+                    work.comparisons += 1;
+                    if a.value < b.value {
+                        Take::Old
+                    } else if a.value > b.value {
+                        Take::New
+                    } else {
+                        Take::Both
+                    }
+                }
+                (Some(_), None) => Take::Old,
+                (None, Some(_)) => Take::New,
+                (None, None) => unreachable!("loop condition"),
+            };
+            match take {
+                Take::Old => {
+                    // Absent from `other`: it may have been dropped there
+                    // with up to `other.bucket` occurrences unaccounted.
+                    let mut e = self.entries[i];
+                    e.delta += other_bucket;
+                    merged.push(e);
+                    i += 1;
+                }
+                Take::New => {
+                    let mut e = other.entries[j];
+                    e.delta += self_bucket;
+                    merged.push(e);
+                    j += 1;
+                }
+                Take::Both => {
+                    let mut e = self.entries[i];
+                    e.count += other.entries[j].count;
+                    e.delta += other.entries[j].delta;
+                    merged.push(e);
+                    i += 1;
+                    j += 1;
+                }
+            }
+            work.moves += 1;
+        }
+        self.entries = merged;
+        self.bucket = self_bucket + other_bucket;
+        self.n += other.n;
+        self.ops.merge.absorb(work);
+        ops.absorb(work);
+
+        // Compress against the merged bucket count — same deletion rule as
+        // the streaming path, so the Δ ≤ bucket invariant is preserved.
+        let bucket = self.bucket;
+        let before = self.entries.len() as u64;
+        self.entries.retain(|e| e.count + e.delta > bucket);
+        let compress = OpCounter {
+            comparisons: before,
+            moves: before - self.entries.len() as u64,
+        };
+        self.ops.compress.absorb(compress);
+        ops.absorb(compress);
     }
 
     /// Iterates over the summary's `(value, count)` pairs, ascending by
@@ -418,5 +514,88 @@ mod tests {
     #[should_panic(expected = "at least ceil")]
     fn too_small_shared_window_rejected() {
         let _ = LossyCounting::with_window(0.01, 50);
+    }
+
+    /// Splits `data` across `k` shard summaries and merges them back.
+    fn run_sharded(data: &[f32], eps: f64, k: usize) -> (LossyCounting, OpCounter) {
+        let mut shards: Vec<LossyCounting> = (0..k).map(|_| LossyCounting::new(eps)).collect();
+        for (i, chunk) in data.chunks(data.len().div_ceil(k)).enumerate() {
+            let lc = &mut shards[i];
+            for w in chunk.chunks(lc.window()) {
+                let mut w = w.to_vec();
+                w.sort_by(f32::total_cmp);
+                lc.push_sorted_window(&w);
+            }
+        }
+        let mut merged = shards.remove(0);
+        let mut ops = OpCounter::default();
+        for s in &shards {
+            merged.merge_from(s, &mut ops);
+        }
+        (merged, ops)
+    }
+
+    #[test]
+    fn merged_shards_keep_the_additive_bound() {
+        let data = zipf_stream(60_000, 200, 11);
+        let eps = 0.002;
+        for k in [2usize, 4] {
+            let (merged, ops) = run_sharded(&data, eps, k);
+            assert_eq!(merged.count(), data.len() as u64);
+            assert!(ops.total() > 0, "merge work must be counted");
+            let oracle = ExactStats::new(&data);
+            // Additive bound: Σᵢ⌈nᵢ/w⌉ ≤ ⌈εN⌉ + k − 1.
+            let cap = (eps * data.len() as f64).ceil() as u64 + k as u64 - 1;
+            let bound = merged.undercount_bound();
+            assert!(bound <= cap, "surfaced bound {bound} > {cap}");
+            for v in 0..200u32 {
+                let est = merged.estimate(v as f32);
+                let truth = oracle.frequency(v as f32);
+                assert!(est <= truth, "merged estimate overestimates {v}");
+                assert!(
+                    truth - est <= bound,
+                    "undercount {} > surfaced bound {bound} for {v}",
+                    truth - est
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_shards_keep_no_false_negatives() {
+        // Oversized shard windows (the DSMS always over-provisions the
+        // shared window) keep Σᵢ⌈nᵢ/w⌉ ≤ εN so the support guarantee
+        // survives the merge.
+        let data = zipf_stream(100_000, 1000, 12);
+        let (eps, s, k) = (0.0005, 0.005, 4);
+        let window = 4 * (1.0f64 / eps).ceil() as usize;
+        let mut shards: Vec<LossyCounting> = (0..k)
+            .map(|_| LossyCounting::with_window(eps, window))
+            .collect();
+        for (i, chunk) in data.chunks(data.len().div_ceil(k)).enumerate() {
+            for w in chunk.chunks(window) {
+                let mut w = w.to_vec();
+                w.sort_by(f32::total_cmp);
+                shards[i].push_sorted_window(&w);
+            }
+        }
+        let mut merged = shards.remove(0);
+        for sh in &shards {
+            merged.merge_from(sh, &mut OpCounter::default());
+        }
+        assert!(merged.undercount_bound() as f64 <= eps * data.len() as f64);
+        let oracle = ExactStats::new(&data);
+        let answered: Vec<f32> = merged.heavy_hitters(s).iter().map(|&(v, _)| v).collect();
+        for (v, _) in oracle.heavy_hitters((s * data.len() as f64).ceil() as u64) {
+            assert!(answered.contains(&v), "missing true heavy hitter {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different configurations")]
+    fn merge_rejects_mismatched_eps() {
+        let mut a = LossyCounting::new(0.01);
+        let b = LossyCounting::new(0.02);
+        a.merge_from(&b, &mut OpCounter::default());
     }
 }

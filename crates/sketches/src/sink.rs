@@ -69,6 +69,62 @@ pub trait SummarySink {
     fn ops(&self) -> SinkOps;
 }
 
+/// A sink whose running summary can absorb another summary of the same
+/// configuration, built over a *disjoint* substream.
+///
+/// This is what makes shard-parallel ingestion possible: K pipelines each
+/// fold their partition of the stream into their own sink, and queries
+/// merge the shard summaries on demand. Every implementor documents its
+/// merged-error accounting on the inherent `merge_from`:
+///
+/// * GK-bracket summaries ([`ExpHistogram`]) — merging adds no error
+///   (`ε_merge = max εᵢ`), surfaced by `tracked_eps()`.
+/// * Counting summaries ([`LossyCounting`], [`HhhSummary`]) — undercount
+///   bounds are additive, surfaced by `undercount_bound()`.
+/// * Sliding summaries — merge is block concatenation (byte-identical to
+///   sequential pushes), so the single-stream bounds carry over.
+pub trait MergeableSummary: SummarySink {
+    /// Folds `other`'s summary state into this one, charging merge work to
+    /// `ops` (so query-time merges are attributable separately from
+    /// ingest-time maintenance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two summaries were built with incompatible
+    /// configurations (ε, window/width, hierarchy, …).
+    fn merge_from(&mut self, other: &Self, ops: &mut OpCounter);
+}
+
+impl MergeableSummary for ExpHistogram {
+    fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        ExpHistogram::merge_from(self, other, ops);
+    }
+}
+
+impl MergeableSummary for LossyCounting {
+    fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        LossyCounting::merge_from(self, other, ops);
+    }
+}
+
+impl MergeableSummary for HhhSummary {
+    fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        HhhSummary::merge_from(self, other, ops);
+    }
+}
+
+impl MergeableSummary for SlidingQuantile {
+    fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        SlidingQuantile::merge_from(self, other, ops);
+    }
+}
+
+impl MergeableSummary for SlidingFrequency {
+    fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        SlidingFrequency::merge_from(self, other, ops);
+    }
+}
+
 impl SummarySink for ExpHistogram {
     fn push_sorted_window(&mut self, sorted: &[f32]) {
         ExpHistogram::push_sorted_window(self, sorted);

@@ -24,7 +24,7 @@ use crate::summary::OpCounter;
 
 /// ε-approximate quantiles over a sliding window of the last `width`
 /// elements.
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct SlidingQuantile {
     eps: f64,
     width: usize,
@@ -117,6 +117,39 @@ impl SlidingQuantile {
         }
     }
 
+    /// Merges another sliding summary into this one by treating `other`'s
+    /// blocks as the *continuation* of this stream: they are appended in
+    /// order and expiry re-runs, so `merge(a, b)` is byte-identical to
+    /// pushing `b`'s blocks into `a`. A sharded sliding window is therefore
+    /// a window over the shard-concatenated tail, not an interleaving —
+    /// callers that need true arrival order should route sliding sketches
+    /// to a single shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two summaries have different `eps`, width, or block
+    /// size.
+    pub fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        assert!(
+            self.eps == other.eps && self.width == other.width && self.block == other.block,
+            "cannot merge sliding summaries with different configurations"
+        );
+        for s in &other.deque {
+            self.deque.push_back(s.clone());
+            self.covered += s.count();
+            ops.moves += 1;
+            while let Some(front) = self.deque.front() {
+                ops.comparisons += 1;
+                if self.covered - front.count() >= self.width as u64 {
+                    self.covered -= front.count();
+                    self.deque.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
     /// Answers a φ-quantile query over (approximately) the last `width`
     /// elements.
     ///
@@ -156,7 +189,7 @@ struct FreqBlock {
 
 /// ε-approximate frequencies over a sliding window of the last `width`
 /// elements.
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct SlidingFrequency {
     eps: f64,
     width: usize,
@@ -243,6 +276,36 @@ impl SlidingFrequency {
                 self.deque.pop_front();
             } else {
                 break;
+            }
+        }
+    }
+
+    /// Merges another sliding frequency summary into this one by appending
+    /// `other`'s blocks as the continuation of this stream and re-running
+    /// expiry — byte-identical to pushing `other`'s blocks here (see
+    /// [`SlidingQuantile::merge_from`] for the ordering caveat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two summaries have different `eps`, width, or block
+    /// size.
+    pub fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+        assert!(
+            self.eps == other.eps && self.width == other.width && self.block == other.block,
+            "cannot merge sliding summaries with different configurations"
+        );
+        for b in &other.deque {
+            self.deque.push_back(b.clone());
+            self.covered += b.total;
+            ops.moves += 1;
+            while let Some(front) = self.deque.front() {
+                ops.comparisons += 1;
+                if self.covered - front.total >= self.width as u64 {
+                    self.covered -= front.total;
+                    self.deque.pop_front();
+                } else {
+                    break;
+                }
             }
         }
     }
@@ -491,5 +554,70 @@ mod tests {
     #[should_panic(expected = "too small")]
     fn tiny_window_rejected() {
         let _ = SlidingQuantile::new(0.001, 100);
+    }
+
+    #[test]
+    fn quantile_merge_equals_sequential_push() {
+        let (eps, width) = (0.05, 2000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let first: Vec<f32> = (0..3000).map(|_| rng.random_range(0.0..1.0)).collect();
+        let second: Vec<f32> = (0..3000).map(|_| rng.random_range(5.0..6.0)).collect();
+
+        let mut sequential = SlidingQuantile::new(eps, width);
+        feed_quantile(&mut sequential, &first);
+        feed_quantile(&mut sequential, &second);
+
+        let mut merged = SlidingQuantile::new(eps, width);
+        feed_quantile(&mut merged, &first);
+        let mut tail = SlidingQuantile::new(eps, width);
+        feed_quantile(&mut tail, &second);
+        let mut ops = OpCounter::default();
+        merged.merge_from(&tail, &mut ops);
+
+        assert!(ops.total() > 0);
+        assert_eq!(merged.covered(), sequential.covered());
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&sequential).unwrap(),
+            "merge must be byte-identical to sequential pushes"
+        );
+        for phi in [0.1, 0.5, 0.9] {
+            assert_eq!(merged.query(phi), sequential.query(phi));
+        }
+    }
+
+    #[test]
+    fn frequency_merge_equals_sequential_push() {
+        let (eps, width) = (0.05, 2000);
+        let mut rng = StdRng::seed_from_u64(8);
+        let first: Vec<f32> = (0..3000).map(|_| rng.random_range(0..20) as f32).collect();
+        let second: Vec<f32> = (0..3000).map(|_| rng.random_range(0..20) as f32).collect();
+
+        let mut sequential = SlidingFrequency::new(eps, width);
+        feed_frequency(&mut sequential, &first);
+        feed_frequency(&mut sequential, &second);
+
+        let mut merged = SlidingFrequency::new(eps, width);
+        feed_frequency(&mut merged, &first);
+        let mut tail = SlidingFrequency::new(eps, width);
+        feed_frequency(&mut tail, &second);
+        merged.merge_from(&tail, &mut OpCounter::default());
+
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&sequential).unwrap(),
+            "merge must be byte-identical to sequential pushes"
+        );
+        for v in 0..20 {
+            assert_eq!(merged.estimate(v as f32), sequential.estimate(v as f32));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different configurations")]
+    fn sliding_merge_rejects_mismatched_widths() {
+        let mut a = SlidingQuantile::new(0.05, 2000);
+        let b = SlidingQuantile::new(0.05, 4000);
+        a.merge_from(&b, &mut OpCounter::default());
     }
 }

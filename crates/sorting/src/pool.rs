@@ -212,6 +212,15 @@ impl WorkerPool {
         Self::new(threads.clamp(1, 4))
     }
 
+    /// Wraps the pool in an [`Arc`] so several submitters (e.g. the
+    /// per-shard `ParallelHost` backends of a sharded pipeline) can share
+    /// one fixed set of workers. Submission takes `&self`, so a shared
+    /// pool needs no further locking, and the worker count stays the
+    /// configured width — not width × submitters.
+    pub fn into_shared(self) -> Arc<WorkerPool> {
+        Arc::new(self)
+    }
+
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()

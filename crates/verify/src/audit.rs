@@ -69,7 +69,10 @@ pub struct AuditReport {
 }
 
 impl AuditReport {
-    fn new(estimator: &str, n: u64, eps: f64, space_entries: u64, space_envelope: f64) -> Self {
+    /// Creates an empty report shell; callers append contracts with
+    /// [`AuditReport::push_check`]. Public so harnesses auditing *derived*
+    /// answers (e.g. shard-merged summaries) can reuse the report format.
+    pub fn new(estimator: &str, n: u64, eps: f64, space_entries: u64, space_envelope: f64) -> Self {
         AuditReport {
             estimator: estimator.to_string(),
             n,
@@ -80,8 +83,14 @@ impl AuditReport {
         }
     }
 
-    fn push(&mut self, name: &str, observed: f64, bound: f64) {
+    /// Records one audited contract: `observed` against its `bound`
+    /// (headroom and pass/fail are derived).
+    pub fn push_check(&mut self, name: &str, observed: f64, bound: f64) {
         self.checks.push(AuditCheck::new(name, observed, bound));
+    }
+
+    fn push(&mut self, name: &str, observed: f64, bound: f64) {
+        self.push_check(name, observed, bound);
     }
 
     fn finish_space(&mut self) {
@@ -396,6 +405,185 @@ pub fn audit_sliding_frequency(
         .filter(|(v, _)| !hh.iter().any(|(rv, _)| rv.to_bits() == v.to_bits()))
         .count();
     report.push("sliding_frequency.no_false_negatives", missing as f64, 0.0);
+    report.finish_space();
+    report
+}
+
+/// Audits shard-merged φ-quantile answers.
+///
+/// Merging GK-bracket summaries adds no rank error (ε_merge ≤ max εᵢ), so
+/// the merged answers are held to the *same* `ε + 2/N` rank bound as one
+/// summary — plus two sharding-specific contracts: the summary's own
+/// surfaced error (`tracked_eps`) must stay within the registered ε, and
+/// space may grow to at most `shards ×` one summary's envelope (each shard
+/// keeps its own level set until query time).
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn audit_sharded_quantile(
+    data: &[f32],
+    eps: f64,
+    window: usize,
+    shards: usize,
+    surfaced_eps: f64,
+    answers: &[(f64, f32)],
+    space_entries: usize,
+) -> AuditReport {
+    let oracle = ExactStats::new(data);
+    let n = oracle.len() as u64;
+    let mut report = AuditReport::new(
+        "sharded_quantile",
+        n,
+        eps,
+        space_entries as u64,
+        shards as f64 * quantile_space_envelope(eps, window, n),
+    );
+    let bound = eps + 2.0 / n as f64;
+    let mut worst = 0.0f64;
+    for &(phi, value) in answers {
+        worst = worst.max(oracle.quantile_rank_error(phi, value));
+    }
+    report.push("sharded_quantile.rank_error", worst, bound);
+    report.push("sharded_quantile.surfaced_eps", surfaced_eps, eps);
+    report.finish_space();
+    report
+}
+
+/// Audits shard-merged frequency answers.
+///
+/// Merged counts over disjoint partitions stay under-estimates (no
+/// overestimate, bound 0) and undercount by at most the merged summary's
+/// own surfaced bound (`undercount_bound`, the sum of shard bucket
+/// indices), which in turn must sit within the analytic
+/// `⌈εN⌉ + (shards − 1)` additive envelope. Heavy hitters keep zero false
+/// negatives, and space may grow to `shards ×` one summary's envelope.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+#[allow(clippy::too_many_arguments)] // mirrors audit_frequency plus the two shard-surfaced inputs
+pub fn audit_sharded_frequency(
+    data: &[f32],
+    eps: f64,
+    support: f64,
+    shards: usize,
+    surfaced_bound: u64,
+    estimates: &[(f32, u64)],
+    hh: &[(f32, u64)],
+    space_entries: usize,
+) -> AuditReport {
+    let oracle = ExactStats::new(data);
+    let n = oracle.len() as u64;
+    let mut report = AuditReport::new(
+        "sharded_frequency",
+        n,
+        eps,
+        space_entries as u64,
+        shards as f64 * frequency_space_envelope(eps, n),
+    );
+
+    let mut worst_over = i64::MIN;
+    let mut worst_under = 0i64;
+    for &(value, est) in estimates {
+        let truth = oracle.frequency(value) as i64;
+        worst_over = worst_over.max(est as i64 - truth);
+        worst_under = worst_under.max(truth - est as i64);
+    }
+    report.push(
+        "sharded_frequency.no_overestimate",
+        worst_over.max(0) as f64,
+        0.0,
+    );
+    report.push(
+        "sharded_frequency.undercount",
+        worst_under as f64,
+        surfaced_bound as f64,
+    );
+    report.push(
+        "sharded_frequency.surfaced_bound",
+        surfaced_bound as f64,
+        (eps * n as f64).ceil() + (shards as f64 - 1.0),
+    );
+
+    let threshold = (support * n as f64).ceil() as u64;
+    let missing = oracle
+        .heavy_hitters(threshold.max(1))
+        .iter()
+        .filter(|(v, _)| !hh.iter().any(|(rv, _)| rv.to_bits() == v.to_bits()))
+        .count();
+    report.push("sharded_frequency.no_false_negatives", missing as f64, 0.0);
+    report.finish_space();
+    report
+}
+
+/// Audits a shard-merged hierarchical heavy-hitters answer: per-prefix raw
+/// counts never overestimate and undercount within the merged summary's
+/// surfaced bound (itself inside `⌈εN⌉ + shards − 1`), leaves at or above
+/// support are never missed, and space stays inside `shards × levels ×`
+/// one lossy envelope.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+#[allow(clippy::too_many_arguments)] // mirrors audit_hhh plus the two shard-surfaced inputs
+pub fn audit_sharded_hhh(
+    data: &[f32],
+    eps: f64,
+    support: f64,
+    hierarchy: &BitPrefixHierarchy,
+    shards: usize,
+    surfaced_bound: u64,
+    entries: &[HhhEntry],
+    space_entries: usize,
+) -> AuditReport {
+    let n = data.len() as u64;
+    let levels = hierarchy.levels();
+    let mut report = AuditReport::new(
+        "sharded_hhh",
+        n,
+        eps,
+        space_entries as u64,
+        shards as f64 * levels as f64 * frequency_space_envelope(eps, n),
+    );
+
+    let oracles: Vec<ExactStats> = (0..levels)
+        .map(|level| {
+            let mapped: Vec<f32> = data.iter().map(|&v| hierarchy.ancestor(v, level)).collect();
+            ExactStats::new(&mapped)
+        })
+        .collect();
+
+    let mut worst_over = 0i64;
+    let mut worst_under = 0i64;
+    for e in entries {
+        let truth = oracles[e.level].frequency(e.prefix) as i64;
+        worst_over = worst_over.max(e.raw_count as i64 - truth);
+        worst_under = worst_under.max(truth - e.raw_count as i64);
+    }
+    report.push("sharded_hhh.raw_no_overestimate", worst_over as f64, 0.0);
+    report.push(
+        "sharded_hhh.raw_undercount",
+        worst_under as f64,
+        surfaced_bound as f64,
+    );
+    report.push(
+        "sharded_hhh.surfaced_bound",
+        surfaced_bound as f64,
+        (eps * n as f64).ceil() + (shards as f64 - 1.0),
+    );
+
+    let threshold = (support * n as f64).ceil() as u64;
+    let missing = oracles[0]
+        .heavy_hitters(threshold.max(1))
+        .iter()
+        .filter(|(v, _)| {
+            !entries
+                .iter()
+                .any(|e| e.level == 0 && e.prefix.to_bits() == v.to_bits())
+        })
+        .count();
+    report.push("sharded_hhh.leaf_no_false_negatives", missing as f64, 0.0);
     report.finish_space();
     report
 }

@@ -112,22 +112,23 @@ impl FamilyOutcome {
     }
 }
 
-/// FNV-1a accumulator for answer fingerprints.
-struct Fnv(u64);
+/// FNV-1a accumulator for answer fingerprints (shared with the sharded
+/// differ in [`crate::shard`]).
+pub(crate) struct Fnv(pub(crate) u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf29ce484222325)
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x100000001b3);
         }
     }
 
-    fn f32(&mut self, v: f32) {
+    pub(crate) fn f32(&mut self, v: f32) {
         self.u64(v.to_bits() as u64);
     }
 }
@@ -186,7 +187,7 @@ impl Answers {
 /// The values worth probing for frequency bounds: the hottest ids (where
 /// undercounts concentrate), plus one id guaranteed absent (overestimates
 /// on absent values are the classic lookup bug).
-fn probe_values(oracle: &ExactStats, max_probes: usize) -> Vec<f32> {
+pub(crate) fn probe_values(oracle: &ExactStats, max_probes: usize) -> Vec<f32> {
     let mut hot = oracle.heavy_hitters(1);
     hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.total_cmp(&b.0)));
     let mut probes: Vec<f32> = hot.iter().take(max_probes).map(|&(v, _)| v).collect();

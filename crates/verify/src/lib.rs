@@ -21,6 +21,11 @@
 //! - [`diff`] — the differential driver: one stream fans out across every
 //!   [`gsm_core::Engine`] × every estimator, answers are fingerprinted and
 //!   cross-checked, and the agreed answers are audited against the oracles.
+//! - [`shard`] — the shard-parallel driver: the same streams fan across
+//!   shard counts, pinning k = 1 to the unsharded baseline byte-for-byte
+//!   and auditing shard-merged answers against the per-query ε bounds
+//!   (undercount within the surfaced `⌈εN⌉ + k − 1`, space within `k ×`
+//!   one summary's envelope).
 //!
 //! Frequency-class estimators are audited on the canonical integer-id
 //! projection of each stream ([`StreamSpec::integer_ids`]): the sketches
@@ -33,10 +38,13 @@
 pub mod audit;
 pub mod diff;
 pub mod gen;
+pub mod shard;
 
 pub use audit::{
-    audit_frequency, audit_hhh, audit_quantile, audit_sliding_frequency, audit_sliding_quantile,
+    audit_frequency, audit_hhh, audit_quantile, audit_sharded_frequency, audit_sharded_hhh,
+    audit_sharded_quantile, audit_sliding_frequency, audit_sliding_quantile,
     frequency_space_envelope, quantile_space_envelope, AuditCheck, AuditReport,
 };
 pub use diff::{verify_family, EngineRun, FamilyOutcome, VerifyConfig};
 pub use gen::{Family, SplitMix, StreamSpec};
+pub use shard::{verify_family_sharded, ShardRun, ShardedFamilyOutcome};

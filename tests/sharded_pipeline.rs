@@ -1,0 +1,113 @@
+//! Property tests for shard-parallel ingestion: k = 1 is the identity
+//! refactor (byte-identical to the unsharded pipeline on arbitrary
+//! fixed-seed streams), and multi-shard merges preserve the counting
+//! contracts on arbitrary inputs — the complement to the deterministic
+//! family gate in `verify_gate.rs`.
+
+use gsm::core::{Engine, ShardedPipeline, WindowedPipeline};
+use gsm::sketch::exact::ExactStats;
+use gsm::sketch::{ExpHistogram, LossyCounting};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Finite, NaN-free f32 values on a bounded range (the estimators' domain).
+fn value() -> impl Strategy<Value = f32> {
+    (-1.0e6f32..1.0e6).prop_map(|v| v)
+}
+
+/// Small integer ids, so streams carry meaningful frequencies.
+fn id() -> impl Strategy<Value = f32> {
+    (0u32..64).prop_map(|v| v as f32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// One shard is byte-identical to the plain windowed pipeline on
+    /// arbitrary streams — serialized summary state, not just answers.
+    #[test]
+    fn one_shard_equals_windowed_pipeline(
+        data in vec(value(), 1..4000),
+        window in 32usize..512,
+    ) {
+        // eps chosen so every window in range satisfies window >= ⌈1/eps⌉
+        // with float-rounding slack.
+        let eps = 2.0 / window as f64;
+        for engine in [Engine::Host, Engine::GpuSim] {
+            let mut plain =
+                WindowedPipeline::new(engine, window, LossyCounting::with_window(eps, window));
+            let mut sharded =
+                ShardedPipeline::new(engine, window, 1, |_| LossyCounting::with_window(eps, window));
+            for &v in &data {
+                plain.push(v);
+                sharded.push(v);
+            }
+            plain.flush();
+            let merged = sharded.merged_sink();
+            prop_assert_eq!(
+                serde_json::to_string(&merged).unwrap(),
+                serde_json::to_string(plain.sink()).unwrap(),
+                "k=1 diverged on {:?}", engine
+            );
+        }
+    }
+
+    /// Merged shard counts keep lossy counting's contracts on arbitrary id
+    /// streams: totals conserved, no overestimate, undercount within the
+    /// summary's own surfaced bound.
+    #[test]
+    fn merged_shards_keep_counting_contracts(
+        data in vec(id(), 64..4000),
+        k in 2usize..5,
+    ) {
+        let window = 256;
+        let mut p = ShardedPipeline::new(Engine::Host, window, k, |_| {
+            LossyCounting::with_window(0.02, window)
+        });
+        for &v in &data {
+            p.push(v);
+        }
+        let merged = p.merged_sink();
+        prop_assert_eq!(merged.count(), data.len() as u64);
+
+        let oracle = ExactStats::new(&data);
+        let bound = merged.undercount_bound();
+        for probe in 0..64u32 {
+            let v = probe as f32;
+            let est = merged.estimate(v);
+            let truth = oracle.frequency(v);
+            prop_assert!(est <= truth, "overestimate on {}: {} > {}", v, est, truth);
+            prop_assert!(
+                truth - est <= bound,
+                "undercount on {}: {} > surfaced bound {}", v, truth - est, bound
+            );
+        }
+    }
+
+    /// Shard-merged quantile summaries surface an error no worse than the
+    /// configured ε and answer within it on arbitrary streams.
+    #[test]
+    fn merged_shards_keep_quantile_contract(
+        data in vec(value(), 512..4000),
+        k in 2usize..5,
+    ) {
+        let (eps, window) = (0.05, 128);
+        let mut p = ShardedPipeline::new(Engine::Host, window, k, |_| {
+            ExpHistogram::new(eps, window, data.len() as u64)
+        });
+        for &v in &data {
+            p.push(v);
+        }
+        let merged = p.merged_sink();
+        prop_assert!(
+            merged.tracked_eps() <= eps,
+            "merged summary surfaced eps {} > {}", merged.tracked_eps(), eps
+        );
+        let oracle = ExactStats::new(&data);
+        let bound = eps + 2.0 / data.len() as f64;
+        for phi in [0.25, 0.5, 0.75] {
+            let err = oracle.quantile_rank_error(phi, merged.query(phi));
+            prop_assert!(err <= bound, "phi={}: rank error {} > {}", phi, err, bound);
+        }
+    }
+}

@@ -9,7 +9,7 @@ use gsm::core::{replay, Engine};
 use gsm::dsms::{LoadShedder, StreamEngine};
 use gsm::sketch::exact::ExactStats;
 use gsm::sketch::LossyCounting;
-use gsm::verify::{verify_family, Family, StreamSpec, VerifyConfig};
+use gsm::verify::{verify_family, verify_family_sharded, Family, StreamSpec, VerifyConfig};
 
 /// Every adversarial family passes the full differential audit on every
 /// engine at smoke size — the same configuration CI's `verify` job runs.
@@ -32,6 +32,37 @@ fn all_families_pass_on_all_engines() {
         );
         assert_eq!(outcome.engines.len(), Engine::ALL.len());
         assert_eq!(outcome.reports.len(), 5, "five estimators audited");
+    }
+}
+
+/// The sharded gate: every adversarial family — including the totalOrder
+/// edge values and the window ±1 off-by-one streams — passes the merged-ε
+/// audits at every shard count in {1, 2, 4} on every engine, k = 1
+/// reproduces the unsharded baseline byte for byte, and the
+/// `StreamEngine::with_shards` path never diverges from the raw sharded
+/// pipeline.
+#[test]
+fn all_families_pass_sharded_on_all_engines() {
+    let cfg = VerifyConfig::default();
+    for family in Family::ALL {
+        let spec = StreamSpec {
+            family,
+            seed: 42,
+            n: 2048,
+            window: 512,
+        };
+        let outcome = verify_family_sharded(&spec, &cfg, &[1, 2, 4]);
+        assert!(
+            outcome.passed(),
+            "{}: {:?}",
+            family.name(),
+            outcome.failures()
+        );
+        assert_eq!(outcome.k1_matches_baseline, Some(true), "{}", family.name());
+        for run in &outcome.runs {
+            assert_eq!(run.engines.len(), Engine::ALL.len());
+            assert_eq!(run.reports.len(), 3, "three merged estimators audited");
+        }
     }
 }
 
