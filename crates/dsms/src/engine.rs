@@ -16,12 +16,25 @@ use gsm_core::{BitPrefixHierarchy, Engine, HhhEntry, ShardedPipeline, TimeBreakd
 use gsm_model::SimTime;
 use gsm_obs::Recorder;
 use gsm_sketch::{
-    ExpHistogram, HhhSummary, LossyCounting, MergeableSummary, OpCounter, SinkOps, SummarySink,
+    ExpHistogram, HhhSummary, LossyCounting, MergeableSummary, OpCounter, SinkOps,
+    SlidingFrequency, SlidingQuantile, SummarySink,
 };
+
+use crate::snapshot::{EngineSnapshot, QueryKind, SnapshotRegistry};
 
 /// Handle to a registered continuous query.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct QueryId(usize);
+
+impl QueryId {
+    /// The query's registration index — stable across
+    /// checkpoint/restore, and the identifier wire protocols and
+    /// [`EngineSnapshot`] readers use to name the query without holding a
+    /// `QueryId`.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
 
 /// The answer to a generic [`StreamEngine::query`] call.
 #[derive(Clone, PartialEq, Debug)]
@@ -46,6 +59,14 @@ enum QuerySpec {
         eps: f64,
         hierarchy: BitPrefixHierarchy,
     },
+    SlidingQuantile {
+        eps: f64,
+        width: usize,
+    },
+    SlidingFrequency {
+        eps: f64,
+        width: usize,
+    },
 }
 
 impl QuerySpec {
@@ -53,20 +74,37 @@ impl QuerySpec {
     fn min_window(&self) -> usize {
         match self {
             // Quantile sampling works at any window size; 1024 keeps the
-            // sort phase dominant (see gsm-core).
-            QuerySpec::Quantile { .. } => 1024,
+            // sort phase dominant (see gsm-core). Sliding summaries
+            // re-chunk each sorted window into their own block size, so
+            // they are window-size agnostic too.
+            QuerySpec::Quantile { .. }
+            | QuerySpec::SlidingQuantile { .. }
+            | QuerySpec::SlidingFrequency { .. } => 1024,
             QuerySpec::Frequency { eps } | QuerySpec::Hhh { eps, .. } => {
                 (1.0 / eps).ceil() as usize
             }
         }
     }
+
+    /// The snapshot-side kind tag for this spec.
+    fn kind(&self) -> QueryKind {
+        match self {
+            QuerySpec::Quantile { .. } => QueryKind::Quantile,
+            QuerySpec::Frequency { .. } => QueryKind::Frequency,
+            QuerySpec::Hhh { .. } => QueryKind::Hhh,
+            QuerySpec::SlidingQuantile { .. } => QueryKind::SlidingQuantile,
+            QuerySpec::SlidingFrequency { .. } => QueryKind::SlidingFrequency,
+        }
+    }
 }
 
 #[derive(Clone, serde::Serialize, serde::Deserialize)]
-enum QuerySketch {
+pub(crate) enum QuerySketch {
     Quantile(ExpHistogram),
     Frequency(LossyCounting),
     Hhh(HhhSummary),
+    SlidingQuantile(SlidingQuantile),
+    SlidingFrequency(SlidingFrequency),
 }
 
 impl QuerySketch {
@@ -76,11 +114,17 @@ impl QuerySketch {
     ///
     /// Panics if the sketches answer different query kinds — shard fans are
     /// built from one spec list, so a mismatch is a construction bug.
-    fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
+    pub(crate) fn merge_from(&mut self, other: &Self, ops: &mut OpCounter) {
         match (self, other) {
             (QuerySketch::Quantile(a), QuerySketch::Quantile(b)) => a.merge_from(b, ops),
             (QuerySketch::Frequency(a), QuerySketch::Frequency(b)) => a.merge_from(b, ops),
             (QuerySketch::Hhh(a), QuerySketch::Hhh(b)) => a.merge_from(b, ops),
+            (QuerySketch::SlidingQuantile(a), QuerySketch::SlidingQuantile(b)) => {
+                a.merge_from(b, ops)
+            }
+            (QuerySketch::SlidingFrequency(a), QuerySketch::SlidingFrequency(b)) => {
+                a.merge_from(b, ops)
+            }
             _ => panic!("cannot merge sketches of different query kinds"),
         }
     }
@@ -92,6 +136,19 @@ impl SummarySink for QuerySketch {
             QuerySketch::Quantile(q) => q.push_sorted_window(sorted),
             QuerySketch::Frequency(f) => f.push_sorted_window(sorted),
             QuerySketch::Hhh(h) => h.push_sorted_window(sorted),
+            // Sliding summaries consume fixed-size blocks, which are
+            // smaller than the shared window; chunks of a sorted run are
+            // themselves sorted, so re-chunking preserves the contract.
+            QuerySketch::SlidingQuantile(s) => {
+                for block in sorted.chunks(s.block_size()) {
+                    s.push_sorted_block(block);
+                }
+            }
+            QuerySketch::SlidingFrequency(s) => {
+                for block in sorted.chunks(s.block_size()) {
+                    s.push_sorted_block(block);
+                }
+            }
         }
     }
 
@@ -100,6 +157,8 @@ impl SummarySink for QuerySketch {
             QuerySketch::Quantile(q) => SummarySink::ops(q),
             QuerySketch::Frequency(f) => SummarySink::ops(f),
             QuerySketch::Hhh(h) => SummarySink::ops(h),
+            QuerySketch::SlidingQuantile(s) => SummarySink::ops(s),
+            QuerySketch::SlidingFrequency(s) => SummarySink::ops(s),
         }
     }
 }
@@ -230,6 +289,13 @@ pub struct StreamEngine {
     obs: Recorder,
     /// Audit tap waiting to be installed into the shard fans at seal time.
     tap: Option<WindowTap>,
+    /// Snapshot mailbox, installed by [`Self::serve`]. `None` means the
+    /// engine is not serving and the publication hook is a single branch.
+    registry: Option<Arc<SnapshotRegistry>>,
+    /// Publish a fresh snapshot every this many newly sealed windows.
+    publish_every: u64,
+    /// Sealed-window count as of the last publication.
+    published_windows: u64,
 }
 
 impl StreamEngine {
@@ -244,6 +310,9 @@ impl StreamEngine {
             count: 0,
             obs: Recorder::disabled(),
             tap: None,
+            registry: None,
+            publish_every: 1,
+            published_windows: 0,
         }
     }
 
@@ -343,6 +412,31 @@ impl StreamEngine {
         self.register(QuerySpec::Hhh { eps, hierarchy })
     }
 
+    /// Registers an ε-approximate quantile query over a sliding window of
+    /// the last `width` elements. The summary consumes the shared sorted
+    /// windows re-chunked into its own block size, so it coexists with
+    /// whole-stream queries on one pipeline. Under sharding the window
+    /// covers the shard-concatenated tail (see
+    /// [`gsm_sketch::SlidingQuantile::merge_from`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has already started, or (in the summary) if
+    /// `width < 2/eps`.
+    pub fn register_sliding_quantile(&mut self, eps: f64, width: usize) -> QueryId {
+        self.register(QuerySpec::SlidingQuantile { eps, width })
+    }
+
+    /// Registers an ε-approximate frequency query over a sliding window of
+    /// the last `width` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has already started.
+    pub fn register_sliding_frequency(&mut self, eps: f64, width: usize) -> QueryId {
+        self.register(QuerySpec::SlidingFrequency { eps, width })
+    }
+
     fn register(&mut self, spec: QuerySpec) -> QueryId {
         assert!(
             self.pipeline.is_none(),
@@ -403,6 +497,12 @@ impl StreamEngine {
                     QuerySpec::Hhh { eps, hierarchy } => {
                         QuerySketch::Hhh(HhhSummary::with_window(*eps, window, hierarchy.clone()))
                     }
+                    QuerySpec::SlidingQuantile { eps, width } => {
+                        QuerySketch::SlidingQuantile(SlidingQuantile::new(*eps, *width))
+                    }
+                    QuerySpec::SlidingFrequency { eps, width } => {
+                        QuerySketch::SlidingFrequency(SlidingFrequency::new(*eps, *width))
+                    }
                 })
                 .collect();
             QueryFan {
@@ -428,6 +528,9 @@ impl StreamEngine {
         self.seal();
         self.count += 1;
         self.pipeline.as_mut().expect("sealed").push(value);
+        if self.registry.is_some() {
+            self.maybe_publish();
+        }
     }
 
     /// Pushes every element of an iterator.
@@ -446,6 +549,102 @@ impl StreamEngine {
             // Current value = windows the shared sort has fully sealed.
             self.obs
                 .gauge_set("dsms_windows_sealed", pipeline.windows_sorted() as i64);
+        }
+        if self.registry.is_some() {
+            self.maybe_publish();
+        }
+    }
+
+    /// Turns the engine into a serving source: seals the pipeline, installs
+    /// a [`SnapshotRegistry`], publishes the initial snapshot, and returns
+    /// the registry handle for readers (e.g. `gsm_serve::QueryServer`).
+    /// From here on, every [`Self::with_publish_every`]-th sealed window
+    /// publishes a fresh snapshot. Idempotent — repeated calls return the
+    /// same registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no queries are registered.
+    pub fn serve(&mut self) -> Arc<SnapshotRegistry> {
+        self.seal();
+        if let Some(reg) = &self.registry {
+            return Arc::clone(reg);
+        }
+        let reg = Arc::new(SnapshotRegistry::new());
+        self.registry = Some(Arc::clone(&reg));
+        self.publish_now();
+        reg
+    }
+
+    /// Sets the publication cadence: a fresh snapshot every `n` newly
+    /// sealed windows (default 1). Raising it amortizes the per-publication
+    /// clone+merge over more ingested data at the cost of reader staleness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_publish_every(mut self, n: u64) -> Self {
+        assert!(n >= 1, "publication cadence must be at least 1 window");
+        self.publish_every = n;
+        self
+    }
+
+    /// Publishes a snapshot immediately if serving (no-op otherwise).
+    /// Never flushes: the snapshot covers sealed windows only, so
+    /// publication cannot move window boundaries or change any answer.
+    pub fn publish_now(&mut self) {
+        let Some(registry) = self.registry.clone() else {
+            return;
+        };
+        let snap = self.build_snapshot();
+        let epoch = registry.publish(snap);
+        self.published_windows = self.pipeline.as_ref().expect("sealed").windows_sorted();
+        if self.obs.is_enabled() {
+            self.obs.count("dsms_snapshots_published", 1);
+            self.obs.gauge_set("dsms_snapshot_epoch", epoch as i64);
+        }
+    }
+
+    /// The publication hook: publish when enough windows sealed since the
+    /// last snapshot. One branch plus a per-shard counter read — the cost
+    /// ingestion pays per element while serving.
+    fn maybe_publish(&mut self) {
+        let sealed = self.pipeline.as_ref().expect("sealed").windows_sorted();
+        if sealed >= self.published_windows + self.publish_every {
+            self.publish_now();
+        }
+    }
+
+    /// Clones + merges the absorbed summary state into an immutable
+    /// snapshot. Shard 0 is cloned and the remaining shards fold in
+    /// sketch-by-sketch — the same merge order as [`Self::answer`]'s
+    /// `merged_sink`, so snapshot answers are byte-identical to direct
+    /// answers over the same sealed windows. Merge work is charged to a
+    /// local counter (surfaced as `dsms_snapshot_merge_ops`), not the
+    /// pipeline's merge ledger, which continues to meter query-time merges
+    /// only.
+    fn build_snapshot(&self) -> EngineSnapshot {
+        let pipeline = self.pipeline.as_ref().expect("sealed");
+        let mut sketches = pipeline.shard(0).sink().sketches.clone();
+        if pipeline.shard_count() > 1 {
+            let mut ops = OpCounter::default();
+            for shard in &pipeline.shards()[1..] {
+                for (mine, theirs) in sketches.iter_mut().zip(&shard.sink().sketches) {
+                    mine.merge_from(theirs, &mut ops);
+                }
+            }
+            if self.obs.is_enabled() {
+                self.obs.count("dsms_snapshot_merge_ops", ops.total());
+            }
+        }
+        EngineSnapshot {
+            epoch: 0, // assigned by the registry at publication
+            pushed: self.count,
+            absorbed: self.count - pipeline.unabsorbed(),
+            window: pipeline.window(),
+            windows_sealed: pipeline.windows_sorted(),
+            kinds: self.specs.iter().map(QuerySpec::kind).collect(),
+            sketches,
         }
     }
 
@@ -506,6 +705,39 @@ impl StreamEngine {
         })
     }
 
+    /// Answers a sliding-window quantile query. Flushes first. Uses the
+    /// frozen query form, so the answer is byte-identical to the same
+    /// query against a published [`EngineSnapshot`] of the same state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a sliding-quantile query.
+    pub fn sliding_quantile(&mut self, id: QueryId, phi: f64) -> f32 {
+        let _span = self
+            .obs
+            .span_labeled("dsms_answer", ("kind", "sliding_quantile"));
+        self.answer(id, |sketch| match sketch {
+            QuerySketch::SlidingQuantile(s) => s.query_frozen(phi),
+            _ => panic!("query {id:?} is not a sliding-quantile query"),
+        })
+    }
+
+    /// Answers a sliding-window heavy-hitters query at support `s`.
+    /// Flushes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a sliding-frequency query.
+    pub fn sliding_heavy_hitters(&mut self, id: QueryId, s: f64) -> Vec<(f32, u64)> {
+        let _span = self
+            .obs
+            .span_labeled("dsms_answer", ("kind", "sliding_frequency"));
+        self.answer(id, |sketch| match sketch {
+            QuerySketch::SlidingFrequency(f) => f.heavy_hitters(s),
+            _ => panic!("query {id:?} is not a sliding-frequency query"),
+        })
+    }
+
     /// Generic query interface: `param` is φ for quantile queries and the
     /// support `s` otherwise.
     pub fn query(&mut self, id: QueryId, param: f64) -> QueryAnswer {
@@ -514,6 +746,8 @@ impl StreamEngine {
             QuerySketch::Quantile(q) => QueryAnswer::Quantile(q.query(param)),
             QuerySketch::Frequency(f) => QueryAnswer::HeavyHitters(f.heavy_hitters(param)),
             QuerySketch::Hhh(h) => QueryAnswer::Hhh(h.query(param)),
+            QuerySketch::SlidingQuantile(s) => QueryAnswer::Quantile(s.query_frozen(param)),
+            QuerySketch::SlidingFrequency(f) => QueryAnswer::HeavyHitters(f.heavy_hitters(param)),
         })
     }
 
@@ -630,6 +864,7 @@ impl StreamEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::SnapshotError;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -1061,6 +1296,204 @@ mod tests {
         eng.push_all(data.iter().copied());
         let hot = eng.heavy_hitters(f, 0.01);
         assert!(!hot.is_empty(), "the 16 hot values are ~1.25% each");
+    }
+
+    #[test]
+    fn sliding_queries_ride_the_shared_pipeline() {
+        // Phase 1 near 0, phase 2 near 100: the sliding median must track
+        // the recent window while the whole-stream median stays between.
+        let mut eng = StreamEngine::new(Engine::Host).with_n_hint(40_000);
+        let sq = eng.register_sliding_quantile(0.05, 4_000);
+        let sf = eng.register_sliding_frequency(0.05, 4_000);
+        let q = eng.register_quantile(0.02);
+        eng.push_all((0..20_000).map(|i| (i % 7) as f32));
+        eng.push_all((0..20_000).map(|i| 100.0 + (i % 3) as f32));
+        assert!(eng.sliding_quantile(sq, 0.5) >= 100.0);
+        // The stream is an exact 50/50 split, so the whole-stream median
+        // sits at the phase boundary (within ε ranks of it).
+        let whole = eng.quantile(q, 0.5);
+        assert!(
+            (0.0..=100.0).contains(&whole),
+            "whole-stream median {whole}"
+        );
+        let hot = eng.sliding_heavy_hitters(sf, 0.2);
+        let values: Vec<u32> = hot.iter().map(|(v, _)| *v as u32).collect();
+        assert!(
+            values.iter().all(|v| (100..103).contains(v)),
+            "sliding heavy hitters must come from the recent window: {hot:?}"
+        );
+    }
+
+    #[test]
+    fn snapshot_answers_match_direct_answers_byte_for_byte() {
+        for engine in Engine::ALL {
+            for shards in [1, 3] {
+                let mut eng = StreamEngine::new(engine)
+                    .with_n_hint(30_000)
+                    .with_shards(shards);
+                let q = eng.register_quantile(0.02);
+                let f = eng.register_frequency(0.001);
+                let h = eng.register_hhh(0.001, BitPrefixHierarchy::new(vec![4, 8]));
+                let sq = eng.register_sliding_quantile(0.05, 4_000);
+                let sf = eng.register_sliding_frequency(0.05, 4_000);
+                let reg = eng.serve();
+                eng.push_all(mixed_stream(30_000, 41).iter().copied());
+                // Flush, then publish so snapshot and direct query cover
+                // exactly the same sealed windows.
+                eng.flush();
+                eng.publish_now();
+                let snap = reg.latest().expect("published");
+                assert_eq!(snap.pushed(), 30_000);
+                assert_eq!(snap.absorbed(), 30_000, "flush sealed everything");
+                let direct_q = eng.quantile(q, 0.5);
+                let direct_f = eng.heavy_hitters(f, 0.01);
+                let direct_h = eng.hhh(h, 0.1);
+                let direct_sq = eng.sliding_quantile(sq, 0.5);
+                let direct_sf = eng.sliding_heavy_hitters(sf, 0.2);
+                let ctx = format!("{engine:?} k={shards}");
+                assert_eq!(
+                    snap.quantile(q.index(), 0.5).unwrap().to_bits(),
+                    direct_q.to_bits(),
+                    "{ctx}"
+                );
+                assert_eq!(
+                    snap.heavy_hitters(f.index(), 0.01).unwrap(),
+                    direct_f,
+                    "{ctx}"
+                );
+                assert_eq!(snap.hhh(h.index(), 0.1).unwrap(), direct_h, "{ctx}");
+                assert_eq!(
+                    snap.sliding_quantile(sq.index(), 0.5).unwrap().to_bits(),
+                    direct_sq.to_bits(),
+                    "{ctx}"
+                );
+                assert_eq!(
+                    snap.sliding_heavy_hitters(sf.index(), 0.2).unwrap(),
+                    direct_sf,
+                    "{ctx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn publication_follows_window_seals_without_flushing() {
+        let mut eng = StreamEngine::new(Engine::Host).with_n_hint(10_000);
+        let q = eng.register_quantile(0.02);
+        let reg = eng.serve();
+        // Initial publication: epoch 1, nothing sealed, quantile empty.
+        assert_eq!(reg.epoch(), 1);
+        let first = reg.latest().expect("initial snapshot");
+        assert_eq!(first.windows_sealed(), 0);
+        assert_eq!(
+            first.quantile(q.index(), 0.5),
+            Err(SnapshotError::Empty),
+            "no sealed window yet"
+        );
+
+        // 1023 elements: still mid-window, no new publication.
+        eng.push_all((0..1023).map(|i| i as f32));
+        assert_eq!(reg.epoch(), 1);
+        // One more element seals window 1 and publishes epoch 2 — without
+        // absorbing the (empty) partial buffer.
+        eng.push(1023.0);
+        assert_eq!(reg.epoch(), 2);
+        let snap = reg.latest().expect("published");
+        assert_eq!(snap.windows_sealed(), 1);
+        assert_eq!(snap.pushed(), 1024);
+        assert_eq!(snap.absorbed(), 1024);
+        assert!(snap.quantile(q.index(), 0.5).is_ok());
+
+        // A partial tail is visible in pushed() but not absorbed().
+        eng.push_all((0..100).map(|i| i as f32));
+        eng.publish_now();
+        let snap = reg.latest().expect("published");
+        assert_eq!(snap.pushed(), 1124);
+        assert_eq!(snap.absorbed(), 1024, "publication never flushes");
+    }
+
+    #[test]
+    fn publish_cadence_batches_seals() {
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_n_hint(10_000)
+            .with_publish_every(4);
+        let _ = eng.register_quantile(0.02);
+        let reg = eng.serve();
+        eng.push_all((0..3 * 1024).map(|i| i as f32));
+        assert_eq!(reg.epoch(), 1, "3 seals < cadence 4");
+        eng.push_all((0..1024).map(|i| i as f32));
+        assert_eq!(reg.epoch(), 2, "4th seal publishes");
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_kind_and_unknown_queries() {
+        let mut eng = StreamEngine::new(Engine::Host);
+        let q = eng.register_quantile(0.02);
+        let reg = eng.serve();
+        eng.push_all((0..2048).map(|i| i as f32));
+        let snap = reg.latest().expect("published");
+        assert_eq!(
+            snap.heavy_hitters(q.index(), 0.01),
+            Err(SnapshotError::WrongKind {
+                asked: QueryKind::Frequency,
+                actual: QueryKind::Quantile,
+            })
+        );
+        assert_eq!(snap.answer(99, 0.5), Err(SnapshotError::UnknownQuery(99)));
+        assert_eq!(snap.kind(q.index()), Some(QueryKind::Quantile));
+        assert_eq!(snap.kind(99), None);
+        assert_eq!(snap.query_count(), 1);
+    }
+
+    #[test]
+    fn held_snapshot_survives_later_publications() {
+        let mut eng = StreamEngine::new(Engine::Host).with_n_hint(10_000);
+        let q = eng.register_quantile(0.02);
+        let reg = eng.serve();
+        eng.push_all((0..1024).map(|i| i as f32));
+        let old = reg.latest().expect("epoch 2");
+        let old_median = old.quantile(q.index(), 0.5).unwrap();
+        eng.push_all((0..4096).map(|i| (i % 10) as f32));
+        assert!(reg.epoch() > old.epoch(), "newer snapshots published");
+        // The held snapshot still answers, unchanged.
+        assert_eq!(old.quantile(q.index(), 0.5).unwrap(), old_median);
+        assert!(reg.latest().expect("latest").epoch() > old.epoch());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_sliding_queries() {
+        let data = mixed_stream(20_000, 43);
+        let mut eng = StreamEngine::new(Engine::Host).with_n_hint(40_000);
+        let sq = eng.register_sliding_quantile(0.05, 4_000);
+        let sf = eng.register_sliding_frequency(0.05, 4_000);
+        eng.push_all(data[..10_000].iter().copied());
+        let json = eng.checkpoint();
+        let mut restored = StreamEngine::restore(Engine::GpuSim, &json).expect("restore");
+        eng.push_all(data[10_000..].iter().copied());
+        restored.push_all(data[10_000..].iter().copied());
+        assert_eq!(
+            eng.sliding_quantile(sq, 0.5).to_bits(),
+            restored.sliding_quantile(sq, 0.5).to_bits()
+        );
+        assert_eq!(
+            eng.sliding_heavy_hitters(sf, 0.2),
+            restored.sliding_heavy_hitters(sf, 0.2)
+        );
+    }
+
+    #[test]
+    fn serve_is_idempotent_and_observable() {
+        let rec = Recorder::enabled();
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_n_hint(10_000)
+            .with_recorder(rec.clone());
+        let _ = eng.register_quantile(0.02);
+        let reg1 = eng.serve();
+        let reg2 = eng.serve();
+        assert!(Arc::ptr_eq(&reg1, &reg2), "serve() returns one registry");
+        eng.push_all((0..2048).map(|i| i as f32));
+        assert_eq!(rec.counter("dsms_snapshots_published"), 3); // initial + 2 seals
+        assert_eq!(rec.gauge("dsms_snapshot_epoch").unwrap().current, 3);
     }
 
     #[test]

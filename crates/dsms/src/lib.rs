@@ -18,6 +18,9 @@
 //!   window on the configured engine and every registered summary folds in
 //!   the same sorted run. Sharing is what makes the co-processor pay off
 //!   system-wide — the expensive phase is common to every query.
+//! * [`snapshot`] — immutable **published snapshots** of the absorbed
+//!   summary state behind an epoch-pointer registry, so concurrent query
+//!   readers (the `gsm-serve` frontend) never contend with ingestion.
 //! * [`shedding`] — arrival-rate modeling and **load shedding**: given an
 //!   offered rate and the engine's measured (simulated) service rate, a
 //!   uniform decimating shedder drops the excess, and the report quantifies
@@ -28,6 +31,8 @@
 
 pub mod engine;
 pub mod shedding;
+pub mod snapshot;
 
 pub use engine::{QueryAnswer, QueryId, StreamEngine, WindowTap};
 pub use shedding::{run_at_rate, LoadShedder, ShedReport};
+pub use snapshot::{EngineSnapshot, QueryKind, SnapshotError, SnapshotRegistry};

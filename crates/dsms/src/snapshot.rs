@@ -1,0 +1,329 @@
+//! Immutable point-in-time query state, published for concurrent readers.
+//!
+//! The serving problem is a reader/writer split: ingestion must keep
+//! absorbing windows at stream rate while an arbitrary number of query
+//! threads read summaries. Letting readers borrow the live pipeline would
+//! serialize them behind the writer (and vice versa — a slow reader would
+//! stall a window seal). Instead the engine *publishes*: each time enough
+//! windows have sealed it clones the absorbed summary state into an
+//! [`EngineSnapshot`] — merged across shards, frozen, immutable — and swaps
+//! it into a [`SnapshotRegistry`] behind an epoch counter. Readers clone an
+//! `Arc` out of the registry (a sub-microsecond pointer copy under a lock
+//! held for that copy only, never the ingest path's locks) and then answer
+//! any number of queries against state that can no longer change.
+//!
+//! Two consequences worth naming:
+//!
+//! * **Snapshots cover sealed windows only.** Publication never flushes —
+//!   a flush would absorb the partial tail window and move every
+//!   subsequent window boundary, changing answers relative to the
+//!   flush-free timeline. A snapshot therefore answers over
+//!   [`EngineSnapshot::absorbed`] elements, not everything pushed.
+//! * **A held snapshot never blocks a seal.** The registry swap replaces
+//!   the `Arc`; readers still holding the previous epoch keep a fully
+//!   functional (merely older) view, and the writer never waits for them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gsm_core::HhhEntry;
+
+use crate::engine::{QueryAnswer, QuerySketch};
+
+/// What a registered continuous query answers — the snapshot-side mirror
+/// of the engine's (private) query specs, exposed so serving layers can
+/// validate and route requests without holding an engine reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryKind {
+    /// ε-approximate quantiles over the whole stream.
+    Quantile,
+    /// ε-approximate frequencies / heavy hitters over the whole stream.
+    Frequency,
+    /// Hierarchical heavy hitters over the whole stream.
+    Hhh,
+    /// ε-approximate quantiles over a fixed-width sliding window.
+    SlidingQuantile,
+    /// ε-approximate frequencies over a fixed-width sliding window.
+    SlidingFrequency,
+}
+
+impl QueryKind {
+    /// Stable lower-case name (used by wire protocols and metric labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Quantile => "quantile",
+            QueryKind::Frequency => "frequency",
+            QueryKind::Hhh => "hhh",
+            QueryKind::SlidingQuantile => "sliding_quantile",
+            QueryKind::SlidingFrequency => "sliding_frequency",
+        }
+    }
+}
+
+/// Why a snapshot could not answer a query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SnapshotError {
+    /// The query index is out of range for the registered query set.
+    UnknownQuery(usize),
+    /// The query exists but answers a different [`QueryKind`].
+    WrongKind {
+        /// What the caller asked for.
+        asked: QueryKind,
+        /// What the query actually answers.
+        actual: QueryKind,
+    },
+    /// No window has sealed yet — quantile summaries have no data to rank.
+    Empty,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnknownQuery(i) => write!(f, "unknown query index {i}"),
+            SnapshotError::WrongKind { asked, actual } => write!(
+                f,
+                "query answers {} but {} was requested",
+                actual.name(),
+                asked.name()
+            ),
+            SnapshotError::Empty => write!(f, "no sealed window yet"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// An immutable point-in-time view of every registered query's summary.
+///
+/// Built by the engine at publication time: per-shard sketches are merged
+/// (shard 0 cloned, the rest folded in sketch-by-sketch — byte-identical
+/// to the engine's own query-time merge order), and the result is frozen.
+/// All query methods take `&self`; answers from a snapshot are
+/// byte-identical to the engine's direct answers over the same sealed
+/// windows, because both run the same query code on the same merged state.
+pub struct EngineSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) pushed: u64,
+    pub(crate) absorbed: u64,
+    pub(crate) window: usize,
+    pub(crate) windows_sealed: u64,
+    pub(crate) kinds: Vec<QueryKind>,
+    pub(crate) sketches: Vec<QuerySketch>,
+}
+
+impl EngineSnapshot {
+    /// Publication epoch (1-based; monotone per registry).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Elements pushed into the engine when this snapshot was taken
+    /// (including any still-buffered partial window the snapshot does
+    /// *not* cover).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Elements the snapshot's summaries actually cover (sealed windows
+    /// only).
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// The engine's shared window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Sealed windows across all shards at publication time.
+    pub fn windows_sealed(&self) -> u64 {
+        self.windows_sealed
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// The kind of query `id`, if it exists.
+    pub fn kind(&self, id: usize) -> Option<QueryKind> {
+        self.kinds.get(id).copied()
+    }
+
+    fn sketch(&self, id: usize, asked: QueryKind) -> Result<&QuerySketch, SnapshotError> {
+        let actual = self
+            .kinds
+            .get(id)
+            .copied()
+            .ok_or(SnapshotError::UnknownQuery(id))?;
+        if actual != asked {
+            return Err(SnapshotError::WrongKind { asked, actual });
+        }
+        Ok(&self.sketches[id])
+    }
+
+    /// Answers a whole-stream φ-quantile query.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnknownQuery`], [`SnapshotError::WrongKind`], or
+    /// [`SnapshotError::Empty`] before the first sealed window.
+    pub fn quantile(&self, id: usize, phi: f64) -> Result<f32, SnapshotError> {
+        let sketch = self.sketch(id, QueryKind::Quantile)?;
+        if self.windows_sealed == 0 {
+            return Err(SnapshotError::Empty);
+        }
+        match sketch {
+            QuerySketch::Quantile(q) => Ok(q.query(phi)),
+            _ => unreachable!("kind table matches sketch layout"),
+        }
+    }
+
+    /// Answers a whole-stream heavy-hitters query at support `s`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnknownQuery`] or [`SnapshotError::WrongKind`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the summary) unless `ε < s ≤ 1`.
+    pub fn heavy_hitters(&self, id: usize, s: f64) -> Result<Vec<(f32, u64)>, SnapshotError> {
+        match self.sketch(id, QueryKind::Frequency)? {
+            QuerySketch::Frequency(f) => Ok(f.heavy_hitters(s)),
+            _ => unreachable!("kind table matches sketch layout"),
+        }
+    }
+
+    /// Answers a hierarchical heavy-hitters query at support `s`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnknownQuery`] or [`SnapshotError::WrongKind`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the summary) unless `ε < s ≤ 1`.
+    pub fn hhh(&self, id: usize, s: f64) -> Result<Vec<HhhEntry>, SnapshotError> {
+        match self.sketch(id, QueryKind::Hhh)? {
+            QuerySketch::Hhh(h) => Ok(h.query(s)),
+            _ => unreachable!("kind table matches sketch layout"),
+        }
+    }
+
+    /// Answers a sliding-window φ-quantile query (frozen form — no
+    /// mutation, see [`gsm_sketch::SlidingQuantile::query_frozen`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnknownQuery`], [`SnapshotError::WrongKind`], or
+    /// [`SnapshotError::Empty`] before the first sealed window.
+    pub fn sliding_quantile(&self, id: usize, phi: f64) -> Result<f32, SnapshotError> {
+        let sketch = self.sketch(id, QueryKind::SlidingQuantile)?;
+        if self.windows_sealed == 0 {
+            return Err(SnapshotError::Empty);
+        }
+        match sketch {
+            QuerySketch::SlidingQuantile(s) => Ok(s.query_frozen(phi)),
+            _ => unreachable!("kind table matches sketch layout"),
+        }
+    }
+
+    /// Answers a sliding-window heavy-hitters query at support `s`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnknownQuery`] or [`SnapshotError::WrongKind`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the summary) unless `ε < s ≤ 1`.
+    pub fn sliding_heavy_hitters(
+        &self,
+        id: usize,
+        s: f64,
+    ) -> Result<Vec<(f32, u64)>, SnapshotError> {
+        match self.sketch(id, QueryKind::SlidingFrequency)? {
+            QuerySketch::SlidingFrequency(f) => Ok(f.heavy_hitters(s)),
+            _ => unreachable!("kind table matches sketch layout"),
+        }
+    }
+
+    /// Generic interface: `param` is φ for quantile kinds, the support `s`
+    /// otherwise — the snapshot-side mirror of
+    /// [`crate::StreamEngine::query`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnknownQuery`], or [`SnapshotError::Empty`] for
+    /// quantile kinds before the first sealed window.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the summary) on out-of-range support parameters.
+    pub fn answer(&self, id: usize, param: f64) -> Result<QueryAnswer, SnapshotError> {
+        match self
+            .kinds
+            .get(id)
+            .copied()
+            .ok_or(SnapshotError::UnknownQuery(id))?
+        {
+            QueryKind::Quantile => self.quantile(id, param).map(QueryAnswer::Quantile),
+            QueryKind::Frequency => self.heavy_hitters(id, param).map(QueryAnswer::HeavyHitters),
+            QueryKind::Hhh => self.hhh(id, param).map(QueryAnswer::Hhh),
+            QueryKind::SlidingQuantile => {
+                self.sliding_quantile(id, param).map(QueryAnswer::Quantile)
+            }
+            QueryKind::SlidingFrequency => self
+                .sliding_heavy_hitters(id, param)
+                .map(QueryAnswer::HeavyHitters),
+        }
+    }
+}
+
+/// The epoch-pointer mailbox between one ingesting engine and any number
+/// of query readers.
+///
+/// Internally an `Arc` swap behind a mutex held only for the pointer copy
+/// (std has no bare atomic `Arc` swap; the critical section is two pointer
+/// moves, so contention is negligible next to query execution). The epoch
+/// counter is read lock-free.
+pub struct SnapshotRegistry {
+    latest: Mutex<Option<Arc<EngineSnapshot>>>,
+    epoch: AtomicU64,
+}
+
+impl SnapshotRegistry {
+    pub(crate) fn new() -> Self {
+        SnapshotRegistry {
+            latest: Mutex::new(None),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The latest published snapshot, or `None` before the first
+    /// publication. The returned `Arc` stays valid (and immutable) forever;
+    /// holding it never delays the next publication.
+    pub fn latest(&self) -> Option<Arc<EngineSnapshot>> {
+        self.latest.lock().expect("registry lock").clone()
+    }
+
+    /// Epoch of the latest publication (0 before the first). Lock-free.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Installs a new snapshot, assigning it the next epoch.
+    ///
+    /// The pointer is swapped before the epoch counter advances, so a
+    /// reader that observes `epoch() == n` is guaranteed `latest()` is at
+    /// least epoch `n` — the counter can be used as a publication signal.
+    pub(crate) fn publish(&self, mut snap: EngineSnapshot) -> u64 {
+        let mut slot = self.latest.lock().expect("registry lock");
+        let epoch = self.epoch.load(Ordering::Acquire) + 1;
+        snap.epoch = epoch;
+        *slot = Some(Arc::new(snap));
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
+    }
+}

@@ -1,0 +1,89 @@
+//! A runnable serving demo: ingest a synthetic stream while exposing the
+//! query frontend over TCP.
+//!
+//! ```text
+//! cargo run --release -p gsm-serve --example serve_tcp -- [addr] [elements]
+//! ```
+//!
+//! Defaults to `127.0.0.1:7878` and 1,048,576 elements. While it runs
+//! (and after ingestion finishes, until Enter is pressed), talk to it with
+//! `nc`:
+//!
+//! ```text
+//! $ nc 127.0.0.1 7878
+//! quantile 0 0.5
+//! answer 17 quantile 32741
+//! hh 1 0.009
+//! answer 17 hh 16 3:13107 7:13102 ...
+//! epoch
+//! epoch 17
+//! ```
+//!
+//! Query indices: 0 = quantile (ε=0.01), 1 = frequency (ε=0.001),
+//! 2 = sliding quantile (ε=0.05, width 65536).
+
+use gsm_core::Engine;
+use gsm_dsms::StreamEngine;
+use gsm_serve::{QueryServer, ServeConfig, TcpFront};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let elements: u64 = args
+        .next()
+        .map(|s| s.parse().expect("elements must be an integer"))
+        .unwrap_or(1 << 20);
+
+    let mut eng = StreamEngine::new(Engine::ParallelHost)
+        .with_n_hint(elements)
+        .with_shards(2)
+        .with_publish_every(4);
+    let q = eng.register_quantile(0.01);
+    let f = eng.register_frequency(0.001);
+    let sq = eng.register_sliding_quantile(0.05, 1 << 16);
+
+    let server = QueryServer::start(eng.serve(), ServeConfig::default());
+    let front = TcpFront::bind(server.client(), &addr).expect("bind TCP front");
+    println!(
+        "serving on {} (queries: {}=quantile {}=frequency {}=sliding-quantile)",
+        front.local_addr(),
+        q.index(),
+        f.index(),
+        sq.index()
+    );
+
+    // Ingest on this thread while the server answers concurrently; a
+    // value mix of 20% hot keys over a wide uniform range gives both
+    // query families something to find.
+    println!("ingesting {elements} elements ...");
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for _ in 0..elements {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let v = if state % 5 == 0 {
+            (state >> 32) % 16
+        } else {
+            (state >> 32) % 65_536
+        };
+        eng.push(v as f32);
+    }
+    eng.flush();
+    eng.publish_now();
+    println!(
+        "ingestion done: {} elements, epoch {} — press Enter to stop",
+        eng.count(),
+        server.registry().epoch()
+    );
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    drop(front);
+    let stats = server.stats();
+    drop(server);
+    println!(
+        "served {} requests ({} answered, {} shed, {} expired, {} lost)",
+        stats.submitted,
+        stats.answered,
+        stats.overloaded,
+        stats.expired,
+        stats.lost()
+    );
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Concurrent query serving over the gsm DSMS — the frontend half of the
+//! paper's system story.
+//!
+//! The paper's DSMS answers quantile/frequency queries *while* the stream
+//! is being ingested and sorted on the co-processor (§1, §6); PR 5 made
+//! ingestion shard-parallel but queries still ran on the caller's thread,
+//! serializing every reader behind the writer. This crate closes that gap
+//! with a reader/writer split built on **snapshot isolation**:
+//!
+//! * the engine publishes immutable [`gsm_dsms::EngineSnapshot`]s into a
+//!   [`gsm_dsms::SnapshotRegistry`] as windows seal (see
+//!   `StreamEngine::serve`), and
+//! * a [`QueryServer`] answers queries against the latest snapshot from a
+//!   fixed pool of worker threads, behind a **bounded queue** with
+//!   admission control: when the queue is full a request is shed
+//!   immediately with a structured [`Reply::Overloaded`] (never silently
+//!   dropped, never blocking the caller), and a request that waits past
+//!   its deadline is answered [`Reply::Expired`] instead of executing
+//!   stale.
+//!
+//! Readers never take the ingest lock; ingestion never waits for readers.
+//! The only shared point is the registry's epoch-pointer swap, held for
+//! two pointer moves.
+//!
+//! Two access paths are provided: an in-process [`Client`] handle
+//! (cloneable, thread-safe), and a line-delimited TCP front ([`TcpFront`])
+//! for out-of-process consumers — both funnel into the same admission
+//! queue and reply with the same structured vocabulary, so saturation
+//! behavior is identical no matter where the request came from.
+//!
+//! Everything is std-only, matching the workspace's vendored-shims policy.
+
+pub mod net;
+pub mod server;
+
+pub use net::TcpFront;
+pub use server::{Client, QueryServer, Reply, Request, ServeConfig, ServerStats};

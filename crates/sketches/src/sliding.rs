@@ -161,6 +161,29 @@ impl SlidingQuantile {
     ///
     /// Panics if no block has been pushed.
     pub fn query(&mut self, phi: f64) -> f32 {
+        let mut ops = self.ops;
+        let answer = self.query_with(phi, &mut ops);
+        self.ops = ops;
+        answer
+    }
+
+    /// Answers a φ-quantile query **without mutating the summary** — the
+    /// merge work is charged to a throwaway counter instead of
+    /// [`Self::ops`]. This is the *frozen* form used by immutable published
+    /// snapshots (the serving layer answers many concurrent reads against
+    /// one shared summary): the returned value is byte-identical to
+    /// [`Self::query`] on the same state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been pushed.
+    pub fn query_frozen(&self, phi: f64) -> f32 {
+        self.query_with(phi, &mut OpCounter::default())
+    }
+
+    /// The shared query path: balanced-tree merge of the live blocks,
+    /// charging merge work to `ops`.
+    fn query_with(&self, phi: f64, ops: &mut OpCounter) -> f32 {
         assert!(
             !self.deque.is_empty(),
             "cannot query an empty sliding window"
@@ -170,7 +193,7 @@ impl SlidingQuantile {
             layer = layer
                 .chunks(2)
                 .map(|pair| match pair {
-                    [a, b] => WindowSummary::merge(a, b, &mut self.ops),
+                    [a, b] => WindowSummary::merge(a, b, ops),
                     [a] => a.clone(),
                     _ => unreachable!("chunks(2)"),
                 })
@@ -384,6 +407,28 @@ mod tests {
         assert!(sq.query(0.5) < 1.0);
         feed_quantile(&mut sq, &phase2);
         assert!(sq.query(0.5) > 100.0, "window must have fully turned over");
+    }
+
+    #[test]
+    fn query_frozen_matches_query_and_leaves_state_untouched() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<f32> = (0..8_000).map(|_| rng.random_range(0.0..1.0)).collect();
+        let mut sq = SlidingQuantile::new(0.05, 3000);
+        feed_quantile(&mut sq, &data);
+        let before = serde_json::to_string(&sq).unwrap();
+        for phi in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let frozen = sq.query_frozen(phi);
+            assert_eq!(
+                frozen.to_bits(),
+                sq.clone().query(phi).to_bits(),
+                "frozen answer must be byte-identical at phi={phi}"
+            );
+        }
+        assert_eq!(
+            serde_json::to_string(&sq).unwrap(),
+            before,
+            "query_frozen must not mutate the summary"
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! - [`diff`] — the differential driver: one stream fans out across every
 //!   [`gsm_core::Engine`] × every estimator, answers are fingerprinted and
 //!   cross-checked, and the agreed answers are audited against the oracles.
+//! - [`serve`] — the served-vs-direct driver: every query kind is asked
+//!   through the `gsm-serve` frontend and byte-compared against the same
+//!   query run directly on the engine and its published snapshot, plus
+//!   the structural reply accounting (no request lost without a reply).
 //! - [`shard`] — the shard-parallel driver: the same streams fan across
 //!   shard counts, pinning k = 1 to the unsharded baseline byte-for-byte
 //!   and auditing shard-merged answers against the per-query ε bounds
@@ -38,6 +42,7 @@
 pub mod audit;
 pub mod diff;
 pub mod gen;
+pub mod serve;
 pub mod shard;
 
 pub use audit::{
@@ -47,4 +52,5 @@ pub use audit::{
 };
 pub use diff::{verify_family, EngineRun, FamilyOutcome, VerifyConfig};
 pub use gen::{Family, SplitMix, StreamSpec};
+pub use serve::{verify_family_served, ServeFamilyOutcome, ServeRun};
 pub use shard::{verify_family_sharded, ShardRun, ShardedFamilyOutcome};

@@ -29,6 +29,10 @@
 //! * [`obs`] ([`gsm_obs`]) — zero-dependency tracing and metrics: spans,
 //!   counters, gauges, latency histograms, and Prometheus / Chrome-trace
 //!   exporters over every layer above.
+//! * [`serve`] ([`gsm_serve`]) — the concurrent query frontend: snapshot-
+//!   isolated readers over a serving [`dsms::StreamEngine`], a bounded
+//!   worker pool with admission control and deadlines, and a
+//!   line-delimited TCP front.
 //! * [`verify`] ([`gsm_verify`]) — the standing verification gate:
 //!   deterministic adversarial stream generators, exact-oracle bound
 //!   auditors ([`verify::AuditReport`]), and the differential driver that
@@ -60,6 +64,7 @@ pub use gsm_dsms as dsms;
 pub use gsm_gpu as gpu;
 pub use gsm_model as model;
 pub use gsm_obs as obs;
+pub use gsm_serve as serve;
 pub use gsm_sketch as sketch;
 pub use gsm_sort as sort;
 pub use gsm_stream as stream;

@@ -1,0 +1,280 @@
+//! Concurrency stress for the serving frontend: readers across seals,
+//! queries racing checkpoint/restore, deadline expiry under saturation,
+//! and shutdown under fire.
+//!
+//! These tests prove *structural* properties — every request gets exactly
+//! one structured reply, held snapshots stay valid across publications,
+//! ingestion completes while readers hammer the registry — rather than
+//! timing ratios, which are unreliable on shared single-core CI runners.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use gsm::core::Engine;
+use gsm::dsms::StreamEngine;
+use gsm::serve::{QueryServer, Reply, Request, ServeConfig};
+
+fn structured(reply: &Reply) -> bool {
+    matches!(
+        reply,
+        Reply::Answer { .. }
+            | Reply::Overloaded { .. }
+            | Reply::Expired
+            | Reply::NotReady
+            | Reply::BadQuery(_)
+    )
+}
+
+/// Many reader threads issue queries continuously while the writer seals
+/// hundreds of windows. Every reply must be structured, epochs must
+/// advance, and after a drain the reply accounting must balance exactly.
+#[test]
+fn readers_hammer_across_seals_without_losing_requests() {
+    let mut eng = StreamEngine::new(Engine::Host).with_n_hint(200_000);
+    let q = eng.register_quantile(0.02);
+    let f = eng.register_frequency(0.001);
+    let registry = eng.serve();
+    let server = QueryServer::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 128,
+            default_deadline: Duration::from_secs(10),
+        },
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..4)
+        .map(|i| {
+            let client = server.client();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut calls = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let reply = if i % 2 == 0 {
+                        client.call(Request::Quantile { query: 0, phi: 0.5 })
+                    } else {
+                        client.call(Request::HeavyHitters {
+                            query: 1,
+                            support: 0.01,
+                        })
+                    };
+                    assert!(structured(&reply), "unstructured reply {reply:?}");
+                    calls += 1;
+                }
+                calls
+            })
+        })
+        .collect();
+
+    // ~195 seals (window 1024) with publication on every seal.
+    eng.push_all((0..200_000).map(|v| (v % 100) as f32));
+    let writer_epoch = registry.epoch();
+    assert!(writer_epoch > 100, "epochs advanced with seals");
+    stop.store(true, Ordering::Release);
+    let total_calls: u64 = readers.into_iter().map(|r| r.join().expect("reader")).sum();
+    assert!(total_calls > 0, "readers made progress");
+
+    // Drain and balance the books.
+    let client = server.client();
+    drop(server);
+    let stats = client.stats();
+    assert_eq!(stats.submitted, total_calls);
+    assert_eq!(stats.lost(), 0, "no silent drops under load: {stats:?}");
+    let _ = (q, f);
+}
+
+/// A reader that grabs a snapshot early keeps a stable view forever:
+/// later publications never mutate or invalidate it, and holding it never
+/// prevents the writer from sealing (this test would deadlock otherwise).
+#[test]
+fn held_snapshots_stay_stable_while_sealing_continues() {
+    let mut eng = StreamEngine::new(Engine::Host).with_n_hint(100_000);
+    let q = eng.register_quantile(0.02);
+    let registry = eng.serve();
+    eng.push_all((0..4096).map(|v| (v % 50) as f32));
+    let held = registry.latest().expect("published");
+    let held_epoch = held.epoch();
+    let held_median = held.quantile(q.index(), 0.5).expect("sealed data");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let holders: Vec<_> = (0..4)
+        .map(|_| {
+            let snap = Arc::clone(&held);
+            let stop = Arc::clone(&stop);
+            let q = q.index();
+            thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    assert_eq!(
+                        snap.quantile(q, 0.5).expect("held snapshot").to_bits(),
+                        held_median.to_bits(),
+                        "held snapshot must be immutable"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    // The writer seals ~94 more windows while the old epoch is held.
+    eng.push_all((0..96_000).map(|v| (v % 10) as f32));
+    assert!(
+        registry.epoch() > held_epoch + 50,
+        "sealing continued while snapshots were held"
+    );
+    stop.store(true, Ordering::Release);
+    for h in holders {
+        h.join().expect("holder");
+    }
+    // The held view is still answerable and still old.
+    assert_eq!(held.epoch(), held_epoch);
+    assert_eq!(
+        held.quantile(q.index(), 0.5).unwrap().to_bits(),
+        held_median.to_bits()
+    );
+}
+
+/// Queries keep flowing while the engine checkpoints and a second engine
+/// restores from the serialized state; the restored engine's direct
+/// answers must match the served answers from the snapshot of the same
+/// data.
+#[test]
+fn queries_race_checkpoint_and_restore() {
+    let mut eng = StreamEngine::new(Engine::Host).with_n_hint(50_000);
+    let q = eng.register_quantile(0.02);
+    let registry = eng.serve();
+    let server = QueryServer::start(Arc::clone(&registry), ServeConfig::default());
+    eng.push_all((0..50_000).map(|v| (v % 100) as f32));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let client = server.client();
+        let stop = Arc::clone(&stop);
+        let q = q.index();
+        thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let reply = client.call(Request::Quantile { query: q, phi: 0.5 });
+                assert!(structured(&reply), "unstructured reply {reply:?}");
+            }
+        })
+    };
+
+    // Checkpoint / restore repeatedly while queries are in flight.
+    let mut last_json = String::new();
+    for _ in 0..5 {
+        last_json = eng.checkpoint();
+        let mut restored = StreamEngine::restore(Engine::Host, &last_json).expect("restore");
+        assert_eq!(restored.count(), 50_000);
+        let direct = restored.quantile(q, 0.5);
+        let snap = registry.latest().expect("published");
+        assert_eq!(
+            snap.quantile(q.index(), 0.5).expect("sealed").to_bits(),
+            direct.to_bits(),
+            "restored engine and live snapshot agree on the same data"
+        );
+    }
+    assert!(!last_json.is_empty());
+    stop.store(true, Ordering::Release);
+    reader.join().expect("reader");
+    drop(server);
+}
+
+/// Under a saturated single-worker queue with zero deadlines, every
+/// admitted request expires (never executes stale) and every shed request
+/// is told so — the books balance to zero lost.
+#[test]
+fn saturated_queue_expires_deadlines_and_sheds_structurally() {
+    let mut eng = StreamEngine::new(Engine::Host).with_n_hint(10_000);
+    let q = eng.register_quantile(0.02);
+    let registry = eng.serve();
+    eng.push_all((0..10_000).map(|v| (v % 100) as f32));
+    let server = QueryServer::start(
+        registry,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            default_deadline: Duration::from_secs(1),
+        },
+    );
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let client = server.client();
+            let q = q.index();
+            thread::spawn(move || {
+                let mut expired = 0u64;
+                let mut overloaded = 0u64;
+                for _ in 0..32 {
+                    match client
+                        .call_within(Request::Quantile { query: q, phi: 0.5 }, Duration::ZERO)
+                    {
+                        Reply::Expired => expired += 1,
+                        Reply::Overloaded { .. } => overloaded += 1,
+                        Reply::Answer { .. } => {
+                            panic!("zero-deadline request must never execute")
+                        }
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                }
+                (expired, overloaded)
+            })
+        })
+        .collect();
+    let mut expired = 0u64;
+    for c in clients {
+        let (e, _) = c.join().expect("client thread");
+        expired += e;
+    }
+    assert!(expired > 0, "admitted zero-deadline requests expire");
+    let stats = server.stats();
+    drop(server);
+    assert_eq!(stats.submitted, 128);
+    assert_eq!(stats.lost(), 0, "every request got a structured reply");
+    assert_eq!(stats.answered, 0);
+    assert_eq!(stats.expired + stats.overloaded, 128);
+}
+
+/// Dropping the server while clients are mid-call never strands a
+/// request: admitted work drains with real replies, later submissions are
+/// shed, and the accounting balances.
+#[test]
+fn shutdown_under_fire_strands_nothing() {
+    let mut eng = StreamEngine::new(Engine::Host).with_n_hint(10_000);
+    let q = eng.register_quantile(0.02);
+    let registry = eng.serve();
+    eng.push_all((0..10_000).map(|v| (v % 100) as f32));
+    let server = QueryServer::start(
+        registry,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline: Duration::from_secs(10),
+        },
+    );
+    let client = server.client();
+    let hammer: Vec<_> = (0..3)
+        .map(|_| {
+            let client = client.clone();
+            let q = q.index();
+            thread::spawn(move || {
+                for _ in 0..200 {
+                    let reply = client.call(Request::Quantile { query: q, phi: 0.5 });
+                    assert!(structured(&reply), "unstructured reply {reply:?}");
+                }
+            })
+        })
+        .collect();
+    // Shut down mid-hammer: Drop closes admission, drains, joins.
+    thread::sleep(Duration::from_millis(5));
+    drop(server);
+    for h in hammer {
+        h.join().expect("hammer thread");
+    }
+    let stats = client.stats();
+    assert_eq!(
+        stats.lost(),
+        0,
+        "no request stranded by shutdown: {stats:?}"
+    );
+    assert_eq!(stats.submitted, 600);
+}

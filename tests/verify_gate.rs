@@ -9,7 +9,9 @@ use gsm::core::{replay, Engine};
 use gsm::dsms::{LoadShedder, StreamEngine};
 use gsm::sketch::exact::ExactStats;
 use gsm::sketch::LossyCounting;
-use gsm::verify::{verify_family, verify_family_sharded, Family, StreamSpec, VerifyConfig};
+use gsm::verify::{
+    verify_family, verify_family_served, verify_family_sharded, Family, StreamSpec, VerifyConfig,
+};
 
 /// Every adversarial family passes the full differential audit on every
 /// engine at smoke size — the same configuration CI's `verify` job runs.
@@ -63,6 +65,31 @@ fn all_families_pass_sharded_on_all_engines() {
             assert_eq!(run.engines.len(), Engine::ALL.len());
             assert_eq!(run.reports.len(), 3, "three merged estimators audited");
         }
+    }
+}
+
+/// The serving gate: for every adversarial family, answers served through
+/// the `gsm-serve` frontend (snapshot registry → admission queue → worker
+/// pool) are byte-identical to direct engine queries on every engine at
+/// shard counts {1, 3}, and every submitted request got exactly one
+/// structured reply.
+#[test]
+fn all_families_serve_byte_identical_answers() {
+    for family in Family::ALL {
+        let spec = StreamSpec {
+            family,
+            seed: 42,
+            n: 2048,
+            window: 512,
+        };
+        let outcome = verify_family_served(&spec, &Engine::ALL);
+        assert!(
+            outcome.passed(),
+            "{}: {:?}",
+            family.name(),
+            outcome.failures()
+        );
+        assert_eq!(outcome.runs.len(), Engine::ALL.len() * 2);
     }
 }
 
