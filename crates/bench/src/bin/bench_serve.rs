@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 use gsm_bench::Args;
 use gsm_core::Engine;
 use gsm_dsms::{QueryAnswer, QueryId, StreamEngine};
+use gsm_obs::{Log2Histogram, Recorder, SloSpec};
 use gsm_serve::{Client, QueryServer, Reply, Request, ServeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,6 +50,15 @@ struct ClientTally {
     overloaded: u64,
     expired: u64,
     not_ready: u64,
+}
+
+#[derive(serde::Serialize)]
+struct SloVerdict {
+    slo: String,
+    quantile: f64,
+    observed_ns: u64,
+    bound_ns: u64,
+    breached: bool,
 }
 
 #[derive(serde::Serialize)]
@@ -87,6 +97,9 @@ struct Report {
     /// Snapshot publications during the best serving run.
     epochs_published: u64,
     queries: QueryStats,
+    /// Warn-only SLO verdicts over the best run's server-side latency
+    /// histograms (breaches never fail the bench).
+    slo: Vec<SloVerdict>,
 }
 
 /// The same skewed mix the shard harness uses: hot ids + uniform tail.
@@ -192,6 +205,9 @@ struct ServingRun {
     serving_secs: f64,
     submitted: u64,
     bad_query: u64,
+    /// The server-side recorder, kept so the SLO gate can read the
+    /// `serve_latency{kind=...}` histograms of the winning run.
+    recorder: Recorder,
 }
 
 /// Phase B: ingest while N clients hammer the frontend, then prove
@@ -207,13 +223,16 @@ fn ingest_on(
 ) -> ServingRun {
     let (mut eng, ids) = build_engine(data.len() as u64, shards, publish_every);
     let registry = eng.serve();
-    let server = QueryServer::start(
+    let recorder = Recorder::enabled();
+    let server = QueryServer::with_recorder(
         Arc::clone(&registry),
         ServeConfig {
             workers,
             queue_capacity: 256,
             default_deadline: Duration::from_secs(5),
+            ..ServeConfig::default()
         },
+        recorder.clone(),
     );
     let stop = Arc::new(AtomicBool::new(false));
     let handles: Vec<_> = (0..clients)
@@ -272,15 +291,19 @@ fn ingest_on(
         serving_secs,
         submitted: stats.submitted,
         bad_query: stats.bad_query,
+        recorder,
     }
 }
 
-fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
+/// Client-observed latency percentile via the same log2-bucket estimator
+/// the exporter publishes (`Log2Histogram::approx_quantile`), so bench
+/// numbers and scraped `_p50`/`_p99` series agree on methodology.
+fn percentile_us(latencies_ns: &[u64], q: f64) -> f64 {
+    let mut hist = Log2Histogram::default();
+    for &ns in latencies_ns {
+        hist.observe(ns);
     }
-    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
-    sorted_ns[idx] as f64 / 1_000.0
+    hist.approx_quantile(q) as f64 / 1_000.0
 }
 
 fn main() {
@@ -327,12 +350,11 @@ fn main() {
         run.ingest_eps, regression_pct, run.epochs
     );
 
-    let mut latencies: Vec<u64> = run
+    let latencies: Vec<u64> = run
         .tallies
         .iter()
         .flat_map(|t| t.latencies_ns.iter().copied())
         .collect();
-    latencies.sort_unstable();
     let answered: u64 = run.tallies.iter().map(|t| t.answered).sum();
     let queries = QueryStats {
         submitted: run.submitted,
@@ -358,6 +380,51 @@ fn main() {
         );
     }
 
+    // Warn-only SLO gate over the winning run's *server-side* latency
+    // histograms: breaches annotate CI logs but never fail the bench —
+    // shared runners make tail latency a signal, not a contract.
+    let specs = [
+        SloSpec {
+            name: "serve_quantile_p99",
+            metric: "serve_latency",
+            label: Some(("kind", "quantile")),
+            p50_ns: None,
+            p99_ns: 50_000_000,
+        },
+        SloSpec {
+            name: "serve_frequency_p99",
+            metric: "serve_latency",
+            label: Some(("kind", "frequency")),
+            p50_ns: None,
+            p99_ns: 50_000_000,
+        },
+        SloSpec {
+            name: "serve_sliding_p99",
+            metric: "serve_latency",
+            label: Some(("kind", "sliding_quantile")),
+            p50_ns: None,
+            p99_ns: 50_000_000,
+        },
+    ];
+    let mut slo = Vec::new();
+    for outcome in run.recorder.check_slos(&specs) {
+        if outcome.p99_breached {
+            println!(
+                "::warning::SLO {} breached: p99 {:.1}ms over bound {:.1}ms",
+                outcome.name,
+                outcome.observed_p99_ns as f64 / 1e6,
+                50_000_000f64 / 1e6
+            );
+        }
+        slo.push(SloVerdict {
+            slo: outcome.name.to_string(),
+            quantile: 0.99,
+            observed_ns: outcome.observed_p99_ns,
+            bound_ns: 50_000_000,
+            breached: outcome.p99_breached,
+        });
+    }
+
     let report = Report {
         bench: "serve".to_string(),
         engine: "ParallelHost".to_string(),
@@ -374,6 +441,7 @@ fn main() {
         regression_pct,
         epochs_published: run.epochs,
         queries,
+        slo,
     };
     let payload = serde_json::to_string(&report).expect("report serializes");
     gsm_bench::write_result(

@@ -87,27 +87,37 @@ fn main() {
     }
 
     // A DSMS pass exercises the answer-latency spans and the shared fan-out
-    // sink; its pipeline reports into the same recorder.
+    // sink; two shards so the exported series include per-shard labels
+    // (`shard="0"` / `shard="1"`), plus a snapshot publish so the epoch
+    // gauge and the flight recorder's seal/publish events are live.
     let mut eng = StreamEngine::new(Engine::Host)
         .with_n_hint(elements as u64)
+        .with_shards(2)
         .with_recorder(rec.clone());
     let q = eng.register_quantile(0.02);
     let f = eng.register_frequency(0.005);
+    let registry = eng.serve();
     eng.push_all(data.iter().copied());
     let median = eng.quantile(q, 0.5);
     let hot = eng.heavy_hitters(f, 0.01).len();
+    eng.publish_now();
     accumulate(&mut ledger, eng.breakdown());
-    println!("{:>14}: median {median:.1}, {hot} heavy hitters", "DSMS");
+    println!(
+        "{:>14}: median {median:.1}, {hot} heavy hitters, epoch {}",
+        "DSMS",
+        registry.epoch()
+    );
 
     // Reconcile: each counter is a sum of per-absorption deltas rounded to
     // whole nanoseconds, so it must match the ledger total to within one
-    // nanosecond per absorption (plus float slack).
-    let absorptions = rec.counter("windows_absorbed") as f64;
+    // nanosecond per absorption (plus float slack). The sharded DSMS run
+    // reports under per-shard labels, so totals are summed across labels.
+    let absorptions = rec.counter_total("windows_absorbed") as f64;
     let counted = [
-        rec.counter("sim_sort_ns"),
-        rec.counter("sim_transfer_ns"),
-        rec.counter("sim_merge_ns"),
-        rec.counter("sim_compress_ns"),
+        rec.counter_total("sim_sort_ns"),
+        rec.counter_total("sim_transfer_ns"),
+        rec.counter_total("sim_merge_ns"),
+        rec.counter_total("sim_compress_ns"),
     ];
     println!("\n{:>10} {:>14} {:>14}", "phase", "ledger(s)", "counted(s)");
     for (name, (total, ns)) in ["sort", "transfer", "merge", "compress"]

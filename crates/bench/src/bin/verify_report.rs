@@ -23,7 +23,10 @@
 //! ```
 
 use gsm_bench::{envelope_json, write_result, Args, Table};
-use gsm_verify::{verify_family, Family, FamilyOutcome, StreamSpec, VerifyConfig};
+use gsm_obs::Recorder;
+use gsm_verify::{
+    record_violations, verify_family, Family, FamilyOutcome, StreamSpec, VerifyConfig,
+};
 
 /// One failing spec, minimized, ready to paste back into the CLI.
 #[derive(serde::Serialize)]
@@ -100,6 +103,9 @@ fn main() {
     );
     let mut outcomes: Vec<FamilyOutcome> = Vec::new();
     let mut first_failure: Option<StreamSpec> = None;
+    // Flight recorder for the gate itself: every violation becomes a
+    // structured AuditViolation event, dumped as a postmortem on failure.
+    let rec = Recorder::enabled();
     let mut table = Table::new(["family", "iter", "n", "agree", "checks", "worst headroom"]);
     for iter in 0..iters {
         for &family in &families {
@@ -124,8 +130,11 @@ fn main() {
                 checks.to_string(),
                 format!("{worst:.3}"),
             ]);
-            if !outcome.passed() && first_failure.is_none() {
-                first_failure = Some(spec);
+            if !outcome.passed() {
+                record_violations(&rec, &outcome);
+                if first_failure.is_none() {
+                    first_failure = Some(spec);
+                }
             }
             outcomes.push(outcome);
         }
@@ -148,10 +157,22 @@ fn main() {
 
     if let Some(spec) = first_failure {
         let (min_spec, min_outcome) = minimize(&spec, &cfg);
+        record_violations(&rec, &min_outcome);
         let failures = min_outcome.failures();
         for f in &failures {
             eprintln!("VIOLATION: {f}");
         }
+        // Dump the flight recorder so the triggering AuditViolation events
+        // ride along with the repro artifact.
+        let postmortem = "results/VERIFY_postmortem.json";
+        write_result(
+            postmortem,
+            &envelope_json(
+                "gsm-bench/verify_report",
+                &rec.postmortem_json("verify gate found an eps-bound violation"),
+            ),
+        );
+        eprintln!("flight-recorder postmortem written to {postmortem}");
         let repro = Repro {
             family: min_spec.family.name().to_string(),
             seed: min_spec.seed,

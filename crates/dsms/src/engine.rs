@@ -519,6 +519,10 @@ impl StreamEngine {
             self.obs.count("dsms_seals", 1);
             self.obs
                 .count("dsms_queries_registered", self.specs.len() as u64);
+            self.obs.record_event(gsm_obs::EngineEvent::Seal {
+                window,
+                shards: self.shards,
+            });
         }
         self.pipeline = Some(pipeline);
     }
@@ -602,6 +606,10 @@ impl StreamEngine {
         if self.obs.is_enabled() {
             self.obs.count("dsms_snapshots_published", 1);
             self.obs.gauge_set("dsms_snapshot_epoch", epoch as i64);
+            self.obs.record_event(gsm_obs::EngineEvent::Publish {
+                epoch,
+                windows_sealed: self.published_windows,
+            });
         }
     }
 
@@ -635,6 +643,14 @@ impl StreamEngine {
             }
             if self.obs.is_enabled() {
                 self.obs.count("dsms_snapshot_merge_ops", ops.total());
+                // Cross-shard merges widen the frequency undercount bound
+                // relative to a single-shard run (DESIGN §10) — worth a
+                // flight-recorder mark every time it happens.
+                self.obs
+                    .record_event(gsm_obs::EngineEvent::MergeBoundWidened {
+                        queries: sketches.len(),
+                        shards: pipeline.shard_count(),
+                    });
             }
         }
         EngineSnapshot {
@@ -1082,6 +1098,53 @@ mod tests {
             1
         );
         assert_eq!(rec.counter("windows_absorbed"), 20);
+        // The seal leaves a structured flight-recorder event too.
+        assert!(rec.flight_events().iter().any(|e| matches!(
+            e.event,
+            gsm_obs::EngineEvent::Seal {
+                window: 1024,
+                shards: 1
+            }
+        )));
+    }
+
+    #[test]
+    fn serving_engine_records_publish_and_merge_flight_events() {
+        let rec = Recorder::enabled();
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_n_hint(8192)
+            .with_shards(2)
+            .with_publish_every(2)
+            .with_recorder(rec.clone());
+        let _ = eng.register_quantile(0.05);
+        let registry = eng.serve();
+        eng.push_all(mixed_stream(8192, 11));
+        eng.flush();
+        eng.publish_now();
+        assert!(registry.epoch() >= 1);
+
+        let events = rec.flight_events();
+        let publishes: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.event {
+                gsm_obs::EngineEvent::Publish { epoch, .. } => Some(epoch),
+                _ => None,
+            })
+            .collect();
+        assert!(!publishes.is_empty());
+        // Epochs in the ring are strictly increasing and end at the
+        // registry's current epoch.
+        assert!(publishes.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*publishes.last().unwrap(), registry.epoch());
+        // Two shards means every published snapshot required a cross-shard
+        // merge, which widens the frequency bound — recorded as an event.
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            gsm_obs::EngineEvent::MergeBoundWidened {
+                queries: 1,
+                shards: 2
+            }
+        )));
     }
 
     #[test]

@@ -158,6 +158,10 @@ pub fn run_at_rate(
             // plus the element count it cost.
             obs.count("dsms_shed_events", 1);
             obs.count("dsms_shed_elements", dropped_now);
+            obs.record_event(gsm_obs::EngineEvent::Shed {
+                source: "ingest",
+                dropped: dropped_now,
+            });
         }
 
         // Controller: estimate the engine's sustained capacity from the
@@ -288,6 +292,22 @@ mod tests {
         assert!(report.shed > 0, "4x overload must shed: {report:?}");
         assert_eq!(rec.counter("dsms_shed_elements"), report.shed);
         assert!(rec.counter("dsms_shed_events") > 0);
+        // Every shed chunk also leaves a flight-recorder mark, and the
+        // per-event drop counts reconcile with the aggregate counter.
+        let shed_events: Vec<_> = rec
+            .flight_events()
+            .into_iter()
+            .filter(|e| matches!(e.event, gsm_obs::EngineEvent::Shed { .. }))
+            .collect();
+        assert_eq!(shed_events.len() as u64, rec.counter("dsms_shed_events"));
+        let dropped_sum: u64 = shed_events
+            .iter()
+            .map(|e| match e.event {
+                gsm_obs::EngineEvent::Shed { dropped, .. } => dropped,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(dropped_sum, report.shed);
         let keep = rec.gauge("dsms_keep_permille").unwrap().current;
         assert_eq!(keep, (report.keep_fraction * 1000.0).round() as i64);
     }

@@ -105,16 +105,59 @@ pub(crate) fn prometheus_text(state: &mut State) -> String {
         type_line(&mut out, &base, "histogram");
         prom_histogram(&mut out, &base, label, hist);
     }
-    if state.spans.dropped() > 0 {
-        let base = "gsm_obs_spans_dropped_total";
-        type_line(&mut out, base, "counter");
-        let _ = writeln!(out, "{base} {}", state.spans.dropped());
+    // Summary gauges estimated from the log2 buckets (erring high — see
+    // `Log2Histogram::approx_quantile`), one pass per quantile so all
+    // labeled series of a metric stay grouped under one TYPE line.
+    for (suffix, q) in [("p50", 0.50), ("p99", 0.99)] {
+        for ((name, label), hist) in &state.hists {
+            let base = format!("{}_seconds_{suffix}", prom_name(name));
+            type_line(&mut out, &base, "gauge");
+            let _ = writeln!(
+                out,
+                "{base}{} {}",
+                prom_labels(label, None),
+                hist.approx_quantile(q) as f64 * 1e-9
+            );
+        }
+    }
+    // The recorder's own health: ring losses and occupancy are always
+    // present so scrapers can alert on history loss without a first drop.
+    let lines: [(&str, &str, u64); 5] = [
+        (
+            "gsm_obs_spans_dropped_total",
+            "counter",
+            state.spans.dropped(),
+        ),
+        (
+            "gsm_obs_span_ring_events",
+            "gauge",
+            state.spans.len() as u64,
+        ),
+        (
+            "gsm_obs_flight_dropped_total",
+            "counter",
+            state.events.dropped(),
+        ),
+        (
+            "gsm_obs_flight_ring_events",
+            "gauge",
+            state.events.len() as u64,
+        ),
+        (
+            "gsm_obs_flight_seq",
+            "gauge",
+            state.events.iter().last().map_or(0, |e| e.seq),
+        ),
+    ];
+    for (base, kind, value) in lines {
+        type_line(&mut out, base, kind);
+        let _ = writeln!(out, "{base} {value}");
     }
     out
 }
 
 /// Escapes a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -134,19 +177,34 @@ fn json_escape(s: &str) -> String {
 
 /// Renders the span ring as Chrome `trace_event` JSON (complete events,
 /// `"ph":"X"`, timestamps in microseconds since the recorder's epoch).
+///
+/// Traced spans additionally carry `trace`/`span`/`parent` args (hex) and
+/// each multi-span trace is linked by a flow-event chain
+/// (`"ph":"s"`/`"t"`/`"f"` sharing the trace id), so Perfetto draws one
+/// request's hops across threads as connected arrows.
 pub(crate) fn chrome_trace_json(state: &mut State) -> String {
     let mut out = String::from("{\"traceEvents\":[");
+    // Traced spans grouped by trace id, in ring (≈ completion) order.
+    let mut traces: std::collections::BTreeMap<u64, Vec<&crate::SpanEvent>> =
+        std::collections::BTreeMap::new();
     for (i, e) in state.spans.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let args = match &e.label {
-            Some((k, v)) => format!(
-                ",\"args\":{{\"{}\":\"{}\"}}",
-                json_escape(k),
-                json_escape(v)
-            ),
-            None => String::new(),
+        let mut args: Vec<String> = Vec::new();
+        if let Some((k, v)) = &e.label {
+            args.push(format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        if let Some(t) = &e.trace {
+            args.push(format!("\"trace\":\"{:016x}\"", t.trace_id));
+            args.push(format!("\"span\":\"{:x}\"", e.span_id));
+            args.push(format!("\"parent\":\"{:x}\"", t.parent));
+            traces.entry(t.trace_id).or_default().push(e);
+        }
+        let args = if args.is_empty() {
+            String::new()
+        } else {
+            format!(",\"args\":{{{}}}", args.join(","))
         };
         let _ = write!(
             out,
@@ -157,6 +215,28 @@ pub(crate) fn chrome_trace_json(state: &mut State) -> String {
             e.dur_ns as f64 / 1e3,
             e.tid
         );
+    }
+    for (trace_id, mut spans) in traces {
+        if spans.len() < 2 {
+            continue; // nothing to link
+        }
+        spans.sort_by_key(|e| e.start_ns);
+        for (i, e) in spans.iter().enumerate() {
+            let (ph, bp) = if i == 0 {
+                ("s", "")
+            } else if i + 1 == spans.len() {
+                ("f", ",\"bp\":\"e\"")
+            } else {
+                ("t", "")
+            };
+            let _ = write!(
+                out,
+                ",{{\"name\":\"request\",\"cat\":\"gsm.flow\",\"ph\":\"{ph}\",\
+                 \"id\":\"{trace_id:016x}\",\"ts\":{:.3},\"pid\":1,\"tid\":{}{bp}}}",
+                e.start_ns as f64 / 1e3,
+                e.tid
+            );
+        }
     }
     let _ = write!(
         out,
@@ -225,5 +305,88 @@ mod tests {
             super::prom_name("pool.service-time"),
             "gsm_pool_service_time"
         );
+    }
+
+    #[test]
+    fn prometheus_output_is_deterministic_and_escaped() {
+        let build = || {
+            let rec = Recorder::enabled();
+            rec.count_labeled("tasks", ("worker", "b\"ad\\la\nbel"), 1);
+            rec.count_labeled("tasks", ("worker", "0"), 2);
+            rec.count("windows", 1);
+            rec.gauge_set("depth", 3);
+            rec.observe_ns("sort", 900);
+            rec
+        };
+        let a = build().prometheus_text();
+        let b = build().prometheus_text();
+        assert_eq!(a, b, "same registry contents render identically");
+        // BTreeMap ordering: the labeled `tasks` series sort by label value.
+        let zero = a.find("worker=\"0\"").expect("label 0");
+        let hostile = a.find("worker=\"b\\\"ad\\\\la\\nbel\"").expect("escaped");
+        assert!(zero < hostile, "label values render in sorted order");
+        // One physical line per series — escaping keeps newlines out.
+        assert!(a.lines().all(|l| l.starts_with('#') || l.contains(' ')));
+        // Summary gauges derived from the histogram are present.
+        assert!(a.contains("# TYPE gsm_sort_seconds_p50 gauge"));
+        assert!(a.contains("# TYPE gsm_sort_seconds_p99 gauge"));
+    }
+
+    #[test]
+    fn counters_are_monotone_across_scrapes() {
+        let rec = Recorder::enabled();
+        let value = |text: &str, name: &str| -> f64 {
+            text.lines()
+                .find(|l| l.starts_with(name) && l.split(' ').next() == Some(name))
+                .and_then(|l| l.split(' ').nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(-1.0)
+        };
+        rec.count("windows", 2);
+        let first = rec.prometheus_text();
+        rec.count("windows", 3);
+        {
+            let _sp = rec.span("sort");
+        }
+        let second = rec.prometheus_text();
+        assert_eq!(value(&first, "gsm_windows_total"), 2.0);
+        assert_eq!(value(&second, "gsm_windows_total"), 5.0);
+        assert!(
+            value(&second, "gsm_windows_total") >= value(&first, "gsm_windows_total"),
+            "counters never regress between scrapes"
+        );
+        // The recorder's own ring series exist from the first scrape on.
+        for text in [&first, &second] {
+            assert_eq!(value(text, "gsm_obs_spans_dropped_total"), 0.0);
+            assert!(value(text, "gsm_obs_span_ring_events") >= 0.0);
+            assert!(value(text, "gsm_obs_flight_ring_events") >= 0.0);
+        }
+        assert_eq!(value(&second, "gsm_obs_span_ring_events"), 1.0);
+    }
+
+    #[test]
+    fn traced_spans_emit_linked_flow_events() {
+        use crate::TraceCtx;
+        let rec = Recorder::enabled();
+        let ctx = TraceCtx::fresh();
+        let root_id;
+        {
+            let root = rec.span_traced("admit", ctx);
+            root_id = root.id();
+            let _leaf = rec.span_traced("exec", root.child_ctx());
+        }
+        {
+            let _other = rec.span("untraced");
+        }
+        let json = rec.chrome_trace_json();
+        let hex = ctx.hex();
+        assert!(json.contains(&format!("\"trace\":\"{hex}\"")));
+        assert!(json.contains(&format!("\"parent\":\"{root_id:x}\"")));
+        // One flow chain: a start and an end anchored to the trace id.
+        assert!(json.contains(&format!("\"ph\":\"s\",\"id\":\"{hex}\"")));
+        assert!(json.contains(&format!("\"ph\":\"f\",\"id\":\"{hex}\"")));
+        assert!(json.contains("\"bp\":\"e\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

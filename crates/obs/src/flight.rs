@@ -1,0 +1,275 @@
+//! The flight recorder: a bounded ring of structured engine events, dumped
+//! as a postmortem when something goes wrong.
+//!
+//! Metrics answer "how much, how fast"; the flight recorder answers "what
+//! happened just before that". Subsystems log coarse, structured state
+//! transitions — a window seal, a snapshot publication, a shed burst, a
+//! worker panic, an audit violation — into a small ring
+//! ([`crate::Recorder::record_event`]), and failure paths call
+//! [`crate::Recorder::dump_postmortem`] to write the last-N-events context
+//! as versioned JSON next to whatever artifact reported the failure.
+//! Events are orders of magnitude rarer than spans, so a small ring covers
+//! minutes of history at full ingest rate.
+
+use std::fmt::Write as _;
+
+use crate::export::json_escape;
+
+/// Default flight-recorder ring capacity (events retained).
+pub const DEFAULT_EVENT_CAPACITY: usize = 512;
+
+/// A coarse, structured engine state transition worth replaying after a
+/// failure. Variants carry the few fields an operator needs to orient —
+/// not full state dumps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// The engine fixed its window size and query set (first push).
+    Seal {
+        /// The shared window size chosen.
+        window: usize,
+        /// Ingest shards the pipeline was built with.
+        shards: usize,
+    },
+    /// A snapshot was published to the registry.
+    Publish {
+        /// The publication epoch assigned.
+        epoch: u64,
+        /// Sealed windows covered at publication time.
+        windows_sealed: u64,
+    },
+    /// Load shedding dropped work instead of queueing it.
+    Shed {
+        /// Which layer shed (`"ingest"`, `"serve_admission"`, ...).
+        source: &'static str,
+        /// Units dropped (elements for ingest, requests for serving).
+        dropped: u64,
+    },
+    /// A multi-shard merge widened the rank/count error bound relative to
+    /// a single-shard run (the mergeability trade documented in DESIGN §10).
+    MergeBoundWidened {
+        /// Queries whose sketches were merged.
+        queries: usize,
+        /// Shards folded together.
+        shards: usize,
+    },
+    /// A serving worker caught a panic and isolated it to one request.
+    WorkerPanic {
+        /// Thread name of the panicking worker.
+        worker: String,
+        /// The panic payload, best-effort stringified.
+        message: String,
+    },
+    /// A verify-gate audit check failed.
+    AuditViolation {
+        /// Which check failed (e.g. `fig5_quantile/GpuSim`).
+        check: String,
+        /// Human-readable magnitude (`observed X > bound Y`).
+        detail: String,
+    },
+}
+
+impl EngineEvent {
+    /// Stable lower-snake kind tag (used as a metric label and in the
+    /// postmortem JSON).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineEvent::Seal { .. } => "seal",
+            EngineEvent::Publish { .. } => "publish",
+            EngineEvent::Shed { .. } => "shed",
+            EngineEvent::MergeBoundWidened { .. } => "merge_bound_widened",
+            EngineEvent::WorkerPanic { .. } => "worker_panic",
+            EngineEvent::AuditViolation { .. } => "audit_violation",
+        }
+    }
+
+    /// Appends this event's variant-specific JSON fields (leading comma
+    /// included) to `out`.
+    fn write_fields(&self, out: &mut String) {
+        match self {
+            EngineEvent::Seal { window, shards } => {
+                let _ = write!(out, ",\"window\":{window},\"shards\":{shards}");
+            }
+            EngineEvent::Publish {
+                epoch,
+                windows_sealed,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"epoch\":{epoch},\"windows_sealed\":{windows_sealed}"
+                );
+            }
+            EngineEvent::Shed { source, dropped } => {
+                let _ = write!(
+                    out,
+                    ",\"source\":\"{}\",\"dropped\":{dropped}",
+                    json_escape(source)
+                );
+            }
+            EngineEvent::MergeBoundWidened { queries, shards } => {
+                let _ = write!(out, ",\"queries\":{queries},\"shards\":{shards}");
+            }
+            EngineEvent::WorkerPanic { worker, message } => {
+                let _ = write!(
+                    out,
+                    ",\"worker\":\"{}\",\"message\":\"{}\"",
+                    json_escape(worker),
+                    json_escape(message)
+                );
+            }
+            EngineEvent::AuditViolation { check, detail } => {
+                let _ = write!(
+                    out,
+                    ",\"check\":\"{}\",\"detail\":\"{}\"",
+                    json_escape(check),
+                    json_escape(detail)
+                );
+            }
+        }
+    }
+}
+
+/// One recorded engine event with its ring position and timing.
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Monotone sequence number across the recorder's lifetime (1-based);
+    /// gaps at the front of a dump mean the ring evicted history.
+    pub seq: u64,
+    /// Nanoseconds since the recorder's epoch.
+    pub at_ns: u64,
+    /// Recording thread (same id space as span `tid`s).
+    pub tid: u64,
+    /// The event itself.
+    pub event: EngineEvent,
+}
+
+impl FlightEvent {
+    /// Renders the event as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"at_ns\":{},\"tid\":{},\"kind\":\"{}\"",
+            self.seq,
+            self.at_ns,
+            self.tid,
+            self.event.kind()
+        );
+        self.event.write_fields(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// A bounded FIFO of [`FlightEvent`]s — the span ring's sibling for rare,
+/// structured events.
+#[derive(Clone, Debug)]
+pub struct FlightRing {
+    buf: std::collections::VecDeque<FlightEvent>,
+    cap: usize,
+    dropped: u64,
+    next_seq: u64,
+}
+
+impl FlightRing {
+    /// Creates a ring holding at most `cap` events (min 1).
+    pub fn new(cap: usize) -> Self {
+        FlightRing {
+            buf: std::collections::VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            dropped: 0,
+            next_seq: 1,
+        }
+    }
+
+    /// Appends an event, assigning its sequence number and evicting the
+    /// oldest when full.
+    pub fn push(&mut self, at_ns: u64, tid: u64, event: EngineEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(FlightEvent {
+            seq: self.next_seq,
+            at_ns,
+            tid,
+            event,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.buf.iter()
+    }
+
+    /// Events retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_assigns_monotone_seq_and_evicts() {
+        let mut r = FlightRing::new(2);
+        for epoch in 1..=4u64 {
+            r.push(
+                epoch * 10,
+                1,
+                EngineEvent::Publish {
+                    epoch,
+                    windows_sealed: epoch,
+                },
+            );
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 2);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn events_render_flat_escaped_json() {
+        let e = FlightEvent {
+            seq: 7,
+            at_ns: 123,
+            tid: 2,
+            event: EngineEvent::WorkerPanic {
+                worker: "gsm-serve-0".to_string(),
+                message: "support \"s\" out of range\nline2".to_string(),
+            },
+        };
+        let json = e.to_json();
+        assert!(json.starts_with("{\"seq\":7,\"at_ns\":123,\"tid\":2,\"kind\":\"worker_panic\""));
+        assert!(json.contains("\\\"s\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let seal = FlightEvent {
+            seq: 1,
+            at_ns: 0,
+            tid: 1,
+            event: EngineEvent::Seal {
+                window: 1024,
+                shards: 2,
+            },
+        };
+        assert_eq!(
+            seal.to_json(),
+            "{\"seq\":1,\"at_ns\":0,\"tid\":1,\"kind\":\"seal\",\"window\":1024,\"shards\":2}"
+        );
+    }
+}

@@ -46,11 +46,16 @@
 //! ```
 
 mod export;
+mod flight;
 mod metrics;
+mod slo;
 
-pub use metrics::{Gauge, Log2Histogram, SpanEvent, SpanRing, HIST_BUCKETS};
+pub use flight::{EngineEvent, FlightEvent, FlightRing, DEFAULT_EVENT_CAPACITY};
+pub use metrics::{Gauge, Log2Histogram, SpanEvent, SpanRing, TraceCtx, HIST_BUCKETS};
+pub use slo::{SloOutcome, SloSpec};
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -67,6 +72,7 @@ struct State {
     gauges: BTreeMap<Key, Gauge>,
     hists: BTreeMap<Key, Log2Histogram>,
     spans: SpanRing,
+    events: flight::FlightRing,
 }
 
 struct Inner {
@@ -110,6 +116,7 @@ impl Recorder {
                     gauges: BTreeMap::new(),
                     hists: BTreeMap::new(),
                     spans: SpanRing::new(ring_capacity),
+                    events: flight::FlightRing::new(DEFAULT_EVENT_CAPACITY),
                 }),
             })),
             scope: None,
@@ -320,24 +327,42 @@ impl Recorder {
     /// disabled recorder this reads no clock.
     pub fn span(&self, name: &'static str) -> Span {
         if self.inner.is_none() {
-            return Span { live: None };
+            return Span::inert(TraceCtx::NONE);
         }
-        self.span_inner(name, self.scope.clone(), Instant::now())
+        self.span_inner(name, self.scope.clone(), Instant::now(), None)
     }
 
     /// Starts a labeled timed span.
     pub fn span_labeled(&self, name: &'static str, label: (&'static str, &str)) -> Span {
         if self.inner.is_none() {
-            return Span { live: None };
+            return Span::inert(TraceCtx::NONE);
         }
-        self.span_inner(name, Some((label.0, label.1.to_string())), Instant::now())
+        self.span_inner(
+            name,
+            Some((label.0, label.1.to_string())),
+            Instant::now(),
+            None,
+        )
     }
 
     /// Builds a span that began at `started` (for phases whose start
     /// predates the decision to record them, e.g. ingest measured from the
     /// first element of a window). Dropping it records the true duration.
     pub fn span_from(&self, name: &'static str, started: Instant) -> Span {
-        self.span_inner(name, self.scope.clone(), started)
+        self.span_inner(name, self.scope.clone(), started, None)
+    }
+
+    /// Starts a span attributed to a request trace: the recorded
+    /// [`SpanEvent`] carries `ctx` (trace id + causing span), and
+    /// [`Span::child_ctx`] names this span as the parent for the next hop.
+    /// With `ctx == TraceCtx::NONE` (or a disabled recorder) this degrades
+    /// to an untraced span that still propagates `ctx` unchanged.
+    pub fn span_traced(&self, name: &'static str, ctx: TraceCtx) -> Span {
+        if self.inner.is_none() {
+            return Span::inert(ctx);
+        }
+        let trace = if ctx.is_none() { None } else { Some(ctx) };
+        self.span_inner(name, self.scope.clone(), Instant::now(), trace)
     }
 
     fn span_inner(
@@ -345,14 +370,23 @@ impl Recorder {
         name: &'static str,
         label: Option<(&'static str, String)>,
         start: Instant,
+        trace: Option<TraceCtx>,
     ) -> Span {
+        let Some(inner) = self.inner.as_ref() else {
+            return Span::inert(trace.unwrap_or(TraceCtx::NONE));
+        };
+        static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+        let span_id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
         Span {
-            live: self.inner.as_ref().map(|inner| LiveSpan {
+            live: Some(LiveSpan {
                 inner: Arc::clone(inner),
                 name,
                 label,
                 start,
+                trace,
             }),
+            span_id,
+            ctx: trace.unwrap_or(TraceCtx::NONE),
         }
     }
 
@@ -365,6 +399,99 @@ impl Recorder {
     /// Span events evicted from the ring because it was full.
     pub fn dropped_spans(&self) -> u64 {
         self.with_state(|s| s.spans.dropped()).unwrap_or(0)
+    }
+
+    /// Span events currently retained in the ring (its occupancy).
+    pub fn span_ring_len(&self) -> usize {
+        self.with_state(|s| s.spans.len()).unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Flight recorder
+    // ------------------------------------------------------------------
+
+    /// Logs a structured engine event into the flight-recorder ring and
+    /// bumps `flight_events{kind=...}`. One branch on a disabled recorder.
+    pub fn record_event(&self, event: EngineEvent) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let at_ns = saturating_ns(inner.epoch.elapsed().as_nanos());
+        let kind = event.kind();
+        let mut state = inner.state.lock().expect("obs registry poisoned");
+        *state
+            .counters
+            .entry(("flight_events", Some(("kind", kind.to_string()))))
+            .or_insert(0) += 1;
+        state.events.push(at_ns, thread_id(), event);
+    }
+
+    /// Flight-recorder events currently retained, oldest first.
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        self.with_state(|s| s.events.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Flight-recorder events evicted because the ring was full.
+    pub fn dropped_flight_events(&self) -> u64 {
+        self.with_state(|s| s.events.dropped()).unwrap_or(0)
+    }
+
+    /// The postmortem payload: reason, dump time, and the retained flight
+    /// events as one JSON object — *unversioned*, so callers with their own
+    /// envelope writer (e.g. `gsm-bench::envelope_json`) can wrap it
+    /// without key collisions. [`Recorder::dump_postmortem`] adds the
+    /// version header itself.
+    pub fn postmortem_json(&self, reason: &str) -> String {
+        use std::fmt::Write as _;
+        let (events, dropped, at_ns) = match self.inner.as_ref() {
+            None => (Vec::new(), 0, 0),
+            Some(inner) => {
+                let at_ns = saturating_ns(inner.epoch.elapsed().as_nanos());
+                let state = inner.state.lock().expect("obs registry poisoned");
+                (
+                    state.events.iter().cloned().collect::<Vec<_>>(),
+                    state.events.dropped(),
+                    at_ns,
+                )
+            }
+        };
+        let mut out = format!(
+            "{{\"reason\":\"{}\",\"dumped_at_ns\":{at_ns},\"dropped_events\":{dropped},\
+             \"events\":[",
+            export::json_escape(reason)
+        );
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", e.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes a versioned postmortem document
+    /// (`{"schema":1,"created_by":"gsm-obs/flight-recorder",...}`) to
+    /// `path`, creating parent directories as needed. Failure paths call
+    /// this so crashes ship their last-N-events context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write failures.
+    pub fn dump_postmortem(&self, path: impl AsRef<Path>, reason: &str) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let payload = self.postmortem_json(reason);
+        let body = payload
+            .strip_prefix('{')
+            .expect("postmortem payload is an object");
+        let doc = format!("{{\"schema\":1,\"created_by\":\"gsm-obs/flight-recorder\",{body}\n");
+        std::fs::write(path, doc)
     }
 
     // ------------------------------------------------------------------
@@ -394,19 +521,50 @@ struct LiveSpan {
     name: &'static str,
     label: Option<(&'static str, String)>,
     start: Instant,
+    trace: Option<TraceCtx>,
 }
 
 /// A timed-phase guard returned by [`Recorder::span`].
 ///
 /// Records its duration into the recorder's span ring and the matching
 /// per-phase latency histogram when dropped. On a disabled recorder the
-/// guard is inert.
+/// guard is inert (but still propagates its [`TraceCtx`], so trace ids
+/// survive end-to-end whether or not anything records them).
 #[must_use = "a span measures the scope it lives in; bind it to a variable"]
 pub struct Span {
     live: Option<LiveSpan>,
+    span_id: u64,
+    ctx: TraceCtx,
 }
 
 impl Span {
+    fn inert(ctx: TraceCtx) -> Span {
+        Span {
+            live: None,
+            span_id: 0,
+            ctx,
+        }
+    }
+
+    /// This span's process-unique id (0 when inert).
+    pub fn id(&self) -> u64 {
+        self.span_id
+    }
+
+    /// The context to hand the next hop: same trace, this span as parent.
+    /// An inert or untraced span passes its input context through
+    /// unchanged.
+    pub fn child_ctx(&self) -> TraceCtx {
+        if self.span_id != 0 && !self.ctx.is_none() {
+            TraceCtx {
+                trace_id: self.ctx.trace_id,
+                parent: self.span_id,
+            }
+        } else {
+            self.ctx
+        }
+    }
+
     /// Ends the span now (equivalent to dropping it).
     pub fn finish(self) {}
 }
@@ -429,6 +587,8 @@ impl Drop for Span {
             tid: thread_id(),
             start_ns,
             dur_ns,
+            span_id: self.span_id,
+            trace: live.trace,
         };
         let mut state = live.inner.state.lock().expect("obs registry poisoned");
         state
@@ -586,5 +746,91 @@ mod tests {
     fn recorder_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Recorder>();
+    }
+
+    #[test]
+    fn traced_spans_chain_parents_and_survive_disablement() {
+        let rec = Recorder::enabled();
+        let ctx = TraceCtx::fresh();
+        let (root_id, child_ctx) = {
+            let root = rec.span_traced("admit", ctx);
+            assert!(root.id() != 0);
+            (root.id(), root.child_ctx())
+        };
+        assert_eq!(child_ctx.trace_id, ctx.trace_id);
+        assert_eq!(child_ctx.parent, root_id);
+        {
+            let _leaf = rec.span_traced("exec", child_ctx);
+        }
+        let events = rec.spans();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].trace, Some(ctx));
+        assert_eq!(events[1].trace, Some(child_ctx));
+        assert!(events.iter().all(|e| e.span_id != 0));
+        // Untraced spans carry no trace.
+        {
+            let _plain = rec.span("plain");
+        }
+        assert_eq!(rec.spans()[2].trace, None);
+
+        // A disabled recorder still propagates the context unchanged.
+        let off = Recorder::disabled();
+        let sp = off.span_traced("admit", ctx);
+        assert_eq!(sp.id(), 0);
+        assert_eq!(sp.child_ctx(), ctx);
+        sp.finish();
+        assert!(off.spans().is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_retains_events_and_dumps_postmortems() {
+        let rec = Recorder::enabled();
+        rec.record_event(EngineEvent::Seal {
+            window: 1024,
+            shards: 2,
+        });
+        rec.record_event(EngineEvent::Publish {
+            epoch: 1,
+            windows_sealed: 4,
+        });
+        rec.record_event(EngineEvent::WorkerPanic {
+            worker: "gsm-serve-0".to_string(),
+            message: "boom".to_string(),
+        });
+        let events = rec.flight_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[0].event.kind(), "seal");
+        assert_eq!(rec.dropped_flight_events(), 0);
+        assert_eq!(rec.counter_labeled("flight_events", ("kind", "publish")), 1);
+        assert!(rec
+            .prometheus_text()
+            .contains("gsm_flight_events_total{kind=\"seal\"} 1"));
+
+        let payload = rec.postmortem_json("test \"reason\"");
+        assert!(payload.starts_with("{\"reason\":\"test \\\"reason\\\"\""));
+        assert!(payload.contains("\"kind\":\"worker_panic\""));
+        assert!(payload.contains("\"dropped_events\":0"));
+
+        let dir = std::env::temp_dir().join(format!("gsm-obs-test-{}", std::process::id()));
+        let path = dir.join("nested").join("postmortem.json");
+        rec.dump_postmortem(&path, "unit test").expect("dump");
+        let doc = std::fs::read_to_string(&path).expect("read back");
+        assert!(doc.starts_with("{\"schema\":1,\"created_by\":\"gsm-obs/flight-recorder\""));
+        assert!(doc.contains("\"reason\":\"unit test\""));
+        assert!(doc.contains("\"kind\":\"seal\""));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Disabled: one branch, nothing retained, empty dump still valid.
+        let off = Recorder::disabled();
+        off.record_event(EngineEvent::Publish {
+            epoch: 9,
+            windows_sealed: 9,
+        });
+        assert!(off.flight_events().is_empty());
+        assert_eq!(
+            off.postmortem_json("r"),
+            "{\"reason\":\"r\",\"dumped_at_ns\":0,\"dropped_events\":0,\"events\":[]}"
+        );
     }
 }

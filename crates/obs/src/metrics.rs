@@ -74,6 +74,42 @@ impl Log2Histogram {
         self.sum_ns = self.sum_ns.saturating_add(ns);
     }
 
+    /// An approximate `q`-quantile (`q` in `[0, 1]`) of the observed
+    /// values, in nanoseconds.
+    ///
+    /// Finds the bucket holding the rank-`⌈q·count⌉` observation and
+    /// interpolates linearly toward the bucket's upper bound (bucket `i`
+    /// covers `[2^(i-1), 2^i)`), so the estimate errs high — the honest
+    /// direction for a latency objective: a reported p99 under the target
+    /// means the true p99 is under it too. Returns 0 when empty.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cumulative + n >= rank {
+                if i == 0 {
+                    return 0;
+                }
+                let lower = 1u64 << (i - 1);
+                let upper = if i == u64::BITS as usize {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                let frac = (rank - cumulative) as f64 / n as f64;
+                return lower + ((upper - lower) as f64 * frac).round() as u64;
+            }
+            cumulative += n;
+        }
+        unreachable!("count > 0 means some bucket holds the rank");
+    }
+
     /// The highest non-empty bucket index, or `None` when empty.
     pub fn max_bucket(&self) -> Option<usize> {
         (0..HIST_BUCKETS).rev().find(|&i| self.buckets[i] > 0)
@@ -82,6 +118,79 @@ impl Log2Histogram {
     /// Mean observed value in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A request-scoped trace context: which trace a span belongs to and which
+/// span caused it.
+///
+/// Generated once per request (at `QueryServer` admission, or parsed off
+/// the wire) and handed down the call chain; every span started via
+/// [`crate::Recorder::span_traced`] records it and derives a child context
+/// ([`crate::Span::child_ctx`]) naming itself as the parent. The chain is
+/// what lets `chrome_trace_json` draw one request's hops across threads as
+/// a linked flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceCtx {
+    /// Identifies the request; shared by every span it causes. Never 0 for
+    /// a real trace.
+    pub trace_id: u64,
+    /// Span id of the causing span (0 at the root).
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// The absent context: no trace, no parent.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        parent: 0,
+    };
+
+    /// Starts a fresh root trace with a process-unique id.
+    pub fn fresh() -> TraceCtx {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        // SplitMix64: distinct counter values map to well-spread ids, so
+        // ids from different subsystems don't collide on low bits.
+        let mut z = NEXT
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        TraceCtx {
+            trace_id: z.max(1),
+            parent: 0,
+        }
+    }
+
+    /// A root context for a caller-supplied id (e.g. parsed off the wire);
+    /// id 0 means "no trace" ([`TraceCtx::NONE`]).
+    pub fn from_id(trace_id: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id,
+            parent: 0,
+        }
+    }
+
+    /// Whether this is the absent context.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0
+    }
+
+    /// The trace id as fixed-width lowercase hex (the wire form).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// Parses a hex trace id back into a root context.
+    pub fn parse_hex(s: &str) -> Option<TraceCtx> {
+        let id = u64::from_str_radix(s, 16).ok()?;
+        if id == 0 {
+            None
+        } else {
+            Some(TraceCtx::from_id(id))
+        }
     }
 }
 
@@ -98,6 +207,12 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Process-unique id of this span (0 for spans recorded before span
+    /// ids existed — never for ring events from this crate).
+    pub span_id: u64,
+    /// The trace this span belongs to (`trace.parent` is the *causing*
+    /// span's id), or `None` for untraced spans.
+    pub trace: Option<TraceCtx>,
 }
 
 /// A bounded FIFO log of the most recent [`SpanEvent`]s.
@@ -188,6 +303,53 @@ mod tests {
     }
 
     #[test]
+    fn approx_quantile_interpolates_within_log2_buckets() {
+        let mut h = Log2Histogram::default();
+        assert_eq!(h.approx_quantile(0.5), 0, "empty histogram answers 0");
+        // 100 observations of exactly 1000 ns: every quantile lands in
+        // bucket 10 ([512, 1023]).
+        for _ in 0..100 {
+            h.observe(1000);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h.approx_quantile(q);
+            assert!((512..=1023).contains(&est), "q={q} est={est}");
+        }
+        // The estimate is monotone in q and errs toward the upper bound.
+        assert!(h.approx_quantile(1.0) == 1023);
+        assert!(h.approx_quantile(0.01) <= h.approx_quantile(0.99));
+
+        // A bimodal split ranks into the right bucket.
+        let mut h = Log2Histogram::default();
+        for _ in 0..90 {
+            h.observe(100); // bucket 7: [64, 127]
+        }
+        for _ in 0..10 {
+            h.observe(100_000); // bucket 17: [65536, 131071]
+        }
+        assert!((64..=127).contains(&h.approx_quantile(0.5)));
+        assert!((65_536..=131_071).contains(&h.approx_quantile(0.95)));
+        // Zeros stay zeros.
+        let mut h = Log2Histogram::default();
+        h.observe(0);
+        assert_eq!(h.approx_quantile(0.99), 0);
+    }
+
+    #[test]
+    fn trace_ctx_is_unique_and_round_trips_hex() {
+        let a = TraceCtx::fresh();
+        let b = TraceCtx::fresh();
+        assert_ne!(a.trace_id, b.trace_id);
+        assert!(!a.is_none());
+        assert_eq!(a.parent, 0, "fresh contexts are roots");
+        let parsed = TraceCtx::parse_hex(&a.hex()).expect("hex round-trip");
+        assert_eq!(parsed.trace_id, a.trace_id);
+        assert!(TraceCtx::parse_hex("not hex").is_none());
+        assert!(TraceCtx::parse_hex("0").is_none(), "0 means no trace");
+        assert!(TraceCtx::NONE.is_none());
+    }
+
+    #[test]
     fn ring_evicts_oldest_and_counts_drops() {
         let mut r = SpanRing::new(2);
         for i in 0..5u64 {
@@ -197,6 +359,8 @@ mod tests {
                 tid: 0,
                 start_ns: i,
                 dur_ns: 1,
+                span_id: i + 1,
+                trace: None,
             });
         }
         assert_eq!(r.len(), 2);

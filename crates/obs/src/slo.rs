@@ -1,0 +1,179 @@
+//! Latency objectives (SLOs) evaluated against the recorder's own
+//! histograms.
+//!
+//! An [`SloSpec`] declares the latency a metric is supposed to keep (p99,
+//! optionally p50); [`crate::Recorder::check_slos`] reads the matching
+//! [`crate::Log2Histogram`], estimates the quantiles with
+//! [`crate::Log2Histogram::approx_quantile`] (which errs high, so a pass
+//! is trustworthy), and bumps a `slo_breach{slo=...}` counter per breached
+//! objective — exported as `gsm_slo_breach_total` for alerting. Evaluation
+//! is pull-based and idempotent on the histograms: checking never perturbs
+//! the latency data it judges.
+
+use crate::Recorder;
+
+/// A declared latency objective for one histogram (optionally one labeled
+/// slice of it).
+#[derive(Clone, Copy, Debug)]
+pub struct SloSpec {
+    /// Objective name — the `slo` label value on the breach counter (e.g.
+    /// `"serve_quantile"`).
+    pub name: &'static str,
+    /// Histogram metric to evaluate (e.g. `"serve_latency"`).
+    pub metric: &'static str,
+    /// Optional `(key, value)` selecting one labeled series (e.g.
+    /// `("kind", "quantile")`); `None` evaluates the unlabeled series.
+    pub label: Option<(&'static str, &'static str)>,
+    /// Optional median objective, in nanoseconds.
+    pub p50_ns: Option<u64>,
+    /// The p99 objective, in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// The verdict for one [`SloSpec`] at evaluation time.
+#[derive(Clone, Debug)]
+pub struct SloOutcome {
+    /// The spec's objective name.
+    pub name: &'static str,
+    /// Observations behind the estimate (0 = histogram never written; an
+    /// empty series never breaches).
+    pub count: u64,
+    /// Estimated p50, in nanoseconds.
+    pub observed_p50_ns: u64,
+    /// Estimated p99, in nanoseconds.
+    pub observed_p99_ns: u64,
+    /// Whether the p50 objective (if declared) was exceeded.
+    pub p50_breached: bool,
+    /// Whether the p99 objective was exceeded.
+    pub p99_breached: bool,
+}
+
+impl SloOutcome {
+    /// Whether any declared objective was exceeded.
+    pub fn breached(&self) -> bool {
+        self.p50_breached || self.p99_breached
+    }
+}
+
+impl Recorder {
+    /// Evaluates every spec against the current histograms, bumping
+    /// `slo_breach{slo=<name>}` once per breached objective (so scrapes
+    /// see `gsm_slo_breach_total` grow while the breach persists).
+    ///
+    /// On a disabled recorder every outcome reports zero observations and
+    /// no breach.
+    pub fn check_slos(&self, specs: &[SloSpec]) -> Vec<SloOutcome> {
+        specs
+            .iter()
+            .map(|spec| {
+                let hist = match spec.label {
+                    Some(label) => self.histogram_labeled(spec.metric, label),
+                    None => self.histogram(spec.metric),
+                };
+                let outcome = match hist {
+                    None => SloOutcome {
+                        name: spec.name,
+                        count: 0,
+                        observed_p50_ns: 0,
+                        observed_p99_ns: 0,
+                        p50_breached: false,
+                        p99_breached: false,
+                    },
+                    Some(h) => {
+                        let p50 = h.approx_quantile(0.50);
+                        let p99 = h.approx_quantile(0.99);
+                        SloOutcome {
+                            name: spec.name,
+                            count: h.count,
+                            observed_p50_ns: p50,
+                            observed_p99_ns: p99,
+                            p50_breached: spec.p50_ns.is_some_and(|bound| p50 > bound),
+                            p99_breached: p99 > spec.p99_ns,
+                        }
+                    }
+                };
+                if outcome.breached() {
+                    self.count_labeled("slo_breach", ("slo", spec.name), 1);
+                }
+                outcome
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaches_are_detected_and_counted() {
+        let rec = Recorder::enabled();
+        for _ in 0..100 {
+            rec.observe_ns_labeled("serve_latency", ("kind", "quantile"), 1_000);
+        }
+        rec.observe_ns_labeled("serve_latency", ("kind", "quantile"), 50_000_000);
+        let specs = [
+            SloSpec {
+                name: "serve_quantile_tight",
+                metric: "serve_latency",
+                label: Some(("kind", "quantile")),
+                p50_ns: Some(10_000),
+                p99_ns: 1_000_000, // 1 ms — the 50 ms outlier sits past p99
+            },
+            SloSpec {
+                name: "serve_quantile_loose",
+                metric: "serve_latency",
+                label: Some(("kind", "quantile")),
+                p50_ns: None,
+                p99_ns: u64::MAX,
+            },
+            SloSpec {
+                name: "never_written",
+                metric: "no_such_metric",
+                label: None,
+                p50_ns: Some(1),
+                p99_ns: 1,
+            },
+        ];
+        let outcomes = rec.check_slos(&specs);
+        assert_eq!(outcomes.len(), 3);
+        // 101 observations: rank ⌈0.99·101⌉ = 100 still lands in the
+        // 1 µs bucket, so the tight p99 holds while p50 is honest.
+        assert!(!outcomes[0].p50_breached);
+        assert!(!outcomes[0].p99_breached);
+        assert!(outcomes[0].count == 101);
+        assert!(!outcomes[1].breached());
+        assert_eq!(outcomes[2].count, 0);
+        assert!(!outcomes[2].breached(), "missing series never breaches");
+
+        // Push the distribution until the tight p99 must breach.
+        for _ in 0..100 {
+            rec.observe_ns_labeled("serve_latency", ("kind", "quantile"), 50_000_000);
+        }
+        let outcomes = rec.check_slos(&specs);
+        assert!(outcomes[0].p99_breached);
+        assert!(outcomes[0].observed_p99_ns > 1_000_000);
+        assert_eq!(
+            rec.counter_labeled("slo_breach", ("slo", "serve_quantile_tight")),
+            1
+        );
+        assert!(rec
+            .prometheus_text()
+            .contains("gsm_slo_breach_total{slo=\"serve_quantile_tight\"} 1"));
+    }
+
+    #[test]
+    fn disabled_recorder_reports_empty_outcomes() {
+        let rec = Recorder::disabled();
+        let outcomes = rec.check_slos(&[SloSpec {
+            name: "x",
+            metric: "m",
+            label: None,
+            p50_ns: None,
+            p99_ns: 1,
+        }]);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].count, 0);
+        assert!(!outcomes[0].breached());
+    }
+}

@@ -30,10 +30,20 @@
 //! queue and reply with the same structured vocabulary, so saturation
 //! behavior is identical no matter where the request came from.
 //!
+//! Alongside the query plane sits a telemetry plane: an [`AdminServer`]
+//! answering `GET /metrics` (Prometheus text from the live recorder),
+//! `/healthz`, and `/status` (JSON: epoch, shards, queue depth, shed and
+//! ring counters, SLO verdicts) over std-only HTTP/1.0 on its own
+//! listener, and every request carries a [`gsm_obs::TraceCtx`] whose id
+//! is echoed in replies and links the request's spans in
+//! `chrome_trace_json`.
+//!
 //! Everything is std-only, matching the workspace's vendored-shims policy.
 
+pub mod admin;
 pub mod net;
 pub mod server;
 
+pub use admin::{AdminServer, AdminSources};
 pub use net::TcpFront;
 pub use server::{Client, QueryServer, Reply, Request, ServeConfig, ServerStats};

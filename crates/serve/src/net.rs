@@ -8,28 +8,32 @@
 //!
 //! ## Protocol
 //!
-//! Requests (`<query>` is the registration index; `timeout_ms` optional):
+//! Requests (`<query>` is the registration index; `timeout_ms` optional;
+//! any query request may end with a `trace=<hex>` token to supply the
+//! request's trace id — otherwise the front generates one):
 //!
 //! ```text
-//! quantile <query> <phi> [timeout_ms]
-//! hh       <query> <support> [timeout_ms]
-//! hhh      <query> <support> [timeout_ms]
-//! squant   <query> <phi> [timeout_ms]
-//! shh      <query> <support> [timeout_ms]
+//! quantile <query> <phi> [timeout_ms] [trace=<hex>]
+//! hh       <query> <support> [timeout_ms] [trace=<hex>]
+//! hhh      <query> <support> [timeout_ms] [trace=<hex>]
+//! squant   <query> <phi> [timeout_ms] [trace=<hex>]
+//! shh      <query> <support> [timeout_ms] [trace=<hex>]
 //! epoch
 //! quit
 //! ```
 //!
-//! Replies:
+//! Replies (every query reply echoes the trace id that admission,
+//! dequeue, and execution spans recorded — grep it in `chrome_trace_json`
+//! or the flight recorder to follow one request through the server):
 //!
 //! ```text
-//! answer <epoch> quantile <value>
-//! answer <epoch> hh <n> <value>:<count> ...
-//! answer <epoch> hhh <n> <level>:<value>:<count> ...
-//! overloaded <queue_depth>
-//! expired
-//! notready
-//! badquery <message>
+//! answer <epoch> quantile <value> trace=<hex>
+//! answer <epoch> hh <n> <value>:<count> ... trace=<hex>
+//! answer <epoch> hhh <n> <level>:<value>:<count> ... trace=<hex>
+//! overloaded <queue_depth> trace=<hex>
+//! expired trace=<hex>
+//! notready trace=<hex>
+//! badquery <message> trace=<hex>
 //! epoch <n>
 //! err <message>          (malformed request line)
 //! ```
@@ -42,6 +46,7 @@ use std::thread;
 use std::time::Duration;
 
 use gsm_dsms::QueryAnswer;
+use gsm_obs::TraceCtx;
 
 use crate::server::{Client, Reply, Request};
 
@@ -153,12 +158,11 @@ fn handle_connection(mut stream: TcpStream, client: &Client, shutdown: &Arc<Atom
                         format!("epoch {}", client.epoch())
                     } else {
                         match parse_request(line) {
-                            Ok((request, timeout)) => {
-                                let reply = match timeout {
-                                    Some(t) => client.call_within(request, t),
-                                    None => client.call(request),
-                                };
-                                format_reply(&reply)
+                            Ok((request, timeout, trace)) => {
+                                let ctx = trace.unwrap_or_else(TraceCtx::fresh);
+                                let deadline = timeout.unwrap_or(client.default_deadline());
+                                let reply = client.call_traced(request, deadline, ctx);
+                                format!("{} trace={}", format_reply(&reply), ctx.hex())
                             }
                             Err(msg) => format!("err {msg}"),
                         }
@@ -178,9 +182,19 @@ fn handle_connection(mut stream: TcpStream, client: &Client, shutdown: &Arc<Atom
     }
 }
 
-/// Parses one request line into a [`Request`] plus optional deadline.
-fn parse_request(line: &str) -> Result<(Request, Option<Duration>), String> {
-    let mut parts = line.split_whitespace();
+/// Parses one request line into a [`Request`] plus optional deadline and
+/// optional caller-supplied trace id.
+#[allow(clippy::type_complexity)]
+fn parse_request(line: &str) -> Result<(Request, Option<Duration>, Option<TraceCtx>), String> {
+    let mut tokens: Vec<&str> = line.split_whitespace().collect();
+    let trace = match tokens.last().and_then(|t| t.strip_prefix("trace=")) {
+        Some(hex) => {
+            tokens.pop();
+            Some(TraceCtx::parse_hex(hex).ok_or("trace id must be nonzero hex".to_string())?)
+        }
+        None => None,
+    };
+    let mut parts = tokens.into_iter();
     let verb = parts.next().ok_or("empty request")?;
     let query: usize = parts
         .next()
@@ -219,7 +233,7 @@ fn parse_request(line: &str) -> Result<(Request, Option<Duration>), String> {
         },
         other => return Err(format!("unknown verb '{other}'")),
     };
-    Ok((request, timeout))
+    Ok((request, timeout, trace))
 }
 
 /// Renders a [`Reply`] as one protocol line.
@@ -304,13 +318,18 @@ mod tests {
                 "epoch",
                 "quantile nope 0.5",
                 "bogus 0 0.5",
+                &format!("quantile {} 0.5 1000 trace=deadbeef", q.index()),
             ],
         );
         assert!(
-            replies[0].starts_with("answer ") && replies[0].ends_with(&format!("{direct_median}")),
+            replies[0].starts_with("answer ")
+                && replies[0].contains(&format!("quantile {direct_median} trace=")),
             "served quantile must match the in-process answer: {}",
             replies[0]
         );
+        let trace_token = replies[0].split_whitespace().last().unwrap();
+        let hex = trace_token.strip_prefix("trace=").expect("trace echoed");
+        assert!(TraceCtx::parse_hex(hex).is_some(), "generated id parses");
         assert!(
             replies[1].contains(" hh 100 "),
             "100 hot values: {}",
@@ -319,10 +338,16 @@ mod tests {
         assert!(replies[2].starts_with("epoch "), "{}", replies[2]);
         assert!(replies[3].starts_with("err "), "{}", replies[3]);
         assert!(replies[4].starts_with("err "), "{}", replies[4]);
+        assert!(
+            replies[5].ends_with("trace=00000000deadbeef"),
+            "caller-supplied trace ids echo back verbatim: {}",
+            replies[5]
+        );
 
         // Requests for bad indices travel the full path too.
         let replies = call(addr, &["quantile 99 0.5"]);
         assert!(replies[0].starts_with("badquery "), "{}", replies[0]);
+        assert!(replies[0].contains(" trace="), "{}", replies[0]);
 
         drop(front);
         drop(server);

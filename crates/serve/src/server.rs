@@ -17,7 +17,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use gsm_dsms::{EngineSnapshot, QueryAnswer, SnapshotError, SnapshotRegistry};
-use gsm_obs::Recorder;
+use gsm_obs::{EngineEvent, Recorder, TraceCtx};
 
 /// Sizing and timeout knobs for a [`QueryServer`].
 #[derive(Clone, Debug)]
@@ -32,6 +32,10 @@ pub struct ServeConfig {
     /// its deadline passes is answered [`Reply::Expired`] without
     /// executing.
     pub default_deadline: Duration,
+    /// Where to write a flight-recorder postmortem
+    /// ([`Recorder::dump_postmortem`]) when a worker isolates a panic.
+    /// `None` (the default) records the event without dumping.
+    pub postmortem_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -40,6 +44,7 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 64,
             default_deadline: Duration::from_secs(1),
+            postmortem_path: None,
         }
     }
 }
@@ -192,6 +197,9 @@ struct Pending {
     request: Request,
     enqueued: Instant,
     deadline: Instant,
+    /// The request's trace, with the admission span as parent — workers
+    /// continue the chain from here.
+    trace: TraceCtx,
     reply_tx: mpsc::Sender<Reply>,
 }
 
@@ -214,15 +222,25 @@ impl Inner {
     /// shed immediately. Holds the queue lock only for the length check
     /// and push — workers contend on the same lock, so this must stay
     /// tiny.
-    fn submit(&self, request: Request, deadline: Duration) -> Result<mpsc::Receiver<Reply>, Reply> {
+    fn submit(
+        &self,
+        request: Request,
+        deadline: Duration,
+        trace: TraceCtx,
+    ) -> Result<mpsc::Receiver<Reply>, Reply> {
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         self.obs.count("serve_submitted", 1);
+        let admit = self.obs.span_traced("serve_admit", trace);
         let mut q = self.queue.lock().expect("serve queue lock");
         if q.closed || q.jobs.len() >= self.cfg.queue_capacity {
             let depth = q.jobs.len();
             drop(q);
             self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
             self.obs.count("serve_overloaded", 1);
+            self.obs.record_event(EngineEvent::Shed {
+                source: "serve_admission",
+                dropped: 1,
+            });
             return Err(Reply::Overloaded { queue_depth: depth });
         }
         let (reply_tx, reply_rx) = mpsc::channel();
@@ -231,12 +249,19 @@ impl Inner {
             request,
             enqueued: now,
             deadline: now + deadline,
+            trace: admit.child_ctx(),
             reply_tx,
         });
         self.obs.gauge_add("serve_queue_depth", 1);
         drop(q);
         self.available.notify_one();
         Ok(reply_rx)
+    }
+
+    /// Current admission-queue depth (requests admitted but not yet
+    /// dequeued by a worker).
+    fn queue_depth(&self) -> usize {
+        self.queue.lock().expect("serve queue lock").jobs.len()
     }
 
     fn record(&self, reply: &Reply) {
@@ -275,11 +300,13 @@ fn worker_loop(inner: &Inner) {
         inner
             .obs
             .observe_ns("serve_wait", (started - job.enqueued).as_nanos() as u64);
+        let exec = inner.obs.span_traced("serve_exec", job.trace);
         let reply = if started >= job.deadline {
             Reply::Expired
         } else {
-            execute_one(inner, &job.request)
+            execute_one(inner, &job.request, exec.child_ctx())
         };
+        exec.finish();
         inner.record(&reply);
         // A send error means the requester vanished (e.g. a TCP handler
         // whose connection dropped); the reply was still produced and
@@ -288,15 +315,17 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
-fn execute_one(inner: &Inner, request: &Request) -> Reply {
+fn execute_one(inner: &Inner, request: &Request, trace: TraceCtx) -> Reply {
     let Some(snap) = inner.registry.latest() else {
         return Reply::NotReady;
     };
     let started = Instant::now();
+    let query_span = inner.obs.span_traced("serve_query", trace);
     // Summaries assert on out-of-range parameters (e.g. support ≤ ε);
     // catch the panic so one bad request answers BadQuery instead of
     // killing the worker.
     let outcome = catch_unwind(AssertUnwindSafe(|| request.execute(&snap)));
+    query_span.finish();
     inner.obs.observe_ns_labeled(
         "serve_latency",
         ("kind", request.kind_label()),
@@ -315,6 +344,20 @@ fn execute_one(inner: &Inner, request: &Request) -> Reply {
                 .map(String::as_str)
                 .or_else(|| panic.downcast_ref::<&str>().copied())
                 .unwrap_or("query panicked");
+            inner.obs.record_event(EngineEvent::WorkerPanic {
+                worker: thread::current()
+                    .name()
+                    .unwrap_or("gsm-serve-worker")
+                    .to_string(),
+                message: msg.to_string(),
+            });
+            if let Some(path) = &inner.cfg.postmortem_path {
+                // Best-effort: a failing dump must not take the reply with
+                // it — the panic is already isolated and accounted.
+                let _ = inner
+                    .obs
+                    .dump_postmortem(path, "worker panic isolated to one request");
+            }
             Reply::BadQuery(msg.to_string())
         }
     }
@@ -409,6 +452,11 @@ impl QueryServer {
     pub fn stats(&self) -> ServerStats {
         stats_snapshot(&self.inner.stats)
     }
+
+    /// Current admission-queue depth (admitted, not yet dequeued).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue_depth()
+    }
 }
 
 fn stats_snapshot(cells: &StatsCells) -> ServerStats {
@@ -441,10 +489,11 @@ pub struct Client {
 
 impl Client {
     /// Submits a request under the server's default deadline and blocks
-    /// for its structured reply.
+    /// for its structured reply. A fresh [`TraceCtx`] is generated at
+    /// admission; use [`Client::call_traced`] to keep the id.
     pub fn call(&self, request: Request) -> Reply {
         let deadline = self.inner.cfg.default_deadline;
-        self.call_within(request, deadline)
+        self.call_traced(request, deadline, TraceCtx::fresh())
     }
 
     /// Submits a request with an explicit deadline. The deadline bounds
@@ -452,7 +501,16 @@ impl Client {
     /// [`Reply::Expired`]; once execution starts it runs to completion
     /// (snapshot queries are short and never block on ingestion).
     pub fn call_within(&self, request: Request, deadline: Duration) -> Reply {
-        match self.inner.submit(request, deadline) {
+        self.call_traced(request, deadline, TraceCtx::fresh())
+    }
+
+    /// [`Client::call_within`] under a caller-supplied trace context —
+    /// the id that admission, dequeue, and query-execution spans all
+    /// record, linking one request's hops in `chrome_trace_json`. Callers
+    /// that surface replies elsewhere (e.g. the TCP front) echo
+    /// `ctx.trace_id` alongside the reply.
+    pub fn call_traced(&self, request: Request, deadline: Duration, ctx: TraceCtx) -> Reply {
+        match self.inner.submit(request, deadline, ctx) {
             Err(shed) => shed,
             Ok(reply_rx) => match reply_rx.recv() {
                 Ok(reply) => reply,
@@ -473,9 +531,19 @@ impl Client {
         self.inner.registry.epoch()
     }
 
+    /// The deadline [`Client::call`] applies ([`ServeConfig::default_deadline`]).
+    pub fn default_deadline(&self) -> Duration {
+        self.inner.cfg.default_deadline
+    }
+
     /// A consistent point-in-time read of the reply accounting.
     pub fn stats(&self) -> ServerStats {
         stats_snapshot(&self.inner.stats)
+    }
+
+    /// Current admission-queue depth (admitted, not yet dequeued).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue_depth()
     }
 }
 
@@ -595,6 +663,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 1,
                 default_deadline: Duration::from_secs(5),
+                ..ServeConfig::default()
             },
         );
         let client = server.client();
@@ -627,6 +696,7 @@ mod tests {
                 workers: 1,
                 queue_capacity: 8,
                 default_deadline: Duration::from_secs(1),
+                ..ServeConfig::default()
             },
         );
         let client = server.client();
@@ -654,6 +724,82 @@ mod tests {
         ));
         let stats = client.stats();
         assert_eq!(stats.lost(), 0);
+    }
+
+    #[test]
+    fn traced_calls_link_admit_exec_and_query_spans() {
+        let rec = Recorder::enabled();
+        let (_eng, q, _f, reg) = serving_engine(5_000);
+        let server = QueryServer::with_recorder(reg, ServeConfig::default(), rec.clone());
+        let client = server.client();
+        let ctx = TraceCtx::fresh();
+        let reply = client.call_traced(
+            Request::Quantile { query: q, phi: 0.5 },
+            Duration::from_secs(5),
+            ctx,
+        );
+        assert!(matches!(reply, Reply::Answer { .. }));
+        drop(server);
+        let spans = rec.spans();
+        let of = |name: &str| {
+            spans
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("span {name} recorded"))
+        };
+        let (admit, exec, query) = (of("serve_admit"), of("serve_exec"), of("serve_query"));
+        for e in [admit, exec, query] {
+            assert_eq!(e.trace.map(|t| t.trace_id), Some(ctx.trace_id));
+        }
+        // The chain: root → admit → exec → query, linked by span ids.
+        assert_eq!(admit.trace.unwrap().parent, 0);
+        assert_eq!(exec.trace.unwrap().parent, admit.span_id);
+        assert_eq!(query.trace.unwrap().parent, exec.span_id);
+        let trace = rec.chrome_trace_json();
+        assert!(trace.contains(&format!("\"id\":\"{}\"", ctx.hex())));
+        assert!(trace.contains("\"ph\":\"s\""));
+        assert!(trace.contains("\"ph\":\"f\""));
+    }
+
+    #[test]
+    fn worker_panic_records_event_and_dumps_postmortem() {
+        let rec = Recorder::enabled();
+        let (_eng, _q, f, reg) = serving_engine(5_000);
+        let path = std::env::temp_dir().join(format!(
+            "gsm-serve-postmortem-{}-{:x}.json",
+            std::process::id(),
+            TraceCtx::fresh().trace_id
+        ));
+        let server = QueryServer::with_recorder(
+            reg,
+            ServeConfig {
+                postmortem_path: Some(path.clone()),
+                ..ServeConfig::default()
+            },
+            rec.clone(),
+        );
+        // Out-of-range support panics inside the summary: isolated to one
+        // BadQuery reply, logged, and dumped.
+        let reply = server.client().call(Request::HeavyHitters {
+            query: f,
+            support: 0.0,
+        });
+        assert!(matches!(reply, Reply::BadQuery(_)));
+        drop(server);
+        let events = rec.flight_events();
+        let panic_event = events
+            .iter()
+            .find(|e| e.event.kind() == "worker_panic")
+            .expect("panic recorded in the flight ring");
+        assert!(matches!(
+            &panic_event.event,
+            EngineEvent::WorkerPanic { worker, .. } if worker.starts_with("gsm-serve-")
+        ));
+        let doc = std::fs::read_to_string(&path).expect("postmortem written");
+        assert!(doc.starts_with("{\"schema\":1,\"created_by\":\"gsm-obs/flight-recorder\""));
+        assert!(doc.contains("\"kind\":\"worker_panic\""));
+        assert!(doc.contains("worker panic isolated"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

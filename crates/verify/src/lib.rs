@@ -54,3 +54,65 @@ pub use diff::{verify_family, EngineRun, FamilyOutcome, VerifyConfig};
 pub use gen::{Family, SplitMix, StreamSpec};
 pub use serve::{verify_family_served, ServeFamilyOutcome, ServeRun};
 pub use shard::{verify_family_sharded, ShardRun, ShardedFamilyOutcome};
+
+/// Records every failure in `outcome` into the recorder's flight ring as
+/// [`gsm_obs::EngineEvent::AuditViolation`] events and returns how many
+/// were recorded.
+///
+/// Each failure line from [`FamilyOutcome::failures`] is split at its
+/// first `": "` into the failing check's identity (`family/estimator`)
+/// and the bound-versus-observed detail, so a postmortem dump names
+/// exactly which guarantee broke. A passing outcome records nothing.
+pub fn record_violations(rec: &gsm_obs::Recorder, outcome: &FamilyOutcome) -> usize {
+    let failures = outcome.failures();
+    for line in &failures {
+        let (check, detail) = line
+            .split_once(": ")
+            .unwrap_or((line.as_str(), "unparsed failure"));
+        rec.record_event(gsm_obs::EngineEvent::AuditViolation {
+            check: check.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+    failures.len()
+}
+
+#[cfg(test)]
+mod flight_tests {
+    use super::*;
+
+    #[test]
+    fn violations_land_in_the_flight_ring() {
+        // Borrow the fabricated failing outcome shape from diff's tests:
+        // a passing run records nothing, a broken fingerprint records one
+        // engines-disagree violation.
+        let cfg = VerifyConfig {
+            engines: vec![gsm_core::Engine::Host],
+            ..VerifyConfig::default()
+        };
+        let spec = StreamSpec {
+            family: Family::ZipfSkew,
+            seed: 7,
+            n: 4096,
+            window: 1024,
+        };
+        let mut outcome = verify_family(&spec, &cfg);
+        assert!(outcome.passed(), "failures: {:?}", outcome.failures());
+
+        let rec = gsm_obs::Recorder::enabled();
+        assert_eq!(record_violations(&rec, &outcome), 0);
+        assert!(rec.flight_events().is_empty());
+
+        outcome.cross_backend_agree = false;
+        assert_eq!(record_violations(&rec, &outcome), 1);
+        let events = rec.flight_events();
+        assert_eq!(events.len(), 1);
+        match &events[0].event {
+            gsm_obs::EngineEvent::AuditViolation { check, detail } => {
+                assert_eq!(check, "zipf_skew");
+                assert!(detail.starts_with("engines disagree"), "{detail}");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

@@ -61,13 +61,17 @@ def throughputs(name, doc):
         elif name == "serve":
             out["server-off ingest"] = float(doc["ingest_off_eps"])
             out["server-on ingest"] = float(doc["ingest_on_eps"])
+        elif name == "obs_overhead":
+            out["recorder-off ingest"] = float(doc["ingest_off_eps"])
+            out["recorder-on ingest"] = float(doc["ingest_on_eps"])
+            out["recorder-traced ingest"] = float(doc["ingest_traced_eps"])
     except (KeyError, TypeError, ValueError) as exc:
         print(f"::error::BENCH_{name}: malformed throughput fields ({exc})")
         failures += 1
     return out
 
 
-for name in ("overlap", "shard", "serve"):
+for name in ("overlap", "shard", "serve", "obs_overhead"):
     base_path = results / f"BENCH_{name}.json"
     ci_path = results / f"BENCH_{name}_ci.json"
     if not ci_path.exists():

@@ -42,6 +42,7 @@ fn readers_hammer_across_seals_without_losing_requests() {
             workers: 2,
             queue_capacity: 128,
             default_deadline: Duration::from_secs(10),
+            ..ServeConfig::default()
         },
     );
     let stop = Arc::new(AtomicBool::new(false));
@@ -195,6 +196,7 @@ fn saturated_queue_expires_deadlines_and_sheds_structurally() {
             workers: 1,
             queue_capacity: 2,
             default_deadline: Duration::from_secs(1),
+            ..ServeConfig::default()
         },
     );
     let clients: Vec<_> = (0..4)
@@ -249,6 +251,7 @@ fn shutdown_under_fire_strands_nothing() {
             workers: 2,
             queue_capacity: 64,
             default_deadline: Duration::from_secs(10),
+            ..ServeConfig::default()
         },
     );
     let client = server.client();
