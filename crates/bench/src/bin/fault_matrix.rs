@@ -1,0 +1,149 @@
+//! **Recovery gate** — the crash-recovery fault matrix behind CI's
+//! `fault-matrix` job.
+//!
+//! Every adversarial generator family is ingested into a durable
+//! [`gsm_dsms::StreamEngine`] (segmented WAL + incremental checkpoints),
+//! killed at configured crash points, damaged by one fault from the seeded
+//! [`gsm_durable::FaultPlan`] taxonomy (torn final record, truncated
+//! segment, payload bit flip, crash-between-checkpoint-and-truncate), and
+//! recovered. Each cell of the engine × shard × fault grid must recover
+//! **byte-identically** (FNV answer fingerprint) to an uncrashed durable
+//! run over the recovered prefix, and every injected corruption must be
+//! **detected** — never silently replayed.
+//!
+//! The run writes `results/FAULT_matrix.json` (versioned envelope) with
+//! one outcome per family. On any failing cell it dumps the flight
+//! recorder to `results/FAULT_postmortem.json` and exits nonzero; the
+//! failing cell reproduces deterministically from its logged
+//! `(family, seed, plan seed)` triple:
+//!
+//! ```text
+//! cargo run --release -p gsm-bench --bin fault_matrix [-- --n 4096
+//!     --seed 42 --family zipf_skew --plan-seed 3506094565
+//!     --out results/FAULT_matrix.json
+//!     --postmortem-out results/FAULT_postmortem.json]
+//! ```
+
+use gsm_bench::{envelope_json, write_result, Args, Table};
+use gsm_obs::Recorder;
+use gsm_verify::{
+    record_failure_lines, verify_family_recovered, DurableFamilyOutcome, DurableVerifyConfig,
+    Family, StreamSpec, VerifyConfig,
+};
+
+#[derive(serde::Serialize)]
+struct Report {
+    n: u64,
+    seed: u64,
+    plan_seed: u64,
+    families: u64,
+    cells_per_family: u64,
+    passed: bool,
+    outcomes: Vec<DurableFamilyOutcome>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get_num("n", 4096);
+    let seed: u64 = args.get_num("seed", 42);
+    let out = args
+        .get("out")
+        .unwrap_or("results/FAULT_matrix.json")
+        .to_string();
+    let postmortem_out = args
+        .get("postmortem-out")
+        .unwrap_or("results/FAULT_postmortem.json")
+        .to_string();
+    let only: Option<Family> = args
+        .get("family")
+        .map(|name| Family::from_name(name).unwrap_or_else(|| panic!("unknown family `{name}`")));
+
+    let cfg = VerifyConfig::default();
+    let mut dcfg = DurableVerifyConfig::default();
+    dcfg.plan_seed = args.get_num("plan-seed", dcfg.plan_seed);
+    let families: Vec<Family> = match only {
+        Some(f) => vec![f],
+        None => Family::ALL.to_vec(),
+    };
+    let cells_per_family =
+        (cfg.engines.len() * dcfg.shards.len() * gsm_durable::Fault::ALL.len()) as u64;
+
+    println!(
+        "# fault matrix: {} families x {cells_per_family} cells \
+         ({} engines x shards {:?} x {} faults), n={n}, seed={seed}, plan_seed={}",
+        families.len(),
+        cfg.engines.len(),
+        dcfg.shards,
+        gsm_durable::Fault::ALL.len(),
+        dcfg.plan_seed
+    );
+    let rec = Recorder::enabled();
+    let mut outcomes: Vec<DurableFamilyOutcome> = Vec::new();
+    let mut failed = false;
+    let mut table = Table::new([
+        "family",
+        "cells",
+        "identical",
+        "detected",
+        "replayed",
+        "skipped",
+    ]);
+    for &family in &families {
+        let spec = StreamSpec {
+            family,
+            seed,
+            n,
+            window: 1024,
+        };
+        let outcome = verify_family_recovered(&spec, &cfg, &dcfg);
+        let identical = outcome.runs.iter().filter(|r| r.byte_identical).count();
+        let detected = outcome.runs.iter().filter(|r| r.detection_ok).count();
+        let replayed: u64 = outcome.runs.iter().map(|r| r.replayed_records).sum();
+        let skipped: u64 = outcome.runs.iter().map(|r| r.skipped_records).sum();
+        table.row([
+            family.name().to_string(),
+            outcome.runs.len().to_string(),
+            format!("{identical}/{}", outcome.runs.len()),
+            format!("{detected}/{}", outcome.runs.len()),
+            replayed.to_string(),
+            skipped.to_string(),
+        ]);
+        if !outcome.passed() {
+            failed = true;
+            record_failure_lines(&rec, &outcome.failures());
+        }
+        outcomes.push(outcome);
+    }
+    table.print(args.flag("csv"));
+
+    let report = Report {
+        n: n as u64,
+        seed,
+        plan_seed: dcfg.plan_seed,
+        families: families.len() as u64,
+        cells_per_family,
+        passed: !failed,
+        outcomes,
+    };
+    let payload = serde_json::to_string(&report).expect("report serializes infallibly");
+    write_result(&out, &envelope_json("gsm-bench/fault_matrix", &payload));
+    println!("wrote {out}");
+
+    if failed {
+        for outcome in report.outcomes.iter().filter(|o| !o.passed()) {
+            for f in outcome.failures() {
+                eprintln!("RECOVERY VIOLATION: {f}");
+            }
+        }
+        write_result(
+            &postmortem_out,
+            &envelope_json(
+                "gsm-bench/fault_matrix",
+                &rec.postmortem_json("fault matrix found a recovery violation"),
+            ),
+        );
+        eprintln!("flight-recorder postmortem written to {postmortem_out}");
+        std::process::exit(1);
+    }
+    println!("every cell recovered byte-identically and detected its fault");
+}

@@ -1,0 +1,162 @@
+//! Durability configuration and recovery reporting for the stream engine.
+//!
+//! [`DurableOptions`] attaches a `gsm-durable` WAL + checkpoint store to a
+//! [`crate::StreamEngine`] (see [`crate::StreamEngine::with_durability`]);
+//! [`crate::StreamEngine::recover_from`] rebuilds an engine after a crash
+//! and describes what it found in a [`RecoveryReport`].
+//!
+//! The unit of logging is the engine's shared window: every `window`
+//! pushed elements become one WAL record (sequence numbers start at 1),
+//! appended *after* the elements entered the pipeline — the log is a
+//! redo log of arrival order, not an undo log. Every
+//! `CheckpointPolicy::EveryWindows(n)` records the engine snapshots its
+//! full envelope (schema 3, which carries the WAL horizon) and truncates
+//! log segments below it. Recovery restores the newest parseable
+//! checkpoint and replays the WAL tail through the ordinary push path,
+//! reproducing the crashed run's flush schedule so answers are
+//! byte-identical to an uncrashed run over the same recovered prefix.
+
+use std::path::PathBuf;
+
+use gsm_durable::{CheckpointPolicy, CheckpointStore, FsyncPolicy, Wal, WalOptions};
+
+/// Configuration for a durable engine: where the log lives and how
+/// aggressively it is fsynced, checkpointed, and truncated.
+#[derive(Clone, Debug)]
+pub struct DurableOptions {
+    /// Directory holding WAL segments and checkpoint snapshots.
+    pub dir: PathBuf,
+    /// When appended records are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// How often the engine snapshots its envelope and (optionally)
+    /// truncates the log below the snapshot's horizon.
+    pub checkpoint: CheckpointPolicy,
+    /// WAL records per segment file.
+    pub records_per_segment: u64,
+    /// Whether a checkpoint truncates WAL segments below its horizon.
+    /// Disabling this models the crash-between-checkpoint-and-truncate
+    /// window permanently: stale records accumulate and recovery must
+    /// skip them.
+    pub truncate_on_checkpoint: bool,
+}
+
+impl DurableOptions {
+    /// Defaults: fsync every seal, checkpoint every 8 windows, 64 records
+    /// per segment, truncate on checkpoint.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableOptions {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EverySeal,
+            checkpoint: CheckpointPolicy::EveryWindows(8),
+            records_per_segment: 64,
+            truncate_on_checkpoint: true,
+        }
+    }
+
+    /// Sets the fsync policy.
+    pub fn fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Sets the checkpoint policy.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
+
+    /// Sets the WAL segment size in records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn records_per_segment(mut self, n: u64) -> Self {
+        assert!(n >= 1, "segments hold at least one record");
+        self.records_per_segment = n;
+        self
+    }
+
+    /// Enables or disables WAL truncation at checkpoint time.
+    pub fn truncate_on_checkpoint(mut self, yes: bool) -> Self {
+        self.truncate_on_checkpoint = yes;
+        self
+    }
+
+    pub(crate) fn wal_options(&self) -> WalOptions {
+        WalOptions {
+            fsync: self.fsync,
+            records_per_segment: self.records_per_segment,
+        }
+    }
+}
+
+/// The engine's live durability state: the open WAL, the checkpoint
+/// store, and the buffer accumulating the in-flight window.
+pub(crate) struct DurableState {
+    pub(crate) wal: Wal,
+    pub(crate) store: CheckpointStore,
+    pub(crate) opts: DurableOptions,
+    /// Elements of the current (not yet sealed, not yet logged) window.
+    pub(crate) pending: Vec<f32>,
+    /// Sequence number the next appended record will carry.
+    pub(crate) next_seq: u64,
+    /// Records appended since the last checkpoint.
+    pub(crate) records_since_checkpoint: u64,
+    /// A base checkpoint (horizon 0) must be written at seal time so
+    /// recovery always has an envelope carrying the query set.
+    pub(crate) needs_base_checkpoint: bool,
+}
+
+impl DurableState {
+    /// Opens a fresh WAL + store for a new durable engine.
+    pub(crate) fn create(opts: DurableOptions) -> std::io::Result<Self> {
+        let store = CheckpointStore::open(&opts.dir)?;
+        let wal = Wal::create(&opts.dir, opts.wal_options())?;
+        Ok(DurableState {
+            wal,
+            store,
+            opts,
+            pending: Vec::new(),
+            next_seq: 1,
+            records_since_checkpoint: 0,
+            needs_base_checkpoint: true,
+        })
+    }
+}
+
+/// What [`crate::StreamEngine::recover_from`] found and did.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// WAL horizon of the checkpoint the engine was restored from (0 for
+    /// the seal-time base checkpoint).
+    pub checkpoint_wal_seq: u64,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_records: u64,
+    /// Stream elements those records carried.
+    pub replayed_elements: u64,
+    /// Valid records skipped because they sat at or below the checkpoint
+    /// horizon (stale segments kept by `truncate_on_checkpoint = false`,
+    /// or whole-segment truncation granularity).
+    pub skipped_records: u64,
+    /// The recovered engine's element count.
+    pub recovered_count: u64,
+    /// The highest WAL sequence actually applied (the checkpoint horizon
+    /// when nothing was replayed).
+    pub last_applied_seq: u64,
+    /// The log ended in a torn final record (crash artifact); the valid
+    /// prefix was recovered and the tail discarded.
+    pub torn_tail: bool,
+    /// Detected log corruption (CRC mismatch, mid-log truncation,
+    /// sequence gap), if any. Recovery stopped at the last valid record;
+    /// the damage was never applied.
+    pub corruption: Option<String>,
+    /// Segment files the recovery scan examined.
+    pub segments_scanned: usize,
+}
+
+impl RecoveryReport {
+    /// Whether the scan saw any damage at all (torn tail or corruption).
+    pub fn damaged(&self) -> bool {
+        self.torn_tail || self.corruption.is_some()
+    }
+}

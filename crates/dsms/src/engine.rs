@@ -13,6 +13,7 @@
 use std::sync::{Arc, Mutex};
 
 use gsm_core::{BitPrefixHierarchy, Engine, HhhEntry, ShardedPipeline, TimeBreakdown};
+use gsm_durable::{CheckpointStore, Wal};
 use gsm_model::SimTime;
 use gsm_obs::Recorder;
 use gsm_sketch::{
@@ -20,6 +21,7 @@ use gsm_sketch::{
     SlidingFrequency, SlidingQuantile, SummarySink,
 };
 
+use crate::durable::{DurableOptions, DurableState, RecoveryReport};
 use crate::snapshot::{EngineSnapshot, QueryKind, SnapshotRegistry};
 
 /// Handle to a registered continuous query.
@@ -262,8 +264,32 @@ struct CheckpointV2 {
     shard_sketches: Vec<Vec<QuerySketch>>,
 }
 
+/// The WAL-aware checkpoint envelope (schema 3): the schema-2 layout plus
+/// the WAL horizon — the sequence number of the last log record whose
+/// elements the snapshot already covers. Recovery replays only records
+/// above it. Written by every checkpoint whether or not durability is
+/// enabled (`wal_seq` is 0 without a log), so there is exactly one current
+/// envelope layout.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CheckpointV3 {
+    /// Envelope schema version; this layout is 3.
+    schema: u32,
+    window: usize,
+    count: u64,
+    n_hint: u64,
+    shards: usize,
+    router: String,
+    recorder_enabled: bool,
+    window_tap_installed: bool,
+    /// Sequence number of the last WAL record covered by this snapshot
+    /// (0 = nothing logged yet, or durability disabled).
+    wal_seq: u64,
+    specs: Vec<QuerySpec>,
+    shard_sketches: Vec<Vec<QuerySketch>>,
+}
+
 /// Envelope schema written by [`StreamEngine::checkpoint`].
-const CHECKPOINT_SCHEMA: u32 = 2;
+const CHECKPOINT_SCHEMA: u32 = 3;
 
 /// A registry of continuous queries over one input stream, sharing a single
 /// engine-offloaded sorting pipeline.
@@ -296,6 +322,10 @@ pub struct StreamEngine {
     publish_every: u64,
     /// Sealed-window count as of the last publication.
     published_windows: u64,
+    /// WAL + checkpoint store, installed by [`Self::with_durability`].
+    /// `None` means the engine is not durable and the ingest hook is a
+    /// single branch.
+    dur: Option<DurableState>,
 }
 
 impl StreamEngine {
@@ -313,6 +343,7 @@ impl StreamEngine {
             registry: None,
             publish_every: 1,
             published_windows: 0,
+            dur: None,
         }
     }
 
@@ -391,6 +422,35 @@ impl StreamEngine {
         );
         self.tap = Some(tap);
         self
+    }
+
+    /// Attaches crash-safe durability (see [`DurableOptions`]): every
+    /// sealed window is appended to a segmented, CRC-checksummed WAL in
+    /// `opts.dir`, and every `CheckpointPolicy::EveryWindows` records the
+    /// engine snapshots its envelope and truncates the log below the
+    /// snapshot's horizon. Reopen the directory after a crash with
+    /// [`Self::recover_from`].
+    ///
+    /// Durability I/O failures after this point (a failed append, fsync,
+    /// or checkpoint save) panic rather than silently degrade the
+    /// guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from creating the directory or the log —
+    /// including refusing a directory that already holds WAL segments
+    /// (recover instead of overwriting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has already started.
+    pub fn with_durability(mut self, opts: DurableOptions) -> std::io::Result<Self> {
+        assert!(
+            self.pipeline.is_none(),
+            "enable durability before pushing stream data"
+        );
+        self.dur = Some(DurableState::create(opts)?);
+        Ok(self)
     }
 
     /// Registers an ε-approximate quantile query.
@@ -525,6 +585,12 @@ impl StreamEngine {
             });
         }
         self.pipeline = Some(pipeline);
+        if self.dur.as_ref().is_some_and(|st| st.needs_base_checkpoint) {
+            // The base checkpoint (horizon 0): recovery always finds an
+            // envelope carrying the query set, even if the process dies
+            // before the first periodic checkpoint.
+            self.write_durable_checkpoint();
+        }
     }
 
     /// Pushes one stream element into every registered query.
@@ -532,6 +598,9 @@ impl StreamEngine {
         self.seal();
         self.count += 1;
         self.pipeline.as_mut().expect("sealed").push(value);
+        if self.dur.is_some() {
+            self.durable_ingest(value);
+        }
         if self.registry.is_some() {
             self.maybe_publish();
         }
@@ -783,15 +852,25 @@ impl StreamEngine {
     }
 
     /// Serializes the engine's query state to JSON (flushes first) as a
-    /// schema-2 multi-shard envelope: one sketch list per shard, plus the
-    /// shard layout, routing policy, and explicit flags for the two
-    /// process-side observers (recorder, window tap) that checkpoints
-    /// cannot carry.
+    /// schema-3 multi-shard envelope: one sketch list per shard, plus the
+    /// shard layout, routing policy, the WAL horizon (0 when durability is
+    /// off), and explicit flags for the two process-side observers
+    /// (recorder, window tap) that checkpoints cannot carry.
     ///
     /// # Panics
     ///
     /// Panics if no queries are registered.
     pub fn checkpoint(&mut self) -> String {
+        let wal_seq = self.dur.as_ref().map_or(0, |st| st.next_seq - 1);
+        self.checkpoint_doc(wal_seq)
+    }
+
+    /// Builds the envelope at an explicit WAL horizon. Flushes first, so
+    /// partially buffered shard windows are absorbed — at exact record
+    /// boundaries (where the durable checkpoints land) this is the same
+    /// flush the reference run performs, keeping window chunking and
+    /// therefore every answer byte-identical across recovery.
+    fn checkpoint_doc(&mut self, wal_seq: u64) -> String {
         self.flush();
         let pipeline = self.pipeline.as_mut().expect("sealed");
         let shard_sketches = pipeline
@@ -799,7 +878,7 @@ impl StreamEngine {
             .iter()
             .map(|shard| shard.sink().sketches.clone())
             .collect();
-        let cp = CheckpointV2 {
+        let cp = CheckpointV3 {
             schema: CHECKPOINT_SCHEMA,
             window: pipeline.window(),
             count: self.count,
@@ -808,10 +887,89 @@ impl StreamEngine {
             router: pipeline.router_name().to_string(),
             recorder_enabled: self.obs.is_enabled(),
             window_tap_installed: pipeline.shard(0).sink().tap.is_some(),
+            wal_seq,
             specs: self.specs.clone(),
             shard_sketches,
         };
         serde_json::to_string(&cp).expect("summaries serialize infallibly")
+    }
+
+    /// The WAL hook on the push path: buffer the element and, once a full
+    /// window has accumulated, append it as one record (redo logging — the
+    /// elements already entered the pipeline) and run the checkpoint
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on WAL I/O errors — durability cannot silently degrade.
+    fn durable_ingest(&mut self, value: f32) {
+        let window = self.pipeline.as_ref().expect("sealed").window();
+        let mut appended = false;
+        let mut fsynced = false;
+        let mut checkpoint_due = false;
+        if let Some(st) = self.dur.as_mut() {
+            st.pending.push(value);
+            if st.pending.len() >= window {
+                let seq = st.next_seq;
+                fsynced = st
+                    .wal
+                    .append(seq, &st.pending)
+                    .unwrap_or_else(|e| panic!("durability: WAL append failed: {e}"));
+                appended = true;
+                st.pending.clear();
+                st.next_seq += 1;
+                st.records_since_checkpoint += 1;
+                checkpoint_due = st
+                    .opts
+                    .checkpoint
+                    .every()
+                    .is_some_and(|n| st.records_since_checkpoint >= n);
+            }
+        }
+        if appended && self.obs.is_enabled() {
+            self.obs.count("wal_appends", 1);
+            if fsynced {
+                self.obs.count("wal_fsyncs", 1);
+            }
+        }
+        if checkpoint_due {
+            self.write_durable_checkpoint();
+        }
+    }
+
+    /// Writes an incremental checkpoint: snapshot the envelope at the
+    /// current WAL horizon, then (policy permitting) truncate log segments
+    /// below it. Only called with an empty pending buffer — at seal time
+    /// and right after an append — so the snapshot never covers elements
+    /// the log hasn't sealed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on checkpoint-store or WAL I/O errors.
+    fn write_durable_checkpoint(&mut self) {
+        let Some(mut st) = self.dur.take() else {
+            return;
+        };
+        debug_assert!(
+            st.pending.is_empty(),
+            "checkpoint only at record boundaries"
+        );
+        let wal_seq = st.next_seq - 1;
+        let json = self.checkpoint_doc(wal_seq);
+        st.store
+            .save(wal_seq, &json)
+            .unwrap_or_else(|e| panic!("durability: checkpoint save failed: {e}"));
+        if st.opts.truncate_on_checkpoint {
+            st.wal
+                .truncate_below(wal_seq)
+                .unwrap_or_else(|e| panic!("durability: WAL truncation failed: {e}"));
+        }
+        st.records_since_checkpoint = 0;
+        st.needs_base_checkpoint = false;
+        self.dur = Some(st);
+        if self.obs.is_enabled() {
+            self.obs.count("wal_checkpoints", 1);
+        }
     }
 
     /// Restores an engine from a [`Self::checkpoint`] string onto fresh
@@ -820,33 +978,45 @@ impl StreamEngine {
     /// engine starts without a recorder or window tap regardless of the
     /// envelope's observer flags (both are process state).
     ///
-    /// Accepts both the schema-2 envelope and the legacy flat checkpoint,
-    /// which restores as a single shard.
+    /// Accepts the schema-3 envelope, the schema-2 envelope, and the
+    /// legacy flat (schema-1) checkpoint, which restores as a single
+    /// shard. Schema 3 is tried first: it is a strict superset of schema
+    /// 2, which would otherwise parse a schema-3 document and silently
+    /// drop its WAL horizon.
     ///
     /// # Errors
     ///
-    /// Returns the JSON error for input matching neither schema.
+    /// Returns the JSON error for input matching no schema.
     ///
     /// # Panics
     ///
-    /// Panics if a schema-2 envelope is structurally inconsistent (shard
-    /// list length disagreeing with its declared shard count).
+    /// Panics if an envelope is structurally inconsistent (shard list
+    /// length disagreeing with its declared shard count).
     pub fn restore(engine: Engine, json: &str) -> Result<Self, serde_json::Error> {
+        fn check_shards(shard_sketches: &[Vec<QuerySketch>], shards: usize) {
+            assert_eq!(
+                shard_sketches.len(),
+                shards,
+                "envelope shard list must match its declared shard count"
+            );
+        }
         let (n_hint, count, window, specs, shard_sketches) =
-            match serde_json::from_str::<CheckpointV2>(json) {
+            match serde_json::from_str::<CheckpointV3>(json) {
                 Ok(cp) => {
-                    assert_eq!(
-                        cp.shard_sketches.len(),
-                        cp.shards,
-                        "envelope shard list must match its declared shard count"
-                    );
+                    check_shards(&cp.shard_sketches, cp.shards);
                     (cp.n_hint, cp.count, cp.window, cp.specs, cp.shard_sketches)
                 }
-                // Not a v2 envelope — try the legacy flat layout before
-                // reporting the v2 parse error.
-                Err(v2_err) => match serde_json::from_str::<Checkpoint>(json) {
-                    Ok(cp) => (cp.n_hint, cp.count, cp.window, cp.specs, vec![cp.sketches]),
-                    Err(_) => return Err(v2_err),
+                // Not a v3 envelope — try schema 2, then the legacy flat
+                // layout, before reporting the v3 parse error.
+                Err(v3_err) => match serde_json::from_str::<CheckpointV2>(json) {
+                    Ok(cp) => {
+                        check_shards(&cp.shard_sketches, cp.shards);
+                        (cp.n_hint, cp.count, cp.window, cp.specs, cp.shard_sketches)
+                    }
+                    Err(_) => match serde_json::from_str::<Checkpoint>(json) {
+                        Ok(cp) => (cp.n_hint, cp.count, cp.window, cp.specs, vec![cp.sketches]),
+                        Err(_) => return Err(v3_err),
+                    },
                 },
             };
         let mut eng = StreamEngine::new(engine)
@@ -862,6 +1032,140 @@ impl StreamEngine {
             fans.next().expect("one fan per shard")
         }));
         Ok(eng)
+    }
+
+    /// Rebuilds an engine from a durable directory after a crash: restores
+    /// the newest parseable checkpoint, repairs the WAL tail (discarding a
+    /// torn final record and everything after detected corruption — never
+    /// applying it), replays the surviving records above the checkpoint
+    /// horizon through the ordinary ingest path — reproducing the crashed
+    /// run's checkpoint-time flush schedule, so the recovered engine
+    /// answers byte-identically to an uncrashed run over the same prefix —
+    /// and reopens the log so ingestion continues durably.
+    ///
+    /// Records at or below the checkpoint horizon (stale segments left by
+    /// whole-segment truncation granularity, or by a crash between
+    /// checkpoint and truncate) are skipped, never replayed twice. The
+    /// recovered engine reports to `recorder` (pass
+    /// [`Recorder::disabled`] for none); as with [`Self::restore`], window
+    /// taps and simulated-time ledgers are not recovered.
+    ///
+    /// # Errors
+    ///
+    /// * [`std::io::ErrorKind::NotFound`] — no checkpoint in `opts.dir`
+    ///   (no durable engine ever sealed there).
+    /// * [`std::io::ErrorKind::InvalidData`] — checkpoints exist but none
+    ///   parses.
+    /// * Other I/O errors from scanning or repairing the log.
+    pub fn recover_from(
+        engine: Engine,
+        opts: DurableOptions,
+        recorder: Recorder,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        let store = CheckpointStore::open(&opts.dir)?;
+        let ckpts = store.load_all_desc()?;
+        if ckpts.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no checkpoint in {}", opts.dir.display()),
+            ));
+        }
+        let mut restored = None;
+        for (wal_seq, json) in &ckpts {
+            if let Ok(eng) = StreamEngine::restore(engine, json) {
+                restored = Some((*wal_seq, eng));
+                break;
+            }
+        }
+        let Some((ckpt_seq, mut eng)) = restored else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{} checkpoint(s) in {} but none parses",
+                    ckpts.len(),
+                    opts.dir.display()
+                ),
+            ));
+        };
+        eng.obs = recorder;
+        let (wal, scanned) = Wal::open_for_append(&opts.dir, opts.wal_options())?;
+        let every = opts.checkpoint.every();
+        let mut report = RecoveryReport {
+            checkpoint_wal_seq: ckpt_seq,
+            replayed_records: 0,
+            replayed_elements: 0,
+            skipped_records: 0,
+            recovered_count: eng.count,
+            last_applied_seq: ckpt_seq,
+            torn_tail: scanned.torn_tail,
+            corruption: scanned.corruption.clone(),
+            segments_scanned: scanned.segments,
+        };
+        let mut replay_gap = false;
+        for rec in &scanned.records {
+            if rec.seq <= ckpt_seq {
+                report.skipped_records += 1;
+                continue;
+            }
+            if rec.seq != report.last_applied_seq + 1 {
+                // Only reachable when the newest checkpoint failed to
+                // parse and the log was already truncated past the older
+                // one we fell back to: the tail cannot be applied
+                // contiguously, so stop — never apply out of order.
+                report.corruption = Some(format!(
+                    "replay gap: expected record seq {}, found {}",
+                    report.last_applied_seq + 1,
+                    rec.seq
+                ));
+                replay_gap = true;
+                break;
+            }
+            for &v in &rec.payload {
+                eng.push(v);
+            }
+            if every.is_some_and(|n| rec.seq % n == 0) {
+                // The crashed run flushed here when it checkpointed;
+                // reproduce it so shard window chunking — and therefore
+                // every answer — matches byte for byte.
+                eng.flush();
+            }
+            report.replayed_records += 1;
+            report.replayed_elements += rec.payload.len() as u64;
+            report.last_applied_seq = rec.seq;
+        }
+        report.recovered_count = eng.count;
+        let wal = if scanned.last_seq() == report.last_applied_seq && !replay_gap {
+            wal
+        } else {
+            // The usable history ends at `last_applied_seq` but the log on
+            // disk does not (a stale-only tail below the checkpoint, or an
+            // inapplicable one past a replay gap). Appending after it
+            // would leave a sequence gap a later scan must reject, so
+            // rebuild the log and restart in a fresh segment.
+            drop(wal);
+            gsm_durable::wal::clear(&opts.dir)?;
+            Wal::create(&opts.dir, opts.wal_options())?
+        };
+        eng.dur = Some(DurableState {
+            wal,
+            store,
+            records_since_checkpoint: every.map_or(0, |n| report.last_applied_seq % n),
+            next_seq: report.last_applied_seq + 1,
+            pending: Vec::new(),
+            needs_base_checkpoint: false,
+            opts,
+        });
+        if eng.obs.is_enabled() {
+            eng.obs.count("dsms_recoveries", 1);
+            eng.obs.record_event(gsm_obs::EngineEvent::Recovery {
+                checkpoint_wal_seq: report.checkpoint_wal_seq,
+                replayed_records: report.replayed_records,
+                replayed_elements: report.replayed_elements,
+                torn_tail: report.torn_tail,
+                corruption: report.corruption.clone().unwrap_or_default(),
+            });
+        }
+        Ok((eng, report))
     }
 
     /// Sustained service rate so far, in elements per simulated second.
@@ -1251,19 +1555,20 @@ mod tests {
         let _ = eng.register_frequency(0.01);
         eng.push_all((0..5_000).map(|i| (i % 64) as f32));
         let json = eng.checkpoint();
-        let cp: CheckpointV2 = serde_json::from_str(&json).expect("v2 envelope");
+        let cp: CheckpointV3 = serde_json::from_str(&json).expect("v3 envelope");
         assert_eq!(cp.schema, CHECKPOINT_SCHEMA);
         assert_eq!(cp.shards, 2);
         assert_eq!(cp.router, "hash");
         assert!(cp.recorder_enabled, "envelope records the recorder");
         assert!(cp.window_tap_installed, "envelope records the tap");
+        assert_eq!(cp.wal_seq, 0, "no WAL horizon without durability");
         assert_eq!(cp.shard_sketches.len(), 2);
 
         // A bare engine's envelope states the observers' *absence*.
         let mut bare = StreamEngine::new(Engine::Host);
         let _ = bare.register_frequency(0.01);
         bare.push_all((0..500).map(|i| (i % 8) as f32));
-        let cp: CheckpointV2 = serde_json::from_str(&bare.checkpoint()).expect("v2 envelope");
+        let cp: CheckpointV3 = serde_json::from_str(&bare.checkpoint()).expect("v3 envelope");
         assert!(!cp.recorder_enabled);
         assert!(!cp.window_tap_installed);
     }
@@ -1566,5 +1871,189 @@ mod tests {
         let f = eng.register_frequency(0.01);
         eng.push_all((0..500).map(|i| (i % 50) as f32));
         let _ = eng.quantile(f, 0.5);
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "gsm-dsms-durable-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn durable_opts(dir: &std::path::Path) -> crate::DurableOptions {
+        use gsm_durable::{CheckpointPolicy, FsyncPolicy};
+        crate::DurableOptions::new(dir)
+            .fsync(FsyncPolicy::Off)
+            .checkpoint(CheckpointPolicy::EveryWindows(2))
+            .records_per_segment(3)
+    }
+
+    #[test]
+    fn durable_recovery_is_byte_identical_after_clean_kill() {
+        let data = mixed_stream(10_000, 91);
+        let dir = durable_dir("clean");
+        let rec = Recorder::enabled();
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_n_hint(20_000)
+            .with_recorder(rec.clone())
+            .with_durability(durable_opts(&dir))
+            .expect("durable engine");
+        let q = eng.register_quantile(0.02);
+        let f = eng.register_frequency(0.005);
+        eng.push_all(data.iter().copied());
+        assert!(rec.counter("wal_appends") > 0, "seals were logged");
+        assert!(rec.counter("wal_checkpoints") > 0, "policy checkpointed");
+        drop(eng); // simulated kill: no shutdown hook, no final flush
+
+        let rec2 = Recorder::enabled();
+        let (mut back, report) =
+            StreamEngine::recover_from(Engine::Host, durable_opts(&dir), rec2.clone())
+                .expect("recovery");
+        assert!(!report.damaged(), "clean log: no tear, no corruption");
+        assert_eq!(rec2.counter("dsms_recoveries"), 1);
+        // The final partial window (pending, never sealed) is lost by
+        // design; everything sealed survives.
+        let window = back.window() as u64;
+        assert_eq!(
+            report.recovered_count,
+            (data.len() as u64 / window) * window
+        );
+        assert_eq!(report.recovered_count, back.count());
+
+        // Byte-identical to an uncrashed run over the recovered prefix
+        // (k = 1: checkpoint flushes are no-ops at record boundaries, so a
+        // plain engine is a valid reference).
+        let mut reference = StreamEngine::new(Engine::Host).with_n_hint(20_000);
+        let _ = reference.register_quantile(0.02);
+        let _ = reference.register_frequency(0.005);
+        reference.push_all(data[..back.count() as usize].iter().copied());
+        for phi in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            assert_eq!(
+                back.quantile(q, phi).to_bits(),
+                reference.quantile(q, phi).to_bits(),
+                "phi={phi}"
+            );
+        }
+        assert_eq!(
+            back.heavy_hitters(f, 0.01),
+            reference.heavy_hitters(f, 0.01)
+        );
+
+        // And the recovered engine keeps ingesting durably.
+        back.push_all(data.iter().copied());
+        assert!(rec2.counter("wal_appends") > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_skips_stale_records_without_truncation() {
+        // Crash-between-checkpoint-and-truncate, held open permanently:
+        // every checkpoint leaves its pre-horizon records in place, and
+        // recovery must skip them rather than replay them twice.
+        let data = mixed_stream(9_000, 92);
+        let dir = durable_dir("stale");
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_n_hint(18_000)
+            .with_durability(durable_opts(&dir).truncate_on_checkpoint(false))
+            .expect("durable engine");
+        let q = eng.register_quantile(0.02);
+        eng.push_all(data.iter().copied());
+        drop(eng);
+
+        let (mut back, report) = StreamEngine::recover_from(
+            Engine::Host,
+            durable_opts(&dir).truncate_on_checkpoint(false),
+            Recorder::disabled(),
+        )
+        .expect("recovery");
+        assert!(report.skipped_records > 0, "stale records were present");
+        assert_eq!(
+            report.checkpoint_wal_seq, report.skipped_records,
+            "exactly the records at or below the horizon are skipped"
+        );
+        let mut reference = StreamEngine::new(Engine::Host).with_n_hint(18_000);
+        let _ = reference.register_quantile(0.02);
+        reference.push_all(data[..back.count() as usize].iter().copied());
+        assert_eq!(
+            back.quantile(q, 0.5).to_bits(),
+            reference.quantile(q, 0.5).to_bits()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_of_empty_dir_is_not_found() {
+        let dir = durable_dir("empty");
+        let err = match StreamEngine::recover_from(
+            Engine::Host,
+            durable_opts(&dir),
+            Recorder::disabled(),
+        ) {
+            Ok(_) => panic!("recovery of an empty directory must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durability_refuses_a_dirty_directory() {
+        let dir = durable_dir("dirty");
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_durability(durable_opts(&dir))
+            .expect("durable engine");
+        let _ = eng.register_quantile(0.02);
+        eng.push_all((0..3000).map(|i| i as f32));
+        drop(eng);
+        let err = match StreamEngine::new(Engine::Host).with_durability(durable_opts(&dir)) {
+            Ok(_) => panic!("a dirty directory must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_durable_recovery_matches_sharded_durable_reference() {
+        // k = 2: checkpoint flushes change shard window chunking, so the
+        // reference must be a durable engine with the same cadence; replay
+        // reproduces the flush schedule.
+        let data = mixed_stream(12_000, 93);
+        let dir = durable_dir("shard");
+        let ref_dir = durable_dir("shard-ref");
+        let mut eng = StreamEngine::new(Engine::Host)
+            .with_n_hint(24_000)
+            .with_shards(2)
+            .with_durability(durable_opts(&dir))
+            .expect("durable engine");
+        let q = eng.register_quantile(0.02);
+        eng.push_all(data.iter().copied());
+        drop(eng);
+
+        let (mut back, report) =
+            StreamEngine::recover_from(Engine::Host, durable_opts(&dir), Recorder::disabled())
+                .expect("recovery");
+        assert_eq!(back.shard_count(), 2, "shard layout recovered");
+
+        let mut reference = StreamEngine::new(Engine::Host)
+            .with_n_hint(24_000)
+            .with_shards(2)
+            .with_durability(durable_opts(&ref_dir))
+            .expect("reference engine");
+        let _ = reference.register_quantile(0.02);
+        reference.push_all(data[..report.recovered_count as usize].iter().copied());
+        assert_eq!(
+            back.quantile(q, 0.5).to_bits(),
+            reference.quantile(q, 0.5).to_bits()
+        );
+        assert_eq!(
+            back.quantile(q, 0.99).to_bits(),
+            reference.quantile(q, 0.99).to_bits()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&ref_dir).ok();
     }
 }

@@ -21,6 +21,11 @@
 //! * [`snapshot`] — immutable **published snapshots** of the absorbed
 //!   summary state behind an epoch-pointer registry, so concurrent query
 //!   readers (the `gsm-serve` frontend) never contend with ingestion.
+//! * [`durable`] — **crash safety**: [`DurableOptions`] attaches a
+//!   segmented write-ahead log and incremental checkpoints (via
+//!   `gsm-durable`) to an engine, and
+//!   [`engine::StreamEngine::recover_from`] rebuilds one after a crash,
+//!   byte-identical to an uncrashed run up to the last durable seal.
 //! * [`shedding`] — arrival-rate modeling and **load shedding**: given an
 //!   offered rate and the engine's measured (simulated) service rate, a
 //!   uniform decimating shedder drops the excess, and the report quantifies
@@ -29,10 +34,12 @@
 //! Everything runs in simulated time, so "can this configuration keep up
 //! with 10 M elements/s?" is answerable on a laptop.
 
+pub mod durable;
 pub mod engine;
 pub mod shedding;
 pub mod snapshot;
 
+pub use durable::{DurableOptions, RecoveryReport};
 pub use engine::{QueryAnswer, QueryId, StreamEngine, WindowTap};
 pub use shedding::{run_at_rate, LoadShedder, ShedReport};
 pub use snapshot::{EngineSnapshot, QueryKind, SnapshotError, SnapshotRegistry};

@@ -1,0 +1,400 @@
+//! Deterministic fault injection for the recovery gate.
+//!
+//! A [`FaultPlan`] is a seed; everything it does — which fault a given
+//! run draws, which record a mutation targets, which bit flips — derives
+//! from splitmix64 over that seed, so a failing cell in the CI fault
+//! matrix reproduces exactly from its logged `(seed, salt)` pair.
+//!
+//! Three faults mutate the on-disk log after a simulated crash:
+//! torn-final-record (the tail of the last record vanishes),
+//! truncated-segment (a mid-log segment is cut short, orphaning later
+//! records), and bit-flip-in-payload (silent media corruption the CRC
+//! must catch). The fourth, crash-between-checkpoint-and-truncate, is a
+//! *timing* fault, not a disk mutation: the engine is configured to skip
+//! WAL truncation after checkpointing, leaving stale segments below the
+//! horizon that recovery must skip rather than re-apply.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::wal::{scan, RecordLoc};
+use crate::SplitMix64;
+
+/// Header bytes (magic + seq + len) before a record's payload — mirrors
+/// the layout in [`crate::wal`].
+const HEADER_BYTES: u64 = 16;
+
+/// One member of the fault taxonomy the recovery gate exercises.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// The final record loses its tail, as a crash mid-append would leave
+    /// it. Recovery must keep the valid prefix and flag a torn tail.
+    TornFinalRecord,
+    /// A mid-log segment is cut short; records after the cut (in that
+    /// segment and beyond) become unreachable. Recovery must stop at the
+    /// last valid record and report corruption.
+    TruncatedSegment,
+    /// One payload bit flips in place. The record's CRC must catch it;
+    /// the flipped window must never be applied.
+    BitFlipInPayload,
+    /// The process dies after writing a checkpoint but before truncating
+    /// the WAL below it. No disk mutation — the engine under test runs
+    /// with truncation disabled, and recovery must *skip* the stale
+    /// records below the checkpoint horizon instead of replaying them
+    /// twice.
+    CrashBetweenCheckpointAndTruncate,
+}
+
+impl Fault {
+    /// Every fault, in schedule order.
+    pub const ALL: [Fault; 4] = [
+        Fault::TornFinalRecord,
+        Fault::TruncatedSegment,
+        Fault::BitFlipInPayload,
+        Fault::CrashBetweenCheckpointAndTruncate,
+    ];
+
+    /// Stable snake_case label for reports and CI artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::TornFinalRecord => "torn_final_record",
+            Fault::TruncatedSegment => "truncated_segment",
+            Fault::BitFlipInPayload => "bit_flip_in_payload",
+            Fault::CrashBetweenCheckpointAndTruncate => "crash_between_checkpoint_and_truncate",
+        }
+    }
+
+    /// Parses a label produced by [`Fault::name`].
+    pub fn from_name(name: &str) -> Option<Fault> {
+        Fault::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Whether this fault physically mutates the log directory (the
+    /// alternative is a pure timing fault configured at runtime).
+    pub fn mutates_disk(self) -> bool {
+        !matches!(self, Fault::CrashBetweenCheckpointAndTruncate)
+    }
+}
+
+/// What an injection actually did, for reports and failure reproduction.
+#[derive(Clone, Debug)]
+pub struct InjectionReport {
+    /// [`Fault::name`] of the injected fault.
+    pub fault: &'static str,
+    /// Whether any on-disk byte changed.
+    pub mutated: bool,
+    /// The first sequence number whose record is damaged or unreachable,
+    /// if the fault targets one.
+    pub target_seq: Option<u64>,
+    /// Human-readable description of the exact mutation.
+    pub detail: String,
+}
+
+/// A seeded, deterministic schedule of crash-time faults.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Creates a plan from a seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed }
+    }
+
+    /// The plan's seed, for logging failing cells.
+    pub fn seed(self) -> u64 {
+        self.seed
+    }
+
+    /// A deterministic schedule of `len` faults drawn from the taxonomy.
+    /// The first four entries cover all four faults (shuffled); the rest
+    /// are uniform draws, so any schedule of length >= 4 exercises the
+    /// whole taxonomy.
+    pub fn schedule(self, len: usize) -> Vec<Fault> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut head = Fault::ALL.to_vec();
+        // Fisher–Yates on the guaranteed-coverage prefix.
+        for i in (1..head.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            head.swap(i, j);
+        }
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            if out.len() < head.len() {
+                out.push(head[out.len()]);
+            } else {
+                out.push(Fault::ALL[rng.below(Fault::ALL.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+
+    /// Applies `fault` to the WAL in `dir`, deterministically under
+    /// `self.seed ^ salt` (salt distinguishes cells sharing one plan).
+    /// Returns what was done. [`Fault::CrashBetweenCheckpointAndTruncate`]
+    /// never mutates disk — its report explains the runtime configuration
+    /// the caller must use instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from scanning or mutating segment files.
+    pub fn inject(self, dir: &Path, fault: Fault, salt: u64) -> std::io::Result<InjectionReport> {
+        let mut rng = SplitMix64::new(self.seed ^ salt);
+        let pre = scan(dir)?;
+        let records = &pre.records;
+        if !fault.mutates_disk() {
+            return Ok(InjectionReport {
+                fault: fault.name(),
+                mutated: false,
+                target_seq: None,
+                detail: "timing fault: run the engine with truncate_on_checkpoint disabled; \
+                         recovery must skip stale records below the checkpoint horizon"
+                    .to_string(),
+            });
+        }
+        if records.is_empty() {
+            return Ok(InjectionReport {
+                fault: fault.name(),
+                mutated: false,
+                target_seq: None,
+                detail: "log empty; nothing to damage".to_string(),
+            });
+        }
+        match fault {
+            Fault::TornFinalRecord => {
+                let victim = records.last().expect("non-empty");
+                // Cut strictly inside the record: keep >= 1 byte of it so
+                // the tear is visible, lose >= 1 byte so it is torn.
+                let keep = 1 + rng.below(victim.len - 1);
+                let cut_at = victim.offset + keep;
+                OpenOptions::new()
+                    .write(true)
+                    .open(&victim.path)?
+                    .set_len(cut_at)?;
+                Ok(InjectionReport {
+                    fault: fault.name(),
+                    mutated: true,
+                    target_seq: Some(victim.seq),
+                    detail: format!(
+                        "truncated {} to {cut_at} bytes, tearing record seq {} ({} of {} bytes kept)",
+                        file_name(victim),
+                        victim.seq,
+                        keep,
+                        victim.len
+                    ),
+                })
+            }
+            Fault::TruncatedSegment => {
+                // Cut a mid-log record short; everything from it on is
+                // unreachable. Midpoint biases toward interesting cases
+                // where a real prefix survives. At least one byte of the
+                // victim record stays: a cut exactly on a record boundary
+                // is indistinguishable from a log that simply ended there,
+                // which is the torn-tail fault's territory, not a
+                // detectable truncation.
+                let idx = records.len() / 2;
+                let victim = &records[idx];
+                let keep = 1 + rng.below(victim.len.min(HEADER_BYTES) - 1);
+                OpenOptions::new()
+                    .write(true)
+                    .open(&victim.path)?
+                    .set_len(victim.offset + keep)?;
+                Ok(InjectionReport {
+                    fault: fault.name(),
+                    mutated: true,
+                    target_seq: Some(victim.seq),
+                    detail: format!(
+                        "truncated {} at record seq {} (+{keep} bytes); records {}..={} unreachable",
+                        file_name(victim),
+                        victim.seq,
+                        victim.seq,
+                        records.last().expect("non-empty").seq
+                    ),
+                })
+            }
+            Fault::BitFlipInPayload => {
+                // Never the first record: flipping it can empty the whole
+                // recovered prefix, which tests nothing about detection.
+                let idx = if records.len() == 1 {
+                    0
+                } else {
+                    1 + rng.below(records.len() as u64 - 1) as usize
+                };
+                let victim = &records[idx];
+                let payload_bytes = (victim.payload.len() * 4) as u64;
+                let byte_off = victim.offset + HEADER_BYTES + rng.below(payload_bytes.max(1));
+                let bit = rng.below(8) as u8;
+                let mut f = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&victim.path)?;
+                f.seek(SeekFrom::Start(byte_off))?;
+                let mut b = [0u8; 1];
+                f.read_exact(&mut b)?;
+                b[0] ^= 1 << bit;
+                f.seek(SeekFrom::Start(byte_off))?;
+                f.write_all(&b)?;
+                f.sync_data()?;
+                Ok(InjectionReport {
+                    fault: fault.name(),
+                    mutated: true,
+                    target_seq: Some(victim.seq),
+                    detail: format!(
+                        "flipped bit {bit} of byte {byte_off} in {} (payload of record seq {})",
+                        file_name(victim),
+                        victim.seq
+                    ),
+                })
+            }
+            Fault::CrashBetweenCheckpointAndTruncate => unreachable!("handled above"),
+        }
+    }
+}
+
+fn file_name(rec: &RecordLoc) -> String {
+    rec.path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| rec.path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{FsyncPolicy, Wal, WalOptions};
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "gsm-fault-test-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn build_log(dir: &Path, records: u64) {
+        let mut wal = Wal::create(
+            dir,
+            WalOptions {
+                fsync: FsyncPolicy::Off,
+                records_per_segment: 3,
+            },
+        )
+        .unwrap();
+        for seq in 1..=records {
+            let payload: Vec<f32> = (0..8).map(|i| (seq * 100 + i) as f32).collect();
+            wal.append(seq, &payload).unwrap();
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_covers_taxonomy() {
+        let plan = FaultPlan::new(0xDEAD);
+        let a = plan.schedule(10);
+        let b = plan.schedule(10);
+        assert_eq!(a, b);
+        for fault in Fault::ALL {
+            assert!(
+                a[..4].contains(&fault),
+                "{} missing from prefix",
+                fault.name()
+            );
+        }
+        assert_ne!(a, FaultPlan::new(0xBEEF).schedule(10));
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for fault in Fault::ALL {
+            assert_eq!(Fault::from_name(fault.name()), Some(fault));
+        }
+        assert_eq!(Fault::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn torn_injection_is_detected_by_scan() {
+        let dir = tmp("torn");
+        build_log(&dir, 7);
+        let report = FaultPlan::new(1)
+            .inject(&dir, Fault::TornFinalRecord, 5)
+            .unwrap();
+        assert!(report.mutated);
+        assert_eq!(report.target_seq, Some(7));
+        let result = scan(&dir).unwrap();
+        assert_eq!(result.last_seq(), 6);
+        assert!(result.torn_tail || result.corruption.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_segment_injection_is_detected() {
+        let dir = tmp("trunc");
+        build_log(&dir, 9);
+        let report = FaultPlan::new(2)
+            .inject(&dir, Fault::TruncatedSegment, 5)
+            .unwrap();
+        assert!(report.mutated);
+        let target = report.target_seq.unwrap();
+        let result = scan(&dir).unwrap();
+        assert!(result.last_seq() < target);
+        assert!(result.torn_tail || result.corruption.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_injection_is_detected() {
+        let dir = tmp("flip");
+        build_log(&dir, 6);
+        let report = FaultPlan::new(3)
+            .inject(&dir, Fault::BitFlipInPayload, 5)
+            .unwrap();
+        assert!(report.mutated);
+        let target = report.target_seq.unwrap();
+        assert!(target > 1, "never flips the first record");
+        let result = scan(&dir).unwrap();
+        assert!(result.last_seq() < target);
+        assert!(result
+            .corruption
+            .as_deref()
+            .is_some_and(|m| m.contains("CRC mismatch")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn timing_fault_never_touches_disk() {
+        let dir = tmp("timing");
+        build_log(&dir, 4);
+        let before = scan(&dir).unwrap();
+        let report = FaultPlan::new(4)
+            .inject(&dir, Fault::CrashBetweenCheckpointAndTruncate, 5)
+            .unwrap();
+        assert!(!report.mutated);
+        let after = scan(&dir).unwrap();
+        assert_eq!(after.records.len(), before.records.len());
+        assert!(after.corruption.is_none() && !after.torn_tail);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed_and_salt() {
+        let dir_a = tmp("det-a");
+        let dir_b = tmp("det-b");
+        build_log(&dir_a, 8);
+        build_log(&dir_b, 8);
+        let ra = FaultPlan::new(99)
+            .inject(&dir_a, Fault::BitFlipInPayload, 7)
+            .unwrap();
+        let rb = FaultPlan::new(99)
+            .inject(&dir_b, Fault::BitFlipInPayload, 7)
+            .unwrap();
+        // Same seed/salt on identical logs produces the identical mutation.
+        assert_eq!(ra.detail, rb.detail);
+        assert_eq!(ra.target_seq, rb.target_seq);
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}

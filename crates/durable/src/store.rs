@@ -1,0 +1,178 @@
+//! The checkpoint store: atomic snapshot files alongside the WAL.
+//!
+//! Each checkpoint is the engine's JSON envelope written to
+//! `ckpt-<wal_seq>.json`, where `wal_seq` is the last WAL record the
+//! snapshot covers. Writes go through a temp file, `fsync`, and an atomic
+//! rename so a crash mid-save can never leave a half-written checkpoint
+//! with a valid name. Loads are newest-first; recovery walks down the list
+//! until one parses, so a checkpoint torn by some other path degrades to
+//! the previous one instead of failing recovery outright.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A directory of atomic checkpoint snapshots, keyed by WAL horizon.
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+/// Checkpoints kept after a save; older ones are pruned.
+const KEEP: usize = 2;
+
+fn ckpt_name(wal_seq: u64) -> String {
+    format!("ckpt-{wal_seq:010}.json")
+}
+
+fn parse_ckpt_name(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store rooted at `dir`. Shares a
+    /// directory with the WAL without conflict — files are distinguished
+    /// by prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from creating the directory.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Atomically writes a checkpoint covering WAL records up to
+    /// `wal_seq`, then prunes all but the two newest snapshots (the
+    /// previous one is the fallback if a crash corrupts the write).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the write, fsync, or rename.
+    pub fn save(&self, wal_seq: u64, json: &str) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!(".ckpt-{wal_seq:010}.tmp"));
+        let final_path = self.dir.join(ckpt_name(wal_seq));
+        {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        // Best-effort directory fsync so the rename itself is durable;
+        // not all platforms allow opening a directory for sync.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        let mut all = self.list()?;
+        if all.len() > KEEP {
+            all.truncate(all.len() - KEEP);
+            for (_, path) in all {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All checkpoint files, ascending by WAL horizon.
+    fn list(&self) -> std::io::Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(seq) = parse_ckpt_name(&entry.file_name().to_string_lossy()) {
+                out.push((seq, entry.path()));
+            }
+        }
+        out.sort_by_key(|&(seq, _)| seq);
+        Ok(out)
+    }
+
+    /// Every stored checkpoint as `(wal_seq, json)`, newest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from listing or reading the files.
+    pub fn load_all_desc(&self) -> std::io::Result<Vec<(u64, String)>> {
+        let mut out = Vec::new();
+        for (seq, path) in self.list()?.into_iter().rev() {
+            out.push((seq, fs::read_to_string(path)?));
+        }
+        Ok(out)
+    }
+
+    /// The newest checkpoint, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from listing or reading the file.
+    pub fn latest(&self) -> std::io::Result<Option<(u64, String)>> {
+        Ok(self.load_all_desc()?.into_iter().next())
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "gsm-store-test-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn save_load_newest_first_and_prune() {
+        let dir = tmp("basic");
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.latest().unwrap().is_none());
+        store.save(0, "{\"a\":0}").unwrap();
+        store.save(8, "{\"a\":8}").unwrap();
+        store.save(16, "{\"a\":16}").unwrap();
+
+        let all = store.load_all_desc().unwrap();
+        assert_eq!(all.len(), KEEP, "older snapshots pruned");
+        assert_eq!(all[0], (16, "{\"a\":16}".to_string()));
+        assert_eq!(all[1], (8, "{\"a\":8}".to_string()));
+        assert_eq!(store.latest().unwrap().unwrap().0, 16);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stray_tmp_file_is_ignored() {
+        let dir = tmp("straytmp");
+        let store = CheckpointStore::open(&dir).unwrap();
+        store.save(4, "{\"a\":4}").unwrap();
+        // Simulate a crash mid-save: a temp file that never got renamed.
+        fs::write(dir.join(".ckpt-0000000009.tmp"), "half-writ").unwrap();
+        let all = store.load_all_desc().unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shares_directory_with_wal_segments() {
+        let dir = tmp("shared");
+        let store = CheckpointStore::open(&dir).unwrap();
+        fs::write(dir.join("wal-0000000001.seg"), b"not a checkpoint").unwrap();
+        store.save(1, "{}").unwrap();
+        assert_eq!(store.load_all_desc().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

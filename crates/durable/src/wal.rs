@@ -1,0 +1,883 @@
+//! The segmented write-ahead log.
+//!
+//! One record per sealed engine window: the raw elements in arrival
+//! order. Replay re-pushes exactly that sequence through the (fully
+//! deterministic) window → route → sort pipeline, so logging pre-sort
+//! data reproduces post-sort state byte for byte while keeping the format
+//! trivial.
+//!
+//! ## On-disk format
+//!
+//! A log is a directory of segment files named `wal-<first_seq>.seg`
+//! (zero-padded decimal), each holding up to
+//! [`WalOptions::records_per_segment`] consecutive records:
+//!
+//! ```text
+//! record := magic  u32  "GSMW" (0x57_4D_53_47 LE)
+//!           seq    u64  (strictly consecutive, 1-based)
+//!           len    u32  (payload bytes; always 4 × element count)
+//!           payload      len bytes of f32 little-endian elements
+//!           crc    u32  CRC-32 (IEEE) over seq ‖ len ‖ payload
+//! ```
+//!
+//! The scan tolerates exactly one kind of damage silently-truncatable at
+//! the tail: an *incomplete* final record in the final segment (a torn
+//! write from the crash itself). Everything else — bad magic, CRC
+//! mismatch, a sequence gap, a segment that ends early while later
+//! segments exist — is reported as detected corruption. In every case the
+//! scan stops at the last valid record; damaged data is never returned as
+//! replayable.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Record header magic: `"GSMW"` as little-endian bytes.
+const MAGIC: [u8; 4] = *b"GSMW";
+
+/// Fixed record header size (magic + seq + len).
+const HEADER_BYTES: u64 = 4 + 8 + 4;
+
+/// Trailing CRC size.
+const CRC_BYTES: u64 = 4;
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// CRC-32 (IEEE 802.3) over `bytes` — the checksum every WAL record
+/// carries over its sequence number, length, and payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// When the log forces appended records to stable storage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FsyncPolicy {
+    /// `fsync` after every sealed-window record — bounded loss of at most
+    /// the in-flight partial window on power failure.
+    EverySeal,
+    /// `fsync` after every `n` records — amortized, loss bounded by `n`
+    /// windows.
+    EveryN(u64),
+    /// Never `fsync` from the appender. Process crashes still lose
+    /// nothing that reached the page cache; power loss may lose the lot.
+    Off,
+}
+
+impl FsyncPolicy {
+    /// Stable lowercase label for reports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncPolicy::EverySeal => "every_seal",
+            FsyncPolicy::EveryN(_) => "every_n",
+            FsyncPolicy::Off => "off",
+        }
+    }
+}
+
+/// When the engine snapshots its full state and truncates the WAL below
+/// the checkpoint horizon.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckpointPolicy {
+    /// Checkpoint after every `n` sealed-window records (and once at seal
+    /// time, so recovery always has a base that carries the query set).
+    EveryWindows(u64),
+    /// Only the seal-time base checkpoint; the WAL grows unboundedly.
+    Manual,
+}
+
+impl CheckpointPolicy {
+    /// The cadence in records, if periodic.
+    pub fn every(self) -> Option<u64> {
+        match self {
+            CheckpointPolicy::EveryWindows(n) => Some(n),
+            CheckpointPolicy::Manual => None,
+        }
+    }
+}
+
+/// Tuning for one log.
+#[derive(Clone, Copy, Debug)]
+pub struct WalOptions {
+    /// Fsync policy applied on append.
+    pub fsync: FsyncPolicy,
+    /// Records per segment file before rolling to a new one.
+    pub records_per_segment: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            fsync: FsyncPolicy::EverySeal,
+            records_per_segment: 64,
+        }
+    }
+}
+
+/// One valid record surfaced by [`scan`]: its identity, location (for
+/// fault injection and tail repair), and decoded payload.
+#[derive(Clone, Debug)]
+pub struct RecordLoc {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// Segment file holding it.
+    pub path: PathBuf,
+    /// Byte offset of the record header within the segment.
+    pub offset: u64,
+    /// Total encoded size (header + payload + CRC).
+    pub len: u64,
+    /// The decoded elements.
+    pub payload: Vec<f32>,
+}
+
+/// The result of scanning a log directory: every valid record in order,
+/// plus what (if anything) stopped the scan.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Valid records, sequence-ascending.
+    pub records: Vec<RecordLoc>,
+    /// The final segment ended inside a record — the expected artifact of
+    /// a crash mid-append. The valid prefix is intact.
+    pub torn_tail: bool,
+    /// Detected damage that is *not* a benign torn tail: bad magic, CRC
+    /// mismatch, sequence gap, or a segment cut short while later
+    /// segments exist. The scan stopped at the last valid record.
+    pub corruption: Option<String>,
+    /// Segment files seen.
+    pub segments: usize,
+    /// Total bytes of valid records.
+    pub valid_bytes: u64,
+}
+
+impl WalScan {
+    /// The highest valid sequence number, or 0 for an empty log.
+    pub fn last_seq(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.seq)
+    }
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:010}.seg")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// Lists segment files in a directory, sorted by first sequence number.
+fn list_segments(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut segs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(first) = parse_segment_name(&name.to_string_lossy()) {
+            segs.push((first, entry.path()));
+        }
+    }
+    segs.sort_by_key(|&(first, _)| first);
+    Ok(segs)
+}
+
+fn encode_record(seq: u64, payload: &[f32]) -> Vec<u8> {
+    let len = (payload.len() * 4) as u32;
+    let mut buf = Vec::with_capacity((HEADER_BYTES + CRC_BYTES) as usize + payload.len() * 4);
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&len.to_le_bytes());
+    for &v in payload {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    let crc = crc32(&buf[4..]);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// What stopped decoding inside one segment (a clean end of segment stops
+/// the loop directly, without a `Stop`).
+enum Stop {
+    /// Bytes remain but do not form a whole record (torn write).
+    Torn(String),
+    /// Structurally complete but invalid (magic/CRC/sequence).
+    Bad(String),
+}
+
+/// Scans a log directory, returning every valid record and the scan's
+/// stopping condition. Read-only — see [`Wal::open_for_append`] for the
+/// repairing variant.
+///
+/// # Errors
+///
+/// Returns I/O errors from reading the directory or segment files;
+/// damaged *content* is reported in the [`WalScan`], not as an error.
+pub fn scan(dir: &Path) -> std::io::Result<WalScan> {
+    let segs = list_segments(dir)?;
+    let mut out = WalScan {
+        records: Vec::new(),
+        torn_tail: false,
+        corruption: None,
+        segments: segs.len(),
+        valid_bytes: 0,
+    };
+    let mut expect_seq: Option<u64> = None;
+    'segments: for (idx, (first, path)) in segs.iter().enumerate() {
+        let bytes = fs::read(path)?;
+        let is_last_segment = idx == segs.len() - 1;
+        let mut off = 0usize;
+        loop {
+            if off == bytes.len() {
+                break; // clean segment end
+            }
+            let (stop, rec) = decode_one(&bytes, off, path, *first, expect_seq);
+            match (stop, rec) {
+                (None, Some(rec)) => {
+                    expect_seq = Some(rec.seq + 1);
+                    out.valid_bytes += rec.len;
+                    off += rec.len as usize;
+                    out.records.push(rec);
+                }
+                (Some(Stop::Torn(why)), None) => {
+                    if is_last_segment {
+                        out.torn_tail = true;
+                    } else {
+                        out.corruption = Some(format!(
+                            "{}: {} (mid-log segment cut short)",
+                            disp(path),
+                            why
+                        ));
+                    }
+                    break 'segments;
+                }
+                (Some(Stop::Bad(why)), None) => {
+                    out.corruption = Some(format!("{}: {why}", disp(path)));
+                    break 'segments;
+                }
+                _ => unreachable!("decode_one returns exactly one of stop/record"),
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn disp(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Decodes one record at `off`; returns either a stop condition or the
+/// record (never both).
+fn decode_one(
+    bytes: &[u8],
+    off: usize,
+    path: &Path,
+    _first_seq: u64,
+    expect_seq: Option<u64>,
+) -> (Option<Stop>, Option<RecordLoc>) {
+    let avail = bytes.len() - off;
+    if (avail as u64) < HEADER_BYTES {
+        return (
+            Some(Stop::Torn(format!(
+                "{avail}-byte partial header at offset {off}"
+            ))),
+            None,
+        );
+    }
+    let h = &bytes[off..];
+    if h[..4] != MAGIC {
+        return (
+            Some(Stop::Bad(format!("bad record magic at offset {off}"))),
+            None,
+        );
+    }
+    let seq = u64::from_le_bytes(h[4..12].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(h[12..16].try_into().expect("4 bytes")) as u64;
+    if !len.is_multiple_of(4) {
+        return (
+            Some(Stop::Bad(format!(
+                "record seq {seq}: payload length {len} is not a multiple of 4"
+            ))),
+            None,
+        );
+    }
+    let total = HEADER_BYTES + len + CRC_BYTES;
+    if (avail as u64) < total {
+        return (
+            Some(Stop::Torn(format!(
+                "record seq {seq} needs {total} bytes, {avail} available"
+            ))),
+            None,
+        );
+    }
+    let body = &h[4..(HEADER_BYTES + len) as usize];
+    let stored_crc = u32::from_le_bytes(
+        h[(HEADER_BYTES + len) as usize..total as usize]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    let actual = crc32(body);
+    if stored_crc != actual {
+        return (
+            Some(Stop::Bad(format!(
+                "record seq {seq}: CRC mismatch (stored {stored_crc:#010x}, computed {actual:#010x})"
+            ))),
+            None,
+        );
+    }
+    if let Some(expect) = expect_seq {
+        if seq != expect {
+            return (
+                Some(Stop::Bad(format!(
+                    "sequence gap: expected seq {expect}, found {seq}"
+                ))),
+                None,
+            );
+        }
+    }
+    let payload: Vec<f32> = h[HEADER_BYTES as usize..(HEADER_BYTES + len) as usize]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    (
+        None,
+        Some(RecordLoc {
+            seq,
+            path: path.to_path_buf(),
+            offset: off as u64,
+            len: total,
+            payload,
+        }),
+    )
+}
+
+/// Deletes every segment in `dir`, returning how many were removed. Used
+/// by recovery when the entire surviving log is at or below the restored
+/// checkpoint's horizon: appending after such a tail would leave a
+/// sequence gap that a later scan must flag, so the stale log is cleared
+/// and appends restart in a fresh first segment.
+///
+/// # Errors
+///
+/// Returns I/O errors from listing or deleting segments.
+pub fn clear(dir: &Path) -> std::io::Result<usize> {
+    let segs = list_segments(dir)?;
+    let n = segs.len();
+    for (_, path) in segs {
+        fs::remove_file(path)?;
+    }
+    Ok(n)
+}
+
+/// The segmented append-side handle.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    opts: WalOptions,
+    file: Option<File>,
+    current_path: Option<PathBuf>,
+    records_in_segment: u64,
+    appends_since_sync: u64,
+    appends: u64,
+    fsyncs: u64,
+    bytes_written: u64,
+}
+
+impl Wal {
+    /// Creates a fresh log in `dir` (created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`std::io::ErrorKind::AlreadyExists`] if `dir` already
+    /// holds WAL segments — reopening an existing log must go through
+    /// [`Wal::open_for_append`] so the tail is validated first.
+    pub fn create(dir: &Path, opts: WalOptions) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        if !list_segments(dir)?.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                format!(
+                    "{} already holds WAL segments; recover instead of overwriting",
+                    dir.display()
+                ),
+            ));
+        }
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            opts,
+            file: None,
+            current_path: None,
+            records_in_segment: 0,
+            appends_since_sync: 0,
+            appends: 0,
+            fsyncs: 0,
+            bytes_written: 0,
+        })
+    }
+
+    /// Scans an existing log, truncates any torn or damaged tail back to
+    /// the last valid record (deleting unreachable later segments), and
+    /// returns an appender positioned after it, plus the scan that
+    /// describes what was found.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the scan or the repair writes.
+    pub fn open_for_append(dir: &Path, opts: WalOptions) -> std::io::Result<(Self, WalScan)> {
+        fs::create_dir_all(dir)?;
+        let result = scan(dir)?;
+        // Repair: cut the segment holding the last valid record (or the
+        // stop point) back to the end of the valid prefix, and remove
+        // every segment past the stop — appends must land contiguously
+        // after the last record the scan vouched for.
+        let keep_until: Option<(PathBuf, u64)> = result
+            .records
+            .last()
+            .map(|r| (r.path.clone(), r.offset + r.len));
+        let segs = list_segments(dir)?;
+        match &keep_until {
+            Some((last_path, end)) => {
+                let mut past_last = false;
+                for (_, path) in &segs {
+                    if past_last {
+                        fs::remove_file(path)?;
+                    } else if path == last_path {
+                        let meta = fs::metadata(path)?;
+                        if meta.len() > *end {
+                            OpenOptions::new().write(true).open(path)?.set_len(*end)?;
+                        }
+                        past_last = true;
+                    }
+                }
+            }
+            None => {
+                // No valid record anywhere: every segment is damage or
+                // emptiness; clear the lot.
+                for (_, path) in &segs {
+                    fs::remove_file(path)?;
+                }
+            }
+        }
+        let mut wal = Wal {
+            dir: dir.to_path_buf(),
+            opts,
+            file: None,
+            current_path: None,
+            records_in_segment: 0,
+            appends_since_sync: 0,
+            appends: 0,
+            fsyncs: 0,
+            bytes_written: 0,
+        };
+        if let Some((last_path, _)) = keep_until {
+            // Resume inside the surviving final segment.
+            let in_segment = result
+                .records
+                .iter()
+                .rev()
+                .take_while(|r| r.path == last_path)
+                .count() as u64;
+            wal.records_in_segment = in_segment;
+            wal.file = Some(OpenOptions::new().append(true).open(&last_path)?);
+            wal.current_path = Some(last_path);
+        }
+        Ok((wal, result))
+    }
+
+    /// Appends one sealed-window record, rolling to a new segment when the
+    /// current one is full. Returns whether this append was fsynced under
+    /// the configured policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the segment write or fsync.
+    pub fn append(&mut self, seq: u64, payload: &[f32]) -> std::io::Result<bool> {
+        if self.file.is_none() || self.records_in_segment >= self.opts.records_per_segment {
+            let path = self.dir.join(segment_name(seq));
+            self.file = Some(
+                OpenOptions::new()
+                    .create_new(true)
+                    .append(true)
+                    .open(&path)?,
+            );
+            self.current_path = Some(path);
+            self.records_in_segment = 0;
+        }
+        let buf = encode_record(seq, payload);
+        let file = self.file.as_mut().expect("segment open");
+        file.write_all(&buf)?;
+        self.bytes_written += buf.len() as u64;
+        self.records_in_segment += 1;
+        self.appends += 1;
+        self.appends_since_sync += 1;
+        let fsync = match self.opts.fsync {
+            FsyncPolicy::EverySeal => true,
+            FsyncPolicy::EveryN(n) => self.appends_since_sync >= n.max(1),
+            FsyncPolicy::Off => false,
+        };
+        if fsync {
+            file.sync_data()?;
+            self.fsyncs += 1;
+            self.appends_since_sync = 0;
+        }
+        Ok(fsync)
+    }
+
+    /// Forces everything appended so far to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fsync error, if any.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if let Some(file) = self.file.as_mut() {
+            file.sync_data()?;
+            self.fsyncs += 1;
+            self.appends_since_sync = 0;
+        }
+        Ok(())
+    }
+
+    /// Deletes every segment whose records all have `seq <= horizon`
+    /// (whole segments only; the final segment is always kept because it
+    /// may be the live append target). Returns how many were removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from listing or deleting segments.
+    pub fn truncate_below(&mut self, horizon: u64) -> std::io::Result<usize> {
+        let segs = list_segments(&self.dir)?;
+        let mut removed = 0;
+        for i in 0..segs.len() {
+            let next_first = match segs.get(i + 1) {
+                Some(&(first, _)) => first,
+                None => break, // never delete the final (live) segment
+            };
+            // Segment i holds seqs [first_i, next_first); all <= horizon
+            // exactly when next_first <= horizon + 1.
+            if next_first <= horizon.saturating_add(1) {
+                fs::remove_file(&segs[i].1)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Records appended through this handle.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Fsyncs issued through this handle.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// Bytes written through this handle.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "gsm-wal-test-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn payload(seq: u64, n: usize) -> Vec<f32> {
+        (0..n).map(|i| (seq * 1000 + i as u64) as f32).collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_scan_round_trip_across_segments() {
+        let dir = tmp("roundtrip");
+        let mut wal = Wal::create(
+            &dir,
+            WalOptions {
+                fsync: FsyncPolicy::EveryN(2),
+                records_per_segment: 3,
+            },
+        )
+        .unwrap();
+        for seq in 1..=8u64 {
+            wal.append(seq, &payload(seq, 5)).unwrap();
+        }
+        wal.sync().unwrap();
+        assert_eq!(wal.appends(), 8);
+        assert!(wal.fsyncs() >= 4);
+
+        let result = scan(&dir).unwrap();
+        assert_eq!(result.records.len(), 8);
+        assert!(!result.torn_tail);
+        assert!(result.corruption.is_none());
+        assert_eq!(result.segments, 3); // 3 + 3 + 2 records
+        assert_eq!(result.last_seq(), 8);
+        for (i, rec) in result.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+            assert_eq!(rec.payload, payload(rec.seq, 5));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_existing_log() {
+        let dir = tmp("refuse");
+        let mut wal = Wal::create(&dir, WalOptions::default()).unwrap();
+        wal.append(1, &[1.0]).unwrap();
+        drop(wal);
+        let err = Wal::create(&dir, WalOptions::default()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_final_record_detected_at_every_byte_offset() {
+        // The satellite contract: truncate the log at every byte offset of
+        // the final record; the scan must never panic, must keep the valid
+        // prefix, and must never surface the partial record.
+        let full_dir = tmp("torn-src");
+        let mut wal = Wal::create(
+            &full_dir,
+            WalOptions {
+                fsync: FsyncPolicy::Off,
+                records_per_segment: 64,
+            },
+        )
+        .unwrap();
+        for seq in 1..=3u64 {
+            wal.append(seq, &payload(seq, 7)).unwrap();
+        }
+        drop(wal);
+        let reference = scan(&full_dir).unwrap();
+        let last = reference.records.last().unwrap().clone();
+        let seg_bytes = fs::read(&last.path).unwrap();
+
+        for cut in (last.offset as usize)..(last.offset + last.len) as usize {
+            let dir = tmp("torn");
+            fs::create_dir_all(&dir).unwrap();
+            let seg = dir.join(disp(&last.path));
+            fs::write(&seg, &seg_bytes[..cut]).unwrap();
+
+            let result = scan(&dir).unwrap();
+            assert_eq!(
+                result.records.len(),
+                2,
+                "cut at {cut}: only the 2 whole records survive"
+            );
+            assert_eq!(result.last_seq(), 2, "cut at {cut}");
+            if cut == last.offset as usize {
+                // Clean cut exactly at the record boundary: no tear at all.
+                assert!(!result.torn_tail && result.corruption.is_none());
+            } else {
+                // Any cut inside the record is a tear (or, when only the
+                // CRC bytes survive partially, still a tear) — never
+                // silent, never a panic.
+                assert!(
+                    result.torn_tail || result.corruption.is_some(),
+                    "cut at {cut} must be noticed"
+                );
+            }
+
+            // And reopening repairs the tail so appends resume at seq 3.
+            let (mut reopened, rescan) = Wal::open_for_append(&dir, WalOptions::default()).unwrap();
+            assert_eq!(rescan.last_seq(), 2);
+            reopened.append(3, &payload(3, 7)).unwrap();
+            let healed = scan(&dir).unwrap();
+            assert_eq!(healed.records.len(), 3);
+            assert!(healed.corruption.is_none() && !healed.torn_tail);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        std::fs::remove_dir_all(&full_dir).ok();
+    }
+
+    #[test]
+    fn mid_log_damage_is_corruption_not_a_tear() {
+        let dir = tmp("midlog");
+        let mut wal = Wal::create(
+            &dir,
+            WalOptions {
+                fsync: FsyncPolicy::Off,
+                records_per_segment: 2,
+            },
+        )
+        .unwrap();
+        for seq in 1..=6u64 {
+            wal.append(seq, &payload(seq, 4)).unwrap();
+        }
+        drop(wal);
+        // Cut the middle segment (records 3–4) in half: records 5–6 still
+        // exist on disk but are unreachable — that is corruption.
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.len(), 3);
+        let mid = &segs[1].1;
+        let len = fs::metadata(mid).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(mid)
+            .unwrap()
+            .set_len(len / 2 + 1) // off a record boundary: a genuine tear
+            .unwrap();
+
+        let result = scan(&dir).unwrap();
+        assert!(!result.torn_tail);
+        assert!(result.last_seq() <= 3);
+        let msg = result.corruption.expect("mid-log damage must be flagged");
+        assert!(msg.contains("cut short"), "{msg}");
+
+        // Repair keeps the valid prefix and deletes the unreachable tail.
+        let (_, rescan) = Wal::open_for_append(&dir, WalOptions::default()).unwrap();
+        let after = scan(&dir).unwrap();
+        assert_eq!(after.records.len(), rescan.records.len());
+        assert!(after.corruption.is_none() && !after.torn_tail);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_fails_crc() {
+        let dir = tmp("bitflip");
+        let mut wal = Wal::create(&dir, WalOptions::default()).unwrap();
+        for seq in 1..=2u64 {
+            wal.append(seq, &payload(seq, 6)).unwrap();
+        }
+        drop(wal);
+        let before = scan(&dir).unwrap();
+        let first = &before.records[0];
+        let mut bytes = fs::read(&first.path).unwrap();
+        let idx = (first.offset + HEADER_BYTES + 3) as usize;
+        bytes[idx] ^= 0x10;
+        fs::write(&first.path, &bytes).unwrap();
+
+        let result = scan(&dir).unwrap();
+        assert_eq!(result.records.len(), 0, "flip hit record 1; prefix empty");
+        let msg = result.corruption.expect("CRC must catch the flip");
+        assert!(msg.contains("CRC mismatch"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_below_deletes_whole_cold_segments_only() {
+        let dir = tmp("truncate");
+        let mut wal = Wal::create(
+            &dir,
+            WalOptions {
+                fsync: FsyncPolicy::Off,
+                records_per_segment: 2,
+            },
+        )
+        .unwrap();
+        for seq in 1..=7u64 {
+            wal.append(seq, &payload(seq, 3)).unwrap();
+        }
+        // Segments: [1,2], [3,4], [5,6], [7]. Horizon 5 removes the first
+        // two (all records <= 5) but keeps [5,6] (6 > 5) and the live one.
+        let removed = wal.truncate_below(5).unwrap();
+        assert_eq!(removed, 2);
+        let result = scan(&dir).unwrap();
+        assert_eq!(result.records.first().unwrap().seq, 5);
+        assert_eq!(result.last_seq(), 7);
+        assert!(result.corruption.is_none());
+
+        // Horizon past the end still keeps the final segment.
+        let removed = wal.truncate_below(100).unwrap();
+        assert_eq!(removed, 1); // [5,6] goes, [7] stays
+        assert_eq!(scan(&dir).unwrap().last_seq(), 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sequence_gap_is_corruption() {
+        let dir = tmp("gap");
+        let mut wal = Wal::create(
+            &dir,
+            WalOptions {
+                fsync: FsyncPolicy::Off,
+                records_per_segment: 1,
+            },
+        )
+        .unwrap();
+        for seq in 1..=3u64 {
+            wal.append(seq, &payload(seq, 2)).unwrap();
+        }
+        drop(wal);
+        // Remove the middle segment entirely: 1, _, 3.
+        let segs = list_segments(&dir).unwrap();
+        fs::remove_file(&segs[1].1).unwrap();
+        let result = scan(&dir).unwrap();
+        assert_eq!(result.records.len(), 1);
+        assert!(result
+            .corruption
+            .as_deref()
+            .is_some_and(|m| m.contains("sequence gap")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_continues_segment_counts() {
+        let dir = tmp("reopen");
+        let opts = WalOptions {
+            fsync: FsyncPolicy::Off,
+            records_per_segment: 3,
+        };
+        let mut wal = Wal::create(&dir, opts).unwrap();
+        for seq in 1..=4u64 {
+            wal.append(seq, &payload(seq, 2)).unwrap();
+        }
+        drop(wal);
+        let (mut wal, rescan) = Wal::open_for_append(&dir, opts).unwrap();
+        assert_eq!(rescan.last_seq(), 4);
+        // Seq 5 lands in the second segment (which holds only seq 4), then
+        // 6 fills it and 7 rolls a third.
+        for seq in 5..=7u64 {
+            wal.append(seq, &payload(seq, 2)).unwrap();
+        }
+        let result = scan(&dir).unwrap();
+        assert_eq!(result.records.len(), 7);
+        assert_eq!(result.segments, 3);
+        assert!(result.corruption.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -66,6 +66,19 @@ pub enum EngineEvent {
         /// Human-readable magnitude (`observed X > bound Y`).
         detail: String,
     },
+    /// The engine was rebuilt from a checkpoint plus a WAL tail replay.
+    Recovery {
+        /// WAL sequence the restored checkpoint covered.
+        checkpoint_wal_seq: u64,
+        /// WAL records replayed on top of the checkpoint.
+        replayed_records: u64,
+        /// Stream elements those records carried.
+        replayed_elements: u64,
+        /// The log ended in a torn (crash-truncated) final record.
+        torn_tail: bool,
+        /// Detected corruption description, empty when the log was clean.
+        corruption: String,
+    },
 }
 
 impl EngineEvent {
@@ -79,6 +92,7 @@ impl EngineEvent {
             EngineEvent::MergeBoundWidened { .. } => "merge_bound_widened",
             EngineEvent::WorkerPanic { .. } => "worker_panic",
             EngineEvent::AuditViolation { .. } => "audit_violation",
+            EngineEvent::Recovery { .. } => "recovery",
         }
     }
 
@@ -122,6 +136,23 @@ impl EngineEvent {
                     ",\"check\":\"{}\",\"detail\":\"{}\"",
                     json_escape(check),
                     json_escape(detail)
+                );
+            }
+            EngineEvent::Recovery {
+                checkpoint_wal_seq,
+                replayed_records,
+                replayed_elements,
+                torn_tail,
+                corruption,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"checkpoint_wal_seq\":{checkpoint_wal_seq}\
+                     ,\"replayed_records\":{replayed_records}\
+                     ,\"replayed_elements\":{replayed_elements}\
+                     ,\"torn_tail\":{torn_tail}\
+                     ,\"corruption\":\"{}\"",
+                    json_escape(corruption)
                 );
             }
         }
@@ -271,5 +302,29 @@ mod tests {
             seal.to_json(),
             "{\"seq\":1,\"at_ns\":0,\"tid\":1,\"kind\":\"seal\",\"window\":1024,\"shards\":2}"
         );
+    }
+
+    #[test]
+    fn recovery_event_renders_all_fields() {
+        let e = FlightEvent {
+            seq: 2,
+            at_ns: 5,
+            tid: 1,
+            event: EngineEvent::Recovery {
+                checkpoint_wal_seq: 8,
+                replayed_records: 3,
+                replayed_elements: 3072,
+                torn_tail: true,
+                corruption: "wal-0000000009.seg: CRC mismatch \"x\"".to_string(),
+            },
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"kind\":\"recovery\""));
+        assert!(json.contains("\"checkpoint_wal_seq\":8"));
+        assert!(json.contains("\"replayed_records\":3"));
+        assert!(json.contains("\"replayed_elements\":3072"));
+        assert!(json.contains("\"torn_tail\":true"));
+        assert!(json.contains("\\\"x\\\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

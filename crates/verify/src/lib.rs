@@ -21,6 +21,12 @@
 //! - [`diff`] — the differential driver: one stream fans out across every
 //!   [`gsm_core::Engine`] × every estimator, answers are fingerprinted and
 //!   cross-checked, and the agreed answers are audited against the oracles.
+//! - [`durable`] — the crash-recovery driver: every family is ingested
+//!   durably (WAL + incremental checkpoints), killed at configured crash
+//!   points, damaged by a seeded [`gsm_durable::FaultPlan`], and
+//!   recovered; recovered answers must fingerprint byte-identically to an
+//!   uncrashed run over the recovered prefix, and every injected
+//!   corruption must be detected, never silently replayed.
 //! - [`serve`] — the served-vs-direct driver: every query kind is asked
 //!   through the `gsm-serve` frontend and byte-compared against the same
 //!   query run directly on the engine and its published snapshot, plus
@@ -41,6 +47,7 @@
 
 pub mod audit;
 pub mod diff;
+pub mod durable;
 pub mod gen;
 pub mod serve;
 pub mod shard;
@@ -51,6 +58,9 @@ pub use audit::{
     frequency_space_envelope, quantile_space_envelope, AuditCheck, AuditReport,
 };
 pub use diff::{verify_family, EngineRun, FamilyOutcome, VerifyConfig};
+pub use durable::{
+    verify_family_recovered, DurableFamilyOutcome, DurableVerifyConfig, RecoveredRun,
+};
 pub use gen::{Family, SplitMix, StreamSpec};
 pub use serve::{verify_family_served, ServeFamilyOutcome, ServeRun};
 pub use shard::{verify_family_sharded, ShardRun, ShardedFamilyOutcome};
@@ -64,8 +74,15 @@ pub use shard::{verify_family_sharded, ShardRun, ShardedFamilyOutcome};
 /// and the bound-versus-observed detail, so a postmortem dump names
 /// exactly which guarantee broke. A passing outcome records nothing.
 pub fn record_violations(rec: &gsm_obs::Recorder, outcome: &FamilyOutcome) -> usize {
-    let failures = outcome.failures();
-    for line in &failures {
+    record_failure_lines(rec, &outcome.failures())
+}
+
+/// Records pre-rendered failure lines (the `failures()` format shared by
+/// every driver outcome in this crate: `check: detail`) into the
+/// recorder's flight ring as [`gsm_obs::EngineEvent::AuditViolation`]
+/// events and returns how many were recorded.
+pub fn record_failure_lines(rec: &gsm_obs::Recorder, failures: &[String]) -> usize {
+    for line in failures {
         let (check, detail) = line
             .split_once(": ")
             .unwrap_or((line.as_str(), "unparsed failure"));

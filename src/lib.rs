@@ -33,6 +33,9 @@
 //!   isolated readers over a serving [`dsms::StreamEngine`], a bounded
 //!   worker pool with admission control and deadlines, and a
 //!   line-delimited TCP front.
+//! * [`durable`] ([`gsm_durable`]) — crash-safe durability: the segmented
+//!   CRC-checksummed write-ahead log, the atomic checkpoint store, and the
+//!   deterministic fault-injection plan behind the recovery gate.
 //! * [`verify`] ([`gsm_verify`]) — the standing verification gate:
 //!   deterministic adversarial stream generators, exact-oracle bound
 //!   auditors ([`verify::AuditReport`]), and the differential driver that
@@ -61,6 +64,7 @@
 pub use gsm_core as core;
 pub use gsm_cpu as cpu;
 pub use gsm_dsms as dsms;
+pub use gsm_durable as durable;
 pub use gsm_gpu as gpu;
 pub use gsm_model as model;
 pub use gsm_obs as obs;
