@@ -1,0 +1,207 @@
+//! **Ingest benchmark** — scalar `push` vs columnar `push_batch`
+//! throughput through the full `StreamEngine` stack.
+//!
+//! The batched ingest plane exists to amortize per-element work: one
+//! router pass per batch instead of one virtual call per element, slice
+//! memcpys into the window buffers instead of per-element pushes, and
+//! window-boundary bookkeeping once per chunk. This harness measures the
+//! payoff end to end: the same skewed stream is ingested through the
+//! public scalar API (`push` per element) and through `push_batch` at a
+//! sweep of batch lengths, at shard counts 1 and 4 on
+//! `Engine::ParallelHost`.
+//!
+//! ```text
+//! cargo run --release -p gsm-bench --bin bench_ingest [-- --elements 4194304
+//!     --window 32768 --repeats 3 --min-speedup 1.3 --out results/BENCH_ingest.json]
+//! ```
+//!
+//! Two things are asserted in-binary, not just reported:
+//!
+//! * **Byte identity** — every batched run's checkpoint envelope must be
+//!   byte-identical to the scalar run's at the same shard count (same
+//!   seals, same summary state, same answers).
+//! * **The speedup floor** — the best batched throughput at k = 4 must be
+//!   at least `--min-speedup` (default 1.3×) over the scalar baseline.
+//!   Pass `--min-speedup 0` to measure without gating.
+
+use std::time::Instant;
+
+use gsm_bench::Args;
+use gsm_core::Engine;
+use gsm_dsms::StreamEngine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One measured ingest configuration.
+#[derive(serde::Serialize)]
+struct IngestRun {
+    shards: usize,
+    /// Batch length, or 0 for the scalar `push` loop.
+    batch: usize,
+    elements: u64,
+    /// Best-of-`repeats` wall-clock seconds for ingest + flush.
+    wall_secs: f64,
+    /// Elements per wall-clock second.
+    throughput_eps: f64,
+    /// Throughput relative to the scalar baseline at the same shard count.
+    speedup_vs_scalar: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Report {
+    bench: String,
+    engine: String,
+    elements: u64,
+    window: usize,
+    repeats: usize,
+    host_threads: usize,
+    /// The asserted k = 4 batch-over-scalar floor (0 = not gated).
+    min_speedup: f64,
+    /// Best batched throughput at k = 4 over the k = 4 scalar baseline.
+    best_speedup_k4: f64,
+    runs: Vec<IngestRun>,
+}
+
+/// A skewed integer-id stream (hot head + long tail).
+fn stream(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.random_range(0..2u32) == 0 {
+                rng.random_range(0..16u32) as f32
+            } else {
+                rng.random_range(16..4096u32) as f32
+            }
+        })
+        .collect()
+}
+
+/// Builds the benchmark engine: one frequency query whose ε pins the
+/// shared window to `window`.
+fn build(window: usize, shards: usize, n: usize) -> StreamEngine {
+    let mut eng = StreamEngine::new(Engine::ParallelHost)
+        .with_n_hint(n as u64)
+        .with_shards(shards);
+    eng.register_frequency(1.0 / window as f64);
+    eng
+}
+
+/// Ingests the stream once and returns (wall seconds, checkpoint).
+fn ingest_once(data: &[f32], window: usize, shards: usize, batch: usize) -> (f64, String) {
+    let mut eng = build(window, shards, data.len());
+    eng.seal();
+    assert_eq!(eng.window(), window, "ε must pin the shared window");
+    let start = Instant::now();
+    if batch == 0 {
+        for &v in data {
+            eng.push(v);
+        }
+    } else {
+        for chunk in data.chunks(batch) {
+            eng.push_batch(chunk);
+        }
+    }
+    eng.flush();
+    let wall = start.elapsed().as_secs_f64();
+    (wall, eng.checkpoint())
+}
+
+/// Best-of-`repeats` run for one configuration; the checkpoint must be
+/// identical across repeats (ingest is deterministic).
+fn run(data: &[f32], window: usize, shards: usize, batch: usize, repeats: usize) -> (f64, String) {
+    let mut best = f64::INFINITY;
+    let mut checkpoint = String::new();
+    for _ in 0..repeats.max(1) {
+        let (wall, cp) = ingest_once(data, window, shards, batch);
+        if !checkpoint.is_empty() {
+            assert_eq!(cp, checkpoint, "repeat runs must be deterministic");
+        }
+        checkpoint = cp;
+        best = best.min(wall);
+    }
+    (best, checkpoint)
+}
+
+fn main() {
+    let args = Args::parse();
+    let elements: usize = args.get_num("elements", 1 << 22);
+    let window: usize = args.get_num("window", 1 << 15);
+    let repeats: usize = args.get_num("repeats", 3);
+    let min_speedup: f64 = args.get_num("min-speedup", 1.3);
+    let out = args
+        .get("out")
+        .unwrap_or("results/BENCH_ingest.json")
+        .to_string();
+
+    let data = stream(elements, 42);
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let batches = [64usize, 1024, 8192, 65536];
+
+    println!(
+        "# ingest benchmark: {elements} elements, window {window}, {threads} host thread(s)\n"
+    );
+
+    let mut runs = Vec::new();
+    let mut best_speedup_k4 = 0.0f64;
+    for &k in &[1usize, 4] {
+        let (scalar_wall, scalar_cp) = run(&data, window, k, 0, repeats);
+        let scalar_eps = elements as f64 / scalar_wall;
+        println!("k={k}: scalar        {scalar_eps:>12.0} elem/s ({scalar_wall:.3}s)");
+        runs.push(IngestRun {
+            shards: k,
+            batch: 0,
+            elements: elements as u64,
+            wall_secs: scalar_wall,
+            throughput_eps: scalar_eps,
+            speedup_vs_scalar: 1.0,
+        });
+        for &batch in &batches {
+            let (wall, cp) = run(&data, window, k, batch, repeats);
+            // The identity contract, asserted on the real benchmark
+            // workload: batch ingest must leave the engine byte-identical
+            // to the scalar loop.
+            assert_eq!(
+                cp, scalar_cp,
+                "batched checkpoint diverged from scalar at k={k} batch={batch}"
+            );
+            let eps = elements as f64 / wall;
+            let speedup = eps / scalar_eps;
+            if k == 4 {
+                best_speedup_k4 = best_speedup_k4.max(speedup);
+            }
+            println!("k={k}: batch={batch:<6} {eps:>12.0} elem/s ({wall:.3}s)  {speedup:>5.2}x");
+            runs.push(IngestRun {
+                shards: k,
+                batch,
+                elements: elements as u64,
+                wall_secs: wall,
+                throughput_eps: eps,
+                speedup_vs_scalar: speedup,
+            });
+        }
+    }
+
+    println!("\nbest k=4 batch-over-scalar speedup: {best_speedup_k4:.2}x");
+    assert!(
+        best_speedup_k4 >= min_speedup,
+        "batched ingest at k=4 must be at least {min_speedup}x over scalar, got {best_speedup_k4:.2}x"
+    );
+
+    let report = Report {
+        bench: "ingest".to_string(),
+        engine: "ParallelHost".to_string(),
+        elements: elements as u64,
+        window,
+        repeats,
+        host_threads: threads,
+        min_speedup,
+        best_speedup_k4,
+        runs,
+    };
+    let payload = serde_json::to_string(&report).expect("report serializes");
+    gsm_bench::write_result(
+        &out,
+        &gsm_bench::envelope_json("gsm-bench/bench_ingest", &payload),
+    );
+    println!("wrote {out}");
+}

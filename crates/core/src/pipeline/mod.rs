@@ -218,6 +218,38 @@ impl<S: SummarySink> WindowedPipeline<S> {
         }
     }
 
+    /// Fills the window buffer from a slice, cutting a window each time the
+    /// buffer fills.
+    ///
+    /// This is the columnar counterpart of [`WindowedPipeline::push`]: the
+    /// slice is copied into the window buffer in window-sized chunks
+    /// (`extend_from_slice`, i.e. one memcpy per chunk) instead of one
+    /// element at a time. Window boundaries, seal order, and the
+    /// `window_ingest` span are byte-identical to pushing the same values
+    /// individually.
+    pub fn push_slice(&mut self, values: &[f32]) {
+        debug_assert!(
+            values.iter().all(|v| v.is_finite()),
+            "stream values must be finite"
+        );
+        let mut rest = values;
+        while !rest.is_empty() {
+            if self.buffer.is_empty() && self.obs.is_enabled() {
+                self.ingest_started = Some(Instant::now());
+            }
+            let room = self.window - self.buffer.len();
+            let take = room.min(rest.len());
+            let (chunk, tail) = rest.split_at(take);
+            self.buffer.extend_from_slice(chunk);
+            rest = tail;
+            if self.buffer.len() == self.window {
+                self.finish_ingest_span();
+                let w = core::mem::replace(&mut self.buffer, Vec::with_capacity(self.window));
+                self.submit_window(w);
+            }
+        }
+    }
+
     /// Closes the ingest span covering the window that just filled.
     fn finish_ingest_span(&mut self) {
         if let Some(started) = self.ingest_started.take() {

@@ -43,6 +43,24 @@ pub trait ShardRouter: Send {
     /// Picks the shard (`< shards`) for `value`.
     fn route(&mut self, value: f32, shards: usize) -> usize;
 
+    /// Routes a whole batch, appending each value to its shard's staging
+    /// buffer.
+    ///
+    /// The contract is strict equivalence with the scalar path: calling
+    /// `route_batch(values, ..)` must leave the router's state and the
+    /// staging buffers exactly as `for v in values { staging[route(v)] }`
+    /// would — same shard per value, same relative order within each
+    /// shard. The default implementation is that loop; implementations
+    /// override it to amortize per-element work (one virtual call per
+    /// batch instead of per element, run-length `extend_from_slice`,
+    /// strided copies).
+    fn route_batch(&mut self, values: &[f32], shards: usize, staging: &mut [Vec<f32>]) {
+        for &v in values {
+            let shard = self.route(v, shards);
+            staging[shard].push(v);
+        }
+    }
+
     /// A stable name for checkpoints and reports.
     fn name(&self) -> &'static str;
 }
@@ -67,6 +85,18 @@ impl ShardRouter for HashRouter {
         (splitmix64(u64::from(value.to_bits())) % shards as u64) as usize
     }
 
+    fn route_batch(&mut self, values: &[f32], shards: usize, staging: &mut [Vec<f32>]) {
+        if shards == 1 {
+            staging[0].extend_from_slice(values);
+            return;
+        }
+        // Monomorphic loop: one virtual dispatch per batch, not per value.
+        for &v in values {
+            let shard = (splitmix64(u64::from(v.to_bits())) % shards as u64) as usize;
+            staging[shard].push(v);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "hash"
     }
@@ -86,6 +116,23 @@ impl ShardRouter for RoundRobinRouter {
         let shard = (self.next % shards as u64) as usize;
         self.next = self.next.wrapping_add(1);
         shard
+    }
+
+    fn route_batch(&mut self, values: &[f32], shards: usize, staging: &mut [Vec<f32>]) {
+        if shards == 1 {
+            staging[0].extend_from_slice(values);
+            self.next = self.next.wrapping_add(values.len() as u64);
+            return;
+        }
+        // Shard assignment is index arithmetic, so each shard's share is a
+        // strided view of the batch — one pass per shard, no per-value
+        // routing call.
+        let start = (self.next % shards as u64) as usize;
+        for (s, stage) in staging.iter_mut().enumerate().take(shards) {
+            let offset = (s + shards - start) % shards;
+            stage.extend(values.iter().skip(offset).step_by(shards));
+        }
+        self.next = self.next.wrapping_add(values.len() as u64);
     }
 
     fn name(&self) -> &'static str {
@@ -124,6 +171,30 @@ impl ShardRouter for RangeRouter {
         idx.min(shards - 1)
     }
 
+    fn route_batch(&mut self, values: &[f32], shards: usize, staging: &mut [Vec<f32>]) {
+        if shards == 1 {
+            staging[0].extend_from_slice(values);
+            return;
+        }
+        // Range-partitioned streams are typically locally clustered, so
+        // consecutive values tend to share a shard: binary-search each value
+        // once, but copy whole same-shard runs with one `extend_from_slice`.
+        let Some(&first) = values.first() else {
+            return;
+        };
+        let mut run_start = 0;
+        let mut run_shard = self.route(first, shards);
+        for (idx, &v) in values.iter().enumerate().skip(1) {
+            let shard = self.route(v, shards);
+            if shard != run_shard {
+                staging[run_shard].extend_from_slice(&values[run_start..idx]);
+                run_start = idx;
+                run_shard = shard;
+            }
+        }
+        staging[run_shard].extend_from_slice(&values[run_start..]);
+    }
+
     fn name(&self) -> &'static str {
         "range"
     }
@@ -155,6 +226,9 @@ pub struct ShardedPipeline<S> {
     /// Cumulative query-time merge work (never part of the shards' ingest
     /// ledgers).
     merge_ops: OpCounter,
+    /// Per-shard staging buffers reused across [`ShardedPipeline::push_batch`]
+    /// calls (cleared after each drain, capacity retained).
+    staging: Vec<Vec<f32>>,
 }
 
 /// One worker per available hardware thread, capped at four — the same
@@ -267,12 +341,14 @@ impl<S: SummarySink> ShardedPipeline<S> {
                 wp
             })
             .collect();
+        let staging = (0..shards.len()).map(|_| Vec::new()).collect();
         ShardedPipeline {
             shards,
             router,
             pool,
             obs: rec,
             merge_ops: OpCounter::default(),
+            staging,
         }
     }
 
@@ -371,6 +447,35 @@ impl<S: SummarySink> ShardedPipeline<S> {
     pub fn push(&mut self, value: f32) {
         let shard = self.router.route(value, self.shards.len());
         self.shards[shard].push(value);
+    }
+
+    /// Routes a whole batch: one [`ShardRouter::route_batch`] pass into
+    /// per-shard staging buffers, then one slice fill
+    /// ([`WindowedPipeline::push_slice`]) per shard.
+    ///
+    /// Per-shard element order — and therefore every shard's window
+    /// contents, seal sequence, and sink state — is identical to pushing
+    /// the same values one at a time, because routing is a pure function
+    /// of value / arrival index and each shard's pipeline sees its own
+    /// subsequence in arrival order. The staging buffers are owned by the
+    /// pipeline and reused across calls, so steady-state batches allocate
+    /// nothing.
+    pub fn push_batch(&mut self, values: &[f32]) {
+        if values.is_empty() {
+            return;
+        }
+        if self.shards.len() == 1 {
+            self.shards[0].push_slice(values);
+            return;
+        }
+        self.router
+            .route_batch(values, self.shards.len(), &mut self.staging);
+        for (shard, stage) in self.shards.iter_mut().zip(self.staging.iter_mut()) {
+            if !stage.is_empty() {
+                shard.push_slice(stage);
+                stage.clear();
+            }
+        }
     }
 
     /// Forces every shard's buffered data through its pipeline and into

@@ -1,0 +1,254 @@
+//! Validated construction of [`StreamEngine`]s.
+//!
+//! The engine grew its configuration one chained `with_*` method at a
+//! time, and the chain has accumulated foot-guns: `with_shards(0)` and
+//! `with_publish_every(0)` panic at the call site, `with_durability`
+//! forces a mid-chain `?`, and every ordering constraint ("before pushing
+//! stream data") is enforced by asserts scattered across the methods.
+//! [`EngineBuilder`] consolidates the chain behind one front door that
+//! validates the whole configuration at [`EngineBuilder::build`] time and
+//! reports problems as a typed [`BuildError`] instead of a panic. The
+//! `with_*` methods remain — they are the thin wrappers the builder
+//! delegates to, so no existing caller breaks.
+//!
+//! Field application order is canonical and independent of setter call
+//! order: hints and observers first, then sharding, then serving cadence,
+//! then durability last (so the base checkpoint written when a durable
+//! engine seals reflects the full configuration). This removes the
+//! legacy chain's silent ordering hazards — e.g. attaching durability
+//! before widening the shard count.
+
+use std::fmt;
+
+use gsm_core::Engine;
+use gsm_obs::Recorder;
+
+use crate::durable::DurableOptions;
+use crate::engine::{StreamEngine, WindowTap};
+
+/// Why [`EngineBuilder::build`] rejected a configuration.
+#[derive(Debug)]
+pub enum BuildError {
+    /// `shards(0)`: at least one shard pipeline is required.
+    ZeroShards,
+    /// `publish_every(0)`: the publication cadence is measured in sealed
+    /// windows and must be at least 1.
+    ZeroPublishCadence,
+    /// Opening the durable directory failed — including refusing a dirty
+    /// directory that already holds WAL segments (recover instead of
+    /// overwriting).
+    Durability(std::io::Error),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ZeroShards => write!(f, "shard count must be at least 1"),
+            BuildError::ZeroPublishCadence => {
+                write!(f, "publication cadence must be at least 1 window")
+            }
+            BuildError::Durability(e) => write!(f, "durability setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Durability(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a [`StreamEngine`] with build-time validation.
+///
+/// ```
+/// use gsm_core::Engine;
+/// use gsm_dsms::EngineBuilder;
+///
+/// let mut eng = EngineBuilder::new(Engine::Host)
+///     .n_hint(10_000)
+///     .shards(2)
+///     .build()
+///     .expect("valid configuration");
+/// let q = eng.register_quantile(0.02);
+/// eng.push_all((0..10_000).map(|i| (i % 100) as f32));
+/// assert!((40.0..60.0).contains(&eng.quantile(q, 0.5)));
+/// ```
+pub struct EngineBuilder {
+    engine: Engine,
+    n_hint: Option<u64>,
+    shards: Option<usize>,
+    recorder: Option<Recorder>,
+    tap: Option<WindowTap>,
+    publish_every: Option<u64>,
+    durability: Option<DurableOptions>,
+}
+
+impl EngineBuilder {
+    /// Starts a configuration for the given sort backend.
+    pub fn new(engine: Engine) -> Self {
+        EngineBuilder {
+            engine,
+            n_hint: None,
+            shards: None,
+            recorder: None,
+            tap: None,
+            publish_every: None,
+            durability: None,
+        }
+    }
+
+    /// Hints the expected stream length (affects quantile level budgets).
+    /// Default: 10⁸.
+    pub fn n_hint(mut self, n: u64) -> Self {
+        self.n_hint = Some(n);
+        self
+    }
+
+    /// Partitions ingestion across `k` shard pipelines. Default: 1.
+    /// Validated at [`Self::build`]: `k = 0` is [`BuildError::ZeroShards`].
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = Some(k);
+        self
+    }
+
+    /// Installs an observability recorder (see
+    /// [`StreamEngine::with_recorder`]).
+    pub fn recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Installs an audit tap invoked with every sealed window (see
+    /// [`StreamEngine::with_window_tap`]).
+    pub fn window_tap(mut self, tap: WindowTap) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
+    /// Sets the snapshot publication cadence in sealed windows (default
+    /// one). Validated at [`Self::build`]: `n = 0` is
+    /// [`BuildError::ZeroPublishCadence`].
+    pub fn publish_every(mut self, n: u64) -> Self {
+        self.publish_every = Some(n);
+        self
+    }
+
+    /// Attaches crash-safe durability (see
+    /// [`StreamEngine::with_durability`]). I/O happens at
+    /// [`Self::build`]; failures surface as [`BuildError::Durability`].
+    pub fn durability(mut self, opts: DurableOptions) -> Self {
+        self.durability = Some(opts);
+        self
+    }
+
+    /// Validates the configuration and constructs the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::ZeroShards`], [`BuildError::ZeroPublishCadence`], or
+    /// [`BuildError::Durability`] for I/O failures opening the durable
+    /// directory.
+    pub fn build(self) -> Result<StreamEngine, BuildError> {
+        if self.shards == Some(0) {
+            return Err(BuildError::ZeroShards);
+        }
+        if self.publish_every == Some(0) {
+            return Err(BuildError::ZeroPublishCadence);
+        }
+        let mut eng = StreamEngine::new(self.engine);
+        if let Some(n) = self.n_hint {
+            eng = eng.with_n_hint(n);
+        }
+        if let Some(rec) = self.recorder {
+            eng = eng.with_recorder(rec);
+        }
+        if let Some(k) = self.shards {
+            eng = eng.with_shards(k);
+        }
+        if let Some(tap) = self.tap {
+            eng = eng.with_window_tap(tap);
+        }
+        if let Some(n) = self.publish_every {
+            eng = eng.with_publish_every(n);
+        }
+        if let Some(opts) = self.durability {
+            eng = eng.with_durability(opts).map_err(BuildError::Durability)?;
+        }
+        Ok(eng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_the_legacy_chain() {
+        let data: Vec<f32> = (0..4096).map(|i| (i % 97) as f32).collect();
+        let mut built = EngineBuilder::new(Engine::Host)
+            .n_hint(4096)
+            .shards(2)
+            .build()
+            .expect("valid configuration");
+        let mut chained = StreamEngine::new(Engine::Host)
+            .with_n_hint(4096)
+            .with_shards(2);
+        let qb = built.register_quantile(0.02);
+        let qc = chained.register_quantile(0.02);
+        built.push_all(data.iter().copied());
+        chained.push_all(data.iter().copied());
+        assert_eq!(built.checkpoint(), chained.checkpoint());
+        assert_eq!(
+            built.quantile(qb, 0.5).to_bits(),
+            chained.quantile(qc, 0.5).to_bits()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards() {
+        let Err(err) = EngineBuilder::new(Engine::Host).shards(0).build() else {
+            panic!("zero shards must be rejected");
+        };
+        assert!(matches!(err, BuildError::ZeroShards), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_publish_cadence() {
+        let Err(err) = EngineBuilder::new(Engine::Host).publish_every(0).build() else {
+            panic!("zero cadence must be rejected");
+        };
+        assert!(matches!(err, BuildError::ZeroPublishCadence), "{err}");
+    }
+
+    #[test]
+    fn builder_surfaces_durability_io_errors() {
+        // A dirty durable directory is refused with AlreadyExists — the
+        // builder converts that into a typed error instead of a panic.
+        let dir = std::env::temp_dir().join(format!("gsm-builder-dirty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut eng = EngineBuilder::new(Engine::Host)
+                .durability(DurableOptions::new(&dir))
+                .build()
+                .expect("fresh directory");
+            eng.register_quantile(0.02);
+            eng.push_all((0..2048).map(|i| i as f32));
+        }
+        let Err(err) = EngineBuilder::new(Engine::Host)
+            .durability(DurableOptions::new(&dir))
+            .build()
+        else {
+            panic!("dirty durable directory must be refused");
+        };
+        match err {
+            BuildError::Durability(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::AlreadyExists)
+            }
+            other => panic!("expected Durability error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

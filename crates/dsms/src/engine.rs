@@ -49,6 +49,125 @@ pub enum QueryAnswer {
     Hhh(Vec<HhhEntry>),
 }
 
+/// A typed continuous-query request: the parameter carries its meaning in
+/// the variant, replacing the untyped `param: f64` overload of
+/// [`StreamEngine::query`] / [`EngineSnapshot::answer`]. Both untyped
+/// forms remain as thin wrappers that map onto this type.
+///
+/// [`EngineSnapshot::answer`]: crate::snapshot::EngineSnapshot::answer
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum QueryRequest {
+    /// Whole-stream φ-quantile.
+    Quantile {
+        /// Quantile fraction in `[0, 1]`.
+        phi: f64,
+    },
+    /// Whole-stream heavy hitters at a support threshold.
+    HeavyHitters {
+        /// Support threshold in `(ε, 1]`.
+        support: f64,
+    },
+    /// Hierarchical heavy hitters at a support threshold.
+    Hhh {
+        /// Support threshold in `(ε, 1]`.
+        support: f64,
+    },
+    /// Sliding-window φ-quantile.
+    SlidingQuantile {
+        /// Quantile fraction in `[0, 1]`.
+        phi: f64,
+    },
+    /// Sliding-window heavy hitters at a support threshold.
+    SlidingFrequency {
+        /// Support threshold in `(ε, 1]`.
+        support: f64,
+    },
+}
+
+impl QueryRequest {
+    /// The query kind this request addresses.
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            QueryRequest::Quantile { .. } => QueryKind::Quantile,
+            QueryRequest::HeavyHitters { .. } => QueryKind::Frequency,
+            QueryRequest::Hhh { .. } => QueryKind::Hhh,
+            QueryRequest::SlidingQuantile { .. } => QueryKind::SlidingQuantile,
+            QueryRequest::SlidingFrequency { .. } => QueryKind::SlidingFrequency,
+        }
+    }
+
+    /// The untyped parameter (φ for quantile kinds, the support otherwise)
+    /// — the bridge back to the legacy `param: f64` interfaces.
+    pub fn param(&self) -> f64 {
+        match *self {
+            QueryRequest::Quantile { phi } | QueryRequest::SlidingQuantile { phi } => phi,
+            QueryRequest::HeavyHitters { support }
+            | QueryRequest::Hhh { support }
+            | QueryRequest::SlidingFrequency { support } => support,
+        }
+    }
+
+    /// The typed form of a legacy `(kind, param)` pair.
+    pub fn from_kind(kind: QueryKind, param: f64) -> Self {
+        match kind {
+            QueryKind::Quantile => QueryRequest::Quantile { phi: param },
+            QueryKind::Frequency => QueryRequest::HeavyHitters { support: param },
+            QueryKind::Hhh => QueryRequest::Hhh { support: param },
+            QueryKind::SlidingQuantile => QueryRequest::SlidingQuantile { phi: param },
+            QueryKind::SlidingFrequency => QueryRequest::SlidingFrequency { support: param },
+        }
+    }
+}
+
+/// A columnar batch of stream values for [`StreamEngine::push_batch`]:
+/// either a column borrowed from the caller (zero-copy) or an owned slab
+/// (e.g. filled by a batch generator and handed off).
+#[derive(Clone, Debug)]
+pub enum ValueBatch<'a> {
+    /// A column borrowed from the caller.
+    Borrowed(&'a [f32]),
+    /// An owned slab.
+    Owned(Vec<f32>),
+}
+
+impl ValueBatch<'_> {
+    /// The batch's values as one contiguous column.
+    pub fn as_slice(&self) -> &[f32] {
+        match self {
+            ValueBatch::Borrowed(s) => s,
+            ValueBatch::Owned(v) => v,
+        }
+    }
+
+    /// Number of values in the batch.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the batch holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+impl<'a> From<&'a [f32]> for ValueBatch<'a> {
+    fn from(values: &'a [f32]) -> Self {
+        ValueBatch::Borrowed(values)
+    }
+}
+
+impl<'a> From<&'a Vec<f32>> for ValueBatch<'a> {
+    fn from(values: &'a Vec<f32>) -> Self {
+        ValueBatch::Borrowed(values.as_slice())
+    }
+}
+
+impl From<Vec<f32>> for ValueBatch<'static> {
+    fn from(values: Vec<f32>) -> Self {
+        ValueBatch::Owned(values)
+    }
+}
+
 #[derive(Clone, serde::Serialize, serde::Deserialize)]
 enum QuerySpec {
     Quantile {
@@ -347,6 +466,12 @@ impl StreamEngine {
         }
     }
 
+    /// Starts a validated configuration — the consolidated front door for
+    /// the chained `with_*` constructors (see [`crate::EngineBuilder`]).
+    pub fn builder(engine: Engine) -> crate::EngineBuilder {
+        crate::EngineBuilder::new(engine)
+    }
+
     /// Hints the expected stream length (affects quantile level budgets).
     pub fn with_n_hint(mut self, n: u64) -> Self {
         self.n_hint = n;
@@ -594,22 +719,78 @@ impl StreamEngine {
     }
 
     /// Pushes one stream element into every registered query.
+    ///
+    /// This is the batch-of-one case of [`Self::push_batch`]; a length-1
+    /// batch takes exactly one chunk, so the scalar path's semantics
+    /// (per-element publish checks, durable bookkeeping) are unchanged.
     pub fn push(&mut self, value: f32) {
-        self.seal();
-        self.count += 1;
-        self.pipeline.as_mut().expect("sealed").push(value);
-        if self.dur.is_some() {
-            self.durable_ingest(value);
+        self.push_batch(&[value][..]);
+    }
+
+    /// Pushes a columnar batch of stream elements into every registered
+    /// query.
+    ///
+    /// The batch is split once at global window boundaries instead of
+    /// checking per element. Each chunk is routed in one
+    /// [`gsm_core::ShardRouter::route_batch`] pass and memcpy'd into the
+    /// per-shard window buffers, and WAL/checkpoint bookkeeping runs once
+    /// per chunk. Window-boundary chunking is what makes the batch path
+    /// byte-identical to pushing the same values one at a time: the chunk
+    /// boundary is simultaneously the durable record boundary (the pending
+    /// WAL buffer fills exactly at `count % window == 0`) and, with one
+    /// shard, the seal boundary — so seal sequences, checkpoints, WAL
+    /// bytes, and answers all match the scalar path. With several shards,
+    /// snapshot publication is evaluated at chunk boundaries rather than
+    /// after every element, which can coalesce publications but never
+    /// changes any published answer.
+    pub fn push_batch<'a>(&mut self, batch: impl Into<ValueBatch<'a>>) {
+        let batch = batch.into();
+        let values = batch.as_slice();
+        if values.is_empty() {
+            return;
         }
-        if self.registry.is_some() {
-            self.maybe_publish();
+        self.seal();
+        if self.obs.is_enabled() {
+            self.obs
+                .observe("ingest_batch_elements", values.len() as u64);
+        }
+        let _span = self.obs.span("ingest_batch");
+        let window = self.pipeline.as_ref().expect("sealed").window() as u64;
+        let mut rest = values;
+        while !rest.is_empty() {
+            // Distance to the next global window boundary; the pending WAL
+            // buffer holds exactly `count % window` elements, so a chunk
+            // never overfills it.
+            let room = (window - self.count % window) as usize;
+            let (chunk, tail) = rest.split_at(room.min(rest.len()));
+            rest = tail;
+            self.count += chunk.len() as u64;
+            self.pipeline.as_mut().expect("sealed").push_batch(chunk);
+            if self.dur.is_some() {
+                self.durable_ingest_chunk(chunk);
+            }
+            if self.registry.is_some() {
+                self.maybe_publish();
+            }
         }
     }
 
-    /// Pushes every element of an iterator.
+    /// Pushes every element of an iterator, staging into columnar batches
+    /// internally so iterator sources get the amortized
+    /// [`Self::push_batch`] path.
     pub fn push_all<I: IntoIterator<Item = f32>>(&mut self, values: I) {
-        for v in values {
-            self.push(v);
+        /// Staging slab size: a few windows' worth, so routing and window
+        /// fills amortize without holding an unbounded buffer.
+        const STAGE: usize = 8192;
+        let mut values = values.into_iter();
+        let mut stage = Vec::with_capacity(STAGE);
+        loop {
+            stage.clear();
+            stage.extend(values.by_ref().take(STAGE));
+            if stage.is_empty() {
+                break;
+            }
+            self.push_batch(stage.as_slice());
         }
     }
 
@@ -823,17 +1004,42 @@ impl StreamEngine {
         })
     }
 
-    /// Generic query interface: `param` is φ for quantile queries and the
-    /// support `s` otherwise.
-    pub fn query(&mut self, id: QueryId, param: f64) -> QueryAnswer {
+    /// Answers a typed [`QueryRequest`] against the live engine. The
+    /// request's variant must match the query's registered kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request variant does not match the query's kind, or
+    /// if `id` is unknown.
+    pub fn request(&mut self, id: QueryId, req: QueryRequest) -> QueryAnswer {
         let _span = self.obs.span_labeled("dsms_answer", ("kind", "generic"));
-        self.answer(id, |sketch| match sketch {
-            QuerySketch::Quantile(q) => QueryAnswer::Quantile(q.query(param)),
-            QuerySketch::Frequency(f) => QueryAnswer::HeavyHitters(f.heavy_hitters(param)),
-            QuerySketch::Hhh(h) => QueryAnswer::Hhh(h.query(param)),
-            QuerySketch::SlidingQuantile(s) => QueryAnswer::Quantile(s.query_frozen(param)),
-            QuerySketch::SlidingFrequency(f) => QueryAnswer::HeavyHitters(f.heavy_hitters(param)),
+        self.answer(id, |sketch| match (req, sketch) {
+            (QueryRequest::Quantile { phi }, QuerySketch::Quantile(q)) => {
+                QueryAnswer::Quantile(q.query(phi))
+            }
+            (QueryRequest::HeavyHitters { support }, QuerySketch::Frequency(f)) => {
+                QueryAnswer::HeavyHitters(f.heavy_hitters(support))
+            }
+            (QueryRequest::Hhh { support }, QuerySketch::Hhh(h)) => {
+                QueryAnswer::Hhh(h.query(support))
+            }
+            (QueryRequest::SlidingQuantile { phi }, QuerySketch::SlidingQuantile(s)) => {
+                QueryAnswer::Quantile(s.query_frozen(phi))
+            }
+            (QueryRequest::SlidingFrequency { support }, QuerySketch::SlidingFrequency(f)) => {
+                QueryAnswer::HeavyHitters(f.heavy_hitters(support))
+            }
+            (req, _) => panic!("query {id:?} does not answer {:?} requests", req.kind()),
         })
+    }
+
+    /// Generic query interface: `param` is φ for quantile queries and the
+    /// support `s` otherwise. A thin wrapper that maps the untyped pair
+    /// onto the registered kind's [`QueryRequest`] variant and delegates
+    /// to [`Self::request`].
+    pub fn query(&mut self, id: QueryId, param: f64) -> QueryAnswer {
+        let kind = self.specs[id.0].kind();
+        self.request(id, QueryRequest::from_kind(kind, param))
     }
 
     /// Where the simulated time went, across the shared sort and every
@@ -894,21 +1100,31 @@ impl StreamEngine {
         serde_json::to_string(&cp).expect("summaries serialize infallibly")
     }
 
-    /// The WAL hook on the push path: buffer the element and, once a full
+    /// The WAL hook on the push path: buffer the chunk and, once a full
     /// window has accumulated, append it as one record (redo logging — the
     /// elements already entered the pipeline) and run the checkpoint
     /// policy.
     ///
+    /// [`Self::push_batch`] chunks at global window boundaries, so one
+    /// call extends the pending buffer by at most a window's remainder
+    /// (one `extend_from_slice` instead of per-element pushes) and fills
+    /// it exactly — the appended record holds the same `window` elements
+    /// in the same order as the scalar path, byte for byte.
+    ///
     /// # Panics
     ///
     /// Panics on WAL I/O errors — durability cannot silently degrade.
-    fn durable_ingest(&mut self, value: f32) {
+    fn durable_ingest_chunk(&mut self, chunk: &[f32]) {
         let window = self.pipeline.as_ref().expect("sealed").window();
         let mut appended = false;
         let mut fsynced = false;
         let mut checkpoint_due = false;
         if let Some(st) = self.dur.as_mut() {
-            st.pending.push(value);
+            st.pending.extend_from_slice(chunk);
+            debug_assert!(
+                st.pending.len() <= window,
+                "window-boundary chunking bounds the pending fill"
+            );
             if st.pending.len() >= window {
                 let seq = st.next_seq;
                 fsynced = st

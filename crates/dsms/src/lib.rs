@@ -34,12 +34,14 @@
 //! Everything runs in simulated time, so "can this configuration keep up
 //! with 10 M elements/s?" is answerable on a laptop.
 
+pub mod builder;
 pub mod durable;
 pub mod engine;
 pub mod shedding;
 pub mod snapshot;
 
+pub use builder::{BuildError, EngineBuilder};
 pub use durable::{DurableOptions, RecoveryReport};
-pub use engine::{QueryAnswer, QueryId, StreamEngine, WindowTap};
+pub use engine::{QueryAnswer, QueryId, QueryRequest, StreamEngine, ValueBatch, WindowTap};
 pub use shedding::{run_at_rate, LoadShedder, ShedReport};
 pub use snapshot::{EngineSnapshot, QueryKind, SnapshotError, SnapshotRegistry};

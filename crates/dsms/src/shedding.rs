@@ -131,6 +131,7 @@ pub fn run_at_rate(
     let mut arrival_clock = 0.0f64;
 
     let mut buffered: Vec<f32> = Vec::with_capacity(chunk);
+    let mut admitted: Vec<f32> = Vec::with_capacity(chunk);
     let mut values = values.into_iter();
     loop {
         buffered.clear();
@@ -147,11 +148,13 @@ pub fn run_at_rate(
         arrival_clock += buffered.len() as f64 / offered_rate;
 
         let dropped_before = shedder.dropped();
-        for &v in &buffered {
-            if shedder.admit() {
-                engine.push(v);
-            }
-        }
+        // Shed decisions stay per element (the error-diffusion accumulator
+        // advances once per arrival, so keep-permille semantics are
+        // unchanged); the admitted sub-stream is compacted into a staging
+        // buffer and ingested as one columnar batch per chunk.
+        admitted.clear();
+        admitted.extend(buffered.iter().copied().filter(|_| shedder.admit()));
+        engine.push_batch(admitted.as_slice());
         let dropped_now = shedder.dropped() - dropped_before;
         if obs.is_enabled() && dropped_now > 0 {
             // One shedding event per chunk that actually dropped arrivals,

@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 
 use gsm_core::HhhEntry;
 
-use crate::engine::{QueryAnswer, QuerySketch};
+use crate::engine::{QueryAnswer, QueryRequest, QuerySketch};
 
 /// What a registered continuous query answers — the snapshot-side mirror
 /// of the engine's (private) query specs, exposed so serving layers can
@@ -249,9 +249,39 @@ impl EngineSnapshot {
         }
     }
 
+    /// Answers a typed [`QueryRequest`]: the snapshot-side mirror of
+    /// [`crate::StreamEngine::request`]. Unlike the engine method, a kind
+    /// mismatch is an error, not a panic — serving layers pass requests
+    /// straight off the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::UnknownQuery`], [`SnapshotError::WrongKind`], or
+    /// [`SnapshotError::Empty`] for quantile kinds before the first sealed
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in the summary) on out-of-range support parameters.
+    pub fn request(&self, id: usize, req: QueryRequest) -> Result<QueryAnswer, SnapshotError> {
+        match req {
+            QueryRequest::Quantile { phi } => self.quantile(id, phi).map(QueryAnswer::Quantile),
+            QueryRequest::HeavyHitters { support } => self
+                .heavy_hitters(id, support)
+                .map(QueryAnswer::HeavyHitters),
+            QueryRequest::Hhh { support } => self.hhh(id, support).map(QueryAnswer::Hhh),
+            QueryRequest::SlidingQuantile { phi } => {
+                self.sliding_quantile(id, phi).map(QueryAnswer::Quantile)
+            }
+            QueryRequest::SlidingFrequency { support } => self
+                .sliding_heavy_hitters(id, support)
+                .map(QueryAnswer::HeavyHitters),
+        }
+    }
+
     /// Generic interface: `param` is φ for quantile kinds, the support `s`
-    /// otherwise — the snapshot-side mirror of
-    /// [`crate::StreamEngine::query`].
+    /// otherwise — the untyped wrapper that maps the registered kind onto
+    /// its [`QueryRequest`] variant and delegates to [`Self::request`].
     ///
     /// # Errors
     ///
@@ -262,22 +292,12 @@ impl EngineSnapshot {
     ///
     /// Panics (in the summary) on out-of-range support parameters.
     pub fn answer(&self, id: usize, param: f64) -> Result<QueryAnswer, SnapshotError> {
-        match self
+        let kind = self
             .kinds
             .get(id)
             .copied()
-            .ok_or(SnapshotError::UnknownQuery(id))?
-        {
-            QueryKind::Quantile => self.quantile(id, param).map(QueryAnswer::Quantile),
-            QueryKind::Frequency => self.heavy_hitters(id, param).map(QueryAnswer::HeavyHitters),
-            QueryKind::Hhh => self.hhh(id, param).map(QueryAnswer::Hhh),
-            QueryKind::SlidingQuantile => {
-                self.sliding_quantile(id, param).map(QueryAnswer::Quantile)
-            }
-            QueryKind::SlidingFrequency => self
-                .sliding_heavy_hitters(id, param)
-                .map(QueryAnswer::HeavyHitters),
-        }
+            .ok_or(SnapshotError::UnknownQuery(id))?;
+        self.request(id, QueryRequest::from_kind(kind, param))
     }
 }
 

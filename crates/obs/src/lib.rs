@@ -285,6 +285,16 @@ impl Recorder {
         });
     }
 
+    /// Records one magnitude observation into the named log2 histogram.
+    ///
+    /// Histograms are unit-agnostic power-of-two buckets; this is the same
+    /// primitive as [`Recorder::observe_ns`] under a name that does not
+    /// imply nanoseconds — use it for sizes (e.g. ingest batch lengths in
+    /// elements) where the log2 shape is exactly what's wanted.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        self.observe_ns(name, value);
+    }
+
     /// Records a labeled latency observation.
     pub fn observe_ns_labeled(&self, name: &'static str, label: (&'static str, &str), ns: u64) {
         if self.inner.is_none() {

@@ -45,7 +45,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use gsm_dsms::QueryAnswer;
+use gsm_dsms::{QueryAnswer, QueryRequest};
 use gsm_obs::TraceCtx;
 
 use crate::server::{Client, Reply, Request};
@@ -216,24 +216,15 @@ fn parse_request(line: &str) -> Result<(Request, Option<Duration>, Option<TraceC
     if parts.next().is_some() {
         return Err("trailing tokens".to_string());
     }
-    let request = match verb {
-        "quantile" => Request::Quantile { query, phi: param },
-        "hh" => Request::HeavyHitters {
-            query,
-            support: param,
-        },
-        "hhh" => Request::Hhh {
-            query,
-            support: param,
-        },
-        "squant" => Request::SlidingQuantile { query, phi: param },
-        "shh" => Request::SlidingHeavyHitters {
-            query,
-            support: param,
-        },
+    let typed = match verb {
+        "quantile" => QueryRequest::Quantile { phi: param },
+        "hh" => QueryRequest::HeavyHitters { support: param },
+        "hhh" => QueryRequest::Hhh { support: param },
+        "squant" => QueryRequest::SlidingQuantile { phi: param },
+        "shh" => QueryRequest::SlidingFrequency { support: param },
         other => return Err(format!("unknown verb '{other}'")),
     };
-    Ok((request, timeout, trace))
+    Ok((Request::from_typed(query, typed), timeout, trace))
 }
 
 /// Renders a [`Reply`] as one protocol line.

@@ -16,7 +16,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use gsm_dsms::{EngineSnapshot, QueryAnswer, SnapshotError, SnapshotRegistry};
+use gsm_dsms::{EngineSnapshot, QueryAnswer, QueryRequest, SnapshotError, SnapshotRegistry};
 use gsm_obs::{EngineEvent, Recorder, TraceCtx};
 
 /// Sizing and timeout knobs for a [`QueryServer`].
@@ -91,36 +91,55 @@ pub enum Request {
 }
 
 impl Request {
-    /// Stable label for latency attribution (`serve_latency{kind=...}`).
-    pub fn kind_label(&self) -> &'static str {
-        match self {
-            Request::Quantile { .. } => "quantile",
-            Request::HeavyHitters { .. } => "frequency",
-            Request::Hhh { .. } => "hhh",
-            Request::SlidingQuantile { .. } => "sliding_quantile",
-            Request::SlidingHeavyHitters { .. } => "sliding_frequency",
+    /// Builds the wire request addressing query index `query` with the
+    /// typed engine-side request `req` — the inverse of [`Self::typed`].
+    pub fn from_typed(query: usize, req: QueryRequest) -> Self {
+        match req {
+            QueryRequest::Quantile { phi } => Request::Quantile { query, phi },
+            QueryRequest::HeavyHitters { support } => Request::HeavyHitters { query, support },
+            QueryRequest::Hhh { support } => Request::Hhh { query, support },
+            QueryRequest::SlidingQuantile { phi } => Request::SlidingQuantile { query, phi },
+            QueryRequest::SlidingFrequency { support } => {
+                Request::SlidingHeavyHitters { query, support }
+            }
         }
     }
 
-    /// Executes against a frozen snapshot. This is the *entire* read path —
-    /// byte-identical to calling the same snapshot method directly, which
-    /// is what the verify harness asserts.
-    fn execute(&self, snap: &EngineSnapshot) -> Result<QueryAnswer, SnapshotError> {
+    /// Registration index of the target query.
+    pub fn query_index(&self) -> usize {
         match *self {
-            Request::Quantile { query, phi } => {
-                snap.quantile(query, phi).map(QueryAnswer::Quantile)
-            }
-            Request::HeavyHitters { query, support } => snap
-                .heavy_hitters(query, support)
-                .map(QueryAnswer::HeavyHitters),
-            Request::Hhh { query, support } => snap.hhh(query, support).map(QueryAnswer::Hhh),
-            Request::SlidingQuantile { query, phi } => {
-                snap.sliding_quantile(query, phi).map(QueryAnswer::Quantile)
-            }
-            Request::SlidingHeavyHitters { query, support } => snap
-                .sliding_heavy_hitters(query, support)
-                .map(QueryAnswer::HeavyHitters),
+            Request::Quantile { query, .. }
+            | Request::HeavyHitters { query, .. }
+            | Request::Hhh { query, .. }
+            | Request::SlidingQuantile { query, .. }
+            | Request::SlidingHeavyHitters { query, .. } => query,
         }
+    }
+
+    /// The typed engine-side request this wire request carries.
+    pub fn typed(&self) -> QueryRequest {
+        match *self {
+            Request::Quantile { phi, .. } => QueryRequest::Quantile { phi },
+            Request::HeavyHitters { support, .. } => QueryRequest::HeavyHitters { support },
+            Request::Hhh { support, .. } => QueryRequest::Hhh { support },
+            Request::SlidingQuantile { phi, .. } => QueryRequest::SlidingQuantile { phi },
+            Request::SlidingHeavyHitters { support, .. } => {
+                QueryRequest::SlidingFrequency { support }
+            }
+        }
+    }
+
+    /// Stable label for latency attribution (`serve_latency{kind=...}`).
+    pub fn kind_label(&self) -> &'static str {
+        self.typed().kind().name()
+    }
+
+    /// Executes against a frozen snapshot. This is the *entire* read path —
+    /// one typed [`EngineSnapshot::request`] call, byte-identical to
+    /// calling the same snapshot method directly, which is what the verify
+    /// harness asserts.
+    fn execute(&self, snap: &EngineSnapshot) -> Result<QueryAnswer, SnapshotError> {
+        snap.request(self.query_index(), self.typed())
     }
 }
 

@@ -295,9 +295,64 @@ impl Iterator for BurstyGen {
     }
 }
 
+/// Columnar batch adapter for stream generators.
+///
+/// The batched ingest plane (`StreamEngine::push_batch` in `gsm-dsms`)
+/// consumes contiguous `&[f32]` columns; this extension trait lets any
+/// value generator produce them without per-element `Iterator::next`
+/// dispatch at the call site. Batches drawn this way contain exactly the
+/// elements the scalar iterator would have yielded, in the same order —
+/// batching never changes the stream.
+pub trait BatchGen: Iterator<Item = f32> {
+    /// Fills `out` from the generator, returning how many slots were
+    /// written (short only when the generator is exhausted).
+    fn fill(&mut self, out: &mut [f32]) -> usize {
+        let mut n = 0;
+        for slot in out.iter_mut() {
+            match self.next() {
+                Some(v) => *slot = v,
+                None => break,
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Draws the next `n` elements as one owned column (shorter only when
+    /// the generator is exhausted).
+    fn next_batch(&mut self, n: usize) -> Vec<f32>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::with_capacity(n);
+        out.extend(self.by_ref().take(n));
+        out
+    }
+}
+
+impl<I: Iterator<Item = f32> + ?Sized> BatchGen for I {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_draws_match_the_scalar_iterator() {
+        let scalar: Vec<f32> = UniformGen::unit(42).take(1000).collect();
+        let mut gen = UniformGen::unit(42);
+        let mut batched = gen.next_batch(137);
+        let mut buf = vec![0.0f32; 863];
+        assert_eq!(gen.fill(&mut buf), 863);
+        batched.extend_from_slice(&buf);
+        assert_eq!(scalar.len(), batched.len());
+        assert!(scalar
+            .iter()
+            .zip(&batched)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // A drained generator reports short fills instead of looping.
+        let mut short = (0..3).map(|i| i as f32);
+        assert_eq!(short.fill(&mut buf), 3);
+    }
 
     #[test]
     fn uniform_respects_range_and_f16_grid() {

@@ -26,7 +26,8 @@ pub mod window;
 pub mod zipf;
 
 pub use gen::{
-    BurstyGen, GaussianGen, NearlySortedGen, ParetoGen, SortedGen, Timestamped, UniformGen,
+    BatchGen, BurstyGen, GaussianGen, NearlySortedGen, ParetoGen, SortedGen, Timestamped,
+    UniformGen,
 };
 pub use gsm_model::f16;
 pub use gsm_model::F16;

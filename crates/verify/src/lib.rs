@@ -27,6 +27,11 @@
 //!   recovered; recovered answers must fingerprint byte-identically to an
 //!   uncrashed run over the recovered prefix, and every injected
 //!   corruption must be detected, never silently replayed.
+//! - [`batch`] — the scalar-vs-batch ingest driver: the same stream is
+//!   ingested element-at-a-time and in boundary-adversarial batch lengths
+//!   across engines × shard counts, and answers plus checkpoint envelopes
+//!   must match byte for byte (`StreamEngine::push_batch`'s identity
+//!   contract).
 //! - [`serve`] — the served-vs-direct driver: every query kind is asked
 //!   through the `gsm-serve` frontend and byte-compared against the same
 //!   query run directly on the engine and its published snapshot, plus
@@ -46,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod batch;
 pub mod diff;
 pub mod durable;
 pub mod gen;
@@ -57,6 +63,7 @@ pub use audit::{
     audit_sharded_quantile, audit_sliding_frequency, audit_sliding_quantile,
     frequency_space_envelope, quantile_space_envelope, AuditCheck, AuditReport,
 };
+pub use batch::{canonical_batch_sizes, verify_family_batched, BatchRun, BatchedFamilyOutcome};
 pub use diff::{verify_family, EngineRun, FamilyOutcome, VerifyConfig};
 pub use durable::{
     verify_family_recovered, DurableFamilyOutcome, DurableVerifyConfig, RecoveredRun,

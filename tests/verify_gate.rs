@@ -10,7 +10,8 @@ use gsm::dsms::{LoadShedder, StreamEngine};
 use gsm::sketch::exact::ExactStats;
 use gsm::sketch::LossyCounting;
 use gsm::verify::{
-    verify_family, verify_family_served, verify_family_sharded, Family, StreamSpec, VerifyConfig,
+    verify_family, verify_family_batched, verify_family_served, verify_family_sharded, Family,
+    StreamSpec, VerifyConfig,
 };
 
 /// Every adversarial family passes the full differential audit on every
@@ -65,6 +66,33 @@ fn all_families_pass_sharded_on_all_engines() {
             assert_eq!(run.engines.len(), Engine::ALL.len());
             assert_eq!(run.reports.len(), 3, "three merged estimators audited");
         }
+    }
+}
+
+/// The batched-ingest gate: for every adversarial family, ingesting
+/// through `StreamEngine::push_batch` at boundary-adversarial batch
+/// lengths {1, 7, window, window+1, 3·window} produces answers and
+/// checkpoint envelopes byte-identical to the scalar `push` loop, on
+/// every engine at shard counts {1, 2, 4}.
+#[test]
+fn all_families_batch_ingest_byte_identically() {
+    let cfg = VerifyConfig::default();
+    for family in Family::ALL {
+        let spec = StreamSpec {
+            family,
+            seed: 42,
+            n: 2048,
+            window: 512,
+        };
+        let outcome = verify_family_batched(&spec, &cfg, &[1, 2, 4]);
+        assert!(
+            outcome.passed(),
+            "{}: {:?}",
+            family.name(),
+            outcome.failures()
+        );
+        // engines × shard counts × five batch lengths.
+        assert_eq!(outcome.runs.len(), Engine::ALL.len() * 3 * 5);
     }
 }
 
